@@ -1,0 +1,94 @@
+//! Dominance analysis from the look-at summary (paper §III, Fig. 9).
+//!
+//! "The summary matrix provides useful information related to the
+//! dominate of the meeting. For instance, the yellow participant (P1)
+//! is the dominate of the meeting since the summation of the
+//! participant P1 column is the maximum." — received looks rank
+//! participants by how much attention they command.
+
+use crate::lookat::LookAtSummary;
+use serde::{Deserialize, Serialize};
+
+/// Dominance ranking of a meeting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DominanceReport {
+    /// Participants ordered from most to least dominant, with their
+    /// received-look counts.
+    pub ranking: Vec<(usize, u32)>,
+    /// The dominant participant (first of `ranking`), if any looks were
+    /// recorded at all.
+    pub dominant: Option<usize>,
+    /// Received looks normalized by total looks (attention share per
+    /// participant, indexed by participant).
+    pub attention_share: Vec<f64>,
+}
+
+/// Computes the dominance ranking from a summary matrix.
+pub fn dominance_ranking(summary: &LookAtSummary) -> DominanceReport {
+    let n = summary.participants();
+    let received: Vec<u32> = (0..n).map(|p| summary.received(p)).collect();
+    let total: u32 = received.iter().sum();
+
+    let mut ranking: Vec<(usize, u32)> = received.iter().copied().enumerate().collect();
+    // Sort by received looks descending; ties break on lower index
+    // (stable order for reproducibility).
+    ranking.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    DominanceReport {
+        dominant: (total > 0).then(|| ranking[0].0),
+        attention_share: received
+            .iter()
+            .map(|&r| if total > 0 { r as f64 / total as f64 } else { 0.0 })
+            .collect(),
+        ranking,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookat::LookAtMatrix;
+
+    fn summary_from(looks: &[(usize, usize, u32)], n: usize) -> LookAtSummary {
+        let mut s = LookAtSummary::new(n);
+        // Encode counts by adding that many single-cell matrices.
+        for &(g, t, c) in looks {
+            for _ in 0..c {
+                let mut m = LookAtMatrix::zero(n);
+                m.set(g, t, 1);
+                s.add(&m);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn column_sum_maximum_wins() {
+        // P0 receives 5, P1 receives 3, P2 receives 1.
+        let s = summary_from(&[(1, 0, 5), (0, 1, 3), (0, 2, 1)], 3);
+        let r = dominance_ranking(&s);
+        assert_eq!(r.dominant, Some(0));
+        assert_eq!(r.ranking[0], (0, 5));
+        assert_eq!(r.ranking[1], (1, 3));
+        assert_eq!(r.ranking[2], (2, 1));
+        let share: f64 = r.attention_share.iter().sum();
+        assert!((share - 1.0).abs() < 1e-12);
+        assert!((r.attention_share[0] - 5.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_has_no_dominant() {
+        let s = LookAtSummary::new(4);
+        let r = dominance_ranking(&s);
+        assert_eq!(r.dominant, None);
+        assert!(r.attention_share.iter().all(|&x| x == 0.0));
+        assert_eq!(r.ranking.len(), 4);
+    }
+
+    #[test]
+    fn ties_break_on_lower_index() {
+        let s = summary_from(&[(0, 1, 2), (1, 0, 2)], 2);
+        let r = dominance_ranking(&s);
+        assert_eq!(r.dominant, Some(0));
+    }
+}

@@ -1,0 +1,226 @@
+//! Eye-contact episode statistics.
+//!
+//! The paper motivates EC detection with Argyle & Dean's findings: more
+//! EC when the discussed topic is straightforward and less personal;
+//! more EC between mutually interested pairs. Those are *aggregate*
+//! properties of EC over time, so this module turns per-frame matrices
+//! into episodes (maximal runs of sustained contact) and per-pair
+//! statistics that expose exactly those indicators.
+
+use crate::lookat::LookAtMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A maximal run of consecutive frames during which a pair held mutual
+/// eye contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EcEpisode {
+    /// The pair, with `a < b`.
+    pub a: usize,
+    /// Second participant of the pair.
+    pub b: usize,
+    /// First frame of the episode (inclusive).
+    pub start: usize,
+    /// One past the last frame (exclusive).
+    pub end: usize,
+}
+
+impl EcEpisode {
+    /// Episode length in frames.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` for a degenerate empty episode.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Extracts all EC episodes from a matrix sequence, ordered by pair
+/// then start frame. Episodes shorter than `min_frames` are dropped
+/// (sub-perceptual contacts).
+pub fn ec_episodes(seq: &[LookAtMatrix], min_frames: usize) -> Vec<EcEpisode> {
+    let Some(first) = seq.first() else {
+        return Vec::new();
+    };
+    let n = first.len();
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            let mut start: Option<usize> = None;
+            for (f, m) in seq.iter().enumerate() {
+                let ec = m.get(a, b) == 1 && m.get(b, a) == 1;
+                match (ec, start) {
+                    (true, None) => start = Some(f),
+                    (false, Some(s)) => {
+                        if f - s >= min_frames.max(1) {
+                            out.push(EcEpisode { a, b, start: s, end: f });
+                        }
+                        start = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(s) = start {
+                if seq.len() - s >= min_frames.max(1) {
+                    out.push(EcEpisode { a, b, start: s, end: seq.len() });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Aggregate EC statistics for one pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairStats {
+    /// The pair, with `a < b`.
+    pub a: usize,
+    /// Second participant.
+    pub b: usize,
+    /// Total frames in mutual contact.
+    pub total_frames: usize,
+    /// Number of distinct episodes.
+    pub episodes: usize,
+    /// Mean episode length in frames (0 when no episodes).
+    pub mean_episode_len: f64,
+    /// Fraction of the video spent in contact — the Argyle–Dean
+    /// "affinity" indicator: pairs interested in each other score high.
+    pub contact_ratio: f64,
+}
+
+/// Computes per-pair statistics over a matrix sequence. Pairs are
+/// ordered lexicographically; every pair appears even with zero
+/// contact.
+pub fn pair_statistics(seq: &[LookAtMatrix], min_frames: usize) -> Vec<PairStats> {
+    let Some(first) = seq.first() else {
+        return Vec::new();
+    };
+    let n = first.len();
+    let episodes = ec_episodes(seq, min_frames);
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            let pair_eps: Vec<&EcEpisode> =
+                episodes.iter().filter(|e| e.a == a && e.b == b).collect();
+            let total: usize = pair_eps.iter().map(|e| e.len()).sum();
+            out.push(PairStats {
+                a,
+                b,
+                total_frames: total,
+                episodes: pair_eps.len(),
+                mean_episode_len: if pair_eps.is_empty() {
+                    0.0
+                } else {
+                    total as f64 / pair_eps.len() as f64
+                },
+                contact_ratio: total as f64 / seq.len() as f64,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ec_frame(n: usize, pairs: &[(usize, usize)]) -> LookAtMatrix {
+        let mut m = LookAtMatrix::zero(n);
+        for &(a, b) in pairs {
+            m.set(a, b, 1);
+            m.set(b, a, 1);
+        }
+        m
+    }
+
+    fn no_ec(n: usize) -> LookAtMatrix {
+        LookAtMatrix::zero(n)
+    }
+
+    #[test]
+    fn empty_sequence() {
+        assert!(ec_episodes(&[], 1).is_empty());
+        assert!(pair_statistics(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn single_episode_detected_with_bounds() {
+        let mut seq = vec![no_ec(3); 5];
+        seq.extend(vec![ec_frame(3, &[(0, 2)]); 4]);
+        seq.extend(vec![no_ec(3); 3]);
+        let eps = ec_episodes(&seq, 1);
+        assert_eq!(eps, vec![EcEpisode { a: 0, b: 2, start: 5, end: 9 }]);
+        assert_eq!(eps[0].len(), 4);
+    }
+
+    #[test]
+    fn episode_running_to_the_end_is_closed() {
+        let mut seq = vec![no_ec(2); 2];
+        seq.extend(vec![ec_frame(2, &[(0, 1)]); 3]);
+        let eps = ec_episodes(&seq, 1);
+        assert_eq!(eps, vec![EcEpisode { a: 0, b: 1, start: 2, end: 5 }]);
+    }
+
+    #[test]
+    fn min_frames_filters_blips() {
+        let mut seq = vec![no_ec(2); 3];
+        seq.push(ec_frame(2, &[(0, 1)])); // 1-frame blip
+        seq.extend(vec![no_ec(2); 3]);
+        seq.extend(vec![ec_frame(2, &[(0, 1)]); 5]); // real episode
+        let eps = ec_episodes(&seq, 3);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].len(), 5);
+    }
+
+    #[test]
+    fn one_directional_look_is_not_contact() {
+        let mut m = LookAtMatrix::zero(2);
+        m.set(0, 1, 1);
+        let eps = ec_episodes(&[m], 1);
+        assert!(eps.is_empty());
+    }
+
+    #[test]
+    fn multiple_pairs_tracked_independently() {
+        let seq = vec![
+            ec_frame(4, &[(0, 1), (2, 3)]),
+            ec_frame(4, &[(0, 1)]),
+            ec_frame(4, &[(2, 3)]),
+        ];
+        let eps = ec_episodes(&seq, 1);
+        assert_eq!(eps.len(), 3);
+        assert!(eps.contains(&EcEpisode { a: 0, b: 1, start: 0, end: 2 }));
+        assert!(eps.contains(&EcEpisode { a: 2, b: 3, start: 0, end: 1 }));
+        assert!(eps.contains(&EcEpisode { a: 2, b: 3, start: 2, end: 3 }));
+    }
+
+    #[test]
+    fn pair_statistics_cover_all_pairs() {
+        let mut seq = vec![ec_frame(3, &[(0, 1)]); 6];
+        seq.extend(vec![no_ec(3); 4]);
+        let stats = pair_statistics(&seq, 1);
+        assert_eq!(stats.len(), 3); // (0,1), (0,2), (1,2)
+        let s01 = stats.iter().find(|s| s.a == 0 && s.b == 1).unwrap();
+        assert_eq!(s01.total_frames, 6);
+        assert_eq!(s01.episodes, 1);
+        assert!((s01.mean_episode_len - 6.0).abs() < 1e-12);
+        assert!((s01.contact_ratio - 0.6).abs() < 1e-12);
+        let s02 = stats.iter().find(|s| s.a == 0 && s.b == 2).unwrap();
+        assert_eq!(s02.total_frames, 0);
+        assert_eq!(s02.mean_episode_len, 0.0);
+    }
+
+    #[test]
+    fn affinity_ordering_matches_contact_time() {
+        // Pair (0,1) talks a lot; pair (0,2) briefly: the Argyle–Dean
+        // affinity indicator must rank (0,1) higher.
+        let mut seq = Vec::new();
+        seq.extend(vec![ec_frame(3, &[(0, 1)]); 20]);
+        seq.extend(vec![ec_frame(3, &[(0, 2)]); 4]);
+        let stats = pair_statistics(&seq, 1);
+        let r01 = stats.iter().find(|s| (s.a, s.b) == (0, 1)).unwrap().contact_ratio;
+        let r02 = stats.iter().find(|s| (s.a, s.b) == (0, 2)).unwrap().contact_ratio;
+        assert!(r01 > r02);
+    }
+}

@@ -1,0 +1,258 @@
+//! Multi-camera fusion into the common world frame (paper Eq. 1–2).
+//!
+//! Every camera reports heads and gazes in its own frame `F_c`; the
+//! paper transforms everything into a single reference frame before the
+//! intersection test ("both the line and the head position must be in
+//! the same reference frame"). With a calibrated rig the transform is
+//! each camera's `ʷT_c`. When several cameras see the same person, the
+//! fused head position is the weighted mean and the fused gaze is the
+//! weighted, renormalized mean direction — both standard, and both
+//! reduce the single-view depth error the radius-based estimator
+//! carries.
+
+use crate::observation::{CameraObservation, FrameObservations, ParticipantPose};
+use dievent_geometry::Vec3;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Fusion tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FusionConfig {
+    /// Observations whose fused position deviates from the cross-camera
+    /// mean by more than this (metres) are discarded as outliers before
+    /// the final average. Zero disables outlier rejection.
+    pub outlier_distance: f64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig { outlier_distance: 0.6 }
+    }
+}
+
+/// Fuses one frame of per-camera observations into world-frame poses,
+/// one entry per distinct person index, ordered by person.
+pub fn fuse_frame(obs: &FrameObservations, config: &FusionConfig) -> Vec<ParticipantPose> {
+    // World-frame samples per person.
+    struct Sample {
+        head: Vec3,
+        gaze: Option<Vec3>,
+        weight: f64,
+    }
+    let mut by_person: BTreeMap<usize, Vec<Sample>> = BTreeMap::new();
+
+    for (cam_pose, sightings) in &obs.cameras {
+        for CameraObservation { person, head_cam, gaze_cam, weight } in sightings {
+            let head = cam_pose.transform_point(*head_cam);
+            let gaze = gaze_cam
+                .and_then(|g| cam_pose.transform_dir(g).try_normalized());
+            by_person
+                .entry(*person)
+                .or_default()
+                .push(Sample { head, gaze, weight: weight.max(1e-6) });
+        }
+    }
+
+    let mut out = Vec::with_capacity(by_person.len());
+    for (person, mut samples) in by_person {
+        // Consensus centre: component-wise median, which an outlier
+        // cannot drag the way a mean can.
+        let consensus = component_median(&samples.iter().map(|s| s.head).collect::<Vec<_>>());
+        // Outlier rejection: drop samples far from the consensus (a
+        // merged-blob mismeasurement from one camera shouldn't drag the
+        // fused position).
+        if config.outlier_distance > 0.0 && samples.len() >= 3 {
+            samples.retain(|s| s.head.distance(consensus) <= config.outlier_distance);
+        }
+        if samples.is_empty() {
+            continue;
+        }
+        let head = weighted_mean(&samples.iter().map(|s| (s.head, s.weight)).collect::<Vec<_>>());
+
+        // Gaze: weighted sum of unit directions, renormalized.
+        let mut gsum = Vec3::ZERO;
+        let mut gw = 0.0;
+        for s in &samples {
+            if let Some(g) = s.gaze {
+                gsum += g * s.weight;
+                gw += s.weight;
+            }
+        }
+        let gaze = if gw > 0.0 { gsum.try_normalized() } else { None };
+
+        out.push(ParticipantPose { person, head, gaze, support: samples.len() });
+    }
+    out
+}
+
+/// Component-wise median of a non-empty sample set.
+fn component_median(points: &[Vec3]) -> Vec3 {
+    let med = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        }
+    };
+    Vec3::new(
+        med(points.iter().map(|p| p.x).collect()),
+        med(points.iter().map(|p| p.y).collect()),
+        med(points.iter().map(|p| p.z).collect()),
+    )
+}
+
+fn weighted_mean(samples: &[(Vec3, f64)]) -> Vec3 {
+    let mut sum = Vec3::ZERO;
+    let mut w = 0.0;
+    for (v, wi) in samples {
+        sum += *v * *wi;
+        w += *wi;
+    }
+    if w > 0.0 {
+        sum / w
+    } else {
+        Vec3::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dievent_geometry::{Iso3, Mat3};
+    use std::f64::consts::FRAC_PI_2;
+
+    fn cam_at(pos: Vec3, yaw: f64) -> Iso3 {
+        Iso3::new(Mat3::rotation_z(yaw), pos)
+    }
+
+    fn obs(person: usize, head_cam: Vec3, gaze_cam: Option<Vec3>) -> CameraObservation {
+        CameraObservation { person, head_cam, gaze_cam, weight: 1.0 }
+    }
+
+    #[test]
+    fn single_camera_passes_through_transformed() {
+        // Camera at (0,0,2.5) rotated 90° about Z: camera-frame +X maps
+        // to world +Y.
+        let pose = cam_at(Vec3::new(0.0, 0.0, 2.5), FRAC_PI_2);
+        let frame = FrameObservations {
+            cameras: vec![(pose, vec![obs(2, Vec3::new(1.0, 0.0, -1.0), Some(Vec3::X))])],
+        };
+        let fused = fuse_frame(&frame, &FusionConfig::default());
+        assert_eq!(fused.len(), 1);
+        let p = &fused[0];
+        assert_eq!(p.person, 2);
+        assert!(p.head.approx_eq(Vec3::new(0.0, 1.0, 1.5), 1e-9));
+        assert!(p.gaze.unwrap().approx_eq(Vec3::Y, 1e-9));
+        assert_eq!(p.support, 1);
+    }
+
+    #[test]
+    fn two_cameras_average_out_depth_error() {
+        // True head at (2, 0, 1.2). Camera A (identity pose) overshoots
+        // depth by +0.2 along world X; camera B (at (4,0,1.2), facing
+        // −X via 180° yaw) overshoots by +0.2 along world −X. Fusion
+        // cancels the bias.
+        let cam_a = Iso3::IDENTITY;
+        let cam_b = cam_at(Vec3::new(4.0, 0.0, 1.2), std::f64::consts::PI);
+        let frame = FrameObservations {
+            cameras: vec![
+                (cam_a, vec![obs(0, Vec3::new(2.2, 0.0, 1.2), None)]),
+                (cam_b, vec![obs(0, Vec3::new(2.2, 0.0, 0.0), None)]),
+            ],
+        };
+        let fused = fuse_frame(&frame, &FusionConfig::default());
+        assert_eq!(fused.len(), 1);
+        assert!(fused[0].head.approx_eq(Vec3::new(2.0, 0.0, 1.2), 1e-9), "{:?}", fused[0].head);
+        assert_eq!(fused[0].support, 2);
+    }
+
+    #[test]
+    fn gaze_directions_fuse_by_renormalized_mean() {
+        let cam = Iso3::IDENTITY;
+        let frame = FrameObservations {
+            cameras: vec![
+                (cam, vec![obs(0, Vec3::ZERO, Some(Vec3::new(1.0, 0.1, 0.0).normalized()))]),
+                (cam, vec![obs(0, Vec3::ZERO, Some(Vec3::new(1.0, -0.1, 0.0).normalized()))]),
+            ],
+        };
+        let fused = fuse_frame(&frame, &FusionConfig::default());
+        let g = fused[0].gaze.unwrap();
+        assert!(g.approx_eq(Vec3::X, 1e-9), "{g:?}");
+        assert!((g.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn person_without_gaze_still_fused() {
+        let frame = FrameObservations {
+            cameras: vec![(Iso3::IDENTITY, vec![obs(1, Vec3::new(1.0, 1.0, 1.0), None)])],
+        };
+        let fused = fuse_frame(&frame, &FusionConfig::default());
+        assert_eq!(fused.len(), 1);
+        assert!(fused[0].gaze.is_none());
+    }
+
+    #[test]
+    fn outlier_camera_rejected() {
+        let frame = FrameObservations {
+            cameras: vec![
+                (Iso3::IDENTITY, vec![obs(0, Vec3::new(2.0, 0.0, 1.2), None)]),
+                (Iso3::IDENTITY, vec![obs(0, Vec3::new(2.05, 0.0, 1.2), None)]),
+                // A wildly wrong sighting (merged blob).
+                (Iso3::IDENTITY, vec![obs(0, Vec3::new(4.5, 0.0, 1.2), None)]),
+            ],
+        };
+        let fused = fuse_frame(&frame, &FusionConfig::default());
+        assert_eq!(fused[0].support, 2, "outlier dropped");
+        assert!((fused[0].head.x - 2.025).abs() < 1e-9);
+        // With rejection disabled the outlier drags the mean.
+        let raw = fuse_frame(&frame, &FusionConfig { outlier_distance: 0.0 });
+        assert!(raw[0].head.x > 2.5);
+    }
+
+    #[test]
+    fn multiple_people_sorted_by_index() {
+        let frame = FrameObservations {
+            cameras: vec![(
+                Iso3::IDENTITY,
+                vec![
+                    obs(3, Vec3::new(1.0, 0.0, 0.0), None),
+                    obs(1, Vec3::new(2.0, 0.0, 0.0), None),
+                ],
+            )],
+        };
+        let fused = fuse_frame(&frame, &FusionConfig::default());
+        assert_eq!(fused.len(), 2);
+        assert_eq!(fused[0].person, 1);
+        assert_eq!(fused[1].person, 3);
+    }
+
+    #[test]
+    fn weights_bias_the_mean() {
+        let frame = FrameObservations {
+            cameras: vec![
+                (
+                    Iso3::IDENTITY,
+                    vec![CameraObservation {
+                        person: 0,
+                        head_cam: Vec3::new(1.0, 0.0, 0.0),
+                        gaze_cam: None,
+                        weight: 3.0,
+                    }],
+                ),
+                (
+                    Iso3::IDENTITY,
+                    vec![CameraObservation {
+                        person: 0,
+                        head_cam: Vec3::new(2.0, 0.0, 0.0),
+                        gaze_cam: None,
+                        weight: 1.0,
+                    }],
+                ),
+            ],
+        };
+        let fused = fuse_frame(&frame, &FusionConfig::default());
+        assert!((fused[0].head.x - 1.25).abs() < 1e-9);
+    }
+}

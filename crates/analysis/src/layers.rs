@@ -1,0 +1,222 @@
+//! The multilayer model: time-invariant context and time-variant
+//! measurements (paper §II-D).
+//!
+//! "Considering the video time as a reference time entails two types of
+//! information sources. First, time-invariant source of information
+//! that does not explicitly depend on time like location, menu, date,
+//! occasion type, number of participants and their social information
+//! and relationships. Second, time-variant source information that
+//! explicitly depends on time such as gaze direction and overall
+//! emotion."
+//!
+//! [`TimeInvariantContext`] captures the former once per event;
+//! [`TimeVariantLayers`] captures the latter per frame; a
+//! [`MultilayerRecord`] joins both for storage in the metadata
+//! repository.
+
+use crate::lookat::LookAtMatrix;
+use crate::overall_emotion::OverallEmotion;
+use serde::{Deserialize, Serialize};
+
+/// A social relationship between two participants (part of the
+/// "social information and relationships" layer).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SocialRelation {
+    /// Family members.
+    Family,
+    /// Friends.
+    Friends,
+    /// Work colleagues.
+    Colleagues,
+    /// First encounter.
+    Strangers,
+    /// Anything else, labelled.
+    Other(String),
+}
+
+/// One symmetric relationship entry (`a < b`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationEntry {
+    /// Lower participant index.
+    pub a: usize,
+    /// Higher participant index.
+    pub b: usize,
+    /// The relationship.
+    pub relation: SocialRelation,
+}
+
+/// Time-invariant context of a dining event — collected externally by
+/// the acquisition platform, not extracted from pixels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TimeInvariantContext {
+    /// Venue ("IRIT meeting room", "Restaurant X, table 4", …).
+    pub location: String,
+    /// ISO-8601 date of the event.
+    pub date: String,
+    /// Occasion type ("business lunch", "family dinner", …).
+    pub occasion: String,
+    /// Menu / dishes served.
+    pub menu: Vec<String>,
+    /// Number of participants (the `n` of the look-at matrix).
+    pub participants: usize,
+    /// Participant display names by index.
+    pub participant_names: Vec<String>,
+    /// Ambient temperature in °C, when recorded.
+    pub temperature_c: Option<f64>,
+    /// Social relationships between participant pairs (`a < b`).
+    pub relations: Vec<RelationEntry>,
+}
+
+impl TimeInvariantContext {
+    /// Registers a symmetric relation between `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics when `a == b` or either index is out of range.
+    pub fn set_relation(&mut self, a: usize, b: usize, rel: SocialRelation) {
+        assert_ne!(a, b, "a relation needs two distinct participants");
+        assert!(a < self.participants && b < self.participants, "index out of range");
+        let (lo, hi) = (a.min(b), a.max(b));
+        if let Some(e) = self.relations.iter_mut().find(|e| e.a == lo && e.b == hi) {
+            e.relation = rel;
+        } else {
+            self.relations.push(RelationEntry { a: lo, b: hi, relation: rel });
+        }
+    }
+
+    /// Looks up the relation between `a` and `b` (order-insensitive).
+    pub fn relation(&self, a: usize, b: usize) -> Option<&SocialRelation> {
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.relations
+            .iter()
+            .find(|e| e.a == lo && e.b == hi)
+            .map(|e| &e.relation)
+    }
+}
+
+/// Per-frame time-variant measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeVariantLayers {
+    /// Frame index.
+    pub frame: usize,
+    /// Timestamp in seconds.
+    pub time: f64,
+    /// The look-at matrix of this frame (gaze layer, Fig. 4).
+    pub lookat: LookAtMatrix,
+    /// Fused group emotion (Fig. 5).
+    pub overall_emotion: OverallEmotion,
+}
+
+/// One event's complete multilayer record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultilayerRecord {
+    /// Event-level, time-invariant context.
+    pub context: TimeInvariantContext,
+    /// Frame-level, time-variant layers.
+    pub frames: Vec<TimeVariantLayers>,
+}
+
+impl MultilayerRecord {
+    /// The time-variant layer nearest to time `t` seconds (`None` for an
+    /// empty record).
+    pub fn at_time(&self, t: f64) -> Option<&TimeVariantLayers> {
+        self.frames
+            .iter()
+            .min_by(|a, b| {
+                (a.time - t)
+                    .abs()
+                    .partial_cmp(&(b.time - t).abs())
+                    .expect("finite times")
+            })
+    }
+
+    /// Frames whose overall happiness is at least `threshold` percent —
+    /// the "customer satisfaction" query of the smart-restaurant use
+    /// case.
+    pub fn happy_frames(&self, threshold: f64) -> Vec<usize> {
+        self.frames
+            .iter()
+            .filter(|f| f.overall_emotion.overall_happiness >= threshold)
+            .map(|f| f.frame)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overall_emotion::{fuse_emotions, EmotionEstimate, OverallEmotionConfig};
+    use dievent_emotion::Emotion;
+
+    fn record() -> MultilayerRecord {
+        let mut context = TimeInvariantContext {
+            location: "IRIT meeting room".into(),
+            date: "2018-04-16".into(),
+            occasion: "working lunch".into(),
+            menu: vec!["salad".into(), "pasta".into()],
+            participants: 4,
+            participant_names: (1..=4).map(|i| format!("P{i}")).collect(),
+            temperature_c: Some(21.5),
+            relations: Vec::new(),
+        };
+        context.set_relation(0, 2, SocialRelation::Colleagues);
+        context.set_relation(3, 1, SocialRelation::Strangers);
+
+        let cfg = OverallEmotionConfig { participants: 4, smoothing: 0.0 };
+        let frames = (0..10)
+            .map(|f| {
+                let emotion = if f < 5 { Emotion::Neutral } else { Emotion::Happy };
+                let ests: Vec<_> = (0..4).map(|p| EmotionEstimate::hard(p, emotion, 1.0)).collect();
+                TimeVariantLayers {
+                    frame: f,
+                    // Exact binary fractions so the JSON round-trip test
+                    // can use strict equality.
+                    time: f as f64 * 0.25,
+                    lookat: LookAtMatrix::zero(4),
+                    overall_emotion: fuse_emotions(&ests, &cfg),
+                }
+            })
+            .collect();
+        MultilayerRecord { context, frames }
+    }
+
+    #[test]
+    fn relations_are_symmetric() {
+        let r = record();
+        assert_eq!(r.context.relation(0, 2), Some(&SocialRelation::Colleagues));
+        assert_eq!(r.context.relation(2, 0), Some(&SocialRelation::Colleagues));
+        assert_eq!(r.context.relation(1, 3), Some(&SocialRelation::Strangers));
+        assert_eq!(r.context.relation(0, 1), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_relation_panics() {
+        let mut c = TimeInvariantContext { participants: 2, ..Default::default() };
+        c.set_relation(1, 1, SocialRelation::Friends);
+    }
+
+    #[test]
+    fn at_time_picks_nearest_frame() {
+        let r = record();
+        assert_eq!(r.at_time(0.0).unwrap().frame, 0);
+        assert_eq!(r.at_time(1.2).unwrap().frame, 5);
+        assert_eq!(r.at_time(99.0).unwrap().frame, 9);
+        let empty = MultilayerRecord { context: Default::default(), frames: vec![] };
+        assert!(empty.at_time(1.0).is_none());
+    }
+
+    #[test]
+    fn happy_frames_query() {
+        let r = record();
+        assert_eq!(r.happy_frames(90.0), vec![5, 6, 7, 8, 9]);
+        assert_eq!(r.happy_frames(101.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn record_serializes_round_trip() {
+        let r = record();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MultilayerRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

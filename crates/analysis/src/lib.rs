@@ -1,0 +1,51 @@
+//! Multilayer analysis for the DiEvent framework (paper §II-D).
+//!
+//! This crate is the paper's primary contribution: fusing per-camera
+//! face observations into a common reference frame (Eq. 1–2), building
+//! the per-frame **look-at matrix** by ray–sphere eye-contact tests
+//! (Eq. 3–5), detecting mutual eye contact, estimating the **overall
+//! emotion** of the group (Fig. 5), and organizing everything into
+//! time-variant and time-invariant analysis layers backed by the
+//! metadata repository.
+//!
+//! * [`observation`] — frame-level inputs: per-camera and fused
+//!   world-frame participant poses;
+//! * [`fusion`] — multi-camera fusion into the common world frame;
+//! * [`lookat`] — look-at matrices, their summaries (Fig. 9), and eye
+//!   contact (Fig. 4, 7, 8);
+//! * [`smoothing`] — temporal majority-vote smoothing of matrices;
+//! * [`ec_stats`] — eye-contact episode statistics (the Argyle–Dean
+//!   indicators the paper cites: topic nature, pair affinity);
+//! * [`social`] — joining EC statistics with declared relationships
+//!   (the "social dimensions" of §II-E);
+//! * [`dominance`] — dominance ranking from received looks;
+//! * [`overall_emotion`] — group-emotion fusion and the OH series;
+//! * [`layers`] — the multilayer record: time-invariant context plus
+//!   time-variant measurements per frame;
+//! * [`validate`] — precision/recall of detected matrices against
+//!   ground truth (the paper's stated future-work validation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dominance;
+pub mod ec_stats;
+pub mod fusion;
+pub mod layers;
+pub mod lookat;
+pub mod observation;
+pub mod overall_emotion;
+pub mod smoothing;
+pub mod social;
+pub mod validate;
+
+pub use dominance::{dominance_ranking, DominanceReport};
+pub use ec_stats::{ec_episodes, pair_statistics, EcEpisode, PairStats};
+pub use fusion::{fuse_frame, FusionConfig};
+pub use layers::{MultilayerRecord, TimeInvariantContext, TimeVariantLayers};
+pub use lookat::{GazeCriterion, LookAtConfig, LookAtMatrix, LookAtSummary};
+pub use observation::{CameraObservation, FrameObservations, ParticipantPose};
+pub use overall_emotion::{EmotionEstimate, OverallEmotion, OverallEmotionConfig};
+pub use smoothing::smooth_matrices;
+pub use social::{relation_profiles, RelationProfile};
+pub use validate::{validate_sequence, MatrixValidation};

@@ -1,0 +1,473 @@
+//! Look-at matrices and eye-contact detection (paper §II-D-1).
+//!
+//! The per-frame **look-at matrix** is the paper's central data
+//! structure (Fig. 4): an `n×n` binary matrix with `m[x][y] = 1` when
+//! participant `x` looks at participant `y`, filled by `n(n−1)`
+//! ray–sphere tests (Eq. 3–5). **Eye contact** between `x` and `y`
+//! requires both `m[x][y]` and `m[y][x]`. Summing the matrices over a
+//! video gives the Fig. 9 summary, whose column sums identify the
+//! "dominant" participant.
+
+use crate::observation::ParticipantPose;
+use dievent_geometry::Sphere;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a gaze ray is tested against a potential target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GazeCriterion {
+    /// The paper's Eq. 3–5 formulation: the ray must pierce a sphere of
+    /// [`LookAtConfig::attention_radius`] around the target's head.
+    /// Distance-dependent: the same angular error passes at close range
+    /// and fails far away.
+    SphereHit,
+    /// A visual-attention cone: the angle between the gaze and the
+    /// direction to the target's head must not exceed `half_angle`
+    /// (radians). Distance-independent; the `ablation_criterion` bench
+    /// compares the two.
+    Cone {
+        /// Cone half-angle in radians.
+        half_angle: f64,
+    },
+}
+
+/// Parameters of the eye-contact geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LookAtConfig {
+    /// Radius of the attention sphere around each head (the paper's
+    /// `r` in Eq. 3). Larger values tolerate more gaze-estimation error
+    /// but blur adjacent targets; the `ablation_head_radius` bench
+    /// sweeps this. Only used by [`GazeCriterion::SphereHit`].
+    pub attention_radius: f64,
+    /// When `true`, a gaze may only be credited to the *nearest*
+    /// intersected head (no looking through people). The paper's
+    /// formulation marks every intersected sphere; nearest-hit is the
+    /// physically meaningful refinement and the default.
+    pub nearest_hit_only: bool,
+    /// The per-target test (the paper's sphere by default).
+    pub criterion: GazeCriterion,
+}
+
+impl Default for LookAtConfig {
+    fn default() -> Self {
+        LookAtConfig {
+            attention_radius: 0.30,
+            nearest_hit_only: true,
+            criterion: GazeCriterion::SphereHit,
+        }
+    }
+}
+
+/// An `n×n` binary look-at matrix for one frame.
+///
+/// Rows are gazers, columns are targets, indexed by participant index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookAtMatrix {
+    n: usize,
+    cells: Vec<u8>,
+}
+
+impl LookAtMatrix {
+    /// An all-zero matrix over `n` participants.
+    pub fn zero(n: usize) -> Self {
+        LookAtMatrix { n, cells: vec![0; n * n] }
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for a 0-participant matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Cell `(gazer, target)`.
+    ///
+    /// # Panics
+    /// Panics when out of range.
+    pub fn get(&self, gazer: usize, target: usize) -> u8 {
+        assert!(gazer < self.n && target < self.n);
+        self.cells[gazer * self.n + target]
+    }
+
+    /// Sets cell `(gazer, target)`.
+    ///
+    /// # Panics
+    /// Panics when out of range or `gazer == target`.
+    pub fn set(&mut self, gazer: usize, target: usize, v: u8) {
+        assert!(gazer < self.n && target < self.n);
+        assert_ne!(gazer, target, "diagonal must stay zero");
+        self.cells[gazer * self.n + target] = v.min(1);
+    }
+
+    /// Builds the matrix from fused world-frame poses.
+    ///
+    /// Participants are addressed by their `person` index; the matrix is
+    /// sized by `n` (persons with indexes ≥ `n` are ignored). A person
+    /// missing from `poses`, or present without a gaze estimate,
+    /// contributes an all-zero row; a missing person also cannot be
+    /// looked at (their head position is unknown).
+    pub fn from_poses(n: usize, poses: &[ParticipantPose], config: &LookAtConfig) -> Self {
+        let mut m = LookAtMatrix::zero(n);
+        for gazer in poses.iter().filter(|p| p.person < n) {
+            let Some(ray) = gazer.gaze_ray() else { continue };
+            // `best` ranks hits: ray distance for SphereHit (nearest
+            // head wins), angular deviation for Cone (best-aimed wins).
+            let mut best: Option<(usize, f64)> = None;
+            for target in poses.iter().filter(|p| p.person < n) {
+                if target.person == gazer.person {
+                    continue;
+                }
+                let score = match config.criterion {
+                    GazeCriterion::SphereHit => {
+                        let sphere = Sphere::new(target.head, config.attention_radius);
+                        sphere.intersect_ray(&ray).map(|hit| hit.d_near.max(0.0))
+                    }
+                    GazeCriterion::Cone { half_angle } => {
+                        let dev = ray.angular_deviation_to(target.head);
+                        (dev <= half_angle).then_some(dev)
+                    }
+                };
+                let Some(score) = score else { continue };
+                if config.nearest_hit_only {
+                    if best.is_none_or(|(_, b)| score < b) {
+                        best = Some((target.person, score));
+                    }
+                } else {
+                    m.set(gazer.person, target.person, 1);
+                }
+            }
+            if config.nearest_hit_only {
+                if let Some((t, _)) = best {
+                    m.set(gazer.person, t, 1);
+                }
+            }
+        }
+        m
+    }
+
+    /// Pairs `(x, y)` with `x < y` in mutual eye contact:
+    /// `m[x][y] = m[y][x] = 1`.
+    pub fn eye_contacts(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for x in 0..self.n {
+            for y in x + 1..self.n {
+                if self.get(x, y) == 1 && self.get(y, x) == 1 {
+                    out.push((x, y));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of 1-cells (total directed looks this frame).
+    pub fn count_ones(&self) -> usize {
+        self.cells.iter().filter(|&&c| c == 1).count()
+    }
+}
+
+impl fmt::Display for LookAtMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for g in 0..self.n {
+            for t in 0..self.n {
+                write!(f, "{} ", self.get(g, t))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Accumulated look-at counts over many frames (the Fig. 9 summary).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookAtSummary {
+    n: usize,
+    counts: Vec<u32>,
+    frames: usize,
+}
+
+impl LookAtSummary {
+    /// An empty summary over `n` participants.
+    pub fn new(n: usize) -> Self {
+        LookAtSummary { n, counts: vec![0; n * n], frames: 0 }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Number of accumulated frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Adds one frame's matrix.
+    ///
+    /// # Panics
+    /// Panics on size mismatch.
+    pub fn add(&mut self, m: &LookAtMatrix) {
+        assert_eq!(m.len(), self.n, "matrix size mismatch");
+        for (c, &v) in self.counts.iter_mut().zip(&m.cells) {
+            *c += v as u32;
+        }
+        self.frames += 1;
+    }
+
+    /// Count at `(gazer, target)`.
+    pub fn get(&self, gazer: usize, target: usize) -> u32 {
+        self.counts[gazer * self.n + target]
+    }
+
+    /// Column sum: total looks *received* by `target` — the paper's
+    /// dominance measure ("the yellow participant is the dominant of
+    /// the meeting since the summation of the participant P1 column is
+    /// the maximum").
+    pub fn received(&self, target: usize) -> u32 {
+        (0..self.n).map(|g| self.get(g, target)).sum()
+    }
+
+    /// Row sum: total looks *given* by `gazer`.
+    pub fn given(&self, gazer: usize) -> u32 {
+        (0..self.n).map(|t| self.get(gazer, t)).sum()
+    }
+
+    /// The matrix as rows of counts (for printing / serialization).
+    pub fn rows(&self) -> Vec<Vec<u32>> {
+        (0..self.n)
+            .map(|g| (0..self.n).map(|t| self.get(g, t)).collect())
+            .collect()
+    }
+}
+
+impl fmt::Display for LookAtSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "      ")?;
+        for t in 0..self.n {
+            write!(f, "{:>6}", format!("P{}", t + 1))?;
+        }
+        writeln!(f)?;
+        for g in 0..self.n {
+            write!(f, "{:>6}", format!("P{}", g + 1))?;
+            for t in 0..self.n {
+                write!(f, "{:>6}", self.get(g, t))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dievent_geometry::Vec3;
+
+    fn pose(person: usize, head: Vec3, gaze: Option<Vec3>) -> ParticipantPose {
+        ParticipantPose { person, head, gaze, support: 1 }
+    }
+
+    /// Four participants at the corners of a square, like Fig. 4.
+    fn square() -> Vec<Vec3> {
+        vec![
+            Vec3::new(0.0, 0.0, 1.2),
+            Vec3::new(2.0, 0.0, 1.2),
+            Vec3::new(2.0, 2.0, 1.2),
+            Vec3::new(0.0, 2.0, 1.2),
+        ]
+    }
+
+    #[test]
+    fn fig4_example_ec_between_p2_and_p4() {
+        // Fig. 4's matrix: EC holds between P2 and P4 because both
+        // (2,4) and (4,2) cells are 1.
+        let h = square();
+        let poses = vec![
+            pose(0, h[0], Some((h[1] - h[0]).normalized())), // P1 → P2
+            pose(1, h[1], Some((h[3] - h[1]).normalized())), // P2 → P4
+            pose(2, h[2], Some((h[0] - h[2]).normalized())), // P3 → P1
+            pose(3, h[3], Some((h[1] - h[3]).normalized())), // P4 → P2
+        ];
+        let m = LookAtMatrix::from_poses(4, &poses, &LookAtConfig::default());
+        assert_eq!(m.get(1, 3), 1);
+        assert_eq!(m.get(3, 1), 1);
+        assert_eq!(m.eye_contacts(), vec![(1, 3)]);
+        // P1 → P2 is one-directional: no EC.
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(1, 0), 0);
+    }
+
+    #[test]
+    fn diagonal_always_zero() {
+        let h = square();
+        let poses: Vec<_> = (0..4)
+            .map(|i| pose(i, h[i], Some(Vec3::X)))
+            .collect();
+        let m = LookAtMatrix::from_poses(4, &poses, &LookAtConfig::default());
+        for i in 0..4 {
+            assert_eq!(m.get(i, i), 0);
+        }
+    }
+
+    #[test]
+    fn missing_gaze_gives_empty_row() {
+        let h = square();
+        let poses = vec![
+            pose(0, h[0], None),
+            pose(1, h[1], Some((h[0] - h[1]).normalized())),
+        ];
+        let m = LookAtMatrix::from_poses(4, &poses, &LookAtConfig::default());
+        assert_eq!((0..4).map(|t| m.get(0, t) as u32).sum::<u32>(), 0);
+        assert_eq!(m.get(1, 0), 1);
+    }
+
+    #[test]
+    fn gaze_missing_everyone_gives_empty_matrix() {
+        let h = square();
+        let poses = vec![
+            pose(0, h[0], Some(Vec3::Z)), // looking at the ceiling
+            pose(1, h[1], Some(-Vec3::Z)),
+        ];
+        let m = LookAtMatrix::from_poses(4, &poses, &LookAtConfig::default());
+        assert_eq!(m.count_ones(), 0);
+    }
+
+    #[test]
+    fn nearest_hit_blocks_looking_through() {
+        let a = Vec3::new(0.0, 0.0, 1.2);
+        let b = Vec3::new(1.0, 0.0, 1.2);
+        let c = Vec3::new(2.0, 0.0, 1.2);
+        let poses = vec![
+            pose(0, a, Some(Vec3::X)),
+            pose(1, b, None),
+            pose(2, c, None),
+        ];
+        let near = LookAtMatrix::from_poses(3, &poses, &LookAtConfig::default());
+        assert_eq!(near.get(0, 1), 1);
+        assert_eq!(near.get(0, 2), 0);
+        // Paper-literal mode marks both.
+        let all = LookAtMatrix::from_poses(
+            3,
+            &poses,
+            &LookAtConfig { nearest_hit_only: false, ..LookAtConfig::default() },
+        );
+        assert_eq!(all.get(0, 1), 1);
+        assert_eq!(all.get(0, 2), 1);
+    }
+
+    #[test]
+    fn radius_widens_acceptance() {
+        let a = Vec3::new(0.0, 0.0, 1.2);
+        let b = Vec3::new(2.0, 0.0, 1.2);
+        // Gaze off-target by ~8.5°: misses a 0.15 m sphere at 2 m but
+        // hits a 0.45 m one.
+        let gaze = Vec3::new(1.0, 0.15, 0.0).normalized();
+        let poses = vec![pose(0, a, Some(gaze)), pose(1, b, None)];
+        let tight = LookAtMatrix::from_poses(
+            2,
+            &poses,
+            &LookAtConfig { attention_radius: 0.15, ..LookAtConfig::default() },
+        );
+        assert_eq!(tight.get(0, 1), 0);
+        let wide = LookAtMatrix::from_poses(
+            2,
+            &poses,
+            &LookAtConfig { attention_radius: 0.45, ..LookAtConfig::default() },
+        );
+        assert_eq!(wide.get(0, 1), 1);
+    }
+
+    #[test]
+    fn cone_criterion_is_distance_independent() {
+        let a = Vec3::new(0.0, 0.0, 1.2);
+        let near = Vec3::new(1.0, 0.10, 1.2); // ~5.7° off at 1 m
+        let far = Vec3::new(4.0, 0.40, 1.2); // ~5.7° off at 4 m
+        let gaze = Vec3::X;
+        let mk = |target: Vec3, person: usize| ParticipantPose {
+            person,
+            head: target,
+            gaze: None,
+            support: 1,
+        };
+        let gazer = ParticipantPose { person: 0, head: a, gaze: Some(gaze), support: 1 };
+
+        // Sphere (r = 0.3): hits the near head (perp 0.10 < 0.3) and the
+        // far one too (perp 0.40 > 0.3 → miss). Distance matters.
+        let sphere_cfg = LookAtConfig::default();
+        let m_near = LookAtMatrix::from_poses(2, &[gazer, mk(near, 1)], &sphere_cfg);
+        let m_far = LookAtMatrix::from_poses(2, &[gazer, mk(far, 1)], &sphere_cfg);
+        assert_eq!(m_near.get(0, 1), 1);
+        assert_eq!(m_far.get(0, 1), 0);
+
+        // Cone (8°): both pass — same angle, any distance.
+        let cone_cfg = LookAtConfig {
+            criterion: GazeCriterion::Cone { half_angle: 8f64.to_radians() },
+            ..LookAtConfig::default()
+        };
+        let c_near = LookAtMatrix::from_poses(2, &[gazer, mk(near, 1)], &cone_cfg);
+        let c_far = LookAtMatrix::from_poses(2, &[gazer, mk(far, 1)], &cone_cfg);
+        assert_eq!(c_near.get(0, 1), 1);
+        assert_eq!(c_far.get(0, 1), 1);
+    }
+
+    #[test]
+    fn cone_nearest_picks_best_aimed_target() {
+        let a = Vec3::new(0.0, 0.0, 1.2);
+        let close_off = Vec3::new(1.0, 0.12, 1.2); // 6.8° off
+        let aligned = Vec3::new(3.0, 0.05, 1.2); // 0.95° off
+        let gazer = ParticipantPose { person: 0, head: a, gaze: Some(Vec3::X), support: 1 };
+        let p1 = ParticipantPose { person: 1, head: close_off, gaze: None, support: 1 };
+        let p2 = ParticipantPose { person: 2, head: aligned, gaze: None, support: 1 };
+        let cfg = LookAtConfig {
+            criterion: GazeCriterion::Cone { half_angle: 10f64.to_radians() },
+            ..LookAtConfig::default()
+        };
+        let m = LookAtMatrix::from_poses(3, &[gazer, p1, p2], &cfg);
+        assert_eq!(m.get(0, 2), 1, "best-aimed target wins under the cone");
+        assert_eq!(m.get(0, 1), 0);
+    }
+
+    #[test]
+    fn summary_accumulates_and_ranks() {
+        let h = square();
+        let mut s = LookAtSummary::new(4);
+        // 3 frames of P2,P3,P4 → P1 and P1 → P2.
+        for _ in 0..3 {
+            let poses = vec![
+                pose(0, h[0], Some((h[1] - h[0]).normalized())),
+                pose(1, h[1], Some((h[0] - h[1]).normalized())),
+                pose(2, h[2], Some((h[0] - h[2]).normalized())),
+                pose(3, h[3], Some((h[0] - h[3]).normalized())),
+            ];
+            s.add(&LookAtMatrix::from_poses(4, &poses, &LookAtConfig::default()));
+        }
+        assert_eq!(s.frames(), 3);
+        assert_eq!(s.get(1, 0), 3);
+        assert_eq!(s.received(0), 9, "P1 received all looks");
+        assert_eq!(s.received(1), 3);
+        assert_eq!(s.given(0), 3);
+        let rows = s.rows();
+        assert_eq!(rows[2][0], 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut m = LookAtMatrix::zero(2);
+        m.set(0, 1, 1);
+        let text = m.to_string();
+        assert!(text.contains("0 1"));
+        let mut s = LookAtSummary::new(2);
+        s.add(&m);
+        let st = s.to_string();
+        assert!(st.contains("P1") && st.contains("P2"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn setting_diagonal_panics() {
+        let mut m = LookAtMatrix::zero(3);
+        m.set(1, 1, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Frame-level observation types consumed by the analysis.
+//!
+//! The vision substrate produces per-camera measurements in each
+//! camera's own frame (`F1`, `F2`, … in the paper's notation). The
+//! analysis first brings them into one common world frame via each
+//! camera's calibrated pose (`ʷT_c`, Eq. 1–2), then fuses duplicates.
+
+use dievent_geometry::{Iso3, Ray, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// One person as seen by one camera, in that camera's optical frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraObservation {
+    /// Participant index (resolved by recognition/tracking).
+    pub person: usize,
+    /// Head centre in the camera frame (metres).
+    pub head_cam: Vec3,
+    /// Unit gaze direction in the camera frame, when the face was
+    /// camera-facing enough to estimate it.
+    pub gaze_cam: Option<Vec3>,
+    /// Detection confidence / quality weight in `(0, 1]`.
+    pub weight: f64,
+}
+
+/// All observations of one video frame across the whole rig.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FrameObservations {
+    /// Per-camera entries: the camera's world pose `ʷT_c` plus what it
+    /// saw this frame.
+    pub cameras: Vec<(Iso3, Vec<CameraObservation>)>,
+}
+
+impl FrameObservations {
+    /// Total number of per-camera person sightings.
+    pub fn sightings(&self) -> usize {
+        self.cameras.iter().map(|(_, v)| v.len()).sum()
+    }
+}
+
+/// A fused, world-frame participant pose for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParticipantPose {
+    /// Participant index.
+    pub person: usize,
+    /// Head centre in world coordinates.
+    pub head: Vec3,
+    /// Unit gaze direction in world coordinates, when any camera
+    /// estimated one.
+    pub gaze: Option<Vec3>,
+    /// Number of cameras that contributed.
+    pub support: usize,
+}
+
+impl ParticipantPose {
+    /// The gaze ray of this participant, when a gaze is available.
+    pub fn gaze_ray(&self) -> Option<Ray> {
+        self.gaze.map(|g| Ray::new(self.head, g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sightings_counts_across_cameras() {
+        let obs = FrameObservations {
+            cameras: vec![
+                (
+                    Iso3::IDENTITY,
+                    vec![CameraObservation {
+                        person: 0,
+                        head_cam: Vec3::new(0.0, 0.0, 2.0),
+                        gaze_cam: None,
+                        weight: 1.0,
+                    }],
+                ),
+                (Iso3::IDENTITY, vec![]),
+            ],
+        };
+        assert_eq!(obs.sightings(), 1);
+        assert_eq!(FrameObservations::default().sightings(), 0);
+    }
+
+    #[test]
+    fn gaze_ray_requires_gaze() {
+        let mut p = ParticipantPose {
+            person: 0,
+            head: Vec3::new(1.0, 2.0, 1.2),
+            gaze: None,
+            support: 1,
+        };
+        assert!(p.gaze_ray().is_none());
+        p.gaze = Some(Vec3::X);
+        let r = p.gaze_ray().unwrap();
+        assert!(r.origin.approx_eq(p.head, 1e-12));
+        assert!(r.dir.approx_eq(Vec3::X, 1e-12));
+    }
+}

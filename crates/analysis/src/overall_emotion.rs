@@ -1,0 +1,235 @@
+//! Overall emotion estimation (paper §II-D-2, Fig. 5).
+//!
+//! "To estimate the general satisfaction of the participants, we need
+//! to evaluate the participant's overall emotion. So, we fuse various
+//! sources of information where the face recognition method, emotion
+//! recognition, and the number of participants are combined to track
+//! the participant's feeling state."
+//!
+//! Per frame, each recognized participant contributes their emotion
+//! distribution (weighted by classifier confidence); fusing over the
+//! known number of participants yields the group's emotion mix, the
+//! **overall happiness** (OH, the percentage Fig. 5 shows) and a
+//! valence score. An exponential moving average smooths the series into
+//! the "feeling state" trajectory.
+
+use dievent_emotion::Emotion;
+use serde::{Deserialize, Serialize};
+
+/// One participant's emotion estimate in one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmotionEstimate {
+    /// Participant index (from face recognition).
+    pub person: usize,
+    /// Probability per emotion, indexed by [`Emotion::index`]. Need not
+    /// be normalized; it is renormalized internally.
+    pub probabilities: Vec<f64>,
+    /// Classifier confidence weight in `(0, 1]`.
+    pub confidence: f64,
+}
+
+impl EmotionEstimate {
+    /// A hard single-emotion estimate.
+    pub fn hard(person: usize, emotion: Emotion, confidence: f64) -> Self {
+        let mut probabilities = vec![0.0; Emotion::COUNT];
+        probabilities[emotion.index()] = 1.0;
+        EmotionEstimate { person, probabilities, confidence }
+    }
+}
+
+/// Fusion tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverallEmotionConfig {
+    /// Total number of participants (external information, per the
+    /// paper). Participants unseen this frame contribute a neutral
+    /// prior so one visible happy face cannot claim the whole group.
+    pub participants: usize,
+    /// EMA coefficient for temporal smoothing in `[0, 1)`; 0 disables
+    /// smoothing.
+    pub smoothing: f64,
+}
+
+impl Default for OverallEmotionConfig {
+    fn default() -> Self {
+        OverallEmotionConfig { participants: 4, smoothing: 0.9 }
+    }
+}
+
+/// The fused group emotion for one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverallEmotion {
+    /// Group mix per emotion, indexed by [`Emotion::index`]; sums to 1.
+    pub mix: Vec<f64>,
+    /// Overall happiness percentage (the paper's `OH`), in `[0, 100]`.
+    pub overall_happiness: f64,
+    /// Mean valence in `[−1, 1]` (satisfaction scalar).
+    pub valence: f64,
+    /// How many participants were actually observed this frame.
+    pub observed: usize,
+}
+
+/// Fuses one frame of per-participant estimates.
+///
+/// # Panics
+/// Panics when an estimate's distribution has the wrong length or a
+/// person index repeats.
+pub fn fuse_emotions(estimates: &[EmotionEstimate], config: &OverallEmotionConfig) -> OverallEmotion {
+    let n = config.participants.max(1);
+    let mut seen = vec![false; n.max(estimates.iter().map(|e| e.person + 1).max().unwrap_or(0))];
+    let mut mix = vec![0.0f64; Emotion::COUNT];
+    let mut contributors = 0.0f64;
+    let mut observed = 0usize;
+
+    for est in estimates {
+        assert_eq!(est.probabilities.len(), Emotion::COUNT, "distribution length");
+        assert!(!seen[est.person], "duplicate estimate for P{}", est.person + 1);
+        seen[est.person] = true;
+        observed += 1;
+        let total: f64 = est.probabilities.iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let w = est.confidence.clamp(1e-6, 1.0);
+        for (m, &p) in mix.iter_mut().zip(&est.probabilities) {
+            *m += w * p / total;
+        }
+        contributors += w;
+    }
+
+    // Unseen participants contribute a neutral prior with unit weight.
+    let unseen = n.saturating_sub(observed) as f64;
+    mix[Emotion::Neutral.index()] += unseen;
+    contributors += unseen;
+
+    if contributors > 0.0 {
+        for m in &mut mix {
+            *m /= contributors;
+        }
+    }
+
+    let overall_happiness = mix[Emotion::Happy.index()] * 100.0;
+    let valence = Emotion::ALL
+        .iter()
+        .map(|&e| mix[e.index()] * e.valence())
+        .sum();
+
+    OverallEmotion { mix, overall_happiness, valence, observed }
+}
+
+/// Fuses a whole sequence and applies EMA smoothing to the OH and
+/// valence series. Returns one [`OverallEmotion`] per frame with the
+/// smoothed values substituted in.
+pub fn fuse_sequence(
+    frames: &[Vec<EmotionEstimate>],
+    config: &OverallEmotionConfig,
+) -> Vec<OverallEmotion> {
+    let alpha = config.smoothing.clamp(0.0, 0.999);
+    let mut out = Vec::with_capacity(frames.len());
+    let mut oh_state: Option<f64> = None;
+    let mut val_state: Option<f64> = None;
+    for ests in frames {
+        let mut fused = fuse_emotions(ests, config);
+        if alpha > 0.0 {
+            let oh = oh_state.map_or(fused.overall_happiness, |s| {
+                alpha * s + (1.0 - alpha) * fused.overall_happiness
+            });
+            let v = val_state.map_or(fused.valence, |s| alpha * s + (1.0 - alpha) * fused.valence);
+            oh_state = Some(oh);
+            val_state = Some(v);
+            fused.overall_happiness = oh;
+            fused.valence = v;
+        }
+        out.push(fused);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> OverallEmotionConfig {
+        OverallEmotionConfig { participants: n, smoothing: 0.0 }
+    }
+
+    #[test]
+    fn all_happy_gives_full_oh() {
+        let ests: Vec<_> = (0..4)
+            .map(|p| EmotionEstimate::hard(p, Emotion::Happy, 1.0))
+            .collect();
+        let o = fuse_emotions(&ests, &cfg(4));
+        assert!((o.overall_happiness - 100.0).abs() < 1e-9);
+        assert!((o.valence - 1.0).abs() < 1e-9);
+        assert_eq!(o.observed, 4);
+        assert!((o.mix.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_happy_half_sad() {
+        let ests = vec![
+            EmotionEstimate::hard(0, Emotion::Happy, 1.0),
+            EmotionEstimate::hard(1, Emotion::Sad, 1.0),
+        ];
+        let o = fuse_emotions(&ests, &cfg(2));
+        assert!((o.overall_happiness - 50.0).abs() < 1e-9);
+        assert!((o.valence - (1.0 - 0.7) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_participants_dilute_with_neutral() {
+        // One happy face out of four participants: OH = 25%, not 100%.
+        let ests = vec![EmotionEstimate::hard(0, Emotion::Happy, 1.0)];
+        let o = fuse_emotions(&ests, &cfg(4));
+        assert!((o.overall_happiness - 25.0).abs() < 1e-9);
+        assert_eq!(o.observed, 1);
+        assert!(o.mix[Emotion::Neutral.index()] > 0.7);
+    }
+
+    #[test]
+    fn confidence_weights_contributions() {
+        let ests = vec![
+            EmotionEstimate::hard(0, Emotion::Happy, 1.0),
+            EmotionEstimate::hard(1, Emotion::Disgust, 0.25),
+        ];
+        let o = fuse_emotions(&ests, &cfg(2));
+        // Happy weighted 4× disgust.
+        assert!((o.overall_happiness - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soft_distributions_accepted() {
+        let mut probs = vec![0.0; Emotion::COUNT];
+        probs[Emotion::Happy.index()] = 2.0; // unnormalized on purpose
+        probs[Emotion::Neutral.index()] = 2.0;
+        let ests = vec![EmotionEstimate { person: 0, probabilities: probs, confidence: 1.0 }];
+        let o = fuse_emotions(&ests, &cfg(1));
+        assert!((o.overall_happiness - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_person_panics() {
+        let ests = vec![
+            EmotionEstimate::hard(0, Emotion::Happy, 1.0),
+            EmotionEstimate::hard(0, Emotion::Sad, 1.0),
+        ];
+        let _ = fuse_emotions(&ests, &cfg(2));
+    }
+
+    #[test]
+    fn ema_smooths_a_step() {
+        // 10 neutral frames then 10 all-happy frames.
+        let neutral: Vec<EmotionEstimate> = vec![EmotionEstimate::hard(0, Emotion::Neutral, 1.0)];
+        let happy: Vec<EmotionEstimate> = vec![EmotionEstimate::hard(0, Emotion::Happy, 1.0)];
+        let mut frames = vec![neutral; 10];
+        frames.extend(vec![happy; 10]);
+        let series = fuse_sequence(&frames, &OverallEmotionConfig { participants: 1, smoothing: 0.8 });
+        assert!(series[9].overall_happiness < 1.0);
+        assert!(series[10].overall_happiness > 10.0, "step starts rising");
+        assert!(series[10].overall_happiness < 50.0, "but smoothed");
+        assert!(series[19].overall_happiness > series[11].overall_happiness);
+        // Unsmoothed comparison.
+        let raw = fuse_sequence(&frames, &OverallEmotionConfig { participants: 1, smoothing: 0.0 });
+        assert!((raw[10].overall_happiness - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Temporal smoothing of look-at matrices.
+//!
+//! Per-frame detections flicker: a one-frame gaze mis-estimate breaks
+//! an eye-contact episode, a one-frame false hit invents one. A sliding
+//! majority vote over a small window removes both, at the cost of
+//! blurring transitions by half the window — the `ablation_mutual_window`
+//! bench quantifies the trade-off.
+
+use crate::lookat::LookAtMatrix;
+
+/// Sliding-window majority vote over a sequence of equally-sized
+/// matrices: output cell `(g, t)` at frame `f` is 1 when the cell is 1
+/// in strictly more than half of the frames within
+/// `[f − window/2, f + window/2]` (clamped at the ends).
+///
+/// `window = 0` or `1` returns the input unchanged. Output length
+/// equals input length.
+///
+/// # Panics
+/// Panics when matrices differ in size.
+pub fn smooth_matrices(seq: &[LookAtMatrix], window: usize) -> Vec<LookAtMatrix> {
+    if seq.is_empty() || window <= 1 {
+        return seq.to_vec();
+    }
+    let n = seq[0].len();
+    assert!(seq.iter().all(|m| m.len() == n), "matrix sizes must match");
+    let half = window / 2;
+    let mut out = Vec::with_capacity(seq.len());
+    for f in 0..seq.len() {
+        let lo = f.saturating_sub(half);
+        let hi = (f + half).min(seq.len() - 1);
+        let span = hi - lo + 1;
+        let mut m = LookAtMatrix::zero(n);
+        for g in 0..n {
+            for t in 0..n {
+                if g == t {
+                    continue;
+                }
+                let ones: usize = (lo..=hi).map(|k| seq[k].get(g, t) as usize).sum();
+                if ones * 2 > span {
+                    m.set(g, t, 1);
+                }
+            }
+        }
+        out.push(m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(n: usize, ones: &[(usize, usize)]) -> LookAtMatrix {
+        let mut m = LookAtMatrix::zero(n);
+        for &(g, t) in ones {
+            m.set(g, t, 1);
+        }
+        m
+    }
+
+    #[test]
+    fn empty_and_trivial_windows() {
+        assert!(smooth_matrices(&[], 5).is_empty());
+        let seq = vec![mat(2, &[(0, 1)])];
+        assert_eq!(smooth_matrices(&seq, 0), seq);
+        assert_eq!(smooth_matrices(&seq, 1), seq);
+    }
+
+    #[test]
+    fn single_frame_glitch_removed() {
+        // 0 1 0 0 0 — the lone 1 disappears with window 3.
+        let seq = vec![
+            mat(2, &[]),
+            mat(2, &[(0, 1)]),
+            mat(2, &[]),
+            mat(2, &[]),
+            mat(2, &[]),
+        ];
+        let sm = smooth_matrices(&seq, 3);
+        assert!(sm.iter().all(|m| m.get(0, 1) == 0));
+    }
+
+    #[test]
+    fn single_frame_dropout_bridged() {
+        // 1 1 0 1 1 — the gap is filled with window 3.
+        let on = mat(2, &[(0, 1)]);
+        let off = mat(2, &[]);
+        let seq = vec![on.clone(), on.clone(), off, on.clone(), on.clone()];
+        let sm = smooth_matrices(&seq, 3);
+        assert!(sm.iter().all(|m| m.get(0, 1) == 1), "gap must be bridged");
+    }
+
+    #[test]
+    fn sustained_state_preserved() {
+        let on = mat(3, &[(0, 1), (1, 0), (2, 0)]);
+        let seq = vec![on.clone(); 10];
+        let sm = smooth_matrices(&seq, 5);
+        assert_eq!(sm, seq);
+    }
+
+    #[test]
+    fn transition_shifted_by_at_most_half_window() {
+        // 10 frames off, 10 frames on.
+        let on = mat(2, &[(0, 1)]);
+        let off = mat(2, &[]);
+        let mut seq = vec![off; 10];
+        seq.extend(vec![on; 10]);
+        let sm = smooth_matrices(&seq, 5);
+        for (f, m) in sm.iter().enumerate() {
+            let expect = f >= 10; // true transition at frame 10
+            let got = m.get(0, 1) == 1;
+            if (f as i64 - 10).unsigned_abs() > 2 {
+                assert_eq!(got, expect, "frame {f} too far off");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sizes_panic() {
+        let seq = vec![mat(2, &[]), mat(3, &[])];
+        let _ = smooth_matrices(&seq, 3);
+    }
+}

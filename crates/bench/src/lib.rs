@@ -1,0 +1,173 @@
+//! Benchmark support for the DiEvent reproduction.
+//!
+//! The Criterion benches under `benches/` regenerate every evaluation
+//! artifact of the paper (Figures 2–9) and the ablations DESIGN.md
+//! calls out. This library holds the shared workload builders and
+//! measurement helpers so the bench files stay declarative.
+//!
+//! Two kinds of output are produced:
+//!
+//! * **figure rows** — printed to stderr before timing begins, showing
+//!   the reproduced values next to the paper's (shape comparison);
+//! * **Criterion timings** — the cost of the code path that produces
+//!   each figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dievent_analysis::{validate_sequence, LookAtConfig, LookAtMatrix, MatrixValidation};
+use dievent_geometry::{Mat3, Vec3};
+use dievent_scene::{GroundTruth, Scenario};
+
+/// Builds per-frame look-at matrices from ground truth with synthetic
+/// gaze noise: every gaze direction is rotated by `sigma_deg` (RMS,
+/// deterministic direction pattern) before the ray–sphere test — a
+/// model of the estimation error a vision front-end introduces.
+pub fn noisy_matrices(gt: &GroundTruth, sigma_deg: f64, radius: f64, seed: u64) -> Vec<LookAtMatrix> {
+    let cfg = LookAtConfig { attention_radius: radius, ..LookAtConfig::default() };
+    noisy_matrices_with(gt, sigma_deg, &cfg, seed)
+}
+
+/// Like [`noisy_matrices`] but with an arbitrary [`LookAtConfig`] —
+/// used by the criterion ablation (sphere vs cone).
+pub fn noisy_matrices_with(gt: &GroundTruth, sigma_deg: f64, cfg: &LookAtConfig, seed: u64) -> Vec<LookAtMatrix> {
+    let sigma = sigma_deg.to_radians();
+    gt.snapshots
+        .iter()
+        .enumerate()
+        .map(|(f, snap)| {
+            let poses: Vec<dievent_analysis::ParticipantPose> = snap
+                .states
+                .iter()
+                .enumerate()
+                .map(|(i, st)| {
+                    let gaze = if sigma > 0.0 {
+                        Some(perturb(st.gaze, sigma, seed ^ (f as u64) << 8 ^ i as u64))
+                    } else {
+                        Some(st.gaze)
+                    };
+                    dievent_analysis::ParticipantPose { person: i, head: st.head, gaze, support: 1 }
+                })
+                .collect();
+            LookAtMatrix::from_poses(snap.states.len(), &poses, cfg)
+        })
+        .collect()
+}
+
+/// Deterministically rotates `dir` by an angle of RMS magnitude `sigma`
+/// about a pseudo-random axis derived from `salt`.
+pub fn perturb(dir: Vec3, sigma: f64, salt: u64) -> Vec3 {
+    let h1 = splitmix(salt);
+    let h2 = splitmix(h1);
+    let h3 = splitmix(h2);
+    // Angle from an approximate normal (sum of uniforms), scaled to RMS sigma.
+    let u = |h: u64| (h >> 11) as f64 / (1u64 << 53) as f64;
+    // Sum of three uniforms scaled to zero mean, unit variance.
+    let angle = sigma * ((u(h1) + u(h2) + u(h3)) * 2.0 - 3.0);
+    // Axis orthogonal-ish to dir.
+    let raw_axis = Vec3::new(u(h2) - 0.5, u(h3) - 0.5, u(h1) - 0.5);
+    let axis = raw_axis
+        .reject_from(dir)
+        .try_normalized()
+        .unwrap_or(Vec3::Z);
+    (Mat3::rotation_axis_angle(axis, angle) * dir).normalized()
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Ground-truth matrices at the given radius (no noise).
+pub fn truth_matrices(gt: &GroundTruth, radius: f64) -> Vec<LookAtMatrix> {
+    noisy_matrices(gt, 0.0, radius, 0)
+}
+
+/// *Intended* (scripted) matrices of a scenario.
+pub fn intended_matrices(scenario: &Scenario) -> Vec<LookAtMatrix> {
+    let n = scenario.participants.len();
+    (0..scenario.frames())
+        .map(|f| {
+            let rows = scenario.schedule.lookat_matrix(f);
+            let mut m = LookAtMatrix::zero(n);
+            for (g, row) in rows.iter().enumerate() {
+                for (t, &v) in row.iter().enumerate() {
+                    if g != t && v == 1 {
+                        m.set(g, t, 1);
+                    }
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+/// F1 of `detected` against `truth`.
+pub fn f1(detected: &[LookAtMatrix], truth: &[LookAtMatrix]) -> MatrixValidation {
+    validate_sequence(detected, truth)
+}
+
+/// Prints one labelled row of a figure table to stderr.
+pub fn row(figure: &str, label: &str, value: impl std::fmt::Display) {
+    eprintln!("[{figure}] {label}: {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_matches_truth() {
+        let s = Scenario::two_camera_dinner(50, 1);
+        let gt = s.simulate();
+        let a = noisy_matrices(&gt, 0.0, 0.3, 1);
+        let b = truth_matrices(&gt, 0.3);
+        assert_eq!(a, b);
+        let v = f1(&a, &b);
+        assert_eq!(v.f1, 1.0);
+    }
+
+    #[test]
+    fn noise_degrades_f1_monotonically_in_expectation() {
+        let s = Scenario::prototype();
+        let gt = GroundTruth { snapshots: s.simulate().snapshots.into_iter().take(150).collect() };
+        let truth = truth_matrices(&gt, 0.3);
+        let f_small = f1(&noisy_matrices(&gt, 2.0, 0.3, 9), &truth).f1;
+        let f_large = f1(&noisy_matrices(&gt, 15.0, 0.3, 9), &truth).f1;
+        assert!(f_small > f_large, "2° {f_small} vs 15° {f_large}");
+        assert!(f_small > 0.9);
+    }
+
+    #[test]
+    fn perturb_angle_statistics() {
+        let mut sum_sq = 0.0;
+        let n = 2000;
+        for k in 0..n {
+            let p = perturb(Vec3::X, 0.1, k as u64);
+            let a = p.angle_to(Vec3::X);
+            sum_sq += a * a;
+            assert!((p.norm() - 1.0).abs() < 1e-9);
+        }
+        let rms = (sum_sq / n as f64).sqrt();
+        assert!((rms - 0.1).abs() < 0.02, "rms = {rms}");
+    }
+
+    #[test]
+    fn intended_matches_schedule_counts() {
+        let s = Scenario::prototype();
+        let mats = intended_matrices(&s);
+        let total: u32 = mats
+            .iter()
+            .map(|m| m.count_ones() as u32)
+            .sum();
+        let scripted: u32 = s
+            .schedule
+            .summary_matrix()
+            .iter()
+            .flatten()
+            .sum();
+        assert_eq!(total, scripted);
+    }
+}

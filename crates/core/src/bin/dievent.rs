@@ -1,0 +1,135 @@
+//! `dievent` — command-line front end for the DiEvent pipeline.
+//!
+//! ```text
+//! dievent prototype                 # the paper's §III prototype
+//! dievent dinner [FRAMES] [SEED]   # two-camera dinner (Fig. 2 rig)
+//! dievent restaurant N [FRAMES] [SEED]
+//!
+//! options (anywhere):
+//!   --json          print the analysis digest as JSON
+//!   --no-emotions   skip emotion classification
+//!   --no-parse      skip video composition analysis
+//!   --map T         print the look-at top view at T seconds (repeatable)
+//! ```
+
+use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
+use dievent_scene::Scenario;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    emotions: bool,
+    parse: bool,
+    maps: Vec<f64>,
+    positional: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        emotions: true,
+        parse: true,
+        maps: Vec::new(),
+        positional: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--no-emotions" => opts.emotions = false,
+            "--no-parse" => opts.parse = false,
+            "--map" => {
+                let t = args
+                    .next()
+                    .ok_or_else(|| "--map requires a time in seconds".to_owned())?;
+                opts.maps
+                    .push(t.parse::<f64>().map_err(|e| format!("--map {t}: {e}"))?);
+            }
+            "--help" | "-h" => {
+                return Err(USAGE.to_owned());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}\n{USAGE}"));
+            }
+            other => opts.positional.push(other.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: dievent <prototype | dinner [FRAMES] [SEED] | restaurant N [FRAMES] [SEED]> \
+[--json] [--no-emotions] [--no-parse] [--map T]...";
+
+fn scenario_from(positional: &[String]) -> Result<Scenario, String> {
+    let kind = positional.first().map(String::as_str).unwrap_or("prototype");
+    let num = |i: usize, default: usize| -> Result<usize, String> {
+        positional
+            .get(i)
+            .map(|s| s.parse::<usize>().map_err(|e| format!("{s}: {e}")))
+            .unwrap_or(Ok(default))
+    };
+    match kind {
+        "prototype" => Ok(Scenario::prototype()),
+        "dinner" => Ok(Scenario::two_camera_dinner(num(1, 250)?, num(2, 7)? as u64)),
+        "restaurant" => {
+            let n = num(1, 6)?;
+            Ok(Scenario::restaurant_dinner(n, num(2, 300)?, num(3, 7)? as u64))
+        }
+        other => Err(format!("unknown scenario {other}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match scenario_from(&opts.positional) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let positions: Vec<(f64, f64)> = scenario
+        .participants
+        .iter()
+        .map(|p| (p.seat_head.x, p.seat_head.y))
+        .collect();
+    eprintln!(
+        "analyzing '{}': {} participants, {} cameras, {} frames",
+        scenario.name,
+        scenario.participants.len(),
+        scenario.rig.len(),
+        scenario.frames()
+    );
+
+    let recording = Recording::capture(scenario);
+    let pipeline = DiEventPipeline::new(PipelineConfig {
+        classify_emotions: opts.emotions,
+        parse_video: opts.parse,
+        ..PipelineConfig::default()
+    });
+    let analysis = pipeline.run(&recording);
+
+    if opts.json {
+        match serde_json::to_string_pretty(&analysis.digest()) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", analysis.brief());
+        println!("\nlook-at summary matrix:\n{}", analysis.summary_table());
+    }
+    for &t in &opts.maps {
+        println!("{}", analysis.lookat_top_view(t, &positions));
+    }
+    ExitCode::SUCCESS
+}

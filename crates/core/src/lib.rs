@@ -1,0 +1,34 @@
+//! The DiEvent framework — end-to-end pipeline (paper Fig. 1).
+//!
+//! This crate wires the five pipeline stages together:
+//!
+//! 1. **Video acquisition platform** — [`acquisition`]: synthetic
+//!    multi-camera capture of a scenario (camera streams + external
+//!    time-invariant context);
+//! 2. **Video composition analysis** — via `dievent-video`'s parser on
+//!    a downsampled monitor stream;
+//! 3. **Feature extraction** — one `dievent-vision` extractor per
+//!    camera plus the LBP+MLP emotion classifier ([`training`]);
+//! 4. **Multilayer analysis** — fusion, look-at matrices, overall
+//!    emotion via `dievent-analysis`;
+//! 5. **Metadata repository** — everything stored and queryable via
+//!    `dievent-metadata`.
+//!
+//! The top-level entry point is [`pipeline::DiEventPipeline`]; its
+//! output, [`report::EventAnalysis`], carries every figure the paper's
+//! prototype reports (look-at maps, the summary matrix, dominance, OH
+//! series) plus validation metrics against the simulator's ground
+//! truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acquisition;
+pub mod pipeline;
+pub mod report;
+pub mod training;
+
+pub use acquisition::{CameraStream, Recording};
+pub use pipeline::{DiEventPipeline, PipelineConfig};
+pub use report::EventAnalysis;
+pub use training::{default_training_set, train_emotion_classifier, TrainingSetConfig};

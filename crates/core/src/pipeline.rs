@@ -1,0 +1,561 @@
+//! Stages 2–5: the DiEvent analysis pipeline.
+//!
+//! [`DiEventPipeline::run`] consumes a [`Recording`] and produces an
+//! [`EventAnalysis`]. Camera processing is parallel (one crossbeam
+//! scoped thread per camera — each is an independent "smart camera"
+//! running detection, landmarks, pose, tracking, recognition, and
+//! emotion classification); fusion and the multilayer analysis then run
+//! sequentially over the per-frame observations.
+//!
+//! Identity bootstrap follows the paper's stance that the participant
+//! count and seating are *external information* (§II-D-1: "n is given
+//! as an external information"): the first frame's detections are
+//! associated to seats by projected position, enrolling each
+//! participant's appearance in the camera's gallery; every later frame
+//! relies on appearance recognition alone.
+
+use crate::acquisition::Recording;
+use crate::report::{EventAnalysis, StageTimings};
+use crate::training::{train_emotion_classifier, TrainingSetConfig};
+use dievent_analysis::{
+    dominance_ranking, ec_episodes, fuse_frame, pair_statistics, smooth_matrices,
+    validate_sequence, CameraObservation, FrameObservations, FusionConfig, LookAtConfig,
+    LookAtMatrix, LookAtSummary,
+};
+use dievent_analysis::overall_emotion::{fuse_sequence, EmotionEstimate, OverallEmotionConfig};
+use dievent_emotion::EmotionClassifier;
+use dievent_metadata::{MetaRecord, MetadataRepository, RecordKind};
+use dievent_scene::Scenario;
+use dievent_summarize::{detect_highlights, importance_series, select_summary, HighlightConfig, ImportanceConfig, SummaryConfig};
+use dievent_video::{GrayFrame, VideoParser, VideoParserConfig};
+use dievent_vision::{ExtractorConfig, FaceGallery, FeatureExtractor, PersonId};
+use serde::{Deserialize, Serialize};
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Per-camera feature extraction settings.
+    pub extractor: ExtractorConfig,
+    /// Eye-contact geometry.
+    pub lookat: LookAtConfig,
+    /// Multi-camera fusion settings.
+    pub fusion: FusionConfig,
+    /// Temporal majority-vote window over look-at matrices (frames).
+    pub matrix_smoothing: usize,
+    /// EMA smoothing of the overall-emotion series.
+    pub emotion_smoothing: f64,
+    /// Video-parsing settings (applied to the camera-0 monitor stream).
+    pub parser: VideoParserConfig,
+    /// Emotion-classifier training-set settings.
+    pub training: TrainingSetConfig,
+    /// Seed for classifier training.
+    pub training_seed: u64,
+    /// Run emotion classification (disable for gaze-only benches).
+    pub classify_emotions: bool,
+    /// Run video composition analysis.
+    pub parse_video: bool,
+    /// Process cameras on parallel threads.
+    pub parallel_cameras: bool,
+    /// Highlight detection settings.
+    pub highlights: HighlightConfig,
+    /// Importance scoring settings.
+    pub importance: ImportanceConfig,
+    /// Summary selection settings.
+    pub summary: SummaryConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            extractor: ExtractorConfig::standard(),
+            lookat: LookAtConfig::default(),
+            fusion: FusionConfig::default(),
+            matrix_smoothing: 5,
+            emotion_smoothing: 0.85,
+            parser: VideoParserConfig::default(),
+            training: TrainingSetConfig::default(),
+            training_seed: 42,
+            classify_emotions: true,
+            parse_video: true,
+            parallel_cameras: true,
+            highlights: HighlightConfig::default(),
+            importance: ImportanceConfig::default(),
+            summary: SummaryConfig::default(),
+        }
+    }
+}
+
+/// One camera thread's per-frame output.
+struct CameraFrameOutput {
+    observations: Vec<CameraObservation>,
+    /// `(person, probabilities, confidence, apparent_radius)`
+    emotions: Vec<(usize, Vec<f64>, f64, f64)>,
+}
+
+/// The assembled DiEvent pipeline.
+pub struct DiEventPipeline {
+    config: PipelineConfig,
+    classifier: Option<EmotionClassifier>,
+}
+
+impl DiEventPipeline {
+    /// Builds the pipeline, training the emotion classifier when
+    /// classification is enabled.
+    pub fn new(config: PipelineConfig) -> Self {
+        let classifier = config
+            .classify_emotions
+            .then(|| train_emotion_classifier(&config.training, config.training_seed).0);
+        DiEventPipeline { config, classifier }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Enrolls participants into a camera's gallery from its first
+    /// frame, associating detections to seats by projected position.
+    fn enroll(
+        &self,
+        extractor: &mut FeatureExtractor,
+        scenario: &Scenario,
+        first_frame: &GrayFrame,
+    ) {
+        let camera = *extractor.camera();
+        // Tentative pass purely to get detections + patches.
+        let mut probe = FeatureExtractor::new(self.config.extractor, camera, FaceGallery::default());
+        let obs = probe.process(first_frame);
+        for o in obs {
+            // Match to the nearest seat by projection (external seating
+            // plan).
+            let mut best: Option<(usize, f64)> = None;
+            for p in &scenario.participants {
+                if let Some(proj) = camera.project(p.seat_head) {
+                    let d = (proj.pixel.x - o.detection.cx).hypot(proj.pixel.y - o.detection.cy);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((p.index, d));
+                    }
+                }
+            }
+            if let (Some((person, d)), Some(patch)) = (best, o.patch.as_ref()) {
+                // Only trust unambiguous associations.
+                if d < o.detection.radius * 2.0 {
+                    extractor
+                        .gallery_mut()
+                        .enroll(PersonId(person), &o.detection, patch);
+                }
+            }
+        }
+    }
+
+    /// Processes one camera over the whole recording.
+    fn run_camera(
+        &self,
+        recording: &Recording,
+        camera_index: usize,
+        monitor: bool,
+    ) -> (Vec<CameraFrameOutput>, Vec<GrayFrame>) {
+        let scenario = &recording.scenario;
+        let camera = scenario.rig.cameras[camera_index];
+        let mut extractor =
+            FeatureExtractor::new(self.config.extractor, camera, FaceGallery::default());
+        let first = recording.frame(camera_index, 0);
+        self.enroll(&mut extractor, scenario, &first);
+
+        let frames = recording.frames();
+        let mut outputs = Vec::with_capacity(frames);
+        let mut monitor_frames = Vec::new();
+        for f in 0..frames {
+            let frame = if f == 0 { first.clone() } else { recording.frame(camera_index, f) };
+            if monitor {
+                // Quarter-resolution monitor stream for video parsing.
+                monitor_frames.push(frame.downsample2().downsample2());
+            }
+            let obs = extractor.process(&frame);
+            let mut observations = Vec::new();
+            let mut emotions = Vec::new();
+            for o in &obs {
+                let Some((person, _dist)) = o.identity else { continue };
+                if let Some(pose) = &o.pose {
+                    observations.push(CameraObservation {
+                        person: person.0,
+                        head_cam: pose.head_cam,
+                        gaze_cam: Some(pose.gaze_cam),
+                        weight: 1.0,
+                    });
+                } else {
+                    // Position-only sighting (face turned away):
+                    // reconstruct camera-frame position from the
+                    // detection via the depth-from-radius model.
+                    let k = &extractor.camera().intrinsics;
+                    let z = k.fx * self.config.extractor.pose.head_radius_m / o.detection.radius;
+                    observations.push(CameraObservation {
+                        person: person.0,
+                        head_cam: dievent_geometry::Vec3::new(
+                            (o.detection.cx - k.cx) / k.fx * z,
+                            (o.detection.cy - k.cy) / k.fy * z,
+                            z,
+                        ),
+                        gaze_cam: None,
+                        weight: 0.5,
+                    });
+                }
+                if let (Some(clf), Some(patch)) = (&self.classifier, o.patch.as_ref()) {
+                    let pred = clf.classify(patch);
+                    emotions.push((
+                        person.0,
+                        pred.probabilities,
+                        pred.confidence,
+                        o.detection.radius,
+                    ));
+                }
+            }
+            outputs.push(CameraFrameOutput { observations, emotions });
+        }
+        (outputs, monitor_frames)
+    }
+
+    /// Runs the full pipeline on a recording.
+    pub fn run(&self, recording: &Recording) -> EventAnalysis {
+        let n_cameras = recording.cameras();
+        let n_participants = recording.scenario.participants.len();
+        let frames = recording.frames();
+
+        let mut timings = StageTimings::default();
+
+        // --- Stage 3: per-camera feature extraction (parallel). ---
+        let stage_start = std::time::Instant::now();
+        let mut per_camera: Vec<(Vec<CameraFrameOutput>, Vec<GrayFrame>)> =
+            Vec::with_capacity(n_cameras);
+        if self.config.parallel_cameras && n_cameras > 1 {
+            let results: Vec<_> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..n_cameras)
+                    .map(|c| {
+                        let monitor = c == 0 && self.config.parse_video;
+                        s.spawn(move |_| self.run_camera(recording, c, monitor))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("camera thread")).collect()
+            })
+            .expect("camera scope");
+            per_camera.extend(results);
+        } else {
+            for c in 0..n_cameras {
+                let monitor = c == 0 && self.config.parse_video;
+                per_camera.push(self.run_camera(recording, c, monitor));
+            }
+        }
+
+        timings.extraction_s = stage_start.elapsed().as_secs_f64();
+
+        // --- Stage 2: video composition analysis on the monitor stream. ---
+        let stage_start = std::time::Instant::now();
+        let structure = if self.config.parse_video {
+            let monitor = &per_camera[0].1;
+            let mut spec = recording.scenario.spec;
+            spec.width = monitor.first().map_or(spec.width / 4, |f| f.width());
+            spec.height = monitor.first().map_or(spec.height / 4, |f| f.height());
+            Some(VideoParser::new(self.config.parser).parse_frames(spec, monitor))
+        } else {
+            None
+        };
+
+        timings.parse_s = stage_start.elapsed().as_secs_f64();
+
+        // --- Stage 4: fusion + multilayer analysis. ---
+        let stage_start = std::time::Instant::now();
+        let camera_poses: Vec<_> = recording
+            .scenario
+            .rig
+            .cameras
+            .iter()
+            .map(|c| c.pose)
+            .collect();
+
+        let mut raw_matrices = Vec::with_capacity(frames);
+        let mut emotion_frames: Vec<Vec<EmotionEstimate>> = Vec::with_capacity(frames);
+        for f in 0..frames {
+            let mut frame_obs = FrameObservations::default();
+            for (c, (outputs, _)) in per_camera.iter().enumerate() {
+                frame_obs
+                    .cameras
+                    .push((camera_poses[c], outputs[f].observations.clone()));
+            }
+            let poses = fuse_frame(&frame_obs, &self.config.fusion);
+            raw_matrices.push(LookAtMatrix::from_poses(
+                n_participants,
+                &poses,
+                &self.config.lookat,
+            ));
+
+            // Per person, keep the emotion estimate from the camera with
+            // the largest apparent face (closest, best-resolved view).
+            let mut best: Vec<Option<(Vec<f64>, f64, f64)>> = vec![None; n_participants];
+            for (outputs, _) in &per_camera {
+                for (person, probs, conf, radius) in &outputs[f].emotions {
+                    if *person >= n_participants {
+                        continue;
+                    }
+                    if best[*person].as_ref().is_none_or(|(_, _, r)| radius > r) {
+                        best[*person] = Some((probs.clone(), *conf, *radius));
+                    }
+                }
+            }
+            emotion_frames.push(
+                best.into_iter()
+                    .enumerate()
+                    .filter_map(|(person, b)| {
+                        b.map(|(probabilities, confidence, _)| EmotionEstimate {
+                            person,
+                            probabilities,
+                            confidence,
+                        })
+                    })
+                    .collect(),
+            );
+        }
+
+        let matrices = smooth_matrices(&raw_matrices, self.config.matrix_smoothing);
+
+        let mut summary = LookAtSummary::new(n_participants);
+        for m in &matrices {
+            summary.add(m);
+        }
+        let dominance = dominance_ranking(&summary);
+
+        let overall = fuse_sequence(
+            &emotion_frames,
+            &OverallEmotionConfig {
+                participants: n_participants,
+                smoothing: self.config.emotion_smoothing,
+            },
+        );
+
+        let episodes = ec_episodes(&matrices, 3);
+        let pair_stats = pair_statistics(&matrices, 3);
+        let highlights = detect_highlights(&matrices, &overall, &self.config.highlights);
+        let importance = importance_series(&matrices, &overall, &self.config.importance);
+        let video_summary = structure
+            .as_ref()
+            .map(|s| select_summary(&s.shots, &importance, &self.config.summary, &self.config.importance));
+
+        // Validation against ground truth at the same attention radius.
+        let truth: Vec<LookAtMatrix> = recording
+            .ground_truth
+            .snapshots
+            .iter()
+            .map(|snap| {
+                let rows = snap.lookat_matrix(self.config.lookat.attention_radius);
+                let mut m = LookAtMatrix::zero(n_participants);
+                for (g, row) in rows.iter().enumerate() {
+                    for (t, &v) in row.iter().enumerate() {
+                        if g != t && v == 1 {
+                            m.set(g, t, 1);
+                        }
+                    }
+                }
+                m
+            })
+            .collect();
+        let validation = validate_sequence(&matrices, &truth);
+
+        timings.analysis_s = stage_start.elapsed().as_secs_f64();
+
+        // --- Stage 5: metadata repository. ---
+        let stage_start = std::time::Instant::now();
+        let repository = MetadataRepository::in_memory();
+        self.populate_repository(&repository, recording, &matrices, &overall, &structure, &highlights);
+        timings.metadata_s = stage_start.elapsed().as_secs_f64();
+
+        EventAnalysis {
+            participants: n_participants,
+            fps: recording.scenario.spec.fps,
+            raw_matrices,
+            matrices,
+            summary,
+            dominance,
+            overall,
+            episodes,
+            pair_stats,
+            highlights,
+            importance,
+            structure,
+            video_summary,
+            validation,
+            repository,
+            timings,
+            context: recording.context.clone(),
+        }
+    }
+
+    fn populate_repository(
+        &self,
+        repo: &MetadataRepository,
+        recording: &Recording,
+        matrices: &[LookAtMatrix],
+        overall: &[dievent_analysis::overall_emotion::OverallEmotion],
+        structure: &Option<dievent_video::VideoStructure>,
+        highlights: &[dievent_summarize::Highlight],
+    ) {
+        let fps = recording.scenario.spec.fps;
+        let duration = recording.frames() as f64 / fps;
+        let mut event = MetaRecord::new(RecordKind::Event)
+            .with_span(0.0, duration)
+            .with_attr("name", recording.scenario.name.as_str())
+            .with_attr("participants", recording.scenario.participants.len())
+            .with_attr("cameras", recording.cameras())
+            .with_attr("frames", recording.frames());
+        if let Some(ctx) = &recording.context {
+            event = event
+                .with_attr("location", ctx.location.as_str())
+                .with_attr("date", ctx.date.as_str())
+                .with_attr("occasion", ctx.occasion.as_str());
+            if let Some(t) = ctx.temperature_c {
+                event = event.with_attr("temperature_c", t);
+            }
+            if let Ok(payload) = serde_json::to_value(ctx) {
+                event = event.with_payload(payload);
+            }
+        }
+        repo.insert(event).expect("in-memory insert");
+
+        if let Some(s) = structure {
+            for (i, scene) in s.scenes.iter().enumerate() {
+                let (f0, f1) = scene.frame_span(&s.shots);
+                repo.insert(
+                    MetaRecord::new(RecordKind::Scene)
+                        .with_span(f0 as f64 / fps, f1 as f64 / fps)
+                        .with_attr("scene", i),
+                )
+                .expect("in-memory insert");
+            }
+            for (i, shot) in s.shots.iter().enumerate() {
+                repo.insert(
+                    MetaRecord::new(RecordKind::Shot)
+                        .with_span(shot.start as f64 / fps, shot.end as f64 / fps)
+                        .with_attr("shot", i)
+                        .with_attr("keyframes", s.keyframes[i].len()),
+                )
+                .expect("in-memory insert");
+            }
+        }
+
+        for (f, (m, o)) in matrices.iter().zip(overall).enumerate() {
+            let t = f as f64 / fps;
+            repo.insert(
+                MetaRecord::new(RecordKind::FrameAnalysis)
+                    .with_span(t, t + 1.0 / fps)
+                    .with_attr("frame", f)
+                    .with_attr("looks", m.count_ones())
+                    .with_attr("eye_contacts", m.eye_contacts().len())
+                    .with_attr("oh", o.overall_happiness)
+                    .with_attr("valence", o.valence),
+            )
+            .expect("in-memory insert");
+        }
+
+        for h in highlights {
+            let t = h.frame as f64 / fps;
+            let kind = match &h.kind {
+                dievent_summarize::HighlightKind::EyeContactStart { .. } => "ec",
+                dievent_summarize::HighlightKind::EmotionShift { .. } => "emotion",
+            };
+            repo.insert(
+                MetaRecord::new(RecordKind::Highlight)
+                    .with_span(t, t)
+                    .with_attr("frame", h.frame)
+                    .with_attr("kind", kind),
+            )
+            .expect("in-memory insert");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dievent_metadata::Query;
+
+    /// A short two-camera recording that keeps tests fast.
+    fn short_recording() -> Recording {
+        Recording::capture(Scenario::two_camera_dinner(40, 11))
+    }
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            classify_emotions: false,
+            parse_video: true,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let recording = short_recording();
+        let pipeline = DiEventPipeline::new(quick_config());
+        let analysis = pipeline.run(&recording);
+        assert_eq!(analysis.matrices.len(), 40);
+        assert_eq!(analysis.overall.len(), 40);
+        assert_eq!(analysis.participants, 2);
+        assert!(analysis.structure.is_some());
+        assert!(analysis.repository.len() > 40, "event + frames stored");
+    }
+
+    #[test]
+    fn detected_eye_contact_matches_script() {
+        // The two-camera dinner scripts long mutual-gaze stretches; the
+        // detected matrices must recover EC with decent fidelity.
+        let recording = short_recording();
+        let pipeline = DiEventPipeline::new(quick_config());
+        let analysis = pipeline.run(&recording);
+        assert!(
+            analysis.validation.f1 > 0.7,
+            "look-at F1 too low: {:?}",
+            analysis.validation
+        );
+    }
+
+    #[test]
+    fn sequential_equals_parallel() {
+        let recording = short_recording();
+        let par = DiEventPipeline::new(quick_config()).run(&recording);
+        let seq = DiEventPipeline::new(PipelineConfig {
+            parallel_cameras: false,
+            ..quick_config()
+        })
+        .run(&recording);
+        assert_eq!(par.matrices, seq.matrices, "camera parallelism must not change results");
+        assert_eq!(par.summary.rows(), seq.summary.rows());
+    }
+
+    #[test]
+    fn repository_answers_queries() {
+        let recording = short_recording();
+        let analysis = DiEventPipeline::new(quick_config()).run(&recording);
+        let events = analysis.repository.query(&Query::new().kind(RecordKind::Event));
+        assert_eq!(events.len(), 1);
+        let frames = analysis
+            .repository
+            .query(&Query::new().kind(RecordKind::FrameAnalysis).overlapping(0.5, 1.0));
+        assert!(!frames.is_empty());
+        // Frames with at least one eye contact.
+        let ec_frames = analysis
+            .repository
+            .query(&Query::new().kind(RecordKind::FrameAnalysis).ge("eye_contacts", 1i64));
+        assert!(!ec_frames.is_empty(), "scripted mutual gaze must appear");
+    }
+
+    #[test]
+    fn emotion_classification_produces_estimates() {
+        let recording = Recording::capture(Scenario::two_camera_dinner(16, 5));
+        let pipeline = DiEventPipeline::new(PipelineConfig {
+            classify_emotions: true,
+            parse_video: false,
+            ..PipelineConfig::default()
+        });
+        let analysis = pipeline.run(&recording);
+        // Some frames must carry observed emotions for ≥1 participant.
+        let observed: usize = analysis.overall.iter().map(|o| o.observed).sum();
+        assert!(observed > 0, "no emotions observed at all");
+    }
+}

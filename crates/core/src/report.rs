@@ -1,0 +1,329 @@
+//! The pipeline's output report and figure-style renderings.
+//!
+//! [`EventAnalysis`] carries everything the §III prototype
+//! demonstrates: per-frame look-at matrices (Fig. 4), look-at top-view
+//! maps at chosen timestamps (Figs. 7–8), the summary matrix and
+//! dominance (Fig. 9), the overall-emotion series (Fig. 5), plus the
+//! video structure, highlights, summaries, validation metrics and the
+//! populated metadata repository.
+
+use dievent_analysis::dominance::DominanceReport;
+use dievent_analysis::ec_stats::{EcEpisode, PairStats};
+use dievent_analysis::lookat::{LookAtMatrix, LookAtSummary};
+use dievent_analysis::overall_emotion::OverallEmotion;
+use dievent_analysis::layers::TimeInvariantContext;
+use dievent_analysis::social::{relation_profiles, RelationProfile};
+use dievent_analysis::validate::MatrixValidation;
+use dievent_metadata::MetadataRepository;
+use dievent_summarize::{Highlight, VideoSummary};
+use dievent_video::VideoStructure;
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock cost of each pipeline stage, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Stage 3: rendering + per-camera feature extraction (wall time of
+    /// the parallel section).
+    pub extraction_s: f64,
+    /// Stage 2: video composition analysis.
+    pub parse_s: f64,
+    /// Stage 4: fusion, matrices, emotion, episodes, highlights.
+    pub analysis_s: f64,
+    /// Stage 5: metadata population.
+    pub metadata_s: f64,
+}
+
+/// A serializable digest of an [`EventAnalysis`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisDigest {
+    /// Number of participants.
+    pub participants: usize,
+    /// Source frame rate.
+    pub fps: f64,
+    /// Frames analyzed.
+    pub frames: usize,
+    /// The Fig. 9-style summary matrix rows.
+    pub summary: Vec<Vec<u32>>,
+    /// Looks received per participant (column sums).
+    pub received_looks: Vec<u32>,
+    /// Dominant participant, if any looks were detected.
+    pub dominant: Option<usize>,
+    /// Attention share per participant.
+    pub attention_share: Vec<f64>,
+    /// Mean overall happiness in percent.
+    pub mean_overall_happiness: f64,
+    /// Number of mutual eye-contact episodes.
+    pub eye_contact_episodes: usize,
+    /// Number of alert highlights.
+    pub highlights: usize,
+    /// Validation precision vs ground truth.
+    pub precision: f64,
+    /// Validation recall vs ground truth.
+    pub recall: f64,
+    /// Validation F1 vs ground truth.
+    pub f1: f64,
+}
+
+/// The complete output of one pipeline run.
+pub struct EventAnalysis {
+    /// Number of participants.
+    pub participants: usize,
+    /// Source frame rate.
+    pub fps: f64,
+    /// Per-frame matrices before temporal smoothing.
+    pub raw_matrices: Vec<LookAtMatrix>,
+    /// Per-frame matrices after temporal smoothing (used everywhere
+    /// downstream).
+    pub matrices: Vec<LookAtMatrix>,
+    /// Accumulated summary (Fig. 9).
+    pub summary: LookAtSummary,
+    /// Dominance ranking derived from the summary.
+    pub dominance: DominanceReport,
+    /// Overall-emotion series (Fig. 5).
+    pub overall: Vec<OverallEmotion>,
+    /// Mutual eye-contact episodes.
+    pub episodes: Vec<EcEpisode>,
+    /// Per-pair EC statistics (Argyle–Dean indicators).
+    pub pair_stats: Vec<PairStats>,
+    /// Alert events.
+    pub highlights: Vec<Highlight>,
+    /// Per-frame importance scores.
+    pub importance: Vec<f64>,
+    /// Video composition analysis result (when enabled).
+    pub structure: Option<VideoStructure>,
+    /// Budgeted summary (when video parsing ran).
+    pub video_summary: Option<VideoSummary>,
+    /// Cell-level validation against simulator ground truth.
+    pub validation: MatrixValidation,
+    /// The populated metadata repository.
+    pub repository: MetadataRepository,
+    /// Wall-clock stage timings.
+    pub timings: StageTimings,
+    /// The time-invariant context the recording carried, if any.
+    pub context: Option<TimeInvariantContext>,
+}
+
+impl EventAnalysis {
+    /// The look-at matrix at time `t` seconds (nearest frame).
+    pub fn matrix_at(&self, t: f64) -> Option<&LookAtMatrix> {
+        if self.matrices.is_empty() {
+            return None;
+        }
+        let f = ((t * self.fps).round() as usize).min(self.matrices.len() - 1);
+        self.matrices.get(f)
+    }
+
+    /// Directed looks at time `t` as `(gazer, target)` pairs — the
+    /// content of a Fig. 7/8 look-at map.
+    pub fn looks_at(&self, t: f64) -> Vec<(usize, usize)> {
+        let Some(m) = self.matrix_at(t) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for g in 0..m.len() {
+            for target in 0..m.len() {
+                if g != target && m.get(g, target) == 1 {
+                    out.push((g, target));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the Fig. 7/8-style top-view map at time `t` as ASCII:
+    /// participant markers on a plan grid plus the arrow list.
+    ///
+    /// `positions` are the participants' plan (x, y) coordinates in
+    /// metres (typically seat positions).
+    pub fn lookat_top_view(&self, t: f64, positions: &[(f64, f64)]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let looks = self.looks_at(t);
+        let _ = writeln!(out, "look-at top view @ t = {t:.1}s");
+
+        const W: usize = 41;
+        const H: usize = 17;
+        let (min_x, max_x) = positions
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+        let (min_y, max_y) = positions
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+        let sx = (W - 5) as f64 / (max_x - min_x).max(1e-6);
+        let sy = (H - 5) as f64 / (max_y - min_y).max(1e-6);
+        let to_grid = |p: (f64, f64)| -> (i64, i64) {
+            (
+                (2.0 + (p.0 - min_x) * sx).round() as i64,
+                (2.0 + (max_y - p.1) * sy).round() as i64,
+            )
+        };
+
+        let mut grid = vec![vec![' '; W]; H];
+        // Arrows first so markers overwrite them.
+        for &(g, target) in &looks {
+            let (x0, y0) = to_grid(positions[g]);
+            let (x1, y1) = to_grid(positions[target]);
+            let steps = (x1 - x0).abs().max((y1 - y0).abs()).max(1);
+            for s in 1..steps {
+                let x = x0 + (x1 - x0) * s / steps;
+                let y = y0 + (y1 - y0) * s / steps;
+                if (0..W as i64).contains(&x) && (0..H as i64).contains(&y) {
+                    grid[y as usize][x as usize] = '·';
+                }
+            }
+        }
+        for (i, &p) in positions.iter().enumerate() {
+            let (x, y) = to_grid(p);
+            if (0..W as i64).contains(&x) && (0..H as i64).contains(&y) {
+                grid[y as usize][x as usize] =
+                    char::from_digit((i + 1) as u32 % 10, 10).unwrap_or('?');
+            }
+        }
+        for row in grid {
+            let line: String = row.into_iter().collect();
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        for &(g, target) in &looks {
+            let _ = writeln!(out, "  P{} → P{}", g + 1, target + 1);
+        }
+        let m = self.matrix_at(t);
+        if let Some(m) = m {
+            let contacts = m.eye_contacts();
+            if !contacts.is_empty() {
+                let pairs: Vec<String> = contacts
+                    .iter()
+                    .map(|(a, b)| format!("P{}↔P{}", a + 1, b + 1))
+                    .collect();
+                let _ = writeln!(out, "  eye contact: {}", pairs.join(", "));
+            }
+        }
+        out
+    }
+
+    /// The Fig. 9-style summary matrix as display text.
+    pub fn summary_table(&self) -> String {
+        self.summary.to_string()
+    }
+
+    /// Mean overall happiness across the event, in percent.
+    pub fn mean_overall_happiness(&self) -> f64 {
+        if self.overall.is_empty() {
+            return 0.0;
+        }
+        self.overall.iter().map(|o| o.overall_happiness).sum::<f64>() / self.overall.len() as f64
+    }
+
+    /// Eye-contact profiles per declared relationship (paper §II-E:
+    /// metadata "integrated with the social dimensions"). Empty when
+    /// the recording carried no context.
+    pub fn social_profiles(&self) -> Vec<RelationProfile> {
+        match &self.context {
+            Some(ctx) => relation_profiles(&self.pair_stats, ctx, true),
+            None => Vec::new(),
+        }
+    }
+
+    /// A serializable digest of the analysis (for export / downstream
+    /// tooling; the full `EventAnalysis` deliberately isn't serializable
+    /// because it owns the live repository).
+    pub fn digest(&self) -> AnalysisDigest {
+        AnalysisDigest {
+            participants: self.participants,
+            fps: self.fps,
+            frames: self.matrices.len(),
+            summary: self.summary.rows(),
+            received_looks: (0..self.participants).map(|p| self.summary.received(p)).collect(),
+            dominant: self.dominance.dominant,
+            attention_share: self.dominance.attention_share.clone(),
+            mean_overall_happiness: self.mean_overall_happiness(),
+            eye_contact_episodes: self.episodes.len(),
+            highlights: self.highlights.len(),
+            precision: self.validation.precision,
+            recall: self.validation.recall,
+            f1: self.validation.f1,
+        }
+    }
+
+    /// One-paragraph textual report of the event.
+    pub fn brief(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} frames @ {:.2} fps, {} participants",
+            self.matrices.len(),
+            self.fps,
+            self.participants
+        );
+        if let Some(d) = self.dominance.dominant {
+            let _ = writeln!(
+                out,
+                "dominant participant: P{} ({:.0}% of received looks)",
+                d + 1,
+                self.dominance.attention_share[d] * 100.0
+            );
+        }
+        let _ = writeln!(out, "eye-contact episodes: {}", self.episodes.len());
+        let _ = writeln!(out, "highlights: {}", self.highlights.len());
+        let _ = writeln!(out, "mean overall happiness: {:.1}%", self.mean_overall_happiness());
+        let _ = writeln!(
+            out,
+            "look-at detection vs ground truth: precision {:.3}, recall {:.3}, F1 {:.3}",
+            self.validation.precision, self.validation.recall, self.validation.f1
+        );
+        let t = &self.timings;
+        let _ = writeln!(
+            out,
+            "stage timings: extraction {:.2}s, parsing {:.2}s, analysis {:.2}s, metadata {:.2}s",
+            t.extraction_s, t.parse_s, t.analysis_s, t.metadata_s
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquisition::Recording;
+    use crate::pipeline::{DiEventPipeline, PipelineConfig};
+    use dievent_scene::Scenario;
+
+    fn analysis() -> EventAnalysis {
+        let recording = Recording::capture(Scenario::two_camera_dinner(30, 2));
+        DiEventPipeline::new(PipelineConfig {
+            classify_emotions: false,
+            parse_video: false,
+            ..PipelineConfig::default()
+        })
+        .run(&recording)
+    }
+
+    #[test]
+    fn matrix_at_clamps_time() {
+        let a = analysis();
+        assert!(a.matrix_at(-5.0).is_some());
+        assert!(a.matrix_at(1e9).is_some());
+    }
+
+    #[test]
+    fn top_view_renders_markers_and_arrows() {
+        let a = analysis();
+        // Find a time with at least one look.
+        let t = (0..30)
+            .map(|f| f as f64 / a.fps)
+            .find(|&t| !a.looks_at(t).is_empty())
+            .expect("scripted gaze must appear");
+        let text = a.lookat_top_view(t, &[(0.0, 0.0), (2.0, 0.0)]);
+        assert!(text.contains('1'));
+        assert!(text.contains('2'));
+        assert!(text.contains('→'));
+    }
+
+    #[test]
+    fn brief_mentions_key_findings() {
+        let a = analysis();
+        let brief = a.brief();
+        assert!(brief.contains("participants"));
+        assert!(brief.contains("F1"));
+    }
+}

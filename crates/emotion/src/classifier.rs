@@ -1,0 +1,257 @@
+//! The end-to-end emotion classifier: LBP features → normalizer → MLP.
+//!
+//! This is the component the paper describes as "a trained model for
+//! emotion recognition" (§II-C): given a face patch it produces a
+//! distribution over the six basic emotions plus neutral.
+
+use crate::dataset::{ConfusionMatrix, Dataset, Normalizer};
+use crate::label::Emotion;
+use crate::lbp::{lbp_feature_vector, LbpConfig};
+use crate::mlp::{Mlp, MlpConfig, TrainingConfig};
+use dievent_video::GrayFrame;
+use serde::{Deserialize, Serialize};
+
+/// A prediction for one face patch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmotionPrediction {
+    /// Most probable emotion.
+    pub emotion: Emotion,
+    /// Probability of the predicted emotion.
+    pub confidence: f64,
+    /// Full distribution, indexed by [`Emotion::index`].
+    pub probabilities: Vec<f64>,
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean cross-entropy per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Accuracy on the held-out split.
+    pub test_accuracy: f64,
+    /// Confusion matrix on the held-out split.
+    pub confusion: ConfusionMatrix,
+}
+
+/// LBP + MLP emotion classifier over face patches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmotionClassifier {
+    lbp: LbpConfigSer,
+    normalizer: Normalizer,
+    mlp: Mlp,
+}
+
+/// Serializable mirror of [`LbpConfig`] (which stays `Copy`-simple).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct LbpConfigSer {
+    grid: usize,
+    threshold: u8,
+}
+
+impl From<LbpConfig> for LbpConfigSer {
+    fn from(c: LbpConfig) -> Self {
+        LbpConfigSer { grid: c.grid, threshold: c.threshold }
+    }
+}
+
+impl From<LbpConfigSer> for LbpConfig {
+    fn from(c: LbpConfigSer) -> Self {
+        LbpConfig { grid: c.grid, threshold: c.threshold }
+    }
+}
+
+impl EmotionClassifier {
+    /// Extracts the LBP descriptor used by this crate for a face patch.
+    pub fn features(patch: &GrayFrame, lbp: &LbpConfig) -> Vec<f64> {
+        lbp_feature_vector(patch, lbp)
+    }
+
+    /// Trains a classifier on labelled face patches.
+    ///
+    /// `hidden` sets the MLP hidden-layer widths; `seed` fixes all
+    /// randomness. One fifth of the samples (every 5th) is held out to
+    /// report test accuracy.
+    ///
+    /// # Panics
+    /// Panics when fewer than 10 samples are provided.
+    pub fn train(
+        patches: &[(GrayFrame, Emotion)],
+        lbp: LbpConfig,
+        hidden: &[usize],
+        seed: u64,
+        tc: &TrainingConfig,
+    ) -> (EmotionClassifier, TrainReport) {
+        assert!(patches.len() >= 10, "need at least 10 training patches");
+        let mut data = Dataset::new();
+        for (patch, emotion) in patches {
+            data.push(lbp_feature_vector(patch, &lbp), emotion.index());
+        }
+        let (train_raw, test_raw) = data.split_every_kth(5);
+        let normalizer = Normalizer::fit(&train_raw);
+        let train = normalizer.apply_dataset(&train_raw);
+        let test = normalizer.apply_dataset(&test_raw);
+
+        let mut mlp = Mlp::new(MlpConfig {
+            input: lbp.feature_len(),
+            hidden: hidden.to_vec(),
+            output: Emotion::COUNT,
+            seed,
+        });
+        let epoch_losses = mlp.train(&train.features, &train.labels, tc);
+
+        let mut confusion = ConfusionMatrix::new(Emotion::COUNT);
+        for (f, &l) in test.features.iter().zip(&test.labels) {
+            confusion.record(l, mlp.predict(f));
+        }
+        let report = TrainReport {
+            epoch_losses,
+            test_accuracy: confusion.accuracy(),
+            confusion,
+        };
+        (
+            EmotionClassifier { lbp: lbp.into(), normalizer, mlp },
+            report,
+        )
+    }
+
+    /// Classifies one face patch.
+    pub fn classify(&self, patch: &GrayFrame) -> EmotionPrediction {
+        let raw = lbp_feature_vector(patch, &LbpConfig::from(self.lbp));
+        let x = self.normalizer.apply(&raw);
+        let probabilities = self.mlp.predict_proba(&x);
+        let (best, &confidence) = probabilities
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty distribution");
+        EmotionPrediction {
+            emotion: Emotion::from_index(best).expect("valid index"),
+            confidence,
+            probabilities,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic "expression" patches: each emotion gets a distinct
+    /// mouth/eye texture layout, plus deterministic per-sample jitter.
+    /// (The real renderer lives in `dievent-scene`; this sketch exists so
+    /// the classifier crate is testable standalone.)
+    fn sketch(emotion: Emotion, variant: u32) -> GrayFrame {
+        let mut f = GrayFrame::new(32, 32, 160);
+        let j = (variant % 3) as i64 - 1; // −1, 0, +1 pixel jitter
+        // Eyes.
+        f.fill_disk(10.0 + j as f64, 11.0, 2.0, 30);
+        f.fill_disk(22.0 + j as f64, 11.0, 2.0, 30);
+        match emotion {
+            Emotion::Neutral => f.fill_rect(11 + j, 23, 10, 2, 60),
+            Emotion::Happy => {
+                // Upward arc.
+                for x in 0..12i64 {
+                    let y = 25 - ((x - 6).pow(2) / 6);
+                    f.fill_rect(10 + x + j, y, 2, 2, 50);
+                }
+            }
+            Emotion::Sad => {
+                // Downward arc.
+                for x in 0..12i64 {
+                    let y = 22 + ((x - 6).pow(2) / 6);
+                    f.fill_rect(10 + x + j, y, 2, 2, 50);
+                }
+            }
+            Emotion::Angry => {
+                f.fill_rect(9 + j, 22, 14, 3, 20);
+                f.fill_rect(7 + j, 7, 7, 2, 20);
+                f.fill_rect(18 + j, 7, 7, 2, 20);
+            }
+            Emotion::Disgust => {
+                f.fill_rect(9 + j, 24, 8, 2, 40);
+                f.fill_rect(14 + j, 20, 8, 2, 90);
+            }
+            Emotion::Fear => {
+                f.fill_disk(16.0 + j as f64, 24.0, 3.0, 70);
+                f.fill_rect(8 + j, 6, 16, 1, 40);
+            }
+            Emotion::Surprise => {
+                f.fill_disk(16.0 + j as f64, 24.0, 4.5, 25);
+            }
+        }
+        // Per-sample noise texture.
+        f.mutate(|d| {
+            for (i, px) in d.iter_mut().enumerate() {
+                let n = ((i as u32).wrapping_mul(2654435761).wrapping_add(variant * 97) >> 28) as i32;
+                *px = (*px as i32 + n - 8).clamp(0, 255) as u8;
+            }
+        });
+        f
+    }
+
+    fn training_set(samples_per_class: u32) -> Vec<(GrayFrame, Emotion)> {
+        let mut out = Vec::new();
+        for v in 0..samples_per_class {
+            for e in Emotion::ALL {
+                out.push((sketch(e, v), e));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn trains_to_high_accuracy_on_sketches() {
+        let patches = training_set(12);
+        let tc = TrainingConfig { epochs: 30, ..TrainingConfig::default() };
+        let (clf, report) = EmotionClassifier::train(&patches, LbpConfig::default(), &[32], 42, &tc);
+        assert!(
+            report.test_accuracy > 0.9,
+            "test accuracy {} too low; confusion {:?}",
+            report.test_accuracy,
+            report.confusion
+        );
+        // Spot-check classification of fresh variants.
+        for e in [Emotion::Happy, Emotion::Sad, Emotion::Surprise] {
+            let pred = clf.classify(&sketch(e, 99));
+            assert_eq!(pred.emotion, e, "misclassified {e}: {pred:?}");
+        }
+    }
+
+    #[test]
+    fn prediction_distribution_is_valid() {
+        let patches = training_set(10);
+        let tc = TrainingConfig { epochs: 10, ..TrainingConfig::default() };
+        let (clf, _) = EmotionClassifier::train(&patches, LbpConfig::default(), &[16], 1, &tc);
+        let pred = clf.classify(&sketch(Emotion::Neutral, 50));
+        assert_eq!(pred.probabilities.len(), Emotion::COUNT);
+        assert!((pred.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pred.confidence > 0.0 && pred.confidence <= 1.0);
+        assert!(
+            (pred.probabilities[pred.emotion.index()] - pred.confidence).abs() < 1e-12,
+            "confidence must match the argmax probability"
+        );
+    }
+
+    #[test]
+    fn losses_decrease_during_training() {
+        let patches = training_set(8);
+        let tc = TrainingConfig { epochs: 20, ..TrainingConfig::default() };
+        let (_, report) = EmotionClassifier::train(&patches, LbpConfig::default(), &[16], 5, &tc);
+        let first = report.epoch_losses.first().unwrap();
+        let last = report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_samples_panics() {
+        let patches = training_set(1);
+        let _ = EmotionClassifier::train(
+            &patches[..5],
+            LbpConfig::default(),
+            &[8],
+            0,
+            &TrainingConfig::default(),
+        );
+    }
+}

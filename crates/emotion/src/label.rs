@@ -1,0 +1,126 @@
+//! Emotion labels: the six basic emotions the paper targets, plus neutral.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A facial emotion category.
+///
+/// The paper's classifier recognizes the six basic (Ekman) emotions;
+/// `Neutral` is the resting state between expressive episodes and the
+/// natural majority class at a dinner table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Emotion {
+    /// No marked expression.
+    Neutral,
+    /// Happiness / enjoyment — the key signal for customer satisfaction.
+    Happy,
+    /// Sadness.
+    Sad,
+    /// Anger.
+    Angry,
+    /// Disgust — the key *negative* signal for recipe evaluation.
+    Disgust,
+    /// Fear.
+    Fear,
+    /// Surprise.
+    Surprise,
+}
+
+impl Emotion {
+    /// All emotion categories, in stable index order.
+    pub const ALL: [Emotion; 7] = [
+        Emotion::Neutral,
+        Emotion::Happy,
+        Emotion::Sad,
+        Emotion::Angry,
+        Emotion::Disgust,
+        Emotion::Fear,
+        Emotion::Surprise,
+    ];
+
+    /// Number of categories.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable index of this emotion in `[0, COUNT)`.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&e| e == self).expect("ALL is exhaustive")
+    }
+
+    /// Emotion from a stable index, or `None` when out of range.
+    pub fn from_index(i: usize) -> Option<Emotion> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Valence in `[-1, 1]`: how positive this emotion reads for
+    /// satisfaction scoring (paper Fig. 5's overall-happiness fuses
+    /// per-participant emotions; valence is the scalarization).
+    pub fn valence(self) -> f64 {
+        match self {
+            Emotion::Happy => 1.0,
+            Emotion::Surprise => 0.3,
+            Emotion::Neutral => 0.0,
+            Emotion::Fear => -0.6,
+            Emotion::Sad => -0.7,
+            Emotion::Angry => -0.8,
+            Emotion::Disgust => -1.0,
+        }
+    }
+
+    /// Returns `true` for the six *basic* emotions (everything except
+    /// `Neutral`).
+    pub fn is_basic(self) -> bool {
+        self != Emotion::Neutral
+    }
+}
+
+impl fmt::Display for Emotion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Emotion::Neutral => "neutral",
+            Emotion::Happy => "happy",
+            Emotion::Sad => "sad",
+            Emotion::Angry => "angry",
+            Emotion::Disgust => "disgust",
+            Emotion::Fear => "fear",
+            Emotion::Surprise => "surprise",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (i, &e) in Emotion::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+            assert_eq!(Emotion::from_index(i), Some(e));
+        }
+        assert_eq!(Emotion::from_index(Emotion::COUNT), None);
+    }
+
+    #[test]
+    fn six_basic_emotions() {
+        let basics: Vec<_> = Emotion::ALL.iter().filter(|e| e.is_basic()).collect();
+        assert_eq!(basics.len(), 6, "paper lists exactly six basic emotions");
+        assert!(!Emotion::Neutral.is_basic());
+    }
+
+    #[test]
+    fn valence_ordering_is_sensible() {
+        assert!(Emotion::Happy.valence() > Emotion::Neutral.valence());
+        assert!(Emotion::Neutral.valence() > Emotion::Sad.valence());
+        assert!(Emotion::Disgust.valence() <= Emotion::Angry.valence());
+        for e in Emotion::ALL {
+            assert!((-1.0..=1.0).contains(&e.valence()));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Emotion::Happy.to_string(), "happy");
+        assert_eq!(Emotion::Disgust.to_string(), "disgust");
+    }
+}

@@ -1,0 +1,299 @@
+//! Local Binary Patterns — the paper's face feature extractor.
+//!
+//! The LBP code of a pixel compares it with its 8 neighbours: each
+//! neighbour at least as bright as the centre contributes a 1-bit. The
+//! classical *uniform* patterns (at most two 0↔1 transitions around the
+//! ring) carry most texture information; the 58 uniform codes get their
+//! own histogram bins and all non-uniform codes share one, giving a
+//! 59-bin histogram. Faces are described by concatenating the histograms
+//! of a grid of cells over the face patch, which preserves the spatial
+//! layout of mouth/eye texture that distinguishes expressions.
+
+use dievent_video::GrayFrame;
+
+/// Number of histogram bins for uniform LBP (58 uniform + 1 catch-all).
+pub const UNIFORM_BINS: usize = 59;
+
+/// Configuration of the LBP descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LbpConfig {
+    /// Cells per row/column of the spatial grid (e.g. 4 → 4×4 = 16 cells).
+    pub grid: usize,
+    /// Comparison threshold: a neighbour sets its bit only when it is at
+    /// least `center + threshold`. A small positive threshold (above the
+    /// sensor-noise amplitude) makes codes on flat regions collapse to a
+    /// stable 0 instead of noise — the classic LTP/census robustness fix.
+    pub threshold: u8,
+}
+
+impl Default for LbpConfig {
+    fn default() -> Self {
+        LbpConfig { grid: 4, threshold: 8 }
+    }
+}
+
+impl LbpConfig {
+    /// Total descriptor length: `grid² × 59`.
+    pub fn feature_len(&self) -> usize {
+        self.grid * self.grid * UNIFORM_BINS
+    }
+}
+
+/// Number of 0↔1 transitions in the circular 8-bit pattern.
+fn transitions(code: u8) -> u32 {
+    let rotated = code.rotate_left(1);
+    (code ^ rotated).count_ones()
+}
+
+/// Builds the uniform-pattern lookup table: uniform codes map to bins
+/// `0..58` in ascending code order, everything else to bin 58.
+fn uniform_table() -> [u8; 256] {
+    let mut table = [58u8; 256];
+    let mut bin = 0u8;
+    for code in 0..=255u8 {
+        if transitions(code) <= 2 {
+            table[code as usize] = bin;
+            bin += 1;
+        }
+    }
+    debug_assert_eq!(bin, 58);
+    table
+}
+
+/// Raw LBP code of the pixel at `(x, y)` (clamp-to-edge at borders),
+/// with comparison threshold `t` (see [`LbpConfig::threshold`]).
+///
+/// Bit `i` corresponds to the `i`-th neighbour clockwise from the top-left.
+pub fn lbp_code(frame: &GrayFrame, x: i64, y: i64, t: u8) -> u8 {
+    const OFFSETS: [(i64, i64); 8] = [
+        (-1, -1),
+        (0, -1),
+        (1, -1),
+        (1, 0),
+        (1, 1),
+        (0, 1),
+        (-1, 1),
+        (-1, 0),
+    ];
+    let center = frame.get_clamped(x, y) as u16 + t as u16;
+    let mut code = 0u8;
+    for (i, (dx, dy)) in OFFSETS.iter().enumerate() {
+        if frame.get_clamped(x + dx, y + dy) as u16 >= center {
+            code |= 1 << i;
+        }
+    }
+    code
+}
+
+/// Maps every pixel of `frame` to its uniform-LBP bin (`0..59`) using
+/// comparison threshold `t`.
+pub fn uniform_lbp_image(frame: &GrayFrame, t: u8) -> Vec<u8> {
+    let table = uniform_table();
+    let (w, h) = (frame.width() as i64, frame.height() as i64);
+    let mut out = Vec::with_capacity((w * h) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            out.push(table[lbp_code(frame, x, y, t) as usize]);
+        }
+    }
+    out
+}
+
+/// Normalized 59-bin uniform-LBP histogram of a whole patch.
+pub fn lbp_histogram(frame: &GrayFrame) -> Vec<f64> {
+    let img = uniform_lbp_image(frame, LbpConfig::default().threshold);
+    let mut hist = vec![0.0f64; UNIFORM_BINS];
+    for &b in &img {
+        hist[b as usize] += 1.0;
+    }
+    let n = img.len().max(1) as f64;
+    for v in &mut hist {
+        *v /= n;
+    }
+    hist
+}
+
+/// The full spatial-grid LBP descriptor: per-cell normalized histograms
+/// concatenated row-major. Length is [`LbpConfig::feature_len`].
+///
+/// Cells partition the patch as evenly as possible; a patch smaller than
+/// the grid still works (degenerate cells produce near-empty histograms).
+pub fn lbp_feature_vector(frame: &GrayFrame, config: &LbpConfig) -> Vec<f64> {
+    let table = uniform_table();
+    let g = config.grid.max(1);
+    let w = frame.width() as usize;
+    let h = frame.height() as usize;
+    let mut feature = vec![0.0f64; g * g * UNIFORM_BINS];
+
+    // Cell boundaries (inclusive-exclusive) along each axis.
+    let bound = |n: usize, i: usize| i * n / g;
+
+    for cy in 0..g {
+        let y0 = bound(h, cy);
+        let y1 = bound(h, cy + 1);
+        for cx in 0..g {
+            let x0 = bound(w, cx);
+            let x1 = bound(w, cx + 1);
+            let base = (cy * g + cx) * UNIFORM_BINS;
+            let mut count = 0usize;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let code = lbp_code(frame, x as i64, y as i64, config.threshold);
+                    feature[base + table[code as usize] as usize] += 1.0;
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                let n = count as f64;
+                for v in &mut feature[base..base + UNIFORM_BINS] {
+                    *v /= n;
+                }
+            }
+        }
+    }
+    feature
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_counts_ring_changes() {
+        assert_eq!(transitions(0b0000_0000), 0);
+        assert_eq!(transitions(0b1111_1111), 0);
+        assert_eq!(transitions(0b0000_1111), 2);
+        assert_eq!(transitions(0b0101_0101), 8);
+    }
+
+    #[test]
+    fn uniform_table_has_58_uniform_codes() {
+        let t = uniform_table();
+        let distinct: std::collections::HashSet<u8> = t.iter().copied().collect();
+        assert_eq!(distinct.len(), 59);
+        // 0 and 255 are uniform (0 transitions).
+        assert_ne!(t[0], 58);
+        assert_ne!(t[255], 58);
+        // 0b01010101 is maximally non-uniform.
+        assert_eq!(t[0b0101_0101], 58);
+    }
+
+    #[test]
+    fn flat_patch_codes_are_stable() {
+        // With threshold 0, every neighbour equals the centre, so every
+        // comparison is >= and the code is 0xFF; with a positive
+        // threshold nothing clears the bar and the code is 0. Either
+        // way: uniform codes, stable across the patch.
+        let f = GrayFrame::new(8, 8, 100);
+        assert_eq!(lbp_code(&f, 4, 4, 0), 0xFF);
+        assert_eq!(lbp_code(&f, 4, 4, 8), 0x00);
+        let img = uniform_lbp_image(&f, 8);
+        assert!(img.iter().all(|&b| b == img[0]));
+    }
+
+    #[test]
+    fn threshold_suppresses_sensor_noise() {
+        // Two noisy renderings of the same flat patch: with threshold 0
+        // the descriptors diverge, with threshold 8 they collapse to the
+        // same stable code image.
+        let noisy = |salt: u32| {
+            let mut f = GrayFrame::new(16, 16, 120);
+            f.mutate(|d| {
+                for (i, px) in d.iter_mut().enumerate() {
+                    let h = (i as u32)
+                        .wrapping_mul(2654435761)
+                        .wrapping_add(salt.wrapping_mul(0x85eb_ca6b))
+                        .wrapping_mul(0xc2b2_ae35);
+                    *px = (*px as i32 + (h >> 29) as i32 - 3).clamp(0, 255) as u8;
+                }
+            });
+            f
+        };
+        let a = noisy(1);
+        let b = noisy(2);
+        let with_t: Vec<u8> = uniform_lbp_image(&a, 8);
+        let with_t_b: Vec<u8> = uniform_lbp_image(&b, 8);
+        assert_eq!(with_t, with_t_b, "thresholded codes are noise-stable");
+        let raw_a = uniform_lbp_image(&a, 0);
+        let raw_b = uniform_lbp_image(&b, 0);
+        assert_ne!(raw_a, raw_b, "unthresholded codes chase the noise");
+    }
+
+    #[test]
+    fn histogram_normalized() {
+        let mut f = GrayFrame::new(16, 16, 0);
+        f.fill_rect(4, 4, 8, 8, 200);
+        f.fill_disk(8.0, 8.0, 3.0, 50);
+        let h = lbp_histogram(&f);
+        assert_eq!(h.len(), UNIFORM_BINS);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(h.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn feature_vector_length_matches_config() {
+        let f = GrayFrame::new(32, 32, 10);
+        for grid in [1usize, 2, 4, 5] {
+            let cfg = LbpConfig { grid, threshold: 8 };
+            let v = lbp_feature_vector(&f, &cfg);
+            assert_eq!(v.len(), cfg.feature_len());
+        }
+    }
+
+    #[test]
+    fn per_cell_histograms_normalized() {
+        let mut f = GrayFrame::new(24, 24, 30);
+        f.fill_disk(12.0, 12.0, 8.0, 220);
+        let cfg = LbpConfig { grid: 3, threshold: 8 };
+        let v = lbp_feature_vector(&f, &cfg);
+        for cell in 0..9 {
+            let s: f64 = v[cell * UNIFORM_BINS..(cell + 1) * UNIFORM_BINS].iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "cell {cell} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn descriptor_is_translation_sensitive_across_cells() {
+        // The same blob in different cells must change the descriptor —
+        // that's the point of the spatial grid.
+        let mut top = GrayFrame::new(32, 32, 20);
+        top.fill_disk(8.0, 8.0, 5.0, 220);
+        let mut bottom = GrayFrame::new(32, 32, 20);
+        bottom.fill_disk(24.0, 24.0, 5.0, 220);
+        let cfg = LbpConfig { grid: 4, threshold: 8 };
+        let a = lbp_feature_vector(&top, &cfg);
+        let b = lbp_feature_vector(&bottom, &cfg);
+        let dist: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(dist > 0.5, "descriptor must separate spatial layouts, dist = {dist}");
+    }
+
+    #[test]
+    fn descriptor_is_illumination_invariant() {
+        // LBP thresholds against the local centre, so adding a constant
+        // offset to all pixels leaves the descriptor unchanged.
+        let mut a = GrayFrame::new(32, 32, 40);
+        a.fill_disk(16.0, 10.0, 6.0, 90);
+        a.fill_rect(8, 20, 16, 4, 70);
+        let mut b = a.clone();
+        b.mutate(|d| {
+            for px in d.iter_mut() {
+                *px = px.saturating_add(60);
+            }
+        });
+        let cfg = LbpConfig::default();
+        let fa = lbp_feature_vector(&a, &cfg);
+        let fb = lbp_feature_vector(&b, &cfg);
+        let dist: f64 = fa.iter().zip(&fb).map(|(x, y)| (x - y).abs()).sum();
+        assert!(dist < 1e-9, "LBP must ignore global illumination, dist = {dist}");
+    }
+
+    #[test]
+    fn degenerate_tiny_patch() {
+        let f = GrayFrame::new(2, 2, 128);
+        let cfg = LbpConfig { grid: 4, threshold: 8 };
+        let v = lbp_feature_vector(&f, &cfg);
+        assert_eq!(v.len(), cfg.feature_len());
+        // Cells smaller than a pixel stay all-zero; others are normalized.
+        assert!(v.iter().all(|&x| x.is_finite()));
+    }
+}

@@ -1,0 +1,185 @@
+//! Angle utilities and Euler angle conversions.
+//!
+//! The acquisition platform (paper Fig. 2) specifies camera orientation as
+//! a pitch of −15°; head poses reported by the vision substrate use
+//! yaw/pitch/roll. This module fixes one convention — intrinsic Z-Y-X
+//! (yaw about +Z, then pitch about +Y, then roll about +X) — and converts
+//! to/from rotation matrices.
+
+use crate::{Mat3, Vec3};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Converts degrees to radians.
+#[inline]
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Converts radians to degrees.
+#[inline]
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+/// Wraps an angle into `(-π, π]`.
+pub fn wrap_angle(theta: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut a = theta % two_pi;
+    if a <= -PI {
+        a += two_pi;
+    } else if a > PI {
+        a -= two_pi;
+    }
+    a
+}
+
+/// Yaw–pitch–roll Euler angles (radians), intrinsic Z-Y-X order.
+///
+/// * `yaw` — rotation about the world +Z (up) axis: which way the head or
+///   camera is turned in plan view.
+/// * `pitch` — elevation: looking up (+) or down (−). Internally a
+///   rotation of `−pitch` about the intermediate +Y axis, so the paper's
+///   −15° camera pitch tips the optical axis down toward the table.
+/// * `roll` — rotation about the final +X (forward) axis: head tilt.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EulerAngles {
+    /// Rotation about +Z, radians.
+    pub yaw: f64,
+    /// Rotation about +Y, radians.
+    pub pitch: f64,
+    /// Rotation about +X, radians.
+    pub roll: f64,
+}
+
+impl EulerAngles {
+    /// Creates Euler angles from radians.
+    pub const fn new(yaw: f64, pitch: f64, roll: f64) -> Self {
+        EulerAngles { yaw, pitch, roll }
+    }
+
+    /// Creates Euler angles from degrees.
+    pub fn from_degrees(yaw: f64, pitch: f64, roll: f64) -> Self {
+        EulerAngles {
+            yaw: deg_to_rad(yaw),
+            pitch: deg_to_rad(pitch),
+            roll: deg_to_rad(roll),
+        }
+    }
+
+    /// Converts to a rotation matrix `R = Rz(yaw) · Ry(−pitch) · Rx(roll)`.
+    pub fn to_mat3(&self) -> Mat3 {
+        Mat3::rotation_z(self.yaw) * Mat3::rotation_y(-self.pitch) * Mat3::rotation_x(self.roll)
+    }
+
+    /// Recovers Euler angles from a rotation matrix.
+    ///
+    /// At gimbal lock (`|pitch| = π/2`) the yaw/roll split is ambiguous;
+    /// this implementation puts all the in-plane rotation into yaw.
+    pub fn from_mat3(m: &Mat3) -> Self {
+        // R = Rz(y) Ry(−p) Rx(r):
+        //   m[2][0] = sin(p)
+        //   m[1][0]/m[0][0] = tan(y) (when cos p != 0)
+        //   m[2][1]/m[2][2] = tan(r)
+        let sp = m.m[2][0].clamp(-1.0, 1.0);
+        let pitch = sp.asin();
+        let cp = (1.0 - sp * sp).sqrt();
+        if cp > 1e-9 {
+            EulerAngles {
+                yaw: m.m[1][0].atan2(m.m[0][0]),
+                pitch,
+                roll: m.m[2][1].atan2(m.m[2][2]),
+            }
+        } else {
+            // Gimbal lock: fold everything into yaw.
+            EulerAngles {
+                yaw: (-m.m[0][1]).atan2(m.m[1][1]),
+                pitch,
+                roll: 0.0,
+            }
+        }
+    }
+
+    /// The unit "forward" direction (+X rotated by these angles).
+    ///
+    /// With zero angles this is world +X; yaw turns it in plan view and
+    /// pitch tips it up/down. This is the direction a head with this pose
+    /// is facing, and the default gaze direction.
+    pub fn forward(&self) -> Vec3 {
+        self.to_mat3() * Vec3::X
+    }
+
+    /// Component-wise approximate equality with angle wrapping.
+    pub fn approx_eq(&self, other: &EulerAngles, tol: f64) -> bool {
+        wrap_angle(self.yaw - other.yaw).abs() <= tol
+            && wrap_angle(self.pitch - other.pitch).abs() <= tol
+            && wrap_angle(self.roll - other.roll).abs() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn degree_round_trip() {
+        assert!((rad_to_deg(deg_to_rad(123.4)) - 123.4).abs() < 1e-12);
+        assert!((deg_to_rad(180.0) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_angle_range() {
+        assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_angle(0.5) - 0.5).abs() < 1e-12);
+        for theta in [-10.0, -5.0, 0.0, 2.0, 9.0, 100.0] {
+            let w = wrap_angle(theta);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn euler_round_trip() {
+        let cases = [
+            EulerAngles::new(0.3, -0.2, 0.1),
+            EulerAngles::new(-2.0, 1.0, -1.2),
+            EulerAngles::new(0.0, 0.0, 0.0),
+            EulerAngles::from_degrees(90.0, -15.0, 0.0),
+        ];
+        for e in cases {
+            let back = EulerAngles::from_mat3(&e.to_mat3());
+            assert!(back.approx_eq(&e, 1e-9), "{e:?} != {back:?}");
+        }
+    }
+
+    #[test]
+    fn gimbal_lock_recovers_a_valid_rotation() {
+        let e = EulerAngles::new(0.4, FRAC_PI_2, 0.3);
+        let m = e.to_mat3();
+        let back = EulerAngles::from_mat3(&m);
+        // yaw/roll split differs, but the rotation must be identical.
+        assert!(back.to_mat3().approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn forward_with_zero_angles_is_x() {
+        assert!(EulerAngles::default().forward().approx_eq(Vec3::X, 1e-12));
+    }
+
+    #[test]
+    fn yaw_quarter_turn_faces_y() {
+        let e = EulerAngles::new(FRAC_PI_2, 0.0, 0.0);
+        assert!(e.forward().approx_eq(Vec3::Y, 1e-12));
+    }
+
+    #[test]
+    fn negative_pitch_looks_down() {
+        // The acquisition cameras pitch −15°: forward gains a −Z component
+        // (looking down at the table).
+        let e = EulerAngles::from_degrees(0.0, -15.0, 0.0);
+        let f = e.forward();
+        assert!(f.z < 0.0);
+        assert!((f.norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,284 @@
+//! Pinhole camera model — the acquisition platform's imaging geometry.
+//!
+//! The paper's acquisition platform (Fig. 2) uses surveillance cameras at
+//! 2.5 m height with −15° pitch capturing 640×480 at 25 fps. This module
+//! models each camera as a calibrated pinhole: an intrinsic matrix `K`
+//! plus an extrinsic pose. The synthetic renderer projects scene geometry
+//! through it, and the vision substrate unprojects detections back into
+//! rays for the eye-contact math.
+//!
+//! Conventions: the camera *optical frame* is +Z forward (optical axis),
+//! +X right, +Y down — the usual computer-vision convention. The stored
+//! [`PinholeCamera::pose`] maps optical-frame coordinates into the world
+//! frame (it is the paper's `ʷT_c`).
+
+use crate::{deg_to_rad, Iso3, Mat3, Ray, Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Intrinsic parameters of a pinhole camera.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraIntrinsics {
+    /// Focal length in pixels along x.
+    pub fx: f64,
+    /// Focal length in pixels along y.
+    pub fy: f64,
+    /// Principal point x (pixels).
+    pub cx: f64,
+    /// Principal point y (pixels).
+    pub cy: f64,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+}
+
+impl CameraIntrinsics {
+    /// Builds intrinsics from a horizontal field of view.
+    ///
+    /// # Panics
+    /// Panics when `hfov_deg` is not in `(0, 180)` or the resolution is zero.
+    pub fn from_hfov(width: u32, height: u32, hfov_deg: f64) -> Self {
+        assert!(width > 0 && height > 0, "resolution must be non-zero");
+        assert!(
+            hfov_deg > 0.0 && hfov_deg < 180.0,
+            "horizontal FoV must be in (0, 180) degrees, got {hfov_deg}"
+        );
+        let f = width as f64 / (2.0 * (deg_to_rad(hfov_deg) / 2.0).tan());
+        CameraIntrinsics {
+            fx: f,
+            fy: f,
+            cx: width as f64 / 2.0,
+            cy: height as f64 / 2.0,
+            width,
+            height,
+        }
+    }
+
+    /// The paper's surveillance camera: 640×480 with a typical ~62°
+    /// horizontal field of view.
+    pub fn paper_camera() -> Self {
+        Self::from_hfov(640, 480, 62.0)
+    }
+
+    /// The intrinsic matrix `K`.
+    pub fn k_matrix(&self) -> Mat3 {
+        Mat3::from_rows([
+            [self.fx, 0.0, self.cx],
+            [0.0, self.fy, self.cy],
+            [0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Returns `true` when pixel `(u, v)` lies inside the image bounds.
+    pub fn in_bounds(&self, px: Vec2) -> bool {
+        px.x >= 0.0 && px.x < self.width as f64 && px.y >= 0.0 && px.y < self.height as f64
+    }
+}
+
+/// A calibrated pinhole camera: intrinsics + pose in the world frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PinholeCamera {
+    /// Intrinsic parameters.
+    pub intrinsics: CameraIntrinsics,
+    /// Pose `ʷT_c`: maps optical-frame coordinates into world coordinates.
+    pub pose: Iso3,
+}
+
+/// A successful projection of a world point into the image.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    /// Pixel coordinates (x right, y down).
+    pub pixel: Vec2,
+    /// Depth along the optical axis (metres, positive).
+    pub depth: f64,
+    /// Whether the pixel lies inside the image bounds.
+    pub in_image: bool,
+}
+
+impl PinholeCamera {
+    /// Creates a camera from intrinsics and a world pose.
+    pub fn new(intrinsics: CameraIntrinsics, pose: Iso3) -> Self {
+        PinholeCamera { intrinsics, pose }
+    }
+
+    /// Places the camera at `eye` looking at `target` with world +Z up —
+    /// the natural way to express the paper's rig ("fixed in front of each
+    /// other at height of 2.5 m with −15° pitch" ≙ look-at a point on the
+    /// table).
+    ///
+    /// Returns `None` when `eye == target` or the view is parallel to +Z.
+    pub fn look_at(intrinsics: CameraIntrinsics, eye: Vec3, target: Vec3) -> Option<Self> {
+        let fwd = (target - eye).try_normalized()?;
+        let right = fwd.cross(Vec3::Z).try_normalized()?;
+        let down = fwd.cross(right); // = -up, so +Y is down in the image
+        let pose = Iso3::new(Mat3::from_cols(right, down, fwd), eye);
+        Some(PinholeCamera { intrinsics, pose })
+    }
+
+    /// Camera position in the world frame.
+    #[inline]
+    pub fn position(&self) -> Vec3 {
+        self.pose.translation
+    }
+
+    /// The optical axis (unit forward direction) in the world frame.
+    #[inline]
+    pub fn optical_axis(&self) -> Vec3 {
+        self.pose.transform_dir(Vec3::Z)
+    }
+
+    /// The extrinsic transform `cT_w` (world → optical frame).
+    #[inline]
+    pub fn extrinsics(&self) -> Iso3 {
+        self.pose.inverse()
+    }
+
+    /// Projects a world point into the image.
+    ///
+    /// Returns `None` when the point is on or behind the image plane
+    /// (depth ≤ ~0).
+    pub fn project(&self, world: Vec3) -> Option<Projection> {
+        let pc = self.extrinsics().transform_point(world);
+        if pc.z <= crate::EPS {
+            return None;
+        }
+        let k = &self.intrinsics;
+        let pixel = Vec2::new(k.fx * pc.x / pc.z + k.cx, k.fy * pc.y / pc.z + k.cy);
+        Some(Projection {
+            pixel,
+            depth: pc.z,
+            in_image: k.in_bounds(pixel),
+        })
+    }
+
+    /// Unprojects a pixel into a world-frame ray through that pixel.
+    ///
+    /// The ray origin is the camera center; the direction is unit length.
+    pub fn unproject(&self, pixel: Vec2) -> Ray {
+        let k = &self.intrinsics;
+        let dir_cam = Vec3::new((pixel.x - k.cx) / k.fx, (pixel.y - k.cy) / k.fy, 1.0).normalized();
+        Ray::new(self.position(), self.pose.transform_dir(dir_cam))
+    }
+
+    /// Returns `true` when the world point is inside the viewing frustum
+    /// (in front of the camera and within image bounds).
+    pub fn sees(&self, world: Vec3) -> bool {
+        self.project(world).is_some_and(|p| p.in_image)
+    }
+
+    /// Approximate projected radius (pixels) of a sphere of `radius_m`
+    /// at the given world position. Used by the renderer and by the face
+    /// detector's scale prior.
+    pub fn projected_radius(&self, world: Vec3, radius_m: f64) -> Option<f64> {
+        let p = self.project(world)?;
+        Some(self.intrinsics.fx * radius_m / p.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cam() -> PinholeCamera {
+        // 2.5 m up, looking at the middle of a table 2 m away, 0.75 m high.
+        PinholeCamera::look_at(
+            CameraIntrinsics::paper_camera(),
+            Vec3::new(0.0, 0.0, 2.5),
+            Vec3::new(2.0, 0.0, 0.75),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn intrinsics_from_hfov_centered() {
+        let k = CameraIntrinsics::from_hfov(640, 480, 90.0);
+        assert!((k.fx - 320.0).abs() < 1e-9, "90° hfov → fx = w/2");
+        assert_eq!(k.cx, 320.0);
+        assert_eq!(k.cy, 240.0);
+    }
+
+    #[test]
+    fn target_projects_to_principal_point() {
+        let cam = test_cam();
+        let p = cam.project(Vec3::new(2.0, 0.0, 0.75)).unwrap();
+        assert!((p.pixel.x - 320.0).abs() < 1e-6);
+        assert!((p.pixel.y - 240.0).abs() < 1e-6);
+        assert!(p.in_image);
+        // Depth equals euclidean distance since the target is on-axis.
+        let dist = Vec3::new(0.0, 0.0, 2.5).distance(Vec3::new(2.0, 0.0, 0.75));
+        assert!((p.depth - dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn behind_camera_projects_to_none() {
+        let cam = test_cam();
+        assert!(cam.project(Vec3::new(-2.0, 0.0, 4.0)).is_none());
+    }
+
+    #[test]
+    fn left_of_axis_lands_left_in_image() {
+        let cam = test_cam();
+        // World +Y is to the camera's left (camera looks +X): pixel x decreases.
+        let left = cam.project(Vec3::new(2.0, 0.5, 0.75)).unwrap();
+        assert!(left.pixel.x < 320.0);
+        let right = cam.project(Vec3::new(2.0, -0.5, 0.75)).unwrap();
+        assert!(right.pixel.x > 320.0);
+    }
+
+    #[test]
+    fn above_axis_lands_higher_in_image() {
+        let cam = test_cam();
+        let high = cam.project(Vec3::new(2.0, 0.0, 1.5)).unwrap();
+        let low = cam.project(Vec3::new(2.0, 0.0, 0.3)).unwrap();
+        assert!(high.pixel.y < low.pixel.y, "image y grows downward");
+    }
+
+    #[test]
+    fn unproject_inverts_project() {
+        let cam = test_cam();
+        let world = Vec3::new(1.8, 0.3, 1.0);
+        let proj = cam.project(world).unwrap();
+        let ray = cam.unproject(proj.pixel);
+        // The world point must lie on the unprojected ray.
+        assert!(ray.distance_to_point(world) < 1e-6);
+        assert!((ray.dir.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optical_axis_tilts_down() {
+        let cam = test_cam();
+        let axis = cam.optical_axis();
+        assert!(axis.z < 0.0, "camera at 2.5 m looking at the table looks down");
+        assert!(axis.x > 0.0);
+    }
+
+    #[test]
+    fn sees_respects_bounds() {
+        let cam = test_cam();
+        assert!(cam.sees(Vec3::new(2.0, 0.0, 0.75)));
+        // Far off to the side: projects but out of image.
+        assert!(!cam.sees(Vec3::new(2.0, 30.0, 0.75)));
+    }
+
+    #[test]
+    fn projected_radius_shrinks_with_distance() {
+        let cam = test_cam();
+        let near = cam.projected_radius(Vec3::new(1.0, 0.0, 1.5), 0.12).unwrap();
+        let far = cam.projected_radius(Vec3::new(4.0, 0.0, 0.9), 0.12).unwrap();
+        assert!(near > far);
+    }
+
+    #[test]
+    fn degenerate_look_at_rejected() {
+        let k = CameraIntrinsics::paper_camera();
+        assert!(PinholeCamera::look_at(k, Vec3::ZERO, Vec3::ZERO).is_none());
+        // Looking straight down: view ∥ Z, right vector degenerates.
+        assert!(PinholeCamera::look_at(k, Vec3::new(0.0, 0.0, 2.5), Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_fov_panics() {
+        let _ = CameraIntrinsics::from_hfov(640, 480, 0.0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Reference-frame graph — resolving the paper's `ᵢTⱼ` between any frames.
+//!
+//! Section II-D step 1–2 of the paper assigns a reference frame to every
+//! camera (`F1`, `F2`, …) and every tracked head (`¹F3`, `²F4`, …), each
+//! defined *relative to* some parent frame, then chains transforms
+//! (Eq. 2) to express all gaze rays and head positions in one common
+//! frame. [`FrameGraph`] is that machinery: frames form a forest where
+//! each frame stores its pose w.r.t. its parent, and
+//! [`FrameGraph::transform`] computes `ᵢTⱼ` for any two frames in the
+//! same tree by walking to their common root.
+
+use crate::{Iso3, Ray, Vec3};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a frame inside a [`FrameGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(usize);
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// Errors raised by frame-graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The requested frame id does not exist in this graph.
+    UnknownFrame(String),
+    /// The two frames live in disconnected trees, so no `ᵢTⱼ` exists.
+    Disconnected {
+        /// First frame's name.
+        from: String,
+        /// Second frame's name.
+        to: String,
+    },
+    /// A frame with this name already exists.
+    DuplicateName(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::UnknownFrame(n) => write!(f, "unknown frame: {n}"),
+            FrameError::Disconnected { from, to } => {
+                write!(f, "frames {from} and {to} are not connected by any transform chain")
+            }
+            FrameError::DuplicateName(n) => write!(f, "frame name already registered: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[derive(Debug, Clone)]
+struct FrameNode {
+    name: String,
+    /// Pose of this frame w.r.t. its parent: maps local → parent.
+    pose_in_parent: Iso3,
+    parent: Option<FrameId>,
+    depth: usize,
+}
+
+/// A forest of named reference frames with relative poses.
+///
+/// ```
+/// use dievent_geometry::{FrameGraph, Iso3, Mat3, Vec3};
+///
+/// let mut g = FrameGraph::new();
+/// let world = g.add_root("world");
+/// let c1 = g.add_frame("C1", world,
+///     Iso3::new(Mat3::rotation_z(std::f64::consts::PI), Vec3::new(4.0, 0.0, 2.5))).unwrap();
+/// let head = g.add_frame("P1-head", c1,
+///     Iso3::from_translation(Vec3::new(2.0, 0.1, -0.4))).unwrap();
+/// // ᵂT_head: where is the head in the world?
+/// let t = g.transform(world, head).unwrap();
+/// let head_in_world = t.transform_point(Vec3::ZERO);
+/// assert!((head_in_world.z - 2.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrameGraph {
+    nodes: Vec<FrameNode>,
+    by_name: HashMap<String, FrameId>,
+}
+
+impl FrameGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of frames registered.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when no frames are registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a root frame (no parent). Root frames anchor independent
+    /// trees; typically there is a single `world` root.
+    ///
+    /// # Panics
+    /// Panics on duplicate names — roots are created during setup where
+    /// a duplicate is a programming error.
+    pub fn add_root(&mut self, name: &str) -> FrameId {
+        self.try_add(name, None, Iso3::IDENTITY)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a frame under `parent` with the given pose (local → parent).
+    pub fn add_frame(&mut self, name: &str, parent: FrameId, pose_in_parent: Iso3) -> Result<FrameId, FrameError> {
+        if parent.0 >= self.nodes.len() {
+            return Err(FrameError::UnknownFrame(format!("{parent}")));
+        }
+        self.try_add(name, Some(parent), pose_in_parent)
+    }
+
+    fn try_add(&mut self, name: &str, parent: Option<FrameId>, pose: Iso3) -> Result<FrameId, FrameError> {
+        if self.by_name.contains_key(name) {
+            return Err(FrameError::DuplicateName(name.to_owned()));
+        }
+        let depth = parent.map_or(0, |p| self.nodes[p.0].depth + 1);
+        let id = FrameId(self.nodes.len());
+        self.nodes.push(FrameNode {
+            name: name.to_owned(),
+            pose_in_parent: pose,
+            parent,
+            depth,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Looks up a frame by name.
+    pub fn find(&self, name: &str) -> Option<FrameId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a frame.
+    pub fn name(&self, id: FrameId) -> Option<&str> {
+        self.nodes.get(id.0).map(|n| n.name.as_str())
+    }
+
+    /// Updates the pose of `frame` relative to its parent (e.g. a tracked
+    /// head pose refreshed every video frame).
+    pub fn set_pose(&mut self, frame: FrameId, pose_in_parent: Iso3) -> Result<(), FrameError> {
+        match self.nodes.get_mut(frame.0) {
+            Some(n) => {
+                n.pose_in_parent = pose_in_parent;
+                Ok(())
+            }
+            None => Err(FrameError::UnknownFrame(format!("{frame}"))),
+        }
+    }
+
+    /// The pose of `frame` in its root frame (chain of `pose_in_parent`).
+    pub fn pose_in_root(&self, frame: FrameId) -> Result<Iso3, FrameError> {
+        let mut node = self
+            .nodes
+            .get(frame.0)
+            .ok_or_else(|| FrameError::UnknownFrame(format!("{frame}")))?;
+        let mut acc = node.pose_in_parent;
+        while let Some(p) = node.parent {
+            node = &self.nodes[p.0];
+            acc = node.pose_in_parent * acc;
+        }
+        Ok(acc)
+    }
+
+    fn root_of(&self, frame: FrameId) -> FrameId {
+        let mut id = frame;
+        while let Some(p) = self.nodes[id.0].parent {
+            id = p;
+        }
+        id
+    }
+
+    /// Computes `ᵢTⱼ` — the transform taking coordinates expressed in
+    /// frame `j` into frame `i` (paper Eq. 1–2).
+    pub fn transform(&self, i: FrameId, j: FrameId) -> Result<Iso3, FrameError> {
+        if i.0 >= self.nodes.len() {
+            return Err(FrameError::UnknownFrame(format!("{i}")));
+        }
+        if j.0 >= self.nodes.len() {
+            return Err(FrameError::UnknownFrame(format!("{j}")));
+        }
+        if self.root_of(i) != self.root_of(j) {
+            return Err(FrameError::Disconnected {
+                from: self.nodes[i.0].name.clone(),
+                to: self.nodes[j.0].name.clone(),
+            });
+        }
+        // rootT_i and rootT_j share the root, so iTj = (rootT_i)⁻¹ · rootT_j.
+        let root_t_i = self.pose_in_root(i)?;
+        let root_t_j = self.pose_in_root(j)?;
+        Ok(root_t_i.inverse() * root_t_j)
+    }
+
+    /// Transforms a point expressed in `from` into `to` coordinates.
+    pub fn transform_point(&self, to: FrameId, from: FrameId, p: Vec3) -> Result<Vec3, FrameError> {
+        Ok(self.transform(to, from)?.transform_point(p))
+    }
+
+    /// Transforms a free vector (e.g. a gaze direction) from `from` into
+    /// `to` coordinates — the paper's Eq. 1 applied to `ⱼV`.
+    pub fn transform_dir(&self, to: FrameId, from: FrameId, v: Vec3) -> Result<Vec3, FrameError> {
+        Ok(self.transform(to, from)?.transform_dir(v))
+    }
+
+    /// Transforms a ray from `from` into `to` coordinates — used to bring
+    /// every participant's gaze ray into the common reference frame before
+    /// the Eq. 5 intersection test.
+    pub fn transform_ray(&self, to: FrameId, from: FrameId, ray: &Ray) -> Result<Ray, FrameError> {
+        Ok(self.transform(to, from)?.transform_ray(ray))
+    }
+
+    /// Iterates over `(id, name)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (FrameId, &str)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (FrameId(i), n.name.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat3;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    /// Builds the paper's Fig. 6 setup: two cameras facing each other
+    /// across a 6 m room at 2.5 m height, a head in front of each camera.
+    fn fig6_graph() -> (FrameGraph, FrameId, FrameId, FrameId, FrameId, FrameId) {
+        let mut g = FrameGraph::new();
+        let world = g.add_root("world");
+        // C1 at origin side, looking +X; C2 opposite, looking −X.
+        let f1 = g
+            .add_frame("F1", world, Iso3::from_translation(Vec3::new(0.0, 0.0, 2.5)))
+            .unwrap();
+        let f2 = g
+            .add_frame(
+                "F2",
+                world,
+                Iso3::new(Mat3::rotation_z(PI), Vec3::new(6.0, 0.0, 2.5)),
+            )
+            .unwrap();
+        // P1's head 2 m in front of C1 (camera-local +X), 1.3 m below.
+        let f3 = g
+            .add_frame("1F3", f1, Iso3::from_translation(Vec3::new(2.0, 0.0, -1.3)))
+            .unwrap();
+        // P2's head 2 m in front of C2.
+        let f4 = g
+            .add_frame("2F4", f2, Iso3::from_translation(Vec3::new(2.0, 0.0, -1.3)))
+            .unwrap();
+        (g, world, f1, f2, f3, f4)
+    }
+
+    #[test]
+    fn identity_transform_to_self() {
+        let (g, world, ..) = fig6_graph();
+        let t = g.transform(world, world).unwrap();
+        assert!(t.approx_eq(&Iso3::IDENTITY, 1e-12));
+    }
+
+    #[test]
+    fn eq2_chain_matches_manual_composition() {
+        // ¹V = ¹T₂ · ²T₄ · ⁴V (paper Eq. 2)
+        let (g, _world, f1, f2, _f3, f4) = fig6_graph();
+        let t12 = g.transform(f1, f2).unwrap();
+        let t24 = g.transform(f2, f4).unwrap();
+        let t14 = g.transform(f1, f4).unwrap();
+        assert!((t12 * t24).approx_eq(&t14, 1e-9));
+    }
+
+    #[test]
+    fn transform_is_inverse_symmetric() {
+        let (g, _, f1, f2, ..) = fig6_graph();
+        let t12 = g.transform(f1, f2).unwrap();
+        let t21 = g.transform(f2, f1).unwrap();
+        assert!((t12 * t21).approx_eq(&Iso3::IDENTITY, 1e-9));
+    }
+
+    #[test]
+    fn head_positions_meet_in_world() {
+        let (g, world, _f1, _f2, f3, f4) = fig6_graph();
+        let p1 = g.transform_point(world, f3, Vec3::ZERO).unwrap();
+        let p2 = g.transform_point(world, f4, Vec3::ZERO).unwrap();
+        // C1 at x=0 looking +X puts P1 at x=2; C2 at x=6 looking −X puts P2 at x=4.
+        assert!(p1.approx_eq(Vec3::new(2.0, 0.0, 1.2), 1e-9));
+        assert!(p2.approx_eq(Vec3::new(4.0, 0.0, 1.2), 1e-9));
+    }
+
+    #[test]
+    fn gaze_across_cameras_hits_other_head() {
+        // End-to-end Fig. 6: P1 gazes forward (toward P2 across the table);
+        // transform the gaze into F1, the head of P2 into F1, intersect.
+        let (g, _world, f1, _f2, f3, f4) = fig6_graph();
+        // P1 head frame oriented like C1 (+X forward), so gaze +X.
+        let gaze_local = Ray::new(Vec3::ZERO, Vec3::X);
+        let gaze_in_f1 = g.transform_ray(f1, f3, &gaze_local).unwrap();
+        let p2_in_f1 = g.transform_point(f1, f4, Vec3::ZERO).unwrap();
+        let head = crate::Sphere::new(p2_in_f1, 0.15);
+        assert!(head.is_hit_by(&gaze_in_f1));
+    }
+
+    #[test]
+    fn updating_pose_moves_children() {
+        let mut g = FrameGraph::new();
+        let world = g.add_root("world");
+        let cam = g.add_frame("cam", world, Iso3::IDENTITY).unwrap();
+        let head = g
+            .add_frame("head", cam, Iso3::from_translation(Vec3::X))
+            .unwrap();
+        let before = g.transform_point(world, head, Vec3::ZERO).unwrap();
+        assert!(before.approx_eq(Vec3::X, 1e-12));
+        g.set_pose(cam, Iso3::from_translation(Vec3::new(0.0, 5.0, 0.0)))
+            .unwrap();
+        let after = g.transform_point(world, head, Vec3::ZERO).unwrap();
+        assert!(after.approx_eq(Vec3::new(1.0, 5.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn disconnected_roots_error() {
+        let mut g = FrameGraph::new();
+        let a = g.add_root("a");
+        let b = g.add_root("b");
+        match g.transform(a, b) {
+            Err(FrameError::Disconnected { .. }) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut g = FrameGraph::new();
+        let w = g.add_root("world");
+        g.add_frame("cam", w, Iso3::IDENTITY).unwrap();
+        assert_eq!(
+            g.add_frame("cam", w, Iso3::IDENTITY),
+            Err(FrameError::DuplicateName("cam".into()))
+        );
+    }
+
+    #[test]
+    fn find_by_name() {
+        let (g, _, f1, ..) = fig6_graph();
+        assert_eq!(g.find("F1"), Some(f1));
+        assert!(g.find("nope").is_none());
+        assert_eq!(g.name(f1), Some("F1"));
+    }
+
+    #[test]
+    fn deep_chain_resolves() {
+        let mut g = FrameGraph::new();
+        let mut parent = g.add_root("root");
+        for i in 0..50 {
+            parent = g
+                .add_frame(
+                    &format!("link{i}"),
+                    parent,
+                    Iso3::new(Mat3::rotation_z(FRAC_PI_2), Vec3::X),
+                )
+                .unwrap();
+        }
+        // 50 quarter-turns: rotation is 50*90° = 4500° ≡ 180°.
+        let t = g.pose_in_root(parent).unwrap();
+        assert!(t.rotation.approx_eq(&Mat3::rotation_z(PI), 1e-7));
+        assert!(t.is_rigid(1e-7));
+    }
+}

@@ -1,0 +1,58 @@
+//! 3D geometry substrate for the DiEvent framework.
+//!
+//! The DiEvent paper (Qodseya et al., ICDEW 2018) expresses its core
+//! eye-contact detection algorithm in terms of reference frames, rigid
+//! transformations between them, gaze rays, and head spheres:
+//!
+//! * Equation 1: `ᵢV = ᵢTⱼ · ⱼV` — transforming a vector between frames.
+//! * Equation 2: chaining transforms across camera frames.
+//! * Equation 3: a head modelled as a sphere `‖x − c‖² = r²`.
+//! * Equation 4: a gaze ray `x = o + d·l`.
+//! * Equation 5: the ray–sphere intersection discriminant.
+//!
+//! This crate provides each of those primitives as a small, documented,
+//! allocation-free type, plus a [`frame::FrameGraph`] that resolves the
+//! paper's `ᵢTⱼ` notation between arbitrarily-related frames, and a
+//! [`camera::PinholeCamera`] used both by the synthetic renderer and the
+//! vision substrate.
+//!
+//! All angles are radians unless a function name says otherwise; all
+//! coordinates are metres in a right-handed coordinate system with +Z up
+//! (world) — camera frames follow the usual computer-vision convention of
+//! +Z forward, +X right, +Y down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod angles;
+pub mod camera;
+pub mod frame;
+pub mod mat3;
+pub mod plane;
+pub mod quat;
+pub mod ray;
+pub mod sphere;
+pub mod transform;
+pub mod vec2;
+pub mod vec3;
+
+pub use angles::{deg_to_rad, rad_to_deg, wrap_angle, EulerAngles};
+pub use camera::{CameraIntrinsics, PinholeCamera};
+pub use frame::{FrameGraph, FrameId};
+pub use mat3::Mat3;
+pub use plane::Plane;
+pub use quat::Quat;
+pub use ray::Ray;
+pub use sphere::{RaySphereHit, Sphere};
+pub use transform::Iso3;
+pub use vec2::Vec2;
+pub use vec3::Vec3;
+
+/// Numerical tolerance used across the crate for approximate comparisons.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` differ by at most `tol`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

@@ -1,0 +1,337 @@
+//! 3×3 matrices (rotations and camera intrinsics).
+
+// Small fixed-size matrix loops read clearest with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Sub};
+
+/// A 3×3 row-major double-precision matrix.
+///
+/// Primarily used for rotation matrices (the `R` part of the paper's rigid
+/// transforms `ᵢTⱼ`) and for pinhole intrinsic matrices `K`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Row-major entries: `m[row][col]`.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// The zero matrix.
+    pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
+
+    /// Builds a matrix from row-major entries.
+    #[inline]
+    pub const fn from_rows(m: [[f64; 3]; 3]) -> Self {
+        Mat3 { m }
+    }
+
+    /// Builds a matrix whose columns are `c0`, `c1`, `c2`.
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Mat3 {
+            m: [
+                [c0.x, c1.x, c2.x],
+                [c0.y, c1.y, c2.y],
+                [c0.z, c1.z, c2.z],
+            ],
+        }
+    }
+
+    /// A diagonal matrix with the given diagonal entries.
+    pub fn diagonal(d0: f64, d1: f64, d2: f64) -> Self {
+        Mat3 {
+            m: [[d0, 0.0, 0.0], [0.0, d1, 0.0], [0.0, 0.0, d2]],
+        }
+    }
+
+    /// Row `i` as a vector.
+    #[inline]
+    pub fn row(&self, i: usize) -> Vec3 {
+        Vec3::new(self.m[i][0], self.m[i][1], self.m[i][2])
+    }
+
+    /// Column `j` as a vector.
+    #[inline]
+    pub fn col(&self, j: usize) -> Vec3 {
+        Vec3::new(self.m[0][j], self.m[1][j], self.m[2][j])
+    }
+
+    /// Matrix transpose. For a rotation matrix this is the inverse.
+    pub fn transpose(&self) -> Mat3 {
+        let m = &self.m;
+        Mat3 {
+            m: [
+                [m[0][0], m[1][0], m[2][0]],
+                [m[0][1], m[1][1], m[2][1]],
+                [m[0][2], m[1][2], m[2][2]],
+            ],
+        }
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Trace (sum of diagonal entries).
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+
+    /// General inverse via the adjugate, or `None` when singular.
+    pub fn try_inverse(&self) -> Option<Mat3> {
+        let d = self.det();
+        if d.abs() <= crate::EPS {
+            return None;
+        }
+        let m = &self.m;
+        let inv_d = 1.0 / d;
+        let adj = [
+            [
+                m[1][1] * m[2][2] - m[1][2] * m[2][1],
+                m[0][2] * m[2][1] - m[0][1] * m[2][2],
+                m[0][1] * m[1][2] - m[0][2] * m[1][1],
+            ],
+            [
+                m[1][2] * m[2][0] - m[1][0] * m[2][2],
+                m[0][0] * m[2][2] - m[0][2] * m[2][0],
+                m[0][2] * m[1][0] - m[0][0] * m[1][2],
+            ],
+            [
+                m[1][0] * m[2][1] - m[1][1] * m[2][0],
+                m[0][1] * m[2][0] - m[0][0] * m[2][1],
+                m[0][0] * m[1][1] - m[0][1] * m[1][0],
+            ],
+        ];
+        let mut out = [[0.0; 3]; 3];
+        for (r, row) in adj.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                out[r][c] = v * inv_d;
+            }
+        }
+        Some(Mat3 { m: out })
+    }
+
+    /// Rotation about the +X axis by `theta` radians (right-handed).
+    pub fn rotation_x(theta: f64) -> Mat3 {
+        let (s, c) = theta.sin_cos();
+        Mat3::from_rows([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+    }
+
+    /// Rotation about the +Y axis by `theta` radians (right-handed).
+    pub fn rotation_y(theta: f64) -> Mat3 {
+        let (s, c) = theta.sin_cos();
+        Mat3::from_rows([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+    }
+
+    /// Rotation about the +Z axis by `theta` radians (right-handed).
+    pub fn rotation_z(theta: f64) -> Mat3 {
+        let (s, c) = theta.sin_cos();
+        Mat3::from_rows([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    }
+
+    /// Rotation about an arbitrary unit `axis` by `theta` radians
+    /// (Rodrigues' formula).
+    pub fn rotation_axis_angle(axis: Vec3, theta: f64) -> Mat3 {
+        let a = axis.normalized();
+        let (s, c) = theta.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (a.x, a.y, a.z);
+        Mat3::from_rows([
+            [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+            [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+            [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+        ])
+    }
+
+    /// Returns `true` when the matrix is (numerically) a proper rotation:
+    /// orthonormal with determinant +1.
+    pub fn is_rotation(&self, tol: f64) -> bool {
+        let rtr = self.transpose() * *self;
+        rtr.approx_eq(&Mat3::IDENTITY, tol) && (self.det() - 1.0).abs() <= tol
+    }
+
+    /// Entry-wise approximate equality within `tol`.
+    pub fn approx_eq(&self, other: &Mat3, tol: f64) -> bool {
+        self.m
+            .iter()
+            .flatten()
+            .zip(other.m.iter().flatten())
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Re-orthonormalizes a near-rotation matrix via Gram–Schmidt on its
+    /// columns. Useful after long chains of composed transforms.
+    pub fn orthonormalized(&self) -> Mat3 {
+        let c0 = self.col(0).normalized();
+        let c1 = self.col(1).reject_from(c0).normalized();
+        let c2 = c0.cross(c1);
+        Mat3::from_cols(c0, c1, c2)
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = self.row(r).dot(rhs.col(c));
+            }
+        }
+        Mat3 { m: out }
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, rhs: Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for r in 0..3 {
+            for c in 0..3 {
+                out[r][c] = self.m[r][c] + rhs.m[r][c];
+            }
+        }
+        Mat3 { m: out }
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for r in 0..3 {
+            for c in 0..3 {
+                out[r][c] = self.m[r][c] - rhs.m[r][c];
+            }
+        }
+        Mat3 { m: out }
+    }
+}
+
+impl Mul<f64> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, s: f64) -> Mat3 {
+        let mut out = self.m;
+        for row in &mut out {
+            for v in row {
+                *v *= s;
+            }
+        }
+        Mat3 { m: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_is_neutral() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!((Mat3::IDENTITY * v).approx_eq(v, 1e-12));
+        let r = Mat3::rotation_z(0.7);
+        assert!((Mat3::IDENTITY * r).approx_eq(&r, 1e-12));
+        assert!((r * Mat3::IDENTITY).approx_eq(&r, 1e-12));
+    }
+
+    #[test]
+    fn rotation_z_quarter_turn() {
+        let r = Mat3::rotation_z(FRAC_PI_2);
+        assert!((r * Vec3::X).approx_eq(Vec3::Y, 1e-12));
+        assert!((r * Vec3::Y).approx_eq(-Vec3::X, 1e-12));
+        assert!((r * Vec3::Z).approx_eq(Vec3::Z, 1e-12));
+    }
+
+    #[test]
+    fn rotations_are_proper() {
+        for theta in [0.1, 1.0, -2.3, PI] {
+            assert!(Mat3::rotation_x(theta).is_rotation(1e-9));
+            assert!(Mat3::rotation_y(theta).is_rotation(1e-9));
+            assert!(Mat3::rotation_z(theta).is_rotation(1e-9));
+        }
+    }
+
+    #[test]
+    fn axis_angle_matches_canonical_rotations() {
+        let t = 0.83;
+        assert!(Mat3::rotation_axis_angle(Vec3::X, t).approx_eq(&Mat3::rotation_x(t), 1e-12));
+        assert!(Mat3::rotation_axis_angle(Vec3::Y, t).approx_eq(&Mat3::rotation_y(t), 1e-12));
+        assert!(Mat3::rotation_axis_angle(Vec3::Z, t).approx_eq(&Mat3::rotation_z(t), 1e-12));
+    }
+
+    #[test]
+    fn inverse_of_rotation_is_transpose() {
+        let r = Mat3::rotation_axis_angle(Vec3::new(1.0, 2.0, -0.5), 1.1);
+        let inv = r.try_inverse().unwrap();
+        assert!(inv.approx_eq(&r.transpose(), 1e-9));
+        assert!((r * inv).approx_eq(&Mat3::IDENTITY, 1e-9));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let s = Mat3::from_rows([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 1.0, 0.0]]);
+        assert!(s.try_inverse().is_none());
+    }
+
+    #[test]
+    fn general_inverse_round_trips() {
+        let a = Mat3::from_rows([[2.0, 1.0, 0.5], [-1.0, 3.0, 2.0], [0.0, 0.5, 1.5]]);
+        let inv = a.try_inverse().unwrap();
+        assert!((a * inv).approx_eq(&Mat3::IDENTITY, 1e-9));
+        assert!((inv * a).approx_eq(&Mat3::IDENTITY, 1e-9));
+    }
+
+    #[test]
+    fn det_of_rotation_is_one() {
+        let r = Mat3::rotation_axis_angle(Vec3::new(0.3, -0.2, 0.9), 2.0);
+        assert!((r.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthonormalize_repairs_drift() {
+        let mut r = Mat3::rotation_x(0.4);
+        // Inject drift.
+        r.m[0][0] += 1e-4;
+        r.m[1][2] -= 1e-4;
+        let fixed = r.orthonormalized();
+        assert!(fixed.is_rotation(1e-9));
+    }
+
+    #[test]
+    fn from_cols_round_trips() {
+        let a = Vec3::new(1.0, 4.0, 7.0);
+        let b = Vec3::new(2.0, 5.0, 8.0);
+        let c = Vec3::new(3.0, 6.0, 9.0);
+        let m = Mat3::from_cols(a, b, c);
+        assert!(m.col(0).approx_eq(a, 0.0));
+        assert!(m.col(1).approx_eq(b, 0.0));
+        assert!(m.col(2).approx_eq(c, 0.0));
+        assert!(m.row(0).approx_eq(Vec3::new(1.0, 2.0, 3.0), 0.0));
+    }
+}

@@ -1,0 +1,84 @@
+//! Planes — used for the table surface and image planes.
+
+use crate::{Ray, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A plane `normal · x = offset` with unit normal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plane {
+    /// Unit normal vector.
+    pub normal: Vec3,
+    /// Signed offset from the origin along the normal.
+    pub offset: f64,
+}
+
+impl Plane {
+    /// Creates a plane from a (not necessarily unit) normal and a point on
+    /// the plane. Returns `None` for a degenerate normal.
+    pub fn from_point_normal(point: Vec3, normal: Vec3) -> Option<Self> {
+        let n = normal.try_normalized()?;
+        Some(Plane { normal: n, offset: n.dot(point) })
+    }
+
+    /// The horizontal plane `z = height` (e.g. the table surface).
+    pub fn horizontal(height: f64) -> Self {
+        Plane { normal: Vec3::Z, offset: height }
+    }
+
+    /// Signed distance from `p` to the plane (positive on the normal side).
+    #[inline]
+    pub fn signed_distance(&self, p: Vec3) -> f64 {
+        self.normal.dot(p) - self.offset
+    }
+
+    /// Orthogonal projection of `p` onto the plane.
+    pub fn project(&self, p: Vec3) -> Vec3 {
+        p - self.normal * self.signed_distance(p)
+    }
+
+    /// Intersection of a ray with the plane: returns the ray parameter
+    /// `d ≥ 0`, or `None` when parallel or behind the origin.
+    pub fn intersect_ray(&self, ray: &Ray) -> Option<f64> {
+        let denom = self.normal.dot(ray.dir);
+        if denom.abs() <= crate::EPS {
+            return None;
+        }
+        let d = (self.offset - self.normal.dot(ray.origin)) / denom;
+        (d >= 0.0).then_some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizontal_plane_distances() {
+        let table = Plane::horizontal(0.75);
+        assert!((table.signed_distance(Vec3::new(0.0, 0.0, 1.75)) - 1.0).abs() < 1e-12);
+        assert!((table.signed_distance(Vec3::new(3.0, 2.0, 0.75))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_lands_on_plane() {
+        let p = Plane::from_point_normal(Vec3::new(1.0, 1.0, 1.0), Vec3::new(1.0, 2.0, 2.0)).unwrap();
+        let q = p.project(Vec3::new(5.0, -3.0, 2.0));
+        assert!(p.signed_distance(q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ray_hits_plane_in_front_only() {
+        let floor = Plane::horizontal(0.0);
+        let down = Ray::new(Vec3::new(0.0, 0.0, 2.5), Vec3::new(0.0, 0.0, -1.0));
+        assert!((floor.intersect_ray(&down).unwrap() - 2.5).abs() < 1e-12);
+        let up = Ray::new(Vec3::new(0.0, 0.0, 2.5), Vec3::Z);
+        assert!(floor.intersect_ray(&up).is_none());
+        let parallel = Ray::new(Vec3::new(0.0, 0.0, 2.5), Vec3::X);
+        assert!(floor.intersect_ray(&parallel).is_none());
+    }
+
+    #[test]
+    fn degenerate_normal_rejected() {
+        assert!(Plane::from_point_normal(Vec3::ZERO, Vec3::ZERO).is_none());
+    }
+}

@@ -1,0 +1,286 @@
+//! Unit quaternions for smooth rotation interpolation.
+//!
+//! The scene simulator animates head poses by slerping between scripted
+//! orientations; quaternions avoid the gimbal problems Euler angles would
+//! introduce at the ±15° camera pitches used by the acquisition platform.
+
+use crate::{Mat3, Vec3};
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A quaternion `w + xi + yj + zk`. Rotation quaternions are unit length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// i coefficient.
+    pub x: f64,
+    /// j coefficient.
+    pub y: f64,
+    /// k coefficient.
+    pub z: f64,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a quaternion from raw components (not normalized).
+    #[inline]
+    pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `theta` radians about the given axis.
+    pub fn from_axis_angle(axis: Vec3, theta: f64) -> Quat {
+        let a = axis.normalized();
+        let (s, c) = (theta * 0.5).sin_cos();
+        Quat { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+    }
+
+    /// Converts a rotation matrix to a quaternion (Shepperd's method).
+    pub fn from_mat3(m: &Mat3) -> Quat {
+        let t = m.trace();
+        let q = if t > 0.0 {
+            let s = (t + 1.0).sqrt() * 2.0;
+            Quat {
+                w: 0.25 * s,
+                x: (m.m[2][1] - m.m[1][2]) / s,
+                y: (m.m[0][2] - m.m[2][0]) / s,
+                z: (m.m[1][0] - m.m[0][1]) / s,
+            }
+        } else if m.m[0][0] > m.m[1][1] && m.m[0][0] > m.m[2][2] {
+            let s = (1.0 + m.m[0][0] - m.m[1][1] - m.m[2][2]).sqrt() * 2.0;
+            Quat {
+                w: (m.m[2][1] - m.m[1][2]) / s,
+                x: 0.25 * s,
+                y: (m.m[0][1] + m.m[1][0]) / s,
+                z: (m.m[0][2] + m.m[2][0]) / s,
+            }
+        } else if m.m[1][1] > m.m[2][2] {
+            let s = (1.0 + m.m[1][1] - m.m[0][0] - m.m[2][2]).sqrt() * 2.0;
+            Quat {
+                w: (m.m[0][2] - m.m[2][0]) / s,
+                x: (m.m[0][1] + m.m[1][0]) / s,
+                y: 0.25 * s,
+                z: (m.m[1][2] + m.m[2][1]) / s,
+            }
+        } else {
+            let s = (1.0 + m.m[2][2] - m.m[0][0] - m.m[1][1]).sqrt() * 2.0;
+            Quat {
+                w: (m.m[1][0] - m.m[0][1]) / s,
+                x: (m.m[0][2] + m.m[2][0]) / s,
+                y: (m.m[1][2] + m.m[2][1]) / s,
+                z: 0.25 * s,
+            }
+        };
+        q.normalized()
+    }
+
+    /// Converts to a rotation matrix.
+    pub fn to_mat3(&self) -> Mat3 {
+        let Quat { w, x, y, z } = self.normalized();
+        Mat3::from_rows([
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        ])
+    }
+
+    /// Quaternion norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the unit quaternion with the same orientation.
+    ///
+    /// Falls back to identity for a degenerate (near-zero) quaternion.
+    pub fn normalized(&self) -> Quat {
+        let n = self.norm();
+        if n <= crate::EPS {
+            Quat::IDENTITY
+        } else {
+            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        }
+    }
+
+    /// Conjugate; the inverse for a unit quaternion.
+    #[inline]
+    pub fn conjugate(&self) -> Quat {
+        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Rotates a vector by this (unit) quaternion.
+    pub fn rotate(&self, v: Vec3) -> Vec3 {
+        // v' = v + 2 * q_vec × (q_vec × v + w v)
+        let qv = Vec3::new(self.x, self.y, self.z);
+        let t = qv.cross(v) * 2.0;
+        v + t * self.w + qv.cross(t)
+    }
+
+    /// Dot product of the four components.
+    #[inline]
+    pub fn dot(&self, rhs: &Quat) -> f64 {
+        self.w * rhs.w + self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Spherical linear interpolation from `self` (t=0) to `other` (t=1),
+    /// always along the shorter arc.
+    pub fn slerp(&self, other: &Quat, t: f64) -> Quat {
+        let mut b = *other;
+        let mut cos_theta = self.dot(other);
+        if cos_theta < 0.0 {
+            // Take the short way around.
+            b = Quat { w: -b.w, x: -b.x, y: -b.y, z: -b.z };
+            cos_theta = -cos_theta;
+        }
+        if cos_theta > 1.0 - 1e-10 {
+            // Nearly parallel: fall back to nlerp to avoid division by ~0.
+            return Quat {
+                w: self.w + (b.w - self.w) * t,
+                x: self.x + (b.x - self.x) * t,
+                y: self.y + (b.y - self.y) * t,
+                z: self.z + (b.z - self.z) * t,
+            }
+            .normalized();
+        }
+        let theta = cos_theta.clamp(-1.0, 1.0).acos();
+        let sin_theta = theta.sin();
+        let wa = ((1.0 - t) * theta).sin() / sin_theta;
+        let wb = (t * theta).sin() / sin_theta;
+        Quat {
+            w: self.w * wa + b.w * wb,
+            x: self.x * wa + b.x * wb,
+            y: self.y * wa + b.y * wb,
+            z: self.z * wa + b.z * wb,
+        }
+        .normalized()
+    }
+
+    /// Rotation angle in radians, in `[0, π]`.
+    pub fn angle(&self) -> f64 {
+        2.0 * self.normalized().w.abs().clamp(-1.0, 1.0).acos()
+    }
+
+    /// Geodesic angular distance to `other`, in `[0, π]`.
+    pub fn angle_to(&self, other: &Quat) -> f64 {
+        (self.conjugate() * *other).angle()
+    }
+}
+
+impl Mul for Quat {
+    type Output = Quat;
+    fn mul(self, r: Quat) -> Quat {
+        Quat {
+            w: self.w * r.w - self.x * r.x - self.y * r.y - self.z * r.z,
+            x: self.w * r.x + self.x * r.w + self.y * r.z - self.z * r.y,
+            y: self.w * r.y - self.x * r.z + self.y * r.w + self.z * r.x,
+            z: self.w * r.z + self.x * r.y - self.y * r.x + self.z * r.w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn axis_angle_rotates_like_matrix() {
+        let axis = Vec3::new(0.2, -1.0, 0.5);
+        let theta = 1.3;
+        let q = Quat::from_axis_angle(axis, theta);
+        let m = Mat3::rotation_axis_angle(axis, theta);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(q.rotate(v).approx_eq(m * v, 1e-9));
+    }
+
+    #[test]
+    fn mat3_round_trip() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 1.0, -0.3), 2.4);
+        let q2 = Quat::from_mat3(&q.to_mat3());
+        // Sign ambiguity: q and -q are the same rotation.
+        let same = q.dot(&q2).abs();
+        assert!((same - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_matches_matrix_product() {
+        let qa = Quat::from_axis_angle(Vec3::X, 0.5);
+        let qb = Quat::from_axis_angle(Vec3::Z, -1.1);
+        let v = Vec3::new(0.3, 0.7, -0.2);
+        let composed = (qa * qb).rotate(v);
+        let sequential = qa.rotate(qb.rotate(v));
+        assert!(composed.approx_eq(sequential, 1e-9));
+    }
+
+    #[test]
+    fn conjugate_inverts() {
+        let q = Quat::from_axis_angle(Vec3::new(0.1, 0.9, 0.4), 0.8);
+        let v = Vec3::new(5.0, -2.0, 1.0);
+        assert!(q.conjugate().rotate(q.rotate(v)).approx_eq(v, 1e-9));
+    }
+
+    #[test]
+    fn slerp_endpoints_and_midpoint() {
+        let a = Quat::IDENTITY;
+        let b = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert!(a.slerp(&b, 0.0).dot(&a).abs() > 1.0 - 1e-9);
+        assert!(a.slerp(&b, 1.0).dot(&b).abs() > 1.0 - 1e-9);
+        let mid = a.slerp(&b, 0.5);
+        let expect = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2 / 2.0);
+        assert!(mid.dot(&expect).abs() > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn slerp_takes_short_arc() {
+        let a = Quat::from_axis_angle(Vec3::Z, 0.1);
+        let b = Quat::from_axis_angle(Vec3::Z, 0.3);
+        // Negate b: same rotation, opposite sign; slerp must still take 0.1→0.3.
+        let neg_b = Quat { w: -b.w, x: -b.x, y: -b.y, z: -b.z };
+        let mid = a.slerp(&neg_b, 0.5);
+        let expect = Quat::from_axis_angle(Vec3::Z, 0.2);
+        assert!(mid.dot(&expect).abs() > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn angle_measures_rotation_magnitude() {
+        let q = Quat::from_axis_angle(Vec3::Y, 0.77);
+        assert!((q.angle() - 0.77).abs() < 1e-9);
+        let full = Quat::from_axis_angle(Vec3::Y, PI);
+        assert!((full.angle() - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_to_is_geodesic() {
+        let a = Quat::from_axis_angle(Vec3::X, 0.2);
+        let b = Quat::from_axis_angle(Vec3::X, 0.9);
+        assert!((a.angle_to(&b) - 0.7).abs() < 1e-9);
+        assert!((b.angle_to(&a) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_normalizes_to_identity() {
+        let q = Quat::new(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(q.normalized(), Quat::IDENTITY);
+    }
+}

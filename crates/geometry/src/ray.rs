@@ -1,0 +1,117 @@
+//! Rays — the paper's gaze lines (Equation 4).
+//!
+//! "Generically, any line can be defined as `x = o + d·l`" — `o` is the
+//! origin of the line (a participant's head position), `l` its direction
+//! (the gaze vector), and `d` the distance along it.
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A ray (half-line) `x(d) = origin + d · dir`, `d ≥ 0`.
+///
+/// The direction is stored as given; most consumers normalize on
+/// construction via [`Ray::new_normalized`]. A gaze ray's origin is the
+/// eye/head center and its direction the estimated gaze vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ray {
+    /// Starting point `o`.
+    pub origin: Vec3,
+    /// Direction `l` (not necessarily unit length).
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray from origin and direction.
+    pub const fn new(origin: Vec3, dir: Vec3) -> Self {
+        Ray { origin, dir }
+    }
+
+    /// Creates a ray with a normalized direction, or `None` if the
+    /// direction is (near-)zero.
+    pub fn new_normalized(origin: Vec3, dir: Vec3) -> Option<Self> {
+        Some(Ray { origin, dir: dir.try_normalized()? })
+    }
+
+    /// The point at parameter `d` along the ray (Eq. 4).
+    #[inline]
+    pub fn at(&self, d: f64) -> Vec3 {
+        self.origin + self.dir * d
+    }
+
+    /// Parameter of the point on the supporting line closest to `p`
+    /// (may be negative: behind the origin).
+    pub fn closest_param(&self, p: Vec3) -> f64 {
+        let n2 = self.dir.norm_sq();
+        if n2 <= crate::EPS {
+            return 0.0;
+        }
+        (p - self.origin).dot(self.dir) / n2
+    }
+
+    /// The point on the *ray* (clamped to `d ≥ 0`) closest to `p`.
+    pub fn closest_point(&self, p: Vec3) -> Vec3 {
+        self.at(self.closest_param(p).max(0.0))
+    }
+
+    /// Distance from `p` to the ray.
+    pub fn distance_to_point(&self, p: Vec3) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Angular deviation (radians) between the ray direction and the
+    /// direction from the ray origin to `p`.
+    ///
+    /// Used by tolerance-based gaze checks: a person "looks at" a target
+    /// when this deviation is below a visual-cone threshold.
+    pub fn angular_deviation_to(&self, p: Vec3) -> f64 {
+        self.dir.angle_to(p - self.origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_along_direction() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert!(r.at(0.0).approx_eq(r.origin, 1e-12));
+        assert!(r.at(1.5).approx_eq(Vec3::new(1.0, 3.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn new_normalized_rejects_zero_dir() {
+        assert!(Ray::new_normalized(Vec3::ZERO, Vec3::ZERO).is_none());
+        let r = Ray::new_normalized(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0)).unwrap();
+        assert!((r.dir.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closest_point_projects_orthogonally() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        let p = Vec3::new(3.0, 4.0, 0.0);
+        assert!(r.closest_point(p).approx_eq(Vec3::new(3.0, 0.0, 0.0), 1e-12));
+        assert!((r.distance_to_point(p) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closest_point_clamps_behind_origin() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        let behind = Vec3::new(-5.0, 1.0, 0.0);
+        assert!(r.closest_point(behind).approx_eq(Vec3::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn angular_deviation_zero_on_axis() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        assert!(r.angular_deviation_to(Vec3::new(10.0, 0.0, 0.0)).abs() < 1e-12);
+        let dev = r.angular_deviation_to(Vec3::new(1.0, 1.0, 0.0));
+        assert!((dev - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_direction_param_is_zero() {
+        let r = Ray::new(Vec3::new(1.0, 1.0, 1.0), Vec3::ZERO);
+        assert_eq!(r.closest_param(Vec3::new(9.0, 9.0, 9.0)), 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Spheres and ray–sphere intersection — the paper's Equations 3 and 5.
+//!
+//! DiEvent models a participant's head as a sphere `‖x − c‖² = r²`
+//! (Eq. 3) and tests whether another participant's gaze ray pierces it.
+//! Substituting the ray `x = o + d·l` (Eq. 4) gives a quadratic in `d`
+//! whose discriminant `w` (Eq. 5) decides the outcome:
+//!
+//! * `w > 0` — two intersection points: the gaze crosses the head sphere,
+//!   so the gazer *is looking at* that participant;
+//! * `w = 0` — tangent;
+//! * `w < 0` — miss.
+//!
+//! The paper additionally requires the intersection to be *in front of*
+//! the gazer (`d > 0`); [`Sphere::intersect_ray`] enforces that.
+
+use crate::{Ray, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A sphere `‖x − center‖² = radius²` (paper Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sphere {
+    /// Center `c` — in DiEvent, a participant's head position.
+    pub center: Vec3,
+    /// Radius `r` — the head-sphere radius (the paper leaves the value
+    /// open; ~0.12 m is an adult head, and the `ablation_head_radius`
+    /// bench sweeps it).
+    pub radius: f64,
+}
+
+/// Result of a ray–sphere intersection test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RaySphereHit {
+    /// Smaller intersection parameter (entry point).
+    pub d_near: f64,
+    /// Larger intersection parameter (exit point).
+    pub d_far: f64,
+    /// The discriminant `w` of Eq. 5 (scaled form; positive on a hit).
+    pub discriminant: f64,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    /// Panics when `radius` is negative or non-finite.
+    pub fn new(center: Vec3, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "sphere radius must be finite and non-negative, got {radius}"
+        );
+        Sphere { center, radius }
+    }
+
+    /// Returns `true` when `p` lies inside or on the sphere.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.distance_sq(self.center) <= self.radius * self.radius
+    }
+
+    /// The discriminant `w` of the paper's Equation 5 for the given ray.
+    ///
+    /// With `Δ = o − c`:
+    /// `w = (l·Δ)² − ‖l‖²·(‖Δ‖² − r²)`.
+    /// `w ≥ 0` iff the *supporting line* of the ray meets the sphere.
+    pub fn discriminant(&self, ray: &Ray) -> f64 {
+        let delta = ray.origin - self.center;
+        let b = ray.dir.dot(delta);
+        b * b - ray.dir.norm_sq() * (delta.norm_sq() - self.radius * self.radius)
+    }
+
+    /// Ray–sphere intersection (Eq. 5), requiring the hit to lie on the
+    /// forward half of the ray (`d_far > 0`).
+    ///
+    /// Returns `None` when the line misses the sphere, is tangent within
+    /// numerical tolerance, degenerate (zero direction), or the sphere is
+    /// entirely behind the ray origin.
+    pub fn intersect_ray(&self, ray: &Ray) -> Option<RaySphereHit> {
+        let l2 = ray.dir.norm_sq();
+        if l2 <= crate::EPS {
+            return None;
+        }
+        let delta = ray.origin - self.center;
+        let b = ray.dir.dot(delta);
+        let w = b * b - l2 * (delta.norm_sq() - self.radius * self.radius);
+        if w <= 0.0 {
+            // Tangent (w = 0) counts as "not looking" per the paper:
+            // "otherwise the line is either tangent to the sphere or not
+            // passing through the sphere at all".
+            return None;
+        }
+        let sqrt_w = w.sqrt();
+        // Eq. 5: d = (−(l·Δ) ± √w) / ‖l‖²
+        let d_near = (-b - sqrt_w) / l2;
+        let d_far = (-b + sqrt_w) / l2;
+        if d_far <= 0.0 {
+            // Sphere entirely behind the gazer.
+            return None;
+        }
+        Some(RaySphereHit { d_near, d_far, discriminant: w })
+    }
+
+    /// Convenience predicate: does this gaze ray look at the sphere?
+    ///
+    /// This is the paper's per-cell test for the look-at matrix.
+    #[inline]
+    pub fn is_hit_by(&self, gaze: &Ray) -> bool {
+        self.intersect_ray(gaze).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_sphere_at(x: f64) -> Sphere {
+        Sphere::new(Vec3::new(x, 0.0, 0.0), 1.0)
+    }
+
+    #[test]
+    fn head_on_hit_has_two_roots() {
+        let s = unit_sphere_at(5.0);
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        let hit = s.intersect_ray(&ray).unwrap();
+        assert!((hit.d_near - 4.0).abs() < 1e-12);
+        assert!((hit.d_far - 6.0).abs() < 1e-12);
+        assert!(hit.discriminant > 0.0);
+    }
+
+    #[test]
+    fn hit_points_lie_on_sphere() {
+        let s = Sphere::new(Vec3::new(2.0, 1.0, -0.5), 0.75);
+        let ray = Ray::new(Vec3::new(-1.0, 0.5, 0.0), (s.center - Vec3::new(-1.0, 0.5, 0.0)).normalized());
+        let hit = s.intersect_ray(&ray).unwrap();
+        for d in [hit.d_near, hit.d_far] {
+            let p = ray.at(d);
+            assert!((p.distance(s.center) - s.radius).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let s = unit_sphere_at(5.0);
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        assert!(s.intersect_ray(&ray).is_none());
+        assert!(!s.is_hit_by(&ray));
+    }
+
+    #[test]
+    fn tangent_counts_as_miss() {
+        // Ray along +X at y=1 grazes the unit sphere at (5,0,0).
+        let s = unit_sphere_at(5.0);
+        let ray = Ray::new(Vec3::new(0.0, 1.0, 0.0), Vec3::X);
+        assert!(s.intersect_ray(&ray).is_none(), "paper treats tangency as not-looking");
+    }
+
+    #[test]
+    fn sphere_behind_origin_is_rejected() {
+        let s = unit_sphere_at(-5.0);
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        // Supporting line intersects, but only at negative d.
+        assert!(s.discriminant(&ray) > 0.0);
+        assert!(s.intersect_ray(&ray).is_none());
+    }
+
+    #[test]
+    fn origin_inside_sphere_hits_forward() {
+        let s = Sphere::new(Vec3::ZERO, 2.0);
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        let hit = s.intersect_ray(&ray).unwrap();
+        assert!(hit.d_near < 0.0 && hit.d_far > 0.0);
+    }
+
+    #[test]
+    fn unnormalized_direction_gives_scaled_params() {
+        let s = unit_sphere_at(5.0);
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0));
+        let hit = s.intersect_ray(&ray).unwrap();
+        // Same geometric points, half the parameter values.
+        assert!((hit.d_near - 2.0).abs() < 1e-12);
+        assert!((hit.d_far - 3.0).abs() < 1e-12);
+        assert!(ray.at(hit.d_near).approx_eq(Vec3::new(4.0, 0.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn zero_direction_is_degenerate() {
+        let s = unit_sphere_at(0.0);
+        let ray = Ray::new(Vec3::new(5.0, 0.0, 0.0), Vec3::ZERO);
+        assert!(s.intersect_ray(&ray).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let s = Sphere::new(Vec3::ZERO, 1.0);
+        assert!(s.contains(Vec3::new(1.0, 0.0, 0.0)));
+        assert!(s.contains(Vec3::new(0.5, 0.5, 0.0)));
+        assert!(!s.contains(Vec3::new(1.0, 1.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_radius_panics() {
+        let _ = Sphere::new(Vec3::ZERO, -1.0);
+    }
+
+    #[test]
+    fn discriminant_sign_matches_paper_cases() {
+        // w ∈ ℝ⁺ → two intersection points → "looking at".
+        let s = unit_sphere_at(4.0);
+        let hit_ray = Ray::new(Vec3::ZERO, Vec3::X);
+        let graze_ray = Ray::new(Vec3::new(0.0, 1.0, 0.0), Vec3::X);
+        let miss_ray = Ray::new(Vec3::new(0.0, 2.0, 0.0), Vec3::X);
+        assert!(s.discriminant(&hit_ray) > 0.0);
+        assert!(s.discriminant(&graze_ray).abs() < 1e-9);
+        assert!(s.discriminant(&miss_ray) < 0.0);
+    }
+}

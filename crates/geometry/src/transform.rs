@@ -1,0 +1,216 @@
+//! Rigid transforms — the paper's `ᵢTⱼ`.
+//!
+//! Equation 1 of the paper transforms a vector expressed in frame `Fⱼ`
+//! into frame `Fᵢ`: `ᵢV = ᵢTⱼ · ⱼV`. [`Iso3`] is exactly that operator:
+//! a proper rotation followed by a translation (an element of SE(3)).
+
+use crate::{Mat3, Quat, Ray, Vec3};
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A rigid (isometric) transform: rotation then translation.
+///
+/// `Iso3` maps points and directions from a *source* frame into a
+/// *destination* frame. In the paper's notation an `ᵢTⱼ` has source `Fⱼ`
+/// and destination `Fᵢ`; composing `ᵢTⱼ · ⱼTₖ` yields `ᵢTₖ` (Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Iso3 {
+    /// Rotation part.
+    pub rotation: Mat3,
+    /// Translation part (origin of the source frame expressed in the
+    /// destination frame).
+    pub translation: Vec3,
+}
+
+impl Default for Iso3 {
+    fn default() -> Self {
+        Iso3::IDENTITY
+    }
+}
+
+impl Iso3 {
+    /// The identity transform.
+    pub const IDENTITY: Iso3 = Iso3 {
+        rotation: Mat3::IDENTITY,
+        translation: Vec3::ZERO,
+    };
+
+    /// Creates a transform from rotation and translation.
+    pub const fn new(rotation: Mat3, translation: Vec3) -> Self {
+        Iso3 { rotation, translation }
+    }
+
+    /// Pure translation.
+    pub const fn from_translation(t: Vec3) -> Self {
+        Iso3 { rotation: Mat3::IDENTITY, translation: t }
+    }
+
+    /// Pure rotation.
+    pub const fn from_rotation(r: Mat3) -> Self {
+        Iso3 { rotation: r, translation: Vec3::ZERO }
+    }
+
+    /// Creates a transform from a unit quaternion and translation.
+    pub fn from_quat(q: Quat, t: Vec3) -> Self {
+        Iso3 { rotation: q.to_mat3(), translation: t }
+    }
+
+    /// Transforms a *point* (rotates then translates).
+    #[inline]
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.rotation * p + self.translation
+    }
+
+    /// Transforms a *direction* (rotates only — Eq. 1 applied to a free
+    /// vector such as a gaze direction).
+    #[inline]
+    pub fn transform_dir(&self, v: Vec3) -> Vec3 {
+        self.rotation * v
+    }
+
+    /// Transforms a ray: its origin as a point, its direction as a
+    /// direction.
+    pub fn transform_ray(&self, ray: &Ray) -> Ray {
+        Ray::new(self.transform_point(ray.origin), self.transform_dir(ray.dir))
+    }
+
+    /// The inverse transform: if `self` is `ᵢTⱼ` this returns `ⱼTᵢ`.
+    pub fn inverse(&self) -> Iso3 {
+        let rt = self.rotation.transpose();
+        Iso3 {
+            rotation: rt,
+            translation: -(rt * self.translation),
+        }
+    }
+
+    /// Approximate equality within `tol` on every matrix and vector entry.
+    pub fn approx_eq(&self, other: &Iso3, tol: f64) -> bool {
+        self.rotation.approx_eq(&other.rotation, tol)
+            && self.translation.approx_eq(other.translation, tol)
+    }
+
+    /// Returns `true` when the rotation part is a proper rotation.
+    pub fn is_rigid(&self, tol: f64) -> bool {
+        self.rotation.is_rotation(tol) && self.translation.is_finite()
+    }
+
+    /// Builds the pose of an observer at `eye` looking toward `target`.
+    ///
+    /// The returned transform maps observer-local coordinates (+X forward,
+    /// +Y left, +Z up) into the frame `eye`/`target` are expressed in.
+    /// `up_hint` resolves the roll ambiguity (usually world +Z).
+    pub fn look_at(eye: Vec3, target: Vec3, up_hint: Vec3) -> Option<Iso3> {
+        let forward = (target - eye).try_normalized()?;
+        let left = up_hint.cross(forward).try_normalized()?;
+        let up = forward.cross(left);
+        Some(Iso3 {
+            rotation: Mat3::from_cols(forward, left, up),
+            translation: eye,
+        })
+    }
+}
+
+impl Mul for Iso3 {
+    type Output = Iso3;
+    /// Composition: `(a * b).transform_point(p) == a.transform_point(b.transform_point(p))`.
+    ///
+    /// In frame notation: `ᵢTⱼ * ⱼTₖ = ᵢTₖ` (paper Eq. 2).
+    fn mul(self, rhs: Iso3) -> Iso3 {
+        Iso3 {
+            rotation: self.rotation * rhs.rotation,
+            translation: self.rotation * rhs.translation + self.translation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn arbitrary_iso() -> Iso3 {
+        Iso3::new(
+            Mat3::rotation_axis_angle(Vec3::new(0.3, 1.0, -0.2), 0.9),
+            Vec3::new(1.0, -2.0, 0.5),
+        )
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let p = Vec3::new(3.0, 1.0, -4.0);
+        assert!(Iso3::IDENTITY.transform_point(p).approx_eq(p, 1e-12));
+        let t = arbitrary_iso();
+        assert!((t * Iso3::IDENTITY).approx_eq(&t, 1e-12));
+        assert!((Iso3::IDENTITY * t).approx_eq(&t, 1e-12));
+    }
+
+    #[test]
+    fn inverse_round_trips_points_and_dirs() {
+        let t = arbitrary_iso();
+        let inv = t.inverse();
+        let p = Vec3::new(0.4, 2.0, -1.0);
+        assert!(inv.transform_point(t.transform_point(p)).approx_eq(p, 1e-9));
+        assert!(inv.transform_dir(t.transform_dir(p)).approx_eq(p, 1e-9));
+        assert!((t * inv).approx_eq(&Iso3::IDENTITY, 1e-9));
+    }
+
+    #[test]
+    fn composition_associates_with_application() {
+        // Paper Eq. 2: ¹V = ¹T₂ · ²T₄ · ⁴V — composing transforms must
+        // equal sequential application.
+        let t12 = arbitrary_iso();
+        let t24 = Iso3::new(Mat3::rotation_z(FRAC_PI_2), Vec3::new(0.0, 3.0, 0.0));
+        let v = Vec3::new(1.0, 1.0, 1.0);
+        let composed = (t12 * t24).transform_point(v);
+        let sequential = t12.transform_point(t24.transform_point(v));
+        assert!(composed.approx_eq(sequential, 1e-9));
+    }
+
+    #[test]
+    fn directions_ignore_translation() {
+        let t = Iso3::from_translation(Vec3::new(100.0, -50.0, 10.0));
+        let v = Vec3::new(0.0, 1.0, 0.0);
+        assert!(t.transform_dir(v).approx_eq(v, 1e-12));
+        assert!(t.transform_point(v).approx_eq(Vec3::new(100.0, -49.0, 10.0), 1e-12));
+    }
+
+    #[test]
+    fn transform_ray_moves_origin_and_rotates_dir() {
+        let t = Iso3::new(Mat3::rotation_z(FRAC_PI_2), Vec3::new(1.0, 0.0, 0.0));
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        let tr = t.transform_ray(&r);
+        assert!(tr.origin.approx_eq(Vec3::new(1.0, 0.0, 0.0), 1e-12));
+        assert!(tr.dir.approx_eq(Vec3::Y, 1e-12));
+    }
+
+    #[test]
+    fn look_at_faces_target() {
+        let eye = Vec3::new(0.0, 0.0, 2.5);
+        let target = Vec3::new(3.0, 1.0, 0.8);
+        let pose = Iso3::look_at(eye, target, Vec3::Z).unwrap();
+        // Local +X (forward) must map onto the eye→target direction.
+        let fwd_world = pose.transform_dir(Vec3::X);
+        assert!(fwd_world.approx_eq((target - eye).normalized(), 1e-9));
+        // Origin maps to eye.
+        assert!(pose.transform_point(Vec3::ZERO).approx_eq(eye, 1e-12));
+        assert!(pose.is_rigid(1e-9));
+    }
+
+    #[test]
+    fn look_at_degenerates_gracefully() {
+        // Looking straight up with an up hint parallel to the view axis.
+        assert!(Iso3::look_at(Vec3::ZERO, Vec3::Z, Vec3::Z).is_none());
+        // Zero-length view vector.
+        assert!(Iso3::look_at(Vec3::X, Vec3::X, Vec3::Z).is_none());
+    }
+
+    #[test]
+    fn rigid_transform_preserves_distance() {
+        let t = arbitrary_iso();
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 1.0);
+        let d0 = a.distance(b);
+        let d1 = t.transform_point(a).distance(t.transform_point(b));
+        assert!((d0 - d1).abs() < 1e-9);
+    }
+}

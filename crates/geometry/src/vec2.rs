@@ -1,0 +1,202 @@
+//! Two-dimensional vectors (image coordinates and top-view maps).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-component double-precision vector.
+///
+/// Used for pixel coordinates (`x` right, `y` down, in pixels) and for the
+/// plan-view positions that build the paper's look-at top view maps.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec2) -> f64 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// The scalar (z) component of the 2D cross product.
+    #[inline]
+    pub fn perp_dot(self, rhs: Vec2) -> f64 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Returns the unit vector in this direction, or `None` for a
+    /// (near-)zero vector.
+    #[inline]
+    pub fn try_normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= crate::EPS {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// Angle of the vector from the +X axis, in `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Rotates the vector counter-clockwise by `theta` radians.
+    pub fn rotated(self, theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Returns `true` when `self` and `other` agree component-wise within `tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Vec2, tol: f64) -> bool {
+        (self.x - other.x).abs() <= tol && (self.y - other.y).abs() <= tol
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, v: Vec2) -> Vec2 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, s: f64) -> Vec2 {
+        Vec2::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn rotation_by_quarter_turn() {
+        let v = Vec2::new(1.0, 0.0).rotated(FRAC_PI_2);
+        assert!(v.approx_eq(Vec2::new(0.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn perp_dot_sign_encodes_orientation() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert!(a.perp_dot(b) > 0.0);
+        assert!(b.perp_dot(a) < 0.0);
+    }
+
+    #[test]
+    fn angle_of_axes() {
+        assert!(Vec2::new(1.0, 0.0).angle().abs() < 1e-12);
+        assert!((Vec2::new(0.0, 1.0).angle() - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(4.0, 6.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_normalized_rejects_zero() {
+        assert!(Vec2::ZERO.try_normalized().is_none());
+        let n = Vec2::new(3.0, 4.0).try_normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+    }
+}

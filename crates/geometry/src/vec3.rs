@@ -1,0 +1,356 @@
+//! Three-dimensional vectors.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
+
+/// A 3-component double-precision vector.
+///
+/// Used for positions (metres, world frame `+Z` up) and directions (gaze
+/// vectors, camera axes). Direction vectors are not implicitly normalized;
+/// call [`Vec3::normalized`] where unit length is required.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +X.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +Y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along +Z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product (right-handed).
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn distance_sq(self, other: Vec3) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Returns the unit vector in this direction, or `None` for a
+    /// (near-)zero vector.
+    #[inline]
+    pub fn try_normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= crate::EPS {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Returns the unit vector in this direction.
+    ///
+    /// # Panics
+    /// Panics if the vector is (near-)zero; use [`Vec3::try_normalized`]
+    /// when the input may degenerate.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        self.try_normalized()
+            .expect("cannot normalize a zero-length Vec3")
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Component-wise multiplication.
+    #[inline]
+    pub fn hadamard(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+
+    /// Angle in radians between this vector and `other`, in `[0, π]`.
+    ///
+    /// Returns 0 when either vector is (near-)zero.
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        let d = self.norm() * other.norm();
+        if d <= crate::EPS {
+            return 0.0;
+        }
+        (self.dot(other) / d).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Projection of this vector onto `onto`.
+    ///
+    /// Returns the zero vector when `onto` is (near-)zero.
+    pub fn project_onto(self, onto: Vec3) -> Vec3 {
+        let d = onto.norm_sq();
+        if d <= crate::EPS {
+            Vec3::ZERO
+        } else {
+            onto * (self.dot(onto) / d)
+        }
+    }
+
+    /// Component of this vector orthogonal to `onto`.
+    pub fn reject_from(self, onto: Vec3) -> Vec3 {
+        self - self.project_onto(onto)
+    }
+
+    /// Returns `true` when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Returns `true` when `self` and `other` agree component-wise within `tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Vec3, tol: f64) -> bool {
+        (self.x - other.x).abs() <= tol
+            && (self.y - other.y).abs() <= tol
+            && (self.z - other.z).abs() <= tol
+    }
+
+    /// Smallest component.
+    #[inline]
+    pub fn min_element(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_element(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Drops the Z component, producing a top-view (plan) projection.
+    ///
+    /// The paper's look-at *top view maps* (Figs. 7–8) are plan projections
+    /// of participant positions; this is the primitive behind them.
+    #[inline]
+    pub fn xy(self) -> crate::Vec2 {
+        crate::Vec2::new(self.x, self.y)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_cross_are_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_follows_right_hand_rule() {
+        assert!(Vec3::X.cross(Vec3::Y).approx_eq(Vec3::Z, 1e-12));
+        assert!(Vec3::Y.cross(Vec3::Z).approx_eq(Vec3::X, 1e-12));
+        assert!(Vec3::Z.cross(Vec3::X).approx_eq(Vec3::Y, 1e-12));
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vec3::new(3.0, -4.0, 12.0);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_normalized_rejects_zero() {
+        assert!(Vec3::ZERO.try_normalized().is_none());
+        assert!(Vec3::splat(1e-12).try_normalized().is_none());
+    }
+
+    #[test]
+    fn angle_between_axes_is_right_angle() {
+        assert!((Vec3::X.angle_to(Vec3::Y) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(Vec3::X.angle_to(Vec3::X).abs() < 1e-12);
+        assert!((Vec3::X.angle_to(-Vec3::X) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_and_rejection_decompose() {
+        let v = Vec3::new(2.0, 5.0, -1.0);
+        let onto = Vec3::new(1.0, 1.0, 0.0);
+        let p = v.project_onto(onto);
+        let r = v.reject_from(onto);
+        assert!((p + r).approx_eq(v, 1e-12));
+        assert!(r.dot(onto).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(0.0, 1.0, 2.0);
+        let b = Vec3::new(10.0, -1.0, 4.0);
+        assert!(a.lerp(b, 0.0).approx_eq(a, 1e-12));
+        assert!(a.lerp(b, 1.0).approx_eq(b, 1e-12));
+        assert!(a.lerp(b, 0.5).approx_eq(Vec3::new(5.0, 0.0, 3.0), 1e-12));
+    }
+
+    #[test]
+    fn index_matches_fields() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let v = Vec3::new(1.5, -2.5, 3.5);
+        let a: [f64; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+    }
+
+    #[test]
+    fn xy_drops_height() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let p = v.xy();
+        assert_eq!((p.x, p.y), (1.0, 2.0));
+    }
+}

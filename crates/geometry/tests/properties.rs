@@ -1,0 +1,191 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! These check the algebraic laws the eye-contact pipeline relies on:
+//! rigid transforms form a group, rotations preserve lengths and angles,
+//! and the Eq. 5 ray–sphere discriminant agrees with an independent
+//! distance-based oracle.
+
+use dievent_geometry::{CameraIntrinsics, Iso3, Mat3, PinholeCamera, Quat, Ray, Sphere, Vec2, Vec3};
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    -10.0..10.0f64
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (small_f64(), small_f64(), small_f64()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_vec3() -> impl Strategy<Value = Vec3> {
+    vec3().prop_filter_map("non-degenerate", |v| v.try_normalized())
+}
+
+fn rotation() -> impl Strategy<Value = Mat3> {
+    (unit_vec3(), -3.1..3.1f64).prop_map(|(axis, theta)| Mat3::rotation_axis_angle(axis, theta))
+}
+
+fn iso3() -> impl Strategy<Value = Iso3> {
+    (rotation(), vec3()).prop_map(|(r, t)| Iso3::new(r, t))
+}
+
+proptest! {
+    #[test]
+    fn rotations_preserve_norm(r in rotation(), v in vec3()) {
+        prop_assert!(((r * v).norm() - v.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotations_preserve_dot(r in rotation(), a in vec3(), b in vec3()) {
+        prop_assert!(((r * a).dot(r * b) - a.dot(b)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rotation_inverse_is_transpose(r in rotation()) {
+        let inv = r.try_inverse().expect("rotations are invertible");
+        prop_assert!(inv.approx_eq(&r.transpose(), 1e-9));
+    }
+
+    #[test]
+    fn iso3_group_inverse(t in iso3(), p in vec3()) {
+        let back = t.inverse().transform_point(t.transform_point(p));
+        prop_assert!(back.approx_eq(p, 1e-8));
+    }
+
+    #[test]
+    fn iso3_composition_is_application_order(a in iso3(), b in iso3(), p in vec3()) {
+        let composed = (a * b).transform_point(p);
+        let sequential = a.transform_point(b.transform_point(p));
+        prop_assert!(composed.approx_eq(sequential, 1e-8));
+    }
+
+    #[test]
+    fn iso3_preserves_distances(t in iso3(), a in vec3(), b in vec3()) {
+        let d0 = a.distance(b);
+        let d1 = t.transform_point(a).distance(t.transform_point(b));
+        prop_assert!((d0 - d1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn quat_matrix_agree_on_rotation(axis in unit_vec3(), theta in -3.1..3.1f64, v in vec3()) {
+        let q = Quat::from_axis_angle(axis, theta);
+        let m = Mat3::rotation_axis_angle(axis, theta);
+        prop_assert!(q.rotate(v).approx_eq(m * v, 1e-8));
+    }
+
+    #[test]
+    fn quat_roundtrip_through_matrix(axis in unit_vec3(), theta in -3.0..3.0f64) {
+        let q = Quat::from_axis_angle(axis, theta);
+        let q2 = Quat::from_mat3(&q.to_mat3());
+        // q and −q are the same rotation.
+        prop_assert!((q.dot(&q2).abs() - 1.0).abs() < 1e-8);
+    }
+
+    /// Eq. 5 oracle: the ray's supporting line intersects the sphere iff
+    /// the perpendicular distance from the center to the line ≤ radius.
+    #[test]
+    fn discriminant_matches_distance_oracle(
+        center in vec3(),
+        radius in 0.05..3.0f64,
+        origin in vec3(),
+        dir in unit_vec3(),
+    ) {
+        let sphere = Sphere::new(center, radius);
+        let ray = Ray::new(origin, dir);
+        let w = sphere.discriminant(&ray);
+        // Perpendicular distance from center to the *line* (unclamped).
+        let t = (center - origin).dot(dir);
+        let perp = (origin + dir * t).distance(center);
+        if (perp - radius).abs() > 1e-6 {
+            prop_assert_eq!(w > 0.0, perp < radius,
+                "w = {}, perp = {}, r = {}", w, perp, radius);
+        }
+    }
+
+    /// The intersection points returned by Eq. 5 really lie on the sphere.
+    #[test]
+    fn intersection_points_on_sphere(
+        center in vec3(),
+        radius in 0.05..3.0f64,
+        origin in vec3(),
+        dir in unit_vec3(),
+    ) {
+        let sphere = Sphere::new(center, radius);
+        let ray = Ray::new(origin, dir);
+        if let Some(hit) = sphere.intersect_ray(&ray) {
+            for d in [hit.d_near, hit.d_far] {
+                let p = ray.at(d);
+                prop_assert!((p.distance(center) - radius).abs() < 1e-6);
+            }
+            prop_assert!(hit.d_far > 0.0, "forward-hit contract");
+            prop_assert!(hit.d_near <= hit.d_far);
+        }
+    }
+
+    /// Transforming ray and sphere by the same rigid motion never changes
+    /// the intersection verdict — the look-at matrix is frame-invariant,
+    /// which is exactly why the paper may pick an arbitrary common frame.
+    #[test]
+    fn eye_contact_verdict_is_frame_invariant(
+        t in iso3(),
+        center in vec3(),
+        radius in 0.05..3.0f64,
+        origin in vec3(),
+        dir in unit_vec3(),
+    ) {
+        let sphere = Sphere::new(center, radius);
+        let ray = Ray::new(origin, dir);
+        let moved_sphere = Sphere::new(t.transform_point(center), radius);
+        let moved_ray = t.transform_ray(&ray);
+        // Avoid razor-edge tangency flakes.
+        let tparam = (center - origin).dot(dir);
+        let perp = (origin + dir * tparam).distance(center);
+        prop_assume!((perp - radius).abs() > 1e-6);
+        // Origin on the sphere surface makes d_far ≈ 0, another razor edge.
+        prop_assume!((origin.distance(center) - radius).abs() > 1e-6);
+        let _ = tparam;
+        prop_assert_eq!(sphere.is_hit_by(&ray), moved_sphere.is_hit_by(&moved_ray));
+    }
+
+    #[test]
+    fn slerp_stays_unit(axis in unit_vec3(), t1 in -3.0..3.0f64, t2 in -3.0..3.0f64, u in 0.0..1.0f64) {
+        let a = Quat::from_axis_angle(axis, t1);
+        let b = Quat::from_axis_angle(axis, t2);
+        let s = a.slerp(&b, u);
+        prop_assert!((s.norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// Unprojecting any in-image pixel and projecting the ray's points
+    /// back recovers the pixel — the camera model is self-consistent.
+    #[test]
+    fn camera_project_unproject_round_trip(
+        px in 0.5..639.5f64,
+        py in 0.5..479.5f64,
+        depth in 0.5..8.0f64,
+        eye_x in -2.0..2.0f64,
+        eye_y in -2.0..2.0f64,
+    ) {
+        let cam = PinholeCamera::look_at(
+            CameraIntrinsics::from_hfov(640, 480, 50.0),
+            Vec3::new(eye_x, eye_y, 2.5),
+            Vec3::new(3.0, 2.0, 1.0),
+        ).expect("valid rig geometry");
+        let ray = cam.unproject(Vec2::new(px, py));
+        let world = ray.at(depth);
+        let proj = cam.project(world).expect("point in front of the camera");
+        prop_assert!((proj.pixel.x - px).abs() < 1e-6, "{} vs {}", proj.pixel.x, px);
+        prop_assert!((proj.pixel.y - py).abs() < 1e-6);
+    }
+
+    /// A sphere around any point on a forward ray is always hit.
+    #[test]
+    fn sphere_on_ray_is_always_hit(
+        origin in vec3(),
+        dir in unit_vec3(),
+        d in 0.5..20.0f64,
+        radius in 0.05..1.0f64,
+    ) {
+        let ray = Ray::new(origin, dir);
+        let sphere = Sphere::new(ray.at(d), radius);
+        prop_assert!(sphere.is_hit_by(&ray));
+    }
+}

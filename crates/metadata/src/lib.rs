@@ -1,0 +1,35 @@
+//! Metadata repository for the DiEvent framework (paper §II-E).
+//!
+//! "The last step of our framework is storing both the collected
+//! external and the extracted metadata integrated with the social
+//! dimensions of the participants. This will allow us to build a video
+//! indexing and retrieval framework with rich query vocabulary so that
+//! the queries will return more semantic results."
+//!
+//! The repository stores typed [`record::MetaRecord`]s — events,
+//! scenes, shots, key frames, and per-frame analysis results — under a
+//! concurrent in-memory store with secondary attribute and interval
+//! indexes, persists them through an append-only JSON-lines log, and
+//! answers conjunctive attribute/time queries through a typed
+//! [`query::Query`] builder.
+//!
+//! * [`value`] — typed attribute values with ordering semantics;
+//! * [`record`] — the record model and its kinds;
+//! * [`log`] — the append-only persistence log (write + replay);
+//! * [`store`] — the indexed, thread-safe repository;
+//! * [`query`] — the query language and planner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod query;
+pub mod record;
+pub mod store;
+pub mod value;
+
+pub use log::{LogEntry, MetadataLog};
+pub use query::{Predicate, Query};
+pub use record::{MetaRecord, RecordId, RecordKind};
+pub use store::MetadataRepository;
+pub use value::AttrValue;

@@ -1,0 +1,286 @@
+//! The typed query language over metadata records.
+//!
+//! Queries are conjunctions of predicates over a record's kind,
+//! attributes, and time span — the "rich query vocabulary" the paper
+//! wants for semantic retrieval ("find the scenes where everyone was
+//! happy", "shots from camera 2 overlapping the dessert course").
+
+use crate::record::{MetaRecord, RecordKind};
+use crate::value::AttrValue;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// A single predicate over one record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Record kind equals.
+    KindIs(RecordKind),
+    /// Attribute exists.
+    Has(String),
+    /// Attribute equals value.
+    Eq(String, AttrValue),
+    /// Attribute differs from value (missing attributes do not match).
+    Ne(String, AttrValue),
+    /// Attribute strictly less than value.
+    Lt(String, AttrValue),
+    /// Attribute less than or equal to value.
+    Le(String, AttrValue),
+    /// Attribute strictly greater than value.
+    Gt(String, AttrValue),
+    /// Attribute greater than or equal to value.
+    Ge(String, AttrValue),
+    /// Attribute (list or string) contains value.
+    Contains(String, AttrValue),
+    /// Record time span overlaps `[start, end)`.
+    Overlaps(f64, f64),
+}
+
+impl Predicate {
+    /// Evaluates the predicate on a record.
+    pub fn matches(&self, r: &MetaRecord) -> bool {
+        let cmp = |key: &str, value: &AttrValue, accept: fn(Ordering) -> bool| -> bool {
+            r.attr(key)
+                .and_then(|a| a.compare(value))
+                .is_some_and(accept)
+        };
+        match self {
+            Predicate::KindIs(k) => r.kind == *k,
+            Predicate::Has(key) => r.attr(key).is_some(),
+            Predicate::Eq(key, v) => cmp(key, v, |o| o == Ordering::Equal),
+            Predicate::Ne(key, v) => cmp(key, v, |o| o != Ordering::Equal),
+            Predicate::Lt(key, v) => cmp(key, v, |o| o == Ordering::Less),
+            Predicate::Le(key, v) => cmp(key, v, |o| o != Ordering::Greater),
+            Predicate::Gt(key, v) => cmp(key, v, |o| o == Ordering::Greater),
+            Predicate::Ge(key, v) => cmp(key, v, |o| o != Ordering::Less),
+            Predicate::Contains(key, v) => r.attr(key).is_some_and(|a| a.contains(v)),
+            Predicate::Overlaps(s, e) => r.overlaps(*s, *e),
+        }
+    }
+}
+
+/// A conjunctive query (all predicates must match).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The conjunction of predicates.
+    pub predicates: Vec<Predicate>,
+    /// Optional result cap.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// An empty query matching everything.
+    pub fn new() -> Self {
+        Query::default()
+    }
+
+    /// Restricts to a record kind.
+    pub fn kind(mut self, k: RecordKind) -> Self {
+        self.predicates.push(Predicate::KindIs(k));
+        self
+    }
+
+    /// Attribute equality.
+    pub fn eq(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
+        self.predicates.push(Predicate::Eq(key.to_owned(), v.into()));
+        self
+    }
+
+    /// Attribute ≥.
+    pub fn ge(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
+        self.predicates.push(Predicate::Ge(key.to_owned(), v.into()));
+        self
+    }
+
+    /// Attribute ≤.
+    pub fn le(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
+        self.predicates.push(Predicate::Le(key.to_owned(), v.into()));
+        self
+    }
+
+    /// Attribute strictly greater.
+    pub fn gt(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
+        self.predicates.push(Predicate::Gt(key.to_owned(), v.into()));
+        self
+    }
+
+    /// Attribute strictly less.
+    pub fn lt(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
+        self.predicates.push(Predicate::Lt(key.to_owned(), v.into()));
+        self
+    }
+
+    /// List/substring containment.
+    pub fn contains(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
+        self.predicates
+            .push(Predicate::Contains(key.to_owned(), v.into()));
+        self
+    }
+
+    /// Attribute existence.
+    pub fn has(mut self, key: &str) -> Self {
+        self.predicates.push(Predicate::Has(key.to_owned()));
+        self
+    }
+
+    /// Time-span overlap with `[start, end)`.
+    pub fn overlapping(mut self, start: f64, end: f64) -> Self {
+        self.predicates.push(Predicate::Overlaps(start, end));
+        self
+    }
+
+    /// Caps the number of results.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Evaluates all predicates on one record.
+    pub fn matches(&self, r: &MetaRecord) -> bool {
+        self.predicates.iter().all(|p| p.matches(r))
+    }
+
+    /// The first `Eq` predicate with an indexable value, if any —
+    /// the store uses it to probe the attribute index instead of
+    /// scanning.
+    pub(crate) fn indexable_eq(&self) -> Option<(&str, String)> {
+        self.predicates.iter().find_map(|p| match p {
+            Predicate::Eq(k, v) => v.index_key().map(|ik| (k.as_str(), ik)),
+            _ => None,
+        })
+    }
+
+    /// The first numeric range constraint, as
+    /// `(attribute, lower_bound, upper_bound)` with inclusive finite
+    /// bounds — used by the store's range index. Strict bounds are
+    /// widened here (the candidate set may over-approximate; the full
+    /// predicate check still runs on every candidate).
+    pub(crate) fn numeric_range(&self) -> Option<(&str, f64, f64)> {
+        // Pick the first attribute with any numeric bound, then gather
+        // all bounds on that attribute.
+        let attr = self.predicates.iter().find_map(|p| match p {
+            Predicate::Ge(k, v) | Predicate::Gt(k, v) | Predicate::Le(k, v) | Predicate::Lt(k, v) => {
+                v.range_key().map(|_| k.as_str())
+            }
+            _ => None,
+        })?;
+        let mut lo = f64::NEG_INFINITY;
+        let mut hi = f64::INFINITY;
+        for p in &self.predicates {
+            match p {
+                Predicate::Ge(k, v) | Predicate::Gt(k, v) if k == attr => {
+                    if let Some(x) = v.range_key() {
+                        lo = lo.max(x);
+                    }
+                }
+                Predicate::Le(k, v) | Predicate::Lt(k, v) if k == attr => {
+                    if let Some(x) = v.range_key() {
+                        hi = hi.min(x);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some((attr, lo, hi))
+    }
+
+    /// The kind restriction, if present.
+    pub(crate) fn kind_filter(&self) -> Option<RecordKind> {
+        self.predicates.iter().find_map(|p| match p {
+            Predicate::KindIs(k) => Some(*k),
+            _ => None,
+        })
+    }
+
+    /// The first `Overlaps` predicate, if present.
+    pub(crate) fn span_filter(&self) -> Option<(f64, f64)> {
+        self.predicates.iter().find_map(|p| match p {
+            Predicate::Overlaps(s, e) => Some((*s, *e)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shot() -> MetaRecord {
+        MetaRecord::new(RecordKind::Shot)
+            .with_span(10.0, 14.0)
+            .with_attr("camera", 2i64)
+            .with_attr("mean_oh", 62.5)
+            .with_attr("menu", AttrValue::List(vec!["salad".into(), "pasta".into()]))
+            .with_attr("location", "IRIT")
+    }
+
+    #[test]
+    fn kind_and_eq() {
+        let r = shot();
+        assert!(Query::new().kind(RecordKind::Shot).matches(&r));
+        assert!(!Query::new().kind(RecordKind::Scene).matches(&r));
+        assert!(Query::new().eq("camera", 2i64).matches(&r));
+        assert!(!Query::new().eq("camera", 3i64).matches(&r));
+        assert!(!Query::new().eq("nonexistent", 1i64).matches(&r));
+    }
+
+    #[test]
+    fn numeric_ranges() {
+        let r = shot();
+        assert!(Query::new().ge("mean_oh", 60.0).matches(&r));
+        assert!(Query::new().le("mean_oh", 62.5).matches(&r));
+        assert!(!Query::new().gt("mean_oh", 62.5).matches(&r));
+        assert!(Query::new().lt("mean_oh", 100i64).matches(&r), "int vs float compares");
+    }
+
+    #[test]
+    fn type_mismatch_never_matches() {
+        let r = shot();
+        assert!(!Query::new().ge("location", 5i64).matches(&r));
+        assert!(!Query::new().eq("location", 5i64).matches(&r));
+        // Ne on missing attribute also fails (absence ≠ difference).
+        assert!(!Query::new().predicates_ne("ghost", 5i64).matches(&r));
+    }
+
+    #[test]
+    fn containment() {
+        let r = shot();
+        assert!(Query::new().contains("menu", "pasta").matches(&r));
+        assert!(!Query::new().contains("menu", "soup").matches(&r));
+        assert!(Query::new().contains("location", "RI").matches(&r));
+    }
+
+    #[test]
+    fn overlap_and_conjunction() {
+        let r = shot();
+        let q = Query::new()
+            .kind(RecordKind::Shot)
+            .eq("camera", 2i64)
+            .overlapping(13.9, 20.0);
+        assert!(q.matches(&r));
+        let q2 = Query::new().overlapping(14.0, 20.0);
+        assert!(!q2.matches(&r));
+    }
+
+    #[test]
+    fn has_and_planner_hooks() {
+        let r = shot();
+        assert!(Query::new().has("camera").matches(&r));
+        assert!(!Query::new().has("ghost").matches(&r));
+        let q = Query::new().kind(RecordKind::Shot).eq("camera", 2i64).overlapping(0.0, 1.0);
+        assert_eq!(q.kind_filter(), Some(RecordKind::Shot));
+        assert_eq!(q.indexable_eq().unwrap().0, "camera");
+        assert_eq!(q.span_filter(), Some((0.0, 1.0)));
+        // Float equality is not indexable.
+        let qf = Query::new().eq("mean_oh", 62.5);
+        assert!(qf.indexable_eq().is_none());
+    }
+
+    impl Query {
+        /// Test helper for the `Ne` variant (not part of the builder to
+        /// keep its surface minimal).
+        fn predicates_ne(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
+            self.predicates.push(Predicate::Ne(key.to_owned(), v.into()));
+            self
+        }
+    }
+}

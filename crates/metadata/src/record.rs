@@ -1,0 +1,159 @@
+//! The metadata record model.
+
+use crate::value::AttrValue;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Unique identifier of a record within a repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(pub u64);
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// What a record describes — the levels of the Fig. 3 hierarchy plus
+/// event-level context and frame-level analysis output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// A whole dining event (time-invariant context lives here).
+    Event,
+    /// A scene (group of shots).
+    Scene,
+    /// A shot (contiguous camera take).
+    Shot,
+    /// A key frame.
+    Keyframe,
+    /// Per-frame analysis output (look-at matrix, overall emotion).
+    FrameAnalysis,
+    /// A detected highlight (EC episode, emotion change, …).
+    Highlight,
+}
+
+impl RecordKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [RecordKind; 6] = [
+        RecordKind::Event,
+        RecordKind::Scene,
+        RecordKind::Shot,
+        RecordKind::Keyframe,
+        RecordKind::FrameAnalysis,
+        RecordKind::Highlight,
+    ];
+}
+
+/// A metadata record: typed kind, optional time span, free-form typed
+/// attributes, and an optional structured payload (e.g. a serialized
+/// look-at matrix).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaRecord {
+    /// Record identity (assigned by the repository on insert).
+    pub id: RecordId,
+    /// What this record describes.
+    pub kind: RecordKind,
+    /// Time span `[start, end)` in seconds within the event's video,
+    /// when applicable.
+    pub span: Option<(f64, f64)>,
+    /// Typed attributes.
+    pub attrs: BTreeMap<String, AttrValue>,
+    /// Structured payload (JSON), e.g. a serialized matrix.
+    pub payload: Option<serde_json::Value>,
+}
+
+impl MetaRecord {
+    /// Creates a record with no id (the repository assigns one).
+    pub fn new(kind: RecordKind) -> Self {
+        MetaRecord {
+            id: RecordId(0),
+            kind,
+            span: None,
+            attrs: BTreeMap::new(),
+            payload: None,
+        }
+    }
+
+    /// Builder: sets the time span.
+    ///
+    /// # Panics
+    /// Panics when `start > end` or either bound is not finite.
+    pub fn with_span(mut self, start: f64, end: f64) -> Self {
+        assert!(start.is_finite() && end.is_finite() && start <= end, "invalid span {start}..{end}");
+        self.span = Some((start, end));
+        self
+    }
+
+    /// Builder: sets one attribute.
+    pub fn with_attr(mut self, key: &str, value: impl Into<AttrValue>) -> Self {
+        self.attrs.insert(key.to_owned(), value.into());
+        self
+    }
+
+    /// Builder: sets the payload.
+    pub fn with_payload(mut self, payload: serde_json::Value) -> Self {
+        self.payload = Some(payload);
+        self
+    }
+
+    /// Attribute lookup.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.get(key)
+    }
+
+    /// Whether this record's span overlaps `[start, end)`.
+    ///
+    /// Records without a span never overlap anything.
+    pub fn overlaps(&self, start: f64, end: f64) -> bool {
+        match self.span {
+            Some((s, e)) => s < end && start < e,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let r = MetaRecord::new(RecordKind::Shot)
+            .with_span(1.0, 3.5)
+            .with_attr("camera", 2i64)
+            .with_attr("location", "IRIT")
+            .with_payload(serde_json::json!({"keyframes": [12, 40]}));
+        assert_eq!(r.kind, RecordKind::Shot);
+        assert_eq!(r.span, Some((1.0, 3.5)));
+        assert_eq!(r.attr("camera"), Some(&AttrValue::Int(2)));
+        assert_eq!(r.attr("missing"), None);
+        assert!(r.payload.is_some());
+    }
+
+    #[test]
+    fn overlap_semantics_half_open() {
+        let r = MetaRecord::new(RecordKind::Scene).with_span(10.0, 20.0);
+        assert!(r.overlaps(15.0, 16.0));
+        assert!(r.overlaps(5.0, 10.1));
+        assert!(r.overlaps(19.9, 30.0));
+        assert!(!r.overlaps(20.0, 25.0), "half-open end");
+        assert!(!r.overlaps(5.0, 10.0), "half-open start");
+        let unspanned = MetaRecord::new(RecordKind::Event);
+        assert!(!unspanned.overlaps(0.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_span_panics() {
+        let _ = MetaRecord::new(RecordKind::Shot).with_span(5.0, 1.0);
+    }
+
+    #[test]
+    fn kinds_are_complete_and_ordered() {
+        assert_eq!(RecordKind::ALL.len(), 6);
+        let mut sorted = RecordKind::ALL;
+        sorted.sort();
+        assert_eq!(sorted, RecordKind::ALL);
+    }
+}

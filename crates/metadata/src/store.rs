@@ -1,0 +1,540 @@
+//! The indexed, thread-safe metadata repository.
+//!
+//! An in-memory primary store guarded by a [`parking_lot::RwLock`],
+//! with three secondary indexes maintained on every mutation:
+//!
+//! * **kind index** — record ids per [`RecordKind`];
+//! * **attribute index** — `attribute → value-key → ids` for exact
+//!   matches on indexable values;
+//! * **interval index** — spans sorted by start time for overlap
+//!   queries (binary search on start, bounded scan).
+//!
+//! Optional durability: attach a [`MetadataLog`] and every mutation is
+//! appended before the in-memory state changes (write-ahead); a
+//! repository is recovered with [`MetadataRepository::open`].
+
+use crate::log::{LogEntry, MetadataLog};
+use crate::query::Query;
+use crate::record::{MetaRecord, RecordId, RecordKind};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io;
+use std::path::Path;
+
+/// Maps an f64 to a u64 whose unsigned order equals the float's total
+/// order over finite values (sign-magnitude flip; the classic sortable
+/// key encoding for IEEE-754 doubles).
+fn f64_order_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits & (1 << 63) == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    records: BTreeMap<RecordId, MetaRecord>,
+    by_kind: HashMap<RecordKind, HashSet<RecordId>>,
+    by_attr: HashMap<String, HashMap<String, HashSet<RecordId>>>,
+    /// Numeric range index: attribute → sortable-f64-key → ids.
+    by_num: HashMap<String, BTreeMap<u64, Vec<RecordId>>>,
+    /// `(start, id)` sorted — rebuilt lazily after deletions.
+    spans: Vec<(f64, f64, RecordId)>,
+    spans_dirty: bool,
+    next_id: u64,
+}
+
+impl Inner {
+    fn index(&mut self, r: &MetaRecord) {
+        self.by_kind.entry(r.kind).or_default().insert(r.id);
+        for (k, v) in &r.attrs {
+            if let Some(ik) = v.index_key() {
+                self.by_attr
+                    .entry(k.clone())
+                    .or_default()
+                    .entry(ik)
+                    .or_default()
+                    .insert(r.id);
+            }
+            if let Some(num) = v.range_key() {
+                self.by_num
+                    .entry(k.clone())
+                    .or_default()
+                    .entry(f64_order_key(num))
+                    .or_default()
+                    .push(r.id);
+            }
+        }
+        if let Some((s, e)) = r.span {
+            self.spans.push((s, e, r.id));
+            self.spans_dirty = true;
+        }
+    }
+
+    fn unindex(&mut self, r: &MetaRecord) {
+        if let Some(set) = self.by_kind.get_mut(&r.kind) {
+            set.remove(&r.id);
+        }
+        for (k, v) in &r.attrs {
+            if let Some(ik) = v.index_key() {
+                if let Some(m) = self.by_attr.get_mut(k) {
+                    if let Some(set) = m.get_mut(&ik) {
+                        set.remove(&r.id);
+                    }
+                }
+            }
+            if let Some(num) = v.range_key() {
+                if let Some(m) = self.by_num.get_mut(k) {
+                    if let Some(ids) = m.get_mut(&f64_order_key(num)) {
+                        ids.retain(|&id| id != r.id);
+                    }
+                }
+            }
+        }
+        if r.span.is_some() {
+            self.spans.retain(|&(_, _, id)| id != r.id);
+        }
+    }
+
+    fn sorted_spans(&mut self) -> &[(f64, f64, RecordId)] {
+        if self.spans_dirty {
+            self.spans
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite spans"));
+            self.spans_dirty = false;
+        }
+        &self.spans
+    }
+}
+
+/// The metadata repository (paper §II-E).
+pub struct MetadataRepository {
+    inner: RwLock<Inner>,
+    log: Option<RwLock<MetadataLog>>,
+}
+
+impl Default for MetadataRepository {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl MetadataRepository {
+    /// A purely in-memory repository (no durability).
+    pub fn in_memory() -> Self {
+        MetadataRepository { inner: RwLock::new(Inner::default()), log: None }
+    }
+
+    /// Opens a durable repository backed by the log at `path`,
+    /// replaying any existing entries.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let entries = MetadataLog::replay(path.as_ref())?;
+        let repo = MetadataRepository {
+            inner: RwLock::new(Inner::default()),
+            log: None,
+        };
+        {
+            let mut inner = repo.inner.write();
+            for entry in entries {
+                match entry {
+                    LogEntry::Insert(r) => {
+                        inner.next_id = inner.next_id.max(r.id.0 + 1);
+                        inner.index(&r);
+                        inner.records.insert(r.id, r);
+                    }
+                    LogEntry::Delete(id) => {
+                        if let Some(r) = inner.records.remove(&id) {
+                            inner.unindex(&r);
+                        }
+                    }
+                }
+            }
+        }
+        let log = MetadataLog::open(path)?;
+        Ok(MetadataRepository { inner: repo.inner, log: Some(RwLock::new(log)) })
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.inner.read().records.len()
+    }
+
+    /// Returns `true` when the repository holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a record, assigning and returning its id.
+    ///
+    /// With a log attached this is write-ahead: the entry is durable
+    /// before the in-memory state changes.
+    pub fn insert(&self, mut record: MetaRecord) -> io::Result<RecordId> {
+        let mut inner = self.inner.write();
+        let id = RecordId(inner.next_id);
+        inner.next_id += 1;
+        record.id = id;
+        if let Some(log) = &self.log {
+            log.write().append(&LogEntry::Insert(record.clone()))?;
+        }
+        inner.index(&record);
+        inner.records.insert(id, record);
+        Ok(id)
+    }
+
+    /// Fetches a record by id.
+    pub fn get(&self, id: RecordId) -> Option<MetaRecord> {
+        self.inner.read().records.get(&id).cloned()
+    }
+
+    /// Deletes a record; returns whether it existed.
+    pub fn delete(&self, id: RecordId) -> io::Result<bool> {
+        let mut inner = self.inner.write();
+        if !inner.records.contains_key(&id) {
+            return Ok(false);
+        }
+        if let Some(log) = &self.log {
+            log.write().append(&LogEntry::Delete(id))?;
+        }
+        if let Some(r) = inner.records.remove(&id) {
+            inner.unindex(&r);
+        }
+        Ok(true)
+    }
+
+    /// Runs a query, returning matching records ordered by id.
+    ///
+    /// The planner narrows the candidate set with the most selective
+    /// available index (attribute equality, then kind, then span
+    /// overlap) and verifies every candidate against the full
+    /// predicate list.
+    pub fn query(&self, q: &Query) -> Vec<MetaRecord> {
+        let mut inner = self.inner.write();
+
+        // Candidate ids from the best available index.
+        let candidates: Vec<RecordId> = if let Some((attr, ik)) = q.indexable_eq() {
+            inner
+                .by_attr
+                .get(attr)
+                .and_then(|m| m.get(&ik))
+                .map(|s| {
+                    let mut v: Vec<_> = s.iter().copied().collect();
+                    v.sort();
+                    v
+                })
+                .unwrap_or_default()
+        } else if let Some((attr, lo, hi)) = q.numeric_range().filter(|(_, lo, hi)| {
+            // Only use the range index when at least one bound is real;
+            // an unbounded "range" would be a full scan anyway.
+            lo.is_finite() || hi.is_finite()
+        }) {
+            let mut v: Vec<RecordId> = inner
+                .by_num
+                .get(attr)
+                .map(|m| {
+                    m.range(f64_order_key(lo)..=f64_order_key(hi))
+                        .flat_map(|(_, ids)| ids.iter().copied())
+                        .collect()
+                })
+                .unwrap_or_default();
+            v.sort();
+            v.dedup();
+            v
+        } else if let Some(kind) = q.kind_filter() {
+            inner
+                .by_kind
+                .get(&kind)
+                .map(|s| {
+                    let mut v: Vec<_> = s.iter().copied().collect();
+                    v.sort();
+                    v
+                })
+                .unwrap_or_default()
+        } else if let Some((s, e)) = q.span_filter() {
+            let spans = inner.sorted_spans();
+            // All spans with start < e are candidates; verify overlap below.
+            let cut = spans.partition_point(|&(start, _, _)| start < e);
+            let mut v: Vec<_> = spans[..cut]
+                .iter()
+                .filter(|&&(_, end, _)| end > s)
+                .map(|&(_, _, id)| id)
+                .collect();
+            v.sort();
+            v
+        } else {
+            inner.records.keys().copied().collect()
+        };
+
+        let mut out = Vec::new();
+        for id in candidates {
+            if q.limit.is_some_and(|l| out.len() >= l) {
+                break;
+            }
+            if let Some(r) = inner.records.get(&id) {
+                if q.matches(r) {
+                    out.push(r.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Convenience: number of records matching a query.
+    pub fn count(&self, q: &Query) -> usize {
+        self.query(q).len()
+    }
+
+    /// Compacts the durable log: rewrites it to contain exactly one
+    /// `Insert` per live record, dropping superseded insert/delete
+    /// pairs. A no-op (returning 0) for in-memory repositories.
+    ///
+    /// Returns the number of log entries after compaction.
+    pub fn compact(&self) -> io::Result<usize> {
+        let Some(log) = &self.log else {
+            return Ok(0);
+        };
+        // Hold both locks for the duration: no mutation may interleave
+        // between snapshotting the records and swapping the file.
+        let inner = self.inner.write();
+        let mut log = log.write();
+        let entries: Vec<LogEntry> = inner
+            .records
+            .values()
+            .map(|r| LogEntry::Insert(r.clone()))
+            .collect();
+        MetadataLog::rewrite(log.path(), &entries)?;
+        // Reopen the handle so subsequent appends go to the new file.
+        let path = log.path().to_owned();
+        *log = MetadataLog::open(path)?;
+        Ok(entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrValue;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dievent-metadata-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("store-{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn populate(repo: &MetadataRepository) {
+        for cam in 0..2i64 {
+            for shot in 0..5i64 {
+                let start = shot as f64 * 4.0;
+                repo.insert(
+                    MetaRecord::new(RecordKind::Shot)
+                        .with_span(start, start + 4.0)
+                        .with_attr("camera", cam)
+                        .with_attr("shot", shot),
+                )
+                .unwrap();
+            }
+        }
+        repo.insert(
+            MetaRecord::new(RecordKind::Event)
+                .with_attr("location", "IRIT")
+                .with_attr("menu", AttrValue::List(vec!["salad".into()])),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn insert_assigns_monotonic_ids() {
+        let repo = MetadataRepository::in_memory();
+        let a = repo.insert(MetaRecord::new(RecordKind::Event)).unwrap();
+        let b = repo.insert(MetaRecord::new(RecordKind::Event)).unwrap();
+        assert!(b > a);
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.get(a).unwrap().id, a);
+        assert!(repo.get(RecordId(999)).is_none());
+    }
+
+    #[test]
+    fn delete_removes_from_queries() {
+        let repo = MetadataRepository::in_memory();
+        populate(&repo);
+        let q = Query::new().kind(RecordKind::Shot);
+        assert_eq!(repo.count(&q), 10);
+        let victim = repo.query(&q)[0].id;
+        assert!(repo.delete(victim).unwrap());
+        assert!(!repo.delete(victim).unwrap(), "double delete is false");
+        assert_eq!(repo.count(&q), 9);
+        assert!(repo.get(victim).is_none());
+    }
+
+    #[test]
+    fn attribute_index_query() {
+        let repo = MetadataRepository::in_memory();
+        populate(&repo);
+        let q = Query::new().eq("camera", 1i64);
+        let res = repo.query(&q);
+        assert_eq!(res.len(), 5);
+        assert!(res.iter().all(|r| r.attr("camera") == Some(&AttrValue::Int(1))));
+        // Ordered by id.
+        assert!(res.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn span_overlap_query() {
+        let repo = MetadataRepository::in_memory();
+        populate(&repo);
+        // Shots overlapping [6, 9): shot 1 ([4,8)) and shot 2 ([8,12)).
+        let q = Query::new().overlapping(6.0, 9.0).kind(RecordKind::Shot);
+        let res = repo.query(&q);
+        let shots: Vec<i64> = res
+            .iter()
+            .filter_map(|r| r.attr("shot").and_then(|v| v.as_f64()).map(|f| f as i64))
+            .collect();
+        assert_eq!(res.len(), 4, "two shots × two cameras");
+        assert!(shots.iter().all(|&s| s == 1 || s == 2));
+    }
+
+    #[test]
+    fn conjunctive_query_uses_index_then_verifies() {
+        let repo = MetadataRepository::in_memory();
+        populate(&repo);
+        let q = Query::new()
+            .eq("camera", 0i64)
+            .overlapping(0.0, 4.0)
+            .kind(RecordKind::Shot);
+        let res = repo.query(&q);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].attr("shot"), Some(&AttrValue::Int(0)));
+    }
+
+    #[test]
+    fn limit_caps_results() {
+        let repo = MetadataRepository::in_memory();
+        populate(&repo);
+        let q = Query::new().kind(RecordKind::Shot).limit(3);
+        assert_eq!(repo.query(&q).len(), 3);
+    }
+
+    #[test]
+    fn durable_round_trip() {
+        let path = tmp("durable");
+        let id;
+        {
+            let repo = MetadataRepository::open(&path).unwrap();
+            populate(&repo);
+            id = repo
+                .insert(MetaRecord::new(RecordKind::Highlight).with_attr("kind", "ec-episode"))
+                .unwrap();
+            repo.delete(RecordId(0)).unwrap();
+        }
+        let reopened = MetadataRepository::open(&path).unwrap();
+        assert_eq!(reopened.len(), 11, "10 shots + event + highlight − deleted");
+        assert!(reopened.get(RecordId(0)).is_none());
+        assert_eq!(
+            reopened.get(id).unwrap().attr("kind"),
+            Some(&AttrValue::Str("ec-episode".into()))
+        );
+        // Ids continue after the replayed maximum.
+        let new_id = reopened.insert(MetaRecord::new(RecordKind::Event)).unwrap();
+        assert!(new_id > id);
+    }
+
+    #[test]
+    fn compaction_shrinks_log_and_preserves_state() {
+        let path = tmp("compact");
+        let kept;
+        {
+            let repo = MetadataRepository::open(&path).unwrap();
+            populate(&repo); // 11 inserts
+            // Churn: 20 inserts + 20 deletes = 40 more log entries.
+            for i in 0..20i64 {
+                let id = repo
+                    .insert(MetaRecord::new(RecordKind::Highlight).with_attr("n", i))
+                    .unwrap();
+                repo.delete(id).unwrap();
+            }
+            let before = std::fs::metadata(&path).unwrap().len();
+            let entries = repo.compact().unwrap();
+            assert_eq!(entries, 11, "one insert per live record");
+            let after = std::fs::metadata(&path).unwrap().len();
+            assert!(after < before, "log must shrink: {before} → {after}");
+            kept = repo.len();
+            // The repository keeps working after compaction.
+            repo.insert(MetaRecord::new(RecordKind::Event).with_attr("post", true)).unwrap();
+        }
+        let reopened = MetadataRepository::open(&path).unwrap();
+        assert_eq!(reopened.len(), kept + 1);
+        assert_eq!(reopened.count(&Query::new().eq("post", true)), 1);
+        assert_eq!(reopened.count(&Query::new().kind(RecordKind::Shot)), 10);
+    }
+
+    #[test]
+    fn compaction_is_a_noop_in_memory() {
+        let repo = MetadataRepository::in_memory();
+        populate(&repo);
+        assert_eq!(repo.compact().unwrap(), 0);
+        assert_eq!(repo.len(), 11);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_queries() {
+        use std::sync::Arc;
+        let repo = Arc::new(MetadataRepository::in_memory());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let repo = Arc::clone(&repo);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        repo.insert(
+                            MetaRecord::new(RecordKind::FrameAnalysis)
+                                .with_attr("thread", t as i64)
+                                .with_attr("i", i as i64),
+                        )
+                        .unwrap();
+                        if i % 10 == 0 {
+                            let _ = repo.query(&Query::new().eq("thread", t as i64));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(repo.len(), 200);
+        for t in 0..4i64 {
+            assert_eq!(repo.count(&Query::new().eq("thread", t)), 50);
+        }
+    }
+
+    #[test]
+    fn numeric_range_index_query() {
+        let repo = MetadataRepository::in_memory();
+        // Scores spanning negatives, zero, and positives.
+        for score in [-12.5f64, -1.0, 0.0, 3.25, 7.0, 42.0] {
+            repo.insert(MetaRecord::new(RecordKind::FrameAnalysis).with_attr("valence", score))
+                .unwrap();
+        }
+        let ge = repo.query(&Query::new().ge("valence", 0.0));
+        assert_eq!(ge.len(), 4);
+        let window = repo.query(&Query::new().ge("valence", -2.0).le("valence", 5.0));
+        assert_eq!(window.len(), 3, "−1, 0, 3.25");
+        let lt = repo.query(&Query::new().lt("valence", -1.0));
+        assert_eq!(lt.len(), 1, "strict bound verified on candidates");
+        // Deleting removes from the range index.
+        let victim = ge[0].id;
+        repo.delete(victim).unwrap();
+        assert_eq!(repo.query(&Query::new().ge("valence", 0.0)).len(), 3);
+    }
+
+    #[test]
+    fn full_scan_when_no_index_applies() {
+        let repo = MetadataRepository::in_memory();
+        populate(&repo);
+        // `Has` alone offers nothing to any index.
+        let q = Query::new().has("shot").ge("shot", 3.0);
+        assert_eq!(repo.query(&q).len(), 4); // shots 3,4 × 2 cameras
+    }
+}

@@ -1,0 +1,198 @@
+//! Typed attribute values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A typed attribute value stored on a metadata record.
+///
+/// Comparisons only succeed between values of the same type family
+/// (`Int` and `Float` compare numerically with each other); comparing
+/// incompatible types yields `None`, which query predicates treat as
+/// "no match" rather than an error — a heterogeneous repository must
+/// tolerate schema drift.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// UTF-8 string.
+    Str(String),
+    /// Signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Ordered list of values.
+    List(Vec<AttrValue>),
+}
+
+impl AttrValue {
+    /// Numeric view of `Int`/`Float` values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Typed partial comparison (see type docs).
+    pub fn compare(&self, other: &AttrValue) -> Option<Ordering> {
+        match (self, other) {
+            (AttrValue::Str(a), AttrValue::Str(b)) => Some(a.cmp(b)),
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Whether a `List` contains `item`, or a `Str` contains the given
+    /// substring; `false` for other types.
+    pub fn contains(&self, item: &AttrValue) -> bool {
+        match (self, item) {
+            (AttrValue::List(xs), it) => xs.iter().any(|x| x == it),
+            (AttrValue::Str(s), AttrValue::Str(sub)) => s.contains(sub.as_str()),
+            _ => false,
+        }
+    }
+
+    /// A finite numeric key for range indexing, or `None` for
+    /// non-numeric or non-finite values.
+    pub fn range_key(&self) -> Option<f64> {
+        self.as_f64().filter(|v| v.is_finite())
+    }
+
+    /// A stable string key for exact-match indexing, or `None` for
+    /// values that are not indexable (floats, lists).
+    pub fn index_key(&self) -> Option<String> {
+        match self {
+            AttrValue::Str(s) => Some(format!("s:{s}")),
+            AttrValue::Int(i) => Some(format!("i:{i}")),
+            AttrValue::Bool(b) => Some(format!("b:{b}")),
+            AttrValue::Float(_) | AttrValue::List(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+            AttrValue::List(xs) => {
+                write!(f, "[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(i: i64) -> Self {
+        AttrValue::Int(i)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(i: usize) -> Self {
+        AttrValue::Int(i as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(f: f64) -> Self {
+        AttrValue::Float(f)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(
+            AttrValue::Int(2).compare(&AttrValue::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            AttrValue::Float(3.0).compare(&AttrValue::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn incompatible_types_do_not_compare() {
+        assert_eq!(AttrValue::from("x").compare(&AttrValue::Int(1)), None);
+        assert_eq!(AttrValue::Bool(true).compare(&AttrValue::Float(1.0)), None);
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert_eq!(
+            AttrValue::from("apple").compare(&AttrValue::from("banana")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn contains_semantics() {
+        let list = AttrValue::List(vec![1i64.into(), 2i64.into()]);
+        assert!(list.contains(&AttrValue::Int(2)));
+        assert!(!list.contains(&AttrValue::Int(5)));
+        assert!(AttrValue::from("pasta carbonara").contains(&"carbo".into()));
+        assert!(!AttrValue::Int(5).contains(&AttrValue::Int(5)));
+    }
+
+    #[test]
+    fn index_keys_distinguish_types() {
+        assert_eq!(AttrValue::from("1").index_key().unwrap(), "s:1");
+        assert_eq!(AttrValue::Int(1).index_key().unwrap(), "i:1");
+        assert_ne!(
+            AttrValue::from("1").index_key(),
+            AttrValue::Int(1).index_key()
+        );
+        assert!(AttrValue::Float(1.0).index_key().is_none());
+    }
+
+    #[test]
+    fn display_round_trip_is_readable() {
+        let v = AttrValue::List(vec!["a".into(), 1i64.into(), true.into()]);
+        assert_eq!(v.to_string(), "[a, 1, true]");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the metadata repository: the indexed query
+//! planner must agree with brute-force predicate evaluation, and the
+//! durable log must reconstruct the exact store state.
+
+use dievent_metadata::{AttrValue, MetaRecord, MetadataRepository, Query, RecordKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert {
+        kind: usize,
+        camera: i64,
+        score: f64,
+        span: Option<(f64, f64)>,
+    },
+    DeleteNth(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0usize..6, 0i64..4, 0.0..100.0f64, proptest::option::of((0.0..50.0f64, 0.0..10.0f64)))
+            .prop_map(|(kind, camera, score, span)| Op::Insert {
+                kind,
+                camera,
+                score,
+                span: span.map(|(s, d)| (s, s + d)),
+            }),
+        1 => (0usize..32).prop_map(Op::DeleteNth),
+    ]
+}
+
+fn apply_ops(repo: &MetadataRepository, ops: &[Op]) {
+    let mut live_ids = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert { kind, camera, score, span } => {
+                let mut r = MetaRecord::new(RecordKind::ALL[*kind])
+                    .with_attr("camera", *camera)
+                    .with_attr("score", *score);
+                if let Some((s, e)) = span {
+                    r = r.with_span(*s, *e);
+                }
+                live_ids.push(repo.insert(r).expect("insert"));
+            }
+            Op::DeleteNth(n) => {
+                if !live_ids.is_empty() {
+                    let id = live_ids[n % live_ids.len()];
+                    repo.delete(id).expect("delete");
+                    live_ids.retain(|&x| x != id);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Indexed query results equal brute-force filtering for every
+    /// query shape the planner specializes.
+    #[test]
+    fn planner_agrees_with_brute_force(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+        q_kind in 0usize..6,
+        q_camera in 0i64..4,
+        q_lo in 0.0..40.0f64,
+        q_len in 0.0..15.0f64,
+    ) {
+        let repo = MetadataRepository::in_memory();
+        apply_ops(&repo, &ops);
+        let everything = repo.query(&Query::new());
+
+        let queries = vec![
+            Query::new().kind(RecordKind::ALL[q_kind]),
+            Query::new().eq("camera", q_camera),
+            Query::new().overlapping(q_lo, q_lo + q_len),
+            Query::new()
+                .kind(RecordKind::ALL[q_kind])
+                .eq("camera", q_camera)
+                .ge("score", 25.0),
+            Query::new().eq("camera", q_camera).overlapping(q_lo, q_lo + q_len),
+            Query::new().ge("score", q_lo).le("score", q_lo + 30.0),
+            Query::new().gt("score", q_lo).kind(RecordKind::ALL[q_kind]),
+        ];
+        for q in queries {
+            let via_planner: Vec<u64> = repo.query(&q).iter().map(|r| r.id.0).collect();
+            let mut brute: Vec<u64> = everything
+                .iter()
+                .filter(|r| q.matches(r))
+                .map(|r| r.id.0)
+                .collect();
+            brute.sort_unstable();
+            prop_assert_eq!(via_planner, brute, "query {:?}", q);
+        }
+    }
+
+    /// Replaying the durable log reproduces exactly the live state.
+    #[test]
+    fn durable_replay_reconstructs_state(
+        ops in proptest::collection::vec(op_strategy(), 0..30),
+        salt in 0u64..1_000_000,
+    ) {
+        let dir = std::env::temp_dir().join("dievent-metadata-prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("prop-{}-{salt}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let reference = MetadataRepository::in_memory();
+        apply_ops(&reference, &ops);
+        {
+            let durable = MetadataRepository::open(&path).unwrap();
+            apply_ops(&durable, &ops);
+        }
+        let reopened = MetadataRepository::open(&path).unwrap();
+        prop_assert_eq!(reopened.len(), reference.len());
+        let a: Vec<MetaRecord> = reopened.query(&Query::new());
+        let b: Vec<MetaRecord> = reference.query(&Query::new());
+        prop_assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `limit` is a prefix of the unlimited result.
+    #[test]
+    fn limit_is_a_prefix(
+        ops in proptest::collection::vec(op_strategy(), 0..30),
+        limit in 0usize..10,
+    ) {
+        let repo = MetadataRepository::in_memory();
+        apply_ops(&repo, &ops);
+        let all = repo.query(&Query::new().has("camera"));
+        let limited = repo.query(&Query::new().has("camera").limit(limit));
+        prop_assert_eq!(limited.len(), all.len().min(limit));
+        prop_assert_eq!(&all[..limited.len()], &limited[..]);
+    }
+
+    /// Attribute-value comparisons are antisymmetric where defined.
+    #[test]
+    fn attr_compare_antisymmetric(a in -100i64..100, b in -100.0..100.0f64) {
+        let va = AttrValue::Int(a);
+        let vb = AttrValue::Float(b);
+        let fwd = va.compare(&vb);
+        let rev = vb.compare(&va);
+        prop_assert_eq!(fwd.map(|o| o.reverse()), rev);
+    }
+}

@@ -1,0 +1,270 @@
+//! A mutable raster canvas used by the renderer.
+//!
+//! `GrayFrame` is optimized for cheap sharing across pipeline stages;
+//! rendering wants a plain mutable buffer. [`Canvas`] is that buffer,
+//! frozen into a `GrayFrame` once drawing completes.
+
+use dievent_video::GrayFrame;
+
+/// A mutable grayscale raster.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl Canvas {
+    /// Creates a canvas filled with `fill`.
+    pub fn new(width: u32, height: u32, fill: u8) -> Self {
+        Canvas { width, height, data: vec![fill; (width * height) as usize] }
+    }
+
+    /// Canvas width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Canvas height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Sets one pixel, ignoring out-of-bounds writes.
+    #[inline]
+    pub fn set(&mut self, x: i64, y: i64, v: u8) {
+        if x >= 0 && y >= 0 && (x as u32) < self.width && (y as u32) < self.height {
+            self.data[y as usize * self.width as usize + x as usize] = v;
+        }
+    }
+
+    /// Reads one pixel with clamping.
+    #[inline]
+    pub fn get_clamped(&self, x: i64, y: i64) -> u8 {
+        let cx = x.clamp(0, self.width as i64 - 1) as usize;
+        let cy = y.clamp(0, self.height as i64 - 1) as usize;
+        self.data[cy * self.width as usize + cx]
+    }
+
+    /// Fills a flat disk.
+    pub fn disk(&mut self, cx: f64, cy: f64, r: f64, v: u8) {
+        if r <= 0.0 {
+            return;
+        }
+        let (x0, x1, y0, y1) = self.disk_bounds(cx, cy, r);
+        let r2 = r * r;
+        for y in y0..=y1 {
+            let dy = y as f64 - cy;
+            for x in x0..=x1 {
+                let dx = x as f64 - cx;
+                if dx * dx + dy * dy <= r2 {
+                    self.set(x, y, v);
+                }
+            }
+        }
+    }
+
+    /// Fills a disk with radial shading:
+    /// `lum(d) = tone · (1 − shading·(d/r)²)`.
+    pub fn shaded_disk(&mut self, cx: f64, cy: f64, r: f64, tone: u8, shading: f64) {
+        if r <= 0.0 {
+            return;
+        }
+        let (x0, x1, y0, y1) = self.disk_bounds(cx, cy, r);
+        let r2 = r * r;
+        for y in y0..=y1 {
+            let dy = y as f64 - cy;
+            for x in x0..=x1 {
+                let dx = x as f64 - cx;
+                let d2 = dx * dx + dy * dy;
+                if d2 <= r2 {
+                    let lum = tone as f64 * (1.0 - shading * d2 / r2);
+                    self.set(x, y, lum.round().clamp(0.0, 255.0) as u8);
+                }
+            }
+        }
+    }
+
+    fn disk_bounds(&self, cx: f64, cy: f64, r: f64) -> (i64, i64, i64, i64) {
+        (
+            (cx - r).floor().max(0.0) as i64,
+            (cx + r).ceil().min(self.width as f64 - 1.0) as i64,
+            (cy - r).floor().max(0.0) as i64,
+            (cy + r).ceil().min(self.height as f64 - 1.0) as i64,
+        )
+    }
+
+    /// Fills a convex polygon given in order (either winding).
+    pub fn convex_polygon(&mut self, pts: &[(f64, f64)], v: u8) {
+        if pts.len() < 3 {
+            return;
+        }
+        let min_y = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).floor().max(0.0) as i64;
+        let max_y = pts
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .ceil()
+            .min(self.height as f64 - 1.0) as i64;
+        for y in min_y..=max_y {
+            let fy = y as f64 + 0.5;
+            // Gather edge crossings of the scanline.
+            let mut xs: Vec<f64> = Vec::with_capacity(4);
+            for i in 0..pts.len() {
+                let (x1, y1) = pts[i];
+                let (x2, y2) = pts[(i + 1) % pts.len()];
+                if (y1 <= fy && fy < y2) || (y2 <= fy && fy < y1) {
+                    xs.push(x1 + (fy - y1) / (y2 - y1) * (x2 - x1));
+                }
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            for pair in xs.chunks_exact(2) {
+                let x0 = pair[0].ceil().max(0.0) as i64;
+                let x1 = pair[1].floor().min(self.width as f64 - 1.0) as i64;
+                for x in x0..=x1 {
+                    self.set(x, y, v);
+                }
+            }
+        }
+    }
+
+    /// Thick line segment (drawn as stamped disks).
+    pub fn stroke(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, thickness: f64, v: u8) {
+        let len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+        let steps = (len * 2.0).ceil().max(1.0) as usize;
+        for s in 0..=steps {
+            let t = s as f64 / steps as f64;
+            self.disk(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, thickness / 2.0, v);
+        }
+    }
+
+    /// Adds deterministic hash noise of amplitude ±`amp` keyed by `salt`
+    /// (use the frame index so noise decorrelates across frames).
+    pub fn add_noise(&mut self, amp: u8, salt: u64) {
+        if amp == 0 {
+            return;
+        }
+        let span = (2 * amp + 1) as u64;
+        for (i, px) in self.data.iter_mut().enumerate() {
+            let h = (i as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(salt.wrapping_mul(0xbf58476d1ce4e5b9));
+            let h = (h ^ (h >> 31)).wrapping_mul(0x94d049bb133111eb);
+            let n = (h >> 33) % span;
+            let delta = n as i32 - amp as i32;
+            *px = (*px as i32 + delta).clamp(0, 255) as u8;
+        }
+    }
+
+    /// Applies a vertical luminance gradient: `top_delta` added at row 0
+    /// fading to `-top_delta` at the bottom row.
+    pub fn vertical_gradient(&mut self, top_delta: i32) {
+        let h = self.height.max(1) as f64;
+        let w = self.width as usize;
+        for y in 0..self.height as usize {
+            let t = y as f64 / (h - 1.0).max(1.0);
+            let delta = (top_delta as f64 * (1.0 - 2.0 * t)).round() as i32;
+            for x in 0..w {
+                let px = &mut self.data[y * w + x];
+                *px = (*px as i32 + delta).clamp(0, 255) as u8;
+            }
+        }
+    }
+
+    /// Freezes the canvas into an immutable frame.
+    pub fn into_frame(self) -> GrayFrame {
+        GrayFrame::from_data(self.width, self.height, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_and_bounds() {
+        let mut c = Canvas::new(20, 20, 0);
+        c.disk(10.0, 10.0, 4.0, 200);
+        let f = c.into_frame();
+        assert_eq!(f.get(10, 10), 200);
+        assert_eq!(f.get(10, 13), 200);
+        assert_eq!(f.get(10, 15), 0);
+    }
+
+    #[test]
+    fn shaded_disk_darkens_toward_rim() {
+        let mut c = Canvas::new(40, 40, 0);
+        c.shaded_disk(20.0, 20.0, 15.0, 200, 0.3);
+        let f = c.into_frame();
+        let center = f.get(20, 20);
+        let rim = f.get(20, 33);
+        assert!(center >= 198);
+        assert!(rim < center);
+        // At d = 13, r = 15: lum = 200·(1 − 0.3·169/225) ≈ 155.
+        assert!((rim as f64 - 155.0).abs() < 4.0, "rim = {rim}");
+    }
+
+    #[test]
+    fn polygon_fills_square() {
+        let mut c = Canvas::new(20, 20, 0);
+        c.convex_polygon(&[(5.0, 5.0), (15.0, 5.0), (15.0, 15.0), (5.0, 15.0)], 99);
+        let f = c.into_frame();
+        assert_eq!(f.get(10, 10), 99);
+        assert_eq!(f.get(2, 2), 0);
+        assert_eq!(f.get(17, 10), 0);
+    }
+
+    #[test]
+    fn polygon_handles_rotated_quad() {
+        let mut c = Canvas::new(40, 40, 0);
+        c.convex_polygon(&[(20.0, 5.0), (35.0, 20.0), (20.0, 35.0), (5.0, 20.0)], 99);
+        let f = c.into_frame();
+        assert_eq!(f.get(20, 20), 99);
+        assert_eq!(f.get(6, 6), 0);
+    }
+
+    #[test]
+    fn stroke_connects_endpoints() {
+        let mut c = Canvas::new(30, 30, 0);
+        c.stroke(5.0, 5.0, 25.0, 20.0, 3.0, 180);
+        let f = c.into_frame();
+        assert_eq!(f.get(5, 5), 180);
+        assert_eq!(f.get(25, 20), 180);
+        assert_eq!(f.get(15, 12), 180, "midpoint covered");
+    }
+
+    #[test]
+    fn noise_is_bounded_and_deterministic() {
+        let mut a = Canvas::new(32, 32, 128);
+        a.add_noise(5, 7);
+        let mut b = Canvas::new(32, 32, 128);
+        b.add_noise(5, 7);
+        let fa = a.into_frame();
+        let fb = b.into_frame();
+        assert_eq!(fa.data(), fb.data(), "same salt → same noise");
+        assert!(fa.data().iter().all(|&v| (123..=133).contains(&v)));
+        let mut c = Canvas::new(32, 32, 128);
+        c.add_noise(5, 8);
+        assert_ne!(fa.data(), c.into_frame().data(), "different salt differs");
+    }
+
+    #[test]
+    fn gradient_brightens_top() {
+        let mut c = Canvas::new(10, 21, 100);
+        c.vertical_gradient(10);
+        let f = c.into_frame();
+        assert_eq!(f.get(5, 0), 110);
+        assert_eq!(f.get(5, 10), 100);
+        assert_eq!(f.get(5, 20), 90);
+    }
+
+    #[test]
+    fn out_of_bounds_drawing_is_clipped() {
+        let mut c = Canvas::new(10, 10, 0);
+        c.disk(-5.0, -5.0, 20.0, 50);
+        c.convex_polygon(&[(-10.0, -10.0), (30.0, -10.0), (30.0, 5.0), (-10.0, 5.0)], 80);
+        let f = c.into_frame();
+        assert_eq!(f.get(0, 4), 80);
+        assert_eq!(f.get(0, 9), 50);
+    }
+}

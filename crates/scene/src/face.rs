@@ -1,0 +1,254 @@
+//! Face sprites: expression geometry shared by the scene renderer and
+//! the emotion-classifier training-set generator.
+//!
+//! Expressions are encoded in the mouth stroke (curvature, thickness,
+//! shape) and eyebrows, which is exactly the texture the LBP descriptor
+//! sees. Using the same drawing code for training patches and for the
+//! in-scene faces keeps the classifier's train/test domains aligned,
+//! the way a real system trains on the deployment camera's imagery.
+
+use crate::canvas::Canvas;
+use dievent_emotion::Emotion;
+use dievent_video::GrayFrame;
+use dievent_vision::contract;
+
+/// Draws a mouth centred at `(cx, cy)` with half-width `half_w`,
+/// shaped by `emotion`.
+pub fn draw_mouth(c: &mut Canvas, cx: f64, cy: f64, half_w: f64, emotion: Emotion) {
+    let lum = contract::MOUTH_LUMINANCE;
+    let th = (half_w * 0.35).max(1.2);
+    match emotion {
+        Emotion::Neutral => {
+            c.stroke(cx - half_w, cy, cx + half_w, cy, th, lum);
+        }
+        Emotion::Happy => {
+            // Smile: ends raised.
+            arc(c, cx, cy, half_w, -0.55, th, lum);
+        }
+        Emotion::Sad => {
+            // Frown: ends lowered.
+            arc(c, cx, cy, half_w, 0.55, th, lum);
+        }
+        Emotion::Angry => {
+            // Tight straight mouth, thicker.
+            c.stroke(cx - half_w, cy, cx + half_w, cy, th * 1.7, lum);
+        }
+        Emotion::Disgust => {
+            // Asymmetric sneer: one side raised.
+            c.stroke(cx - half_w, cy + half_w * 0.2, cx + half_w, cy - half_w * 0.35, th, lum);
+        }
+        Emotion::Fear => {
+            // Wide, flattened ellipse.
+            ellipse(c, cx, cy, half_w * 0.9, half_w * 0.35, lum);
+        }
+        Emotion::Surprise => {
+            // Open round mouth.
+            c.disk(cx, cy, half_w * 0.55, lum);
+        }
+    }
+}
+
+/// Draws eyebrows for the expressions that use them (angry: slanted in,
+/// fear/surprise: raised).
+pub fn draw_brows(c: &mut Canvas, eye_x: f64, eye_y: f64, eye_r: f64, is_left: bool, emotion: Emotion) {
+    let lum = contract::MOUTH_LUMINANCE;
+    let th = (eye_r * 0.45).max(1.0);
+    let y = eye_y - eye_r * 1.9;
+    let dir = if is_left { 1.0 } else { -1.0 };
+    match emotion {
+        Emotion::Angry => {
+            // Slanted down toward the nose: the nose side is +x for the
+            // left eye, −x for the right eye.
+            let slope = eye_r * 0.5 * dir;
+            c.stroke(eye_x - eye_r, y - slope, eye_x + eye_r, y + slope, th, lum);
+        }
+        Emotion::Fear | Emotion::Surprise => {
+            // Raised flat brows.
+            c.stroke(eye_x - eye_r, y - eye_r * 0.5, eye_x + eye_r, y - eye_r * 0.5, th, lum);
+        }
+        _ => {}
+    }
+}
+
+/// Quadratic mouth arc: vertical deviation `curv·half_w` at the ends
+/// relative to the centre (negative = smile).
+fn arc(c: &mut Canvas, cx: f64, cy: f64, half_w: f64, curv: f64, th: f64, lum: u8) {
+    let steps = (half_w * 2.0).ceil().max(6.0) as usize;
+    let mut prev: Option<(f64, f64)> = None;
+    for s in 0..=steps {
+        let t = s as f64 / steps as f64 * 2.0 - 1.0; // −1..1
+        let x = cx + t * half_w;
+        let y = cy + curv * half_w * (t * t - 0.5);
+        if let Some((px, py)) = prev {
+            c.stroke(px, py, x, y, th, lum);
+        }
+        prev = Some((x, y));
+    }
+}
+
+/// Filled axis-aligned ellipse.
+fn ellipse(c: &mut Canvas, cx: f64, cy: f64, rx: f64, ry: f64, lum: u8) {
+    let x0 = (cx - rx).floor() as i64;
+    let x1 = (cx + rx).ceil() as i64;
+    let y0 = (cy - ry).floor() as i64;
+    let y1 = (cy + ry).ceil() as i64;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let nx = (x as f64 - cx) / rx;
+            let ny = (y as f64 - cy) / ry;
+            if nx * nx + ny * ny <= 1.0 {
+                c.set(x, y, lum);
+            }
+        }
+    }
+}
+
+/// Draws per-identity freckle texture inside a face disk.
+pub fn draw_freckles(c: &mut Canvas, cx: f64, cy: f64, r: f64, identity: usize, tone: u8) {
+    let lum = tone.saturating_sub(22);
+    for k in 0..7u64 {
+        let h = k
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add((identity as u64).wrapping_mul(0xbf58476d1ce4e5b9));
+        let a = (h % 628) as f64 / 100.0;
+        let rad = ((h >> 16) % 55 + 25) as f64 / 100.0 * r; // 0.25r..0.8r
+        let x = cx + a.cos() * rad;
+        let y = cy + a.sin() * rad * 0.5 + r * 0.25; // keep off the eye region
+        c.disk(x, y, (r * 0.045).max(0.7), lum);
+    }
+}
+
+/// Renders a frontal face patch for classifier training: the same
+/// disk/eyes/mouth geometry the scene renderer produces for a face
+/// looking straight into the camera, with deterministic per-`variant`
+/// jitter and noise.
+pub fn render_face_patch(emotion: Emotion, tone: u8, identity: usize, variant: u32, size: u32) -> GrayFrame {
+    let size = size.max(16);
+    let mut c = Canvas::new(size, size, 40);
+    let s = size as f64;
+    let r = s * 0.48;
+    let jitter = |k: u32, range: f64| -> f64 {
+        let h = (variant as u64)
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add((k as u64).wrapping_mul(0xbf58476d1ce4e5b9));
+        (((h >> 24) % 1000) as f64 / 1000.0 - 0.5) * 2.0 * range
+    };
+    // Detector crops are centroid-aligned, so the face centre moves at
+    // most half a pixel between samples.
+    let cx = s / 2.0 + jitter(1, 0.5);
+    let cy = s / 2.0 + jitter(2, 0.5);
+
+    c.shaded_disk(cx, cy, r, tone, contract::SHADING);
+    draw_freckles(&mut c, cx, cy, r, identity, tone);
+
+    // Frontal-view landmark geometry per the vision contract.
+    let norm = contract::eye_dir_norm();
+    let eye_dx = contract::EYE_SIDE / norm * r;
+    let eye_dy = -contract::EYE_UP / norm * r;
+    let eye_r = r * contract::EYE_RADIUS_FRAC;
+    for side in [-1.0, 1.0] {
+        let ex = cx + side * eye_dx + jitter(3, 0.5);
+        let ey = cy + eye_dy + jitter(4, 0.5);
+        c.disk(ex, ey, eye_r, contract::EYE_LUMINANCE);
+        c.disk(
+            ex + jitter(5, eye_r * 0.2),
+            ey + jitter(6, eye_r * 0.2),
+            eye_r * contract::PUPIL_RADIUS_FRAC,
+            contract::PUPIL_LUMINANCE,
+        );
+        draw_brows(&mut c, ex, ey, eye_r, side < 0.0, emotion);
+    }
+
+    let mouth_norm = (1.0 + contract::MOUTH_DOWN * contract::MOUTH_DOWN).sqrt();
+    let mouth_dy = contract::MOUTH_DOWN / mouth_norm * r;
+    draw_mouth(
+        &mut c,
+        cx + jitter(7, 0.6),
+        cy + mouth_dy + jitter(8, 0.6),
+        r * 0.42,
+        emotion,
+    );
+
+    c.add_noise(3, variant as u64);
+    c.into_frame()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dievent_emotion::{EmotionClassifier, LbpConfig, TrainingConfig};
+
+    #[test]
+    fn patch_has_expected_structure() {
+        let p = render_face_patch(Emotion::Neutral, 220, 0, 0, 48);
+        assert_eq!((p.width(), p.height()), (48, 48));
+        // Bright face centre, dark corner background.
+        assert!(p.get(24, 24) > 180 || p.get(24, 30) > 180);
+        assert!(p.get(0, 0) < 60);
+    }
+
+    #[test]
+    fn variants_differ_but_emotions_differ_more() {
+        let a0 = render_face_patch(Emotion::Happy, 220, 0, 0, 48);
+        let a1 = render_face_patch(Emotion::Happy, 220, 0, 1, 48);
+        let b0 = render_face_patch(Emotion::Sad, 220, 0, 0, 48);
+        let diff = |x: &GrayFrame, y: &GrayFrame| -> f64 {
+            x.data()
+                .iter()
+                .zip(y.data())
+                .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                .sum::<f64>()
+                / x.data().len() as f64
+        };
+        let within = diff(&a0, &a1);
+        let across = diff(&a0, &b0);
+        assert!(within > 0.0, "variants must differ");
+        assert!(across > within, "emotion change must outweigh jitter");
+    }
+
+    #[test]
+    fn every_emotion_renders_distinctly() {
+        use dievent_emotion::Emotion::*;
+        let patches: Vec<_> = [Neutral, Happy, Sad, Angry, Disgust, Fear, Surprise]
+            .iter()
+            .map(|&e| render_face_patch(e, 220, 0, 0, 48))
+            .collect();
+        for i in 0..patches.len() {
+            for j in i + 1..patches.len() {
+                assert_ne!(patches[i].data(), patches[j].data(), "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn classifier_trains_well_on_rendered_patches() {
+        // The real training path used by the pipeline: scene sprites →
+        // LBP → MLP. This is the accuracy the EXPERIMENTS.md reports.
+        let mut data = Vec::new();
+        for v in 0..20u32 {
+            for e in dievent_emotion::Emotion::ALL {
+                // Mix identities/tones so the classifier can't cheat on tone.
+                let tone = dievent_vision::contract::skin_tone((v % 4) as usize);
+                data.push((render_face_patch(e, tone, (v % 4) as usize, v * 7 + e.index() as u32, 48), e));
+            }
+        }
+        let tc = TrainingConfig { epochs: 60, ..TrainingConfig::default() };
+        let (_clf, report) = EmotionClassifier::train(&data, LbpConfig::default(), &[48], 42, &tc);
+        assert!(
+            report.test_accuracy > 0.8,
+            "rendered-patch accuracy too low: {} ({:?})",
+            report.test_accuracy,
+            report.confusion
+        );
+    }
+
+    #[test]
+    fn freckles_depend_on_identity() {
+        let mut a = Canvas::new(48, 48, 0);
+        a.disk(24.0, 24.0, 20.0, 220);
+        let mut b = a.clone();
+        draw_freckles(&mut a, 24.0, 24.0, 20.0, 0, 220);
+        draw_freckles(&mut b, 24.0, 24.0, 20.0, 1, 220);
+        assert_ne!(a.into_frame().data(), b.into_frame().data());
+    }
+}

@@ -1,0 +1,359 @@
+//! Gaze targets and schedules.
+//!
+//! Who looks at whom, frame by frame, is the scenario's script. The
+//! [`ScheduleBuilder`] produces a deterministic schedule that (a) hits
+//! exact per-pair frame counts — which is how the Fig. 9 summary matrix
+//! is reproduced — while (b) pinning arbitrary windows to fixed
+//! configurations — which is how the Fig. 7 (t = 10 s) and Fig. 8
+//! (t = 15 s) look-at maps are reproduced — and (c) grouping the rest
+//! into contiguous dwell blocks, because real gaze dwells for a second
+//! or two rather than flickering per frame.
+
+// Schedule matrices are indexed by (participant, frame) pairs.
+#![allow(clippy::needless_range_loop)]
+
+use serde::{Deserialize, Serialize};
+
+/// Where a participant is looking during one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GazeTarget {
+    /// Looking at participant `j` (head centre).
+    Person(usize),
+    /// Looking down at their own plate / the table.
+    Plate,
+}
+
+/// A complete gaze script: `targets[participant][frame]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GazeSchedule {
+    targets: Vec<Vec<GazeTarget>>,
+}
+
+impl GazeSchedule {
+    /// Builds from per-participant per-frame targets.
+    ///
+    /// # Panics
+    /// Panics when rows have unequal lengths or a target references a
+    /// participant out of range / themselves.
+    pub fn new(targets: Vec<Vec<GazeTarget>>) -> Self {
+        let n = targets.len();
+        let frames = targets.first().map_or(0, Vec::len);
+        for (i, row) in targets.iter().enumerate() {
+            assert_eq!(row.len(), frames, "row {i} length mismatch");
+            for (f, t) in row.iter().enumerate() {
+                if let GazeTarget::Person(j) = t {
+                    assert!(*j < n, "frame {f}: target {j} out of range");
+                    assert_ne!(*j, i, "frame {f}: participant {i} cannot look at themselves");
+                }
+            }
+        }
+        GazeSchedule { targets }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> usize {
+        self.targets.first().map_or(0, Vec::len)
+    }
+
+    /// The target of participant `i` at `frame`.
+    ///
+    /// # Panics
+    /// Panics out of range.
+    pub fn target(&self, participant: usize, frame: usize) -> GazeTarget {
+        self.targets[participant][frame]
+    }
+
+    /// The `n×n` *intended* look-at matrix at `frame`: `m[i][j] = 1`
+    /// when `i` is scripted to look at `j`.
+    pub fn lookat_matrix(&self, frame: usize) -> Vec<Vec<u8>> {
+        let n = self.participants();
+        let mut m = vec![vec![0u8; n]; n];
+        for i in 0..n {
+            if let GazeTarget::Person(j) = self.target(i, frame) {
+                m[i][j] = 1;
+            }
+        }
+        m
+    }
+
+    /// Sum of the per-frame look-at matrices over all frames — the
+    /// ground-truth version of the Fig. 9 summary matrix.
+    pub fn summary_matrix(&self) -> Vec<Vec<u32>> {
+        let n = self.participants();
+        let mut m = vec![vec![0u32; n]; n];
+        for f in 0..self.frames() {
+            for i in 0..n {
+                if let GazeTarget::Person(j) = self.target(i, f) {
+                    m[i][j] += 1;
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Builds count-constrained schedules with pinned windows.
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder {
+    participants: usize,
+    frames: usize,
+    /// Dwell-block length in frames for the unpinned filler.
+    pub dwell: usize,
+    /// `counts[i][j]` = how many frames participant `i` must look at `j`
+    /// in total (including pinned frames). Remaining frames become
+    /// [`GazeTarget::Plate`].
+    counts: Vec<Vec<u32>>,
+    /// Pinned windows: `(start, end, config)` with
+    /// `config[i] = target of participant i` throughout `[start, end)`.
+    pins: Vec<(usize, usize, Vec<GazeTarget>)>,
+}
+
+impl ScheduleBuilder {
+    /// Creates a builder for `participants` over `frames` frames.
+    pub fn new(participants: usize, frames: usize) -> Self {
+        ScheduleBuilder {
+            participants,
+            frames,
+            dwell: 23,
+            counts: vec![vec![0; participants]; participants],
+            pins: Vec::new(),
+        }
+    }
+
+    /// Requires participant `i` to look at `j` for exactly `frames`
+    /// frames in total.
+    ///
+    /// # Panics
+    /// Panics for `i == j` or out-of-range indices.
+    pub fn require(mut self, i: usize, j: usize, frames: u32) -> Self {
+        assert!(i < self.participants && j < self.participants && i != j);
+        self.counts[i][j] = frames;
+        self
+    }
+
+    /// Pins frames `[start, end)` to a fixed configuration.
+    ///
+    /// # Panics
+    /// Panics when the window is out of range, overlaps an existing pin,
+    /// or `config.len() != participants`.
+    pub fn pin(mut self, start: usize, end: usize, config: Vec<GazeTarget>) -> Self {
+        assert!(start < end && end <= self.frames, "bad pin window");
+        assert_eq!(config.len(), self.participants);
+        for (s, e, _) in &self.pins {
+            assert!(end <= *s || start >= *e, "pins overlap");
+        }
+        self.pins.push((start, end, config));
+        self
+    }
+
+    /// Builds the schedule.
+    ///
+    /// # Panics
+    /// Panics when the pinned frames demand more looks at some target
+    /// than the required counts allow, or the counts exceed the frame
+    /// budget.
+    pub fn build(self) -> GazeSchedule {
+        let n = self.participants;
+        let frames = self.frames;
+        let mut targets = vec![vec![GazeTarget::Plate; frames]; n];
+        let mut remaining = self.counts.clone();
+        let mut pinned = vec![false; frames];
+
+        // 1. Apply pins, decrementing the remaining counts.
+        for (start, end, config) in &self.pins {
+            for f in *start..*end {
+                pinned[f] = true;
+                for i in 0..n {
+                    targets[i][f] = config[i];
+                    if let GazeTarget::Person(j) = config[i] {
+                        assert!(
+                            remaining[i][j] > 0,
+                            "pinned window exhausts count for {i}→{j}"
+                        );
+                        remaining[i][j] -= 1;
+                    }
+                }
+            }
+        }
+
+        // 2. Fill unpinned frames per participant in dwell blocks,
+        //    always continuing with the target that has most remaining.
+        for i in 0..n {
+            let total_remaining: u32 = remaining[i].iter().sum();
+            let unpinned = pinned.iter().filter(|&&p| !p).count() as u32;
+            assert!(
+                total_remaining <= unpinned,
+                "participant {i}: {total_remaining} required looks exceed {unpinned} unpinned frames"
+            );
+            let mut f = 0usize;
+            while f < frames {
+                if pinned[f] {
+                    f += 1;
+                    continue;
+                }
+                // Pick target with the most remaining budget (stable tie-break).
+                let pick = (0..n)
+                    .filter(|&j| j != i && remaining[i][j] > 0)
+                    .max_by_key(|&j| (remaining[i][j], n - j));
+                let Some(j) = pick else { break };
+                let mut placed = 0u32;
+                while f < frames && placed < self.dwell as u32 && remaining[i][j] > 0 {
+                    if !pinned[f] {
+                        targets[i][f] = GazeTarget::Person(j);
+                        remaining[i][j] -= 1;
+                        placed += 1;
+                    }
+                    f += 1;
+                }
+                // Leave a plate-gaze gap between dwell blocks when budget
+                // allows, so looks don't all clump at the start.
+                let budget: u32 = remaining[i].iter().sum();
+                if budget > 0 {
+                    let frames_left = (f..frames).filter(|&k| !pinned[k]).count() as u32;
+                    let slack = frames_left.saturating_sub(budget);
+                    let gap = (slack / (budget / self.dwell as u32 + 1)).min(self.dwell as u32 / 2);
+                    let mut skipped = 0;
+                    while f < frames && skipped < gap {
+                        if !pinned[f] {
+                            skipped += 1;
+                        }
+                        f += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(
+                remaining[i].iter().sum::<u32>(),
+                0,
+                "participant {i} budget not exhausted"
+            );
+        }
+
+        GazeSchedule::new(targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_validates_targets() {
+        let s = GazeSchedule::new(vec![
+            vec![GazeTarget::Person(1), GazeTarget::Plate],
+            vec![GazeTarget::Person(0), GazeTarget::Person(0)],
+        ]);
+        assert_eq!(s.participants(), 2);
+        assert_eq!(s.frames(), 2);
+        assert_eq!(s.target(0, 0), GazeTarget::Person(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_look_rejected() {
+        let _ = GazeSchedule::new(vec![vec![GazeTarget::Person(0)]]);
+    }
+
+    #[test]
+    fn lookat_matrix_reflects_targets() {
+        let s = GazeSchedule::new(vec![
+            vec![GazeTarget::Person(1)],
+            vec![GazeTarget::Person(0)],
+            vec![GazeTarget::Plate],
+        ]);
+        let m = s.lookat_matrix(0);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[2], vec![0, 0, 0]);
+        assert_eq!(m[0][0], 0, "diagonal is zero");
+    }
+
+    #[test]
+    fn builder_hits_exact_counts() {
+        let schedule = ScheduleBuilder::new(3, 100)
+            .require(0, 1, 30)
+            .require(0, 2, 20)
+            .require(1, 0, 55)
+            .require(2, 0, 10)
+            .build();
+        let m = schedule.summary_matrix();
+        assert_eq!(m[0][1], 30);
+        assert_eq!(m[0][2], 20);
+        assert_eq!(m[1][0], 55);
+        assert_eq!(m[2][0], 10);
+        assert_eq!(m[1][2], 0);
+        assert_eq!(m[0][0], 0);
+    }
+
+    #[test]
+    fn builder_respects_pins() {
+        let pin_cfg = vec![
+            GazeTarget::Person(2),
+            GazeTarget::Person(0),
+            GazeTarget::Person(0),
+        ];
+        let schedule = ScheduleBuilder::new(3, 200)
+            .require(0, 2, 60)
+            .require(1, 0, 40)
+            .require(2, 0, 50)
+            .pin(80, 96, pin_cfg.clone())
+            .build();
+        for f in 80..96 {
+            assert_eq!(schedule.target(0, f), GazeTarget::Person(2));
+            assert_eq!(schedule.target(1, f), GazeTarget::Person(0));
+            assert_eq!(schedule.target(2, f), GazeTarget::Person(0));
+        }
+        // Counts still exact overall.
+        let m = schedule.summary_matrix();
+        assert_eq!(m[0][2], 60);
+        assert_eq!(m[1][0], 40);
+        assert_eq!(m[2][0], 50);
+    }
+
+    #[test]
+    fn builder_produces_dwell_blocks() {
+        let schedule = ScheduleBuilder::new(2, 200).require(0, 1, 100).build();
+        // Count transitions in row 0: with dwell 23 and 100 frames split
+        // into blocks, transitions must be far fewer than 100.
+        let mut transitions = 0;
+        for f in 1..200 {
+            if schedule.target(0, f) != schedule.target(0, f - 1) {
+                transitions += 1;
+            }
+        }
+        assert!(transitions <= 12, "too many gaze flickers: {transitions}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn overbudget_counts_panic() {
+        let _ = ScheduleBuilder::new(2, 10).require(0, 1, 11).build();
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_pins_panic() {
+        let cfg = vec![GazeTarget::Plate, GazeTarget::Plate];
+        let _ = ScheduleBuilder::new(2, 100)
+            .pin(10, 20, cfg.clone())
+            .pin(15, 25, cfg);
+    }
+
+    #[test]
+    fn pinned_counts_deducted_not_duplicated() {
+        let schedule = ScheduleBuilder::new(2, 50)
+            .require(0, 1, 10)
+            .pin(0, 10, vec![GazeTarget::Person(1), GazeTarget::Plate])
+            .build();
+        let m = schedule.summary_matrix();
+        assert_eq!(m[0][1], 10, "pin frames count toward the requirement");
+        // All looks must be inside the pin (budget exactly consumed).
+        for f in 10..50 {
+            assert_eq!(schedule.target(0, f), GazeTarget::Plate);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic dining-scene simulator for the DiEvent framework.
+//!
+//! The paper's substrate — real dining/meeting videos from a multi-
+//! camera acquisition platform (§II-A, §III) — is unavailable, so this
+//! crate builds its closest synthetic equivalent: a deterministic
+//! simulation of participants seated around a table, with scripted gaze
+//! behaviour, Markov emotion dynamics, and a software renderer that
+//! rasterizes each calibrated camera's view into ordinary pixel frames.
+//! Ground truth (who looks at whom, who feels what) is known for every
+//! frame — which the paper itself lists as future work ("collect and
+//! annotate a dataset").
+//!
+//! * [`table`] — dining-table geometry and seat placement;
+//! * [`participant`] — participant descriptors and per-frame state;
+//! * [`rig`] — camera rigs: the Fig. 2 two-camera platform and the §III
+//!   four-corner prototype rig;
+//! * [`gaze`] — gaze targets, dwell-block schedules, and the
+//!   count-constrained schedule builder used to reproduce Fig. 9;
+//! * [`emotion_dyn`] — Markov-chain emotion dynamics;
+//! * [`face`] — face sprites: expression rendering shared by the scene
+//!   renderer and the emotion-classifier training-set generator;
+//! * [`scenario`] — scenario assembly, simulation, and ground truth
+//!   (including [`scenario::Scenario::prototype`], the 4-participant /
+//!   4-camera / 610-frame §III prototype);
+//! * [`render`] — the software renderer producing `GrayFrame`s that the
+//!   `dievent-vision` substrate consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canvas;
+pub mod conversation;
+pub mod emotion_dyn;
+pub mod face;
+pub mod gaze;
+pub mod participant;
+pub mod render;
+pub mod rig;
+pub mod scenario;
+pub mod table;
+pub mod topview;
+
+pub use conversation::{generate_conversation, ConversationConfig};
+pub use emotion_dyn::{EmotionDynamics, EmotionDynamicsConfig};
+pub use face::render_face_patch;
+pub use gaze::{GazeSchedule, GazeTarget, ScheduleBuilder};
+pub use participant::{Participant, ParticipantState};
+pub use render::{RenderConfig, Renderer};
+pub use rig::CameraRig;
+pub use scenario::{GroundTruth, SceneSnapshot, Scenario};
+pub use table::DiningTable;
+pub use topview::render_topview_map;

@@ -1,0 +1,114 @@
+//! Participants and their per-frame state.
+
+use dievent_emotion::Emotion;
+use dievent_geometry::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A named color used to describe participants, mirroring the paper's
+/// prototype ("the yellow participant (P1)…").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParticipantColor {
+    /// Yellow (P1 in the paper's prototype).
+    Yellow,
+    /// Blue (P2).
+    Blue,
+    /// Green (P3).
+    Green,
+    /// Black (P4).
+    Black,
+    /// Other palette entries for larger scenarios.
+    Other(u8),
+}
+
+impl ParticipantColor {
+    /// RGB triple for color rendering / plotting.
+    pub fn rgb(self) -> [u8; 3] {
+        match self {
+            ParticipantColor::Yellow => [230, 200, 60],
+            ParticipantColor::Blue => [70, 110, 220],
+            ParticipantColor::Green => [70, 190, 90],
+            ParticipantColor::Black => [40, 40, 40],
+            ParticipantColor::Other(k) => [120 + (k % 5) * 20, 90, 160],
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParticipantColor::Yellow => "yellow",
+            ParticipantColor::Blue => "blue",
+            ParticipantColor::Green => "green",
+            ParticipantColor::Black => "black",
+            ParticipantColor::Other(_) => "other",
+        }
+    }
+}
+
+/// Static description of one participant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Participant {
+    /// Zero-based participant index (P1 = 0).
+    pub index: usize,
+    /// Display name (e.g. "P1").
+    pub name: String,
+    /// Color code, as in the paper's prototype figures.
+    pub color: ParticipantColor,
+    /// Base skin/appearance luminance used by the renderer and the
+    /// recognition gallery (identity-coded, see
+    /// `dievent_vision::contract::skin_tone`).
+    pub tone: u8,
+    /// Seat head position (rest position; the simulator adds sway).
+    pub seat_head: Vec3,
+    /// Body facing direction (horizontal unit vector).
+    pub seat_facing: Vec3,
+}
+
+impl Participant {
+    /// The paper-prototype color for participant `index`.
+    pub fn prototype_color(index: usize) -> ParticipantColor {
+        match index {
+            0 => ParticipantColor::Yellow,
+            1 => ParticipantColor::Blue,
+            2 => ParticipantColor::Green,
+            3 => ParticipantColor::Black,
+            k => ParticipantColor::Other(k as u8),
+        }
+    }
+}
+
+/// Dynamic state of one participant at one frame (ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParticipantState {
+    /// Head centre in world coordinates.
+    pub head: Vec3,
+    /// Unit face-forward direction (world).
+    pub forward: Vec3,
+    /// Unit gaze direction (world).
+    pub gaze: Vec3,
+    /// Current emotion.
+    pub emotion: Emotion,
+    /// Scripted gaze target: `Some(j)` when intentionally looking at
+    /// participant `j`, `None` when attending to the plate/table.
+    pub intended_target: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_colors_match_paper() {
+        assert_eq!(Participant::prototype_color(0), ParticipantColor::Yellow);
+        assert_eq!(Participant::prototype_color(1), ParticipantColor::Blue);
+        assert_eq!(Participant::prototype_color(2), ParticipantColor::Green);
+        assert_eq!(Participant::prototype_color(3), ParticipantColor::Black);
+        assert!(matches!(Participant::prototype_color(7), ParticipantColor::Other(_)));
+    }
+
+    #[test]
+    fn color_names_and_rgb() {
+        assert_eq!(ParticipantColor::Yellow.name(), "yellow");
+        let [r, g, b] = ParticipantColor::Green.rgb();
+        assert!(g > r && g > b, "green is green");
+    }
+}

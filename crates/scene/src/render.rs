@@ -1,0 +1,313 @@
+//! The software renderer: rasterizes a scene snapshot through each
+//! calibrated camera into ordinary grayscale frames.
+//!
+//! Rendering follows the appearance contract in
+//! `dievent_vision::contract`: faces are shaded disks with dark
+//! eye/pupil/mouth features positioned by projecting their true 3-D
+//! locations on the head sphere, so every cue the vision substrate
+//! decodes (apparent radius ↔ depth, eye-midpoint offset ↔ head
+//! orientation, pupil offset ↔ gaze) is geometrically earned, not
+//! painted on.
+
+use crate::canvas::Canvas;
+use crate::face;
+use crate::scenario::{SceneSnapshot, Scenario};
+use dievent_geometry::{PinholeCamera, Vec3};
+use dievent_video::{GrayFrame, Timestamp};
+use dievent_vision::contract;
+use serde::{Deserialize, Serialize};
+
+/// Renderer tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RenderConfig {
+    /// Background luminance.
+    pub background: u8,
+    /// Vertical background gradient amplitude.
+    pub gradient: i32,
+    /// Table-top luminance.
+    pub table_luminance: u8,
+    /// Torso luminance.
+    pub torso_luminance: u8,
+    /// Sensor noise amplitude (± luminance).
+    pub noise: u8,
+    /// Whether to draw the table.
+    pub draw_table: bool,
+    /// Whether to draw torsos.
+    pub draw_torsos: bool,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            background: 45,
+            gradient: 8,
+            table_luminance: 85,
+            torso_luminance: 65,
+            noise: 3,
+            draw_table: true,
+            draw_torsos: true,
+        }
+    }
+}
+
+/// Renders scene snapshots through cameras.
+#[derive(Debug, Clone, Default)]
+pub struct Renderer {
+    /// Renderer configuration.
+    pub config: RenderConfig,
+}
+
+impl Renderer {
+    /// Creates a renderer.
+    pub fn new(config: RenderConfig) -> Self {
+        Renderer { config }
+    }
+
+    /// Renders one snapshot through camera `cam_idx` of the scenario's
+    /// rig.
+    ///
+    /// # Panics
+    /// Panics when `cam_idx` is out of range.
+    pub fn render(&self, scenario: &Scenario, snap: &SceneSnapshot, cam_idx: usize) -> GrayFrame {
+        let camera = &scenario.rig.cameras[cam_idx];
+        let cfg = &self.config;
+        let mut c = Canvas::new(scenario.spec.width, scenario.spec.height, cfg.background);
+        c.vertical_gradient(cfg.gradient);
+
+        if cfg.draw_table {
+            self.draw_table(&mut c, scenario, camera);
+        }
+
+        // Painter's algorithm: far participants first.
+        let mut order: Vec<usize> = (0..snap.states.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = snap.states[a].head.distance_sq(camera.position());
+            let db = snap.states[b].head.distance_sq(camera.position());
+            db.partial_cmp(&da).expect("finite distances")
+        });
+
+        for &i in &order {
+            self.draw_participant(&mut c, scenario, snap, i, camera);
+        }
+
+        c.add_noise(cfg.noise, snap.frame as u64 * 31 + cam_idx as u64);
+        c.into_frame()
+            .with_timestamp(Timestamp::from_secs(snap.time))
+    }
+
+    /// Renders every camera for one snapshot (C1..Cn order).
+    pub fn render_all(&self, scenario: &Scenario, snap: &SceneSnapshot) -> Vec<GrayFrame> {
+        (0..scenario.rig.len())
+            .map(|k| self.render(scenario, snap, k))
+            .collect()
+    }
+
+    fn draw_table(&self, c: &mut Canvas, scenario: &Scenario, camera: &PinholeCamera) {
+        let corners = scenario.table.corners();
+        let mut pts = Vec::with_capacity(4);
+        for corner in corners {
+            match camera.project(corner) {
+                Some(p) => pts.push((p.pixel.x, p.pixel.y)),
+                None => return, // table partially behind the camera: skip
+            }
+        }
+        c.convex_polygon(&pts, self.config.table_luminance);
+    }
+
+    fn draw_participant(
+        &self,
+        c: &mut Canvas,
+        scenario: &Scenario,
+        snap: &SceneSnapshot,
+        i: usize,
+        camera: &PinholeCamera,
+    ) {
+        let st = &snap.states[i];
+        let p = &scenario.participants[i];
+        let to_cam = camera.extrinsics();
+
+        // Torso: a blob under the head.
+        if self.config.draw_torsos {
+            let torso = st.head - Vec3::new(0.0, 0.0, 0.38);
+            if let (Some(proj), Some(r_px)) = (
+                camera.project(torso),
+                camera.projected_radius(torso, 0.21),
+            ) {
+                c.shaded_disk(proj.pixel.x, proj.pixel.y, r_px * 1.15, self.config.torso_luminance, 0.2);
+            }
+        }
+
+        // Head disk.
+        let Some(head_proj) = camera.project(st.head) else {
+            return;
+        };
+        let Some(r_px) = camera.projected_radius(st.head, contract::HEAD_RADIUS_M) else {
+            return;
+        };
+        if r_px < 1.0 {
+            return;
+        }
+        c.shaded_disk(head_proj.pixel.x, head_proj.pixel.y, r_px, p.tone, contract::SHADING);
+        face::draw_freckles(c, head_proj.pixel.x, head_proj.pixel.y, r_px, i, p.tone);
+
+        // Head-local frame: forward from state, right/up from world up.
+        let fwd = st.forward;
+        let Some(right) = fwd.cross(Vec3::Z).try_normalized() else {
+            return; // facing straight up/down — no facial features visible
+        };
+        let up = right.cross(fwd);
+
+        let fwd_cam = to_cam.transform_dir(fwd);
+        let gaze_cam = to_cam.transform_dir(st.gaze);
+        let (pox, poy) = contract::pupil_offset_frac(fwd_cam, gaze_cam);
+        let eye_r_px = r_px * contract::EYE_RADIUS_FRAC;
+
+        let (le_dir, re_dir) = contract::eye_directions(fwd, right, up);
+        for dir in [le_dir, re_dir] {
+            // Only features on the camera-facing hemisphere are visible,
+            // and a feature on a sphere foreshortens with the cosine of
+            // its angle to the view direction.
+            let cos_view = -to_cam.transform_dir(dir).z;
+            if cos_view <= 0.05 {
+                continue;
+            }
+            let er = eye_r_px * cos_view;
+            if er < 0.8 {
+                continue; // sub-pixel speck
+            }
+            let eye_world = st.head + dir * contract::HEAD_RADIUS_M;
+            let Some(ep) = camera.project(eye_world) else {
+                continue;
+            };
+            c.disk(ep.pixel.x, ep.pixel.y, er, contract::EYE_LUMINANCE);
+            c.disk(
+                ep.pixel.x + pox * er,
+                ep.pixel.y + poy * er,
+                er * contract::PUPIL_RADIUS_FRAC,
+                contract::PUPIL_LUMINANCE,
+            );
+            let is_left = dir == le_dir;
+            face::draw_brows(c, ep.pixel.x, ep.pixel.y, er, is_left, st.emotion);
+        }
+
+        // Mouth.
+        let m_dir = contract::mouth_direction(fwd, up);
+        if to_cam.transform_dir(m_dir).z < 0.0 {
+            if let Some(mp) = camera.project(st.head + m_dir * contract::HEAD_RADIUS_M) {
+                face::draw_mouth(c, mp.pixel.x, mp.pixel.y, r_px * 0.42, st.emotion);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use dievent_vision::{detect_faces, DetectorConfig};
+
+    fn small_prototype() -> (Scenario, crate::scenario::GroundTruth) {
+        let s = Scenario::prototype();
+        let gt = s.simulate();
+        (s, gt)
+    }
+
+    #[test]
+    fn frame_has_spec_dimensions_and_timestamp() {
+        let (s, gt) = small_prototype();
+        let r = Renderer::default();
+        let f = r.render(&s, &gt.snapshots[0], 0);
+        assert_eq!(f.width(), s.spec.width);
+        assert_eq!(f.height(), s.spec.height);
+        assert!((f.timestamp.as_secs() - 0.0).abs() < 1e-12);
+        let f10 = r.render(&s, &gt.snapshots[152], 0);
+        assert!((f10.timestamp.as_secs() - 152.0 / s.spec.fps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendered_faces_are_detectable() {
+        let (s, gt) = small_prototype();
+        let r = Renderer::default();
+        // Across all four cameras, every camera should detect ≥2 faces
+        // (occlusion can merge a pair on the diagonal views).
+        let mut total = 0;
+        for cam in 0..4 {
+            let f = r.render(&s, &gt.snapshots[50], cam);
+            let det = detect_faces(&f, &DetectorConfig::default());
+            assert!(det.len() >= 2, "camera {cam}: {} faces", det.len());
+            assert!(det.len() <= 4);
+            total += det.len();
+        }
+        assert!(total >= 12, "total detections across cameras: {total}");
+    }
+
+    #[test]
+    fn every_participant_detected_by_some_camera() {
+        let (s, gt) = small_prototype();
+        let r = Renderer::default();
+        let snap = &gt.snapshots[100];
+        let mut seen = [false; 4];
+        for cam_idx in 0..4 {
+            let f = r.render(&s, snap, cam_idx);
+            let dets = detect_faces(&f, &DetectorConfig::default());
+            let camera = &s.rig.cameras[cam_idx];
+            for d in dets {
+                // Match detection to nearest projected head.
+                let mut best = (f64::INFINITY, 0usize);
+                for (i, st) in snap.states.iter().enumerate() {
+                    if let Some(p) = camera.project(st.head) {
+                        let dist = (p.pixel.x - d.cx).hypot(p.pixel.y - d.cy);
+                        if dist < best.0 {
+                            best = (dist, i);
+                        }
+                    }
+                }
+                if best.0 < 10.0 {
+                    seen[best.1] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "seen = {seen:?}");
+    }
+
+    #[test]
+    fn tone_identifies_participants() {
+        let (s, gt) = small_prototype();
+        let r = Renderer::default();
+        let f = r.render(&s, &gt.snapshots[20], 0);
+        let dets = detect_faces(&f, &DetectorConfig::default());
+        // Every detection's mean luminance must be near one of the four
+        // configured tones (minus shading loss).
+        for d in &dets {
+            let closest = (0..4)
+                .map(|i| (contract::skin_tone(i) as f64 - d.mean_luminance).abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!(closest < 20.0, "tone mismatch: {}", d.mean_luminance);
+        }
+    }
+
+    #[test]
+    fn noise_decorrelates_frames() {
+        let (s, gt) = small_prototype();
+        let r = Renderer::default();
+        let a = r.render(&s, &gt.snapshots[0], 0);
+        let b = r.render(&s, &gt.snapshots[1], 0);
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn render_all_covers_rig() {
+        let (s, gt) = small_prototype();
+        let frames = Renderer::default().render_all(&s, &gt.snapshots[0]);
+        assert_eq!(frames.len(), 4);
+    }
+
+    #[test]
+    fn table_visible_as_brighter_region() {
+        let (s, gt) = small_prototype();
+        let with_table = Renderer::default().render(&s, &gt.snapshots[0], 0);
+        let without = Renderer::new(RenderConfig { draw_table: false, ..RenderConfig::default() })
+            .render(&s, &gt.snapshots[0], 0);
+        assert!(with_table.mean() > without.mean());
+    }
+}

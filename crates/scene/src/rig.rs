@@ -1,0 +1,165 @@
+//! Camera rigs — the acquisition platform geometries from the paper.
+//!
+//! Fig. 2 describes two surveillance cameras fixed in front of each
+//! other at 2.5 m height with −15° pitch; the §III prototype instead
+//! distributes four cameras on the corners of the room at 2.5 m,
+//! synchronized. Both rigs are expressed as calibrated
+//! [`PinholeCamera`]s in the world frame.
+
+use dievent_geometry::{CameraIntrinsics, PinholeCamera, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A set of synchronized, calibrated cameras.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CameraRig {
+    /// The cameras, in a stable order (C1, C2, …).
+    pub cameras: Vec<PinholeCamera>,
+    /// Human-readable rig description.
+    pub description: String,
+}
+
+impl CameraRig {
+    /// Number of cameras.
+    pub fn len(&self) -> usize {
+        self.cameras.len()
+    }
+
+    /// Returns `true` when the rig has no cameras.
+    pub fn is_empty(&self) -> bool {
+        self.cameras.is_empty()
+    }
+
+    /// The Fig. 2 acquisition platform: two cameras facing each other at
+    /// `height` (paper: 2.5 m) with ≈−15° pitch, `separation` metres
+    /// apart along world X, both aimed at the midpoint between them.
+    ///
+    /// The aim point is chosen so the optical axis pitches down by 15°:
+    /// the cameras look at a point `separation/2` away and
+    /// `tan(15°)·separation/2` below their own height.
+    pub fn paper_two_camera(separation: f64, height: f64, intrinsics: CameraIntrinsics) -> CameraRig {
+        let drop = (15.0f64.to_radians()).tan() * separation / 2.0;
+        let target_z = height - drop;
+        let c1 = PinholeCamera::look_at(
+            intrinsics,
+            Vec3::new(0.0, 0.0, height),
+            Vec3::new(separation / 2.0, 0.0, target_z),
+        )
+        .expect("valid two-camera geometry");
+        let c2 = PinholeCamera::look_at(
+            intrinsics,
+            Vec3::new(separation, 0.0, height),
+            Vec3::new(separation / 2.0, 0.0, target_z),
+        )
+        .expect("valid two-camera geometry");
+        CameraRig {
+            cameras: vec![c1, c2],
+            description: format!(
+                "Fig. 2 platform: 2 cameras face-to-face, {separation} m apart at {height} m, −15° pitch"
+            ),
+        }
+    }
+
+    /// The §III prototype rig: four cameras on the corners of a
+    /// `room_x × room_y` room at `height` (paper: 2.5 m), all aimed at
+    /// `aim` (typically just above the table centre).
+    pub fn four_corner_prototype(
+        room_x: f64,
+        room_y: f64,
+        height: f64,
+        aim: Vec3,
+        intrinsics: CameraIntrinsics,
+    ) -> CameraRig {
+        let inset = 0.35;
+        let corners = [
+            Vec3::new(inset, inset, height),
+            Vec3::new(room_x - inset, inset, height),
+            Vec3::new(room_x - inset, room_y - inset, height),
+            Vec3::new(inset, room_y - inset, height),
+        ];
+        let cameras = corners
+            .iter()
+            .map(|&eye| PinholeCamera::look_at(intrinsics, eye, aim).expect("valid corner geometry"))
+            .collect();
+        CameraRig {
+            cameras,
+            description: format!(
+                "§III prototype rig: 4 corner cameras in a {room_x}×{room_y} m room at {height} m"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dievent_geometry::rad_to_deg;
+
+    #[test]
+    fn two_camera_rig_faces_inward_with_15_deg_pitch() {
+        let rig = CameraRig::paper_two_camera(6.0, 2.5, CameraIntrinsics::paper_camera());
+        assert_eq!(rig.len(), 2);
+        let a1 = rig.cameras[0].optical_axis();
+        let a2 = rig.cameras[1].optical_axis();
+        // Opposite horizontal directions.
+        assert!(a1.x > 0.0 && a2.x < 0.0);
+        // Pitch: angle below horizontal ≈ 15°.
+        for axis in [a1, a2] {
+            let horiz = (axis.x * axis.x + axis.y * axis.y).sqrt();
+            let pitch_deg = rad_to_deg((-axis.z).atan2(horiz));
+            assert!((pitch_deg - 15.0).abs() < 0.5, "pitch = {pitch_deg}°");
+        }
+    }
+
+    #[test]
+    fn two_cameras_cover_the_shared_midpoint() {
+        let rig = CameraRig::paper_two_camera(6.0, 2.5, CameraIntrinsics::paper_camera());
+        // A head between the cameras is visible from both — the paper's
+        // reason for the face-to-face arrangement ("capture the
+        // corresponding parts of the scene").
+        let head = Vec3::new(3.0, 0.0, 1.25);
+        assert!(rig.cameras[0].sees(head));
+        assert!(rig.cameras[1].sees(head));
+    }
+
+    #[test]
+    fn four_corner_rig_sees_the_table_from_everywhere() {
+        let aim = Vec3::new(3.0, 2.0, 1.0);
+        let rig = CameraRig::four_corner_prototype(
+            6.0,
+            4.0,
+            2.5,
+            aim,
+            CameraIntrinsics::from_hfov(640, 480, 50.0),
+        );
+        assert_eq!(rig.len(), 4);
+        for (i, cam) in rig.cameras.iter().enumerate() {
+            assert!(cam.sees(aim), "camera {i} must see the aim point");
+            assert!((cam.position().z - 2.5).abs() < 1e-12);
+        }
+        // Cameras occupy distinct corners.
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(rig.cameras[i].position().distance(rig.cameras[j].position()) > 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn four_corner_rig_sees_all_prototype_heads() {
+        let aim = Vec3::new(3.0, 2.0, 1.0);
+        let rig = CameraRig::four_corner_prototype(
+            6.0,
+            4.0,
+            2.5,
+            aim,
+            CameraIntrinsics::from_hfov(640, 480, 50.0),
+        );
+        let table = crate::table::DiningTable::meeting_room(dievent_geometry::Vec2::new(3.0, 2.0));
+        let seats = table.seats(4, 1.25, 0.25);
+        for cam in &rig.cameras {
+            for seat in &seats {
+                assert!(cam.sees(seat.head), "every camera frames every head");
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Dining-table geometry and seat placement.
+
+use dievent_geometry::{Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A rectangular dining table, axis-aligned in the world frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiningTable {
+    /// Centre of the table top in world coordinates (z = surface height).
+    pub center: Vec3,
+    /// Extent along world X (metres).
+    pub length: f64,
+    /// Extent along world Y (metres).
+    pub width: f64,
+}
+
+/// A seat around the table: where a participant's head rests and which
+/// way their body faces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Seat {
+    /// Head position (world, metres).
+    pub head: Vec3,
+    /// Unit body-facing direction (horizontal, toward the table).
+    pub facing: Vec3,
+}
+
+impl DiningTable {
+    /// A typical meeting-room table: 1.8 × 1.0 m, surface at 0.75 m.
+    pub fn meeting_room(center_xy: Vec2) -> Self {
+        DiningTable {
+            center: Vec3::new(center_xy.x, center_xy.y, 0.75),
+            length: 1.8,
+            width: 1.0,
+        }
+    }
+
+    /// The four corners of the table top, counter-clockwise.
+    pub fn corners(&self) -> [Vec3; 4] {
+        let hx = self.length / 2.0;
+        let hy = self.width / 2.0;
+        [
+            self.center + Vec3::new(-hx, -hy, 0.0),
+            self.center + Vec3::new(hx, -hy, 0.0),
+            self.center + Vec3::new(hx, hy, 0.0),
+            self.center + Vec3::new(-hx, hy, 0.0),
+        ]
+    }
+
+    /// Places `n` seats around the table (one per side for `n ≤ 4`, then
+    /// distributing the rest along the long sides), heads at
+    /// `head_height` and `clearance` metres back from the table edge.
+    ///
+    /// For the canonical `n = 4` the ordering is: −Y side, −X side,
+    /// +Y side, +X side — i.e. P1 and P3 face each other across the
+    /// width, P2 and P4 across the length (the §III prototype layout).
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `n > 8`.
+    pub fn seats(&self, n: usize, head_height: f64, clearance: f64) -> Vec<Seat> {
+        assert!((1..=8).contains(&n), "supported table sizes: 1..=8 participants");
+        let hx = self.length / 2.0 + clearance;
+        let hy = self.width / 2.0 + clearance;
+        let z = head_height;
+        // Canonical positions: mid-side seats first, then corners of the
+        // long sides for n > 4.
+        let all = [
+            (Vec3::new(0.0, -hy, 0.0), Vec3::Y),
+            (Vec3::new(-hx, 0.0, 0.0), Vec3::X),
+            (Vec3::new(0.0, hy, 0.0), -Vec3::Y),
+            (Vec3::new(hx, 0.0, 0.0), -Vec3::X),
+            (Vec3::new(-self.length / 4.0, -hy, 0.0), Vec3::Y),
+            (Vec3::new(self.length / 4.0, hy, 0.0), -Vec3::Y),
+            (Vec3::new(self.length / 4.0, -hy, 0.0), Vec3::Y),
+            (Vec3::new(-self.length / 4.0, hy, 0.0), -Vec3::Y),
+        ];
+        all[..n]
+            .iter()
+            .map(|(off, facing)| Seat {
+                head: Vec3::new(self.center.x + off.x, self.center.y + off.y, z),
+                facing: *facing,
+            })
+            .collect()
+    }
+
+    /// A point on the table in front of a seat — where a participant
+    /// looks when attending to their plate.
+    pub fn plate_in_front_of(&self, seat: &Seat) -> Vec3 {
+        let p = seat.head + seat.facing * 0.45;
+        Vec3::new(p.x, p.y, self.center.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> DiningTable {
+        DiningTable::meeting_room(Vec2::new(3.0, 2.0))
+    }
+
+    #[test]
+    fn corners_are_on_the_surface() {
+        let t = table();
+        for c in t.corners() {
+            assert!((c.z - 0.75).abs() < 1e-12);
+        }
+        let cs = t.corners();
+        assert!((cs[0].distance(cs[1]) - 1.8).abs() < 1e-12);
+        assert!((cs[1].distance(cs[2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_seats_face_each_other_pairwise() {
+        let t = table();
+        let seats = t.seats(4, 1.25, 0.25);
+        assert_eq!(seats.len(), 4);
+        // P1 (index 0) and P3 (index 2) face each other.
+        assert!(seats[0].facing.approx_eq(-seats[2].facing, 1e-12));
+        assert!(seats[1].facing.approx_eq(-seats[3].facing, 1e-12));
+        // Heads at the requested height.
+        assert!(seats.iter().all(|s| (s.head.z - 1.25).abs() < 1e-12));
+        // Facing points toward the table centre.
+        for s in &seats {
+            let to_center = (t.center - s.head).xy();
+            assert!(s.facing.xy().dot(to_center) > 0.0);
+        }
+    }
+
+    #[test]
+    fn seat_spacing_reasonable() {
+        let t = table();
+        let seats = t.seats(4, 1.25, 0.25);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                let d = seats[i].head.distance(seats[j].head);
+                assert!(d > 0.9, "seats {i},{j} too close: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn eight_seats_supported() {
+        let t = table();
+        let seats = t.seats(8, 1.2, 0.3);
+        assert_eq!(seats.len(), 8);
+        // All unique positions.
+        for i in 0..8 {
+            for j in i + 1..8 {
+                assert!(seats[i].head.distance(seats[j].head) > 0.3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_seats_panics() {
+        let _ = table().seats(0, 1.2, 0.3);
+    }
+
+    #[test]
+    fn plate_is_on_the_table_surface() {
+        let t = table();
+        let seats = t.seats(4, 1.25, 0.25);
+        let plate = t.plate_in_front_of(&seats[0]);
+        assert!((plate.z - 0.75).abs() < 1e-12);
+        // In front of the seat, toward the table.
+        assert!(plate.y > seats[0].head.y);
+    }
+}

@@ -1,0 +1,195 @@
+//! Color top-view (plan) maps — image renditions of the paper's
+//! Figures 7b and 8b.
+//!
+//! The paper visualizes each frame's look-at matrix as a top-view map:
+//! the room from above, participants as colored disks (yellow, blue,
+//! green, black), and an arrow from each gazer toward their target.
+//! [`render_topview_map`] draws exactly that into an [`RgbFrame`] that
+//! [`dievent_video::save_ppm`] can write to disk.
+
+use crate::scenario::Scenario;
+use dievent_video::RgbFrame;
+
+/// Background color of the map.
+const BACKGROUND: [u8; 3] = [245, 245, 240];
+/// Room wall color.
+const WALL: [u8; 3] = [60, 60, 60];
+/// Table-top color.
+const TABLE: [u8; 3] = [205, 185, 150];
+
+/// Renders a top-view map of one look-at configuration.
+///
+/// `lookat[g][t] = 1` means participant `g` looks at participant `t`
+/// (the output of `LookAtMatrix` rows, or a snapshot's geometric
+/// matrix). `width` fixes the image width; height follows the room's
+/// aspect ratio.
+///
+/// # Panics
+/// Panics when the matrix size differs from the participant count.
+pub fn render_topview_map(scenario: &Scenario, lookat: &[Vec<u8>], width: u32) -> RgbFrame {
+    let n = scenario.participants.len();
+    assert_eq!(lookat.len(), n, "matrix size must match participants");
+
+    // Room bounds: table ± margin covering the seats and cameras.
+    let xs: Vec<f64> = scenario
+        .rig
+        .cameras
+        .iter()
+        .map(|c| c.position().x)
+        .chain(scenario.participants.iter().map(|p| p.seat_head.x))
+        .collect();
+    let ys: Vec<f64> = scenario
+        .rig
+        .cameras
+        .iter()
+        .map(|c| c.position().y)
+        .chain(scenario.participants.iter().map(|p| p.seat_head.y))
+        .collect();
+    let min_x = xs.iter().copied().fold(f64::INFINITY, f64::min) - 0.3;
+    let max_x = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 0.3;
+    let min_y = ys.iter().copied().fold(f64::INFINITY, f64::min) - 0.3;
+    let max_y = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 0.3;
+
+    let scale = width as f64 / (max_x - min_x).max(1e-6);
+    let height = ((max_y - min_y) * scale).ceil().max(1.0) as u32;
+    let mut img = RgbFrame::new(width, height, BACKGROUND);
+
+    // World → pixel (y flipped: north up).
+    let to_px = |x: f64, y: f64| -> (f64, f64) { ((x - min_x) * scale, (max_y - y) * scale) };
+
+    // Walls.
+    let (x0, y0) = to_px(min_x + 0.05, max_y - 0.05);
+    let (x1, y1) = to_px(max_x - 0.05, min_y + 0.05);
+    stroke(&mut img, x0, y0, x1, y0, 2.0, WALL);
+    stroke(&mut img, x0, y1, x1, y1, 2.0, WALL);
+    stroke(&mut img, x0, y0, x0, y1, 2.0, WALL);
+    stroke(&mut img, x1, y0, x1, y1, 2.0, WALL);
+
+    // Table.
+    let corners = scenario.table.corners();
+    let (tx0, ty0) = to_px(corners[0].x, corners[2].y);
+    let (tx1, ty1) = to_px(corners[2].x, corners[0].y);
+    fill_rect(&mut img, tx0, ty0, tx1, ty1, TABLE);
+
+    // Cameras as small dark squares.
+    for cam in &scenario.rig.cameras {
+        let (cx, cy) = to_px(cam.position().x, cam.position().y);
+        fill_rect(&mut img, cx - 3.0, cy - 3.0, cx + 3.0, cy + 3.0, WALL);
+    }
+
+    // Arrows first so disks sit on top.
+    let head_r = 0.13 * scale;
+    for (g, row) in lookat.iter().enumerate() {
+        for (t, &v) in row.iter().enumerate() {
+            if v == 0 || g == t {
+                continue;
+            }
+            let pg = scenario.participants[g].seat_head;
+            let pt = scenario.participants[t].seat_head;
+            let (gx, gy) = to_px(pg.x, pg.y);
+            let (tx, ty) = to_px(pt.x, pt.y);
+            // Shorten both ends so the arrow starts/ends at disk rims.
+            let len = ((tx - gx).powi(2) + (ty - gy).powi(2)).sqrt().max(1e-6);
+            let ux = (tx - gx) / len;
+            let uy = (ty - gy) / len;
+            let sx = gx + ux * head_r;
+            let sy = gy + uy * head_r;
+            let ex = tx - ux * (head_r + 4.0);
+            let ey = ty - uy * (head_r + 4.0);
+            let color = scenario.participants[g].color.rgb();
+            stroke(&mut img, sx, sy, ex, ey, 2.4, color);
+            // Arrowhead: two short back-strokes.
+            let (bx, by) = (-ux, -uy);
+            for side in [-1.0, 1.0] {
+                let wx = bx * 0.86 - side * by * 0.5;
+                let wy = by * 0.86 + side * bx * 0.5;
+                stroke(&mut img, ex, ey, ex + wx * 9.0, ey + wy * 9.0, 2.4, color);
+            }
+        }
+    }
+
+    // Participant disks with a dark outline.
+    for p in &scenario.participants {
+        let (px, py) = to_px(p.seat_head.x, p.seat_head.y);
+        img.fill_disk(px, py, head_r + 1.5, WALL);
+        img.fill_disk(px, py, head_r, p.color.rgb());
+    }
+
+    img
+}
+
+fn stroke(img: &mut RgbFrame, x0: f64, y0: f64, x1: f64, y1: f64, thickness: f64, rgb: [u8; 3]) {
+    let len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+    let steps = (len * 2.0).ceil().max(1.0) as usize;
+    for s in 0..=steps {
+        let t = s as f64 / steps as f64;
+        img.fill_disk(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, thickness / 2.0, rgb);
+    }
+}
+
+fn fill_rect(img: &mut RgbFrame, x0: f64, y0: f64, x1: f64, y1: f64, rgb: [u8; 3]) {
+    let (x0, x1) = (x0.min(x1), x0.max(x1));
+    let (y0, y1) = (y0.min(y1), y0.max(y1));
+    for y in y0.floor() as i64..=y1.ceil() as i64 {
+        for x in x0.floor() as i64..=x1.ceil() as i64 {
+            img.set(x, y, rgb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn count_color(img: &RgbFrame, rgb: [u8; 3]) -> usize {
+        let mut n = 0;
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                if img.get(x, y) == rgb {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn map_contains_all_participant_colors() {
+        let s = Scenario::prototype();
+        let zero = vec![vec![0u8; 4]; 4];
+        let img = render_topview_map(&s, &zero, 320);
+        assert!(img.width() == 320 && img.height() > 100);
+        for p in &s.participants {
+            assert!(
+                count_color(&img, p.color.rgb()) > 50,
+                "{} disk missing",
+                p.name
+            );
+        }
+        assert!(count_color(&img, TABLE) > 500, "table visible");
+    }
+
+    #[test]
+    fn arrows_add_gazer_colored_pixels() {
+        let s = Scenario::prototype();
+        let zero = vec![vec![0u8; 4]; 4];
+        let mut with_arrow = vec![vec![0u8; 4]; 4];
+        with_arrow[0][2] = 1; // yellow → green
+        let base = render_topview_map(&s, &zero, 320);
+        let arrowed = render_topview_map(&s, &with_arrow, 320);
+        let yellow = s.participants[0].color.rgb();
+        assert!(
+            count_color(&arrowed, yellow) > count_color(&base, yellow) + 30,
+            "arrow must add yellow pixels"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_matrix_size_panics() {
+        let s = Scenario::prototype();
+        let bad = vec![vec![0u8; 2]; 2];
+        let _ = render_topview_map(&s, &bad, 200);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the scene simulator: the schedule builder's
+//! count contract, conversation-model invariants, and simulation
+//! determinism.
+
+// Counts are indexed by (gazer, target) pairs throughout.
+#![allow(clippy::needless_range_loop)]
+
+use dievent_scene::{generate_conversation, ConversationConfig, GazeTarget, ScheduleBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    /// The builder hits its counts exactly for arbitrary feasible
+    /// requirement sets.
+    #[test]
+    fn builder_counts_are_exact(
+        n in 2usize..5,
+        frames in 50usize..200,
+        seed_counts in proptest::collection::vec(0u32..30, 16),
+    ) {
+        let mut builder = ScheduleBuilder::new(n, frames);
+        let mut expected = vec![vec![0u32; n]; n];
+        let mut idx = 0;
+        for i in 0..n {
+            let mut budget = frames as u32;
+            for j in 0..n {
+                if i == j { continue; }
+                let c = seed_counts[idx % seed_counts.len()].min(budget / 2);
+                idx += 1;
+                budget -= c;
+                expected[i][j] = c;
+                builder = builder.require(i, j, c);
+            }
+        }
+        let schedule = builder.build();
+        let m = schedule.summary_matrix();
+        prop_assert_eq!(m, expected);
+        prop_assert_eq!(schedule.frames(), frames);
+        prop_assert_eq!(schedule.participants(), n);
+    }
+
+    /// Pinned windows always hold their configuration verbatim.
+    #[test]
+    fn pins_hold_exactly(
+        frames in 60usize..150,
+        pin_start in 5usize..30,
+        pin_len in 2usize..15,
+    ) {
+        let pin_end = (pin_start + pin_len).min(frames);
+        let cfg = vec![GazeTarget::Person(1), GazeTarget::Person(0), GazeTarget::Plate];
+        let schedule = ScheduleBuilder::new(3, frames)
+            .require(0, 1, (pin_end - pin_start) as u32 + 10)
+            .require(1, 0, (pin_end - pin_start) as u32 + 5)
+            .pin(pin_start, pin_end, cfg.clone())
+            .build();
+        for f in pin_start..pin_end {
+            for (i, expect) in cfg.iter().enumerate() {
+                prop_assert_eq!(schedule.target(i, f), *expect, "frame {}", f);
+            }
+        }
+    }
+
+    /// Conversation schedules never contain self-looks or out-of-range
+    /// targets (GazeSchedule::new would panic) and are deterministic.
+    #[test]
+    fn conversation_invariants(
+        n in 2usize..7,
+        frames in 10usize..300,
+        seed in 0u64..1000,
+    ) {
+        let cfg = ConversationConfig::default();
+        let (a, speakers) = generate_conversation(n, frames, &cfg, seed);
+        let (b, _) = generate_conversation(n, frames, &cfg, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.frames(), frames);
+        prop_assert_eq!(speakers.len(), frames);
+        prop_assert!(speakers.iter().all(|&s| s < n));
+    }
+
+    /// Dwell structure: the number of gaze switches per participant is
+    /// far below one per frame.
+    #[test]
+    fn conversation_has_dwell_structure(seed in 0u64..200) {
+        let (schedule, _) = generate_conversation(4, 1000, &ConversationConfig::default(), seed);
+        for i in 0..4 {
+            let switches = (1..1000)
+                .filter(|&f| schedule.target(i, f) != schedule.target(i, f - 1))
+                .count();
+            prop_assert!(switches < 300, "P{} flickers: {} switches", i + 1, switches);
+        }
+    }
+}
+
+mod simulation {
+    use super::*;
+    use dievent_scene::Scenario;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Ground truth is a pure function of the scenario.
+        #[test]
+        fn simulation_is_deterministic(frames in 5usize..40, seed in 0u64..50) {
+            let s = Scenario::two_camera_dinner(frames, seed);
+            prop_assert_eq!(s.simulate(), s.simulate());
+        }
+
+        /// All gaze and forward vectors stay unit length and heads stay
+        /// near their seats throughout.
+        #[test]
+        fn simulated_state_is_well_formed(frames in 5usize..40, seed in 0u64..50) {
+            let s = Scenario::restaurant_dinner(3, frames, seed);
+            let gt = s.simulate();
+            for snap in &gt.snapshots {
+                for (st, p) in snap.states.iter().zip(&s.participants) {
+                    prop_assert!((st.gaze.norm() - 1.0).abs() < 1e-6);
+                    prop_assert!((st.forward.norm() - 1.0).abs() < 1e-6);
+                    prop_assert!(st.head.distance(p.seat_head) < 0.06);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Discrete highlight/alert events (paper §IV: "alerting
+//! functionalities like the emotion state changes, and the eye contact
+//! detection").
+
+use dievent_analysis::ec_stats::ec_episodes;
+use dievent_analysis::lookat::LookAtMatrix;
+use dievent_analysis::overall_emotion::OverallEmotion;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a highlight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HighlightKind {
+    /// A sustained mutual eye-contact episode began.
+    EyeContactStart {
+        /// The pair in contact (`a < b`).
+        pair: (usize, usize),
+        /// Episode length in frames.
+        duration: usize,
+    },
+    /// The group's smoothed valence moved by more than the threshold.
+    EmotionShift {
+        /// Valence before the shift.
+        from_valence: f64,
+        /// Valence after the shift.
+        to_valence: f64,
+    },
+}
+
+/// One highlight event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Highlight {
+    /// Frame where the event is anchored.
+    pub frame: usize,
+    /// What happened.
+    pub kind: HighlightKind,
+}
+
+/// Highlight detection tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HighlightConfig {
+    /// Minimum EC episode length (frames) to report.
+    pub min_ec_frames: usize,
+    /// Valence change (absolute, over `emotion_window` frames) that
+    /// triggers an emotion-shift highlight.
+    pub valence_threshold: f64,
+    /// Window over which valence change is measured.
+    pub emotion_window: usize,
+    /// Minimum frames between two emotion-shift highlights.
+    pub emotion_cooldown: usize,
+}
+
+impl Default for HighlightConfig {
+    fn default() -> Self {
+        HighlightConfig {
+            min_ec_frames: 8,
+            valence_threshold: 0.25,
+            emotion_window: 12,
+            emotion_cooldown: 25,
+        }
+    }
+}
+
+/// Detects highlights over a frame-aligned matrix + emotion sequence.
+///
+/// Results are ordered by frame.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn detect_highlights(
+    matrices: &[LookAtMatrix],
+    emotions: &[OverallEmotion],
+    config: &HighlightConfig,
+) -> Vec<Highlight> {
+    assert_eq!(matrices.len(), emotions.len(), "layer lengths must match");
+    let mut out = Vec::new();
+
+    // EC episode starts.
+    for ep in ec_episodes(matrices, config.min_ec_frames) {
+        out.push(Highlight {
+            frame: ep.start,
+            kind: HighlightKind::EyeContactStart {
+                pair: (ep.a, ep.b),
+                duration: ep.len(),
+            },
+        });
+    }
+
+    // Emotion shifts with cooldown.
+    let w = config.emotion_window.max(1);
+    let mut last_shift: Option<usize> = None;
+    for f in w..emotions.len() {
+        let from = emotions[f - w].valence;
+        let to = emotions[f].valence;
+        if (to - from).abs() >= config.valence_threshold {
+            let cooled = last_shift.is_none_or(|ls| f - ls >= config.emotion_cooldown);
+            if cooled {
+                out.push(Highlight {
+                    frame: f,
+                    kind: HighlightKind::EmotionShift { from_valence: from, to_valence: to },
+                });
+                last_shift = Some(f);
+            }
+        }
+    }
+
+    out.sort_by_key(|h| h.frame);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dievent_analysis::overall_emotion::{fuse_emotions, EmotionEstimate, OverallEmotionConfig};
+    use dievent_emotion::Emotion;
+
+    fn emo(e: Emotion) -> OverallEmotion {
+        fuse_emotions(
+            &[EmotionEstimate::hard(0, e, 1.0)],
+            &OverallEmotionConfig { participants: 1, smoothing: 0.0 },
+        )
+    }
+
+    fn ec(pairs: &[(usize, usize)]) -> LookAtMatrix {
+        let mut m = LookAtMatrix::zero(4);
+        for &(a, b) in pairs {
+            m.set(a, b, 1);
+            m.set(b, a, 1);
+        }
+        m
+    }
+
+    #[test]
+    fn ec_episode_start_reported() {
+        let mut mats = vec![LookAtMatrix::zero(4); 10];
+        mats.extend(vec![ec(&[(0, 2)]); 12]);
+        let emos = vec![emo(Emotion::Neutral); 22];
+        let hs = detect_highlights(&mats, &emos, &HighlightConfig::default());
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].frame, 10);
+        assert_eq!(
+            hs[0].kind,
+            HighlightKind::EyeContactStart { pair: (0, 2), duration: 12 }
+        );
+    }
+
+    #[test]
+    fn short_ec_blip_ignored() {
+        let mut mats = vec![LookAtMatrix::zero(4); 5];
+        mats.extend(vec![ec(&[(1, 3)]); 3]); // < min_ec_frames
+        mats.extend(vec![LookAtMatrix::zero(4); 5]);
+        let emos = vec![emo(Emotion::Neutral); 13];
+        let hs = detect_highlights(&mats, &emos, &HighlightConfig::default());
+        assert!(hs.is_empty());
+    }
+
+    #[test]
+    fn emotion_shift_detected_once_per_transition() {
+        let mats = vec![LookAtMatrix::zero(4); 60];
+        let mut emos = vec![emo(Emotion::Neutral); 30];
+        emos.extend(vec![emo(Emotion::Happy); 30]);
+        let hs = detect_highlights(&mats, &emos, &HighlightConfig::default());
+        let shifts: Vec<_> = hs
+            .iter()
+            .filter(|h| matches!(h.kind, HighlightKind::EmotionShift { .. }))
+            .collect();
+        assert_eq!(shifts.len(), 1, "cooldown collapses the ramp: {shifts:?}");
+        assert!(shifts[0].frame >= 30 && shifts[0].frame < 45);
+        if let HighlightKind::EmotionShift { from_valence, to_valence } = shifts[0].kind {
+            assert!(to_valence > from_valence);
+        }
+    }
+
+    #[test]
+    fn results_ordered_by_frame() {
+        let mut mats = vec![ec(&[(0, 1)]); 10];
+        mats.extend(vec![LookAtMatrix::zero(4); 30]);
+        mats.extend(vec![ec(&[(2, 3)]); 10]);
+        let mut emos = vec![emo(Emotion::Neutral); 25];
+        emos.extend(vec![emo(Emotion::Disgust); 25]);
+        let hs = detect_highlights(&mats, &emos, &HighlightConfig::default());
+        assert!(hs.len() >= 3);
+        assert!(hs.windows(2).all(|w| w[0].frame <= w[1].frame));
+    }
+}

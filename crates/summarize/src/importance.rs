@@ -1,0 +1,202 @@
+//! Per-frame importance scoring from the multilayer analysis.
+//!
+//! A frame matters to a sociologist when something *social* happens:
+//! eye contact is held, the group's emotion moves, or the gaze
+//! configuration reshuffles (turn-taking). The importance series is a
+//! weighted sum of those three signals, box-smoothed so isolated
+//! single-frame flickers don't dominate segment selection.
+
+use dievent_analysis::lookat::LookAtMatrix;
+use dievent_analysis::overall_emotion::OverallEmotion;
+use serde::{Deserialize, Serialize};
+
+/// Importance weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImportanceConfig {
+    /// Weight of eye-contact activity (per contact pair).
+    pub ec_weight: f64,
+    /// Weight of absolute valence change per frame.
+    pub emotion_weight: f64,
+    /// Weight of look-at matrix changes (per changed cell).
+    pub gaze_change_weight: f64,
+    /// Box-smoothing window (frames); 0/1 disables.
+    pub smoothing_window: usize,
+}
+
+impl Default for ImportanceConfig {
+    fn default() -> Self {
+        ImportanceConfig {
+            ec_weight: 1.0,
+            emotion_weight: 8.0,
+            gaze_change_weight: 0.25,
+            smoothing_window: 9,
+        }
+    }
+}
+
+/// Computes the importance series for a sequence of frames.
+///
+/// `matrices` and `emotions` must be the same length; the result has
+/// that length too.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn importance_series(
+    matrices: &[LookAtMatrix],
+    emotions: &[OverallEmotion],
+    config: &ImportanceConfig,
+) -> Vec<f64> {
+    assert_eq!(matrices.len(), emotions.len(), "layer lengths must match");
+    let n = matrices.len();
+    let mut raw = Vec::with_capacity(n);
+    for f in 0..n {
+        let ec = matrices[f].eye_contacts().len() as f64;
+        let emotion_delta = if f > 0 {
+            (emotions[f].valence - emotions[f - 1].valence).abs()
+        } else {
+            0.0
+        };
+        let gaze_change = if f > 0 {
+            changed_cells(&matrices[f - 1], &matrices[f]) as f64
+        } else {
+            0.0
+        };
+        raw.push(
+            config.ec_weight * ec
+                + config.emotion_weight * emotion_delta
+                + config.gaze_change_weight * gaze_change,
+        );
+    }
+    box_smooth(&raw, config.smoothing_window)
+}
+
+fn changed_cells(a: &LookAtMatrix, b: &LookAtMatrix) -> usize {
+    let n = a.len().min(b.len());
+    let mut count = 0;
+    for g in 0..n {
+        for t in 0..n {
+            if g != t && a.get(g, t) != b.get(g, t) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn box_smooth(series: &[f64], window: usize) -> Vec<f64> {
+    if window <= 1 || series.is_empty() {
+        return series.to_vec();
+    }
+    let half = window / 2;
+    (0..series.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half).min(series.len() - 1);
+            series[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dievent_analysis::overall_emotion::{fuse_emotions, EmotionEstimate, OverallEmotionConfig};
+    use dievent_emotion::Emotion;
+
+    fn emo(e: Emotion) -> OverallEmotion {
+        fuse_emotions(
+            &[EmotionEstimate::hard(0, e, 1.0)],
+            &OverallEmotionConfig { participants: 1, smoothing: 0.0 },
+        )
+    }
+
+    fn ec(n: usize, pairs: &[(usize, usize)]) -> LookAtMatrix {
+        let mut m = LookAtMatrix::zero(n);
+        for &(a, b) in pairs {
+            m.set(a, b, 1);
+            m.set(b, a, 1);
+        }
+        m
+    }
+
+    #[test]
+    fn quiet_frames_score_zero() {
+        let mats = vec![LookAtMatrix::zero(3); 10];
+        let emos = vec![emo(Emotion::Neutral); 10];
+        let s = importance_series(&mats, &emos, &ImportanceConfig::default());
+        assert!(s.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn ec_frames_score_higher() {
+        let mut mats = vec![LookAtMatrix::zero(2); 20];
+        for m in mats.iter_mut().skip(10) {
+            *m = ec(2, &[(0, 1)]);
+        }
+        let emos = vec![emo(Emotion::Neutral); 20];
+        let cfg = ImportanceConfig { smoothing_window: 1, ..ImportanceConfig::default() };
+        let s = importance_series(&mats, &emos, &cfg);
+        assert!(s[15] > s[5]);
+        assert!(s[15] >= 1.0);
+    }
+
+    #[test]
+    fn emotion_change_spikes() {
+        let mats = vec![LookAtMatrix::zero(2); 10];
+        let mut emos = vec![emo(Emotion::Neutral); 5];
+        emos.extend(vec![emo(Emotion::Happy); 5]);
+        let cfg = ImportanceConfig { smoothing_window: 1, ..ImportanceConfig::default() };
+        let s = importance_series(&mats, &emos, &cfg);
+        assert!(s[5] > 1.0, "transition frame spikes: {}", s[5]);
+        assert!(s[6].abs() < 1e-12, "steady state back to zero");
+    }
+
+    #[test]
+    fn gaze_reconfiguration_counts() {
+        let mut mats = vec![ec(3, &[(0, 1)]); 5];
+        mats.extend(vec![ec(3, &[(1, 2)]); 5]);
+        let emos = vec![emo(Emotion::Neutral); 10];
+        let cfg = ImportanceConfig {
+            ec_weight: 0.0,
+            emotion_weight: 0.0,
+            gaze_change_weight: 1.0,
+            smoothing_window: 1,
+        };
+        let s = importance_series(&mats, &emos, &cfg);
+        assert_eq!(s[5], 4.0, "four cells flip at the transition");
+        assert_eq!(s[4], 0.0);
+    }
+
+    #[test]
+    fn smoothing_spreads_spikes() {
+        let mats = vec![LookAtMatrix::zero(2); 11];
+        let mut emos = vec![emo(Emotion::Neutral); 5];
+        emos.push(emo(Emotion::Happy));
+        emos.extend(vec![emo(Emotion::Neutral); 5]);
+        let sharp = importance_series(
+            &mats,
+            &emos,
+            &ImportanceConfig { smoothing_window: 1, ..ImportanceConfig::default() },
+        );
+        let smooth = importance_series(
+            &mats,
+            &emos,
+            &ImportanceConfig { smoothing_window: 5, ..ImportanceConfig::default() },
+        );
+        assert!(smooth[5] < sharp[5], "peak reduced");
+        assert!(smooth[3] > 0.0, "mass spread to neighbours");
+        let total_sharp: f64 = sharp.iter().sum();
+        let total_smooth: f64 = smooth.iter().sum();
+        assert!((total_sharp - total_smooth).abs() / total_sharp < 0.25, "mass roughly conserved");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = importance_series(
+            &[LookAtMatrix::zero(2)],
+            &[],
+            &ImportanceConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Video summarization for the DiEvent framework.
+//!
+//! The paper's introduction promises sociologists "detecting and
+//! highlighting the most important scenes, shots, and events inside
+//! videos" and "reducing the time needed for analyzing a video …
+//! or locating the relevant scenes", with "alerting functionalities
+//! like the emotion state changes, and the eye contact detection"
+//! (§IV). This crate turns the multilayer analysis into exactly that:
+//!
+//! * [`importance`] — per-frame importance from EC activity, emotion
+//!   change, and gaze-configuration changes;
+//! * [`highlights`] — discrete alert events (EC episode starts,
+//!   emotion spikes);
+//! * [`summary`] — budgeted segment selection producing a watchable
+//!   summary aligned to shot boundaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod highlights;
+pub mod importance;
+pub mod summary;
+
+pub use highlights::{detect_highlights, Highlight, HighlightConfig, HighlightKind};
+pub use importance::{importance_series, ImportanceConfig};
+pub use summary::{select_summary, SummaryConfig, SummarySegment, VideoSummary};

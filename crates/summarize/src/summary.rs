@@ -1,0 +1,231 @@
+//! Budgeted summary segment selection.
+//!
+//! Given an importance series and the shot structure from video
+//! parsing, select the most important shots whose total length fits a
+//! duration budget — greedy by importance *density* (score per frame),
+//! which is the classic approximation for the knapsack this poses.
+
+use crate::importance::ImportanceConfig;
+use dievent_video::shots::Shot;
+use serde::{Deserialize, Serialize};
+
+/// Summary selection tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryConfig {
+    /// Maximum total summary length in frames.
+    pub budget_frames: usize,
+    /// Shots shorter than this never enter a summary (unwatchable
+    /// fragments).
+    pub min_segment_frames: usize,
+}
+
+impl Default for SummaryConfig {
+    fn default() -> Self {
+        SummaryConfig { budget_frames: 150, min_segment_frames: 8 }
+    }
+}
+
+/// One selected summary segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummarySegment {
+    /// Source shot index.
+    pub shot: usize,
+    /// Frame range `[start, end)`.
+    pub start: usize,
+    /// End of the range (exclusive).
+    pub end: usize,
+    /// Mean importance over the segment.
+    pub score: f64,
+}
+
+impl SummarySegment {
+    /// Segment length in frames.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` for a degenerate empty segment.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// A complete video summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoSummary {
+    /// Selected segments in temporal order.
+    pub segments: Vec<SummarySegment>,
+    /// Total selected frames.
+    pub total_frames: usize,
+    /// Fraction of the source video covered.
+    pub coverage: f64,
+}
+
+/// Selects summary segments from shots and an importance series.
+///
+/// Greedy by mean importance, respecting the frame budget; segments are
+/// returned in temporal order. Shots partially exceeding the remaining
+/// budget are skipped rather than truncated (mid-shot cuts read badly).
+///
+/// # Panics
+/// Panics when any shot range exceeds the series length.
+pub fn select_summary(
+    shots: &[Shot],
+    importance: &[f64],
+    config: &SummaryConfig,
+    _importance_config: &ImportanceConfig,
+) -> VideoSummary {
+    let mut candidates: Vec<SummarySegment> = shots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.len() >= config.min_segment_frames)
+        .map(|(i, s)| {
+            assert!(s.end <= importance.len(), "shot {i} exceeds importance series");
+            let score = importance[s.start..s.end].iter().sum::<f64>() / s.len() as f64;
+            SummarySegment { shot: i, start: s.start, end: s.end, score }
+        })
+        .collect();
+
+    // Greedy by mean importance (density), stable tie-break on earlier
+    // position for determinism.
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then(a.start.cmp(&b.start))
+    });
+
+    let mut selected = Vec::new();
+    let mut used = 0usize;
+    for c in candidates {
+        if used + c.len() <= config.budget_frames {
+            used += c.len();
+            selected.push(c);
+        }
+    }
+    selected.sort_by_key(|s| s.start);
+
+    VideoSummary {
+        total_frames: used,
+        coverage: if importance.is_empty() {
+            0.0
+        } else {
+            used as f64 / importance.len() as f64
+        },
+        segments: selected,
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The budget is an invariant for arbitrary shot layouts and
+        /// importance series; segments never overlap and stay sorted.
+        #[test]
+        fn budget_and_order_invariants(
+            lens in proptest::collection::vec(1usize..40, 1..10),
+            scores in proptest::collection::vec(0.0..10.0f64, 10),
+            budget in 0usize..120,
+        ) {
+            let mut shots = Vec::new();
+            let mut start = 0;
+            for &l in &lens {
+                shots.push(dievent_video::shots::Shot { start, end: start + l });
+                start += l;
+            }
+            let importance: Vec<f64> = (0..start)
+                .map(|f| scores[f % scores.len()])
+                .collect();
+            let cfg = SummaryConfig { budget_frames: budget, min_segment_frames: 4 };
+            let s = select_summary(&shots, &importance, &cfg, &ImportanceConfig::default());
+            prop_assert!(s.total_frames <= budget);
+            prop_assert!(s.coverage <= 1.0 + 1e-12);
+            for w in s.segments.windows(2) {
+                prop_assert!(w[0].end <= w[1].start, "segments must not overlap");
+            }
+            for seg in &s.segments {
+                prop_assert!(seg.len() >= 4);
+                prop_assert_eq!((seg.start, seg.end), (shots[seg.shot].start, shots[seg.shot].end));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shots_of(lens: &[usize]) -> Vec<Shot> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        for &l in lens {
+            out.push(Shot { start, end: start + l });
+            start += l;
+        }
+        out
+    }
+
+    /// Importance series with per-shot constant values.
+    fn importance_for(shots: &[Shot], values: &[f64]) -> Vec<f64> {
+        let total = shots.last().map_or(0, |s| s.end);
+        let mut series = vec![0.0; total];
+        for (s, &v) in shots.iter().zip(values) {
+            series[s.start..s.end].fill(v);
+        }
+        series
+    }
+
+    #[test]
+    fn picks_highest_scoring_shots_within_budget() {
+        let shots = shots_of(&[40, 40, 40, 40]);
+        let imp = importance_for(&shots, &[0.1, 0.9, 0.5, 0.8]);
+        let cfg = SummaryConfig { budget_frames: 80, min_segment_frames: 8 };
+        let s = select_summary(&shots, &imp, &cfg, &ImportanceConfig::default());
+        let picked: Vec<usize> = s.segments.iter().map(|x| x.shot).collect();
+        assert_eq!(picked, vec![1, 3], "two best shots, in temporal order");
+        assert_eq!(s.total_frames, 80);
+        assert!((s.coverage - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_respected_even_when_skipping() {
+        let shots = shots_of(&[100, 30, 30]);
+        let imp = importance_for(&shots, &[1.0, 0.8, 0.7]);
+        let cfg = SummaryConfig { budget_frames: 70, min_segment_frames: 8 };
+        let s = select_summary(&shots, &imp, &cfg, &ImportanceConfig::default());
+        // Best shot (100 frames) doesn't fit: skipped, both 30s chosen.
+        assert_eq!(s.segments.len(), 2);
+        assert_eq!(s.total_frames, 60);
+        assert!(s.segments.iter().all(|seg| seg.shot != 0));
+    }
+
+    #[test]
+    fn tiny_shots_excluded() {
+        let shots = shots_of(&[4, 50]);
+        let imp = importance_for(&shots, &[100.0, 0.1]);
+        let cfg = SummaryConfig { budget_frames: 100, min_segment_frames: 8 };
+        let s = select_summary(&shots, &imp, &cfg, &ImportanceConfig::default());
+        assert_eq!(s.segments.len(), 1);
+        assert_eq!(s.segments[0].shot, 1, "4-frame fragment excluded despite its score");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = select_summary(&[], &[], &SummaryConfig::default(), &ImportanceConfig::default());
+        assert!(s.segments.is_empty());
+        assert_eq!(s.total_frames, 0);
+        assert_eq!(s.coverage, 0.0);
+    }
+
+    #[test]
+    fn segments_sorted_temporally() {
+        let shots = shots_of(&[20, 20, 20, 20, 20]);
+        let imp = importance_for(&shots, &[0.5, 0.1, 0.9, 0.2, 0.7]);
+        let cfg = SummaryConfig { budget_frames: 60, min_segment_frames: 8 };
+        let s = select_summary(&shots, &imp, &cfg, &ImportanceConfig::default());
+        assert!(s.segments.windows(2).all(|w| w[0].start < w[1].start));
+    }
+}

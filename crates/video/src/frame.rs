@@ -1,0 +1,562 @@
+//! Pixel frames and luminance histograms.
+//!
+//! Frames are the unit of exchange between the acquisition platform, the
+//! renderer, and every analysis stage. Grayscale is the working format
+//! (LBP, histograms, and the face detector all operate on luminance);
+//! [`RgbFrame`] exists for rendering color-coded participants and is
+//! convertible via [`RgbFrame::to_gray`].
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of bins used by luminance histograms throughout the crate.
+pub const HISTOGRAM_BINS: usize = 64;
+
+/// A video timestamp: seconds since the start of the recording.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Timestamp(pub f64);
+
+impl Timestamp {
+    /// Creates a timestamp from seconds.
+    pub const fn from_secs(s: f64) -> Self {
+        Timestamp(s)
+    }
+
+    /// Seconds since the start of the recording.
+    pub const fn as_secs(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+/// An 8-bit grayscale frame.
+///
+/// Pixel data is stored row-major in a cheaply-clonable [`Bytes`] buffer:
+/// frames flow through several pipeline stages (parsing, detection,
+/// feature extraction) and sharing the underlying allocation keeps that
+/// free of copies. Mutation happens through the builder-style raster
+/// methods, which take `&mut self` and copy-on-write only when shared.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrayFrame {
+    width: u32,
+    height: u32,
+    /// Capture time.
+    pub timestamp: Timestamp,
+    data: Bytes,
+}
+
+impl GrayFrame {
+    /// Creates a frame filled with `fill`.
+    pub fn new(width: u32, height: u32, fill: u8) -> Self {
+        GrayFrame {
+            width,
+            height,
+            timestamp: Timestamp::default(),
+            data: Bytes::from(vec![fill; (width * height) as usize]),
+        }
+    }
+
+    /// Creates a frame from raw row-major pixel data.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != width * height`.
+    pub fn from_data(width: u32, height: u32, data: Vec<u8>) -> Self {
+        assert_eq!(
+            data.len(),
+            (width * height) as usize,
+            "pixel buffer size must match {width}x{height}"
+        );
+        GrayFrame {
+            width,
+            height,
+            timestamp: Timestamp::default(),
+            data: Bytes::from(data),
+        }
+    }
+
+    /// Sets the timestamp (builder style).
+    pub fn with_timestamp(mut self, t: Timestamp) -> Self {
+        self.timestamp = t;
+        self
+    }
+
+    /// Frame width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw row-major pixel data.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Pixel value at `(x, y)`; panics out of bounds in debug builds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Pixel value at `(x, y)`, or `None` out of bounds.
+    #[inline]
+    pub fn try_get(&self, x: i64, y: i64) -> Option<u8> {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            None
+        } else {
+            Some(self.data[(y as u32 * self.width + x as u32) as usize])
+        }
+    }
+
+    /// Pixel value with clamp-to-edge semantics for out-of-bounds reads
+    /// (used by convolution kernels at the border).
+    #[inline]
+    pub fn get_clamped(&self, x: i64, y: i64) -> u8 {
+        let cx = x.clamp(0, self.width as i64 - 1) as u32;
+        let cy = y.clamp(0, self.height as i64 - 1) as u32;
+        self.get(cx, cy)
+    }
+
+    /// Sets the pixel at `(x, y)`; ignores out-of-bounds writes.
+    pub fn set(&mut self, x: i64, y: i64, value: u8) {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            return;
+        }
+        let idx = (y as u32 * self.width + x as u32) as usize;
+        self.mutate(|data| data[idx] = value);
+    }
+
+    /// Applies a closure to a uniquely-owned copy of the pixel buffer.
+    pub fn mutate(&mut self, f: impl FnOnce(&mut [u8])) {
+        let mut vec = std::mem::take(&mut self.data).to_vec();
+        f(&mut vec);
+        self.data = Bytes::from(vec);
+    }
+
+    /// Fills the whole frame with `value`.
+    pub fn fill(&mut self, value: u8) {
+        self.mutate(|d| d.fill(value));
+    }
+
+    /// Fills an axis-aligned rectangle (clipped to the frame).
+    pub fn fill_rect(&mut self, x0: i64, y0: i64, w: u32, h: u32, value: u8) {
+        let width = self.width as i64;
+        let height = self.height as i64;
+        let x_start = x0.max(0);
+        let y_start = y0.max(0);
+        let x_end = (x0 + w as i64).min(width);
+        let y_end = (y0 + h as i64).min(height);
+        if x_start >= x_end || y_start >= y_end {
+            return;
+        }
+        let fw = self.width as usize;
+        self.mutate(|d| {
+            for y in y_start..y_end {
+                let row = y as usize * fw;
+                d[row + x_start as usize..row + x_end as usize].fill(value);
+            }
+        });
+    }
+
+    /// Draws a filled disk (clipped to the frame). Used by the renderer
+    /// for head blobs.
+    pub fn fill_disk(&mut self, cx: f64, cy: f64, radius: f64, value: u8) {
+        if radius <= 0.0 {
+            return;
+        }
+        let x0 = (cx - radius).floor().max(0.0) as i64;
+        let x1 = (cx + radius).ceil().min(self.width as f64 - 1.0) as i64;
+        let y0 = (cy - radius).floor().max(0.0) as i64;
+        let y1 = (cy + radius).ceil().min(self.height as f64 - 1.0) as i64;
+        if x0 > x1 || y0 > y1 {
+            return;
+        }
+        let r2 = radius * radius;
+        let fw = self.width as usize;
+        self.mutate(|d| {
+            for y in y0..=y1 {
+                let dy = y as f64 - cy;
+                for x in x0..=x1 {
+                    let dx = x as f64 - cx;
+                    if dx * dx + dy * dy <= r2 {
+                        d[y as usize * fw + x as usize] = value;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Mean luminance of the frame.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.data.iter().map(|&v| v as u64).sum();
+        sum as f64 / self.data.len() as f64
+    }
+
+    /// Normalized luminance [`Histogram`] of the frame.
+    pub fn histogram(&self) -> Histogram {
+        let mut bins = [0.0f64; HISTOGRAM_BINS];
+        let scale = HISTOGRAM_BINS as f64 / 256.0;
+        for &v in self.data.iter() {
+            bins[(v as f64 * scale) as usize % HISTOGRAM_BINS] += 1.0;
+        }
+        let total = self.data.len().max(1) as f64;
+        for b in &mut bins {
+            *b /= total;
+        }
+        Histogram { bins }
+    }
+
+    /// 2× box-filter downsample (dimensions halved, rounding down).
+    pub fn downsample2(&self) -> GrayFrame {
+        let w = (self.width / 2).max(1);
+        let h = (self.height / 2).max(1);
+        let mut out = vec![0u8; (w * h) as usize];
+        for y in 0..h {
+            for x in 0..w {
+                let sx = (x * 2).min(self.width - 1);
+                let sy = (y * 2).min(self.height - 1);
+                let a = self.get(sx, sy) as u16;
+                let b = self.get((sx + 1).min(self.width - 1), sy) as u16;
+                let c = self.get(sx, (sy + 1).min(self.height - 1)) as u16;
+                let d2 = self.get((sx + 1).min(self.width - 1), (sy + 1).min(self.height - 1)) as u16;
+                out[(y * w + x) as usize] = ((a + b + c + d2) / 4) as u8;
+            }
+        }
+        GrayFrame::from_data(w, h, out).with_timestamp(self.timestamp)
+    }
+
+    /// Extracts a rectangular patch with clamp-to-edge semantics for
+    /// out-of-bounds regions.
+    pub fn patch(&self, x0: i64, y0: i64, w: u32, h: u32) -> GrayFrame {
+        let mut out = vec![0u8; (w * h) as usize];
+        for y in 0..h {
+            for x in 0..w {
+                out[(y * w + x) as usize] = self.get_clamped(x0 + x as i64, y0 + y as i64);
+            }
+        }
+        GrayFrame::from_data(w, h, out).with_timestamp(self.timestamp)
+    }
+
+    /// Bilinear resize to `(w, h)`.
+    ///
+    /// # Panics
+    /// Panics when either target dimension is zero.
+    pub fn resize(&self, w: u32, h: u32) -> GrayFrame {
+        assert!(w > 0 && h > 0, "target dimensions must be non-zero");
+        let sx = self.width as f64 / w as f64;
+        let sy = self.height as f64 / h as f64;
+        let mut out = Vec::with_capacity((w * h) as usize);
+        for y in 0..h {
+            let fy = (y as f64 + 0.5) * sy - 0.5;
+            let y0 = fy.floor();
+            let ty = fy - y0;
+            for x in 0..w {
+                let fx = (x as f64 + 0.5) * sx - 0.5;
+                let x0 = fx.floor();
+                let tx = fx - x0;
+                let p = |dx: i64, dy: i64| self.get_clamped(x0 as i64 + dx, y0 as i64 + dy) as f64;
+                let top = p(0, 0) * (1.0 - tx) + p(1, 0) * tx;
+                let bot = p(0, 1) * (1.0 - tx) + p(1, 1) * tx;
+                out.push((top * (1.0 - ty) + bot * ty).round().clamp(0.0, 255.0) as u8);
+            }
+        }
+        GrayFrame::from_data(w, h, out).with_timestamp(self.timestamp)
+    }
+
+    /// Sobel gradient magnitude, thresholded to a binary edge map
+    /// (`true` = edge). Used by the edge-change-ratio dissimilarity.
+    pub fn edge_map(&self, threshold: u16) -> Vec<bool> {
+        let w = self.width as i64;
+        let h = self.height as i64;
+        let mut out = vec![false; (self.width * self.height) as usize];
+        for y in 0..h {
+            for x in 0..w {
+                let p = |dx: i64, dy: i64| self.get_clamped(x + dx, y + dy) as i32;
+                let gx = -p(-1, -1) - 2 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2 * p(1, 0) + p(1, 1);
+                let gy = -p(-1, -1) - 2 * p(0, -1) - p(1, -1) + p(-1, 1) + 2 * p(0, 1) + p(1, 1);
+                let mag = (gx.unsigned_abs() + gy.unsigned_abs()) as u16;
+                out[(y * w + x) as usize] = mag > threshold;
+            }
+        }
+        out
+    }
+}
+
+/// An 8-bit RGB frame (interleaved `r,g,b` row-major).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RgbFrame {
+    width: u32,
+    height: u32,
+    /// Capture time.
+    pub timestamp: Timestamp,
+    data: Vec<u8>,
+}
+
+impl RgbFrame {
+    /// Creates a frame filled with the given color.
+    pub fn new(width: u32, height: u32, fill: [u8; 3]) -> Self {
+        let mut data = Vec::with_capacity((width * height * 3) as usize);
+        for _ in 0..width * height {
+            data.extend_from_slice(&fill);
+        }
+        RgbFrame { width, height, timestamp: Timestamp::default(), data }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    pub fn get(&self, x: u32, y: u32) -> [u8; 3] {
+        let i = ((y * self.width + x) * 3) as usize;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Sets the pixel at `(x, y)`; ignores out-of-bounds writes.
+    pub fn set(&mut self, x: i64, y: i64, rgb: [u8; 3]) {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            return;
+        }
+        let i = ((y as u32 * self.width + x as u32) * 3) as usize;
+        self.data[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Draws a filled disk (clipped to the frame).
+    pub fn fill_disk(&mut self, cx: f64, cy: f64, radius: f64, rgb: [u8; 3]) {
+        let x0 = (cx - radius).floor() as i64;
+        let x1 = (cx + radius).ceil() as i64;
+        let y0 = (cy - radius).floor() as i64;
+        let y1 = (cy + radius).ceil() as i64;
+        let r2 = radius * radius;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                if dx * dx + dy * dy <= r2 {
+                    self.set(x, y, rgb);
+                }
+            }
+        }
+    }
+
+    /// Converts to grayscale using the Rec. 601 luma weights.
+    pub fn to_gray(&self) -> GrayFrame {
+        let mut out = Vec::with_capacity((self.width * self.height) as usize);
+        for px in self.data.chunks_exact(3) {
+            let y = 0.299 * px[0] as f64 + 0.587 * px[1] as f64 + 0.114 * px[2] as f64;
+            out.push(y.round().clamp(0.0, 255.0) as u8);
+        }
+        GrayFrame::from_data(self.width, self.height, out).with_timestamp(self.timestamp)
+    }
+}
+
+/// A normalized luminance histogram (sums to 1 for non-empty frames).
+///
+/// Not serializable by design: histograms are derived data, recomputed
+/// from frames on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Normalized bin weights.
+    pub bins: [f64; HISTOGRAM_BINS],
+}
+
+impl Histogram {
+    /// A histogram with all mass in bin 0 (an all-black frame).
+    pub fn zeroed() -> Self {
+        let mut bins = [0.0; HISTOGRAM_BINS];
+        bins[0] = 1.0;
+        Histogram { bins }
+    }
+
+    /// Sum of all bins (≈1 for a normalized histogram).
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_frame_is_uniform() {
+        let f = GrayFrame::new(8, 4, 77);
+        assert_eq!(f.width(), 8);
+        assert_eq!(f.height(), 4);
+        assert!(f.data().iter().all(|&v| v == 77));
+        assert!((f.mean() - 77.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_data_size_mismatch_panics() {
+        let _ = GrayFrame::from_data(4, 4, vec![0; 15]);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut f = GrayFrame::new(10, 10, 0);
+        f.set(3, 4, 200);
+        assert_eq!(f.get(3, 4), 200);
+        assert_eq!(f.try_get(3, 4), Some(200));
+        assert_eq!(f.try_get(-1, 0), None);
+        assert_eq!(f.try_get(10, 0), None);
+    }
+
+    #[test]
+    fn out_of_bounds_writes_ignored() {
+        let mut f = GrayFrame::new(4, 4, 0);
+        f.set(-1, 0, 255);
+        f.set(0, 99, 255);
+        assert!(f.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn clone_shares_then_diverges_on_write() {
+        let mut a = GrayFrame::new(6, 6, 10);
+        let b = a.clone();
+        a.set(0, 0, 99);
+        assert_eq!(a.get(0, 0), 99);
+        assert_eq!(b.get(0, 0), 10, "clone must not observe the write");
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut f = GrayFrame::new(8, 8, 0);
+        f.fill_rect(6, 6, 10, 10, 50);
+        assert_eq!(f.get(7, 7), 50);
+        assert_eq!(f.get(5, 5), 0);
+        // Entirely outside: no-op.
+        f.fill_rect(-20, -20, 5, 5, 99);
+        assert_eq!(f.get(0, 0), 0);
+    }
+
+    #[test]
+    fn disk_is_round() {
+        let mut f = GrayFrame::new(21, 21, 0);
+        f.fill_disk(10.0, 10.0, 5.0, 255);
+        assert_eq!(f.get(10, 10), 255);
+        assert_eq!(f.get(10, 14), 255);
+        assert_eq!(f.get(10, 16), 0);
+        // Corners of the bounding box stay empty.
+        assert_eq!(f.get(6, 6), 0);
+    }
+
+    #[test]
+    fn histogram_is_normalized() {
+        let mut f = GrayFrame::new(16, 16, 0);
+        f.fill_rect(0, 0, 8, 16, 255);
+        let h = f.histogram();
+        assert!((h.total() - 1.0).abs() < 1e-9);
+        assert!((h.bins[0] - 0.5).abs() < 1e-9);
+        assert!((h.bins[HISTOGRAM_BINS - 1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let f = GrayFrame::new(640, 480, 128);
+        let d = f.downsample2();
+        assert_eq!(d.width(), 320);
+        assert_eq!(d.height(), 240);
+        assert!((d.mean() - 128.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn patch_clamps_at_border() {
+        let mut f = GrayFrame::new(4, 4, 7);
+        f.set(0, 0, 100);
+        let p = f.patch(-2, -2, 3, 3);
+        // Everything clamps to (0,0).
+        assert!(p.data().iter().all(|&v| v == 100));
+    }
+
+    #[test]
+    fn resize_preserves_uniform_frames() {
+        let f = GrayFrame::new(17, 13, 99);
+        let r = f.resize(48, 48);
+        assert_eq!((r.width(), r.height()), (48, 48));
+        assert!(r.data().iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn resize_identity_is_lossless() {
+        let mut f = GrayFrame::new(9, 9, 0);
+        f.fill_disk(4.0, 4.0, 3.0, 200);
+        let r = f.resize(9, 9);
+        assert_eq!(r.data(), f.data());
+    }
+
+    #[test]
+    fn resize_upscales_structure() {
+        let mut f = GrayFrame::new(8, 8, 0);
+        f.fill_rect(0, 0, 4, 8, 200);
+        let r = f.resize(16, 16);
+        assert!(r.get(1, 8) > 150, "left half stays bright");
+        assert!(r.get(14, 8) < 50, "right half stays dark");
+    }
+
+    #[test]
+    #[should_panic]
+    fn resize_to_zero_panics() {
+        let _ = GrayFrame::new(4, 4, 0).resize(0, 4);
+    }
+
+    #[test]
+    fn edge_map_finds_step_edge() {
+        let mut f = GrayFrame::new(16, 16, 0);
+        f.fill_rect(8, 0, 8, 16, 255);
+        let edges = f.edge_map(100);
+        // Edge pixels concentrate around column 8.
+        let edge_count_near = (0..16)
+            .filter(|&y| edges[y * 16 + 7] || edges[y * 16 + 8])
+            .count();
+        assert!(edge_count_near >= 14);
+        assert!(!edges[5 * 16 + 2], "flat region has no edges");
+    }
+
+    #[test]
+    fn rgb_to_gray_weights() {
+        let mut f = RgbFrame::new(2, 1, [0, 0, 0]);
+        f.set(0, 0, [255, 0, 0]);
+        f.set(1, 0, [0, 255, 0]);
+        let g = f.to_gray();
+        assert_eq!(g.get(0, 0), 76); // 0.299*255
+        assert_eq!(g.get(1, 0), 150); // 0.587*255
+    }
+
+    #[test]
+    fn rgb_disk_clips() {
+        let mut f = RgbFrame::new(8, 8, [0, 0, 0]);
+        f.fill_disk(0.0, 0.0, 3.0, [10, 20, 30]);
+        assert_eq!(f.get(0, 0), [10, 20, 30]);
+        assert_eq!(f.get(7, 7), [0, 0, 0]);
+    }
+
+    #[test]
+    fn timestamp_formatting() {
+        assert_eq!(Timestamp::from_secs(1.5).to_string(), "1.500s");
+        assert_eq!(Timestamp::from_secs(1.5).as_secs(), 1.5);
+    }
+}

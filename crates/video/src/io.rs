@@ -1,0 +1,170 @@
+//! Image file I/O: PGM (grayscale) and PPM (color), binary variants.
+//!
+//! The netpbm formats are the simplest widely-readable image container;
+//! they let the examples dump rendered camera frames to disk where any
+//! viewer (or test) can open them, without an image-codec dependency.
+
+use crate::frame::{GrayFrame, RgbFrame};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Writes a grayscale frame as binary PGM (P5).
+pub fn write_pgm(frame: &GrayFrame, w: &mut impl Write) -> io::Result<()> {
+    write!(w, "P5\n{} {}\n255\n", frame.width(), frame.height())?;
+    w.write_all(frame.data())
+}
+
+/// Writes a grayscale frame to a PGM file.
+pub fn save_pgm(frame: &GrayFrame, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_pgm(frame, &mut f)
+}
+
+/// Writes an RGB frame as binary PPM (P6).
+pub fn write_ppm(frame: &RgbFrame, w: &mut impl Write) -> io::Result<()> {
+    write!(w, "P6\n{} {}\n255\n", frame.width(), frame.height())?;
+    for y in 0..frame.height() {
+        for x in 0..frame.width() {
+            w.write_all(&frame.get(x, y))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes an RGB frame to a PPM file.
+pub fn save_ppm(frame: &RgbFrame, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_ppm(frame, &mut f)
+}
+
+/// Reads a binary PGM (P5) frame.
+pub fn read_pgm(r: &mut impl Read) -> io::Result<GrayFrame> {
+    let mut reader = BufReader::new(r);
+    let magic = read_token(&mut reader)?;
+    if magic != "P5" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected P5, got {magic}"),
+        ));
+    }
+    let width: u32 = parse_token(&mut reader)?;
+    let height: u32 = parse_token(&mut reader)?;
+    let maxval: u32 = parse_token(&mut reader)?;
+    if maxval != 255 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("only maxval 255 supported, got {maxval}"),
+        ));
+    }
+    let mut data = vec![0u8; (width * height) as usize];
+    reader.read_exact(&mut data)?;
+    Ok(GrayFrame::from_data(width, height, data))
+}
+
+/// Loads a PGM file.
+pub fn load_pgm(path: impl AsRef<Path>) -> io::Result<GrayFrame> {
+    let mut f = std::fs::File::open(path)?;
+    read_pgm(&mut f)
+}
+
+/// Reads one whitespace-delimited header token, skipping `#` comments.
+fn read_token(r: &mut impl BufRead) -> io::Result<String> {
+    let mut token = String::new();
+    let mut byte = [0u8; 1];
+    // Skip whitespace and comments.
+    loop {
+        r.read_exact(&mut byte)?;
+        match byte[0] {
+            b'#' => {
+                let mut line = String::new();
+                r.read_line(&mut line)?;
+            }
+            c if c.is_ascii_whitespace() => {}
+            c => {
+                token.push(c as char);
+                break;
+            }
+        }
+    }
+    loop {
+        match r.read_exact(&mut byte) {
+            Ok(()) => {
+                if byte[0].is_ascii_whitespace() {
+                    break;
+                }
+                token.push(byte[0] as char);
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(token)
+}
+
+fn parse_token<T: std::str::FromStr>(r: &mut impl BufRead) -> io::Result<T> {
+    read_token(r)?
+        .parse::<T>()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad numeric header token"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_round_trip() {
+        let mut f = GrayFrame::new(13, 7, 40);
+        f.fill_disk(6.0, 3.0, 2.5, 200);
+        let mut buf = Vec::new();
+        write_pgm(&f, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n13 7\n255\n"));
+        let back = read_pgm(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.data(), f.data());
+        assert_eq!((back.width(), back.height()), (13, 7));
+    }
+
+    #[test]
+    fn pgm_file_round_trip() {
+        let dir = std::env::temp_dir().join("dievent-video-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("rt-{}.pgm", std::process::id()));
+        let mut f = GrayFrame::new(8, 8, 0);
+        f.fill_rect(2, 2, 4, 4, 255);
+        save_pgm(&f, &path).unwrap();
+        let back = load_pgm(&path).unwrap();
+        assert_eq!(back.data(), f.data());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pgm_comments_in_header_skipped() {
+        let src = b"P5\n# a comment line\n2 2\n255\n\x01\x02\x03\x04";
+        let f = read_pgm(&mut src.as_slice()).unwrap();
+        assert_eq!(f.data(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let src = b"P2\n2 2\n255\n....";
+        assert!(read_pgm(&mut src.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_pixels_rejected() {
+        let src = b"P5\n4 4\n255\n\x01\x02";
+        assert!(read_pgm(&mut src.as_slice()).is_err());
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let mut f = RgbFrame::new(3, 2, [10, 20, 30]);
+        f.set(0, 0, [255, 0, 0]);
+        let mut buf = Vec::new();
+        write_ppm(&f, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(buf.len(), b"P6\n3 2\n255\n".len() + 3 * 2 * 3);
+        // First pixel red.
+        let px = &buf[b"P6\n3 2\n255\n".len()..];
+        assert_eq!(&px[..3], &[255, 0, 0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Key-frame extraction (paper §II-B, step 2 of video parsing).
+//!
+//! Each shot is summarized by one or more representative frames. The
+//! extractor walks a shot and emits a new key frame whenever the content
+//! has drifted far enough (histogram χ²) from the last key frame —
+//! a static shot yields a single key frame, a busy one several.
+
+// The frame index is part of the output, not just a cursor.
+#![allow(clippy::needless_range_loop)]
+
+use crate::diff::histogram_chi_square;
+use crate::frame::GrayFrame;
+use crate::shots::Shot;
+use crate::stream::FrameIndex;
+use serde::{Deserialize, Serialize};
+
+/// Tuning for key-frame extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyframeConfig {
+    /// χ² histogram drift from the previous key frame that triggers a new
+    /// key frame.
+    pub drift_threshold: f64,
+    /// Hard cap on key frames per shot (the earliest are kept).
+    pub max_per_shot: usize,
+}
+
+impl Default for KeyframeConfig {
+    fn default() -> Self {
+        KeyframeConfig { drift_threshold: 0.08, max_per_shot: 8 }
+    }
+}
+
+/// Selects key-frame indices for one `shot` of `frames`.
+///
+/// The first frame of a non-empty shot is always a key frame. Returned
+/// indices are global frame indices in ascending order.
+///
+/// # Panics
+/// Panics when the shot range exceeds `frames.len()`.
+pub fn extract_keyframes(frames: &[GrayFrame], shot: &Shot, config: &KeyframeConfig) -> Vec<FrameIndex> {
+    assert!(shot.end <= frames.len(), "shot {shot:?} out of range");
+    if shot.is_empty() || config.max_per_shot == 0 {
+        return Vec::new();
+    }
+    let mut keys = vec![shot.start];
+    let mut last_hist = frames[shot.start].histogram();
+    for idx in shot.start + 1..shot.end {
+        if keys.len() >= config.max_per_shot {
+            break;
+        }
+        let h = frames[idx].histogram();
+        if histogram_chi_square(&last_hist, &h) > config.drift_threshold {
+            keys.push(idx);
+            last_hist = h;
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(v: u8) -> GrayFrame {
+        GrayFrame::new(16, 16, v)
+    }
+
+    #[test]
+    fn empty_shot_yields_nothing() {
+        let frames = vec![flat(1), flat(2)];
+        let shot = Shot { start: 1, end: 1 };
+        assert!(extract_keyframes(&frames, &shot, &KeyframeConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn static_shot_yields_single_keyframe() {
+        let frames: Vec<_> = (0..30).map(|_| flat(100)).collect();
+        let shot = Shot { start: 0, end: 30 };
+        let keys = extract_keyframes(&frames, &shot, &KeyframeConfig::default());
+        assert_eq!(keys, vec![0]);
+    }
+
+    #[test]
+    fn drifting_shot_yields_multiple_keyframes() {
+        // Luminance ramps across histogram bins within one shot.
+        let frames: Vec<_> = (0..32u8).map(|i| flat(i * 8)).collect();
+        let shot = Shot { start: 0, end: 32 };
+        let keys = extract_keyframes(&frames, &shot, &KeyframeConfig::default());
+        assert!(keys.len() > 1, "keys = {keys:?}");
+        assert_eq!(keys[0], 0, "first frame always a key frame");
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn max_per_shot_caps_output() {
+        let frames: Vec<_> = (0..64u8).map(|i| flat(i.wrapping_mul(16))).collect();
+        let shot = Shot { start: 0, end: 64 };
+        let cfg = KeyframeConfig { drift_threshold: 0.01, max_per_shot: 3 };
+        let keys = extract_keyframes(&frames, &shot, &cfg);
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn keyframes_stay_inside_shot() {
+        let frames: Vec<_> = (0..40u8).map(|i| flat(i * 6)).collect();
+        let shot = Shot { start: 10, end: 25 };
+        let keys = extract_keyframes(&frames, &shot, &KeyframeConfig::default());
+        assert!(keys.iter().all(|&k| shot.contains(k)), "keys = {keys:?}");
+        assert_eq!(keys[0], 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_shot_panics() {
+        let frames = vec![flat(0)];
+        let shot = Shot { start: 0, end: 5 };
+        let _ = extract_keyframes(&frames, &shot, &KeyframeConfig::default());
+    }
+}

@@ -1,0 +1,227 @@
+//! End-to-end video parsing — the Fig. 3 hierarchy.
+//!
+//! Combines shot boundary detection, key-frame extraction and scene
+//! segmentation into a single [`VideoParser`] producing a
+//! [`VideoStructure`]: `video → scenes → shots → key frames`.
+
+use crate::frame::GrayFrame;
+use crate::keyframes::{extract_keyframes, KeyframeConfig};
+use crate::scenes::{segment_scenes, Scene, SceneConfig};
+use crate::shots::{detect_shots, Shot, ShotBoundary, ShotDetectorConfig};
+use crate::stream::{FrameIndex, VideoSpec, VideoStream};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the full parsing pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VideoParserConfig {
+    /// Shot boundary detection parameters.
+    pub shots: ShotDetectorConfig,
+    /// Key-frame extraction parameters.
+    pub keyframes: KeyframeConfig,
+    /// Scene segmentation parameters.
+    pub scenes: SceneConfig,
+}
+
+/// The parsed structure of a video (paper Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoStructure {
+    /// Stream properties of the parsed video.
+    pub spec: VideoSpec,
+    /// Total number of frames parsed.
+    pub frame_count: usize,
+    /// Detected scenes (ranges of shot indices).
+    pub scenes: Vec<Scene>,
+    /// Detected shots (ranges of frame indices).
+    pub shots: Vec<Shot>,
+    /// Detected boundaries between shots.
+    pub boundaries: Vec<ShotBoundary>,
+    /// Key frames per shot: `keyframes[s]` are global frame indices for
+    /// shot `s`.
+    pub keyframes: Vec<Vec<FrameIndex>>,
+}
+
+impl VideoStructure {
+    /// All key-frame indices across the video, ascending.
+    pub fn all_keyframes(&self) -> Vec<FrameIndex> {
+        let mut all: Vec<FrameIndex> = self.keyframes.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Index of the shot containing `frame`, if any.
+    pub fn shot_of_frame(&self, frame: FrameIndex) -> Option<usize> {
+        // Shots are sorted and tile the video: binary search on start.
+        let idx = self.shots.partition_point(|s| s.start <= frame);
+        idx.checked_sub(1).filter(|&i| self.shots[i].contains(frame))
+    }
+
+    /// Index of the scene containing `frame`, if any.
+    pub fn scene_of_frame(&self, frame: FrameIndex) -> Option<usize> {
+        let shot = self.shot_of_frame(frame)?;
+        self.scenes
+            .iter()
+            .position(|sc| (sc.first_shot..sc.last_shot).contains(&shot))
+    }
+
+    /// Human-readable outline of the hierarchy, one line per node.
+    pub fn outline(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "video: {} frames @ {:.2} fps ({:.1}s)",
+            self.frame_count,
+            self.spec.fps,
+            self.frame_count as f64 / self.spec.fps
+        );
+        for (si, scene) in self.scenes.iter().enumerate() {
+            let (f0, f1) = scene.frame_span(&self.shots);
+            let _ = writeln!(out, "  scene {si}: shots {}..{} (frames {f0}..{f1})", scene.first_shot, scene.last_shot);
+            for s in scene.first_shot..scene.last_shot {
+                let shot = &self.shots[s];
+                let _ = writeln!(
+                    out,
+                    "    shot {s}: frames {}..{} keyframes {:?}",
+                    shot.start, shot.end, self.keyframes[s]
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Parses videos into the Fig. 3 hierarchy.
+#[derive(Debug, Clone, Default)]
+pub struct VideoParser {
+    config: VideoParserConfig,
+}
+
+impl VideoParser {
+    /// Creates a parser with the given configuration.
+    pub fn new(config: VideoParserConfig) -> Self {
+        VideoParser { config }
+    }
+
+    /// Parses frames that are already in memory.
+    pub fn parse_frames(&self, spec: VideoSpec, frames: &[GrayFrame]) -> VideoStructure {
+        let (shots, boundaries) = detect_shots(frames, &self.config.shots);
+        let keyframes = shots
+            .iter()
+            .map(|s| extract_keyframes(frames, s, &self.config.keyframes))
+            .collect();
+        let scenes = segment_scenes(frames, &shots, &self.config.scenes);
+        VideoStructure {
+            spec,
+            frame_count: frames.len(),
+            scenes,
+            shots,
+            boundaries,
+            keyframes,
+        }
+    }
+
+    /// Drains a [`VideoStream`] and parses it.
+    pub fn parse_stream<S: VideoStream>(&self, stream: &mut S) -> VideoStructure {
+        let spec = stream.spec();
+        let frames = stream.collect_frames();
+        self.parse_frames(spec, &frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::InMemoryVideo;
+
+    fn textured(content: u32, jitter: u32) -> GrayFrame {
+        let mut f = GrayFrame::new(32, 32, 0);
+        f.mutate(|d| {
+            let offset = (content * 37) % 180;
+            for (i, px) in d.iter_mut().enumerate() {
+                let base = offset + (i as u32 * 29) % 40;
+                *px = (base + (i as u32 * 13 + jitter) % 9).min(255) as u8;
+            }
+        });
+        f
+    }
+
+    fn three_take_video() -> (VideoSpec, Vec<GrayFrame>) {
+        let spec = VideoSpec { width: 32, height: 32, fps: 25.0 };
+        let mut frames = Vec::new();
+        for (content, n) in [(1u32, 20usize), (9, 20), (17, 20)] {
+            for j in 0..n {
+                frames.push(textured(content, j as u32));
+            }
+        }
+        (spec, frames)
+    }
+
+    #[test]
+    fn hierarchy_is_consistent() {
+        let (spec, frames) = three_take_video();
+        let s = VideoParser::default().parse_frames(spec, &frames);
+        assert_eq!(s.frame_count, 60);
+        assert_eq!(s.shots.len(), 3);
+        assert_eq!(s.keyframes.len(), s.shots.len());
+        // Every shot has at least one key frame inside it.
+        for (i, keys) in s.keyframes.iter().enumerate() {
+            assert!(!keys.is_empty());
+            assert!(keys.iter().all(|&k| s.shots[i].contains(k)));
+        }
+        // Scenes cover all shots.
+        assert_eq!(s.scenes.first().unwrap().first_shot, 0);
+        assert_eq!(s.scenes.last().unwrap().last_shot, s.shots.len());
+    }
+
+    #[test]
+    fn frame_lookup() {
+        let (spec, frames) = three_take_video();
+        let s = VideoParser::default().parse_frames(spec, &frames);
+        assert_eq!(s.shot_of_frame(0), Some(0));
+        assert_eq!(s.shot_of_frame(20), Some(1));
+        assert_eq!(s.shot_of_frame(59), Some(2));
+        assert_eq!(s.shot_of_frame(60), None);
+        assert!(s.scene_of_frame(0).is_some());
+        assert!(s.scene_of_frame(999).is_none());
+    }
+
+    #[test]
+    fn parse_stream_equals_parse_frames() {
+        let (spec, frames) = three_take_video();
+        let direct = VideoParser::default().parse_frames(spec, &frames);
+        let mut stream = InMemoryVideo::new(spec, frames);
+        let via_stream = VideoParser::default().parse_stream(&mut stream);
+        assert_eq!(direct.shots, via_stream.shots);
+        assert_eq!(direct.scenes, via_stream.scenes);
+    }
+
+    #[test]
+    fn all_keyframes_sorted_unique_enough() {
+        let (spec, frames) = three_take_video();
+        let s = VideoParser::default().parse_frames(spec, &frames);
+        let all = s.all_keyframes();
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert!(all.len() >= s.shots.len());
+    }
+
+    #[test]
+    fn outline_mentions_every_level() {
+        let (spec, frames) = three_take_video();
+        let s = VideoParser::default().parse_frames(spec, &frames);
+        let text = s.outline();
+        assert!(text.contains("video:"));
+        assert!(text.contains("scene 0"));
+        assert!(text.contains("shot 0"));
+        assert!(text.contains("keyframes"));
+    }
+
+    #[test]
+    fn empty_video_parses_to_empty_structure() {
+        let spec = VideoSpec { width: 8, height: 8, fps: 25.0 };
+        let s = VideoParser::default().parse_frames(spec, &[]);
+        assert_eq!(s.frame_count, 0);
+        assert!(s.shots.is_empty());
+        assert!(s.scenes.is_empty());
+        assert!(s.shot_of_frame(0).is_none());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the video substrate.
+
+use dievent_video::{
+    detect_shots, frame_distance, histogram_chi_square, histogram_intersection, GrayFrame,
+    ShotDetectorConfig,
+};
+use proptest::prelude::*;
+
+/// Arbitrary small frames with structured content (mix of rectangles),
+/// plus free parameters for jitter.
+fn frame_strategy() -> impl Strategy<Value = GrayFrame> {
+    (
+        4u32..24,
+        4u32..24,
+        0u8..=255,
+        proptest::collection::vec((0i64..24, 0i64..24, 1u32..12, 1u32..12, 0u8..=255), 0..4),
+    )
+        .prop_map(|(w, h, bg, rects)| {
+            let mut f = GrayFrame::new(w, h, bg);
+            for (x, y, rw, rh, v) in rects {
+                f.fill_rect(x, y, rw, rh, v);
+            }
+            f
+        })
+}
+
+proptest! {
+    #[test]
+    fn histogram_is_a_distribution(f in frame_strategy()) {
+        let h = f.histogram();
+        prop_assert!((h.total() - 1.0).abs() < 1e-9);
+        prop_assert!(h.bins.iter().all(|&b| (0.0..=1.0).contains(&b)));
+    }
+
+    #[test]
+    fn histogram_metrics_agree_on_identity(f in frame_strategy()) {
+        let h = f.histogram();
+        prop_assert!(histogram_chi_square(&h, &h).abs() < 1e-12);
+        prop_assert!((histogram_intersection(&h, &h) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_is_symmetric_and_bounded(a in frame_strategy(), b in frame_strategy()) {
+        let (ha, hb) = (a.histogram(), b.histogram());
+        let d1 = histogram_chi_square(&ha, &hb);
+        let d2 = histogram_chi_square(&hb, &ha);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!((0.0..=2.0 + 1e-9).contains(&d1));
+    }
+
+    #[test]
+    fn frame_distance_is_a_premetric(a in frame_strategy()) {
+        // Same dimensions needed: compare a frame against itself and a
+        // re-filled variant.
+        prop_assert!(frame_distance(&a, &a).abs() < 1e-9);
+        let mut b = a.clone();
+        b.fill(128);
+        let d = frame_distance(&a, &b);
+        let d2 = frame_distance(&b, &a);
+        prop_assert!((d - d2).abs() < 1e-12, "symmetric");
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn resize_stays_in_range_and_preserves_flatness(
+        f in frame_strategy(),
+        w in 1u32..40,
+        h in 1u32..40,
+    ) {
+        let r = f.resize(w, h);
+        prop_assert_eq!((r.width(), r.height()), (w, h));
+        // Bilinear interpolation never exceeds the input range.
+        let (min_in, max_in) = f
+            .data()
+            .iter()
+            .fold((255u8, 0u8), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        prop_assert!(r.data().iter().all(|&v| v >= min_in && v <= max_in));
+    }
+
+    #[test]
+    fn downsample_halves_and_preserves_mean(f in frame_strategy()) {
+        let d = f.downsample2();
+        prop_assert_eq!(d.width(), (f.width() / 2).max(1));
+        prop_assert_eq!(d.height(), (f.height() / 2).max(1));
+        // Box filtering keeps the mean close — but only claim it for
+        // even dimensions, where no row/column is dropped.
+        if f.width() % 2 == 0 && f.height() % 2 == 0 {
+            prop_assert!((d.mean() - f.mean()).abs() < 8.0);
+        }
+        // Range containment always holds.
+        let (lo, hi) = f
+            .data()
+            .iter()
+            .fold((255u8, 0u8), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        prop_assert!(d.data().iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    #[test]
+    fn shots_always_partition_the_video(
+        frames in proptest::collection::vec(frame_strategy(), 0..30),
+    ) {
+        // Frames may differ in size here — shot detection requires a
+        // uniform stream, so normalize first.
+        let normalized: Vec<GrayFrame> = frames.iter().map(|f| f.resize(16, 16)).collect();
+        let (shots, boundaries) = detect_shots(&normalized, &ShotDetectorConfig::default());
+        if normalized.is_empty() {
+            prop_assert!(shots.is_empty());
+        } else {
+            prop_assert_eq!(shots.first().unwrap().start, 0);
+            prop_assert_eq!(shots.last().unwrap().end, normalized.len());
+            for w in shots.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+            for b in &boundaries {
+                prop_assert!(b.frame < normalized.len());
+                prop_assert!(shots.iter().any(|s| s.start == b.frame));
+            }
+        }
+    }
+
+    #[test]
+    fn patch_never_reads_out_of_bounds(
+        f in frame_strategy(),
+        x0 in -30i64..30,
+        y0 in -30i64..30,
+        w in 1u32..20,
+        h in 1u32..20,
+    ) {
+        let p = f.patch(x0, y0, w, h);
+        prop_assert_eq!((p.width(), p.height()), (w, h));
+        // Clamp semantics: every value exists in the source frame.
+        for &v in p.data() {
+            prop_assert!(f.data().contains(&v));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The appearance contract between the synthetic renderer and this
+//! vision substrate.
+//!
+//! Real systems calibrate a detector against the statistics of real
+//! faces; here the "statistics" are the constants below, shared by the
+//! renderer (`dievent-scene`, which *draws* faces with them) and the
+//! estimators in this crate (which *decode* them). Keeping them in one
+//! place makes the co-design explicit and lets ablation benches perturb
+//! the decoder away from the encoder to study robustness.
+//!
+//! Everything the decoder does remains honest image processing — the
+//! constants only fix luminance bands and proportions, never positions
+//! or identities.
+
+/// Physical head radius in metres (adult head; the sphere of Eq. 3 used
+/// for *rendering and depth estimation*; the eye-contact test uses the
+/// larger attention radius configured in `dievent-analysis`).
+pub const HEAD_RADIUS_M: f64 = 0.12;
+
+/// Base skin luminance for participant `i` (identity-coded, mirroring
+/// the paper's color-coded participants). Values stay above the face
+/// threshold after shading and below saturation after noise.
+pub fn skin_tone(participant: usize) -> u8 {
+    const TONES: [u8; 8] = [250, 225, 200, 175, 237, 212, 187, 167];
+    TONES[participant % TONES.len()]
+}
+
+/// Maximum radial shading attenuation at the rim of a head disk
+/// (`luminance = tone · (1 − SHADING · (d/r)²)`).
+pub const SHADING: f64 = 0.10;
+
+/// Luminance of the eye (iris) disk.
+pub const EYE_LUMINANCE: u8 = 90;
+
+/// Luminance of the pupil disk.
+pub const PUPIL_LUMINANCE: u8 = 20;
+
+/// Luminance of the mouth stroke.
+pub const MOUTH_LUMINANCE: u8 = 50;
+
+/// Eye disk radius as a fraction of the apparent head radius.
+pub const EYE_RADIUS_FRAC: f64 = 0.18;
+
+/// Pupil radius as a fraction of the eye radius.
+pub const PUPIL_RADIUS_FRAC: f64 = 0.45;
+
+/// Lateral offset of each eye direction in the head frame: the eye
+/// direction is `normalize(forward ± EYE_SIDE·right + EYE_UP·up)`.
+pub const EYE_SIDE: f64 = 0.35;
+/// Vertical offset of the eye directions (see [`EYE_SIDE`]).
+pub const EYE_UP: f64 = 0.25;
+
+/// Mouth direction offset below the forward axis:
+/// `normalize(forward − MOUTH_DOWN·up)`.
+pub const MOUTH_DOWN: f64 = 0.45;
+
+/// Pupil encoding: the pupil centre is displaced from the eye centre by
+/// `clamp(delta_perp / PUPIL_DELTA_RANGE, ±1) · PUPIL_MAX_OFFSET_FRAC ·
+/// eye_radius_px`, where `delta_perp` is the image-plane component of
+/// `(gaze − head_forward)` (both unit vectors, camera frame).
+pub const PUPIL_DELTA_RANGE: f64 = 0.5;
+/// See [`PUPIL_DELTA_RANGE`]. Chosen so the pupil always stays inside
+/// the eye disk (`PUPIL_MAX_OFFSET_FRAC + PUPIL_RADIUS_FRAC ≤ 1`).
+pub const PUPIL_MAX_OFFSET_FRAC: f64 = 0.55;
+
+/// Luminance threshold separating face pixels from the background,
+/// bodies and table (all rendered darker).
+pub const FACE_THRESHOLD: u8 = 150;
+
+/// Luminance threshold below which a pixel inside a face is a *feature*
+/// pixel (eye, pupil or mouth).
+pub const FEATURE_THRESHOLD: u8 = 120;
+
+/// Luminance threshold below which a feature pixel belongs to a pupil.
+pub const PUPIL_THRESHOLD: u8 = 45;
+
+use dievent_geometry::Vec3;
+
+/// Unit directions (head frame → same frame as the inputs) of the two
+/// eye centres on the head sphere: `normalize(f ± EYE_SIDE·r + EYE_UP·u)`.
+/// Returns `(left, right)` as seen from the face's own perspective
+/// (left = −right-vector side).
+pub fn eye_directions(forward: Vec3, right: Vec3, up: Vec3) -> (Vec3, Vec3) {
+    let l = (forward - right * EYE_SIDE + up * EYE_UP).normalized();
+    let r = (forward + right * EYE_SIDE + up * EYE_UP).normalized();
+    (l, r)
+}
+
+/// Norm of the *unnormalized* eye direction `f ± EYE_SIDE·r + EYE_UP·u`
+/// for orthonormal inputs — used by the pose decoder to invert the
+/// normalization.
+pub fn eye_dir_norm() -> f64 {
+    (1.0 + EYE_SIDE * EYE_SIDE + EYE_UP * EYE_UP).sqrt()
+}
+
+/// Unit direction of the mouth centre on the head sphere.
+pub fn mouth_direction(forward: Vec3, up: Vec3) -> Vec3 {
+    (forward - up * MOUTH_DOWN).normalized()
+}
+
+/// Pupil displacement as a *fraction of the eye radius*, from the
+/// camera-frame head forward and gaze directions (both unit).
+///
+/// The displacement encodes the image-plane (x right, y down) component
+/// of `gaze − forward`, scaled by `PUPIL_DELTA_RANGE` and clamped to the
+/// unit disk so the pupil never leaves the eye.
+pub fn pupil_offset_frac(forward_cam: Vec3, gaze_cam: Vec3) -> (f64, f64) {
+    let dx = (gaze_cam.x - forward_cam.x) / PUPIL_DELTA_RANGE;
+    let dy = (gaze_cam.y - forward_cam.y) / PUPIL_DELTA_RANGE;
+    let n = (dx * dx + dy * dy).sqrt();
+    let (dx, dy) = if n > 1.0 { (dx / n, dy / n) } else { (dx, dy) };
+    (dx * PUPIL_MAX_OFFSET_FRAC, dy * PUPIL_MAX_OFFSET_FRAC)
+}
+
+/// Inverse of [`pupil_offset_frac`] (up to the clamp): recovers the
+/// image-plane delta `(gaze − forward)` components from a measured
+/// pupil offset in eye-radius units.
+pub fn pupil_offset_to_delta(offset_frac_x: f64, offset_frac_y: f64) -> (f64, f64) {
+    (
+        offset_frac_x / PUPIL_MAX_OFFSET_FRAC * PUPIL_DELTA_RANGE,
+        offset_frac_y / PUPIL_MAX_OFFSET_FRAC * PUPIL_DELTA_RANGE,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eye_directions_are_unit_and_symmetric() {
+        let (l, r) = eye_directions(Vec3::X, Vec3::Y, Vec3::Z);
+        assert!((l.norm() - 1.0).abs() < 1e-12);
+        assert!((r.norm() - 1.0).abs() < 1e-12);
+        // Symmetric about the forward-up plane.
+        assert!((l.y + r.y).abs() < 1e-12);
+        assert!((l.z - r.z).abs() < 1e-12);
+        assert!(l.x > 0.9, "eyes sit on the front of the head");
+    }
+
+    #[test]
+    fn pupil_encode_decode_round_trip() {
+        let f = Vec3::new(0.1, -0.05, -0.99).normalized();
+        let g = Vec3::new(0.25, 0.1, -0.96).normalized();
+        let (ox, oy) = pupil_offset_frac(f, g);
+        assert!(ox.hypot(oy) <= PUPIL_MAX_OFFSET_FRAC + 1e-12);
+        let (dx, dy) = pupil_offset_to_delta(ox, oy);
+        assert!((dx - (g.x - f.x)).abs() < 1e-9);
+        assert!((dy - (g.y - f.y)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pupil_offset_clamps_extreme_deviation() {
+        let f = Vec3::new(0.0, 0.0, -1.0);
+        let g = Vec3::new(0.9, 0.0, -0.43).normalized();
+        let (ox, oy) = pupil_offset_frac(f, g);
+        let n = ox.hypot(oy);
+        assert!((n - PUPIL_MAX_OFFSET_FRAC).abs() < 1e-9, "clamped to max, got {n}");
+    }
+
+    #[test]
+    fn shaded_rim_stays_above_face_threshold() {
+        for i in 0..8 {
+            let rim = skin_tone(i) as f64 * (1.0 - SHADING);
+            assert!(
+                rim > FACE_THRESHOLD as f64,
+                "participant {i}: rim luminance {rim} would be lost by the detector"
+            );
+        }
+    }
+
+    #[test]
+    fn tones_are_separable() {
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    let d = (skin_tone(i) as i16 - skin_tone(j) as i16).abs();
+                    assert!(d >= 15, "tones {i} and {j} too close for recognition");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn pupil_never_leaves_the_eye() {
+        assert!(PUPIL_MAX_OFFSET_FRAC + PUPIL_RADIUS_FRAC <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn luminance_bands_are_ordered() {
+        assert!(PUPIL_LUMINANCE < PUPIL_THRESHOLD);
+        assert!(MOUTH_LUMINANCE < FEATURE_THRESHOLD);
+        assert!(EYE_LUMINANCE < FEATURE_THRESHOLD);
+        assert!(EYE_LUMINANCE > PUPIL_THRESHOLD, "iris must not read as pupil");
+        assert!(FEATURE_THRESHOLD < FACE_THRESHOLD);
+    }
+}

@@ -1,0 +1,257 @@
+//! Hungarian algorithm (Kuhn–Munkres) for minimum-cost assignment.
+//!
+//! Used by the face tracker to associate detections with existing
+//! tracks optimally, and by evaluation code to match detected
+//! participants against ground truth. This is the O(n³) shortest
+//! augmenting path formulation over a rectangular cost matrix.
+
+// The classical 1-indexed formulation is clearest with raw indices.
+#![allow(clippy::needless_range_loop)]
+
+/// Solves the minimum-cost assignment for a `rows × cols` cost matrix
+/// given in row-major order.
+///
+/// Returns `assignment[r] = Some(c)` for each row matched to column `c`
+/// (each column used at most once). When `rows > cols`, the extra rows
+/// stay `None`. Costs of `f64::INFINITY` mark forbidden pairs; a row
+/// whose only options are forbidden may still be matched to a forbidden
+/// column by the algorithm, so callers filter by cost afterwards.
+///
+/// # Panics
+/// Panics when `costs.len() != rows * cols` or any cost is NaN.
+pub fn hungarian_min_assignment(costs: &[f64], rows: usize, cols: usize) -> Vec<Option<usize>> {
+    assert_eq!(costs.len(), rows * cols, "cost matrix shape mismatch");
+    assert!(costs.iter().all(|c| !c.is_nan()), "NaN cost");
+    if rows == 0 || cols == 0 {
+        return vec![None; rows];
+    }
+
+    // Pad to a square n×n problem (n = max(rows, cols)) with large-but-
+    // finite costs so padding never displaces a feasible real match.
+    let n = rows.max(cols);
+    let max_finite = costs
+        .iter()
+        .copied()
+        .filter(|c| c.is_finite())
+        .fold(0.0f64, f64::max);
+    let big = (max_finite + 1.0) * (n as f64 + 1.0) + 1.0;
+    let cost_at = |r: usize, c: usize| -> f64 {
+        if r < rows && c < cols {
+            let v = costs[r * cols + c];
+            if v.is_finite() {
+                v
+            } else {
+                big
+            }
+        } else {
+            big
+        }
+    };
+
+    // Shortest-augmenting-path Hungarian (1-indexed internals).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost_at(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; rows];
+    for j in 1..=n {
+        let r = p[j];
+        if r >= 1 && r - 1 < rows && j - 1 < cols {
+            assignment[r - 1] = Some(j - 1);
+        }
+    }
+    assignment
+}
+
+/// Total cost of an assignment (skipping unmatched rows).
+pub fn assignment_cost(costs: &[f64], cols: usize, assignment: &[Option<usize>]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(r, c)| c.map(|c| costs[r * cols + c]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_on_diagonal_matrix() {
+        // Strong diagonal preference.
+        let costs = vec![
+            1.0, 10.0, 10.0, //
+            10.0, 1.0, 10.0, //
+            10.0, 10.0, 1.0,
+        ];
+        let a = hungarian_min_assignment(&costs, 3, 3);
+        assert_eq!(a, vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(assignment_cost(&costs, 3, &a), 3.0);
+    }
+
+    #[test]
+    fn antidiagonal_optimum() {
+        let costs = vec![
+            10.0, 10.0, 1.0, //
+            10.0, 1.0, 10.0, //
+            1.0, 10.0, 10.0,
+        ];
+        let a = hungarian_min_assignment(&costs, 3, 3);
+        assert_eq!(a, vec![Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn beats_greedy() {
+        // Greedy would grab (0,0)=1 then pay 100 for row 1.
+        let costs = vec![
+            1.0, 2.0, //
+            2.0, 100.0,
+        ];
+        let a = hungarian_min_assignment(&costs, 2, 2);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+        assert_eq!(assignment_cost(&costs, 2, &a), 4.0);
+    }
+
+    #[test]
+    fn rectangular_more_cols() {
+        let costs = vec![
+            5.0, 1.0, 9.0, 7.0, //
+            2.0, 8.0, 3.0, 6.0,
+        ];
+        let a = hungarian_min_assignment(&costs, 2, 4);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_more_rows_leaves_rows_unmatched() {
+        let costs = vec![
+            1.0, //
+            2.0, //
+            0.5,
+        ];
+        let a = hungarian_min_assignment(&costs, 3, 1);
+        let matched: Vec<_> = a.iter().flatten().collect();
+        assert_eq!(matched.len(), 1);
+        assert_eq!(a[2], Some(0), "cheapest row wins the only column");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(hungarian_min_assignment(&[], 0, 0).is_empty());
+        assert_eq!(hungarian_min_assignment(&[], 2, 0), vec![None, None]);
+    }
+
+    #[test]
+    fn infinite_costs_avoided_when_feasible() {
+        let inf = f64::INFINITY;
+        let costs = vec![
+            inf, 1.0, //
+            1.0, inf,
+        ];
+        let a = hungarian_min_assignment(&costs, 2, 2);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn optimality_matches_brute_force_on_random_matrices() {
+        // Deterministic pseudo-random matrices, all 4! permutations.
+        fn lcg(state: &mut u64) -> f64 {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((*state >> 33) % 1000) as f64 / 100.0
+        }
+        let mut state = 12345u64;
+        for _ in 0..25 {
+            let costs: Vec<f64> = (0..16).map(|_| lcg(&mut state)).collect();
+            let a = hungarian_min_assignment(&costs, 4, 4);
+            let hungarian_cost = assignment_cost(&costs, 4, &a);
+            // Brute force.
+            let mut best = f64::INFINITY;
+            let perm = [0usize, 1, 2, 3];
+            let mut perms = vec![perm];
+            // Generate all permutations of 4 elements.
+            fn permute(arr: Vec<usize>, out: &mut Vec<[usize; 4]>) {
+                fn rec(cur: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<[usize; 4]>) {
+                    if rest.is_empty() {
+                        out.push([cur[0], cur[1], cur[2], cur[3]]);
+                        return;
+                    }
+                    for i in 0..rest.len() {
+                        let v = rest.remove(i);
+                        cur.push(v);
+                        rec(cur, rest, out);
+                        cur.pop();
+                        rest.insert(i, v);
+                    }
+                }
+                let mut cur = Vec::new();
+                let mut rest = arr;
+                out.clear();
+                rec(&mut cur, &mut rest, out);
+            }
+            permute(vec![0, 1, 2, 3], &mut perms);
+            for p in &perms {
+                let c: f64 = p.iter().enumerate().map(|(r, &c)| costs[r * 4 + c]).sum();
+                best = best.min(c);
+            }
+            assert!(
+                (hungarian_cost - best).abs() < 1e-9,
+                "hungarian {hungarian_cost} vs brute force {best}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let _ = hungarian_min_assignment(&[1.0, 2.0], 2, 2);
+    }
+}

@@ -1,0 +1,365 @@
+//! Facial landmark localization inside a detected face.
+//!
+//! Within a face's bounding box, *feature* pixels (luminance below
+//! [`crate::contract::FEATURE_THRESHOLD`]) are clustered by connected
+//! components. Clusters in the upper half with near-circular bboxes are
+//! eye candidates; the best horizontal pair becomes the eyes, and the
+//! largest remaining cluster below the face centre is the mouth. Pupil
+//! centres are intensity-weighted centroids of sub-pupil-threshold
+//! pixels inside each eye cluster, giving subpixel precision.
+
+use crate::contract;
+use crate::detect::FaceDetection;
+use dievent_video::GrayFrame;
+use dievent_geometry::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// Landmarks of one face, in full-frame pixel coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaceLandmarks {
+    /// Left eye centre (image-left).
+    pub left_eye: Vec2,
+    /// Right eye centre (image-right).
+    pub right_eye: Vec2,
+    /// Left pupil centre.
+    pub left_pupil: Vec2,
+    /// Right pupil centre.
+    pub right_pupil: Vec2,
+    /// Estimated eye radius in pixels.
+    pub eye_radius: f64,
+    /// Mouth centroid, if found.
+    pub mouth: Option<Vec2>,
+}
+
+impl FaceLandmarks {
+    /// Midpoint between the two eye centres.
+    pub fn eye_midpoint(&self) -> Vec2 {
+        (self.left_eye + self.right_eye) * 0.5
+    }
+
+    /// Mean pupil offset relative to the eye centres, in pixels.
+    pub fn mean_pupil_offset(&self) -> Vec2 {
+        ((self.left_pupil - self.left_eye) + (self.right_pupil - self.right_eye)) * 0.5
+    }
+
+    /// Distance between the eye centres in pixels.
+    pub fn interocular(&self) -> f64 {
+        self.left_eye.distance(self.right_eye)
+    }
+}
+
+/// Landmark localizer tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LandmarkConfig {
+    /// Feature-pixel threshold.
+    pub feature_threshold: u8,
+    /// Pupil-pixel threshold.
+    pub pupil_threshold: u8,
+    /// Minimum feature-cluster area in pixels.
+    pub min_cluster_area: usize,
+}
+
+impl Default for LandmarkConfig {
+    fn default() -> Self {
+        LandmarkConfig {
+            feature_threshold: contract::FEATURE_THRESHOLD,
+            pupil_threshold: contract::PUPIL_THRESHOLD,
+            min_cluster_area: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cluster {
+    cx: f64,
+    cy: f64,
+    area: usize,
+    x0: usize,
+    y0: usize,
+    x1: usize,
+    y1: usize,
+    /// Intensity-weighted pupil centroid, if any sub-pupil pixels exist.
+    pupil: Option<(f64, f64)>,
+}
+
+impl Cluster {
+    fn bbox_radius(&self) -> f64 {
+        ((self.x1 - self.x0 + 1) as f64 + (self.y1 - self.y0 + 1) as f64) / 4.0
+    }
+
+    fn aspect(&self) -> f64 {
+        let w = (self.x1 - self.x0 + 1) as f64;
+        let h = (self.y1 - self.y0 + 1) as f64;
+        w.max(h) / w.min(h)
+    }
+}
+
+/// Finds feature clusters inside the face bbox.
+fn feature_clusters(frame: &GrayFrame, det: &FaceDetection, cfg: &LandmarkConfig) -> Vec<Cluster> {
+    let (bx0, by0, bx1, by1) = det.bbox;
+    let w = (bx1 - bx0 + 1) as usize;
+    let h = (by1 - by0 + 1) as usize;
+    let at = |x: usize, y: usize| frame.get(bx0 + x as u32, by0 + y as u32);
+
+    // Feature pixels must be dark AND inside the face disk — the bbox
+    // corners contain background, which is also dark.
+    let r_limit = det.radius * 0.98;
+    let r_limit_sq = r_limit * r_limit;
+    let mut mask: Vec<u8> = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let fx = (bx0 + x as u32) as f64 - det.cx;
+            let fy = (by0 + y as u32) as f64 - det.cy;
+            let inside = fx * fx + fy * fy <= r_limit_sq;
+            mask.push(u8::from(inside && at(x, y) < cfg.feature_threshold));
+        }
+    }
+
+    let mut clusters = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..mask.len() {
+        if mask[start] != 1 {
+            continue;
+        }
+        mask[start] = 2;
+        stack.push(start);
+        let mut c = Cluster {
+            cx: 0.0,
+            cy: 0.0,
+            area: 0,
+            x0: w,
+            y0: h,
+            x1: 0,
+            y1: 0,
+            pupil: None,
+        };
+        let mut pupil_sum = (0.0f64, 0.0f64, 0.0f64); // (x·w, y·w, w)
+        while let Some(idx) = stack.pop() {
+            let x = idx % w;
+            let y = idx / w;
+            c.area += 1;
+            c.cx += x as f64;
+            c.cy += y as f64;
+            c.x0 = c.x0.min(x);
+            c.x1 = c.x1.max(x);
+            c.y0 = c.y0.min(y);
+            c.y1 = c.y1.max(y);
+            let lum = at(x, y);
+            if lum < cfg.pupil_threshold {
+                // Weight darker pixels more for a subpixel pupil centroid.
+                let wgt = (cfg.pupil_threshold - lum) as f64 + 1.0;
+                pupil_sum.0 += x as f64 * wgt;
+                pupil_sum.1 += y as f64 * wgt;
+                pupil_sum.2 += wgt;
+            }
+            if x > 0 && mask[idx - 1] == 1 {
+                mask[idx - 1] = 2;
+                stack.push(idx - 1);
+            }
+            if x + 1 < w && mask[idx + 1] == 1 {
+                mask[idx + 1] = 2;
+                stack.push(idx + 1);
+            }
+            if y > 0 && mask[idx - w] == 1 {
+                mask[idx - w] = 2;
+                stack.push(idx - w);
+            }
+            if y + 1 < h && mask[idx + w] == 1 {
+                mask[idx + w] = 2;
+                stack.push(idx + w);
+            }
+        }
+        if c.area < cfg.min_cluster_area {
+            continue;
+        }
+        c.cx = c.cx / c.area as f64 + bx0 as f64;
+        c.cy = c.cy / c.area as f64 + by0 as f64;
+        if pupil_sum.2 > 0.0 {
+            c.pupil = Some((
+                pupil_sum.0 / pupil_sum.2 + bx0 as f64,
+                pupil_sum.1 / pupil_sum.2 + by0 as f64,
+            ));
+        }
+        c.x0 += bx0 as usize;
+        c.x1 += bx0 as usize;
+        c.y0 += by0 as usize;
+        c.y1 += by0 as usize;
+        clusters.push(c);
+    }
+    clusters
+}
+
+/// Locates eyes, pupils and mouth inside a detection.
+///
+/// Returns `None` when no valid eye pair is visible — a face turned away
+/// from the camera, which downstream treats as "position only, no gaze
+/// from this view".
+pub fn locate_landmarks(frame: &GrayFrame, det: &FaceDetection, cfg: &LandmarkConfig) -> Option<FaceLandmarks> {
+    let clusters = feature_clusters(frame, det, cfg);
+    if clusters.len() < 2 {
+        return None;
+    }
+
+    // Eye candidates: compact clusters with a detectable pupil.
+    let eye_candidates: Vec<&Cluster> = clusters
+        .iter()
+        .filter(|c| c.pupil.is_some() && c.aspect() < 2.0)
+        .collect();
+
+    // Choose the pair that is most horizontal and closest in size.
+    let mut best: Option<(usize, usize, f64)> = None;
+    for i in 0..eye_candidates.len() {
+        for j in i + 1..eye_candidates.len() {
+            let (a, b) = (eye_candidates[i], eye_candidates[j]);
+            let dx = (a.cx - b.cx).abs();
+            let dy = (a.cy - b.cy).abs();
+            if dx < det.radius * 0.2 || dy > dx {
+                continue; // not a horizontal pair
+            }
+            // Oblique views foreshorten the far eye much more than the
+            // near one (cos ratio up to ~5 at decodable angles), so the
+            // size filter only rejects gross mismatches.
+            let size_ratio = a.area.max(b.area) as f64 / a.area.min(b.area) as f64;
+            if size_ratio > 8.0 {
+                continue;
+            }
+            // Score: horizontal, similar size, near the face's upper half.
+            let score = dy / dx + (size_ratio - 1.0) * 0.1;
+            if best.is_none_or(|(_, _, s)| score < s) {
+                best = Some((i, j, score));
+            }
+        }
+    }
+    let (i, j, _) = best?;
+    let (mut le, mut re) = (eye_candidates[i], eye_candidates[j]);
+    if le.cx > re.cx {
+        std::mem::swap(&mut le, &mut re);
+    }
+
+    let eye_radius = (le.bbox_radius() + re.bbox_radius()) / 2.0;
+    let eye_mid_y = (le.cy + re.cy) / 2.0;
+
+    // Mouth: largest non-eye cluster below the eye line.
+    let mouth = clusters
+        .iter()
+        .filter(|c| {
+            c.cy > eye_mid_y + eye_radius
+                && (c.cx - le.cx).abs() > f64::EPSILON // not literally an eye
+        })
+        .max_by_key(|c| c.area)
+        .map(|c| Vec2::new(c.cx, c.cy));
+
+    let (lpx, lpy) = le.pupil.expect("filtered on pupil presence");
+    let (rpx, rpy) = re.pupil.expect("filtered on pupil presence");
+
+    Some(FaceLandmarks {
+        left_eye: Vec2::new(le.cx, le.cy),
+        right_eye: Vec2::new(re.cx, re.cy),
+        left_pupil: Vec2::new(lpx, lpy),
+        right_pupil: Vec2::new(rpx, rpy),
+        eye_radius,
+        mouth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{detect_faces, DetectorConfig};
+
+    /// Draws a synthetic frontal face and returns (frame, detection).
+    fn face_with(
+        eye_dx: f64,
+        pupil_shift: (f64, f64),
+        with_mouth: bool,
+    ) -> (GrayFrame, FaceDetection) {
+        let mut f = GrayFrame::new(160, 120, 40);
+        let (cx, cy, r) = (80.0, 60.0, 20.0);
+        f.fill_disk(cx, cy, r, 220);
+        let eye_r = 4.0;
+        for side in [-1.0, 1.0] {
+            let ex = cx + side * eye_dx;
+            let ey = cy - 5.0;
+            f.fill_disk(ex, ey, eye_r, contract::EYE_LUMINANCE);
+            f.fill_disk(
+                ex + pupil_shift.0,
+                ey + pupil_shift.1,
+                eye_r * contract::PUPIL_RADIUS_FRAC,
+                contract::PUPIL_LUMINANCE,
+            );
+        }
+        if with_mouth {
+            f.fill_rect(72, 70, 16, 3, contract::MOUTH_LUMINANCE);
+        }
+        let det = detect_faces(&f, &DetectorConfig::default());
+        assert_eq!(det.len(), 1, "fixture face must be detectable");
+        (f, det[0])
+    }
+
+    #[test]
+    fn frontal_face_landmarks_found() {
+        let (f, det) = face_with(7.0, (0.0, 0.0), true);
+        let lm = locate_landmarks(&f, &det, &LandmarkConfig::default()).unwrap();
+        assert!((lm.left_eye.x - 73.0).abs() < 1.0, "{lm:?}");
+        assert!((lm.right_eye.x - 87.0).abs() < 1.0);
+        assert!((lm.left_eye.y - 55.0).abs() < 1.0);
+        assert!(lm.mouth.is_some());
+        let m = lm.mouth.unwrap();
+        assert!((m.y - 71.0).abs() < 1.5);
+        assert!((lm.interocular() - 14.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn centered_pupils_have_zero_offset() {
+        let (f, det) = face_with(7.0, (0.0, 0.0), false);
+        let lm = locate_landmarks(&f, &det, &LandmarkConfig::default()).unwrap();
+        let off = lm.mean_pupil_offset();
+        assert!(off.norm() < 0.6, "offset = {off:?}");
+    }
+
+    #[test]
+    fn shifted_pupils_measured_with_sign() {
+        let (f, det) = face_with(7.0, (1.8, 0.0), false);
+        let lm = locate_landmarks(&f, &det, &LandmarkConfig::default()).unwrap();
+        let off = lm.mean_pupil_offset();
+        assert!(off.x > 0.9, "offset = {off:?}");
+        assert!(off.y.abs() < 0.7);
+
+        let (f2, det2) = face_with(7.0, (0.0, -1.5), false);
+        let lm2 = locate_landmarks(&f2, &det2, &LandmarkConfig::default()).unwrap();
+        assert!(lm2.mean_pupil_offset().y < -0.7);
+    }
+
+    #[test]
+    fn eyeless_face_yields_none() {
+        let mut f = GrayFrame::new(160, 120, 40);
+        f.fill_disk(80.0, 60.0, 20.0, 220);
+        let det = detect_faces(&f, &DetectorConfig::default());
+        assert_eq!(det.len(), 1);
+        assert!(locate_landmarks(&f, &det[0], &LandmarkConfig::default()).is_none());
+    }
+
+    #[test]
+    fn mouth_alone_is_not_an_eye_pair() {
+        let mut f = GrayFrame::new(160, 120, 40);
+        f.fill_disk(80.0, 60.0, 20.0, 220);
+        f.fill_rect(72, 70, 16, 3, contract::MOUTH_LUMINANCE);
+        let det = detect_faces(&f, &DetectorConfig::default());
+        assert!(locate_landmarks(&f, &det[0], &LandmarkConfig::default()).is_none());
+    }
+
+    #[test]
+    fn eye_midpoint_tracks_lateral_eye_shift() {
+        // Eyes drawn off-centre (turned head): midpoint shifts accordingly.
+        let mut f = GrayFrame::new(160, 120, 40);
+        let (cx, cy, r) = (80.0, 60.0, 20.0);
+        f.fill_disk(cx, cy, r, 220);
+        for ex in [cx + 2.0, cx + 14.0] {
+            f.fill_disk(ex, cy - 5.0, 4.0, contract::EYE_LUMINANCE);
+            f.fill_disk(ex, cy - 5.0, 1.8, contract::PUPIL_LUMINANCE);
+        }
+        let det = detect_faces(&f, &DetectorConfig::default());
+        let lm = locate_landmarks(&f, &det[0], &LandmarkConfig::default()).unwrap();
+        assert!(lm.eye_midpoint().x > cx + 5.0, "{:?}", lm.eye_midpoint());
+    }
+}

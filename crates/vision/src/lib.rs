@@ -1,0 +1,51 @@
+//! Vision substrate for the DiEvent framework — the OpenFace substitute.
+//!
+//! Paper §II-C uses the OpenFace *toolkit* for facial landmark
+//! detection, head-pose tracking and eye gaze, and the OpenFace
+//! *library* for face recognition/tracking. Neither is available here
+//! (nor are real videos), so this crate implements the same interfaces
+//! from scratch over the synthetic frames produced by `dievent-scene`:
+//!
+//! * [`detect`] — face detection by luminance thresholding, connected
+//!   components, and circularity filtering;
+//! * [`landmarks`] — eye/pupil/mouth localization inside a detection;
+//! * [`pose`] — head position (depth from apparent radius) and head
+//!   orientation / gaze direction (from landmark geometry and pupil
+//!   offsets) in the camera frame;
+//! * [`hungarian`] — optimal assignment for data association;
+//! * [`track`] — constant-velocity Kalman tracking of faces across
+//!   frames with Hungarian association;
+//! * [`recognize`] — appearance-embedding face recognition against an
+//!   enrolled gallery;
+//! * [`extractor`] — [`extractor::FeatureExtractor`], the per-camera
+//!   pipeline combining all of the above into
+//!   [`types::FaceObservation`]s, the unit the multilayer analysis
+//!   consumes.
+//!
+//! The geometric contract with the renderer is documented in
+//! [`pose`]: apparent radius ↔ depth, eye-midpoint offset ↔ head
+//! orientation, pupil offset ↔ gaze deviation. All of it goes through a
+//! calibrated pinhole model, so estimation errors behave like real ones
+//! (quantization, occlusion, extreme poses) rather than like an oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod detect;
+pub mod extractor;
+pub mod hungarian;
+pub mod landmarks;
+pub mod pose;
+pub mod recognize;
+pub mod track;
+pub mod types;
+
+pub use detect::{detect_faces, DetectorConfig, FaceDetection};
+pub use extractor::{ExtractorConfig, FeatureExtractor};
+pub use hungarian::hungarian_min_assignment;
+pub use landmarks::{locate_landmarks, FaceLandmarks, LandmarkConfig};
+pub use pose::{estimate_pose, HeadPoseEstimate, PoseConfig};
+pub use recognize::{FaceGallery, Recognition, RecognizerConfig};
+pub use track::{FaceTracker, Track, TrackerConfig};
+pub use types::{FaceObservation, PersonId, TrackId};

@@ -1,0 +1,354 @@
+//! Head pose and gaze estimation in the camera frame.
+//!
+//! This is the substitute for OpenFace's head-pose tracking and gaze
+//! estimation (paper §II-C). Everything is recovered from image
+//! measurements plus the calibrated camera:
+//!
+//! * **position** — the apparent face radius `r_px` of a head of known
+//!   physical radius `R` gives the optical-axis depth `z = fx·R/r_px`;
+//!   unprojecting the centroid at that depth gives the head centre in
+//!   the camera frame.
+//! * **orientation** — the eyes sit on the head sphere at known angular
+//!   offsets from the face's forward direction, so the displacement of
+//!   the eye midpoint from the face centroid encodes the forward
+//!   direction. The decoder inverts the projection with a short
+//!   fixed-point iteration that accounts for the off-axis perspective
+//!   term (`Δpx ≈ (fx/z)(dx − (Hx/z)·dz)`).
+//! * **gaze** — pupil displacement inside each eye encodes the
+//!   image-plane component of `gaze − forward`
+//!   (see [`crate::contract::pupil_offset_frac`]).
+
+use crate::contract;
+use crate::detect::FaceDetection;
+use crate::landmarks::FaceLandmarks;
+use dievent_geometry::{PinholeCamera, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Pose estimator tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoseConfig {
+    /// Assumed physical head radius in metres.
+    pub head_radius_m: f64,
+    /// Fixed-point iterations for the perspective correction.
+    pub refine_iterations: usize,
+}
+
+impl Default for PoseConfig {
+    fn default() -> Self {
+        PoseConfig {
+            head_radius_m: contract::HEAD_RADIUS_M,
+            refine_iterations: 3,
+        }
+    }
+}
+
+/// An estimated head pose and gaze in the *camera* frame
+/// (x right, y down, z forward).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeadPoseEstimate {
+    /// Head centre in camera coordinates (metres).
+    pub head_cam: Vec3,
+    /// Unit face-forward direction in camera coordinates.
+    pub forward_cam: Vec3,
+    /// Unit gaze direction in camera coordinates.
+    pub gaze_cam: Vec3,
+}
+
+/// Estimates head position, orientation and gaze from one detection and
+/// its landmarks.
+///
+/// Returns `None` when the measurement degenerates (zero radius, or the
+/// decoded forward vector has no camera-facing solution).
+pub fn estimate_pose(
+    det: &FaceDetection,
+    landmarks: &FaceLandmarks,
+    camera: &PinholeCamera,
+    config: &PoseConfig,
+) -> Option<HeadPoseEstimate> {
+    if det.radius <= 1.0 {
+        return None;
+    }
+    let k = &camera.intrinsics;
+
+    // --- Position: depth from apparent size. ---
+    let z = k.fx * config.head_radius_m / det.radius;
+    let head_cam = Vec3::new(
+        (det.cx - k.cx) / k.fx * z,
+        (det.cy - k.cy) / k.fy * z,
+        z,
+    );
+
+    // --- Orientation from the eye-midpoint displacement. ---
+    // The eye midpoint in 3D is H + R·(f + EYE_UP·u)/‖f ± EYE_SIDE·r + EYE_UP·u‖.
+    // Measured pixel displacement:
+    //   Δpx ≈ (fx/z)(d·x̂ − (Hx/z)·d·ẑ),  Δpy ≈ (fy/z)(d·ŷ − (Hy/z)·d·ẑ)
+    // Solve for f with fixed-point iteration on the d·ẑ term.
+    let mid = landmarks.eye_midpoint();
+    let dpx = mid.x - det.cx;
+    let dpy = mid.y - det.cy;
+    let r_over = config.head_radius_m / contract::eye_dir_norm(); // ‖d‖ scale
+    let hx_over_z = head_cam.x / z;
+    let hy_over_z = head_cam.y / z;
+
+    // Head-up direction in the camera frame: world +Z through extrinsics.
+    let up_cam = camera.extrinsics().transform_dir(Vec3::Z);
+
+    // n = f + EYE_UP·u (unnormalized eye-midpoint direction, head frame
+    // quantities expressed in camera coordinates).
+    // Initial guess ignores the perspective dz term.
+    let scale_x = dpx * z / (k.fx * r_over);
+    let scale_y = dpy * z / (k.fy * r_over);
+    let mut n_z = 0.0f64;
+    let mut forward = Vec3::new(0.0, 0.0, -1.0);
+    for _ in 0..config.refine_iterations.max(1) {
+        let n_x = scale_x + hx_over_z * n_z;
+        let n_y = scale_y + hy_over_z * n_z;
+        // f = n − EYE_UP·u; enforce ‖f‖ = 1 by solving for f_z.
+        let f_x = n_x - contract::EYE_UP * up_cam.x;
+        let f_y = n_y - contract::EYE_UP * up_cam.y;
+        let planar = f_x * f_x + f_y * f_y;
+        let f_z = if planar >= 1.0 {
+            // Degenerate (extreme profile view): clamp onto the unit circle.
+            0.0
+        } else {
+            // Facing the camera ⇒ negative z component in camera coords.
+            -(1.0 - planar).sqrt()
+        };
+        let scale = if planar > 1.0 { 1.0 / planar.sqrt() } else { 1.0 };
+        forward = Vec3::new(f_x * scale, f_y * scale, f_z);
+        n_z = forward.z + contract::EYE_UP * up_cam.z;
+    }
+
+    // A face whose eyes we segmented must face the camera hemisphere.
+    if forward.dot(head_cam) > 0.0 {
+        return None;
+    }
+
+    // --- Gaze from pupil offsets. ---
+    let eye_r = landmarks.eye_radius.max(0.5);
+    let off = landmarks.mean_pupil_offset();
+    let (dx, dy) = contract::pupil_offset_to_delta(off.x / eye_r, off.y / eye_r);
+    let gaze_cam = Vec3::new(forward.x + dx, forward.y + dy, forward.z)
+        .try_normalized()
+        .unwrap_or(forward);
+
+    Some(HeadPoseEstimate { head_cam, forward_cam: forward, gaze_cam })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{detect_faces, DetectorConfig};
+    use crate::landmarks::{locate_landmarks, LandmarkConfig};
+    use dievent_geometry::{CameraIntrinsics, Mat3, Ray, Sphere};
+    use dievent_video::GrayFrame;
+
+    /// Renders one head through `camera` exactly as `dievent-scene` does
+    /// (same contract), with the head at `head_world` facing `forward_w`
+    /// and gazing along `gaze_w`.
+    fn render_head(
+        camera: &PinholeCamera,
+        head_world: Vec3,
+        forward_w: Vec3,
+        gaze_w: Vec3,
+        tone: u8,
+    ) -> GrayFrame {
+        let mut f = GrayFrame::new(
+            camera.intrinsics.width,
+            camera.intrinsics.height,
+            40,
+        );
+        let proj = camera.project(head_world).expect("head in front of camera");
+        let r_px = camera
+            .projected_radius(head_world, contract::HEAD_RADIUS_M)
+            .unwrap();
+        f.fill_disk(proj.pixel.x, proj.pixel.y, r_px, tone);
+
+        // Head-local right/up from world up.
+        let fwd = forward_w.normalized();
+        let right = fwd.cross(Vec3::Z).normalized();
+        let up = right.cross(fwd);
+        let (le_dir, re_dir) = contract::eye_directions(fwd, right, up);
+
+        let to_cam = camera.extrinsics();
+        let fwd_cam = to_cam.transform_dir(fwd);
+        let gaze_cam = to_cam.transform_dir(gaze_w.normalized());
+        let (pox, poy) = contract::pupil_offset_frac(fwd_cam, gaze_cam);
+
+        let eye_r_px = r_px * contract::EYE_RADIUS_FRAC;
+        for dir in [le_dir, re_dir] {
+            let eye_world = head_world + dir * contract::HEAD_RADIUS_M;
+            // Only draw when on the camera-facing hemisphere, with
+            // cosine foreshortening (mirrors the scene renderer).
+            let cos_view = -to_cam.transform_dir(dir).z;
+            if cos_view > 0.05 {
+                let er = eye_r_px * cos_view;
+                let ep = camera.project(eye_world).unwrap();
+                f.fill_disk(ep.pixel.x, ep.pixel.y, er, contract::EYE_LUMINANCE);
+                f.fill_disk(
+                    ep.pixel.x + pox * er,
+                    ep.pixel.y + poy * er,
+                    er * contract::PUPIL_RADIUS_FRAC,
+                    contract::PUPIL_LUMINANCE,
+                );
+            }
+        }
+        // Mouth.
+        let m_dir = contract::mouth_direction(fwd, up);
+        if to_cam.transform_dir(m_dir).z < 0.0 {
+            let mp = camera
+                .project(head_world + m_dir * contract::HEAD_RADIUS_M)
+                .unwrap();
+            f.fill_disk(mp.pixel.x, mp.pixel.y, eye_r_px * 1.1, contract::MOUTH_LUMINANCE);
+        }
+        f
+    }
+
+    fn test_camera() -> PinholeCamera {
+        PinholeCamera::look_at(
+            CameraIntrinsics::from_hfov(640, 480, 50.0),
+            Vec3::new(0.0, 0.0, 2.5),
+            Vec3::new(2.5, 0.0, 1.0),
+        )
+        .unwrap()
+    }
+
+    fn estimate_from_render(
+        camera: &PinholeCamera,
+        head_world: Vec3,
+        forward_w: Vec3,
+        gaze_w: Vec3,
+    ) -> HeadPoseEstimate {
+        let frame = render_head(camera, head_world, forward_w, gaze_w, 220);
+        let dets = detect_faces(&frame, &DetectorConfig::default());
+        assert_eq!(dets.len(), 1, "exactly one face expected");
+        let lm = locate_landmarks(&frame, &dets[0], &LandmarkConfig::default())
+            .expect("landmarks visible");
+        estimate_pose(&dets[0], &lm, camera, &PoseConfig::default()).expect("pose")
+    }
+
+    #[test]
+    fn position_recovered_within_centimetres() {
+        let cam = test_camera();
+        let head = Vec3::new(2.2, 0.3, 1.2);
+        let toward_cam = (cam.position() - head).normalized();
+        let est = estimate_from_render(&cam, head, toward_cam, toward_cam);
+        let head_world_est = cam.pose.transform_point(est.head_cam);
+        let err = head_world_est.distance(head);
+        assert!(err < 0.12, "position error {err} m");
+    }
+
+    #[test]
+    fn frontal_face_forward_points_at_camera() {
+        let cam = test_camera();
+        let head = Vec3::new(2.2, 0.0, 1.2);
+        let toward_cam = (cam.position() - head).normalized();
+        let est = estimate_from_render(&cam, head, toward_cam, toward_cam);
+        let fwd_world = cam.pose.transform_dir(est.forward_cam);
+        let angle = fwd_world.angle_to(toward_cam);
+        assert!(angle < 0.12, "forward error {angle} rad");
+    }
+
+    #[test]
+    fn turned_head_orientation_recovered() {
+        let cam = test_camera();
+        let head = Vec3::new(2.4, -0.4, 1.25);
+        // Face turned ~25° away from the camera direction, in plan.
+        let toward_cam = (cam.position() - head).normalized();
+        let turned = (Mat3::rotation_z(0.45) * toward_cam).normalized();
+        let est = estimate_from_render(&cam, head, turned, turned);
+        let fwd_world = cam.pose.transform_dir(est.forward_cam);
+        let angle = fwd_world.angle_to(turned);
+        assert!(angle < 0.15, "forward error {angle} rad");
+    }
+
+    #[test]
+    fn gaze_deviation_from_pupils_recovered() {
+        let cam = test_camera();
+        let head = Vec3::new(2.2, 0.1, 1.2);
+        let toward_cam = (cam.position() - head).normalized();
+        // Gaze deviates ~12° from head forward.
+        let gaze = (Mat3::rotation_z(0.2) * toward_cam).normalized();
+        let est = estimate_from_render(&cam, head, toward_cam, gaze);
+        let gaze_world = cam.pose.transform_dir(est.gaze_cam);
+        let angle = gaze_world.angle_to(gaze);
+        assert!(angle < 0.1, "gaze error {angle} rad");
+    }
+
+    #[test]
+    fn end_to_end_eye_contact_geometry() {
+        // Two heads 1.6 m apart; A gazes exactly at B. Estimate A's pose
+        // from pixels, cast the estimated gaze ray, check it hits a
+        // 0.3 m attention sphere at B's true position.
+        let cam = test_camera();
+        let head_a = Vec3::new(2.2, -0.5, 1.2);
+        let head_b = Vec3::new(1.0, 0.9, 1.25);
+        let gaze = (head_b - head_a).normalized();
+        // Head roughly split between camera and target so eyes stay
+        // visible and the pupil encoding is unclamped.
+        let toward_cam = (cam.position() - head_a).normalized();
+        let fwd = (gaze + toward_cam * 0.5).normalized();
+        let est = estimate_from_render(&cam, head_a, fwd, gaze);
+
+        let origin_world = cam.pose.transform_point(est.head_cam);
+        let gaze_world = cam.pose.transform_dir(est.gaze_cam);
+        let sphere = Sphere::new(head_b, 0.30);
+        let hit = sphere.intersect_ray(&Ray::new(origin_world, gaze_world));
+        assert!(hit.is_some(), "estimated gaze must hit the attention sphere");
+
+        // And it must NOT hit a sphere placed 90° off to the side.
+        let decoy = Vec3::new(1.0, -1.8, 1.2);
+        let miss = Sphere::new(decoy, 0.30).intersect_ray(&Ray::new(origin_world, gaze_world));
+        assert!(miss.is_none(), "gaze must not hit the decoy");
+    }
+
+    #[test]
+    fn degenerate_radius_rejected() {
+        let cam = test_camera();
+        let det = FaceDetection {
+            cx: 320.0,
+            cy: 240.0,
+            radius: 0.5,
+            bbox: (319, 239, 321, 241),
+            area: 4,
+            mean_luminance: 200.0,
+        };
+        let lm = FaceLandmarks {
+            left_eye: dievent_geometry::Vec2::new(319.0, 239.0),
+            right_eye: dievent_geometry::Vec2::new(321.0, 239.0),
+            left_pupil: dievent_geometry::Vec2::new(319.0, 239.0),
+            right_pupil: dievent_geometry::Vec2::new(321.0, 239.0),
+            eye_radius: 0.5,
+            mouth: None,
+        };
+        assert!(estimate_pose(&det, &lm, &cam, &PoseConfig::default()).is_none());
+    }
+
+    #[test]
+    fn pose_config_head_radius_scales_depth() {
+        let cam = test_camera();
+        let head = Vec3::new(2.0, 0.0, 1.2);
+        let toward_cam = (cam.position() - head).normalized();
+        let frame = render_head(&cam, head, toward_cam, toward_cam, 220);
+        let dets = detect_faces(&frame, &DetectorConfig::default());
+        let lm = locate_landmarks(&frame, &dets[0], &LandmarkConfig::default()).unwrap();
+        let small = estimate_pose(
+            &dets[0],
+            &lm,
+            &cam,
+            &PoseConfig { head_radius_m: 0.06, refine_iterations: 3 },
+        )
+        .unwrap();
+        let big = estimate_pose(
+            &dets[0],
+            &lm,
+            &cam,
+            &PoseConfig { head_radius_m: 0.24, refine_iterations: 3 },
+        )
+        .unwrap();
+        assert!(
+            (big.head_cam.z / small.head_cam.z - 2.0 / 0.5).abs() < 1e-6,
+            "depth scales linearly with assumed radius"
+        );
+    }
+}

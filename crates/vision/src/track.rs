@@ -1,0 +1,311 @@
+//! Face tracking across frames — the OpenFace-library substitute's
+//! tracking half.
+//!
+//! Each track runs a constant-velocity Kalman filter over the face's
+//! image position and apparent radius. Per frame, detections are
+//! associated to predicted track positions with the Hungarian algorithm
+//! under a gating distance; unmatched detections open new tracks and
+//! tracks missing for too long are retired.
+
+use crate::detect::FaceDetection;
+use crate::hungarian::hungarian_min_assignment;
+use crate::types::TrackId;
+use serde::{Deserialize, Serialize};
+
+/// Tracker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Maximum association distance in pixels between a predicted track
+    /// position and a detection.
+    pub gate_px: f64,
+    /// Frames a track may go unmatched before it is dropped.
+    pub max_misses: usize,
+    /// Process noise: position variance added per frame.
+    pub process_noise: f64,
+    /// Measurement noise: variance of detection centroids.
+    pub measurement_noise: f64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            gate_px: 48.0,
+            max_misses: 12,
+            process_noise: 4.0,
+            measurement_noise: 1.0,
+        }
+    }
+}
+
+/// 1-D constant-velocity Kalman filter (position + velocity).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Kalman1D {
+    x: f64,
+    v: f64,
+    // Covariance entries.
+    p_xx: f64,
+    p_xv: f64,
+    p_vv: f64,
+}
+
+impl Kalman1D {
+    fn new(x: f64) -> Self {
+        Kalman1D { x, v: 0.0, p_xx: 25.0, p_xv: 0.0, p_vv: 25.0 }
+    }
+
+    fn predict(&mut self, q: f64) {
+        // x' = x + v, v' = v.
+        self.x += self.v;
+        self.p_xx += 2.0 * self.p_xv + self.p_vv + q;
+        self.p_xv += self.p_vv;
+        self.p_vv += q * 0.25;
+    }
+
+    fn update(&mut self, z: f64, r: f64) {
+        let s = self.p_xx + r;
+        let kx = self.p_xx / s;
+        let kv = self.p_xv / s;
+        let innov = z - self.x;
+        self.x += kx * innov;
+        self.v += kv * innov;
+        let p_xx = (1.0 - kx) * self.p_xx;
+        let p_xv = (1.0 - kx) * self.p_xv;
+        let p_vv = self.p_vv - kv * self.p_xv;
+        self.p_xx = p_xx;
+        self.p_xv = p_xv;
+        self.p_vv = p_vv;
+    }
+}
+
+/// One tracked face.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    /// Stable track identifier.
+    pub id: TrackId,
+    kx: Kalman1D,
+    ky: Kalman1D,
+    kr: Kalman1D,
+    /// Consecutive unmatched frames.
+    pub misses: usize,
+    /// Total frames this track was matched.
+    pub hits: usize,
+}
+
+impl Track {
+    /// Predicted position `(x, y)` for the current frame.
+    pub fn predicted(&self) -> (f64, f64) {
+        (self.kx.x, self.ky.x)
+    }
+
+    /// Smoothed radius estimate.
+    pub fn radius(&self) -> f64 {
+        self.kr.x
+    }
+
+    /// Current velocity estimate `(vx, vy)` in pixels/frame.
+    pub fn velocity(&self) -> (f64, f64) {
+        (self.kx.v, self.ky.v)
+    }
+}
+
+/// Tracks faces across sequential frames of one camera.
+#[derive(Debug, Clone)]
+pub struct FaceTracker {
+    config: TrackerConfig,
+    tracks: Vec<Track>,
+    next_id: u64,
+}
+
+impl Default for FaceTracker {
+    fn default() -> Self {
+        FaceTracker::new(TrackerConfig::default())
+    }
+}
+
+impl FaceTracker {
+    /// Creates a tracker.
+    pub fn new(config: TrackerConfig) -> Self {
+        FaceTracker { config, tracks: Vec::new(), next_id: 0 }
+    }
+
+    /// Currently live tracks.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Advances one frame: predicts all tracks, associates `detections`,
+    /// and returns the track id assigned to each detection (parallel to
+    /// the input).
+    pub fn step(&mut self, detections: &[FaceDetection]) -> Vec<TrackId> {
+        let cfg = self.config;
+        for t in &mut self.tracks {
+            t.kx.predict(cfg.process_noise);
+            t.ky.predict(cfg.process_noise);
+            t.kr.predict(cfg.process_noise * 0.1);
+        }
+
+        let n_det = detections.len();
+        let n_trk = self.tracks.len();
+        let mut assigned = vec![None; n_det];
+
+        if n_det > 0 && n_trk > 0 {
+            let mut costs = vec![0.0f64; n_det * n_trk];
+            for (d, det) in detections.iter().enumerate() {
+                for (t, trk) in self.tracks.iter().enumerate() {
+                    let (px, py) = trk.predicted();
+                    let dist = ((det.cx - px).powi(2) + (det.cy - py).powi(2)).sqrt();
+                    costs[d * n_trk + t] = if dist <= cfg.gate_px { dist } else { f64::INFINITY };
+                }
+            }
+            let matches = hungarian_min_assignment(&costs, n_det, n_trk);
+            for (d, m) in matches.into_iter().enumerate() {
+                if let Some(t) = m {
+                    if costs[d * n_trk + t].is_finite() {
+                        assigned[d] = Some(t);
+                    }
+                }
+            }
+        }
+
+        let mut matched_tracks = vec![false; n_trk];
+        let mut out = Vec::with_capacity(n_det);
+        for (d, det) in detections.iter().enumerate() {
+            match assigned[d] {
+                Some(t) => {
+                    let trk = &mut self.tracks[t];
+                    trk.kx.update(det.cx, cfg.measurement_noise);
+                    trk.ky.update(det.cy, cfg.measurement_noise);
+                    trk.kr.update(det.radius, cfg.measurement_noise);
+                    trk.misses = 0;
+                    trk.hits += 1;
+                    matched_tracks[t] = true;
+                    out.push(trk.id);
+                }
+                None => {
+                    // Open a new track seeded at the detection.
+                    let id = TrackId(self.next_id);
+                    self.next_id += 1;
+                    self.tracks.push(Track {
+                        id,
+                        kx: Kalman1D::new(det.cx),
+                        ky: Kalman1D::new(det.cy),
+                        kr: Kalman1D::new(det.radius),
+                        misses: 0,
+                        hits: 1,
+                    });
+                    out.push(id);
+                }
+            }
+        }
+
+        // Age unmatched pre-existing tracks (new tracks were appended
+        // after index n_trk and start with zero misses) and retire
+        // tracks that have been gone too long.
+        for (i, t) in self.tracks.iter_mut().enumerate().take(n_trk) {
+            if !matched_tracks[i] {
+                t.misses += 1;
+            }
+        }
+        self.tracks.retain(|t| t.misses <= cfg.max_misses);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(cx: f64, cy: f64, r: f64) -> FaceDetection {
+        FaceDetection {
+            cx,
+            cy,
+            radius: r,
+            bbox: (
+                (cx - r) as u32,
+                (cy - r) as u32,
+                (cx + r) as u32,
+                (cy + r) as u32,
+            ),
+            area: (std::f64::consts::PI * r * r) as usize,
+            mean_luminance: 200.0,
+        }
+    }
+
+    #[test]
+    fn stable_ids_for_stationary_faces() {
+        let mut tr = FaceTracker::new(TrackerConfig::default());
+        let first = tr.step(&[det(100.0, 100.0, 15.0), det(300.0, 120.0, 18.0)]);
+        assert_eq!(first.len(), 2);
+        assert_ne!(first[0], first[1]);
+        for _ in 0..20 {
+            let ids = tr.step(&[det(100.5, 99.5, 15.0), det(299.5, 120.5, 18.0)]);
+            assert_eq!(ids, first, "ids must stay stable");
+        }
+        assert_eq!(tr.tracks().len(), 2);
+    }
+
+    #[test]
+    fn follows_linear_motion() {
+        let mut tr = FaceTracker::new(TrackerConfig::default());
+        let id0 = tr.step(&[det(50.0, 200.0, 12.0)])[0];
+        for i in 1..30 {
+            let ids = tr.step(&[det(50.0 + 6.0 * i as f64, 200.0, 12.0)]);
+            assert_eq!(ids[0], id0, "moving face keeps its id at frame {i}");
+        }
+        let (vx, _) = tr.tracks()[0].velocity();
+        assert!((vx - 6.0).abs() < 1.0, "velocity learned: {vx}");
+    }
+
+    #[test]
+    fn crossing_faces_keep_identity() {
+        // Two faces approach, pass, and separate; constant-velocity
+        // prediction should carry identity through the crossing.
+        let mut tr = FaceTracker::new(TrackerConfig::default());
+        let ids0 = tr.step(&[det(100.0, 100.0, 12.0), det(300.0, 104.0, 12.0)]);
+        let mut last = ids0.clone();
+        for i in 1..40 {
+            let a = det(100.0 + 5.0 * i as f64, 100.0, 12.0);
+            let b = det(300.0 - 5.0 * i as f64, 104.0, 12.0);
+            last = tr.step(&[a, b]);
+        }
+        assert_eq!(last, ids0, "identities must survive the crossover");
+    }
+
+    #[test]
+    fn occlusion_gap_bridged() {
+        let mut tr = FaceTracker::new(TrackerConfig::default());
+        let id = tr.step(&[det(200.0, 150.0, 14.0)])[0];
+        for _ in 0..5 {
+            tr.step(&[det(200.0, 150.0, 14.0)]);
+        }
+        // 6 frames of occlusion (below max_misses = 12).
+        for _ in 0..6 {
+            let ids = tr.step(&[]);
+            assert!(ids.is_empty());
+            assert_eq!(tr.tracks().len(), 1, "track must persist through occlusion");
+        }
+        let ids = tr.step(&[det(202.0, 151.0, 14.0)]);
+        assert_eq!(ids[0], id, "reacquired face keeps its id");
+    }
+
+    #[test]
+    fn stale_tracks_retired() {
+        let cfg = TrackerConfig { max_misses: 3, ..TrackerConfig::default() };
+        let mut tr = FaceTracker::new(cfg);
+        tr.step(&[det(100.0, 100.0, 10.0)]);
+        for _ in 0..4 {
+            tr.step(&[]);
+        }
+        assert!(tr.tracks().is_empty(), "track should be dropped after 3 misses");
+    }
+
+    #[test]
+    fn far_detection_opens_new_track() {
+        let mut tr = FaceTracker::new(TrackerConfig::default());
+        let a = tr.step(&[det(100.0, 100.0, 10.0)])[0];
+        // 400 px away — outside the 48 px gate.
+        let b = tr.step(&[det(500.0, 100.0, 10.0)])[0];
+        assert_ne!(a, b);
+        assert_eq!(tr.tracks().len(), 2);
+    }
+}

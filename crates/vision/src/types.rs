@@ -1,0 +1,79 @@
+//! Shared observation types produced by the vision pipeline.
+
+use crate::detect::FaceDetection;
+use crate::landmarks::FaceLandmarks;
+use crate::pose::HeadPoseEstimate;
+use dievent_video::GrayFrame;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A stable identifier of an *enrolled person* (gallery identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PersonId(pub usize);
+
+impl fmt::Display for PersonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+/// A per-camera track identifier assigned by the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TrackId(pub u64);
+
+impl fmt::Display for TrackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Everything the vision pipeline knows about one face in one frame of
+/// one camera — the unit consumed by the multilayer analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaceObservation {
+    /// Frame index within the camera's stream.
+    pub frame: usize,
+    /// Raw detection.
+    pub detection: FaceDetection,
+    /// Landmarks, when the face is camera-facing enough to show eyes.
+    pub landmarks: Option<FaceLandmarks>,
+    /// Head pose + gaze in the camera frame, when landmarks were found.
+    pub pose: Option<HeadPoseEstimate>,
+    /// Track assigned by the per-camera tracker.
+    pub track: Option<TrackId>,
+    /// Recognized identity and its match distance, when the gallery
+    /// produced a confident match.
+    pub identity: Option<(PersonId, f64)>,
+    /// The cropped, resized face patch (for emotion classification).
+    pub patch: Option<GrayFrame>,
+}
+
+impl FaceObservation {
+    /// Returns `true` when this observation carries a usable gaze.
+    pub fn has_gaze(&self) -> bool {
+        self.pose.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PersonId(0).to_string(), "P1");
+        assert_eq!(PersonId(3).to_string(), "P4");
+        assert_eq!(TrackId(7).to_string(), "T7");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(PersonId(1));
+        s.insert(PersonId(1));
+        assert_eq!(s.len(), 1);
+        assert!(PersonId(0) < PersonId(1));
+        assert!(TrackId(2) < TrackId(10));
+    }
+}

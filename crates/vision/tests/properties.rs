@@ -1,0 +1,92 @@
+//! Property-based tests for the vision substrate.
+
+use dievent_vision::hungarian::assignment_cost;
+use dievent_vision::{detect_faces, hungarian_min_assignment, DetectorConfig};
+use dievent_video::GrayFrame;
+use proptest::prelude::*;
+
+fn cost_matrix(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..100.0f64, n * n)
+}
+
+fn brute_force_best(costs: &[f64], n: usize) -> f64 {
+    fn rec(costs: &[f64], n: usize, row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+        if row == n {
+            *best = best.min(acc);
+            return;
+        }
+        for c in 0..n {
+            if !used[c] {
+                used[c] = true;
+                rec(costs, n, row + 1, used, acc + costs[row * n + c], best);
+                used[c] = false;
+            }
+        }
+    }
+    let mut best = f64::INFINITY;
+    rec(costs, n, 0, &mut vec![false; n], 0.0, &mut best);
+    best
+}
+
+proptest! {
+    /// Hungarian result is a valid matching and globally optimal
+    /// (checked against exhaustive search for n ≤ 5).
+    #[test]
+    fn hungarian_is_optimal_and_valid(n in 1usize..6, costs in cost_matrix(5)) {
+        let costs = &costs[..n * n];
+        let a = hungarian_min_assignment(costs, n, n);
+        // Validity: all rows matched, columns unique.
+        let cols: Vec<usize> = a.iter().map(|c| c.expect("square: all matched")).collect();
+        let mut sorted = cols.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n, "columns must be unique");
+        // Optimality.
+        let got = assignment_cost(costs, n, &a);
+        let best = brute_force_best(costs, n);
+        prop_assert!((got - best).abs() < 1e-9, "hungarian {} vs optimal {}", got, best);
+    }
+
+    /// Rectangular problems: exactly min(rows, cols) matches, columns
+    /// unique, never out of range.
+    #[test]
+    fn hungarian_rectangular_validity(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        values in proptest::collection::vec(0.0..50.0f64, 16),
+    ) {
+        let costs = &values[..rows * cols];
+        let a = hungarian_min_assignment(costs, rows, cols);
+        prop_assert_eq!(a.len(), rows);
+        let matched: Vec<usize> = a.iter().flatten().copied().collect();
+        prop_assert_eq!(matched.len(), rows.min(cols));
+        let mut sorted = matched.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), matched.len());
+        prop_assert!(matched.iter().all(|&c| c < cols));
+    }
+
+    /// Every detection reported by the face detector is internally
+    /// consistent: centroid inside bbox, radius consistent with the
+    /// bbox, area within the bbox area, mean luminance above threshold.
+    #[test]
+    fn detections_are_internally_consistent(
+        disks in proptest::collection::vec((10.0..150.0f64, 10.0..110.0f64, 3.0..20.0f64), 0..4),
+    ) {
+        let mut f = GrayFrame::new(160, 120, 40);
+        for &(x, y, r) in &disks {
+            f.fill_disk(x, y, r, 220);
+        }
+        let cfg = DetectorConfig::default();
+        for d in detect_faces(&f, &cfg) {
+            let (x0, y0, x1, y1) = d.bbox;
+            prop_assert!(d.cx >= x0 as f64 && d.cx <= x1 as f64);
+            prop_assert!(d.cy >= y0 as f64 && d.cy <= y1 as f64);
+            prop_assert!((d.radius - (d.width() + d.height()) as f64 / 4.0).abs() < 1e-9);
+            prop_assert!(d.area <= (d.width() * d.height()) as usize);
+            prop_assert!(d.area >= cfg.min_area);
+            prop_assert!(d.mean_luminance >= cfg.threshold as f64);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Regenerates the paper's Figure 7 and Figure 8 as image files:
+//! the four synchronized camera views (PGM) and the look-at top-view
+//! map (PPM) at t = 10 s and t = 15 s, from the *detected* matrices of
+//! the full pixel pipeline.
+//!
+//! Run with: `cargo run --release --example figure_maps [out_dir]`
+
+use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
+use dievent_scene::{render_topview_map, Renderer, Scenario};
+use dievent_video::{save_pgm, save_ppm};
+
+fn main() -> std::io::Result<()> {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "figures".to_owned());
+    std::fs::create_dir_all(&out_dir)?;
+
+    let scenario = Scenario::prototype();
+    let recording = Recording::capture(scenario.clone());
+    let pipeline = DiEventPipeline::new(PipelineConfig {
+        classify_emotions: false,
+        parse_video: false,
+        ..PipelineConfig::default()
+    });
+    println!("running the prototype pipeline…");
+    let analysis = pipeline.run(&recording);
+
+    let renderer = Renderer::default();
+    for (fig, t) in [("fig7", 10.0), ("fig8", 15.0)] {
+        let frame_idx = ((t * scenario.spec.fps).round() as usize).min(recording.frames() - 1);
+        // (a) the four camera views.
+        for cam in 0..recording.cameras() {
+            let img = renderer.render(&scenario, &recording.ground_truth.snapshots[frame_idx], cam);
+            let path = format!("{out_dir}/{fig}a_camera{}.pgm", cam + 1);
+            save_pgm(&img, &path)?;
+            println!("wrote {path}");
+        }
+        // (b) the look-at top-view map from the DETECTED matrix.
+        let m = analysis.matrix_at(t).expect("frame in range");
+        let n = m.len();
+        let rows: Vec<Vec<u8>> = (0..n)
+            .map(|g| (0..n).map(|target| m.get(g, target)).collect())
+            .collect();
+        let map = render_topview_map(&scenario, &rows, 640);
+        let path = format!("{out_dir}/{fig}b_lookat_map.ppm");
+        save_ppm(&map, &path)?;
+        println!("wrote {path}");
+        let looks: Vec<String> = analysis
+            .looks_at(t)
+            .iter()
+            .map(|(g, target)| {
+                format!(
+                    "{}→{}",
+                    scenario.participants[*g].color.name(),
+                    scenario.participants[*target].color.name()
+                )
+            })
+            .collect();
+        println!("  {fig} @ t={t}s: {}", looks.join(", "));
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! The metadata repository and its query vocabulary (paper §II-E):
+//! semantic retrieval over an analyzed dining event.
+//!
+//! Run with: `cargo run --release --example metadata_queries`
+
+use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
+use dievent_metadata::{Query, RecordKind};
+use dievent_scene::Scenario;
+
+fn main() {
+    let recording = Recording::capture(Scenario::two_camera_dinner(300, 21));
+    let analysis = DiEventPipeline::new(PipelineConfig::default()).run(&recording);
+    let repo = &analysis.repository;
+    println!("repository holds {} records\n", repo.len());
+
+    // Q1: the event record.
+    let events = repo.query(&Query::new().kind(RecordKind::Event));
+    println!("Q1 events: {}", events.len());
+    for e in &events {
+        println!("   {:?} participants={:?}", e.attr("name"), e.attr("participants"));
+    }
+
+    // Q2: frames with at least one mutual eye contact between t=5s and t=15s.
+    let q2 = Query::new()
+        .kind(RecordKind::FrameAnalysis)
+        .ge("eye_contacts", 1i64)
+        .overlapping(5.0, 15.0);
+    println!("\nQ2 frames with eye contact in [5s, 15s): {}", repo.count(&q2));
+
+    // Q3: the happiest moments (OH above threshold).
+    let q3 = Query::new()
+        .kind(RecordKind::FrameAnalysis)
+        .ge("oh", 20.0)
+        .limit(5);
+    let happiest = repo.query(&q3);
+    println!("\nQ3 first frames with OH ≥ 20%: {}", happiest.len());
+    for r in &happiest {
+        println!("   frame {:?} oh={:?}", r.attr("frame"), r.attr("oh"));
+    }
+
+    // Q4: highlight records of eye-contact kind.
+    let q4 = Query::new().kind(RecordKind::Highlight).eq("kind", "ec");
+    println!("\nQ4 eye-contact highlights: {}", repo.count(&q4));
+
+    // Q5: shots overlapping the first ten seconds.
+    let q5 = Query::new().kind(RecordKind::Shot).overlapping(0.0, 10.0);
+    println!("Q5 shots overlapping [0s, 10s): {}", repo.count(&q5));
+}

@@ -1,0 +1,33 @@
+//! Quickstart: analyze a two-person dinner in a dozen lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
+use dievent_scene::Scenario;
+
+fn main() {
+    // 1. "Record" a dining event: two participants face to face, the
+    //    Fig. 2 two-camera acquisition platform, 10 seconds of video.
+    let scenario = Scenario::two_camera_dinner(250, 7);
+    let recording = Recording::capture(scenario);
+
+    // 2. Run the full DiEvent pipeline (detection → landmarks → pose →
+    //    gaze → tracking → recognition → emotion → fusion → look-at
+    //    matrices → metadata repository).
+    let pipeline = DiEventPipeline::new(PipelineConfig::default());
+    let analysis = pipeline.run(&recording);
+
+    // 3. Inspect the results.
+    println!("{}", analysis.brief());
+    println!("look-at summary matrix:\n{}", analysis.summary_table());
+    for ep in analysis.episodes.iter().take(5) {
+        println!(
+            "eye contact P{}↔P{}: frames {}..{} ({:.1}s)",
+            ep.a + 1,
+            ep.b + 1,
+            ep.start,
+            ep.end,
+            ep.len() as f64 / analysis.fps
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end verification of the paper's eye-contact mathematics
+//! (§II-D-1, Eq. 1–5) across crates: reference frames (Eq. 1–2),
+//! rendered pixels, vision decoding, and the ray–sphere test (Eq. 3–5)
+//! must agree with the scripted ground truth.
+
+use dievent_core::Recording;
+use dievent_geometry::{FrameGraph, Iso3, Ray, Sphere, Vec3};
+use dievent_scene::{GazeTarget, Scenario};
+use dievent_vision::{
+    detect_faces, estimate_pose, locate_landmarks, DetectorConfig, LandmarkConfig, PoseConfig,
+};
+
+/// The paper's Eq. 2 chain — `¹V_l = ¹T₂ · ²T₄ · ⁴V_l` — implemented
+/// with the frame graph, against direct world-frame computation.
+#[test]
+fn equation_2_chain_equals_direct_transform() {
+    let scenario = Scenario::two_camera_dinner(4, 1);
+    let c1 = scenario.rig.cameras[0];
+    let c2 = scenario.rig.cameras[1];
+
+    let mut g = FrameGraph::new();
+    let world = g.add_root("world");
+    let f1 = g.add_frame("F1", world, c1.pose).unwrap();
+    let f2 = g.add_frame("F2", world, c2.pose).unwrap();
+    // P2's head frame expressed in F2 (²F₄ in the paper's notation).
+    let head_world = scenario.participants[1].seat_head;
+    let head_in_c2 = c2.extrinsics().transform_point(head_world);
+    let f4 = g
+        .add_frame("2F4", f2, Iso3::from_translation(head_in_c2))
+        .unwrap();
+
+    // A gaze vector expressed in the head frame (aligned with F2 here).
+    let v4 = Vec3::new(0.2, -0.1, -0.97).normalized();
+
+    // Chain: ¹T₂ · ²T₄ applied to ⁴V.
+    let t12 = g.transform(f1, f2).unwrap();
+    let t24 = g.transform(f2, f4).unwrap();
+    let chained = (t12 * t24).transform_dir(v4);
+    // Graph shortcut: ¹T₄ directly.
+    let direct = g.transform_dir(f1, f4, v4).unwrap();
+    assert!(chained.approx_eq(direct, 1e-9));
+
+    // And a world-frame detour gives the same vector expressed in F1.
+    let world_v = c2.pose.transform_dir(v4);
+    let via_world = c1.extrinsics().transform_dir(world_v);
+    assert!(chained.approx_eq(via_world, 1e-9));
+}
+
+/// Full Fig. 6 scenario: person seen by camera A gazes at a person seen
+/// by camera B; decoding A's pixels and testing Eq. 5 in the common
+/// frame detects the look — and detects its absence when the gaze moves
+/// away.
+#[test]
+fn pixels_to_eye_contact_decision() {
+    let scenario = Scenario::two_camera_dinner(80, 5);
+    let recording = Recording::capture(scenario.clone());
+
+    let mut decided_looking = 0;
+    let mut decided_not = 0;
+    let mut scripted_looking = 0;
+    let mut scripted_not = 0;
+
+    for f in 10..recording.frames() {
+        let snap = &recording.ground_truth.snapshots[f];
+        // P1 (index 0) faces +X; the camera behind P2 (camera index 1)
+        // sees P1's face.
+        let cam = scenario.rig.cameras[1];
+        let frame = recording.frame(1, f);
+        let dets = detect_faces(&frame, &DetectorConfig::default());
+        let Some(proj) = cam.project(snap.states[0].head) else { continue };
+        let Some(det) = dets
+            .iter()
+            .find(|d| (d.cx - proj.pixel.x).hypot(d.cy - proj.pixel.y) < 12.0)
+        else {
+            continue;
+        };
+        // When no gaze can be decoded (face turned/tilted away), the
+        // pipeline registers "not looking" — that IS the decision.
+        let pose = locate_landmarks(&frame, det, &LandmarkConfig::default())
+            .and_then(|lm| estimate_pose(det, &lm, &cam, &PoseConfig::default()));
+        let looking = match pose {
+            Some(pose) => {
+                // Eq. 5 in the world frame.
+                let origin = cam.pose.transform_point(pose.head_cam);
+                let dir = cam.pose.transform_dir(pose.gaze_cam);
+                let sphere = Sphere::new(snap.states[1].head, 0.30);
+                sphere.is_hit_by(&Ray::new(origin, dir))
+            }
+            None => false,
+        };
+
+        // Compare against the script, skipping the head-turn transient
+        // after a target change.
+        let stable = (f.saturating_sub(8)..=f)
+            .all(|k| scenario.schedule.target(0, k) == scenario.schedule.target(0, f));
+        if !stable {
+            continue;
+        }
+        match scenario.schedule.target(0, f) {
+            GazeTarget::Person(1) => {
+                scripted_looking += 1;
+                if looking {
+                    decided_looking += 1;
+                }
+            }
+            _ => {
+                scripted_not += 1;
+                if !looking {
+                    decided_not += 1;
+                }
+            }
+        }
+    }
+
+    assert!(scripted_looking > 10, "script must exercise the looking case");
+    assert!(scripted_not > 5, "script must exercise the not-looking case");
+    let recall = decided_looking as f64 / scripted_looking as f64;
+    let tnr = decided_not as f64 / scripted_not as f64;
+    assert!(recall > 0.85, "looking-at recall {recall} ({decided_looking}/{scripted_looking})");
+    assert!(tnr > 0.85, "not-looking specificity {tnr} ({decided_not}/{scripted_not})");
+}
+
+/// The discriminant sign convention of Eq. 5 as stated in the paper:
+/// `w ∈ ℝ⁺` ⇒ two intersection points ⇒ looking; tangency or miss ⇒
+/// not looking.
+#[test]
+fn equation_5_sign_convention() {
+    let head = Sphere::new(Vec3::new(2.0, 0.0, 1.2), 0.3);
+    let looking = Ray::new(Vec3::new(0.0, 0.0, 1.2), Vec3::X);
+    let grazing = Ray::new(Vec3::new(0.0, 0.3, 1.2), Vec3::X);
+    let missing = Ray::new(Vec3::new(0.0, 1.0, 1.2), Vec3::X);
+
+    assert!(head.discriminant(&looking) > 0.0);
+    assert!(head.discriminant(&grazing).abs() < 1e-9);
+    assert!(head.discriminant(&missing) < 0.0);
+
+    assert!(head.is_hit_by(&looking));
+    assert!(!head.is_hit_by(&grazing), "tangent counts as not looking");
+    assert!(!head.is_hit_by(&missing));
+}

@@ -1,0 +1,102 @@
+//! The headline reproduction test: the paper's §III prototype —
+//! 4 participants, 4 corner cameras, 610 frames / 40 s — through the
+//! complete pixel pipeline, asserting the published Figure 7, 8 and 9
+//! results.
+//!
+//! This is the expensive test of the suite (it renders and analyzes
+//! 2440 camera frames); emotion classification and video parsing are
+//! disabled here because the figures only concern the gaze layer.
+
+use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
+use dievent_scene::Scenario;
+
+fn run_prototype() -> (Scenario, dievent_core::EventAnalysis) {
+    let scenario = Scenario::prototype();
+    let recording = Recording::capture(scenario.clone());
+    let pipeline = DiEventPipeline::new(PipelineConfig {
+        classify_emotions: false,
+        parse_video: false,
+        ..PipelineConfig::default()
+    });
+    let analysis = pipeline.run(&recording);
+    (scenario, analysis)
+}
+
+#[test]
+fn figures_7_8_9_reproduce() {
+    let (scenario, analysis) = run_prototype();
+    let (p1, p2, p3, p4) = (0usize, 1usize, 2usize, 3usize);
+
+    // --- Figure 7 (t = 10 s): green↔yellow mutual, black→blue,
+    //     blue→green. ---
+    let m10 = analysis.matrix_at(10.0).expect("frame at 10 s");
+    assert_eq!(m10.get(p1, p3), 1, "yellow → green");
+    assert_eq!(m10.get(p3, p1), 1, "green → yellow");
+    assert_eq!(m10.get(p4, p2), 1, "black → blue");
+    assert_eq!(m10.get(p2, p3), 1, "blue → green");
+    assert!(
+        m10.eye_contacts().contains(&(p1, p3)),
+        "Fig. 7 eye contact between yellow and green"
+    );
+
+    // --- Figure 8 (t = 15 s): green, blue, black → yellow. ---
+    let m15 = analysis.matrix_at(15.0).expect("frame at 15 s");
+    for gazer in [p2, p3, p4] {
+        assert_eq!(m15.get(gazer, p1), 1, "P{} → yellow at t = 15 s", gazer + 1);
+    }
+
+    // --- Figure 9: summary matrix over 610 frames. ---
+    assert_eq!(analysis.matrices.len(), 610, "the paper's frame count");
+    let s = &analysis.summary;
+    // Diagonal zero.
+    for i in 0..4 {
+        assert_eq!(s.get(i, i), 0);
+    }
+    // (P1→P3) is the largest single entry and close to the paper's 357.
+    let max_cell = (0..4)
+        .flat_map(|g| (0..4).map(move |t| ((g, t), s.get(g, t))))
+        .max_by_key(|&(_, v)| v)
+        .expect("non-empty");
+    assert_eq!(max_cell.0, (p1, p3), "(P1→P3) must be the maximum cell");
+    let detected = s.get(p1, p3) as f64;
+    assert!(
+        (detected - 357.0).abs() / 357.0 < 0.15,
+        "(P1→P3) = {detected}, paper prints 357 (±15%)"
+    );
+    // P1's column sum is the maximum: P1 is the dominant participant.
+    let received: Vec<u32> = (0..4).map(|p| s.received(p)).collect();
+    assert!(
+        (1..4).all(|p| received[0] > received[p]),
+        "P1 must dominate: {received:?}"
+    );
+    assert_eq!(analysis.dominance.dominant, Some(p1));
+
+    // --- Overall detection fidelity. ---
+    assert!(
+        analysis.validation.f1 > 0.85,
+        "look-at F1 vs ground truth too low: {:?}",
+        analysis.validation
+    );
+    assert!(
+        analysis.validation.precision > 0.9,
+        "precision too low: {:?}",
+        analysis.validation
+    );
+
+    // The scripted summary equals the paper's construction exactly.
+    let scripted = scenario.schedule.summary_matrix();
+    assert_eq!(scripted[p1][p3], 357);
+}
+
+#[test]
+fn prototype_eye_contact_episodes_follow_the_script() {
+    let (scenario, analysis) = run_prototype();
+    // Mutual P1↔P3 gaze is scripted in the Fig. 7 window; a detected EC
+    // episode must cover t = 10 s.
+    let t10 = (10.0 * scenario.spec.fps).round() as usize;
+    let covered = analysis
+        .episodes
+        .iter()
+        .any(|e| e.a == 0 && e.b == 2 && e.start <= t10 && t10 < e.end);
+    assert!(covered, "episodes: {:?}", analysis.episodes);
+}
