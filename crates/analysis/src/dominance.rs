@@ -38,7 +38,13 @@ pub fn dominance_ranking(summary: &LookAtSummary) -> DominanceReport {
         dominant: (total > 0).then(|| ranking[0].0),
         attention_share: received
             .iter()
-            .map(|&r| if total > 0 { r as f64 / total as f64 } else { 0.0 })
+            .map(|&r| {
+                if total > 0 {
+                    r as f64 / total as f64
+                } else {
+                    0.0
+                }
+            })
             .collect(),
         ranking,
     }

@@ -54,7 +54,12 @@ pub fn ec_episodes(seq: &[LookAtMatrix], min_frames: usize) -> Vec<EcEpisode> {
                     (true, None) => start = Some(f),
                     (false, Some(s)) => {
                         if f - s >= min_frames.max(1) {
-                            out.push(EcEpisode { a, b, start: s, end: f });
+                            out.push(EcEpisode {
+                                a,
+                                b,
+                                start: s,
+                                end: f,
+                            });
                         }
                         start = None;
                     }
@@ -63,7 +68,12 @@ pub fn ec_episodes(seq: &[LookAtMatrix], min_frames: usize) -> Vec<EcEpisode> {
             }
             if let Some(s) = start {
                 if seq.len() - s >= min_frames.max(1) {
-                    out.push(EcEpisode { a, b, start: s, end: seq.len() });
+                    out.push(EcEpisode {
+                        a,
+                        b,
+                        start: s,
+                        end: seq.len(),
+                    });
                 }
             }
         }
@@ -150,7 +160,15 @@ mod tests {
         seq.extend(vec![ec_frame(3, &[(0, 2)]); 4]);
         seq.extend(vec![no_ec(3); 3]);
         let eps = ec_episodes(&seq, 1);
-        assert_eq!(eps, vec![EcEpisode { a: 0, b: 2, start: 5, end: 9 }]);
+        assert_eq!(
+            eps,
+            vec![EcEpisode {
+                a: 0,
+                b: 2,
+                start: 5,
+                end: 9
+            }]
+        );
         assert_eq!(eps[0].len(), 4);
     }
 
@@ -159,7 +177,15 @@ mod tests {
         let mut seq = vec![no_ec(2); 2];
         seq.extend(vec![ec_frame(2, &[(0, 1)]); 3]);
         let eps = ec_episodes(&seq, 1);
-        assert_eq!(eps, vec![EcEpisode { a: 0, b: 1, start: 2, end: 5 }]);
+        assert_eq!(
+            eps,
+            vec![EcEpisode {
+                a: 0,
+                b: 1,
+                start: 2,
+                end: 5
+            }]
+        );
     }
 
     #[test]
@@ -190,9 +216,24 @@ mod tests {
         ];
         let eps = ec_episodes(&seq, 1);
         assert_eq!(eps.len(), 3);
-        assert!(eps.contains(&EcEpisode { a: 0, b: 1, start: 0, end: 2 }));
-        assert!(eps.contains(&EcEpisode { a: 2, b: 3, start: 0, end: 1 }));
-        assert!(eps.contains(&EcEpisode { a: 2, b: 3, start: 2, end: 3 }));
+        assert!(eps.contains(&EcEpisode {
+            a: 0,
+            b: 1,
+            start: 0,
+            end: 2
+        }));
+        assert!(eps.contains(&EcEpisode {
+            a: 2,
+            b: 3,
+            start: 0,
+            end: 1
+        }));
+        assert!(eps.contains(&EcEpisode {
+            a: 2,
+            b: 3,
+            start: 2,
+            end: 3
+        }));
     }
 
     #[test]
@@ -219,8 +260,16 @@ mod tests {
         seq.extend(vec![ec_frame(3, &[(0, 1)]); 20]);
         seq.extend(vec![ec_frame(3, &[(0, 2)]); 4]);
         let stats = pair_statistics(&seq, 1);
-        let r01 = stats.iter().find(|s| (s.a, s.b) == (0, 1)).unwrap().contact_ratio;
-        let r02 = stats.iter().find(|s| (s.a, s.b) == (0, 2)).unwrap().contact_ratio;
+        let r01 = stats
+            .iter()
+            .find(|s| (s.a, s.b) == (0, 1))
+            .unwrap()
+            .contact_ratio;
+        let r02 = stats
+            .iter()
+            .find(|s| (s.a, s.b) == (0, 2))
+            .unwrap()
+            .contact_ratio;
         assert!(r01 > r02);
     }
 }

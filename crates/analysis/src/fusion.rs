@@ -26,7 +26,9 @@ pub struct FusionConfig {
 
 impl Default for FusionConfig {
     fn default() -> Self {
-        FusionConfig { outlier_distance: 0.6 }
+        FusionConfig {
+            outlier_distance: 0.6,
+        }
     }
 }
 
@@ -42,14 +44,20 @@ pub fn fuse_frame(obs: &FrameObservations, config: &FusionConfig) -> Vec<Partici
     let mut by_person: BTreeMap<usize, Vec<Sample>> = BTreeMap::new();
 
     for (cam_pose, sightings) in &obs.cameras {
-        for CameraObservation { person, head_cam, gaze_cam, weight } in sightings {
+        for CameraObservation {
+            person,
+            head_cam,
+            gaze_cam,
+            weight,
+        } in sightings
+        {
             let head = cam_pose.transform_point(*head_cam);
-            let gaze = gaze_cam
-                .and_then(|g| cam_pose.transform_dir(g).try_normalized());
-            by_person
-                .entry(*person)
-                .or_default()
-                .push(Sample { head, gaze, weight: weight.max(1e-6) });
+            let gaze = gaze_cam.and_then(|g| cam_pose.transform_dir(g).try_normalized());
+            by_person.entry(*person).or_default().push(Sample {
+                head,
+                gaze,
+                weight: weight.max(1e-6),
+            });
         }
     }
 
@@ -67,7 +75,12 @@ pub fn fuse_frame(obs: &FrameObservations, config: &FusionConfig) -> Vec<Partici
         if samples.is_empty() {
             continue;
         }
-        let head = weighted_mean(&samples.iter().map(|s| (s.head, s.weight)).collect::<Vec<_>>());
+        let head = weighted_mean(
+            &samples
+                .iter()
+                .map(|s| (s.head, s.weight))
+                .collect::<Vec<_>>(),
+        );
 
         // Gaze: weighted sum of unit directions, renormalized.
         let mut gsum = Vec3::ZERO;
@@ -78,9 +91,18 @@ pub fn fuse_frame(obs: &FrameObservations, config: &FusionConfig) -> Vec<Partici
                 gw += s.weight;
             }
         }
-        let gaze = if gw > 0.0 { gsum.try_normalized() } else { None };
+        let gaze = if gw > 0.0 {
+            gsum.try_normalized()
+        } else {
+            None
+        };
 
-        out.push(ParticipantPose { person, head, gaze, support: samples.len() });
+        out.push(ParticipantPose {
+            person,
+            head,
+            gaze,
+            support: samples.len(),
+        });
     }
     out
 }
@@ -128,7 +150,12 @@ mod tests {
     }
 
     fn obs(person: usize, head_cam: Vec3, gaze_cam: Option<Vec3>) -> CameraObservation {
-        CameraObservation { person, head_cam, gaze_cam, weight: 1.0 }
+        CameraObservation {
+            person,
+            head_cam,
+            gaze_cam,
+            weight: 1.0,
+        }
     }
 
     #[test]
@@ -164,7 +191,11 @@ mod tests {
         };
         let fused = fuse_frame(&frame, &FusionConfig::default());
         assert_eq!(fused.len(), 1);
-        assert!(fused[0].head.approx_eq(Vec3::new(2.0, 0.0, 1.2), 1e-9), "{:?}", fused[0].head);
+        assert!(
+            fused[0].head.approx_eq(Vec3::new(2.0, 0.0, 1.2), 1e-9),
+            "{:?}",
+            fused[0].head
+        );
         assert_eq!(fused[0].support, 2);
     }
 
@@ -173,8 +204,22 @@ mod tests {
         let cam = Iso3::IDENTITY;
         let frame = FrameObservations {
             cameras: vec![
-                (cam, vec![obs(0, Vec3::ZERO, Some(Vec3::new(1.0, 0.1, 0.0).normalized()))]),
-                (cam, vec![obs(0, Vec3::ZERO, Some(Vec3::new(1.0, -0.1, 0.0).normalized()))]),
+                (
+                    cam,
+                    vec![obs(
+                        0,
+                        Vec3::ZERO,
+                        Some(Vec3::new(1.0, 0.1, 0.0).normalized()),
+                    )],
+                ),
+                (
+                    cam,
+                    vec![obs(
+                        0,
+                        Vec3::ZERO,
+                        Some(Vec3::new(1.0, -0.1, 0.0).normalized()),
+                    )],
+                ),
             ],
         };
         let fused = fuse_frame(&frame, &FusionConfig::default());
@@ -198,7 +243,10 @@ mod tests {
         let frame = FrameObservations {
             cameras: vec![
                 (Iso3::IDENTITY, vec![obs(0, Vec3::new(2.0, 0.0, 1.2), None)]),
-                (Iso3::IDENTITY, vec![obs(0, Vec3::new(2.05, 0.0, 1.2), None)]),
+                (
+                    Iso3::IDENTITY,
+                    vec![obs(0, Vec3::new(2.05, 0.0, 1.2), None)],
+                ),
                 // A wildly wrong sighting (merged blob).
                 (Iso3::IDENTITY, vec![obs(0, Vec3::new(4.5, 0.0, 1.2), None)]),
             ],
@@ -207,7 +255,12 @@ mod tests {
         assert_eq!(fused[0].support, 2, "outlier dropped");
         assert!((fused[0].head.x - 2.025).abs() < 1e-9);
         // With rejection disabled the outlier drags the mean.
-        let raw = fuse_frame(&frame, &FusionConfig { outlier_distance: 0.0 });
+        let raw = fuse_frame(
+            &frame,
+            &FusionConfig {
+                outlier_distance: 0.0,
+            },
+        );
         assert!(raw[0].head.x > 2.5);
     }
 

@@ -74,12 +74,19 @@ impl TimeInvariantContext {
     /// Panics when `a == b` or either index is out of range.
     pub fn set_relation(&mut self, a: usize, b: usize, rel: SocialRelation) {
         assert_ne!(a, b, "a relation needs two distinct participants");
-        assert!(a < self.participants && b < self.participants, "index out of range");
+        assert!(
+            a < self.participants && b < self.participants,
+            "index out of range"
+        );
         let (lo, hi) = (a.min(b), a.max(b));
         if let Some(e) = self.relations.iter_mut().find(|e| e.a == lo && e.b == hi) {
             e.relation = rel;
         } else {
-            self.relations.push(RelationEntry { a: lo, b: hi, relation: rel });
+            self.relations.push(RelationEntry {
+                a: lo,
+                b: hi,
+                relation: rel,
+            });
         }
     }
 
@@ -119,14 +126,12 @@ impl MultilayerRecord {
     /// The time-variant layer nearest to time `t` seconds (`None` for an
     /// empty record).
     pub fn at_time(&self, t: f64) -> Option<&TimeVariantLayers> {
-        self.frames
-            .iter()
-            .min_by(|a, b| {
-                (a.time - t)
-                    .abs()
-                    .partial_cmp(&(b.time - t).abs())
-                    .expect("finite times")
-            })
+        self.frames.iter().min_by(|a, b| {
+            (a.time - t)
+                .abs()
+                .partial_cmp(&(b.time - t).abs())
+                .expect("finite times")
+        })
     }
 
     /// Frames whose overall happiness is at least `threshold` percent —
@@ -161,11 +166,20 @@ mod tests {
         context.set_relation(0, 2, SocialRelation::Colleagues);
         context.set_relation(3, 1, SocialRelation::Strangers);
 
-        let cfg = OverallEmotionConfig { participants: 4, smoothing: 0.0 };
+        let cfg = OverallEmotionConfig {
+            participants: 4,
+            smoothing: 0.0,
+        };
         let frames = (0..10)
             .map(|f| {
-                let emotion = if f < 5 { Emotion::Neutral } else { Emotion::Happy };
-                let ests: Vec<_> = (0..4).map(|p| EmotionEstimate::hard(p, emotion, 1.0)).collect();
+                let emotion = if f < 5 {
+                    Emotion::Neutral
+                } else {
+                    Emotion::Happy
+                };
+                let ests: Vec<_> = (0..4)
+                    .map(|p| EmotionEstimate::hard(p, emotion, 1.0))
+                    .collect();
                 TimeVariantLayers {
                     frame: f,
                     // Exact binary fractions so the JSON round-trip test
@@ -191,7 +205,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn self_relation_panics() {
-        let mut c = TimeInvariantContext { participants: 2, ..Default::default() };
+        let mut c = TimeInvariantContext {
+            participants: 2,
+            ..Default::default()
+        };
         c.set_relation(1, 1, SocialRelation::Friends);
     }
 
@@ -201,7 +218,10 @@ mod tests {
         assert_eq!(r.at_time(0.0).unwrap().frame, 0);
         assert_eq!(r.at_time(1.2).unwrap().frame, 5);
         assert_eq!(r.at_time(99.0).unwrap().frame, 9);
-        let empty = MultilayerRecord { context: Default::default(), frames: vec![] };
+        let empty = MultilayerRecord {
+            context: Default::default(),
+            frames: vec![],
+        };
         assert!(empty.at_time(1.0).is_none());
     }
 

@@ -70,7 +70,10 @@ pub struct LookAtMatrix {
 impl LookAtMatrix {
     /// An all-zero matrix over `n` participants.
     pub fn zero(n: usize) -> Self {
-        LookAtMatrix { n, cells: vec![0; n * n] }
+        LookAtMatrix {
+            n,
+            cells: vec![0; n * n],
+        }
     }
 
     /// Number of participants.
@@ -112,7 +115,9 @@ impl LookAtMatrix {
     pub fn from_poses(n: usize, poses: &[ParticipantPose], config: &LookAtConfig) -> Self {
         let mut m = LookAtMatrix::zero(n);
         for gazer in poses.iter().filter(|p| p.person < n) {
-            let Some(ray) = gazer.gaze_ray() else { continue };
+            let Some(ray) = gazer.gaze_ray() else {
+                continue;
+            };
             // `best` ranks hits: ray distance for SphereHit (nearest
             // head wins), angular deviation for Cone (best-aimed wins).
             let mut best: Option<(usize, f64)> = None;
@@ -191,7 +196,11 @@ pub struct LookAtSummary {
 impl LookAtSummary {
     /// An empty summary over `n` participants.
     pub fn new(n: usize) -> Self {
-        LookAtSummary { n, counts: vec![0; n * n], frames: 0 }
+        LookAtSummary {
+            n,
+            counts: vec![0; n * n],
+            frames: 0,
+        }
     }
 
     /// Number of participants.
@@ -266,7 +275,12 @@ mod tests {
     use dievent_geometry::Vec3;
 
     fn pose(person: usize, head: Vec3, gaze: Option<Vec3>) -> ParticipantPose {
-        ParticipantPose { person, head, gaze, support: 1 }
+        ParticipantPose {
+            person,
+            head,
+            gaze,
+            support: 1,
+        }
     }
 
     /// Four participants at the corners of a square, like Fig. 4.
@@ -302,9 +316,7 @@ mod tests {
     #[test]
     fn diagonal_always_zero() {
         let h = square();
-        let poses: Vec<_> = (0..4)
-            .map(|i| pose(i, h[i], Some(Vec3::X)))
-            .collect();
+        let poses: Vec<_> = (0..4).map(|i| pose(i, h[i], Some(Vec3::X))).collect();
         let m = LookAtMatrix::from_poses(4, &poses, &LookAtConfig::default());
         for i in 0..4 {
             assert_eq!(m.get(i, i), 0);
@@ -351,7 +363,10 @@ mod tests {
         let all = LookAtMatrix::from_poses(
             3,
             &poses,
-            &LookAtConfig { nearest_hit_only: false, ..LookAtConfig::default() },
+            &LookAtConfig {
+                nearest_hit_only: false,
+                ..LookAtConfig::default()
+            },
         );
         assert_eq!(all.get(0, 1), 1);
         assert_eq!(all.get(0, 2), 1);
@@ -368,13 +383,19 @@ mod tests {
         let tight = LookAtMatrix::from_poses(
             2,
             &poses,
-            &LookAtConfig { attention_radius: 0.15, ..LookAtConfig::default() },
+            &LookAtConfig {
+                attention_radius: 0.15,
+                ..LookAtConfig::default()
+            },
         );
         assert_eq!(tight.get(0, 1), 0);
         let wide = LookAtMatrix::from_poses(
             2,
             &poses,
-            &LookAtConfig { attention_radius: 0.45, ..LookAtConfig::default() },
+            &LookAtConfig {
+                attention_radius: 0.45,
+                ..LookAtConfig::default()
+            },
         );
         assert_eq!(wide.get(0, 1), 1);
     }
@@ -391,7 +412,12 @@ mod tests {
             gaze: None,
             support: 1,
         };
-        let gazer = ParticipantPose { person: 0, head: a, gaze: Some(gaze), support: 1 };
+        let gazer = ParticipantPose {
+            person: 0,
+            head: a,
+            gaze: Some(gaze),
+            support: 1,
+        };
 
         // Sphere (r = 0.3): hits the near head (perp 0.10 < 0.3) and the
         // far one too (perp 0.40 > 0.3 → miss). Distance matters.
@@ -403,7 +429,9 @@ mod tests {
 
         // Cone (8°): both pass — same angle, any distance.
         let cone_cfg = LookAtConfig {
-            criterion: GazeCriterion::Cone { half_angle: 8f64.to_radians() },
+            criterion: GazeCriterion::Cone {
+                half_angle: 8f64.to_radians(),
+            },
             ..LookAtConfig::default()
         };
         let c_near = LookAtMatrix::from_poses(2, &[gazer, mk(near, 1)], &cone_cfg);
@@ -417,11 +445,28 @@ mod tests {
         let a = Vec3::new(0.0, 0.0, 1.2);
         let close_off = Vec3::new(1.0, 0.12, 1.2); // 6.8° off
         let aligned = Vec3::new(3.0, 0.05, 1.2); // 0.95° off
-        let gazer = ParticipantPose { person: 0, head: a, gaze: Some(Vec3::X), support: 1 };
-        let p1 = ParticipantPose { person: 1, head: close_off, gaze: None, support: 1 };
-        let p2 = ParticipantPose { person: 2, head: aligned, gaze: None, support: 1 };
+        let gazer = ParticipantPose {
+            person: 0,
+            head: a,
+            gaze: Some(Vec3::X),
+            support: 1,
+        };
+        let p1 = ParticipantPose {
+            person: 1,
+            head: close_off,
+            gaze: None,
+            support: 1,
+        };
+        let p2 = ParticipantPose {
+            person: 2,
+            head: aligned,
+            gaze: None,
+            support: 1,
+        };
         let cfg = LookAtConfig {
-            criterion: GazeCriterion::Cone { half_angle: 10f64.to_radians() },
+            criterion: GazeCriterion::Cone {
+                half_angle: 10f64.to_radians(),
+            },
             ..LookAtConfig::default()
         };
         let m = LookAtMatrix::from_poses(3, &[gazer, p1, p2], &cfg);
@@ -441,7 +486,11 @@ mod tests {
                 pose(2, h[2], Some((h[0] - h[2]).normalized())),
                 pose(3, h[3], Some((h[0] - h[3]).normalized())),
             ];
-            s.add(&LookAtMatrix::from_poses(4, &poses, &LookAtConfig::default()));
+            s.add(&LookAtMatrix::from_poses(
+                4,
+                &poses,
+                &LookAtConfig::default(),
+            ));
         }
         assert_eq!(s.frames(), 3);
         assert_eq!(s.get(1, 0), 3);

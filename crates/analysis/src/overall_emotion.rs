@@ -33,7 +33,11 @@ impl EmotionEstimate {
     pub fn hard(person: usize, emotion: Emotion, confidence: f64) -> Self {
         let mut probabilities = vec![0.0; Emotion::COUNT];
         probabilities[emotion.index()] = 1.0;
-        EmotionEstimate { person, probabilities, confidence }
+        EmotionEstimate {
+            person,
+            probabilities,
+            confidence,
+        }
     }
 }
 
@@ -51,7 +55,10 @@ pub struct OverallEmotionConfig {
 
 impl Default for OverallEmotionConfig {
     fn default() -> Self {
-        OverallEmotionConfig { participants: 4, smoothing: 0.9 }
+        OverallEmotionConfig {
+            participants: 4,
+            smoothing: 0.9,
+        }
     }
 }
 
@@ -73,7 +80,10 @@ pub struct OverallEmotion {
 /// # Panics
 /// Panics when an estimate's distribution has the wrong length or a
 /// person index repeats.
-pub fn fuse_emotions(estimates: &[EmotionEstimate], config: &OverallEmotionConfig) -> OverallEmotion {
+pub fn fuse_emotions(
+    estimates: &[EmotionEstimate],
+    config: &OverallEmotionConfig,
+) -> OverallEmotion {
     let n = config.participants.max(1);
     let mut seen = vec![false; n.max(estimates.iter().map(|e| e.person + 1).max().unwrap_or(0))];
     let mut mix = vec![0.0f64; Emotion::COUNT];
@@ -81,8 +91,16 @@ pub fn fuse_emotions(estimates: &[EmotionEstimate], config: &OverallEmotionConfi
     let mut observed = 0usize;
 
     for est in estimates {
-        assert_eq!(est.probabilities.len(), Emotion::COUNT, "distribution length");
-        assert!(!seen[est.person], "duplicate estimate for P{}", est.person + 1);
+        assert_eq!(
+            est.probabilities.len(),
+            Emotion::COUNT,
+            "distribution length"
+        );
+        assert!(
+            !seen[est.person],
+            "duplicate estimate for P{}",
+            est.person + 1
+        );
         seen[est.person] = true;
         observed += 1;
         let total: f64 = est.probabilities.iter().sum();
@@ -113,7 +131,12 @@ pub fn fuse_emotions(estimates: &[EmotionEstimate], config: &OverallEmotionConfi
         .map(|&e| mix[e.index()] * e.valence())
         .sum();
 
-    OverallEmotion { mix, overall_happiness, valence, observed }
+    OverallEmotion {
+        mix,
+        overall_happiness,
+        valence,
+        observed,
+    }
 }
 
 /// Fuses a whole sequence and applies EMA smoothing to the OH and
@@ -149,7 +172,10 @@ mod tests {
     use super::*;
 
     fn cfg(n: usize) -> OverallEmotionConfig {
-        OverallEmotionConfig { participants: n, smoothing: 0.0 }
+        OverallEmotionConfig {
+            participants: n,
+            smoothing: 0.0,
+        }
     }
 
     #[test]
@@ -201,7 +227,11 @@ mod tests {
         let mut probs = vec![0.0; Emotion::COUNT];
         probs[Emotion::Happy.index()] = 2.0; // unnormalized on purpose
         probs[Emotion::Neutral.index()] = 2.0;
-        let ests = vec![EmotionEstimate { person: 0, probabilities: probs, confidence: 1.0 }];
+        let ests = vec![EmotionEstimate {
+            person: 0,
+            probabilities: probs,
+            confidence: 1.0,
+        }];
         let o = fuse_emotions(&ests, &cfg(1));
         assert!((o.overall_happiness - 50.0).abs() < 1e-9);
     }
@@ -223,13 +253,25 @@ mod tests {
         let happy: Vec<EmotionEstimate> = vec![EmotionEstimate::hard(0, Emotion::Happy, 1.0)];
         let mut frames = vec![neutral; 10];
         frames.extend(vec![happy; 10]);
-        let series = fuse_sequence(&frames, &OverallEmotionConfig { participants: 1, smoothing: 0.8 });
+        let series = fuse_sequence(
+            &frames,
+            &OverallEmotionConfig {
+                participants: 1,
+                smoothing: 0.8,
+            },
+        );
         assert!(series[9].overall_happiness < 1.0);
         assert!(series[10].overall_happiness > 10.0, "step starts rising");
         assert!(series[10].overall_happiness < 50.0, "but smoothed");
         assert!(series[19].overall_happiness > series[11].overall_happiness);
         // Unsmoothed comparison.
-        let raw = fuse_sequence(&frames, &OverallEmotionConfig { participants: 1, smoothing: 0.0 });
+        let raw = fuse_sequence(
+            &frames,
+            &OverallEmotionConfig {
+                participants: 1,
+                smoothing: 0.0,
+            },
+        );
         assert!((raw[10].overall_happiness - 100.0).abs() < 1e-9);
     }
 }

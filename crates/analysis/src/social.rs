@@ -95,7 +95,10 @@ mod tests {
     }
 
     fn context_with(relations: &[(usize, usize, SocialRelation)]) -> TimeInvariantContext {
-        let mut c = TimeInvariantContext { participants: 4, ..Default::default() };
+        let mut c = TimeInvariantContext {
+            participants: 4,
+            ..Default::default()
+        };
         for (a, b, r) in relations {
             c.set_relation(*a, *b, r.clone());
         }
@@ -139,7 +142,10 @@ mod tests {
 
     #[test]
     fn empty_inputs_give_empty_profiles() {
-        let ctx = TimeInvariantContext { participants: 2, ..Default::default() };
+        let ctx = TimeInvariantContext {
+            participants: 2,
+            ..Default::default()
+        };
         assert!(relation_profiles(&[], &ctx, true).is_empty());
     }
 }

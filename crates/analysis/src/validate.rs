@@ -60,14 +60,30 @@ pub fn validate_sequence(detected: &[LookAtMatrix], truth: &[LookAtMatrix]) -> M
             }
         }
     }
-    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    MatrixValidation { tp, fp, fn_, precision, recall, f1, frames }
+    MatrixValidation {
+        tp,
+        fp,
+        fn_,
+        precision,
+        recall,
+        f1,
+        frames,
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Property-based tests for the multilayer analysis.
 
 use dievent_analysis::{
-    fuse_frame, smooth_matrices, CameraObservation, FrameObservations, FusionConfig,
-    LookAtConfig, LookAtMatrix, LookAtSummary, ParticipantPose,
+    fuse_frame, smooth_matrices, CameraObservation, FrameObservations, FusionConfig, LookAtConfig,
+    LookAtMatrix, LookAtSummary, ParticipantPose,
 };
 use dievent_geometry::{Iso3, Mat3, Vec3};
 use proptest::prelude::*;
@@ -12,8 +12,9 @@ fn vec3() -> impl Strategy<Value = Vec3> {
 }
 
 fn unit3() -> impl Strategy<Value = Vec3> {
-    (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64)
-        .prop_filter_map("non-degenerate", |(x, y, z)| Vec3::new(x, y, z).try_normalized())
+    (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64).prop_filter_map("non-degenerate", |(x, y, z)| {
+        Vec3::new(x, y, z).try_normalized()
+    })
 }
 
 fn poses(n: usize) -> impl Strategy<Value = Vec<ParticipantPose>> {

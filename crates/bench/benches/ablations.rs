@@ -31,7 +31,10 @@ fn ablation_head_radius(c: &mut Criterion) {
         row(
             "ABL-RADIUS",
             &format!("r = {radius:.2} m (4° gaze noise)"),
-            format!("precision {:.3} recall {:.3} F1 {:.3}", v.precision, v.recall, v.f1),
+            format!(
+                "precision {:.3} recall {:.3} F1 {:.3}",
+                v.precision, v.recall, v.f1
+            ),
         );
     }
     c.bench_function("ablation_radius_matrix_sweep", |b| {
@@ -128,7 +131,9 @@ fn ablation_criterion(c: &mut Criterion) {
     for sigma in [2.0, 4.0, 8.0] {
         let sphere = noisy_matrices(&gt, sigma, 0.30, 31);
         let cone_cfg = LookAtConfig {
-            criterion: GazeCriterion::Cone { half_angle: 9f64.to_radians() },
+            criterion: GazeCriterion::Cone {
+                half_angle: 9f64.to_radians(),
+            },
             ..LookAtConfig::default()
         };
         let cone = noisy_matrices_with(&gt, sigma, &cone_cfg, 31);
@@ -144,7 +149,9 @@ fn ablation_criterion(c: &mut Criterion) {
         );
     }
     let cone_cfg = LookAtConfig {
-        criterion: GazeCriterion::Cone { half_angle: 9f64.to_radians() },
+        criterion: GazeCriterion::Cone {
+            half_angle: 9f64.to_radians(),
+        },
         ..LookAtConfig::default()
     };
     c.bench_function("ablation_criterion_cone_200_frames", |b| {
@@ -159,17 +166,29 @@ fn ablation_criterion(c: &mut Criterion) {
 fn ablation_nearest_hit(c: &mut Criterion) {
     let (_s, gt) = short_prototype_gt();
     let truth = truth_matrices(&gt, 0.30);
-    for (label, nearest) in [("paper-literal (all hits)", false), ("nearest-hit (default)", true)] {
-        let cfg = LookAtConfig { nearest_hit_only: nearest, ..LookAtConfig::default() };
+    for (label, nearest) in [
+        ("paper-literal (all hits)", false),
+        ("nearest-hit (default)", true),
+    ] {
+        let cfg = LookAtConfig {
+            nearest_hit_only: nearest,
+            ..LookAtConfig::default()
+        };
         let mats = noisy_matrices_with(&gt, 4.0, &cfg, 41);
         let v = f1(&mats, &truth);
         row(
             "ABL-NEAREST",
             label,
-            format!("precision {:.3} recall {:.3} F1 {:.3}", v.precision, v.recall, v.f1),
+            format!(
+                "precision {:.3} recall {:.3} F1 {:.3}",
+                v.precision, v.recall, v.f1
+            ),
         );
     }
-    let literal = LookAtConfig { nearest_hit_only: false, ..LookAtConfig::default() };
+    let literal = LookAtConfig {
+        nearest_hit_only: false,
+        ..LookAtConfig::default()
+    };
     c.bench_function("ablation_literal_200_frames", |b| {
         b.iter(|| noisy_matrices_with(black_box(&gt), 4.0, &literal, 41))
     });

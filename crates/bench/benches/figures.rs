@@ -5,8 +5,10 @@
 //! Run with: `cargo bench -p dievent-bench --bench figures`
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dievent_analysis::{dominance_ranking, LookAtConfig, LookAtMatrix, LookAtSummary, ParticipantPose};
 use dievent_analysis::overall_emotion::{fuse_emotions, EmotionEstimate, OverallEmotionConfig};
+use dievent_analysis::{
+    dominance_ranking, LookAtConfig, LookAtMatrix, LookAtSummary, ParticipantPose,
+};
 use dievent_bench::{intended_matrices, row, truth_matrices};
 use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
 use dievent_emotion::Emotion;
@@ -27,7 +29,11 @@ fn fig2_acquisition(c: &mut Criterion) {
     for (i, cam) in rig.cameras.iter().enumerate() {
         let a = cam.optical_axis();
         let pitch = (-a.z).atan2((a.x * a.x + a.y * a.y).sqrt()).to_degrees();
-        row("FIG2", &format!("C{} pitch (paper: 15° down)", i + 1), format!("{pitch:.1}°"));
+        row(
+            "FIG2",
+            &format!("C{} pitch (paper: 15° down)", i + 1),
+            format!("{pitch:.1}°"),
+        );
     }
     row("FIG2", "midpoint head covered by both cameras", both);
 
@@ -59,7 +65,10 @@ fn fig3_video_parsing(c: &mut Criterion) {
     spec.width /= 2;
     spec.height /= 2;
     let cfg = VideoParserConfig {
-        shots: ShotDetectorConfig { min_cut_distance: 0.02, ..ShotDetectorConfig::default() },
+        shots: ShotDetectorConfig {
+            min_cut_distance: 0.02,
+            ..ShotDetectorConfig::default()
+        },
         ..VideoParserConfig::default()
     };
     let parser = VideoParser::new(cfg);
@@ -94,12 +103,21 @@ fn fig4_gaze_matrix(c: &mut Criterion) {
         (heads[1] - heads[3]).normalized(),
     ];
     let poses: Vec<ParticipantPose> = (0..4)
-        .map(|i| ParticipantPose { person: i, head: heads[i], gaze: Some(gazes[i]), support: 1 })
+        .map(|i| ParticipantPose {
+            person: i,
+            head: heads[i],
+            gaze: Some(gazes[i]),
+            support: 1,
+        })
         .collect();
     let cfg = LookAtConfig::default();
     let m = LookAtMatrix::from_poses(4, &poses, &cfg);
     row("FIG4", "matrix", format!("\n{m}"));
-    row("FIG4", "eye contacts (paper: P2↔P4)", format!("{:?}", m.eye_contacts()));
+    row(
+        "FIG4",
+        "eye contacts (paper: P2↔P4)",
+        format!("{:?}", m.eye_contacts()),
+    );
 
     c.bench_function("fig4_lookat_matrix_4p", |b| {
         b.iter(|| LookAtMatrix::from_poses(4, black_box(&poses), black_box(&cfg)))
@@ -109,7 +127,10 @@ fn fig4_gaze_matrix(c: &mut Criterion) {
 /// Fig. 5 — overall emotion estimation: fuse per-participant emotion
 /// estimates into the OH percentage.
 fn fig5_overall_emotion(c: &mut Criterion) {
-    let cfg = OverallEmotionConfig { participants: 4, smoothing: 0.0 };
+    let cfg = OverallEmotionConfig {
+        participants: 4,
+        smoothing: 0.0,
+    };
     let ests = vec![
         EmotionEstimate::hard(0, Emotion::Happy, 0.9),
         EmotionEstimate::hard(1, Emotion::Happy, 0.8),
@@ -118,7 +139,11 @@ fn fig5_overall_emotion(c: &mut Criterion) {
     ];
     let o = fuse_emotions(&ests, &cfg);
     row("FIG5", "per-participant", "happy, happy, neutral, surprise");
-    row("FIG5", "overall happiness OH", format!("{:.1}%", o.overall_happiness));
+    row(
+        "FIG5",
+        "overall happiness OH",
+        format!("{:.1}%", o.overall_happiness),
+    );
     row("FIG5", "group valence", format!("{:.2}", o.valence));
 
     c.bench_function("fig5_overall_emotion_fusion", |b| {
@@ -163,13 +188,19 @@ fn figs789_prototype(c: &mut Criterion) {
 
     row("FIG9", "paper (P1→P3)", 357);
     row("FIG9", "detected (P1→P3)", analysis.summary.get(0, 2));
-    row("FIG9", "scripted (P1→P3)", scenario.schedule.summary_matrix()[0][2]);
+    row(
+        "FIG9",
+        "scripted (P1→P3)",
+        scenario.schedule.summary_matrix()[0][2],
+    );
     row("FIG9", "matrix", format!("\n{}", analysis.summary_table()));
     let dom = dominance_ranking(&analysis.summary);
     row(
         "FIG9",
         "dominant (paper: P1)",
-        dom.dominant.map(|d| format!("P{}", d + 1)).unwrap_or_default(),
+        dom.dominant
+            .map(|d| format!("P{}", d + 1))
+            .unwrap_or_default(),
     );
     row(
         "FIG9",
@@ -198,7 +229,11 @@ fn figs789_prototype(c: &mut Criterion) {
     // And the scripted-vs-detected agreement for the record.
     let intended = intended_matrices(&scenario);
     let v = dievent_bench::f1(&analysis.matrices, &intended);
-    row("FIG9", "pipeline F1 vs intended script", format!("{:.3}", v.f1));
+    row(
+        "FIG9",
+        "pipeline F1 vs intended script",
+        format!("{:.3}", v.f1),
+    );
 }
 
 criterion_group!(

@@ -6,7 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dievent_analysis::{fuse_frame, FusionConfig};
-use dievent_core::{train_emotion_classifier, Recording, TrainingSetConfig};
+use dievent_core::{
+    train_emotion_classifier, DiEventPipeline, PipelineConfig, Recording, Telemetry,
+    TrainingSetConfig,
+};
 use dievent_emotion::{lbp_feature_vector, Emotion, LbpConfig};
 use dievent_metadata::{MetaRecord, MetadataRepository, Query, RecordKind};
 use dievent_scene::{render_face_patch, Scenario};
@@ -32,13 +35,26 @@ fn rendering_and_vision(c: &mut Criterion) {
     let dets = detect_faces(&frame, &DetectorConfig::default());
     let det = dets[0];
     c.bench_function("locate_landmarks_one_face", |b| {
-        b.iter(|| locate_landmarks(black_box(&frame), black_box(&det), &LandmarkConfig::default()))
+        b.iter(|| {
+            locate_landmarks(
+                black_box(&frame),
+                black_box(&det),
+                &LandmarkConfig::default(),
+            )
+        })
     });
 
     if let Some(lm) = locate_landmarks(&frame, &det, &LandmarkConfig::default()) {
         let cam = scenario.rig.cameras[0];
         c.bench_function("estimate_pose_one_face", |b| {
-            b.iter(|| estimate_pose(black_box(&det), black_box(&lm), black_box(&cam), &PoseConfig::default()))
+            b.iter(|| {
+                estimate_pose(
+                    black_box(&det),
+                    black_box(&lm),
+                    black_box(&cam),
+                    &PoseConfig::default(),
+                )
+            })
         });
     }
 
@@ -56,7 +72,11 @@ fn emotion_stack(c: &mut Criterion) {
     });
 
     let (classifier, _) = train_emotion_classifier(
-        &TrainingSetConfig { variants: 6, identities: 2, patch_size: 48 },
+        &TrainingSetConfig {
+            variants: 6,
+            identities: 2,
+            patch_size: 48,
+        },
         1,
     );
     c.bench_function("emotion_classify_one_patch", |b| {
@@ -68,7 +88,11 @@ fn emotion_stack(c: &mut Criterion) {
     group.bench_function("train_small_classifier", |b| {
         b.iter(|| {
             train_emotion_classifier(
-                &TrainingSetConfig { variants: 3, identities: 2, patch_size: 48 },
+                &TrainingSetConfig {
+                    variants: 3,
+                    identities: 2,
+                    patch_size: 48,
+                },
                 black_box(2),
             )
         })
@@ -141,5 +165,34 @@ fn analysis_and_metadata(c: &mut Criterion) {
     });
 }
 
-criterion_group!(throughput, rendering_and_vision, emotion_stack, analysis_and_metadata);
+fn telemetry_overhead(c: &mut Criterion) {
+    // The same short end-to-end run with instrumentation off and on:
+    // the delta is the observability tax (documented target: <2% when
+    // disabled, i.e. no-op instruments must be free in practice).
+    let recording = Recording::capture(Scenario::two_camera_dinner(20, 3));
+    let config = PipelineConfig {
+        classify_emotions: false,
+        parse_video: false,
+        ..PipelineConfig::default()
+    };
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    group.bench_function("pipeline_20f_telemetry_disabled", |b| {
+        let pipeline = DiEventPipeline::new_with_telemetry(config, Telemetry::disabled());
+        b.iter(|| pipeline.run(black_box(&recording)))
+    });
+    group.bench_function("pipeline_20f_telemetry_enabled", |b| {
+        let pipeline = DiEventPipeline::new(config);
+        b.iter(|| pipeline.run(black_box(&recording)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    throughput,
+    rendering_and_vision,
+    emotion_stack,
+    analysis_and_metadata,
+    telemetry_overhead
+);
 criterion_main!(throughput);

@@ -23,14 +23,27 @@ use dievent_scene::{GroundTruth, Scenario};
 /// gaze noise: every gaze direction is rotated by `sigma_deg` (RMS,
 /// deterministic direction pattern) before the ray–sphere test — a
 /// model of the estimation error a vision front-end introduces.
-pub fn noisy_matrices(gt: &GroundTruth, sigma_deg: f64, radius: f64, seed: u64) -> Vec<LookAtMatrix> {
-    let cfg = LookAtConfig { attention_radius: radius, ..LookAtConfig::default() };
+pub fn noisy_matrices(
+    gt: &GroundTruth,
+    sigma_deg: f64,
+    radius: f64,
+    seed: u64,
+) -> Vec<LookAtMatrix> {
+    let cfg = LookAtConfig {
+        attention_radius: radius,
+        ..LookAtConfig::default()
+    };
     noisy_matrices_with(gt, sigma_deg, &cfg, seed)
 }
 
 /// Like [`noisy_matrices`] but with an arbitrary [`LookAtConfig`] —
 /// used by the criterion ablation (sphere vs cone).
-pub fn noisy_matrices_with(gt: &GroundTruth, sigma_deg: f64, cfg: &LookAtConfig, seed: u64) -> Vec<LookAtMatrix> {
+pub fn noisy_matrices_with(
+    gt: &GroundTruth,
+    sigma_deg: f64,
+    cfg: &LookAtConfig,
+    seed: u64,
+) -> Vec<LookAtMatrix> {
     let sigma = sigma_deg.to_radians();
     gt.snapshots
         .iter()
@@ -46,7 +59,12 @@ pub fn noisy_matrices_with(gt: &GroundTruth, sigma_deg: f64, cfg: &LookAtConfig,
                     } else {
                         Some(st.gaze)
                     };
-                    dievent_analysis::ParticipantPose { person: i, head: st.head, gaze, support: 1 }
+                    dievent_analysis::ParticipantPose {
+                        person: i,
+                        head: st.head,
+                        gaze,
+                        support: 1,
+                    }
                 })
                 .collect();
             LookAtMatrix::from_poses(snap.states.len(), &poses, cfg)
@@ -132,7 +150,9 @@ mod tests {
     #[test]
     fn noise_degrades_f1_monotonically_in_expectation() {
         let s = Scenario::prototype();
-        let gt = GroundTruth { snapshots: s.simulate().snapshots.into_iter().take(150).collect() };
+        let gt = GroundTruth {
+            snapshots: s.simulate().snapshots.into_iter().take(150).collect(),
+        };
         let truth = truth_matrices(&gt, 0.3);
         let f_small = f1(&noisy_matrices(&gt, 2.0, 0.3, 9), &truth).f1;
         let f_large = f1(&noisy_matrices(&gt, 15.0, 0.3, 9), &truth).f1;
@@ -158,16 +178,8 @@ mod tests {
     fn intended_matches_schedule_counts() {
         let s = Scenario::prototype();
         let mats = intended_matrices(&s);
-        let total: u32 = mats
-            .iter()
-            .map(|m| m.count_ones() as u32)
-            .sum();
-        let scripted: u32 = s
-            .schedule
-            .summary_matrix()
-            .iter()
-            .flatten()
-            .sum();
+        let total: u32 = mats.iter().map(|m| m.count_ones() as u32).sum();
+        let scripted: u32 = s.schedule.summary_matrix().iter().flatten().sum();
         assert_eq!(total, scripted);
     }
 }

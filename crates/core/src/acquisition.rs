@@ -79,7 +79,11 @@ impl Recording {
     /// A sequential [`VideoStream`] over one camera.
     pub fn stream(&self, camera: usize) -> CameraStream<'_> {
         assert!(camera < self.cameras(), "camera {camera} out of range");
-        CameraStream { recording: self, camera, cursor: 0 }
+        CameraStream {
+            recording: self,
+            camera,
+            cursor: 0,
+        }
     }
 }
 

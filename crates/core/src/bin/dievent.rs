@@ -10,6 +10,8 @@
 //!   --no-emotions   skip emotion classification
 //!   --no-parse      skip video composition analysis
 //!   --map T         print the look-at top view at T seconds (repeatable)
+//!   --metrics       print the telemetry summary (spans + registry) to stderr
+//!   --trace FILE    write the span/event trace as JSON lines to FILE
 //! ```
 
 use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
@@ -17,18 +19,24 @@ use dievent_scene::Scenario;
 use std::process::ExitCode;
 
 struct Options {
+    help: bool,
     json: bool,
     emotions: bool,
     parse: bool,
+    metrics: bool,
+    trace: Option<String>,
     maps: Vec<f64>,
     positional: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
+        help: false,
         json: false,
         emotions: true,
         parse: true,
+        metrics: false,
+        trace: None,
         maps: Vec::new(),
         positional: Vec::new(),
     };
@@ -38,6 +46,13 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--no-emotions" => opts.emotions = false,
             "--no-parse" => opts.parse = false,
+            "--metrics" => opts.metrics = true,
+            "--trace" => {
+                let file = args
+                    .next()
+                    .ok_or_else(|| "--trace requires an output file".to_owned())?;
+                opts.trace = Some(file);
+            }
             "--map" => {
                 let t = args
                     .next()
@@ -46,7 +61,7 @@ fn parse_args() -> Result<Options, String> {
                     .push(t.parse::<f64>().map_err(|e| format!("--map {t}: {e}"))?);
             }
             "--help" | "-h" => {
-                return Err(USAGE.to_owned());
+                opts.help = true;
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}\n{USAGE}"));
@@ -57,11 +72,15 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-const USAGE: &str = "usage: dievent <prototype | dinner [FRAMES] [SEED] | restaurant N [FRAMES] [SEED]> \
-[--json] [--no-emotions] [--no-parse] [--map T]...";
+const USAGE: &str =
+    "usage: dievent <prototype | dinner [FRAMES] [SEED] | restaurant N [FRAMES] [SEED]> \
+[--json] [--no-emotions] [--no-parse] [--map T]... [--metrics] [--trace FILE]";
 
 fn scenario_from(positional: &[String]) -> Result<Scenario, String> {
-    let kind = positional.first().map(String::as_str).unwrap_or("prototype");
+    let kind = positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("prototype");
     let num = |i: usize, default: usize| -> Result<usize, String> {
         positional
             .get(i)
@@ -73,7 +92,11 @@ fn scenario_from(positional: &[String]) -> Result<Scenario, String> {
         "dinner" => Ok(Scenario::two_camera_dinner(num(1, 250)?, num(2, 7)? as u64)),
         "restaurant" => {
             let n = num(1, 6)?;
-            Ok(Scenario::restaurant_dinner(n, num(2, 300)?, num(3, 7)? as u64))
+            Ok(Scenario::restaurant_dinner(
+                n,
+                num(2, 300)?,
+                num(3, 7)? as u64,
+            ))
         }
         other => Err(format!("unknown scenario {other}\n{USAGE}")),
     }
@@ -87,6 +110,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let scenario = match scenario_from(&opts.positional) {
         Ok(s) => s,
         Err(msg) => {
@@ -130,6 +157,16 @@ fn main() -> ExitCode {
     }
     for &t in &opts.maps {
         println!("{}", analysis.lookat_top_view(t, &positions));
+    }
+    if opts.metrics {
+        eprint!("{}", pipeline.telemetry().render_tree());
+    }
+    if let Some(path) = &opts.trace {
+        if let Err(e) = std::fs::write(path, pipeline.telemetry().trace_jsonl()) {
+            eprintln!("writing trace to {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace written to {path}");
     }
     ExitCode::SUCCESS
 }

@@ -29,6 +29,7 @@ pub mod report;
 pub mod training;
 
 pub use acquisition::{CameraStream, Recording};
+pub use dievent_telemetry::Telemetry;
 pub use pipeline::{DiEventPipeline, PipelineConfig};
-pub use report::EventAnalysis;
+pub use report::{AnalysisDigest, EventAnalysis, StageTimings};
 pub use training::{default_training_set, train_emotion_classifier, TrainingSetConfig};

@@ -17,16 +17,20 @@
 use crate::acquisition::Recording;
 use crate::report::{EventAnalysis, StageTimings};
 use crate::training::{train_emotion_classifier, TrainingSetConfig};
+use dievent_analysis::overall_emotion::{fuse_sequence, EmotionEstimate, OverallEmotionConfig};
 use dievent_analysis::{
     dominance_ranking, ec_episodes, fuse_frame, pair_statistics, smooth_matrices,
     validate_sequence, CameraObservation, FrameObservations, FusionConfig, LookAtConfig,
     LookAtMatrix, LookAtSummary,
 };
-use dievent_analysis::overall_emotion::{fuse_sequence, EmotionEstimate, OverallEmotionConfig};
 use dievent_emotion::EmotionClassifier;
 use dievent_metadata::{MetaRecord, MetadataRepository, RecordKind};
 use dievent_scene::Scenario;
-use dievent_summarize::{detect_highlights, importance_series, select_summary, HighlightConfig, ImportanceConfig, SummaryConfig};
+use dievent_summarize::{
+    detect_highlights, importance_series, select_summary, HighlightConfig, ImportanceConfig,
+    SummaryConfig,
+};
+use dievent_telemetry::Telemetry;
 use dievent_video::{GrayFrame, VideoParser, VideoParserConfig};
 use dievent_vision::{ExtractorConfig, FaceGallery, FeatureExtractor, PersonId};
 use serde::{Deserialize, Serialize};
@@ -96,21 +100,45 @@ struct CameraFrameOutput {
 pub struct DiEventPipeline {
     config: PipelineConfig,
     classifier: Option<EmotionClassifier>,
+    telemetry: Telemetry,
 }
 
 impl DiEventPipeline {
     /// Builds the pipeline, training the emotion classifier when
-    /// classification is enabled.
+    /// classification is enabled. Telemetry is on by default (it is
+    /// cheap enough to leave on, and [`EventAnalysis::telemetry`] plus
+    /// the stage timings come from it); opt out with
+    /// [`DiEventPipeline::new_with_telemetry`] and
+    /// [`Telemetry::disabled`].
     pub fn new(config: PipelineConfig) -> Self {
-        let classifier = config
-            .classify_emotions
-            .then(|| train_emotion_classifier(&config.training, config.training_seed).0);
-        DiEventPipeline { config, classifier }
+        Self::new_with_telemetry(config, Telemetry::enabled())
+    }
+
+    /// Builds the pipeline recording into the given telemetry domain.
+    /// The domain accumulates across runs: running the same pipeline
+    /// twice sums its counters and span totals.
+    pub fn new_with_telemetry(config: PipelineConfig, telemetry: Telemetry) -> Self {
+        let classifier = {
+            let _span = telemetry.span("pipeline.train_classifier");
+            config
+                .classify_emotions
+                .then(|| train_emotion_classifier(&config.training, config.training_seed).0)
+        };
+        DiEventPipeline {
+            config,
+            classifier,
+            telemetry,
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The telemetry domain this pipeline records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Enrolls participants into a camera's gallery from its first
@@ -123,7 +151,8 @@ impl DiEventPipeline {
     ) {
         let camera = *extractor.camera();
         // Tentative pass purely to get detections + patches.
-        let mut probe = FeatureExtractor::new(self.config.extractor, camera, FaceGallery::default());
+        let mut probe =
+            FeatureExtractor::new(self.config.extractor, camera, FaceGallery::default());
         let obs = probe.process(first_frame);
         for o in obs {
             // Match to the nearest seat by projection (external seating
@@ -149,16 +178,30 @@ impl DiEventPipeline {
     }
 
     /// Processes one camera over the whole recording.
+    ///
+    /// `parent` is the extraction stage's span id — camera workers run
+    /// on their own threads, where implicit span nesting can't see it.
     fn run_camera(
         &self,
         recording: &Recording,
         camera_index: usize,
         monitor: bool,
+        parent: Option<u64>,
     ) -> (Vec<CameraFrameOutput>, Vec<GrayFrame>) {
+        let mut span = self.telemetry.span_under("camera.extract", parent);
+        span.set("camera", camera_index);
+        let camera_label = camera_index.to_string();
+        let labels = &[("camera", camera_label.as_str())][..];
+        let dropped = self.telemetry.counter_with("detections_dropped", labels);
+        let classified = self
+            .telemetry
+            .counter_with("emotion_classifications", labels);
+
         let scenario = &recording.scenario;
         let camera = scenario.rig.cameras[camera_index];
         let mut extractor =
             FeatureExtractor::new(self.config.extractor, camera, FaceGallery::default());
+        extractor.attach_telemetry(&self.telemetry, &camera_label);
         let first = recording.frame(camera_index, 0);
         self.enroll(&mut extractor, scenario, &first);
 
@@ -166,7 +209,11 @@ impl DiEventPipeline {
         let mut outputs = Vec::with_capacity(frames);
         let mut monitor_frames = Vec::new();
         for f in 0..frames {
-            let frame = if f == 0 { first.clone() } else { recording.frame(camera_index, f) };
+            let frame = if f == 0 {
+                first.clone()
+            } else {
+                recording.frame(camera_index, f)
+            };
             if monitor {
                 // Quarter-resolution monitor stream for video parsing.
                 monitor_frames.push(frame.downsample2().downsample2());
@@ -175,7 +222,11 @@ impl DiEventPipeline {
             let mut observations = Vec::new();
             let mut emotions = Vec::new();
             for o in &obs {
-                let Some((person, _dist)) = o.identity else { continue };
+                let Some((person, _dist)) = o.identity else {
+                    // An unattributed detection carries no usable gaze.
+                    dropped.incr();
+                    continue;
+                };
                 if let Some(pose) = &o.pose {
                     observations.push(CameraObservation {
                         person: person.0,
@@ -202,6 +253,7 @@ impl DiEventPipeline {
                 }
                 if let (Some(clf), Some(patch)) = (&self.classifier, o.patch.as_ref()) {
                     let pred = clf.classify(patch);
+                    classified.incr();
                     emotions.push((
                         person.0,
                         pred.probabilities,
@@ -210,8 +262,12 @@ impl DiEventPipeline {
                     ));
                 }
             }
-            outputs.push(CameraFrameOutput { observations, emotions });
+            outputs.push(CameraFrameOutput {
+                observations,
+                emotions,
+            });
         }
+        span.set("frames", frames);
         (outputs, monitor_frames)
     }
 
@@ -221,49 +277,67 @@ impl DiEventPipeline {
         let n_participants = recording.scenario.participants.len();
         let frames = recording.frames();
 
-        let mut timings = StageTimings::default();
+        let mut run_span = self.telemetry.span("pipeline.run");
+        run_span.set("cameras", n_cameras);
+        run_span.set("participants", n_participants);
+        run_span.set("frames", frames);
+        self.telemetry
+            .gauge("participants")
+            .set(n_participants as f64);
+        self.telemetry.gauge("cameras").set(n_cameras as f64);
+        self.telemetry.gauge("recording_frames").set(frames as f64);
 
         // --- Stage 3: per-camera feature extraction (parallel). ---
-        let stage_start = std::time::Instant::now();
         let mut per_camera: Vec<(Vec<CameraFrameOutput>, Vec<GrayFrame>)> =
             Vec::with_capacity(n_cameras);
-        if self.config.parallel_cameras && n_cameras > 1 {
-            let results: Vec<_> = crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = (0..n_cameras)
-                    .map(|c| {
-                        let monitor = c == 0 && self.config.parse_video;
-                        s.spawn(move |_| self.run_camera(recording, c, monitor))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("camera thread")).collect()
-            })
-            .expect("camera scope");
-            per_camera.extend(results);
-        } else {
-            for c in 0..n_cameras {
-                let monitor = c == 0 && self.config.parse_video;
-                per_camera.push(self.run_camera(recording, c, monitor));
+        {
+            let stage = self.telemetry.span("stage.extraction");
+            let stage_id = stage.id();
+            if self.config.parallel_cameras && n_cameras > 1 {
+                let results: Vec<_> = crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = (0..n_cameras)
+                        .map(|c| {
+                            let monitor = c == 0 && self.config.parse_video;
+                            s.spawn(move |_| self.run_camera(recording, c, monitor, stage_id))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("camera thread"))
+                        .collect()
+                })
+                .expect("camera scope");
+                per_camera.extend(results);
+            } else {
+                for c in 0..n_cameras {
+                    let monitor = c == 0 && self.config.parse_video;
+                    per_camera.push(self.run_camera(recording, c, monitor, stage_id));
+                }
             }
         }
 
-        timings.extraction_s = stage_start.elapsed().as_secs_f64();
-
         // --- Stage 2: video composition analysis on the monitor stream. ---
-        let stage_start = std::time::Instant::now();
-        let structure = if self.config.parse_video {
-            let monitor = &per_camera[0].1;
-            let mut spec = recording.scenario.spec;
-            spec.width = monitor.first().map_or(spec.width / 4, |f| f.width());
-            spec.height = monitor.first().map_or(spec.height / 4, |f| f.height());
-            Some(VideoParser::new(self.config.parser).parse_frames(spec, monitor))
-        } else {
-            None
+        let structure = {
+            let _stage = self.telemetry.span("stage.parse");
+            if self.config.parse_video {
+                let monitor = &per_camera[0].1;
+                let mut spec = recording.scenario.spec;
+                spec.width = monitor.first().map_or(spec.width / 4, |f| f.width());
+                spec.height = monitor.first().map_or(spec.height / 4, |f| f.height());
+                Some(
+                    VideoParser::new(self.config.parser)
+                        .with_telemetry(self.telemetry.clone())
+                        .parse_frames(spec, monitor),
+                )
+            } else {
+                None
+            }
         };
 
-        timings.parse_s = stage_start.elapsed().as_secs_f64();
-
         // --- Stage 4: fusion + multilayer analysis. ---
-        let stage_start = std::time::Instant::now();
+        let analysis_stage = self.telemetry.span("stage.analysis");
+        let fusion_seconds = self.telemetry.histogram("fusion_seconds");
+        let lookat_tests = self.telemetry.counter("lookat_tests");
         let camera_poses: Vec<_> = recording
             .scenario
             .rig
@@ -281,12 +355,13 @@ impl DiEventPipeline {
                     .cameras
                     .push((camera_poses[c], outputs[f].observations.clone()));
             }
-            let poses = fuse_frame(&frame_obs, &self.config.fusion);
-            raw_matrices.push(LookAtMatrix::from_poses(
-                n_participants,
-                &poses,
-                &self.config.lookat,
-            ));
+            let matrix = fusion_seconds.time(|| {
+                let poses = fuse_frame(&frame_obs, &self.config.fusion);
+                LookAtMatrix::from_poses(n_participants, &poses, &self.config.lookat)
+            });
+            // Every ordered pair is geometrically tested per frame.
+            lookat_tests.add((n_participants * n_participants.saturating_sub(1)) as u64);
+            raw_matrices.push(matrix);
 
             // Per person, keep the emotion estimate from the camera with
             // the largest apparent face (closest, best-resolved view).
@@ -335,9 +410,14 @@ impl DiEventPipeline {
         let pair_stats = pair_statistics(&matrices, 3);
         let highlights = detect_highlights(&matrices, &overall, &self.config.highlights);
         let importance = importance_series(&matrices, &overall, &self.config.importance);
-        let video_summary = structure
-            .as_ref()
-            .map(|s| select_summary(&s.shots, &importance, &self.config.summary, &self.config.importance));
+        let video_summary = structure.as_ref().map(|s| {
+            select_summary(
+                &s.shots,
+                &importance,
+                &self.config.summary,
+                &self.config.importance,
+            )
+        });
 
         // Validation against ground truth at the same attention radius.
         let truth: Vec<LookAtMatrix> = recording
@@ -359,13 +439,32 @@ impl DiEventPipeline {
             .collect();
         let validation = validate_sequence(&matrices, &truth);
 
-        timings.analysis_s = stage_start.elapsed().as_secs_f64();
+        self.telemetry
+            .counter("ec_episodes")
+            .add(episodes.len() as u64);
+        drop(analysis_stage);
 
         // --- Stage 5: metadata repository. ---
-        let stage_start = std::time::Instant::now();
-        let repository = MetadataRepository::in_memory();
-        self.populate_repository(&repository, recording, &matrices, &overall, &structure, &highlights);
-        timings.metadata_s = stage_start.elapsed().as_secs_f64();
+        let repository = {
+            let _stage = self.telemetry.span("stage.metadata");
+            let mut repository = MetadataRepository::in_memory();
+            repository.attach_telemetry(&self.telemetry);
+            self.populate_repository(
+                &repository,
+                recording,
+                &matrices,
+                &overall,
+                &structure,
+                &highlights,
+            );
+            repository
+        };
+
+        // Close the run span, then derive the stage timings and the
+        // carried report from what the telemetry domain accumulated.
+        drop(run_span);
+        let telemetry = self.telemetry.report();
+        let timings = StageTimings::from_report(&telemetry);
 
         EventAnalysis {
             participants: n_participants,
@@ -384,6 +483,7 @@ impl DiEventPipeline {
             validation,
             repository,
             timings,
+            telemetry,
             context: recording.context.clone(),
         }
     }
@@ -524,7 +624,10 @@ mod tests {
             ..quick_config()
         })
         .run(&recording);
-        assert_eq!(par.matrices, seq.matrices, "camera parallelism must not change results");
+        assert_eq!(
+            par.matrices, seq.matrices,
+            "camera parallelism must not change results"
+        );
         assert_eq!(par.summary.rows(), seq.summary.rows());
     }
 
@@ -532,16 +635,22 @@ mod tests {
     fn repository_answers_queries() {
         let recording = short_recording();
         let analysis = DiEventPipeline::new(quick_config()).run(&recording);
-        let events = analysis.repository.query(&Query::new().kind(RecordKind::Event));
-        assert_eq!(events.len(), 1);
-        let frames = analysis
+        let events = analysis
             .repository
-            .query(&Query::new().kind(RecordKind::FrameAnalysis).overlapping(0.5, 1.0));
+            .query(&Query::new().kind(RecordKind::Event));
+        assert_eq!(events.len(), 1);
+        let frames = analysis.repository.query(
+            &Query::new()
+                .kind(RecordKind::FrameAnalysis)
+                .overlapping(0.5, 1.0),
+        );
         assert!(!frames.is_empty());
         // Frames with at least one eye contact.
-        let ec_frames = analysis
-            .repository
-            .query(&Query::new().kind(RecordKind::FrameAnalysis).ge("eye_contacts", 1i64));
+        let ec_frames = analysis.repository.query(
+            &Query::new()
+                .kind(RecordKind::FrameAnalysis)
+                .ge("eye_contacts", 1i64),
+        );
         assert!(!ec_frames.is_empty(), "scripted mutual gaze must appear");
     }
 

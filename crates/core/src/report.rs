@@ -9,17 +9,22 @@
 
 use dievent_analysis::dominance::DominanceReport;
 use dievent_analysis::ec_stats::{EcEpisode, PairStats};
+use dievent_analysis::layers::TimeInvariantContext;
 use dievent_analysis::lookat::{LookAtMatrix, LookAtSummary};
 use dievent_analysis::overall_emotion::OverallEmotion;
-use dievent_analysis::layers::TimeInvariantContext;
 use dievent_analysis::social::{relation_profiles, RelationProfile};
 use dievent_analysis::validate::MatrixValidation;
 use dievent_metadata::MetadataRepository;
 use dievent_summarize::{Highlight, VideoSummary};
+use dievent_telemetry::TelemetryReport;
 use dievent_video::VideoStructure;
 use serde::{Deserialize, Serialize};
 
 /// Wall-clock cost of each pipeline stage, in seconds.
+///
+/// A view over the telemetry domain's `stage.*` span totals (see
+/// [`StageTimings::from_report`]); when the pipeline's domain spans
+/// several runs, each stage is the *sum* across those runs.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct StageTimings {
     /// Stage 3: rendering + per-camera feature extraction (wall time of
@@ -31,6 +36,20 @@ pub struct StageTimings {
     pub analysis_s: f64,
     /// Stage 5: metadata population.
     pub metadata_s: f64,
+}
+
+impl StageTimings {
+    /// Derives stage timings from a telemetry report's span summaries
+    /// (`stage.extraction`, `stage.parse`, `stage.analysis`,
+    /// `stage.metadata`). Missing spans read as 0.
+    pub fn from_report(report: &TelemetryReport) -> Self {
+        StageTimings {
+            extraction_s: report.span_total_s("stage.extraction"),
+            parse_s: report.span_total_s("stage.parse"),
+            analysis_s: report.span_total_s("stage.analysis"),
+            metadata_s: report.span_total_s("stage.metadata"),
+        }
+    }
 }
 
 /// A serializable digest of an [`EventAnalysis`].
@@ -62,6 +81,8 @@ pub struct AnalysisDigest {
     pub recall: f64,
     /// Validation F1 vs ground truth.
     pub f1: f64,
+    /// Wall-clock stage timings of the run.
+    pub timings: StageTimings,
 }
 
 /// The complete output of one pipeline run.
@@ -99,6 +120,9 @@ pub struct EventAnalysis {
     pub repository: MetadataRepository,
     /// Wall-clock stage timings.
     pub timings: StageTimings,
+    /// The aggregated telemetry of the run: counters, gauges, latency
+    /// histograms, and span summaries.
+    pub telemetry: TelemetryReport,
     /// The time-invariant context the recording carried, if any.
     pub context: Option<TimeInvariantContext>,
 }
@@ -145,10 +169,14 @@ impl EventAnalysis {
         const H: usize = 17;
         let (min_x, max_x) = positions
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+                (lo.min(p.0), hi.max(p.0))
+            });
         let (min_y, max_y) = positions
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+                (lo.min(p.1), hi.max(p.1))
+            });
         let sx = (W - 5) as f64 / (max_x - min_x).max(1e-6);
         let sy = (H - 5) as f64 / (max_y - min_y).max(1e-6);
         let to_grid = |p: (f64, f64)| -> (i64, i64) {
@@ -210,7 +238,11 @@ impl EventAnalysis {
         if self.overall.is_empty() {
             return 0.0;
         }
-        self.overall.iter().map(|o| o.overall_happiness).sum::<f64>() / self.overall.len() as f64
+        self.overall
+            .iter()
+            .map(|o| o.overall_happiness)
+            .sum::<f64>()
+            / self.overall.len() as f64
     }
 
     /// Eye-contact profiles per declared relationship (paper §II-E:
@@ -232,7 +264,9 @@ impl EventAnalysis {
             fps: self.fps,
             frames: self.matrices.len(),
             summary: self.summary.rows(),
-            received_looks: (0..self.participants).map(|p| self.summary.received(p)).collect(),
+            received_looks: (0..self.participants)
+                .map(|p| self.summary.received(p))
+                .collect(),
             dominant: self.dominance.dominant,
             attention_share: self.dominance.attention_share.clone(),
             mean_overall_happiness: self.mean_overall_happiness(),
@@ -241,6 +275,7 @@ impl EventAnalysis {
             precision: self.validation.precision,
             recall: self.validation.recall,
             f1: self.validation.f1,
+            timings: self.timings,
         }
     }
 
@@ -265,7 +300,11 @@ impl EventAnalysis {
         }
         let _ = writeln!(out, "eye-contact episodes: {}", self.episodes.len());
         let _ = writeln!(out, "highlights: {}", self.highlights.len());
-        let _ = writeln!(out, "mean overall happiness: {:.1}%", self.mean_overall_happiness());
+        let _ = writeln!(
+            out,
+            "mean overall happiness: {:.1}%",
+            self.mean_overall_happiness()
+        );
         let _ = writeln!(
             out,
             "look-at detection vs ground truth: precision {:.3}, recall {:.3}, F1 {:.3}",

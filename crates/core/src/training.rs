@@ -26,7 +26,11 @@ pub struct TrainingSetConfig {
 
 impl Default for TrainingSetConfig {
     fn default() -> Self {
-        TrainingSetConfig { variants: 16, identities: 4, patch_size: 48 }
+        TrainingSetConfig {
+            variants: 16,
+            identities: 4,
+            patch_size: 48,
+        }
     }
 }
 
@@ -38,7 +42,10 @@ pub fn default_training_set(config: &TrainingSetConfig) -> Vec<(GrayFrame, Emoti
         for v in 0..config.variants {
             for e in Emotion::ALL {
                 let variant = v * 131 + id as u32 * 17 + e.index() as u32;
-                out.push((render_face_patch(e, tone, id, variant, config.patch_size), e));
+                out.push((
+                    render_face_patch(e, tone, id, variant, config.patch_size),
+                    e,
+                ));
             }
         }
     }
@@ -46,9 +53,15 @@ pub fn default_training_set(config: &TrainingSetConfig) -> Vec<(GrayFrame, Emoti
 }
 
 /// Trains the default classifier; deterministic for a given seed.
-pub fn train_emotion_classifier(config: &TrainingSetConfig, seed: u64) -> (EmotionClassifier, TrainReport) {
+pub fn train_emotion_classifier(
+    config: &TrainingSetConfig,
+    seed: u64,
+) -> (EmotionClassifier, TrainReport) {
     let data = default_training_set(config);
-    let tc = TrainingConfig { epochs: 40, ..TrainingConfig::default() };
+    let tc = TrainingConfig {
+        epochs: 40,
+        ..TrainingConfig::default()
+    };
     EmotionClassifier::train(&data, LbpConfig::default(), &[48], seed, &tc)
 }
 
@@ -58,7 +71,11 @@ mod tests {
 
     #[test]
     fn training_set_is_balanced() {
-        let cfg = TrainingSetConfig { variants: 3, identities: 2, patch_size: 48 };
+        let cfg = TrainingSetConfig {
+            variants: 3,
+            identities: 2,
+            patch_size: 48,
+        };
         let data = default_training_set(&cfg);
         assert_eq!(data.len(), 3 * 2 * Emotion::COUNT);
         for e in Emotion::ALL {
@@ -69,7 +86,11 @@ mod tests {
 
     #[test]
     fn classifier_reaches_high_accuracy() {
-        let cfg = TrainingSetConfig { variants: 10, identities: 4, patch_size: 48 };
+        let cfg = TrainingSetConfig {
+            variants: 10,
+            identities: 4,
+            patch_size: 48,
+        };
         let (_clf, report) = train_emotion_classifier(&cfg, 42);
         assert!(
             report.test_accuracy >= 0.9,
@@ -80,10 +101,17 @@ mod tests {
 
     #[test]
     fn training_is_deterministic() {
-        let cfg = TrainingSetConfig { variants: 4, identities: 2, patch_size: 48 };
+        let cfg = TrainingSetConfig {
+            variants: 4,
+            identities: 2,
+            patch_size: 48,
+        };
         let (a, _) = train_emotion_classifier(&cfg, 7);
         let (b, _) = train_emotion_classifier(&cfg, 7);
         let probe = render_face_patch(Emotion::Happy, 225, 1, 999, 48);
-        assert_eq!(a.classify(&probe).probabilities, b.classify(&probe).probabilities);
+        assert_eq!(
+            a.classify(&probe).probabilities,
+            b.classify(&probe).probabilities
+        );
     }
 }

@@ -50,13 +50,19 @@ struct LbpConfigSer {
 
 impl From<LbpConfig> for LbpConfigSer {
     fn from(c: LbpConfig) -> Self {
-        LbpConfigSer { grid: c.grid, threshold: c.threshold }
+        LbpConfigSer {
+            grid: c.grid,
+            threshold: c.threshold,
+        }
     }
 }
 
 impl From<LbpConfigSer> for LbpConfig {
     fn from(c: LbpConfigSer) -> Self {
-        LbpConfig { grid: c.grid, threshold: c.threshold }
+        LbpConfig {
+            grid: c.grid,
+            threshold: c.threshold,
+        }
     }
 }
 
@@ -109,7 +115,11 @@ impl EmotionClassifier {
             confusion,
         };
         (
-            EmotionClassifier { lbp: lbp.into(), normalizer, mlp },
+            EmotionClassifier {
+                lbp: lbp.into(),
+                normalizer,
+                mlp,
+            },
             report,
         )
     }
@@ -143,7 +153,7 @@ mod tests {
     fn sketch(emotion: Emotion, variant: u32) -> GrayFrame {
         let mut f = GrayFrame::new(32, 32, 160);
         let j = (variant % 3) as i64 - 1; // −1, 0, +1 pixel jitter
-        // Eyes.
+                                          // Eyes.
         f.fill_disk(10.0 + j as f64, 11.0, 2.0, 30);
         f.fill_disk(22.0 + j as f64, 11.0, 2.0, 30);
         match emotion {
@@ -182,7 +192,10 @@ mod tests {
         // Per-sample noise texture.
         f.mutate(|d| {
             for (i, px) in d.iter_mut().enumerate() {
-                let n = ((i as u32).wrapping_mul(2654435761).wrapping_add(variant * 97) >> 28) as i32;
+                let n = ((i as u32)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(variant * 97)
+                    >> 28) as i32;
                 *px = (*px as i32 + n - 8).clamp(0, 255) as u8;
             }
         });
@@ -202,8 +215,12 @@ mod tests {
     #[test]
     fn trains_to_high_accuracy_on_sketches() {
         let patches = training_set(12);
-        let tc = TrainingConfig { epochs: 30, ..TrainingConfig::default() };
-        let (clf, report) = EmotionClassifier::train(&patches, LbpConfig::default(), &[32], 42, &tc);
+        let tc = TrainingConfig {
+            epochs: 30,
+            ..TrainingConfig::default()
+        };
+        let (clf, report) =
+            EmotionClassifier::train(&patches, LbpConfig::default(), &[32], 42, &tc);
         assert!(
             report.test_accuracy > 0.9,
             "test accuracy {} too low; confusion {:?}",
@@ -220,7 +237,10 @@ mod tests {
     #[test]
     fn prediction_distribution_is_valid() {
         let patches = training_set(10);
-        let tc = TrainingConfig { epochs: 10, ..TrainingConfig::default() };
+        let tc = TrainingConfig {
+            epochs: 10,
+            ..TrainingConfig::default()
+        };
         let (clf, _) = EmotionClassifier::train(&patches, LbpConfig::default(), &[16], 1, &tc);
         let pred = clf.classify(&sketch(Emotion::Neutral, 50));
         assert_eq!(pred.probabilities.len(), Emotion::COUNT);
@@ -235,7 +255,10 @@ mod tests {
     #[test]
     fn losses_decrease_during_training() {
         let patches = training_set(8);
-        let tc = TrainingConfig { epochs: 20, ..TrainingConfig::default() };
+        let tc = TrainingConfig {
+            epochs: 20,
+            ..TrainingConfig::default()
+        };
         let (_, report) = EmotionClassifier::train(&patches, LbpConfig::default(), &[16], 5, &tc);
         let first = report.epoch_losses.first().unwrap();
         let last = report.epoch_losses.last().unwrap();

@@ -93,7 +93,10 @@ impl Normalizer {
     /// # Panics
     /// Panics on an empty dataset.
     pub fn fit(data: &Dataset) -> Self {
-        assert!(!data.is_empty(), "cannot fit a normalizer on an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot fit a normalizer on an empty dataset"
+        );
         let n = data.len() as f64;
         let dim = data.dim();
         let mut mean = vec![0.0; dim];
@@ -157,7 +160,10 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// Creates an empty `n × n` matrix.
     pub fn new(n: usize) -> Self {
-        ConfusionMatrix { n, counts: vec![0; n * n] }
+        ConfusionMatrix {
+            n,
+            counts: vec![0; n * n],
+        }
     }
 
     /// Records one (actual, predicted) observation.
@@ -165,7 +171,10 @@ impl ConfusionMatrix {
     /// # Panics
     /// Panics when either index is out of range.
     pub fn record(&mut self, actual: usize, predicted: usize) {
-        assert!(actual < self.n && predicted < self.n, "class index out of range");
+        assert!(
+            actual < self.n && predicted < self.n,
+            "class index out of range"
+        );
         self.counts[actual * self.n + predicted] += 1;
     }
 
@@ -246,8 +255,12 @@ mod tests {
         let nd = norm.apply_dataset(&d);
         for dim in 0..2 {
             let mean: f64 = nd.features.iter().map(|f| f[dim]).sum::<f64>() / nd.len() as f64;
-            let var: f64 =
-                nd.features.iter().map(|f| (f[dim] - mean).powi(2)).sum::<f64>() / nd.len() as f64;
+            let var: f64 = nd
+                .features
+                .iter()
+                .map(|f| (f[dim] - mean).powi(2))
+                .sum::<f64>()
+                / nd.len() as f64;
             assert!(mean.abs() < 1e-9);
             assert!((var - 1.0).abs() < 1e-9);
         }

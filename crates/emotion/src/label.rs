@@ -43,7 +43,10 @@ impl Emotion {
 
     /// Stable index of this emotion in `[0, COUNT)`.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&e| e == self).expect("ALL is exhaustive")
+        Self::ALL
+            .iter()
+            .position(|&e| e == self)
+            .expect("ALL is exhaustive")
     }
 
     /// Emotion from a stable index, or `None` when out of range.

@@ -28,7 +28,10 @@ pub struct LbpConfig {
 
 impl Default for LbpConfig {
     fn default() -> Self {
-        LbpConfig { grid: 4, threshold: 8 }
+        LbpConfig {
+            grid: 4,
+            threshold: 8,
+        }
     }
 }
 
@@ -244,10 +247,15 @@ mod tests {
     fn per_cell_histograms_normalized() {
         let mut f = GrayFrame::new(24, 24, 30);
         f.fill_disk(12.0, 12.0, 8.0, 220);
-        let cfg = LbpConfig { grid: 3, threshold: 8 };
+        let cfg = LbpConfig {
+            grid: 3,
+            threshold: 8,
+        };
         let v = lbp_feature_vector(&f, &cfg);
         for cell in 0..9 {
-            let s: f64 = v[cell * UNIFORM_BINS..(cell + 1) * UNIFORM_BINS].iter().sum();
+            let s: f64 = v[cell * UNIFORM_BINS..(cell + 1) * UNIFORM_BINS]
+                .iter()
+                .sum();
             assert!((s - 1.0).abs() < 1e-9, "cell {cell} sums to {s}");
         }
     }
@@ -260,11 +268,17 @@ mod tests {
         top.fill_disk(8.0, 8.0, 5.0, 220);
         let mut bottom = GrayFrame::new(32, 32, 20);
         bottom.fill_disk(24.0, 24.0, 5.0, 220);
-        let cfg = LbpConfig { grid: 4, threshold: 8 };
+        let cfg = LbpConfig {
+            grid: 4,
+            threshold: 8,
+        };
         let a = lbp_feature_vector(&top, &cfg);
         let b = lbp_feature_vector(&bottom, &cfg);
         let dist: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
-        assert!(dist > 0.5, "descriptor must separate spatial layouts, dist = {dist}");
+        assert!(
+            dist > 0.5,
+            "descriptor must separate spatial layouts, dist = {dist}"
+        );
     }
 
     #[test]
@@ -284,13 +298,19 @@ mod tests {
         let fa = lbp_feature_vector(&a, &cfg);
         let fb = lbp_feature_vector(&b, &cfg);
         let dist: f64 = fa.iter().zip(&fb).map(|(x, y)| (x - y).abs()).sum();
-        assert!(dist < 1e-9, "LBP must ignore global illumination, dist = {dist}");
+        assert!(
+            dist < 1e-9,
+            "LBP must ignore global illumination, dist = {dist}"
+        );
     }
 
     #[test]
     fn degenerate_tiny_patch() {
         let f = GrayFrame::new(2, 2, 128);
-        let cfg = LbpConfig { grid: 4, threshold: 8 };
+        let cfg = LbpConfig {
+            grid: 4,
+            threshold: 8,
+        };
         let v = lbp_feature_vector(&f, &cfg);
         assert_eq!(v.len(), cfg.feature_len());
         // Cells smaller than a pixel stay all-zero; others are normalized.

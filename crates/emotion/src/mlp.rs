@@ -116,8 +116,14 @@ impl Mlp {
     /// # Panics
     /// Panics when any dimension is zero.
     pub fn new(config: MlpConfig) -> Self {
-        assert!(config.input > 0 && config.output > 0, "dimensions must be positive");
-        assert!(config.hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        assert!(
+            config.input > 0 && config.output > 0,
+            "dimensions must be positive"
+        );
+        assert!(
+            config.hidden.iter().all(|&h| h > 0),
+            "hidden widths must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut dims = vec![config.input];
         dims.extend(&config.hidden);
@@ -182,9 +188,18 @@ impl Mlp {
     ///
     /// # Panics
     /// Panics on empty data, dimension mismatch, or out-of-range labels.
-    pub fn train(&mut self, features: &[Vec<f64>], labels: &[usize], tc: &TrainingConfig) -> Vec<f64> {
+    pub fn train(
+        &mut self,
+        features: &[Vec<f64>],
+        labels: &[usize],
+        tc: &TrainingConfig,
+    ) -> Vec<f64> {
         assert!(!features.is_empty(), "training set must be non-empty");
-        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "features/labels length mismatch"
+        );
         for f in features {
             assert_eq!(f.len(), self.config.input, "feature dimension mismatch");
         }
@@ -212,7 +227,13 @@ impl Mlp {
     }
 
     /// Runs one mini-batch update; returns the summed loss over the batch.
-    fn train_batch(&mut self, features: &[Vec<f64>], labels: &[usize], batch: &[usize], tc: &TrainingConfig) -> f64 {
+    fn train_batch(
+        &mut self,
+        features: &[Vec<f64>],
+        labels: &[usize],
+        batch: &[usize],
+        tc: &TrainingConfig,
+    ) -> f64 {
         let mut grads = Grads {
             gw: self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
             gb: self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
@@ -333,7 +354,12 @@ mod tests {
 
     #[test]
     fn untrained_outputs_valid_distribution() {
-        let mlp = Mlp::new(MlpConfig { input: 5, hidden: vec![8], output: 3, seed: 1 });
+        let mlp = Mlp::new(MlpConfig {
+            input: 5,
+            hidden: vec![8],
+            output: 3,
+            seed: 1,
+        });
         let p = mlp.predict_proba(&[0.1, -0.2, 0.3, 0.0, 1.0]);
         assert_eq!(p.len(), 3);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -342,7 +368,12 @@ mod tests {
     #[test]
     fn learns_xor() {
         let (features, labels) = xor_data();
-        let mut mlp = Mlp::new(MlpConfig { input: 2, hidden: vec![8], output: 2, seed: 42 });
+        let mut mlp = Mlp::new(MlpConfig {
+            input: 2,
+            hidden: vec![8],
+            output: 2,
+            seed: 42,
+        });
         let tc = TrainingConfig {
             learning_rate: 0.2,
             momentum: 0.9,
@@ -351,7 +382,11 @@ mod tests {
             weight_decay: 0.0,
         };
         let losses = mlp.train(&features, &labels, &tc);
-        assert!(losses.last().unwrap() < &0.1, "final loss {:?}", losses.last());
+        assert!(
+            losses.last().unwrap() < &0.1,
+            "final loss {:?}",
+            losses.last()
+        );
         assert_eq!(mlp.accuracy(&features, &labels), 1.0);
     }
 
@@ -367,7 +402,12 @@ mod tests {
             features.push(vec![1.0 + t * 0.2, t * 0.1]);
             labels.push(1);
         }
-        let mut mlp = Mlp::new(MlpConfig { input: 2, hidden: vec![4], output: 2, seed: 7 });
+        let mut mlp = Mlp::new(MlpConfig {
+            input: 2,
+            hidden: vec![4],
+            output: 2,
+            seed: 7,
+        });
         let losses = mlp.train(&features, &labels, &TrainingConfig::default());
         assert!(losses.first().unwrap() > losses.last().unwrap());
         assert!(mlp.accuracy(&features, &labels) > 0.95);
@@ -377,11 +417,19 @@ mod tests {
     fn deterministic_given_seed() {
         let (features, labels) = xor_data();
         let build = || {
-            let mut m = Mlp::new(MlpConfig { input: 2, hidden: vec![6], output: 2, seed: 9 });
+            let mut m = Mlp::new(MlpConfig {
+                input: 2,
+                hidden: vec![6],
+                output: 2,
+                seed: 9,
+            });
             m.train(
                 &features,
                 &labels,
-                &TrainingConfig { epochs: 20, ..TrainingConfig::default() },
+                &TrainingConfig {
+                    epochs: 20,
+                    ..TrainingConfig::default()
+                },
             );
             m
         };
@@ -392,7 +440,12 @@ mod tests {
 
     #[test]
     fn linear_model_no_hidden_layers() {
-        let mut mlp = Mlp::new(MlpConfig { input: 2, hidden: vec![], output: 2, seed: 3 });
+        let mut mlp = Mlp::new(MlpConfig {
+            input: 2,
+            hidden: vec![],
+            output: 2,
+            seed: 3,
+        });
         // Linearly separable: class = x0 > x1.
         let features: Vec<Vec<f64>> = (0..50)
             .map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 5.0])
@@ -405,25 +458,43 @@ mod tests {
     #[test]
     #[should_panic]
     fn dimension_mismatch_panics() {
-        let mlp = Mlp::new(MlpConfig { input: 3, hidden: vec![], output: 2, seed: 0 });
+        let mlp = Mlp::new(MlpConfig {
+            input: 3,
+            hidden: vec![],
+            output: 2,
+            seed: 0,
+        });
         let _ = mlp.predict(&[1.0, 2.0]);
     }
 
     #[test]
     #[should_panic]
     fn out_of_range_label_panics() {
-        let mut mlp = Mlp::new(MlpConfig { input: 1, hidden: vec![], output: 2, seed: 0 });
+        let mut mlp = Mlp::new(MlpConfig {
+            input: 1,
+            hidden: vec![],
+            output: 2,
+            seed: 0,
+        });
         let _ = mlp.train(&[vec![1.0]], &[5], &TrainingConfig::default());
     }
 
     #[test]
     fn serde_round_trip_preserves_predictions() {
         let (features, labels) = xor_data();
-        let mut mlp = Mlp::new(MlpConfig { input: 2, hidden: vec![6], output: 2, seed: 11 });
+        let mut mlp = Mlp::new(MlpConfig {
+            input: 2,
+            hidden: vec![6],
+            output: 2,
+            seed: 11,
+        });
         mlp.train(
             &features,
             &labels,
-            &TrainingConfig { epochs: 50, ..TrainingConfig::default() },
+            &TrainingConfig {
+                epochs: 50,
+                ..TrainingConfig::default()
+            },
         );
         let json = serde_json::to_string(&mlp).unwrap();
         let restored: Mlp = serde_json::from_str(&json).unwrap();

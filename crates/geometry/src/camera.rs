@@ -248,7 +248,10 @@ mod tests {
     fn optical_axis_tilts_down() {
         let cam = test_cam();
         let axis = cam.optical_axis();
-        assert!(axis.z < 0.0, "camera at 2.5 m looking at the table looks down");
+        assert!(
+            axis.z < 0.0,
+            "camera at 2.5 m looking at the table looks down"
+        );
         assert!(axis.x > 0.0);
     }
 
@@ -263,8 +266,12 @@ mod tests {
     #[test]
     fn projected_radius_shrinks_with_distance() {
         let cam = test_cam();
-        let near = cam.projected_radius(Vec3::new(1.0, 0.0, 1.5), 0.12).unwrap();
-        let far = cam.projected_radius(Vec3::new(4.0, 0.0, 0.9), 0.12).unwrap();
+        let near = cam
+            .projected_radius(Vec3::new(1.0, 0.0, 1.5), 0.12)
+            .unwrap();
+        let far = cam
+            .projected_radius(Vec3::new(4.0, 0.0, 0.9), 0.12)
+            .unwrap();
         assert!(near > far);
     }
 

@@ -44,7 +44,10 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::UnknownFrame(n) => write!(f, "unknown frame: {n}"),
             FrameError::Disconnected { from, to } => {
-                write!(f, "frames {from} and {to} are not connected by any transform chain")
+                write!(
+                    f,
+                    "frames {from} and {to} are not connected by any transform chain"
+                )
             }
             FrameError::DuplicateName(n) => write!(f, "frame name already registered: {n}"),
         }
@@ -112,14 +115,24 @@ impl FrameGraph {
     }
 
     /// Adds a frame under `parent` with the given pose (local → parent).
-    pub fn add_frame(&mut self, name: &str, parent: FrameId, pose_in_parent: Iso3) -> Result<FrameId, FrameError> {
+    pub fn add_frame(
+        &mut self,
+        name: &str,
+        parent: FrameId,
+        pose_in_parent: Iso3,
+    ) -> Result<FrameId, FrameError> {
         if parent.0 >= self.nodes.len() {
             return Err(FrameError::UnknownFrame(format!("{parent}")));
         }
         self.try_add(name, Some(parent), pose_in_parent)
     }
 
-    fn try_add(&mut self, name: &str, parent: Option<FrameId>, pose: Iso3) -> Result<FrameId, FrameError> {
+    fn try_add(
+        &mut self,
+        name: &str,
+        parent: Option<FrameId>,
+        pose: Iso3,
+    ) -> Result<FrameId, FrameError> {
         if self.by_name.contains_key(name) {
             return Err(FrameError::DuplicateName(name.to_owned()));
         }
@@ -240,7 +253,11 @@ mod tests {
         let world = g.add_root("world");
         // C1 at origin side, looking +X; C2 opposite, looking −X.
         let f1 = g
-            .add_frame("F1", world, Iso3::from_translation(Vec3::new(0.0, 0.0, 2.5)))
+            .add_frame(
+                "F1",
+                world,
+                Iso3::from_translation(Vec3::new(0.0, 0.0, 2.5)),
+            )
             .unwrap();
         let f2 = g
             .add_frame(

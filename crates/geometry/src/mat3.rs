@@ -41,11 +41,7 @@ impl Mat3 {
     /// Builds a matrix whose columns are `c0`, `c1`, `c2`.
     pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
         Mat3 {
-            m: [
-                [c0.x, c1.x, c2.x],
-                [c0.y, c1.y, c2.y],
-                [c0.z, c1.z, c2.z],
-            ],
+            m: [[c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z]],
         }
     }
 

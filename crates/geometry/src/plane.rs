@@ -17,12 +17,18 @@ impl Plane {
     /// the plane. Returns `None` for a degenerate normal.
     pub fn from_point_normal(point: Vec3, normal: Vec3) -> Option<Self> {
         let n = normal.try_normalized()?;
-        Some(Plane { normal: n, offset: n.dot(point) })
+        Some(Plane {
+            normal: n,
+            offset: n.dot(point),
+        })
     }
 
     /// The horizontal plane `z = height` (e.g. the table surface).
     pub fn horizontal(height: f64) -> Self {
-        Plane { normal: Vec3::Z, offset: height }
+        Plane {
+            normal: Vec3::Z,
+            offset: height,
+        }
     }
 
     /// Signed distance from `p` to the plane (positive on the normal side).
@@ -61,7 +67,8 @@ mod tests {
 
     #[test]
     fn projection_lands_on_plane() {
-        let p = Plane::from_point_normal(Vec3::new(1.0, 1.0, 1.0), Vec3::new(1.0, 2.0, 2.0)).unwrap();
+        let p =
+            Plane::from_point_normal(Vec3::new(1.0, 1.0, 1.0), Vec3::new(1.0, 2.0, 2.0)).unwrap();
         let q = p.project(Vec3::new(5.0, -3.0, 2.0));
         assert!(p.signed_distance(q).abs() < 1e-9);
     }

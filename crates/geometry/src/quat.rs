@@ -29,7 +29,12 @@ impl Default for Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a quaternion from raw components (not normalized).
     #[inline]
@@ -41,7 +46,12 @@ impl Quat {
     pub fn from_axis_angle(axis: Vec3, theta: f64) -> Quat {
         let a = axis.normalized();
         let (s, c) = (theta * 0.5).sin_cos();
-        Quat { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+        Quat {
+            w: c,
+            x: a.x * s,
+            y: a.y * s,
+            z: a.z * s,
+        }
     }
 
     /// Converts a rotation matrix to a quaternion (Shepperd's method).
@@ -119,14 +129,24 @@ impl Quat {
         if n <= crate::EPS {
             Quat::IDENTITY
         } else {
-            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+            Quat {
+                w: self.w / n,
+                x: self.x / n,
+                y: self.y / n,
+                z: self.z / n,
+            }
         }
     }
 
     /// Conjugate; the inverse for a unit quaternion.
     #[inline]
     pub fn conjugate(&self) -> Quat {
-        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quat {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Rotates a vector by this (unit) quaternion.
@@ -150,7 +170,12 @@ impl Quat {
         let mut cos_theta = self.dot(other);
         if cos_theta < 0.0 {
             // Take the short way around.
-            b = Quat { w: -b.w, x: -b.x, y: -b.y, z: -b.z };
+            b = Quat {
+                w: -b.w,
+                x: -b.x,
+                y: -b.y,
+                z: -b.z,
+            };
             cos_theta = -cos_theta;
         }
         if cos_theta > 1.0 - 1e-10 {
@@ -256,7 +281,12 @@ mod tests {
         let a = Quat::from_axis_angle(Vec3::Z, 0.1);
         let b = Quat::from_axis_angle(Vec3::Z, 0.3);
         // Negate b: same rotation, opposite sign; slerp must still take 0.1→0.3.
-        let neg_b = Quat { w: -b.w, x: -b.x, y: -b.y, z: -b.z };
+        let neg_b = Quat {
+            w: -b.w,
+            x: -b.x,
+            y: -b.y,
+            z: -b.z,
+        };
         let mid = a.slerp(&neg_b, 0.5);
         let expect = Quat::from_axis_angle(Vec3::Z, 0.2);
         assert!(mid.dot(&expect).abs() > 1.0 - 1e-9);

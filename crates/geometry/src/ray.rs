@@ -29,7 +29,10 @@ impl Ray {
     /// Creates a ray with a normalized direction, or `None` if the
     /// direction is (near-)zero.
     pub fn new_normalized(origin: Vec3, dir: Vec3) -> Option<Self> {
-        Some(Ray { origin, dir: dir.try_normalized()? })
+        Some(Ray {
+            origin,
+            dir: dir.try_normalized()?,
+        })
     }
 
     /// The point at parameter `d` along the ray (Eq. 4).
@@ -90,7 +93,9 @@ mod tests {
     fn closest_point_projects_orthogonally() {
         let r = Ray::new(Vec3::ZERO, Vec3::X);
         let p = Vec3::new(3.0, 4.0, 0.0);
-        assert!(r.closest_point(p).approx_eq(Vec3::new(3.0, 0.0, 0.0), 1e-12));
+        assert!(r
+            .closest_point(p)
+            .approx_eq(Vec3::new(3.0, 0.0, 0.0), 1e-12));
         assert!((r.distance_to_point(p) - 4.0).abs() < 1e-12);
     }
 

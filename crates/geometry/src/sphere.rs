@@ -96,7 +96,11 @@ impl Sphere {
             // Sphere entirely behind the gazer.
             return None;
         }
-        Some(RaySphereHit { d_near, d_far, discriminant: w })
+        Some(RaySphereHit {
+            d_near,
+            d_far,
+            discriminant: w,
+        })
     }
 
     /// Convenience predicate: does this gaze ray look at the sphere?
@@ -129,7 +133,10 @@ mod tests {
     #[test]
     fn hit_points_lie_on_sphere() {
         let s = Sphere::new(Vec3::new(2.0, 1.0, -0.5), 0.75);
-        let ray = Ray::new(Vec3::new(-1.0, 0.5, 0.0), (s.center - Vec3::new(-1.0, 0.5, 0.0)).normalized());
+        let ray = Ray::new(
+            Vec3::new(-1.0, 0.5, 0.0),
+            (s.center - Vec3::new(-1.0, 0.5, 0.0)).normalized(),
+        );
         let hit = s.intersect_ray(&ray).unwrap();
         for d in [hit.d_near, hit.d_far] {
             let p = ray.at(d);
@@ -150,7 +157,10 @@ mod tests {
         // Ray along +X at y=1 grazes the unit sphere at (5,0,0).
         let s = unit_sphere_at(5.0);
         let ray = Ray::new(Vec3::new(0.0, 1.0, 0.0), Vec3::X);
-        assert!(s.intersect_ray(&ray).is_none(), "paper treats tangency as not-looking");
+        assert!(
+            s.intersect_ray(&ray).is_none(),
+            "paper treats tangency as not-looking"
+        );
     }
 
     #[test]
@@ -178,7 +188,9 @@ mod tests {
         // Same geometric points, half the parameter values.
         assert!((hit.d_near - 2.0).abs() < 1e-12);
         assert!((hit.d_far - 3.0).abs() < 1e-12);
-        assert!(ray.at(hit.d_near).approx_eq(Vec3::new(4.0, 0.0, 0.0), 1e-12));
+        assert!(ray
+            .at(hit.d_near)
+            .approx_eq(Vec3::new(4.0, 0.0, 0.0), 1e-12));
     }
 
     #[test]

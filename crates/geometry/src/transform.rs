@@ -37,22 +37,34 @@ impl Iso3 {
 
     /// Creates a transform from rotation and translation.
     pub const fn new(rotation: Mat3, translation: Vec3) -> Self {
-        Iso3 { rotation, translation }
+        Iso3 {
+            rotation,
+            translation,
+        }
     }
 
     /// Pure translation.
     pub const fn from_translation(t: Vec3) -> Self {
-        Iso3 { rotation: Mat3::IDENTITY, translation: t }
+        Iso3 {
+            rotation: Mat3::IDENTITY,
+            translation: t,
+        }
     }
 
     /// Pure rotation.
     pub const fn from_rotation(r: Mat3) -> Self {
-        Iso3 { rotation: r, translation: Vec3::ZERO }
+        Iso3 {
+            rotation: r,
+            translation: Vec3::ZERO,
+        }
     }
 
     /// Creates a transform from a unit quaternion and translation.
     pub fn from_quat(q: Quat, t: Vec3) -> Self {
-        Iso3 { rotation: q.to_mat3(), translation: t }
+        Iso3 {
+            rotation: q.to_mat3(),
+            translation: t,
+        }
     }
 
     /// Transforms a *point* (rotates then translates).
@@ -71,7 +83,10 @@ impl Iso3 {
     /// Transforms a ray: its origin as a point, its direction as a
     /// direction.
     pub fn transform_ray(&self, ray: &Ray) -> Ray {
-        Ray::new(self.transform_point(ray.origin), self.transform_dir(ray.dir))
+        Ray::new(
+            self.transform_point(ray.origin),
+            self.transform_dir(ray.dir),
+        )
     }
 
     /// The inverse transform: if `self` is `ᵢTⱼ` this returns `ⱼTᵢ`.
@@ -171,7 +186,9 @@ mod tests {
         let t = Iso3::from_translation(Vec3::new(100.0, -50.0, 10.0));
         let v = Vec3::new(0.0, 1.0, 0.0);
         assert!(t.transform_dir(v).approx_eq(v, 1e-12));
-        assert!(t.transform_point(v).approx_eq(Vec3::new(100.0, -49.0, 10.0), 1e-12));
+        assert!(t
+            .transform_point(v)
+            .approx_eq(Vec3::new(100.0, -49.0, 10.0), 1e-12));
     }
 
     #[test]

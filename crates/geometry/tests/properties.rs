@@ -5,7 +5,9 @@
 //! and the Eq. 5 ray–sphere discriminant agrees with an independent
 //! distance-based oracle.
 
-use dievent_geometry::{CameraIntrinsics, Iso3, Mat3, PinholeCamera, Quat, Ray, Sphere, Vec2, Vec3};
+use dievent_geometry::{
+    CameraIntrinsics, Iso3, Mat3, PinholeCamera, Quat, Ray, Sphere, Vec2, Vec3,
+};
 use proptest::prelude::*;
 
 fn small_f64() -> impl Strategy<Value = f64> {

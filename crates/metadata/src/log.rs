@@ -36,7 +36,11 @@ impl MetadataLog {
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_owned();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(MetadataLog { path, file, buf: BytesMut::with_capacity(4096) })
+        Ok(MetadataLog {
+            path,
+            file,
+            buf: BytesMut::with_capacity(4096),
+        })
     }
 
     /// The log's path.
@@ -46,8 +50,8 @@ impl MetadataLog {
 
     /// Appends one entry and flushes it.
     pub fn append(&mut self, entry: &LogEntry) -> io::Result<()> {
-        let json = serde_json::to_vec(entry)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let json =
+            serde_json::to_vec(entry).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         self.buf.clear();
         self.buf.reserve(json.len() + 1);
         self.buf.put_slice(&json);
@@ -165,7 +169,8 @@ mod tests {
         let path = tmp("reopen");
         {
             let mut log = MetadataLog::open(&path).unwrap();
-            log.append(&LogEntry::Insert(record(RecordKind::Event, 1))).unwrap();
+            log.append(&LogEntry::Insert(record(RecordKind::Event, 1)))
+                .unwrap();
         }
         {
             let mut log = MetadataLog::open(&path).unwrap();
@@ -180,7 +185,8 @@ mod tests {
         let path = tmp("torn");
         {
             let mut log = MetadataLog::open(&path).unwrap();
-            log.append(&LogEntry::Insert(record(RecordKind::Scene, 7))).unwrap();
+            log.append(&LogEntry::Insert(record(RecordKind::Scene, 7)))
+                .unwrap();
         }
         // Simulate a crash mid-write.
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
@@ -195,7 +201,8 @@ mod tests {
         let path = tmp("corrupt");
         {
             let mut log = MetadataLog::open(&path).unwrap();
-            log.append(&LogEntry::Insert(record(RecordKind::Scene, 1))).unwrap();
+            log.append(&LogEntry::Insert(record(RecordKind::Scene, 1)))
+                .unwrap();
         }
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();

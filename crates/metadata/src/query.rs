@@ -81,31 +81,36 @@ impl Query {
 
     /// Attribute equality.
     pub fn eq(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
-        self.predicates.push(Predicate::Eq(key.to_owned(), v.into()));
+        self.predicates
+            .push(Predicate::Eq(key.to_owned(), v.into()));
         self
     }
 
     /// Attribute ≥.
     pub fn ge(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
-        self.predicates.push(Predicate::Ge(key.to_owned(), v.into()));
+        self.predicates
+            .push(Predicate::Ge(key.to_owned(), v.into()));
         self
     }
 
     /// Attribute ≤.
     pub fn le(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
-        self.predicates.push(Predicate::Le(key.to_owned(), v.into()));
+        self.predicates
+            .push(Predicate::Le(key.to_owned(), v.into()));
         self
     }
 
     /// Attribute strictly greater.
     pub fn gt(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
-        self.predicates.push(Predicate::Gt(key.to_owned(), v.into()));
+        self.predicates
+            .push(Predicate::Gt(key.to_owned(), v.into()));
         self
     }
 
     /// Attribute strictly less.
     pub fn lt(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
-        self.predicates.push(Predicate::Lt(key.to_owned(), v.into()));
+        self.predicates
+            .push(Predicate::Lt(key.to_owned(), v.into()));
         self
     }
 
@@ -158,9 +163,10 @@ impl Query {
         // Pick the first attribute with any numeric bound, then gather
         // all bounds on that attribute.
         let attr = self.predicates.iter().find_map(|p| match p {
-            Predicate::Ge(k, v) | Predicate::Gt(k, v) | Predicate::Le(k, v) | Predicate::Lt(k, v) => {
-                v.range_key().map(|_| k.as_str())
-            }
+            Predicate::Ge(k, v)
+            | Predicate::Gt(k, v)
+            | Predicate::Le(k, v)
+            | Predicate::Lt(k, v) => v.range_key().map(|_| k.as_str()),
             _ => None,
         })?;
         let mut lo = f64::NEG_INFINITY;
@@ -209,7 +215,10 @@ mod tests {
             .with_span(10.0, 14.0)
             .with_attr("camera", 2i64)
             .with_attr("mean_oh", 62.5)
-            .with_attr("menu", AttrValue::List(vec!["salad".into(), "pasta".into()]))
+            .with_attr(
+                "menu",
+                AttrValue::List(vec!["salad".into(), "pasta".into()]),
+            )
             .with_attr("location", "IRIT")
     }
 
@@ -229,7 +238,10 @@ mod tests {
         assert!(Query::new().ge("mean_oh", 60.0).matches(&r));
         assert!(Query::new().le("mean_oh", 62.5).matches(&r));
         assert!(!Query::new().gt("mean_oh", 62.5).matches(&r));
-        assert!(Query::new().lt("mean_oh", 100i64).matches(&r), "int vs float compares");
+        assert!(
+            Query::new().lt("mean_oh", 100i64).matches(&r),
+            "int vs float compares"
+        );
     }
 
     #[test]
@@ -266,7 +278,10 @@ mod tests {
         let r = shot();
         assert!(Query::new().has("camera").matches(&r));
         assert!(!Query::new().has("ghost").matches(&r));
-        let q = Query::new().kind(RecordKind::Shot).eq("camera", 2i64).overlapping(0.0, 1.0);
+        let q = Query::new()
+            .kind(RecordKind::Shot)
+            .eq("camera", 2i64)
+            .overlapping(0.0, 1.0);
         assert_eq!(q.kind_filter(), Some(RecordKind::Shot));
         assert_eq!(q.indexable_eq().unwrap().0, "camera");
         assert_eq!(q.span_filter(), Some((0.0, 1.0)));
@@ -279,7 +294,8 @@ mod tests {
         /// Test helper for the `Ne` variant (not part of the builder to
         /// keep its surface minimal).
         fn predicates_ne(mut self, key: &str, v: impl Into<AttrValue>) -> Self {
-            self.predicates.push(Predicate::Ne(key.to_owned(), v.into()));
+            self.predicates
+                .push(Predicate::Ne(key.to_owned(), v.into()));
             self
         }
     }

@@ -80,7 +80,10 @@ impl MetaRecord {
     /// # Panics
     /// Panics when `start > end` or either bound is not finite.
     pub fn with_span(mut self, start: f64, end: f64) -> Self {
-        assert!(start.is_finite() && end.is_finite() && start <= end, "invalid span {start}..{end}");
+        assert!(
+            start.is_finite() && end.is_finite() && start <= end,
+            "invalid span {start}..{end}"
+        );
         self.span = Some((start, end));
         self
     }

@@ -16,6 +16,7 @@
 use crate::log::{LogEntry, MetadataLog};
 use crate::query::Query;
 use crate::record::{MetaRecord, RecordId, RecordKind};
+use dievent_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io;
@@ -108,10 +109,27 @@ impl Inner {
     }
 }
 
+/// Pre-resolved instrument handles (no-ops until
+/// [`MetadataRepository::attach_telemetry`]). Handles are `Arc`s into
+/// the registry, so mutations update them without any registry lock.
+#[derive(Default)]
+struct RepoInstruments {
+    /// `metadata_inserts` — records inserted.
+    inserts: Counter,
+    /// `metadata_deletes` — records deleted.
+    deletes: Counter,
+    /// `metadata_queries` — queries executed.
+    queries: Counter,
+    /// `metadata_flush_seconds` — wall time of write-ahead appends
+    /// (insert + delete), including the fsync-equivalent flush.
+    flush_seconds: Histogram,
+}
+
 /// The metadata repository (paper §II-E).
 pub struct MetadataRepository {
     inner: RwLock<Inner>,
     log: Option<RwLock<MetadataLog>>,
+    instruments: RepoInstruments,
 }
 
 impl Default for MetadataRepository {
@@ -123,17 +141,34 @@ impl Default for MetadataRepository {
 impl MetadataRepository {
     /// A purely in-memory repository (no durability).
     pub fn in_memory() -> Self {
-        MetadataRepository { inner: RwLock::new(Inner::default()), log: None }
+        MetadataRepository {
+            inner: RwLock::new(Inner::default()),
+            log: None,
+            instruments: RepoInstruments::default(),
+        }
     }
 
     /// Opens a durable repository backed by the log at `path`,
     /// replaying any existing entries.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
-        let entries = MetadataLog::replay(path.as_ref())?;
-        let repo = MetadataRepository {
-            inner: RwLock::new(Inner::default()),
-            log: None,
+        Self::open_with_telemetry(path, &Telemetry::disabled())
+    }
+
+    /// [`MetadataRepository::open`] recording into a telemetry domain:
+    /// the recovery runs under a `metadata.replay` span, the number of
+    /// replayed entries lands in `metadata_replayed_entries`, and the
+    /// repository comes back already attached (see
+    /// [`MetadataRepository::attach_telemetry`]).
+    pub fn open_with_telemetry(path: impl AsRef<Path>, telemetry: &Telemetry) -> io::Result<Self> {
+        let entries = {
+            let _span = telemetry.span("metadata.replay");
+            MetadataLog::replay(path.as_ref())?
         };
+        telemetry
+            .counter("metadata_replayed_entries")
+            .add(entries.len() as u64);
+        let mut repo = MetadataRepository::in_memory();
+        repo.attach_telemetry(telemetry);
         {
             let mut inner = repo.inner.write();
             for entry in entries {
@@ -152,7 +187,21 @@ impl MetadataRepository {
             }
         }
         let log = MetadataLog::open(path)?;
-        Ok(MetadataRepository { inner: repo.inner, log: Some(RwLock::new(log)) })
+        repo.log = Some(RwLock::new(log));
+        Ok(repo)
+    }
+
+    /// Attaches this repository to a telemetry domain: mutations and
+    /// queries maintain `metadata_inserts` / `metadata_deletes` /
+    /// `metadata_queries` counters, and write-ahead appends record
+    /// their flush latency into `metadata_flush_seconds`.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.instruments = RepoInstruments {
+            inserts: telemetry.counter("metadata_inserts"),
+            deletes: telemetry.counter("metadata_deletes"),
+            queries: telemetry.counter("metadata_queries"),
+            flush_seconds: telemetry.histogram("metadata_flush_seconds"),
+        };
     }
 
     /// Number of live records.
@@ -175,10 +224,15 @@ impl MetadataRepository {
         inner.next_id += 1;
         record.id = id;
         if let Some(log) = &self.log {
+            let started = std::time::Instant::now();
             log.write().append(&LogEntry::Insert(record.clone()))?;
+            self.instruments
+                .flush_seconds
+                .observe(started.elapsed().as_secs_f64());
         }
         inner.index(&record);
         inner.records.insert(id, record);
+        self.instruments.inserts.incr();
         Ok(id)
     }
 
@@ -194,11 +248,16 @@ impl MetadataRepository {
             return Ok(false);
         }
         if let Some(log) = &self.log {
+            let started = std::time::Instant::now();
             log.write().append(&LogEntry::Delete(id))?;
+            self.instruments
+                .flush_seconds
+                .observe(started.elapsed().as_secs_f64());
         }
         if let Some(r) = inner.records.remove(&id) {
             inner.unindex(&r);
         }
+        self.instruments.deletes.incr();
         Ok(true)
     }
 
@@ -209,6 +268,7 @@ impl MetadataRepository {
     /// overlap) and verifies every candidate against the full
     /// predicate list.
     pub fn query(&self, q: &Query) -> Vec<MetaRecord> {
+        self.instruments.queries.incr();
         let mut inner = self.inner.write();
 
         // Candidate ids from the best available index.
@@ -376,7 +436,9 @@ mod tests {
         let q = Query::new().eq("camera", 1i64);
         let res = repo.query(&q);
         assert_eq!(res.len(), 5);
-        assert!(res.iter().all(|r| r.attr("camera") == Some(&AttrValue::Int(1))));
+        assert!(res
+            .iter()
+            .all(|r| r.attr("camera") == Some(&AttrValue::Int(1))));
         // Ordered by id.
         assert!(res.windows(2).all(|w| w[0].id < w[1].id));
     }
@@ -448,7 +510,7 @@ mod tests {
         {
             let repo = MetadataRepository::open(&path).unwrap();
             populate(&repo); // 11 inserts
-            // Churn: 20 inserts + 20 deletes = 40 more log entries.
+                             // Churn: 20 inserts + 20 deletes = 40 more log entries.
             for i in 0..20i64 {
                 let id = repo
                     .insert(MetaRecord::new(RecordKind::Highlight).with_attr("n", i))
@@ -462,7 +524,8 @@ mod tests {
             assert!(after < before, "log must shrink: {before} → {after}");
             kept = repo.len();
             // The repository keeps working after compaction.
-            repo.insert(MetaRecord::new(RecordKind::Event).with_attr("post", true)).unwrap();
+            repo.insert(MetaRecord::new(RecordKind::Event).with_attr("post", true))
+                .unwrap();
         }
         let reopened = MetadataRepository::open(&path).unwrap();
         assert_eq!(reopened.len(), kept + 1);
@@ -527,6 +590,36 @@ mod tests {
         let victim = ge[0].id;
         repo.delete(victim).unwrap();
         assert_eq!(repo.query(&Query::new().ge("valence", 0.0)).len(), 3);
+    }
+
+    #[test]
+    fn telemetry_tracks_mutations_flushes_and_replay() {
+        let path = tmp("telemetry");
+        let telemetry = Telemetry::enabled();
+        {
+            let repo = MetadataRepository::open_with_telemetry(&path, &telemetry).unwrap();
+            populate(&repo); // 11 inserts
+            let victim = repo.query(&Query::new().kind(RecordKind::Shot))[0].id;
+            repo.delete(victim).unwrap();
+        }
+        let report = telemetry.report();
+        assert_eq!(report.counter("metadata_inserts"), Some(11));
+        assert_eq!(report.counter("metadata_deletes"), Some(1));
+        assert_eq!(report.counter("metadata_queries"), Some(1));
+        // Every durable mutation flushed: 11 inserts + 1 delete.
+        assert_eq!(
+            report.histogram("metadata_flush_seconds").unwrap().count,
+            12
+        );
+        assert_eq!(report.counter("metadata_replayed_entries"), Some(0));
+
+        // Reopening replays the surviving entries.
+        let reopen_t = Telemetry::enabled();
+        let reopened = MetadataRepository::open_with_telemetry(&path, &reopen_t).unwrap();
+        assert_eq!(reopened.len(), 10);
+        let replay_report = reopen_t.report();
+        assert_eq!(replay_report.counter("metadata_replayed_entries"), Some(12));
+        assert_eq!(replay_report.span("metadata.replay").unwrap().count, 1);
     }
 
     #[test]

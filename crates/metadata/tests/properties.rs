@@ -33,7 +33,12 @@ fn apply_ops(repo: &MetadataRepository, ops: &[Op]) {
     let mut live_ids = Vec::new();
     for op in ops {
         match op {
-            Op::Insert { kind, camera, score, span } => {
+            Op::Insert {
+                kind,
+                camera,
+                score,
+                span,
+            } => {
                 let mut r = MetaRecord::new(RecordKind::ALL[*kind])
                     .with_attr("camera", *camera)
                     .with_attr("score", *score);

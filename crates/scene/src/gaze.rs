@@ -43,7 +43,10 @@ impl GazeSchedule {
             for (f, t) in row.iter().enumerate() {
                 if let GazeTarget::Person(j) = t {
                     assert!(*j < n, "frame {f}: target {j} out of range");
-                    assert_ne!(*j, i, "frame {f}: participant {i} cannot look at themselves");
+                    assert_ne!(
+                        *j, i,
+                        "frame {f}: participant {i} cannot look at themselves"
+                    );
                 }
             }
         }

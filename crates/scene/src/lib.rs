@@ -47,6 +47,6 @@ pub use gaze::{GazeSchedule, GazeTarget, ScheduleBuilder};
 pub use participant::{Participant, ParticipantState};
 pub use render::{RenderConfig, Renderer};
 pub use rig::CameraRig;
-pub use scenario::{GroundTruth, SceneSnapshot, Scenario};
+pub use scenario::{GroundTruth, Scenario, SceneSnapshot};
 pub use table::DiningTable;
 pub use topview::render_topview_map;

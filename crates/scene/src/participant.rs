@@ -102,7 +102,10 @@ mod tests {
         assert_eq!(Participant::prototype_color(1), ParticipantColor::Blue);
         assert_eq!(Participant::prototype_color(2), ParticipantColor::Green);
         assert_eq!(Participant::prototype_color(3), ParticipantColor::Black);
-        assert!(matches!(Participant::prototype_color(7), ParticipantColor::Other(_)));
+        assert!(matches!(
+            Participant::prototype_color(7),
+            ParticipantColor::Other(_)
+        ));
     }
 
     #[test]

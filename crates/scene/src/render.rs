@@ -11,7 +11,7 @@
 
 use crate::canvas::Canvas;
 use crate::face;
-use crate::scenario::{SceneSnapshot, Scenario};
+use crate::scenario::{Scenario, SceneSnapshot};
 use dievent_geometry::{PinholeCamera, Vec3};
 use dievent_video::{GrayFrame, Timestamp};
 use dievent_vision::contract;
@@ -129,11 +129,16 @@ impl Renderer {
         // Torso: a blob under the head.
         if self.config.draw_torsos {
             let torso = st.head - Vec3::new(0.0, 0.0, 0.38);
-            if let (Some(proj), Some(r_px)) = (
-                camera.project(torso),
-                camera.projected_radius(torso, 0.21),
-            ) {
-                c.shaded_disk(proj.pixel.x, proj.pixel.y, r_px * 1.15, self.config.torso_luminance, 0.2);
+            if let (Some(proj), Some(r_px)) =
+                (camera.project(torso), camera.projected_radius(torso, 0.21))
+            {
+                c.shaded_disk(
+                    proj.pixel.x,
+                    proj.pixel.y,
+                    r_px * 1.15,
+                    self.config.torso_luminance,
+                    0.2,
+                );
             }
         }
 
@@ -147,7 +152,13 @@ impl Renderer {
         if r_px < 1.0 {
             return;
         }
-        c.shaded_disk(head_proj.pixel.x, head_proj.pixel.y, r_px, p.tone, contract::SHADING);
+        c.shaded_disk(
+            head_proj.pixel.x,
+            head_proj.pixel.y,
+            r_px,
+            p.tone,
+            contract::SHADING,
+        );
         face::draw_freckles(c, head_proj.pixel.x, head_proj.pixel.y, r_px, i, p.tone);
 
         // Head-local frame: forward from state, right/up from world up.
@@ -306,8 +317,11 @@ mod tests {
     fn table_visible_as_brighter_region() {
         let (s, gt) = small_prototype();
         let with_table = Renderer::default().render(&s, &gt.snapshots[0], 0);
-        let without = Renderer::new(RenderConfig { draw_table: false, ..RenderConfig::default() })
-            .render(&s, &gt.snapshots[0], 0);
+        let without = Renderer::new(RenderConfig {
+            draw_table: false,
+            ..RenderConfig::default()
+        })
+        .render(&s, &gt.snapshots[0], 0);
         assert!(with_table.mean() > without.mean());
     }
 }

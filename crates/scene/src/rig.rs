@@ -36,7 +36,11 @@ impl CameraRig {
     /// The aim point is chosen so the optical axis pitches down by 15°:
     /// the cameras look at a point `separation/2` away and
     /// `tan(15°)·separation/2` below their own height.
-    pub fn paper_two_camera(separation: f64, height: f64, intrinsics: CameraIntrinsics) -> CameraRig {
+    pub fn paper_two_camera(
+        separation: f64,
+        height: f64,
+        intrinsics: CameraIntrinsics,
+    ) -> CameraRig {
         let drop = (15.0f64.to_radians()).tan() * separation / 2.0;
         let target_z = height - drop;
         let c1 = PinholeCamera::look_at(
@@ -78,7 +82,9 @@ impl CameraRig {
         ];
         let cameras = corners
             .iter()
-            .map(|&eye| PinholeCamera::look_at(intrinsics, eye, aim).expect("valid corner geometry"))
+            .map(|&eye| {
+                PinholeCamera::look_at(intrinsics, eye, aim).expect("valid corner geometry")
+            })
             .collect();
         CameraRig {
             cameras,
@@ -139,7 +145,12 @@ mod tests {
         // Cameras occupy distinct corners.
         for i in 0..4 {
             for j in i + 1..4 {
-                assert!(rig.cameras[i].position().distance(rig.cameras[j].position()) > 3.0);
+                assert!(
+                    rig.cameras[i]
+                        .position()
+                        .distance(rig.cameras[j].position())
+                        > 3.0
+                );
             }
         }
     }

@@ -288,7 +288,10 @@ impl Scenario {
     /// # Panics
     /// Panics when `n` is outside `2..=8`.
     pub fn restaurant_dinner(n: usize, frames: usize, seed: u64) -> Scenario {
-        assert!((2..=8).contains(&n), "restaurant scenario supports 2..=8 guests");
+        assert!(
+            (2..=8).contains(&n),
+            "restaurant scenario supports 2..=8 guests"
+        );
         let spec = VideoSpec::paper_acquisition();
         let table = DiningTable::meeting_room(Vec2::new(3.0, 2.0));
         let seats = table.seats(n, 1.25, 0.25);
@@ -418,7 +421,10 @@ mod tests {
         assert_eq!(s.participants.len(), 4);
         assert_eq!(s.rig.len(), 4);
         assert_eq!(s.frames(), 610);
-        assert!((s.frames() as f64 / s.spec.fps - 40.0).abs() < 1e-9, "40-second video");
+        assert!(
+            (s.frames() as f64 / s.spec.fps - 40.0).abs() < 1e-9,
+            "40-second video"
+        );
     }
 
     #[test]
@@ -433,7 +439,11 @@ mod tests {
         let col = |j: usize| (0..4).map(|i| m[i][j]).sum::<u32>();
         let c1 = col(0);
         for j in 1..4 {
-            assert!(c1 > col(j), "P1 column {c1} must dominate column {j} = {}", col(j));
+            assert!(
+                c1 > col(j),
+                "P1 column {c1} must dominate column {j} = {}",
+                col(j)
+            );
         }
     }
 
@@ -452,7 +462,12 @@ mod tests {
         let s = Scenario::prototype();
         let f = (15.0 * s.spec.fps).round() as usize;
         for i in [1usize, 2, 3] {
-            assert_eq!(s.schedule.target(i, f), GazeTarget::Person(0), "P{} → yellow", i + 1);
+            assert_eq!(
+                s.schedule.target(i, f),
+                GazeTarget::Person(0),
+                "P{} → yellow",
+                i + 1
+            );
         }
     }
 
@@ -476,7 +491,10 @@ mod tests {
         assert_eq!(m[3][1], 1, "black → blue");
         assert_eq!(m[1][2], 1, "blue → green");
         let contacts = gt.snapshots[f].eye_contacts(R);
-        assert!(contacts.contains(&(0, 2)), "EC(yellow, green): {contacts:?}");
+        assert!(
+            contacts.contains(&(0, 2)),
+            "EC(yellow, green): {contacts:?}"
+        );
     }
 
     #[test]
@@ -547,7 +565,8 @@ mod tests {
         let mut checked = 0;
         for f in 12..s.frames() {
             for i in 0..4 {
-                let stable = (f - 10..=f).all(|g| s.schedule.target(i, g) == s.schedule.target(i, f));
+                let stable =
+                    (f - 10..=f).all(|g| s.schedule.target(i, g) == s.schedule.target(i, f));
                 if stable {
                     let st = &gt.snapshots[f].states[i];
                     assert!(

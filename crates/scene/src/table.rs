@@ -57,7 +57,10 @@ impl DiningTable {
     /// # Panics
     /// Panics when `n == 0` or `n > 8`.
     pub fn seats(&self, n: usize, head_height: f64, clearance: f64) -> Vec<Seat> {
-        assert!((1..=8).contains(&n), "supported table sizes: 1..=8 participants");
+        assert!(
+            (1..=8).contains(&n),
+            "supported table sizes: 1..=8 participants"
+        );
         let hx = self.length / 2.0 + clearance;
         let hy = self.width / 2.0 + clearance;
         let z = head_height;

@@ -96,7 +96,10 @@ pub fn detect_highlights(
             if cooled {
                 out.push(Highlight {
                     frame: f,
-                    kind: HighlightKind::EmotionShift { from_valence: from, to_valence: to },
+                    kind: HighlightKind::EmotionShift {
+                        from_valence: from,
+                        to_valence: to,
+                    },
                 });
                 last_shift = Some(f);
             }
@@ -116,7 +119,10 @@ mod tests {
     fn emo(e: Emotion) -> OverallEmotion {
         fuse_emotions(
             &[EmotionEstimate::hard(0, e, 1.0)],
-            &OverallEmotionConfig { participants: 1, smoothing: 0.0 },
+            &OverallEmotionConfig {
+                participants: 1,
+                smoothing: 0.0,
+            },
         )
     }
 
@@ -139,7 +145,10 @@ mod tests {
         assert_eq!(hs[0].frame, 10);
         assert_eq!(
             hs[0].kind,
-            HighlightKind::EyeContactStart { pair: (0, 2), duration: 12 }
+            HighlightKind::EyeContactStart {
+                pair: (0, 2),
+                duration: 12
+            }
         );
     }
 
@@ -165,7 +174,11 @@ mod tests {
             .collect();
         assert_eq!(shifts.len(), 1, "cooldown collapses the ramp: {shifts:?}");
         assert!(shifts[0].frame >= 30 && shifts[0].frame < 45);
-        if let HighlightKind::EmotionShift { from_valence, to_valence } = shifts[0].kind {
+        if let HighlightKind::EmotionShift {
+            from_valence,
+            to_valence,
+        } = shifts[0].kind
+        {
             assert!(to_valence > from_valence);
         }
     }

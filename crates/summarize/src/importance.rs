@@ -106,7 +106,10 @@ mod tests {
     fn emo(e: Emotion) -> OverallEmotion {
         fuse_emotions(
             &[EmotionEstimate::hard(0, e, 1.0)],
-            &OverallEmotionConfig { participants: 1, smoothing: 0.0 },
+            &OverallEmotionConfig {
+                participants: 1,
+                smoothing: 0.0,
+            },
         )
     }
 
@@ -134,7 +137,10 @@ mod tests {
             *m = ec(2, &[(0, 1)]);
         }
         let emos = vec![emo(Emotion::Neutral); 20];
-        let cfg = ImportanceConfig { smoothing_window: 1, ..ImportanceConfig::default() };
+        let cfg = ImportanceConfig {
+            smoothing_window: 1,
+            ..ImportanceConfig::default()
+        };
         let s = importance_series(&mats, &emos, &cfg);
         assert!(s[15] > s[5]);
         assert!(s[15] >= 1.0);
@@ -145,7 +151,10 @@ mod tests {
         let mats = vec![LookAtMatrix::zero(2); 10];
         let mut emos = vec![emo(Emotion::Neutral); 5];
         emos.extend(vec![emo(Emotion::Happy); 5]);
-        let cfg = ImportanceConfig { smoothing_window: 1, ..ImportanceConfig::default() };
+        let cfg = ImportanceConfig {
+            smoothing_window: 1,
+            ..ImportanceConfig::default()
+        };
         let s = importance_series(&mats, &emos, &cfg);
         assert!(s[5] > 1.0, "transition frame spikes: {}", s[5]);
         assert!(s[6].abs() < 1e-12, "steady state back to zero");
@@ -176,27 +185,32 @@ mod tests {
         let sharp = importance_series(
             &mats,
             &emos,
-            &ImportanceConfig { smoothing_window: 1, ..ImportanceConfig::default() },
+            &ImportanceConfig {
+                smoothing_window: 1,
+                ..ImportanceConfig::default()
+            },
         );
         let smooth = importance_series(
             &mats,
             &emos,
-            &ImportanceConfig { smoothing_window: 5, ..ImportanceConfig::default() },
+            &ImportanceConfig {
+                smoothing_window: 5,
+                ..ImportanceConfig::default()
+            },
         );
         assert!(smooth[5] < sharp[5], "peak reduced");
         assert!(smooth[3] > 0.0, "mass spread to neighbours");
         let total_sharp: f64 = sharp.iter().sum();
         let total_smooth: f64 = smooth.iter().sum();
-        assert!((total_sharp - total_smooth).abs() / total_sharp < 0.25, "mass roughly conserved");
+        assert!(
+            (total_sharp - total_smooth).abs() / total_sharp < 0.25,
+            "mass roughly conserved"
+        );
     }
 
     #[test]
     #[should_panic]
     fn mismatched_lengths_panic() {
-        let _ = importance_series(
-            &[LookAtMatrix::zero(2)],
-            &[],
-            &ImportanceConfig::default(),
-        );
+        let _ = importance_series(&[LookAtMatrix::zero(2)], &[], &ImportanceConfig::default());
     }
 }

@@ -21,7 +21,10 @@ pub struct SummaryConfig {
 
 impl Default for SummaryConfig {
     fn default() -> Self {
-        SummaryConfig { budget_frames: 150, min_segment_frames: 8 }
+        SummaryConfig {
+            budget_frames: 150,
+            min_segment_frames: 8,
+        }
     }
 }
 
@@ -80,9 +83,17 @@ pub fn select_summary(
         .enumerate()
         .filter(|(_, s)| s.len() >= config.min_segment_frames)
         .map(|(i, s)| {
-            assert!(s.end <= importance.len(), "shot {i} exceeds importance series");
+            assert!(
+                s.end <= importance.len(),
+                "shot {i} exceeds importance series"
+            );
             let score = importance[s.start..s.end].iter().sum::<f64>() / s.len() as f64;
-            SummarySegment { shot: i, start: s.start, end: s.end, score }
+            SummarySegment {
+                shot: i,
+                start: s.start,
+                end: s.end,
+                score,
+            }
         })
         .collect();
 
@@ -162,7 +173,10 @@ mod tests {
         let mut out = Vec::new();
         let mut start = 0;
         for &l in lens {
-            out.push(Shot { start, end: start + l });
+            out.push(Shot {
+                start,
+                end: start + l,
+            });
             start += l;
         }
         out
@@ -182,7 +196,10 @@ mod tests {
     fn picks_highest_scoring_shots_within_budget() {
         let shots = shots_of(&[40, 40, 40, 40]);
         let imp = importance_for(&shots, &[0.1, 0.9, 0.5, 0.8]);
-        let cfg = SummaryConfig { budget_frames: 80, min_segment_frames: 8 };
+        let cfg = SummaryConfig {
+            budget_frames: 80,
+            min_segment_frames: 8,
+        };
         let s = select_summary(&shots, &imp, &cfg, &ImportanceConfig::default());
         let picked: Vec<usize> = s.segments.iter().map(|x| x.shot).collect();
         assert_eq!(picked, vec![1, 3], "two best shots, in temporal order");
@@ -194,7 +211,10 @@ mod tests {
     fn budget_respected_even_when_skipping() {
         let shots = shots_of(&[100, 30, 30]);
         let imp = importance_for(&shots, &[1.0, 0.8, 0.7]);
-        let cfg = SummaryConfig { budget_frames: 70, min_segment_frames: 8 };
+        let cfg = SummaryConfig {
+            budget_frames: 70,
+            min_segment_frames: 8,
+        };
         let s = select_summary(&shots, &imp, &cfg, &ImportanceConfig::default());
         // Best shot (100 frames) doesn't fit: skipped, both 30s chosen.
         assert_eq!(s.segments.len(), 2);
@@ -206,15 +226,26 @@ mod tests {
     fn tiny_shots_excluded() {
         let shots = shots_of(&[4, 50]);
         let imp = importance_for(&shots, &[100.0, 0.1]);
-        let cfg = SummaryConfig { budget_frames: 100, min_segment_frames: 8 };
+        let cfg = SummaryConfig {
+            budget_frames: 100,
+            min_segment_frames: 8,
+        };
         let s = select_summary(&shots, &imp, &cfg, &ImportanceConfig::default());
         assert_eq!(s.segments.len(), 1);
-        assert_eq!(s.segments[0].shot, 1, "4-frame fragment excluded despite its score");
+        assert_eq!(
+            s.segments[0].shot, 1,
+            "4-frame fragment excluded despite its score"
+        );
     }
 
     #[test]
     fn empty_inputs() {
-        let s = select_summary(&[], &[], &SummaryConfig::default(), &ImportanceConfig::default());
+        let s = select_summary(
+            &[],
+            &[],
+            &SummaryConfig::default(),
+            &ImportanceConfig::default(),
+        );
         assert!(s.segments.is_empty());
         assert_eq!(s.total_frames, 0);
         assert_eq!(s.coverage, 0.0);
@@ -224,7 +255,10 @@ mod tests {
     fn segments_sorted_temporally() {
         let shots = shots_of(&[20, 20, 20, 20, 20]);
         let imp = importance_for(&shots, &[0.5, 0.1, 0.9, 0.2, 0.7]);
-        let cfg = SummaryConfig { budget_frames: 60, min_segment_frames: 8 };
+        let cfg = SummaryConfig {
+            budget_frames: 60,
+            min_segment_frames: 8,
+        };
         let s = select_summary(&shots, &imp, &cfg, &ImportanceConfig::default());
         assert!(s.segments.windows(2).all(|w| w[0].start < w[1].start));
     }

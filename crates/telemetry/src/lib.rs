@@ -1,0 +1,334 @@
+//! Observability for the DiEvent pipeline.
+//!
+//! Three pieces, designed to be cheap enough to leave on:
+//!
+//! * **Tracing** ([`Telemetry::span`]) — nested wall-clock spans with
+//!   key-value fields. Nesting is tracked per thread; cross-thread
+//!   children (camera workers under the extraction stage) attach via
+//!   [`Telemetry::span_under`].
+//! * **Metrics** ([`Telemetry::counter`], [`Telemetry::gauge`],
+//!   [`Telemetry::histogram`]) — named instruments in a process-local
+//!   registry. Histograms are log-scale with p50/p95/p99 summaries.
+//! * **Sinks** ([`sink`]) — a human-readable tree dump, a JSON-lines
+//!   trace exporter, and a Prometheus-style text exposition, all fed
+//!   from one [`Snapshot`].
+//!
+//! A [`Telemetry`] handle is a cheap clone (one `Arc`). A *disabled*
+//! handle ([`Telemetry::disabled`]) carries no allocation at all:
+//! every instrument it hands out is a no-op, so instrumented code pays
+//! one branch per operation.
+//!
+//! ```
+//! use dievent_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::enabled();
+//! {
+//!     let mut span = telemetry.span("stage.extraction");
+//!     span.set("cameras", 2i64);
+//!     telemetry.counter("frames_processed").add(40);
+//!     telemetry.histogram("frame_extraction_seconds").observe(0.0021);
+//! }
+//! let report = telemetry.report();
+//! assert_eq!(report.counter("frames_processed"), Some(40));
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod report;
+pub mod sink;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use report::{CounterEntry, GaugeEntry, HistogramSummary, SpanSummary, TelemetryReport};
+pub use sink::{JsonlSink, PrometheusSink, Sink, Snapshot, TreeSink};
+pub use span::{EventRecord, FieldValue, SpanGuard, SpanRecord};
+
+use metrics::Registry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+pub(crate) struct Inner {
+    epoch: Instant,
+    next_span_id: AtomicU64,
+    /// Completed spans, in completion order.
+    spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<Vec<EventRecord>>,
+    /// Per-thread stack of open span ids (for implicit nesting).
+    stacks: Mutex<HashMap<ThreadId, Vec<u64>>>,
+    registry: Registry,
+}
+
+impl Inner {
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn current_span(&self) -> Option<u64> {
+        self.stacks
+            .lock()
+            .get(&std::thread::current().id())
+            .and_then(|s| s.last().copied())
+    }
+
+    fn push_span(&self, id: u64) {
+        self.stacks
+            .lock()
+            .entry(std::thread::current().id())
+            .or_default()
+            .push(id);
+    }
+
+    fn pop_span(&self, id: u64) {
+        let mut stacks = self.stacks.lock();
+        if let Some(stack) = stacks.get_mut(&std::thread::current().id()) {
+            // Guards drop LIFO within a thread, so this is normally the
+            // top; tolerate out-of-order drops by removing the match.
+            if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                stack.remove(pos);
+            }
+        }
+    }
+}
+
+/// A handle to one telemetry domain. Clone freely; all clones share
+/// the same spans, events, and registry.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A live telemetry domain.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                next_span_id: AtomicU64::new(1),
+                spans: Mutex::new(Vec::new()),
+                events: Mutex::new(Vec::new()),
+                stacks: Mutex::new(HashMap::new()),
+                registry: Registry::default(),
+            })),
+        }
+    }
+
+    /// A no-op handle: spans, events, and every instrument it hands
+    /// out do nothing. This is the `Default`.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span nested under the current thread's innermost open
+    /// span. The span closes (and records its duration) when the
+    /// returned guard drops.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        let parent = self.inner.as_ref().and_then(|i| i.current_span());
+        self.span_under(name, parent)
+    }
+
+    /// Opens a span with an explicit parent — the escape hatch for
+    /// cross-thread nesting, where the implicit per-thread stack can't
+    /// see the parent. `parent` is typically [`SpanGuard::id`] of a
+    /// span owned by another thread.
+    pub fn span_under(&self, name: impl Into<String>, parent: Option<u64>) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard::noop(),
+            Some(inner) => {
+                let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
+                inner.push_span(id);
+                SpanGuard::live(Arc::clone(inner), id, parent, name.into(), inner.now_s())
+            }
+        }
+    }
+
+    /// Records a point-in-time event attached to the current thread's
+    /// innermost open span (or free-standing when none is open).
+    pub fn event(&self, name: impl Into<String>) {
+        if let Some(inner) = &self.inner {
+            let record = EventRecord {
+                span: inner.current_span(),
+                name: name.into(),
+                t_s: inner.now_s(),
+                fields: Vec::new(),
+            };
+            inner.events.lock().push(record);
+        }
+    }
+
+    /// A named monotonic counter (get-or-create).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// A labeled counter, e.g. `counter_with("frames_processed",
+    /// &[("camera", "0")])`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match &self.inner {
+            None => Counter::noop(),
+            Some(inner) => inner.registry.counter(name, labels),
+        }
+    }
+
+    /// A named gauge (get-or-create).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// A labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match &self.inner {
+            None => Gauge::noop(),
+            Some(inner) => inner.registry.gauge(name, labels),
+        }
+    }
+
+    /// A named log-scale histogram (get-or-create).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// A labeled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match &self.inner {
+            None => Histogram::noop(),
+            Some(inner) => inner.registry.histogram(name, labels),
+        }
+    }
+
+    /// A point-in-time copy of everything recorded so far: completed
+    /// spans, events, and metric values. Open spans are not included.
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            None => Snapshot::default(),
+            Some(inner) => {
+                // Take each lock in its own statement: `report()` locks
+                // `spans` again, and the guards are not reentrant.
+                let spans = inner.spans.lock().clone();
+                let events = inner.events.lock().clone();
+                let report = self.report();
+                Snapshot {
+                    spans,
+                    events,
+                    report,
+                }
+            }
+        }
+    }
+
+    /// The aggregated metrics + span-summary view (serializable; this
+    /// is what [`EventAnalysis`](../dievent_core) carries).
+    pub fn report(&self) -> TelemetryReport {
+        match &self.inner {
+            None => TelemetryReport::default(),
+            Some(inner) => report::build(&inner.registry, &inner.spans.lock()),
+        }
+    }
+
+    /// Renders the span tree + registry summary as human-readable text
+    /// (the [`TreeSink`] output).
+    pub fn render_tree(&self) -> String {
+        self.render_with(TreeSink(Vec::new()))
+    }
+
+    /// Renders the trace as JSON lines (one span or event per line).
+    pub fn trace_jsonl(&self) -> String {
+        self.render_with(JsonlSink(Vec::new()))
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.render_with(PrometheusSink(Vec::new()))
+    }
+
+    fn render_with<S: Sink + AsBytes>(&self, mut sink: S) -> String {
+        let snapshot = self.snapshot();
+        sink.export(&snapshot).expect("in-memory sink");
+        String::from_utf8(sink.into_bytes()).expect("sinks emit UTF-8")
+    }
+}
+
+/// Internal: sinks over `Vec<u8>` that can give their buffer back.
+trait AsBytes {
+    fn into_bytes(self) -> Vec<u8>;
+}
+
+impl AsBytes for TreeSink<Vec<u8>> {
+    fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+impl AsBytes for JsonlSink<Vec<u8>> {
+    fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+impl AsBytes for PrometheusSink<Vec<u8>> {
+    fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let mut span = t.span("nothing");
+        span.set("k", 1i64);
+        t.counter("c").incr();
+        t.gauge("g").set(5.0);
+        t.histogram("h").observe(1.0);
+        t.event("e");
+        drop(span);
+        let snap = t.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.events.is_empty());
+        assert_eq!(t.report(), TelemetryReport::default());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        t.counter("shared").add(3);
+        u.counter("shared").add(4);
+        assert_eq!(t.report().counter("shared"), Some(7));
+    }
+
+    #[test]
+    fn events_attach_to_open_span() {
+        let t = Telemetry::enabled();
+        let outer = t.span("outer");
+        let outer_id = outer.id();
+        t.event("inside");
+        drop(outer);
+        t.event("after");
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].span, outer_id);
+        assert_eq!(snap.events[1].span, None);
+    }
+}

@@ -1,0 +1,450 @@
+//! The metrics registry: counters, gauges, and log-scale histograms.
+//!
+//! Instruments are handles (`Arc`s into the registry), resolved once
+//! and then updated with plain atomic operations — hot paths never
+//! touch the registry lock. Handles from a disabled
+//! [`Telemetry`](crate::Telemetry) are no-ops.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identity of one instrument: a name plus sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+
+    /// Renders `name{k="v",...}` (bare name when unlabeled).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<MetricKey, Arc<HistogramCore>>>,
+}
+
+impl Registry {
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let cell = Arc::clone(self.counters.lock().entry(key).or_default());
+        Counter(Some(cell))
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let cell = Arc::clone(self.gauges.lock().entry(key).or_default());
+        Gauge(Some(cell))
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let core = Arc::clone(
+            self.histograms
+                .lock()
+                .entry(key)
+                .or_insert_with(|| Arc::new(HistogramCore::new())),
+        );
+        Histogram(Some(core))
+    }
+
+    pub fn counter_values(&self) -> Vec<(MetricKey, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub fn gauge_values(&self) -> Vec<(MetricKey, f64)> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect()
+    }
+
+    pub fn histogram_cores(&self) -> Vec<(MetricKey, Arc<HistogramCore>)> {
+        self.histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+/// A monotonic counter handle.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+impl Counter {
+    pub(crate) fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value (0 on a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge handle (an f64 set to the latest value).
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+impl Gauge {
+    pub(crate) fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (0 on a no-op handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Log-scale histogram resolution: buckets per factor of two. 8 gives
+/// ~9% relative quantile error, plenty for latency distributions.
+const BUCKETS_PER_OCTAVE: f64 = 8.0;
+/// Bucket 0 sits at 2^-30 s ≈ 1 ns; the last at ~2^10 s ≈ 17 min.
+const OCTAVE_OFFSET: f64 = 30.0;
+const BUCKET_COUNT: usize = 320;
+
+pub(crate) struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn atomic_f64_min(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while v < f64::from_bits(cur) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn atomic_f64_max(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while v > f64::from_bits(cur) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn bucket_of(v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        let idx = ((v.log2() + OCTAVE_OFFSET) * BUCKETS_PER_OCTAVE).floor();
+        idx.clamp(0.0, (BUCKET_COUNT - 1) as f64) as usize
+    }
+
+    /// Geometric midpoint of a bucket — the representative value
+    /// reported for quantiles landing in it.
+    fn bucket_value(idx: usize) -> f64 {
+        ((idx as f64 + 0.5) / BUCKETS_PER_OCTAVE - OCTAVE_OFFSET).exp2()
+    }
+
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+        atomic_f64_min(&self.min_bits, v);
+        atomic_f64_max(&self.max_bits, v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn min(&self) -> f64 {
+        let v = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        let v = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, within one log-bucket
+    /// (~±4.5% relative) of the true order statistic. 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        // The extreme order statistics are tracked exactly; the bucket
+        // walk below would only return a midpoint near them.
+        if rank == 1 {
+            return self.min();
+        }
+        if rank == total {
+            return self.max();
+        }
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                // Clamp into the observed range: tightens the first and
+                // last buckets to the true extremes.
+                return Self::bucket_value(idx).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// A log-scale histogram handle.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl Histogram {
+    pub(crate) fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation (typically seconds).
+    pub fn observe(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.observe(v);
+        }
+    }
+
+    /// Records a duration, in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Times `f` and records its wall-clock duration.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.0 {
+            None => f(),
+            Some(core) => {
+                let start = std::time::Instant::now();
+                let out = f();
+                core.observe(start.elapsed().as_secs_f64());
+                out
+            }
+        }
+    }
+
+    /// Number of observations (0 on a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.count())
+    }
+
+    /// The value at quantile `q` (0 on a no-op handle).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.0.as_ref().map_or(0.0, |c| c.quantile(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotonic() {
+        let values = [1e-9, 1e-6, 1e-3, 0.5, 1.0, 2.0, 100.0];
+        let idxs: Vec<usize> = values
+            .iter()
+            .map(|&v| HistogramCore::bucket_of(v))
+            .collect();
+        assert!(idxs.windows(2).all(|w| w[0] < w[1]), "{idxs:?}");
+        // Representative values sit inside their bucket's range.
+        for &v in &values {
+            let idx = HistogramCore::bucket_of(v);
+            let rep = HistogramCore::bucket_value(idx);
+            assert!(
+                (rep / v).log2().abs() <= 1.0 / 8.0 + 1e-9,
+                "v={v} rep={rep}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_land_in_first_bucket() {
+        assert_eq!(HistogramCore::bucket_of(0.0), 0);
+        assert_eq!(HistogramCore::bucket_of(-3.0), 0);
+        let h = HistogramCore::new();
+        h.observe(0.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = HistogramCore::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_track_true_percentiles_within_bucket_error() {
+        let h = HistogramCore::new();
+        // 1 ms .. 1000 ms, uniform. True p50 = 0.5005 s, p95 = 0.9505 s.
+        for i in 1..=1000 {
+            h.observe(i as f64 * 1e-3);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 500.5).abs() < 1e-6);
+        assert_eq!(h.min(), 1e-3);
+        assert_eq!(h.max(), 1.0);
+        // Log-bucket resolution is 2^(1/8) ≈ 9%; allow one bucket.
+        for (q, truth) in [(0.50, 0.5005), (0.95, 0.9505), (0.99, 0.9905)] {
+            let got = h.quantile(q);
+            let rel = (got / truth).log2().abs();
+            assert!(rel <= 1.0 / 8.0 + 1e-9, "q={q}: got {got}, true {truth}");
+        }
+        // Extremes are exact thanks to the min/max clamp.
+        assert_eq!(h.quantile(0.0), 1e-3);
+        assert_eq!(h.quantile(1.0), 1.0);
+    }
+
+    #[test]
+    fn counters_are_atomic_under_concurrency() {
+        let registry = Registry::default();
+        let counter = registry.counter("hits", &[]);
+        let histogram = registry.histogram("lat", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let counter = counter.clone();
+                let histogram = histogram.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        counter.incr();
+                        if i % 100 == 0 {
+                            histogram.observe(1e-3);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 80_000);
+        assert_eq!(histogram.count(), 800);
+        assert!((registry.histogram("lat", &[]).quantile(0.5) - 1e-3).abs() / 1e-3 < 0.1);
+    }
+
+    #[test]
+    fn metric_key_renders_labels_sorted() {
+        let key = MetricKey::new("frames", &[("z", "1"), ("a", "2")]);
+        assert_eq!(key.render(), "frames{a=\"2\",z=\"1\"}");
+        assert_eq!(MetricKey::new("frames", &[]).render(), "frames");
+    }
+}

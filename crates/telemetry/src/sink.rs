@@ -1,0 +1,334 @@
+//! Pluggable exporters.
+//!
+//! Every sink consumes the same [`Snapshot`]; pick the format:
+//!
+//! * [`TreeSink`] — human-readable span tree plus registry summary
+//!   (what `dievent --metrics` prints to stderr);
+//! * [`JsonlSink`] — one JSON object per span/event line (what
+//!   `dievent --trace FILE` writes);
+//! * [`PrometheusSink`] — text exposition of the registry.
+
+use crate::report::TelemetryReport;
+use crate::span::{EventRecord, FieldValue, SpanRecord};
+use serde_json::json;
+use std::io::{self, Write};
+
+/// A point-in-time copy of a telemetry domain.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Recorded events, in order.
+    pub events: Vec<EventRecord>,
+    /// The aggregated metrics view.
+    pub report: TelemetryReport,
+}
+
+/// An exporter of telemetry snapshots.
+pub trait Sink {
+    /// Writes the snapshot in this sink's format.
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()>;
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.0}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+fn fmt_fields(fields: &[(String, FieldValue)]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| format!(" {k}={v}"))
+        .collect::<String>()
+}
+
+/// Human-readable tree dump.
+pub struct TreeSink<W: Write>(pub W);
+
+impl<W: Write> Sink for TreeSink<W> {
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        let w = &mut self.0;
+        if !snapshot.spans.is_empty() {
+            writeln!(w, "spans:")?;
+            // Children of each span, in open order.
+            let mut spans = snapshot.spans.to_vec();
+            spans.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+            let roots: Vec<&SpanRecord> = spans
+                .iter()
+                .filter(|s| s.parent.is_none() || !spans.iter().any(|p| Some(p.id) == s.parent))
+                .collect();
+            for root in roots {
+                write_subtree(w, &spans, root, 1)?;
+            }
+        }
+        let r = &snapshot.report;
+        if !r.counters.is_empty() {
+            writeln!(w, "counters:")?;
+            for c in &r.counters {
+                writeln!(w, "  {:<48} {}", c.name, c.value)?;
+            }
+        }
+        if !r.gauges.is_empty() {
+            writeln!(w, "gauges:")?;
+            for g in &r.gauges {
+                writeln!(w, "  {:<48} {}", g.name, g.value)?;
+            }
+        }
+        if !r.histograms.is_empty() {
+            writeln!(w, "histograms:")?;
+            for h in &r.histograms {
+                writeln!(
+                    w,
+                    "  {:<48} count={} p50={} p95={} p99={} max={}",
+                    h.name,
+                    h.count,
+                    fmt_seconds(h.p50),
+                    fmt_seconds(h.p95),
+                    fmt_seconds(h.p99),
+                    fmt_seconds(h.max),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn write_subtree<W: Write>(
+    w: &mut W,
+    spans: &[SpanRecord],
+    node: &SpanRecord,
+    depth: usize,
+) -> io::Result<()> {
+    writeln!(
+        w,
+        "{}{} ({}){}",
+        "  ".repeat(depth),
+        node.name,
+        fmt_seconds(node.duration_s),
+        fmt_fields(&node.fields),
+    )?;
+    for child in spans.iter().filter(|s| s.parent == Some(node.id)) {
+        write_subtree(w, spans, child, depth + 1)?;
+    }
+    Ok(())
+}
+
+/// JSON-lines trace exporter: one object per span (`"kind":"span"`)
+/// and per event (`"kind":"event"`), spans sorted by start time.
+pub struct JsonlSink<W: Write>(pub W);
+
+fn render_line(v: &serde_json::Value) -> io::Result<String> {
+    serde_json::to_string(v).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn fields_object(fields: &[(String, FieldValue)]) -> serde_json::Value {
+    let mut obj = serde_json::Value::Object(Default::default());
+    if let serde_json::Value::Object(map) = &mut obj {
+        for (k, v) in fields {
+            let jv = match v {
+                FieldValue::Int(i) => json!(*i),
+                FieldValue::Float(f) => json!(*f),
+                FieldValue::Str(s) => json!(s),
+                FieldValue::Bool(b) => json!(*b),
+            };
+            map.insert(k.clone(), jv);
+        }
+    }
+    obj
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        let mut spans = snapshot.spans.to_vec();
+        spans.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        for s in &spans {
+            let line = json!({
+                "kind": "span",
+                "id": s.id,
+                "parent": serde_json::to_value(&s.parent)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                "name": s.name,
+                "thread": s.thread,
+                "start_s": s.start_s,
+                "duration_s": s.duration_s,
+                "fields": fields_object(&s.fields),
+            });
+            writeln!(self.0, "{}", render_line(&line)?)?;
+        }
+        for e in &snapshot.events {
+            let line = json!({
+                "kind": "event",
+                "span": serde_json::to_value(&e.span)
+                    .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?,
+                "name": e.name,
+                "t_s": e.t_s,
+                "fields": fields_object(&e.fields),
+            });
+            writeln!(self.0, "{}", render_line(&line)?)?;
+        }
+        Ok(())
+    }
+}
+
+/// Prometheus text exposition of the registry (spans and events are
+/// not exported — scrape formats carry metrics only).
+pub struct PrometheusSink<W: Write>(pub W);
+
+/// `frames_processed{camera="0"}` → `("frames_processed", `{camera="0"}`)`.
+fn split_labels(rendered: &str) -> (&str, &str) {
+    match rendered.find('{') {
+        Some(i) => (&rendered[..i], &rendered[i..]),
+        None => (rendered, ""),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl<W: Write> Sink for PrometheusSink<W> {
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        let w = &mut self.0;
+        let r = &snapshot.report;
+        let mut last_type: Option<String> = None;
+        let mut type_line = |w: &mut W, name: &str, kind: &str| -> io::Result<()> {
+            if last_type.as_deref() != Some(name) {
+                writeln!(w, "# TYPE dievent_{name} {kind}")?;
+                last_type = Some(name.to_owned());
+            }
+            Ok(())
+        };
+        for c in &r.counters {
+            let (name, labels) = split_labels(&c.name);
+            let name = sanitize(name);
+            type_line(w, &name, "counter")?;
+            writeln!(w, "dievent_{name}{labels} {}", c.value)?;
+        }
+        for g in &r.gauges {
+            let (name, labels) = split_labels(&g.name);
+            let name = sanitize(name);
+            type_line(w, &name, "gauge")?;
+            writeln!(w, "dievent_{name}{labels} {}", g.value)?;
+        }
+        for h in &r.histograms {
+            let (name, labels) = split_labels(&h.name);
+            let name = sanitize(name);
+            type_line(w, &name, "summary")?;
+            let base_labels = labels.trim_start_matches('{').trim_end_matches('}');
+            let quantile = |q: &str, v: f64| {
+                if base_labels.is_empty() {
+                    format!("dievent_{name}{{quantile=\"{q}\"}} {v}")
+                } else {
+                    format!("dievent_{name}{{{base_labels},quantile=\"{q}\"}} {v}")
+                }
+            };
+            writeln!(w, "{}", quantile("0.5", h.p50))?;
+            writeln!(w, "{}", quantile("0.95", h.p95))?;
+            writeln!(w, "{}", quantile("0.99", h.p99))?;
+            writeln!(w, "dievent_{name}_sum{labels} {}", h.sum)?;
+            writeln!(w, "dievent_{name}_count{labels} {}", h.count)?;
+        }
+        // Span aggregates exported as a pair of synthetic metrics.
+        for s in &r.spans {
+            let name = sanitize(&s.name);
+            type_line(w, &format!("span_{name}_seconds_total"), "counter")?;
+            writeln!(w, "dievent_span_{name}_seconds_total {}", s.total_s)?;
+            type_line(w, &format!("span_{name}_count"), "counter")?;
+            writeln!(w, "dievent_span_{name}_count {}", s.count)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    fn sample() -> Telemetry {
+        let t = Telemetry::enabled();
+        {
+            let mut run = t.span("run");
+            run.set("frames", 40usize);
+            let _child = t.span("stage.extraction");
+            t.counter_with("frames_processed", &[("camera", "0")])
+                .add(40);
+            t.gauge("participants").set(4.0);
+            t.histogram("frame_extraction_seconds").observe(0.002);
+        }
+        t
+    }
+
+    #[test]
+    fn tree_dump_shows_hierarchy_and_metrics() {
+        let text = sample().render_tree();
+        assert!(text.contains("run ("), "{text}");
+        assert!(
+            text.contains("    stage.extraction ("),
+            "nested deeper: {text}"
+        );
+        assert!(text.contains("frames=40"));
+        assert!(text.contains("frames_processed{camera=\"0\"}"));
+        assert!(text.contains("p50="));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let text = sample().trace_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "two spans: {text}");
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["kind"], serde_json::json!("span"));
+            assert!(v["duration_s"].as_f64().unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_the_snapshot() {
+        let t = sample();
+        t.event("frame.dropped");
+        let snapshot = t.snapshot();
+        let text = t.trace_jsonl();
+        let values: Vec<serde_json::Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(values.len(), snapshot.spans.len() + snapshot.events.len());
+        // Every exported span is reconstructible field-for-field.
+        for record in &snapshot.spans {
+            let line = values
+                .iter()
+                .find(|v| v["kind"].as_str() == Some("span") && v["id"].as_u64() == Some(record.id))
+                .unwrap_or_else(|| panic!("span {} missing from trace", record.id));
+            assert_eq!(line["name"].as_str(), Some(record.name.as_str()));
+            assert_eq!(line["parent"].as_u64(), record.parent);
+            assert_eq!(line["start_s"].as_f64(), Some(record.start_s));
+            assert_eq!(line["duration_s"].as_f64(), Some(record.duration_s));
+        }
+        let event = values
+            .iter()
+            .find(|v| v["kind"].as_str() == Some("event"))
+            .expect("event line present");
+        assert_eq!(event["name"].as_str(), Some("frame.dropped"));
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_and_values() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("# TYPE dievent_frames_processed counter"));
+        assert!(text.contains("dievent_frames_processed{camera=\"0\"} 40"));
+        assert!(text.contains("# TYPE dievent_participants gauge"));
+        assert!(text.contains("quantile=\"0.95\""));
+        assert!(text.contains("dievent_frame_extraction_seconds_count 1"));
+        assert!(text.contains("dievent_span_run_seconds_total"));
+    }
+}

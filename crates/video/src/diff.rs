@@ -79,18 +79,18 @@ pub fn edge_change_ratio(a: &GrayFrame, b: &GrayFrame, edge_threshold: u16) -> f
     if count_a == 0 && count_b == 0 {
         return 0.0;
     }
-    let exiting = ea
-        .iter()
-        .zip(eb.iter())
-        .filter(|&(&x, &y)| x && !y)
-        .count();
-    let entering = ea
-        .iter()
-        .zip(eb.iter())
-        .filter(|&(&x, &y)| !x && y)
-        .count();
-    let out_ratio = if count_a > 0 { exiting as f64 / count_a as f64 } else { 1.0 };
-    let in_ratio = if count_b > 0 { entering as f64 / count_b as f64 } else { 1.0 };
+    let exiting = ea.iter().zip(eb.iter()).filter(|&(&x, &y)| x && !y).count();
+    let entering = ea.iter().zip(eb.iter()).filter(|&(&x, &y)| !x && y).count();
+    let out_ratio = if count_a > 0 {
+        exiting as f64 / count_a as f64
+    } else {
+        1.0
+    };
+    let in_ratio = if count_b > 0 {
+        entering as f64 / count_b as f64
+    } else {
+        1.0
+    };
     out_ratio.max(in_ratio)
 }
 

@@ -234,7 +234,8 @@ impl GrayFrame {
                 let a = self.get(sx, sy) as u16;
                 let b = self.get((sx + 1).min(self.width - 1), sy) as u16;
                 let c = self.get(sx, (sy + 1).min(self.height - 1)) as u16;
-                let d2 = self.get((sx + 1).min(self.width - 1), (sy + 1).min(self.height - 1)) as u16;
+                let d2 =
+                    self.get((sx + 1).min(self.width - 1), (sy + 1).min(self.height - 1)) as u16;
                 out[(y * w + x) as usize] = ((a + b + c + d2) / 4) as u8;
             }
         }
@@ -315,7 +316,12 @@ impl RgbFrame {
         for _ in 0..width * height {
             data.extend_from_slice(&fill);
         }
-        RgbFrame { width, height, timestamp: Timestamp::default(), data }
+        RgbFrame {
+            width,
+            height,
+            timestamp: Timestamp::default(),
+            data,
+        }
     }
 
     /// Frame width in pixels.

@@ -26,7 +26,10 @@ pub struct KeyframeConfig {
 
 impl Default for KeyframeConfig {
     fn default() -> Self {
-        KeyframeConfig { drift_threshold: 0.08, max_per_shot: 8 }
+        KeyframeConfig {
+            drift_threshold: 0.08,
+            max_per_shot: 8,
+        }
     }
 }
 
@@ -37,7 +40,11 @@ impl Default for KeyframeConfig {
 ///
 /// # Panics
 /// Panics when the shot range exceeds `frames.len()`.
-pub fn extract_keyframes(frames: &[GrayFrame], shot: &Shot, config: &KeyframeConfig) -> Vec<FrameIndex> {
+pub fn extract_keyframes(
+    frames: &[GrayFrame],
+    shot: &Shot,
+    config: &KeyframeConfig,
+) -> Vec<FrameIndex> {
     assert!(shot.end <= frames.len(), "shot {shot:?} out of range");
     if shot.is_empty() || config.max_per_shot == 0 {
         return Vec::new();
@@ -95,7 +102,10 @@ mod tests {
     fn max_per_shot_caps_output() {
         let frames: Vec<_> = (0..64u8).map(|i| flat(i.wrapping_mul(16))).collect();
         let shot = Shot { start: 0, end: 64 };
-        let cfg = KeyframeConfig { drift_threshold: 0.01, max_per_shot: 3 };
+        let cfg = KeyframeConfig {
+            drift_threshold: 0.01,
+            max_per_shot: 3,
+        };
         let keys = extract_keyframes(&frames, &shot, &cfg);
         assert_eq!(keys.len(), 3);
     }

@@ -36,7 +36,9 @@ pub mod scenes;
 pub mod shots;
 pub mod stream;
 
-pub use diff::{edge_change_ratio, frame_distance, histogram_chi_square, histogram_intersection, pixel_mad};
+pub use diff::{
+    edge_change_ratio, frame_distance, histogram_chi_square, histogram_intersection, pixel_mad,
+};
 pub use frame::{GrayFrame, Histogram, RgbFrame, Timestamp, HISTOGRAM_BINS};
 pub use io::{load_pgm, read_pgm, save_pgm, save_ppm, write_pgm, write_ppm};
 pub use keyframes::{extract_keyframes, KeyframeConfig};

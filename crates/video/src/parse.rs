@@ -9,6 +9,7 @@ use crate::keyframes::{extract_keyframes, KeyframeConfig};
 use crate::scenes::{segment_scenes, Scene, SceneConfig};
 use crate::shots::{detect_shots, Shot, ShotBoundary, ShotDetectorConfig};
 use crate::stream::{FrameIndex, VideoSpec, VideoStream};
+use dievent_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the full parsing pipeline.
@@ -52,7 +53,8 @@ impl VideoStructure {
     pub fn shot_of_frame(&self, frame: FrameIndex) -> Option<usize> {
         // Shots are sorted and tile the video: binary search on start.
         let idx = self.shots.partition_point(|s| s.start <= frame);
-        idx.checked_sub(1).filter(|&i| self.shots[i].contains(frame))
+        idx.checked_sub(1)
+            .filter(|&i| self.shots[i].contains(frame))
     }
 
     /// Index of the scene containing `frame`, if any.
@@ -76,7 +78,11 @@ impl VideoStructure {
         );
         for (si, scene) in self.scenes.iter().enumerate() {
             let (f0, f1) = scene.frame_span(&self.shots);
-            let _ = writeln!(out, "  scene {si}: shots {}..{} (frames {f0}..{f1})", scene.first_shot, scene.last_shot);
+            let _ = writeln!(
+                out,
+                "  scene {si}: shots {}..{} (frames {f0}..{f1})",
+                scene.first_shot, scene.last_shot
+            );
             for s in scene.first_shot..scene.last_shot {
                 let shot = &self.shots[s];
                 let _ = writeln!(
@@ -94,22 +100,45 @@ impl VideoStructure {
 #[derive(Debug, Clone, Default)]
 pub struct VideoParser {
     config: VideoParserConfig,
+    telemetry: Telemetry,
 }
 
 impl VideoParser {
     /// Creates a parser with the given configuration.
     pub fn new(config: VideoParserConfig) -> Self {
-        VideoParser { config }
+        VideoParser {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches the parser to a telemetry domain: parse calls record a
+    /// `video.parse` span plus `shots_detected` / `keyframes_extracted`
+    /// / `scenes_segmented` counters.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Parses frames that are already in memory.
     pub fn parse_frames(&self, spec: VideoSpec, frames: &[GrayFrame]) -> VideoStructure {
+        let mut span = self.telemetry.span("video.parse");
+        span.set("frames", frames.len());
         let (shots, boundaries) = detect_shots(frames, &self.config.shots);
-        let keyframes = shots
+        let keyframes: Vec<Vec<FrameIndex>> = shots
             .iter()
             .map(|s| extract_keyframes(frames, s, &self.config.keyframes))
             .collect();
         let scenes = segment_scenes(frames, &shots, &self.config.scenes);
+        self.telemetry
+            .counter("shots_detected")
+            .add(shots.len() as u64);
+        self.telemetry
+            .counter("keyframes_extracted")
+            .add(keyframes.iter().map(Vec::len).sum::<usize>() as u64);
+        self.telemetry
+            .counter("scenes_segmented")
+            .add(scenes.len() as u64);
         VideoStructure {
             spec,
             frame_count: frames.len(),
@@ -146,7 +175,11 @@ mod tests {
     }
 
     fn three_take_video() -> (VideoSpec, Vec<GrayFrame>) {
-        let spec = VideoSpec { width: 32, height: 32, fps: 25.0 };
+        let spec = VideoSpec {
+            width: 32,
+            height: 32,
+            fps: 25.0,
+        };
         let mut frames = Vec::new();
         for (content, n) in [(1u32, 20usize), (9, 20), (17, 20)] {
             for j in 0..n {
@@ -216,8 +249,31 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_records_parse_span_and_counters() {
+        let (spec, frames) = three_take_video();
+        let telemetry = Telemetry::enabled();
+        let parser = VideoParser::default().with_telemetry(telemetry.clone());
+        let s = parser.parse_frames(spec, &frames);
+        let report = telemetry.report();
+        assert_eq!(report.counter("shots_detected"), Some(s.shots.len() as u64));
+        assert_eq!(
+            report.counter("keyframes_extracted"),
+            Some(s.all_keyframes().len() as u64)
+        );
+        assert_eq!(
+            report.counter("scenes_segmented"),
+            Some(s.scenes.len() as u64)
+        );
+        assert_eq!(report.span("video.parse").unwrap().count, 1);
+    }
+
+    #[test]
     fn empty_video_parses_to_empty_structure() {
-        let spec = VideoSpec { width: 8, height: 8, fps: 25.0 };
+        let spec = VideoSpec {
+            width: 8,
+            height: 8,
+            fps: 25.0,
+        };
         let s = VideoParser::default().parse_frames(spec, &[]);
         assert_eq!(s.frame_count, 0);
         assert!(s.shots.is_empty());

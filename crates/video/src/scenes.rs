@@ -49,7 +49,10 @@ pub struct SceneConfig {
 
 impl Default for SceneConfig {
     fn default() -> Self {
-        SceneConfig { coherence_threshold: 0.35, lookback: 3 }
+        SceneConfig {
+            coherence_threshold: 0.35,
+            lookback: 3,
+        }
     }
 }
 
@@ -95,11 +98,17 @@ pub fn segment_scenes(frames: &[GrayFrame], shots: &[Shot], config: &SceneConfig
     let mut scene_start = 0usize;
     for (m, &cov) in covered.iter().enumerate() {
         if !cov {
-            scenes.push(Scene { first_shot: scene_start, last_shot: m + 1 });
+            scenes.push(Scene {
+                first_shot: scene_start,
+                last_shot: m + 1,
+            });
             scene_start = m + 1;
         }
     }
-    scenes.push(Scene { first_shot: scene_start, last_shot: n });
+    scenes.push(Scene {
+        first_shot: scene_start,
+        last_shot: n,
+    });
     scenes
 }
 
@@ -127,7 +136,10 @@ mod tests {
         for &(v, n) in takes {
             let start = frames.len();
             frames.extend((0..n).map(|_| grad(v)));
-            shots.push(Shot { start, end: frames.len() });
+            shots.push(Shot {
+                start,
+                end: frames.len(),
+            });
         }
         (frames, shots)
     }
@@ -144,14 +156,23 @@ mod tests {
         let (frames, shots) = build(&[(40, 10), (200, 10), (40, 10), (200, 10)]);
         let scenes = segment_scenes(&frames, &shots, &SceneConfig::default());
         assert_eq!(scenes.len(), 1, "scenes = {scenes:?}");
-        assert_eq!(scenes[0], Scene { first_shot: 0, last_shot: 4 });
+        assert_eq!(
+            scenes[0],
+            Scene {
+                first_shot: 0,
+                last_shot: 4
+            }
+        );
     }
 
     #[test]
     fn content_change_splits_scenes() {
         // Two dissimilar blocks of shots.
         let (frames, shots) = build(&[(40, 10), (44, 10), (200, 10), (204, 10)]);
-        let cfg = SceneConfig { coherence_threshold: 0.3, lookback: 1 };
+        let cfg = SceneConfig {
+            coherence_threshold: 0.3,
+            lookback: 1,
+        };
         let scenes = segment_scenes(&frames, &shots, &cfg);
         assert_eq!(scenes.len(), 2, "scenes = {scenes:?}");
         assert_eq!(scenes[0].shot_count(), 2);
@@ -181,7 +202,13 @@ mod tests {
     fn single_shot_single_scene() {
         let (frames, shots) = build(&[(50, 8)]);
         let scenes = segment_scenes(&frames, &shots, &SceneConfig::default());
-        assert_eq!(scenes, vec![Scene { first_shot: 0, last_shot: 1 }]);
+        assert_eq!(
+            scenes,
+            vec![Scene {
+                first_shot: 0,
+                last_shot: 1
+            }]
+        );
         assert_eq!(scenes[0].shot_count(), 1);
     }
 }

@@ -111,7 +111,10 @@ impl Default for ShotDetectorConfig {
 ///
 /// An empty input yields no shots; a single frame yields one one-frame
 /// shot.
-pub fn detect_shots(frames: &[GrayFrame], config: &ShotDetectorConfig) -> (Vec<Shot>, Vec<ShotBoundary>) {
+pub fn detect_shots(
+    frames: &[GrayFrame],
+    config: &ShotDetectorConfig,
+) -> (Vec<Shot>, Vec<ShotBoundary>) {
     if frames.is_empty() {
         return (Vec::new(), Vec::new());
     }
@@ -133,7 +136,8 @@ pub fn detect_shots(frames: &[GrayFrame], config: &ShotDetectorConfig) -> (Vec<S
         let dist = d[i];
         let boundary_frame = i + 1;
         let local = local_stats(&d, i, config.window);
-        let cut_threshold = (local.mean + config.sigma_factor * local.std).max(config.min_cut_distance);
+        let cut_threshold =
+            (local.mean + config.sigma_factor * local.std).max(config.min_cut_distance);
 
         if dist > cut_threshold {
             if boundary_frame - last_boundary >= config.min_shot_len {
@@ -183,10 +187,16 @@ pub fn detect_shots(frames: &[GrayFrame], config: &ShotDetectorConfig) -> (Vec<S
     let mut shots = Vec::with_capacity(boundaries.len() + 1);
     let mut start = 0;
     for b in &boundaries {
-        shots.push(Shot { start, end: b.frame });
+        shots.push(Shot {
+            start,
+            end: b.frame,
+        });
         start = b.frame;
     }
-    shots.push(Shot { start, end: frames.len() });
+    shots.push(Shot {
+        start,
+        end: frames.len(),
+    });
 
     (shots, boundaries)
 }
@@ -202,11 +212,17 @@ fn local_stats(d: &[f64], i: usize, window: usize) -> LocalStats {
     let lo = i.saturating_sub(window);
     let slice = &d[lo..i];
     if slice.is_empty() {
-        return LocalStats { mean: 0.0, std: 0.0 };
+        return LocalStats {
+            mean: 0.0,
+            std: 0.0,
+        };
     }
     let mean = slice.iter().sum::<f64>() / slice.len() as f64;
     let var = slice.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / slice.len() as f64;
-    LocalStats { mean, std: var.sqrt() }
+    LocalStats {
+        mean,
+        std: var.sqrt(),
+    }
 }
 
 #[cfg(test)]
@@ -329,7 +345,10 @@ mod tests {
         let cfg = ShotDetectorConfig::default();
         let (shots, _) = detect_shots(&frames, &cfg);
         for s in &shots {
-            assert!(s.len() >= cfg.min_shot_len || shots.len() == 1, "short shot {s:?}");
+            assert!(
+                s.len() >= cfg.min_shot_len || shots.len() == 1,
+                "short shot {s:?}"
+            );
         }
     }
 

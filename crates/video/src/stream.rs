@@ -23,12 +23,20 @@ pub struct VideoSpec {
 impl VideoSpec {
     /// The acquisition-platform spec from paper Fig. 2.
     pub fn paper_acquisition() -> Self {
-        VideoSpec { width: 640, height: 480, fps: 25.0 }
+        VideoSpec {
+            width: 640,
+            height: 480,
+            fps: 25.0,
+        }
     }
 
     /// The §III prototype video: 610 frames over 40 seconds.
     pub fn paper_prototype() -> Self {
-        VideoSpec { width: 640, height: 480, fps: 610.0 / 40.0 }
+        VideoSpec {
+            width: 640,
+            height: 480,
+            fps: 610.0 / 40.0,
+        }
     }
 
     /// Timestamp of frame `index`.
@@ -84,7 +92,11 @@ impl InMemoryVideo {
         for (i, f) in frames.iter_mut().enumerate() {
             f.timestamp = spec.timestamp_of(i);
         }
-        InMemoryVideo { spec, frames, cursor: 0 }
+        InMemoryVideo {
+            spec,
+            frames,
+            cursor: 0,
+        }
     }
 
     /// Number of frames.
@@ -161,7 +173,11 @@ mod tests {
 
     #[test]
     fn in_memory_video_streams_in_order() {
-        let spec = VideoSpec { width: 4, height: 4, fps: 10.0 };
+        let spec = VideoSpec {
+            width: 4,
+            height: 4,
+            fps: 10.0,
+        };
         let mut v = InMemoryVideo::new(spec, vec![gray(1), gray(2), gray(3)]);
         assert_eq!(v.len(), 3);
         assert_eq!(v.len_hint(), Some(3));
@@ -180,7 +196,11 @@ mod tests {
 
     #[test]
     fn random_access() {
-        let spec = VideoSpec { width: 4, height: 4, fps: 1.0 };
+        let spec = VideoSpec {
+            width: 4,
+            height: 4,
+            fps: 1.0,
+        };
         let v = InMemoryVideo::new(spec, vec![gray(9), gray(8)]);
         assert_eq!(v.frame(1).unwrap().data()[0], 8);
         assert!(v.frame(2).is_none());

@@ -154,7 +154,10 @@ mod tests {
         let g = Vec3::new(0.9, 0.0, -0.43).normalized();
         let (ox, oy) = pupil_offset_frac(f, g);
         let n = ox.hypot(oy);
-        assert!((n - PUPIL_MAX_OFFSET_FRAC).abs() < 1e-9, "clamped to max, got {n}");
+        assert!(
+            (n - PUPIL_MAX_OFFSET_FRAC).abs() < 1e-9,
+            "clamped to max, got {n}"
+        );
     }
 
     #[test]
@@ -192,7 +195,10 @@ mod tests {
         assert!(PUPIL_LUMINANCE < PUPIL_THRESHOLD);
         assert!(MOUTH_LUMINANCE < FEATURE_THRESHOLD);
         assert!(EYE_LUMINANCE < FEATURE_THRESHOLD);
-        assert!(EYE_LUMINANCE > PUPIL_THRESHOLD, "iris must not read as pupil");
+        assert!(
+            EYE_LUMINANCE > PUPIL_THRESHOLD,
+            "iris must not read as pupil"
+        );
         assert!(FEATURE_THRESHOLD < FACE_THRESHOLD);
     }
 }

@@ -203,7 +203,10 @@ mod tests {
         f.fill_rect(74, 67, 12, 3, 50);
         let det = detect_faces(&f, &DetectorConfig::default());
         assert_eq!(det.len(), 1);
-        assert!((det[0].radius - 16.0).abs() < 1.0, "bbox radius unaffected by holes");
+        assert!(
+            (det[0].radius - 16.0).abs() < 1.0,
+            "bbox radius unaffected by holes"
+        );
     }
 
     #[test]
@@ -263,7 +266,10 @@ mod tests {
         let mut f = canvas();
         f.fill_disk(80.0, 60.0, 12.0, 140); // below default threshold 150
         assert!(detect_faces(&f, &DetectorConfig::default()).is_empty());
-        let cfg = DetectorConfig { threshold: 130, ..DetectorConfig::default() };
+        let cfg = DetectorConfig {
+            threshold: 130,
+            ..DetectorConfig::default()
+        };
         assert_eq!(detect_faces(&f, &cfg).len(), 1);
     }
 

@@ -14,6 +14,7 @@ use crate::recognize::FaceGallery;
 use crate::track::{FaceTracker, TrackerConfig};
 use crate::types::FaceObservation;
 use dievent_geometry::PinholeCamera;
+use dievent_telemetry::{Counter, Histogram, Telemetry};
 use dievent_video::GrayFrame;
 use serde::{Deserialize, Serialize};
 
@@ -53,6 +54,25 @@ impl ExtractorConfig {
     }
 }
 
+/// Pre-resolved instrument handles for one extractor. Resolved once
+/// per camera (registry lock touched only at attach time); the hot
+/// per-frame path does plain atomic updates. Defaults to no-ops.
+#[derive(Debug, Default)]
+struct ExtractorInstruments {
+    /// `frames_processed{camera}` — frames this extractor consumed.
+    frames: Counter,
+    /// `faces_detected{camera}` — detections across all frames.
+    faces: Counter,
+    /// `identity_misses{camera}` — detections the gallery could not
+    /// attribute to an enrolled participant.
+    identity_misses: Counter,
+    /// `pose_carries{camera}` — landmark dropouts bridged by the
+    /// pose carry-forward cache.
+    pose_carries: Counter,
+    /// `frame_extraction_seconds{camera}` — wall time per frame.
+    frame_seconds: Histogram,
+}
+
 /// Stateful per-camera extractor.
 #[derive(Debug)]
 pub struct FeatureExtractor {
@@ -62,7 +82,9 @@ pub struct FeatureExtractor {
     gallery: FaceGallery,
     frame_index: usize,
     /// Last successful pose per track, with its age in frames.
-    pose_cache: std::collections::HashMap<crate::types::TrackId, (crate::pose::HeadPoseEstimate, usize)>,
+    pose_cache:
+        std::collections::HashMap<crate::types::TrackId, (crate::pose::HeadPoseEstimate, usize)>,
+    instruments: ExtractorInstruments,
 }
 
 impl FeatureExtractor {
@@ -79,7 +101,22 @@ impl FeatureExtractor {
             gallery,
             frame_index: 0,
             pose_cache: std::collections::HashMap::new(),
+            instruments: ExtractorInstruments::default(),
         }
+    }
+
+    /// Attaches this extractor to a telemetry domain, labeling its
+    /// instruments with `camera`. Resolves all handles up front so the
+    /// per-frame path never touches the registry.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, camera: &str) {
+        let labels = &[("camera", camera)][..];
+        self.instruments = ExtractorInstruments {
+            frames: telemetry.counter_with("frames_processed", labels),
+            faces: telemetry.counter_with("faces_detected", labels),
+            identity_misses: telemetry.counter_with("identity_misses", labels),
+            pose_carries: telemetry.counter_with("pose_carries", labels),
+            frame_seconds: telemetry.histogram_with("frame_extraction_seconds", labels),
+        };
     }
 
     /// The calibrated camera this extractor runs on.
@@ -109,6 +146,7 @@ impl FeatureExtractor {
     /// Processes the next frame of the stream and returns one
     /// observation per detected face.
     pub fn process(&mut self, frame: &GrayFrame) -> Vec<FaceObservation> {
+        let started = std::time::Instant::now();
         let detections = detect_faces(frame, &self.config.detector);
         let track_ids = self.tracker.step(&detections);
         // Age the pose cache and retire entries past the carry horizon.
@@ -116,7 +154,8 @@ impl FeatureExtractor {
         for (_, age) in self.pose_cache.values_mut() {
             *age += 1;
         }
-        self.pose_cache.retain(|_, (_, age)| *age <= carry.max(1) * 4);
+        self.pose_cache
+            .retain(|_, (_, age)| *age <= carry.max(1) * 4);
         let mut out = Vec::with_capacity(detections.len());
         for (det, track) in detections.iter().zip(track_ids) {
             let landmarks = locate_landmarks(frame, det, &self.config.landmarks);
@@ -132,6 +171,7 @@ impl FeatureExtractor {
                     // position refreshed from this detection's depth model.
                     if let Some((cached, age)) = self.pose_cache.get(&track) {
                         if *age <= carry && det.radius > 1.0 {
+                            self.instruments.pose_carries.incr();
                             let k = &self.camera.intrinsics;
                             let z = k.fx * self.config.pose.head_radius_m / det.radius;
                             pose = Some(crate::pose::HeadPoseEstimate {
@@ -153,6 +193,9 @@ impl FeatureExtractor {
                 .gallery
                 .recognize(det, &patch)
                 .map(|r| (r.person, r.distance));
+            if identity.is_none() {
+                self.instruments.identity_misses.incr();
+            }
             out.push(FaceObservation {
                 frame: self.frame_index,
                 detection: *det,
@@ -164,6 +207,11 @@ impl FeatureExtractor {
             });
         }
         self.frame_index += 1;
+        self.instruments.frames.incr();
+        self.instruments.faces.add(out.len() as u64);
+        self.instruments
+            .frame_seconds
+            .observe(started.elapsed().as_secs_f64());
         out
     }
 }
@@ -189,7 +237,9 @@ mod tests {
         let mut f = GrayFrame::new(640, 480, 40);
         for &(head, tone) in heads {
             let proj = camera.project(head).unwrap();
-            let r_px = camera.projected_radius(head, contract::HEAD_RADIUS_M).unwrap();
+            let r_px = camera
+                .projected_radius(head, contract::HEAD_RADIUS_M)
+                .unwrap();
             f.fill_disk(proj.pixel.x, proj.pixel.y, r_px, tone);
             // Frontal eyes with centered pupils.
             let fwd = (camera.position() - head).normalized();
@@ -197,10 +247,17 @@ mod tests {
             let up = right.cross(fwd);
             let (l, r) = contract::eye_directions(fwd, right, up);
             for dir in [l, r] {
-                let ep = camera.project(head + dir * contract::HEAD_RADIUS_M).unwrap();
+                let ep = camera
+                    .project(head + dir * contract::HEAD_RADIUS_M)
+                    .unwrap();
                 let er = r_px * contract::EYE_RADIUS_FRAC;
                 f.fill_disk(ep.pixel.x, ep.pixel.y, er, contract::EYE_LUMINANCE);
-                f.fill_disk(ep.pixel.x, ep.pixel.y, er * contract::PUPIL_RADIUS_FRAC, contract::PUPIL_LUMINANCE);
+                f.fill_disk(
+                    ep.pixel.x,
+                    ep.pixel.y,
+                    er * contract::PUPIL_RADIUS_FRAC,
+                    contract::PUPIL_LUMINANCE,
+                );
             }
         }
         f
@@ -209,9 +266,13 @@ mod tests {
     #[test]
     fn end_to_end_observation_has_all_fields() {
         let cam = camera();
-        let heads = [(Vec3::new(2.2, 0.2, 1.2), 250u8), (Vec3::new(2.6, -0.7, 1.25), 200u8)];
+        let heads = [
+            (Vec3::new(2.2, 0.2, 1.2), 250u8),
+            (Vec3::new(2.6, -0.7, 1.25), 200u8),
+        ];
         let frame = frame_with_faces(&cam, &heads);
-        let mut ex = FeatureExtractor::new(ExtractorConfig::standard(), cam, FaceGallery::default());
+        let mut ex =
+            FeatureExtractor::new(ExtractorConfig::standard(), cam, FaceGallery::default());
         let obs = ex.process(&frame);
         assert_eq!(obs.len(), 2);
         for o in &obs {
@@ -229,9 +290,13 @@ mod tests {
     #[test]
     fn tracks_stay_stable_and_identities_resolve_after_enrollment() {
         let cam = camera();
-        let heads = [(Vec3::new(2.2, 0.2, 1.2), 250u8), (Vec3::new(2.6, -0.7, 1.25), 200u8)];
+        let heads = [
+            (Vec3::new(2.2, 0.2, 1.2), 250u8),
+            (Vec3::new(2.6, -0.7, 1.25), 200u8),
+        ];
         let frame = frame_with_faces(&cam, &heads);
-        let mut ex = FeatureExtractor::new(ExtractorConfig::standard(), cam, FaceGallery::default());
+        let mut ex =
+            FeatureExtractor::new(ExtractorConfig::standard(), cam, FaceGallery::default());
 
         // First pass: enroll from observations.
         let obs0 = ex.process(&frame);
@@ -245,7 +310,10 @@ mod tests {
         for (o0, o1) in obs0.iter().zip(&obs1) {
             assert_eq!(o0.track, o1.track, "same face keeps its track");
         }
-        let ids: Vec<_> = obs1.iter().filter_map(|o| o.identity.map(|(p, _)| p)).collect();
+        let ids: Vec<_> = obs1
+            .iter()
+            .filter_map(|o| o.identity.map(|(p, _)| p))
+            .collect();
         assert_eq!(ids.len(), 2, "both faces recognized after enrollment");
         assert_ne!(ids[0], ids[1]);
     }
@@ -261,7 +329,8 @@ mod tests {
         let r_px = cam.projected_radius(head, contract::HEAD_RADIUS_M).unwrap();
         eyeless.fill_disk(proj.pixel.x, proj.pixel.y, r_px, 250);
 
-        let mut ex = FeatureExtractor::new(ExtractorConfig::standard(), cam, FaceGallery::default());
+        let mut ex =
+            FeatureExtractor::new(ExtractorConfig::standard(), cam, FaceGallery::default());
         let first = ex.process(&with_eyes);
         assert!(first[0].pose.is_some());
         let carried_gaze = first[0].pose.unwrap().gaze_cam;
@@ -269,7 +338,9 @@ mod tests {
         // Within the carry horizon: pose persists with the cached gaze.
         for k in 0..6 {
             let obs = ex.process(&eyeless);
-            let pose = obs[0].pose.unwrap_or_else(|| panic!("carry frame {k} lost the pose"));
+            let pose = obs[0]
+                .pose
+                .unwrap_or_else(|| panic!("carry frame {k} lost the pose"));
             assert!(pose.gaze_cam.approx_eq(carried_gaze, 1e-12));
         }
         // Beyond the horizon: the pose is dropped.
@@ -281,7 +352,10 @@ mod tests {
 
         // With carry disabled, the dropout is immediate.
         let mut strict = FeatureExtractor::new(
-            ExtractorConfig { pose_carry_frames: 0, ..ExtractorConfig::standard() },
+            ExtractorConfig {
+                pose_carry_frames: 0,
+                ..ExtractorConfig::standard()
+            },
             cam,
             FaceGallery::default(),
         );
@@ -293,9 +367,37 @@ mod tests {
     #[test]
     fn empty_frame_produces_no_observations() {
         let cam = camera();
-        let mut ex = FeatureExtractor::new(ExtractorConfig::standard(), cam, FaceGallery::default());
+        let mut ex =
+            FeatureExtractor::new(ExtractorConfig::standard(), cam, FaceGallery::default());
         let obs = ex.process(&GrayFrame::new(640, 480, 40));
         assert!(obs.is_empty());
         assert_eq!(ex.frames_processed(), 1);
+    }
+
+    #[test]
+    fn telemetry_counts_frames_faces_and_misses() {
+        use dievent_telemetry::Telemetry;
+        let cam = camera();
+        let heads = [
+            (Vec3::new(2.2, 0.2, 1.2), 250u8),
+            (Vec3::new(2.6, -0.7, 1.25), 200u8),
+        ];
+        let frame = frame_with_faces(&cam, &heads);
+        let telemetry = Telemetry::enabled();
+        let mut ex =
+            FeatureExtractor::new(ExtractorConfig::standard(), cam, FaceGallery::default());
+        ex.attach_telemetry(&telemetry, "0");
+        ex.process(&frame);
+        ex.process(&frame);
+        let report = telemetry.report();
+        assert_eq!(report.counter("frames_processed{camera=\"0\"}"), Some(2));
+        assert_eq!(report.counter("faces_detected{camera=\"0\"}"), Some(4));
+        // Nothing enrolled, so every detection misses recognition.
+        assert_eq!(report.counter("identity_misses{camera=\"0\"}"), Some(4));
+        let h = report
+            .histogram("frame_extraction_seconds{camera=\"0\"}")
+            .unwrap();
+        assert_eq!(h.count, 2);
+        assert!(h.p50 > 0.0);
     }
 }

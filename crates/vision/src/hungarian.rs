@@ -205,7 +205,9 @@ mod tests {
     fn optimality_matches_brute_force_on_random_matrices() {
         // Deterministic pseudo-random matrices, all 4! permutations.
         fn lcg(state: &mut u64) -> f64 {
-            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((*state >> 33) % 1000) as f64 / 100.0
         }
         let mut state = 12345u64;

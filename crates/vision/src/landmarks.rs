@@ -10,8 +10,8 @@
 
 use crate::contract;
 use crate::detect::FaceDetection;
-use dievent_video::GrayFrame;
 use dievent_geometry::Vec2;
+use dievent_video::GrayFrame;
 use serde::{Deserialize, Serialize};
 
 /// Landmarks of one face, in full-frame pixel coordinates.
@@ -194,7 +194,11 @@ fn feature_clusters(frame: &GrayFrame, det: &FaceDetection, cfg: &LandmarkConfig
 /// Returns `None` when no valid eye pair is visible — a face turned away
 /// from the camera, which downstream treats as "position only, no gaze
 /// from this view".
-pub fn locate_landmarks(frame: &GrayFrame, det: &FaceDetection, cfg: &LandmarkConfig) -> Option<FaceLandmarks> {
+pub fn locate_landmarks(
+    frame: &GrayFrame,
+    det: &FaceDetection,
+    cfg: &LandmarkConfig,
+) -> Option<FaceLandmarks> {
     let clusters = feature_clusters(frame, det, cfg);
     if clusters.len() < 2 {
         return None;
@@ -243,8 +247,8 @@ pub fn locate_landmarks(frame: &GrayFrame, det: &FaceDetection, cfg: &LandmarkCo
     let mouth = clusters
         .iter()
         .filter(|c| {
-            c.cy > eye_mid_y + eye_radius
-                && (c.cx - le.cx).abs() > f64::EPSILON // not literally an eye
+            c.cy > eye_mid_y + eye_radius && (c.cx - le.cx).abs() > f64::EPSILON
+            // not literally an eye
         })
         .max_by_key(|c| c.area)
         .map(|c| Vec2::new(c.cx, c.cy));

@@ -72,11 +72,7 @@ pub fn estimate_pose(
 
     // --- Position: depth from apparent size. ---
     let z = k.fx * config.head_radius_m / det.radius;
-    let head_cam = Vec3::new(
-        (det.cx - k.cx) / k.fx * z,
-        (det.cy - k.cy) / k.fy * z,
-        z,
-    );
+    let head_cam = Vec3::new((det.cx - k.cx) / k.fx * z, (det.cy - k.cy) / k.fy * z, z);
 
     // --- Orientation from the eye-midpoint displacement. ---
     // The eye midpoint in 3D is H + R·(f + EYE_UP·u)/‖f ± EYE_SIDE·r + EYE_UP·u‖.
@@ -114,7 +110,11 @@ pub fn estimate_pose(
             // Facing the camera ⇒ negative z component in camera coords.
             -(1.0 - planar).sqrt()
         };
-        let scale = if planar > 1.0 { 1.0 / planar.sqrt() } else { 1.0 };
+        let scale = if planar > 1.0 {
+            1.0 / planar.sqrt()
+        } else {
+            1.0
+        };
         forward = Vec3::new(f_x * scale, f_y * scale, f_z);
         n_z = forward.z + contract::EYE_UP * up_cam.z;
     }
@@ -132,7 +132,11 @@ pub fn estimate_pose(
         .try_normalized()
         .unwrap_or(forward);
 
-    Some(HeadPoseEstimate { head_cam, forward_cam: forward, gaze_cam })
+    Some(HeadPoseEstimate {
+        head_cam,
+        forward_cam: forward,
+        gaze_cam,
+    })
 }
 
 #[cfg(test)]
@@ -153,11 +157,7 @@ mod tests {
         gaze_w: Vec3,
         tone: u8,
     ) -> GrayFrame {
-        let mut f = GrayFrame::new(
-            camera.intrinsics.width,
-            camera.intrinsics.height,
-            40,
-        );
+        let mut f = GrayFrame::new(camera.intrinsics.width, camera.intrinsics.height, 40);
         let proj = camera.project(head_world).expect("head in front of camera");
         let r_px = camera
             .projected_radius(head_world, contract::HEAD_RADIUS_M)
@@ -199,7 +199,12 @@ mod tests {
             let mp = camera
                 .project(head_world + m_dir * contract::HEAD_RADIUS_M)
                 .unwrap();
-            f.fill_disk(mp.pixel.x, mp.pixel.y, eye_r_px * 1.1, contract::MOUTH_LUMINANCE);
+            f.fill_disk(
+                mp.pixel.x,
+                mp.pixel.y,
+                eye_r_px * 1.1,
+                contract::MOUTH_LUMINANCE,
+            );
         }
         f
     }
@@ -294,7 +299,10 @@ mod tests {
         let gaze_world = cam.pose.transform_dir(est.gaze_cam);
         let sphere = Sphere::new(head_b, 0.30);
         let hit = sphere.intersect_ray(&Ray::new(origin_world, gaze_world));
-        assert!(hit.is_some(), "estimated gaze must hit the attention sphere");
+        assert!(
+            hit.is_some(),
+            "estimated gaze must hit the attention sphere"
+        );
 
         // And it must NOT hit a sphere placed 90° off to the side.
         let decoy = Vec3::new(1.0, -1.8, 1.2);
@@ -336,14 +344,20 @@ mod tests {
             &dets[0],
             &lm,
             &cam,
-            &PoseConfig { head_radius_m: 0.06, refine_iterations: 3 },
+            &PoseConfig {
+                head_radius_m: 0.06,
+                refine_iterations: 3,
+            },
         )
         .unwrap();
         let big = estimate_pose(
             &dets[0],
             &lm,
             &cam,
-            &PoseConfig { head_radius_m: 0.24, refine_iterations: 3 },
+            &PoseConfig {
+                head_radius_m: 0.24,
+                refine_iterations: 3,
+            },
         )
         .unwrap();
         assert!(

@@ -67,7 +67,11 @@ pub fn embed(det: &FaceDetection, patch: &GrayFrame) -> Embedding {
     let mean = patch.mean().max(1.0);
     for (s, c) in sums.iter().zip(&counts) {
         // Scaled to be secondary to the tone channel.
-        v.push(if *c > 0 { s / *c as f64 / mean * 10.0 } else { 0.0 });
+        v.push(if *c > 0 {
+            s / *c as f64 / mean * 10.0
+        } else {
+            0.0
+        });
     }
     Embedding(v)
 }
@@ -110,7 +114,10 @@ impl Default for FaceGallery {
 impl FaceGallery {
     /// Creates an empty gallery.
     pub fn new(config: RecognizerConfig) -> Self {
-        FaceGallery { entries: Vec::new(), config }
+        FaceGallery {
+            entries: Vec::new(),
+            config,
+        }
     }
 
     /// Number of enrolled identities.
@@ -233,7 +240,10 @@ mod tests {
         assert_eq!(e.distance(&e), 0.0);
         let (det2, patch2) = face_fixture(200, 2);
         let e2 = embed(&det2, &patch2);
-        assert!((e.distance(&e2) - e2.distance(&e)).abs() < 1e-12, "symmetric");
+        assert!(
+            (e.distance(&e2) - e2.distance(&e)).abs() < 1e-12,
+            "symmetric"
+        );
         assert!(e.distance(&e2) > 0.0);
     }
 }

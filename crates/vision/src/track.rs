@@ -50,7 +50,13 @@ struct Kalman1D {
 
 impl Kalman1D {
     fn new(x: f64) -> Self {
-        Kalman1D { x, v: 0.0, p_xx: 25.0, p_xv: 0.0, p_vv: 25.0 }
+        Kalman1D {
+            x,
+            v: 0.0,
+            p_xx: 25.0,
+            p_xv: 0.0,
+            p_vv: 25.0,
+        }
     }
 
     fn predict(&mut self, q: f64) {
@@ -125,7 +131,11 @@ impl Default for FaceTracker {
 impl FaceTracker {
     /// Creates a tracker.
     pub fn new(config: TrackerConfig) -> Self {
-        FaceTracker { config, tracks: Vec::new(), next_id: 0 }
+        FaceTracker {
+            config,
+            tracks: Vec::new(),
+            next_id: 0,
+        }
     }
 
     /// Currently live tracks.
@@ -154,7 +164,11 @@ impl FaceTracker {
                 for (t, trk) in self.tracks.iter().enumerate() {
                     let (px, py) = trk.predicted();
                     let dist = ((det.cx - px).powi(2) + (det.cy - py).powi(2)).sqrt();
-                    costs[d * n_trk + t] = if dist <= cfg.gate_px { dist } else { f64::INFINITY };
+                    costs[d * n_trk + t] = if dist <= cfg.gate_px {
+                        dist
+                    } else {
+                        f64::INFINITY
+                    };
                 }
             }
             let matches = hungarian_min_assignment(&costs, n_det, n_trk);
@@ -290,13 +304,19 @@ mod tests {
 
     #[test]
     fn stale_tracks_retired() {
-        let cfg = TrackerConfig { max_misses: 3, ..TrackerConfig::default() };
+        let cfg = TrackerConfig {
+            max_misses: 3,
+            ..TrackerConfig::default()
+        };
         let mut tr = FaceTracker::new(cfg);
         tr.step(&[det(100.0, 100.0, 10.0)]);
         for _ in 0..4 {
             tr.step(&[]);
         }
-        assert!(tr.tracks().is_empty(), "track should be dropped after 3 misses");
+        assert!(
+            tr.tracks().is_empty(),
+            "track should be dropped after 3 misses"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for the vision substrate.
 
+use dievent_video::GrayFrame;
 use dievent_vision::hungarian::assignment_cost;
 use dievent_vision::{detect_faces, hungarian_min_assignment, DetectorConfig};
-use dievent_video::GrayFrame;
 use proptest::prelude::*;
 
 fn cost_matrix(n: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -68,7 +68,10 @@ fn main() {
     }
     std::fs::write(&out_path, &lines).expect("write dataset");
 
-    let ec_frames = annotations.iter().filter(|a| !a.eye_contacts.is_empty()).count();
+    let ec_frames = annotations
+        .iter()
+        .filter(|a| !a.eye_contacts.is_empty())
+        .count();
     println!(
         "wrote {} annotated frames to {out_path} ({:.1} KB)",
         annotations.len(),

@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run --release --example emotion_analysis`
 
-use dievent_core::{train_emotion_classifier, DiEventPipeline, PipelineConfig, Recording, TrainingSetConfig};
+use dievent_core::{
+    train_emotion_classifier, DiEventPipeline, PipelineConfig, Recording, TrainingSetConfig,
+};
 use dievent_emotion::Emotion;
 use dievent_scene::{EmotionDynamicsConfig, Scenario};
 
@@ -30,7 +32,10 @@ fn main() {
     for actual in Emotion::ALL {
         print!("{:>8}", actual.to_string());
         for predicted in Emotion::ALL {
-            print!("{:>9}", report.confusion.get(actual.index(), predicted.index()));
+            print!(
+                "{:>9}",
+                report.confusion.get(actual.index(), predicted.index())
+            );
         }
         println!();
     }

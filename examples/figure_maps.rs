@@ -10,7 +10,9 @@ use dievent_scene::{render_topview_map, Renderer, Scenario};
 use dievent_video::{save_pgm, save_ppm};
 
 fn main() -> std::io::Result<()> {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "figures".to_owned());
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "figures".to_owned());
     std::fs::create_dir_all(&out_dir)?;
 
     let scenario = Scenario::prototype();

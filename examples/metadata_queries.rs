@@ -17,7 +17,11 @@ fn main() {
     let events = repo.query(&Query::new().kind(RecordKind::Event));
     println!("Q1 events: {}", events.len());
     for e in &events {
-        println!("   {:?} participants={:?}", e.attr("name"), e.attr("participants"));
+        println!(
+            "   {:?} participants={:?}",
+            e.attr("name"),
+            e.attr("participants")
+        );
     }
 
     // Q2: frames with at least one mutual eye contact between t=5s and t=15s.
@@ -25,7 +29,10 @@ fn main() {
         .kind(RecordKind::FrameAnalysis)
         .ge("eye_contacts", 1i64)
         .overlapping(5.0, 15.0);
-    println!("\nQ2 frames with eye contact in [5s, 15s): {}", repo.count(&q2));
+    println!(
+        "\nQ2 frames with eye contact in [5s, 15s): {}",
+        repo.count(&q2)
+    );
 
     // Q3: the happiest moments (OH above threshold).
     let q3 = Query::new()

@@ -57,7 +57,10 @@ fn main() {
     println!();
 
     // Figure 9: the summary matrix over all 610 frames.
-    println!("--- Figure 9: look-at summary matrix (sum over {} frames) ---", analysis.matrices.len());
+    println!(
+        "--- Figure 9: look-at summary matrix (sum over {} frames) ---",
+        analysis.matrices.len()
+    );
     print!("{}", analysis.summary_table());
     println!();
     let received: Vec<String> = (0..analysis.participants)
@@ -73,4 +76,9 @@ fn main() {
 
     println!("--- report ---");
     print!("{}", analysis.brief());
+
+    // Per-stage telemetry: spans, counters, and latency histograms
+    // collected during the run (same output as `dievent --metrics`).
+    println!("\n--- telemetry ---");
+    print!("{}", pipeline.telemetry().render_tree());
 }

@@ -25,7 +25,11 @@ fn main() {
         location: "Chez DiEvent, table 3".into(),
         date: "2018-04-17".into(),
         occasion: "birthday dinner".into(),
-        menu: vec!["onion soup".into(), "coq au vin".into(), "tarte tatin".into()],
+        menu: vec![
+            "onion soup".into(),
+            "coq au vin".into(),
+            "tarte tatin".into(),
+        ],
         participants: guests,
         participant_names: (1..=guests).map(|i| format!("P{i}")).collect(),
         temperature_c: Some(21.0),
@@ -49,7 +53,10 @@ fn main() {
     let (schedule, _) = generate_conversation(
         guests,
         frames,
-        &ConversationConfig { affinity: Some(affinity), ..Default::default() },
+        &ConversationConfig {
+            affinity: Some(affinity),
+            ..Default::default()
+        },
         2024,
     );
     scenario.schedule = schedule;
@@ -64,7 +71,10 @@ fn main() {
     .run(&recording);
 
     println!("\neye-contact profile by declared relationship:");
-    println!("{:<14} {:>6} {:>16} {:>15}", "relationship", "pairs", "contact ratio", "episodes/pair");
+    println!(
+        "{:<14} {:>6} {:>16} {:>15}",
+        "relationship", "pairs", "contact ratio", "episodes/pair"
+    );
     for p in analysis.social_profiles() {
         let name = match &p.relation {
             SocialRelation::Family => "family/couple",

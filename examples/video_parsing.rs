@@ -33,7 +33,10 @@ fn main() {
     // cinematic cuts — lower the absolute cut floor accordingly (the
     // adaptive mean + k·sigma term still rejects sensor noise).
     let parser_cfg = VideoParserConfig {
-        shots: ShotDetectorConfig { min_cut_distance: 0.02, ..ShotDetectorConfig::default() },
+        shots: ShotDetectorConfig {
+            min_cut_distance: 0.02,
+            ..ShotDetectorConfig::default()
+        },
         ..VideoParserConfig::default()
     };
     let structure = VideoParser::new(parser_cfg).parse_frames(edited_spec, &frames);
@@ -46,7 +49,10 @@ fn main() {
             b.frame, b.kind, b.score
         );
     }
-    let expected: Vec<usize> = (1..).map(|k| k * take).take_while(|&c| c < recording.frames()).collect();
+    let expected: Vec<usize> = (1..)
+        .map(|k| k * take)
+        .take_while(|&c| c < recording.frames())
+        .collect();
     let detected: Vec<usize> = structure.boundaries.iter().map(|b| b.frame).collect();
     let hits = expected
         .iter()

@@ -67,7 +67,9 @@ fn pixels_to_eye_contact_decision() {
         let cam = scenario.rig.cameras[1];
         let frame = recording.frame(1, f);
         let dets = detect_faces(&frame, &DetectorConfig::default());
-        let Some(proj) = cam.project(snap.states[0].head) else { continue };
+        let Some(proj) = cam.project(snap.states[0].head) else {
+            continue;
+        };
         let Some(det) = dets
             .iter()
             .find(|d| (d.cx - proj.pixel.x).hypot(d.cy - proj.pixel.y) < 12.0)
@@ -112,12 +114,24 @@ fn pixels_to_eye_contact_decision() {
         }
     }
 
-    assert!(scripted_looking > 10, "script must exercise the looking case");
-    assert!(scripted_not > 5, "script must exercise the not-looking case");
+    assert!(
+        scripted_looking > 10,
+        "script must exercise the looking case"
+    );
+    assert!(
+        scripted_not > 5,
+        "script must exercise the not-looking case"
+    );
     let recall = decided_looking as f64 / scripted_looking as f64;
     let tnr = decided_not as f64 / scripted_not as f64;
-    assert!(recall > 0.85, "looking-at recall {recall} ({decided_looking}/{scripted_looking})");
-    assert!(tnr > 0.85, "not-looking specificity {tnr} ({decided_not}/{scripted_not})");
+    assert!(
+        recall > 0.85,
+        "looking-at recall {recall} ({decided_looking}/{scripted_looking})"
+    );
+    assert!(
+        tnr > 0.85,
+        "not-looking specificity {tnr} ({decided_not}/{scripted_not})"
+    );
 }
 
 /// The discriminant sign convention of Eq. 5 as stated in the paper:

@@ -82,7 +82,10 @@ fn analysis_records_survive_a_durable_round_trip() {
     {
         let durable = MetadataRepository::open(&path).unwrap();
         for r in analysis.repository.query(&Query::new()) {
-            let clone = MetaRecord { id: dievent_metadata::RecordId(0), ..r };
+            let clone = MetaRecord {
+                id: dievent_metadata::RecordId(0),
+                ..r
+            };
             durable.insert(clone).unwrap();
         }
         assert_eq!(durable.len(), analysis.repository.len());
@@ -168,14 +171,21 @@ fn social_profiles_recover_declared_engagement() {
     context.set_relation(0, 3, SocialRelation::Friends);
 
     let mut affinity = vec![vec![1.0; guests]; guests];
-    affinity[0][3] = 14.0;
-    affinity[3][0] = 14.0;
+    affinity[0][3] = 20.0;
+    affinity[3][0] = 20.0;
 
     let mut scenario = Scenario::restaurant_dinner(guests, frames, 5);
+    // Mutual contact is mostly speaker-driven (speaker picks a listener
+    // affinity-weighted; listeners watch the speaker), so a higher
+    // speaker engagement amplifies the declared pair's signal.
     let (schedule, _) = generate_conversation(
         guests,
         frames,
-        &ConversationConfig { affinity: Some(affinity), ..Default::default() },
+        &ConversationConfig {
+            affinity: Some(affinity),
+            speaker_engagement: 0.8,
+            ..Default::default()
+        },
         5,
     );
     scenario.schedule = schedule;
@@ -206,7 +216,9 @@ fn social_profiles_recover_declared_engagement() {
     );
 
     // The event record carries the context.
-    let events = analysis.repository.query(&Query::new().kind(RecordKind::Event));
+    let events = analysis
+        .repository
+        .query(&Query::new().kind(RecordKind::Event));
     assert_eq!(
         events[0].attr("location"),
         Some(&dievent_metadata::AttrValue::Str("test table".into()))

@@ -1,0 +1,148 @@
+//! Pipeline-level telemetry: the instrumented run must account for
+//! every frame, populate per-stage spans, and expose consistent views
+//! through the report, the stage timings, and the sinks.
+
+use dievent_core::{DiEventPipeline, PipelineConfig, Recording, StageTimings};
+use dievent_scene::Scenario;
+use dievent_telemetry::Telemetry;
+
+const FRAMES: usize = 40;
+
+fn recording() -> Recording {
+    Recording::capture(Scenario::two_camera_dinner(FRAMES, 11))
+}
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        classify_emotions: false,
+        parse_video: true,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn every_recorded_frame_is_processed_per_camera() {
+    let recording = recording();
+    let cameras = recording.cameras();
+    let pipeline = DiEventPipeline::new(config());
+    let analysis = pipeline.run(&recording);
+    let report = &analysis.telemetry;
+
+    // Per camera and in total, the extractors consumed exactly the
+    // recording's frames.
+    for c in 0..cameras {
+        assert_eq!(
+            report.counter(&format!("frames_processed{{camera=\"{c}\"}}")),
+            Some(FRAMES as u64),
+            "camera {c}"
+        );
+    }
+    assert_eq!(
+        report.counter_total("frames_processed"),
+        (FRAMES * cameras) as u64
+    );
+    assert_eq!(report.gauge("recording_frames"), Some(FRAMES as f64));
+    assert_eq!(report.gauge("cameras"), Some(cameras as f64));
+    assert_eq!(report.gauge("participants"), Some(2.0));
+}
+
+#[test]
+fn stage_spans_cover_the_run_and_feed_stage_timings() {
+    let recording = recording();
+    let pipeline = DiEventPipeline::new(config());
+    let analysis = pipeline.run(&recording);
+    let report = &analysis.telemetry;
+
+    assert_eq!(report.span("pipeline.run").unwrap().count, 1);
+    for stage in [
+        "stage.extraction",
+        "stage.parse",
+        "stage.analysis",
+        "stage.metadata",
+    ] {
+        let s = report
+            .span(stage)
+            .unwrap_or_else(|| panic!("{stage} missing"));
+        assert_eq!(s.count, 1, "{stage}");
+        assert!(s.total_s > 0.0, "{stage}");
+    }
+    // One camera.extract span per camera, nested under the stage.
+    assert_eq!(
+        report.span("camera.extract").unwrap().count,
+        recording.cameras() as u64
+    );
+    // StageTimings is a view over the same spans.
+    assert_eq!(analysis.timings, StageTimings::from_report(report));
+    assert!(analysis.timings.extraction_s > 0.0);
+
+    // Latency histograms populated for hot paths.
+    let fusion = report.histogram("fusion_seconds").unwrap();
+    assert_eq!(fusion.count, FRAMES as u64);
+    assert!(fusion.p95 >= fusion.p50);
+    assert!(report.counter_total("faces_detected") > 0);
+    assert_eq!(
+        report.counter("lookat_tests"),
+        Some((FRAMES * 2) as u64),
+        "2 participants → 2 ordered pairs per frame"
+    );
+    // The repository records every populated row.
+    assert_eq!(
+        report.counter("metadata_inserts"),
+        Some(analysis.repository.len() as u64)
+    );
+}
+
+#[test]
+fn disabled_telemetry_runs_clean_with_empty_report() {
+    let recording = recording();
+    let pipeline = DiEventPipeline::new_with_telemetry(config(), Telemetry::disabled());
+    let analysis = pipeline.run(&recording);
+    assert_eq!(analysis.matrices.len(), FRAMES);
+    assert!(analysis.telemetry.counters.is_empty());
+    assert!(analysis.telemetry.spans.is_empty());
+    assert_eq!(analysis.timings, StageTimings::default());
+}
+
+#[test]
+fn trace_jsonl_is_parseable_and_tree_render_is_informative() {
+    let recording = recording();
+    let pipeline = DiEventPipeline::new(config());
+    let _ = pipeline.run(&recording);
+
+    let trace = pipeline.telemetry().trace_jsonl();
+    assert!(!trace.is_empty());
+    let mut span_lines = 0usize;
+    for line in trace.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("parseable JSONL");
+        match v["kind"].as_str() {
+            Some("span") => {
+                span_lines += 1;
+                assert!(v["duration_s"].as_f64().unwrap() >= 0.0);
+            }
+            Some("event") => {}
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+    assert!(span_lines >= 6, "run + 4 stages + cameras: {span_lines}");
+
+    let tree = pipeline.telemetry().render_tree();
+    assert!(tree.contains("pipeline.run ("));
+    assert!(tree.contains("stage.extraction"));
+    assert!(tree.contains("camera.extract"));
+    assert!(tree.contains("frames_processed{camera=\"0\"}"));
+    assert!(tree.contains("p50="));
+    assert!(tree.contains("p95="));
+}
+
+#[test]
+fn telemetry_report_survives_digest_serialization() {
+    let recording = recording();
+    let pipeline = DiEventPipeline::new(config());
+    let analysis = pipeline.run(&recording);
+    // The digest carries the stage timings for --json consumers.
+    let digest = analysis.digest();
+    let json = serde_json::to_string(&digest).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert!(v["timings"]["extraction_s"].as_f64().unwrap() > 0.0);
+    assert!(v["timings"]["metadata_s"].as_f64().is_some());
+}

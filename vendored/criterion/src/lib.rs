@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the same macro and
+//! method surface the workspace benches use: [`Criterion`],
+//! `bench_function`, `benchmark_group` (+ `sample_size`, `finish`),
+//! [`criterion_group!`], [`criterion_main!`] and [`black_box`].
+//!
+//! Each benchmark is auto-calibrated to a per-sample iteration count,
+//! then timed over `sample_size` samples; the median, min and max
+//! per-iteration times are printed. No statistics beyond that — the
+//! goal is honest, dependency-free numbers, not criterion's analysis.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses command-line configuration (accepted for API parity; the
+    /// stand-in ignores filters and flags).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, self.target_sample_time, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            target_sample_time: self.target_sample_time,
+            _parent: self,
+        }
+    }
+
+    /// Final-summary hook (no-op in the stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    target_sample_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the per-sample time budget for benches in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.target_sample_time = t;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, self.target_sample_time, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(
+    name: &str,
+    sample_size: usize,
+    target_sample_time: Duration,
+    f: &mut impl FnMut(&mut Bencher),
+) {
+    // Calibration: find an iteration count filling ~target_sample_time.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let elapsed = b.samples.last().copied().unwrap_or_default();
+        if elapsed >= target_sample_time / 2 || iters >= 1 << 30 {
+            break;
+        }
+        let scale = if elapsed.is_zero() {
+            16.0
+        } else {
+            (target_sample_time.as_secs_f64() / elapsed.as_secs_f64()).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64 * scale) as u64).max(iters + 1);
+    }
+
+    let mut b = Bencher {
+        iters,
+        samples: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let max = per_iter.last().copied().unwrap_or(0.0);
+    println!(
+        "bench: {name:<40} {:>12} /iter (min {}, max {}, {} iters × {} samples)",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(max),
+        iters,
+        per_iter.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = crate::Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| crate::black_box(1 + 1));
+            ran += 1;
+        });
+        assert!(ran >= 3, "calibration plus samples must run the closure");
+    }
+}

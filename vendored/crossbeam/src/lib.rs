@@ -1,0 +1,95 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (stabilized long after crossbeam introduced the pattern). Only the
+//! scoped-thread API the workspace uses is implemented.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// A panic payload from a joined thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to [`scope`]'s closure; spawns borrow-
+    /// capturing threads that are joined when the scope ends.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, so
+        /// threads can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrow-capturing threads.
+    ///
+    /// Unlike `std::thread::scope`, returns a `Result` (crossbeam's
+    /// signature): `Err` carries the panic payload when an *unjoined*
+    /// child panicked. Joined children report panics through their own
+    /// handles.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let sums = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u32>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn joined_panic_is_reported_via_handle() {
+        let res = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .expect("scope itself succeeds");
+        assert!(res);
+    }
+}

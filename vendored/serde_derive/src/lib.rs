@@ -1,0 +1,442 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the value-tree traits in the vendored `serde` facade. The
+//! item is parsed directly from the token stream (no `syn`/`quote`
+//! available offline); generated code follows serde's externally-tagged
+//! defaults:
+//!
+//! * named struct → JSON object;
+//! * newtype struct → the inner value (transparent);
+//! * tuple struct → JSON array;
+//! * unit enum variant → the variant name as a string;
+//! * newtype/tuple/struct enum variant → `{ "Variant": payload }`.
+//!
+//! Generics and `#[serde(...)]` attributes are not supported — the
+//! workspace uses neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);` — arity recorded.
+    TupleStruct { name: String, arity: usize },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "map.insert({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize(&self) -> ::serde::Value {{
+                        let mut map = ::std::collections::BTreeMap::new();
+                        {pushes}
+                        ::serde::Value::Object(map)
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn serialize(&self) -> ::serde::Value {{
+                    ::serde::Serialize::serialize(&self.0)
+                }}
+            }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize(&self) -> ::serde::Value {{
+                        ::serde::Value::Array(vec![{}])
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => {{
+                            let mut map = ::std::collections::BTreeMap::new();
+                            map.insert({vn:?}.to_string(), ::serde::Serialize::serialize(x0));
+                            ::serde::Value::Object(map)
+                        }},\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{
+                                let mut map = ::std::collections::BTreeMap::new();
+                                map.insert({vn:?}.to_string(), ::serde::Value::Array(vec![{}]));
+                                ::serde::Value::Object(map)
+                            }},\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.insert({f:?}.to_string(), ::serde::Serialize::serialize({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{
+                                let mut inner = ::std::collections::BTreeMap::new();
+                                {pushes}
+                                let mut map = ::std::collections::BTreeMap::new();
+                                map.insert({vn:?}.to_string(), ::serde::Value::Object(inner));
+                                ::serde::Value::Object(map)
+                            }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(
+                        map.get({f:?}).unwrap_or(&::serde::Value::Null)
+                    ).map_err(|e| ::serde::Error::custom(
+                        format!(\"{name}.{f}: {{e}}\")))?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{
+                        let map = value.as_object().ok_or_else(||
+                            ::serde::Error::unexpected(\"object ({name})\", value))?;
+                        Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{
+                    Ok({name}(::serde::Deserialize::deserialize(value)?))
+                }}
+            }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{
+                        let items = value.as_array().ok_or_else(||
+                            ::serde::Error::unexpected(\"array ({name})\", value))?;
+                        if items.len() != {arity} {{
+                            return Err(::serde::Error::custom(format!(
+                                \"{name}: expected {arity} elements, got {{}}\", items.len())));
+                        }}
+                        Ok({name}({}))
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                        // Also accept the single-key-object form.
+                        data_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::deserialize(payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{
+                                let items = payload.as_array().ok_or_else(||
+                                    ::serde::Error::unexpected(\"array ({name}::{vn})\", payload))?;
+                                if items.len() != {n} {{
+                                    return Err(::serde::Error::custom(format!(
+                                        \"{name}::{vn}: expected {n} elements, got {{}}\",
+                                        items.len())));
+                                }}
+                                Ok({name}::{vn}({}))
+                            }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::deserialize(
+                                    inner.get({f:?}).unwrap_or(&::serde::Value::Null))?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{
+                                let inner = payload.as_object().ok_or_else(||
+                                    ::serde::Error::unexpected(\"object ({name}::{vn})\", payload))?;
+                                Ok({name}::{vn} {{ {inits} }})
+                            }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{
+                        match value {{
+                            ::serde::Value::String(s) => match s.as_str() {{
+                                {unit_arms}
+                                other => Err(::serde::Error::custom(format!(
+                                    \"unknown {name} variant {{other:?}}\"))),
+                            }},
+                            ::serde::Value::Object(map) if map.len() == 1 => {{
+                                let (tag, payload) = map.iter().next().expect(\"len checked\");
+                                match tag.as_str() {{
+                                    {data_arms}
+                                    other => Err(::serde::Error::custom(format!(
+                                        \"unknown {name} variant {{other:?}}\"))),
+                                }}
+                            }}
+                            other => Err(::serde::Error::unexpected(
+                                \"string or single-key object ({name})\", other)),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+// --- token-stream parsing --------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) stand-in does not support generics on `{name}`");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_segments(g.stream()),
+                }
+            }
+            _ => panic!("unit structs are not supported by the serde stand-in"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("malformed enum"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        // Skip to the top-level comma ending this field. Generic
+        // argument commas are protected by tracking `<...>` depth;
+        // parens/brackets/braces arrive as single Group tokens.
+        let mut angle_depth = 0i32;
+        loop {
+            i += 1;
+            match tokens.get(i) {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated segments (tuple-struct arity).
+fn count_segments(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut segments = 1;
+    let mut angle_depth = 0i32;
+    let mut last_was_comma = false;
+    for t in &tokens {
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    segments += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if last_was_comma {
+        segments -= 1; // trailing comma
+    }
+    segments
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_segments(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip the separating comma (and any stray tokens, e.g. a
+        // discriminant, which the stand-in does not support but should
+        // not silently mis-parse).
+        while let Some(t) = tokens.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}

@@ -1,0 +1,536 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! JSON text encoding/decoding over the vendored `serde` value tree.
+//! Covers the workspace's API surface: [`to_string`],
+//! [`to_string_pretty`], [`to_vec`], [`to_value`], [`from_str`],
+//! [`from_value`], the [`json!`] macro, and [`Value`].
+//!
+//! Floats are printed with Rust's shortest-round-trip `Display`, which
+//! gives `float_roundtrip` semantics by construction.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+pub use serde::{Number, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to an indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Lowers a value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize(&value).map_err(Error::from)
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::deserialize(&value).map_err(Error::from)
+}
+
+/// Parses JSON bytes into a typed value.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports object literals with string-literal keys, array literals,
+/// `null`, nested literals, and arbitrary expressions convertible into
+/// a `Value` via [`to_value`].
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Internal dispatch for [`json!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let items = {
+            let mut items = ::std::vec::Vec::new();
+            $crate::json_array!(items () $($tt)+);
+            items
+        };
+        $crate::Value::Array(items)
+    }};
+    ({}) => { $crate::Value::Object(::std::collections::BTreeMap::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $crate::json_object!(map () $($tt)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value is serializable")
+    };
+}
+
+/// Internal muncher for [`json!`] array elements: accumulates one
+/// element's tokens in a parenthesized group until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    ($items:ident ()) => {};
+    ($items:ident () $($rest:tt)+) => {
+        $crate::json_array!(@val $items () $($rest)+);
+    };
+    (@val $items:ident ($($val:tt)*) , $($rest:tt)*) => {
+        $items.push($crate::json_internal!($($val)*));
+        $crate::json_array!($items () $($rest)*);
+    };
+    (@val $items:ident ($($val:tt)*)) => {
+        $items.push($crate::json_internal!($($val)*));
+    };
+    (@val $items:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_array!(@val $items ($($val)* $next) $($rest)*);
+    };
+}
+
+/// Internal muncher for [`json!`] object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ($map:ident ()) => {};
+    ($map:ident () $key:literal : $($rest:tt)+) => {
+        $crate::json_object!(@val $map $key () $($rest)+)
+    };
+    (@val $map:ident $key:literal ($($val:tt)*) , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json_internal!($($val)*));
+        $crate::json_object!($map () $($rest)*);
+    };
+    (@val $map:ident $key:literal ($($val:tt)*)) => {
+        $map.insert($key.to_string(), $crate::json_internal!($($val)*));
+    };
+    (@val $map:ident $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_object!(@val $map $key ($($val)* $next) $($rest)*)
+    };
+}
+
+// --- printing --------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::UInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::Float(v) if v.is_finite() => {
+            // Rust's Display prints the shortest string that reparses
+            // to the same f64 — round-trip exact.
+            let _ = write!(out, "{v}");
+        }
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- parsing ---------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error(format!(
+                "unexpected `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".to_string())),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = std::collections::BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".to_string())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling for non-BMP chars.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.expect(b'\\')?;
+                                if self.peek() != Some(b'u') {
+                                    return Err(Error("lone high surrogate".to_string()));
+                                }
+                                let lo = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((cp - 0xD800) << 10)
+                                    + (lo.checked_sub(0xDC00).ok_or_else(|| {
+                                        Error("invalid low surrogate".to_string())
+                                    })?);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| Error("invalid \\u escape".to_string()))?);
+                            // hex4 advanced past the digits already.
+                            continue;
+                        }
+                        _ => return Err(Error("invalid escape".to_string())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|e| Error(format!("invalid UTF-8 in string: {e}")))?;
+                    let c = s.chars().next().expect("non-empty checked");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads 4 hex digits after the current position has consumed `\u`.
+    fn hex4(&mut self) -> Result<u32, Error> {
+        self.pos += 1; // the `u` (or final surrogate `u`)
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+        let s = std::str::from_utf8(digits).map_err(|_| Error("bad \\u escape".to_string()))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| Error("bad \\u escape".to_string()))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".to_string()))?;
+        let n = if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                Number::Int(v)
+            } else if let Ok(v) = text.parse::<u64>() {
+                Number::UInt(v)
+            } else {
+                Number::Float(
+                    text.parse::<f64>()
+                        .map_err(|e| Error(format!("bad number {text:?}: {e}")))?,
+                )
+            }
+        } else {
+            Number::Float(
+                text.parse::<f64>()
+                    .map_err(|e| Error(format!("bad number {text:?}: {e}")))?,
+            )
+        };
+        Ok(Value::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v = json!({
+            "name": "dinner",
+            "frames": [1, 2, 3],
+            "nested": {"pi": ::std::f64::consts::PI, "ok": true, "none": null}
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, f64::MAX, 5e-324, -2.5] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x, "{text}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line\n\"quoted\"\tüñî\u{1F37D}".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"a": [1]});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\""), "{pretty}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{oops}").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: String = from_str(r#""Aé""#).unwrap();
+        assert_eq!(v, "Aé");
+    }
+}
