@@ -83,7 +83,7 @@ fn ablation_cameras(c: &mut Criterion) {
         // Run on a truncated recording by slicing ground truth.
         let mut short = recording.clone();
         short.ground_truth.snapshots.truncate(100);
-        let analysis = pipeline.run(&short);
+        let analysis = pipeline.run(&short).expect("pipeline run");
         row(
             "ABL-CAMERAS",
             &format!("{n_cams} camera(s)"),

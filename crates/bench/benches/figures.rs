@@ -170,7 +170,7 @@ fn figs789_prototype(c: &mut Criterion) {
         parse_video: false,
         ..PipelineConfig::default()
     });
-    let analysis = pipeline.run(&recording);
+    let analysis = pipeline.run(&recording).expect("pipeline run");
 
     for (fig, t, paper) in [
         ("FIG7", 10.0, "yellow↔green mutual; black→blue; blue→green"),

@@ -179,12 +179,57 @@ fn telemetry_overhead(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("pipeline_20f_telemetry_disabled", |b| {
         let pipeline = DiEventPipeline::new_with_telemetry(config, Telemetry::disabled());
-        b.iter(|| pipeline.run(black_box(&recording)))
+        b.iter(|| pipeline.run(black_box(&recording)).expect("pipeline run"))
     });
     group.bench_function("pipeline_20f_telemetry_enabled", |b| {
         let pipeline = DiEventPipeline::new(config);
-        b.iter(|| pipeline.run(black_box(&recording)))
+        b.iter(|| pipeline.run(black_box(&recording)).expect("pipeline run"))
     });
+    group.finish();
+}
+
+fn streaming_throughput(c: &mut Criterion) {
+    // Frames/s through a live streaming session as a function of the
+    // bounded channel capacity: capacity 1 serializes producer and
+    // extractor, larger queues let them pipeline.
+    let recording = Recording::capture(Scenario::two_camera_dinner(20, 3));
+    let frames: Vec<Vec<_>> = (0..recording.cameras())
+        .map(|c| {
+            (0..recording.frames())
+                .map(|f| recording.frame(c, f))
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("streaming_throughput");
+    group.sample_size(10);
+    for capacity in [1usize, 8, 64] {
+        let config = PipelineConfig::builder()
+            .classify_emotions(false)
+            .parse_video(false)
+            .channel_capacity(capacity)
+            .build()
+            .expect("valid config");
+        let pipeline = DiEventPipeline::new_with_telemetry(config, Telemetry::disabled());
+        group.bench_function(&format!("session_20f_2cam_cap{capacity}"), |b| {
+            b.iter(|| {
+                let mut session = pipeline
+                    .session(black_box(&recording.scenario))
+                    .expect("session");
+                let feeds = session.take_feeds().expect("feeds");
+                std::thread::scope(|s| {
+                    for mut feed in feeds {
+                        let frames = &frames;
+                        s.spawn(move || {
+                            for frame in &frames[feed.camera()] {
+                                feed.push(frame.clone()).expect("push");
+                            }
+                        });
+                    }
+                });
+                session.finish().expect("finish")
+            })
+        });
+    }
     group.finish();
 }
 
@@ -193,6 +238,7 @@ criterion_group!(
     rendering_and_vision,
     emotion_stack,
     analysis_and_metadata,
-    telemetry_overhead
+    telemetry_overhead,
+    streaming_throughput
 );
 criterion_main!(throughput);

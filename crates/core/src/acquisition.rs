@@ -9,6 +9,7 @@
 //! cameras.
 
 use dievent_analysis::layers::TimeInvariantContext;
+use dievent_analysis::{LookAtConfig, LookAtMatrix};
 use dievent_scene::{GroundTruth, RenderConfig, Renderer, Scenario};
 use dievent_video::{GrayFrame, VideoSpec, VideoStream};
 
@@ -74,6 +75,29 @@ impl Recording {
     pub fn frame(&self, camera: usize, frame: usize) -> GrayFrame {
         self.renderer
             .render(&self.scenario, &self.ground_truth.snapshots[frame], camera)
+    }
+
+    /// Ground-truth look-at matrices at the configuration's attention
+    /// radius, one per frame — the reference a detected sequence is
+    /// validated against.
+    pub fn lookat_truth(&self, config: &LookAtConfig) -> Vec<LookAtMatrix> {
+        let n = self.scenario.participants.len();
+        self.ground_truth
+            .snapshots
+            .iter()
+            .map(|snap| {
+                let rows = snap.lookat_matrix(config.attention_radius);
+                let mut m = LookAtMatrix::zero(n);
+                for (g, row) in rows.iter().enumerate() {
+                    for (t, &v) in row.iter().enumerate() {
+                        if g != t && v == 1 {
+                            m.set(g, t, 1);
+                        }
+                    }
+                }
+                m
+            })
+            .collect()
     }
 
     /// A sequential [`VideoStream`] over one camera.

@@ -136,12 +136,25 @@ fn main() -> ExitCode {
     );
 
     let recording = Recording::capture(scenario);
-    let pipeline = DiEventPipeline::new(PipelineConfig {
-        classify_emotions: opts.emotions,
-        parse_video: opts.parse,
-        ..PipelineConfig::default()
-    });
-    let analysis = pipeline.run(&recording);
+    let config = match PipelineConfig::builder()
+        .classify_emotions(opts.emotions)
+        .parse_video(opts.parse)
+        .build()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pipeline = DiEventPipeline::new(config);
+    let analysis = match pipeline.run(&recording) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if opts.json {
         match serde_json::to_string_pretty(&analysis.digest()) {

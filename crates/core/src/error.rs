@@ -1,0 +1,91 @@
+//! Error type for the pipeline and streaming-session APIs.
+
+use std::fmt;
+
+/// Everything that can go wrong constructing or driving the DiEvent
+/// pipeline.
+///
+/// The analysis math itself is total — errors come from the *plumbing*:
+/// invalid configuration, dead worker threads, a closed session, or the
+/// metadata store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiEventError {
+    /// A configuration value fails validation (see
+    /// [`PipelineConfig::validate`](crate::PipelineConfig::validate)).
+    InvalidConfig(String),
+    /// A frame was pushed for a camera index outside the rig.
+    UnknownCamera {
+        /// The offending camera index.
+        camera: usize,
+        /// Number of cameras the session was built with.
+        cameras: usize,
+    },
+    /// The session no longer accepts input on this path: it was closed,
+    /// or the camera's feed was detached with
+    /// [`PipelineSession::take_feeds`](crate::PipelineSession::take_feeds).
+    SessionClosed,
+    /// A per-camera worker thread panicked (or a pusher thread driving
+    /// it did). `camera` is `None` when the failing thread could not be
+    /// attributed to a single camera.
+    CameraThreadPanicked {
+        /// The camera whose thread died, when attributable.
+        camera: Option<usize>,
+    },
+    /// The metadata repository rejected an insert.
+    Store(String),
+}
+
+impl fmt::Display for DiEventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiEventError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DiEventError::UnknownCamera { camera, cameras } => {
+                write!(f, "camera {camera} out of range (rig has {cameras})")
+            }
+            DiEventError::SessionClosed => write!(f, "session is closed to new input"),
+            DiEventError::CameraThreadPanicked { camera: Some(c) } => {
+                write!(f, "camera {c} worker thread panicked")
+            }
+            DiEventError::CameraThreadPanicked { camera: None } => {
+                write!(f, "a camera worker thread panicked")
+            }
+            DiEventError::Store(msg) => write!(f, "metadata store error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiEventError {}
+
+impl From<std::io::Error> for DiEventError {
+    fn from(e: std::io::Error) -> Self {
+        DiEventError::Store(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DiEventError::InvalidConfig("capacity 0".into())
+            .to_string()
+            .contains("capacity 0"));
+        assert!(DiEventError::UnknownCamera {
+            camera: 5,
+            cameras: 2
+        }
+        .to_string()
+        .contains('5'));
+        assert!(DiEventError::CameraThreadPanicked { camera: Some(1) }
+            .to_string()
+            .contains("camera 1"));
+    }
+
+    #[test]
+    fn io_errors_convert_to_store() {
+        let io = std::io::Error::other("disk gone");
+        let e: DiEventError = io.into();
+        assert_eq!(e, DiEventError::Store("disk gone".into()));
+    }
+}

@@ -19,17 +19,28 @@
 //! prototype reports (look-at maps, the summary matrix, dominance, OH
 //! series) plus validation metrics against the simulator's ground
 //! truth.
+//!
+//! Execution is streaming-first: [`session::PipelineSession`] accepts
+//! per-camera frames incrementally over bounded, backpressured
+//! channels and emits incremental [`session::FrameAnalysis`] results;
+//! the batch `run` entry point is a thin driver over a session.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod acquisition;
+pub mod error;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 pub mod training;
 
 pub use acquisition::{CameraStream, Recording};
 pub use dievent_telemetry::Telemetry;
-pub use pipeline::{DiEventPipeline, PipelineConfig};
+pub use error::DiEventError;
+pub use pipeline::{DiEventPipeline, PipelineConfig, PipelineConfigBuilder};
 pub use report::{AnalysisDigest, EventAnalysis, StageTimings};
+pub use session::{
+    BackpressureMode, CameraFeed, FinishOptions, FrameAnalysis, PipelineSession, StreamingConfig,
+};
 pub use training::{default_training_set, train_emotion_classifier, TrainingSetConfig};

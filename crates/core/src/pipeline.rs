@@ -1,11 +1,15 @@
-//! Stages 2–5: the DiEvent analysis pipeline.
+//! Stages 2–5: the DiEvent analysis pipeline (batch entry point).
 //!
 //! [`DiEventPipeline::run`] consumes a [`Recording`] and produces an
-//! [`EventAnalysis`]. Camera processing is parallel (one crossbeam
-//! scoped thread per camera — each is an independent "smart camera"
-//! running detection, landmarks, pose, tracking, recognition, and
-//! emotion classification); fusion and the multilayer analysis then run
-//! sequentially over the per-frame observations.
+//! [`EventAnalysis`]. It is a thin driver over the streaming engine in
+//! [`crate::session`]: it opens a [`PipelineSession`], pushes every
+//! recorded frame through the per-camera bounded channels (one pusher
+//! thread per camera when `parallel_cameras` is set — each worker is an
+//! independent "smart camera" running detection, landmarks, pose,
+//! tracking, recognition, and emotion classification), and finishes the
+//! session with the recording's ground truth and context attached.
+//! Batch and streaming therefore share one code path and produce
+//! identical results.
 //!
 //! Identity bootstrap follows the paper's stance that the participant
 //! count and seating are *external information* (§II-D-1: "n is given
@@ -13,29 +17,27 @@
 //! associated to seats by projected position, enrolling each
 //! participant's appearance in the camera's gallery; every later frame
 //! relies on appearance recognition alone.
+//!
+//! [`PipelineSession`]: crate::session::PipelineSession
 
 use crate::acquisition::Recording;
-use crate::report::{EventAnalysis, StageTimings};
+use crate::error::DiEventError;
+use crate::report::EventAnalysis;
+use crate::session::{FinishOptions, StreamingConfig};
 use crate::training::{train_emotion_classifier, TrainingSetConfig};
-use dievent_analysis::overall_emotion::{fuse_sequence, EmotionEstimate, OverallEmotionConfig};
-use dievent_analysis::{
-    dominance_ranking, ec_episodes, fuse_frame, pair_statistics, smooth_matrices,
-    validate_sequence, CameraObservation, FrameObservations, FusionConfig, LookAtConfig,
-    LookAtMatrix, LookAtSummary,
-};
+use dievent_analysis::{FusionConfig, LookAtConfig};
 use dievent_emotion::EmotionClassifier;
-use dievent_metadata::{MetaRecord, MetadataRepository, RecordKind};
-use dievent_scene::Scenario;
-use dievent_summarize::{
-    detect_highlights, importance_series, select_summary, HighlightConfig, ImportanceConfig,
-    SummaryConfig,
-};
+use dievent_summarize::{HighlightConfig, ImportanceConfig, SummaryConfig};
 use dievent_telemetry::Telemetry;
-use dievent_video::{GrayFrame, VideoParser, VideoParserConfig};
-use dievent_vision::{ExtractorConfig, FaceGallery, FeatureExtractor, PersonId};
+use dievent_video::VideoParserConfig;
+use dievent_vision::ExtractorConfig;
 use serde::{Deserialize, Serialize};
 
 /// Full pipeline configuration.
+///
+/// Construct via [`PipelineConfig::builder`] to get validation up
+/// front, or as a struct literal (validation then happens when a
+/// session is opened).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Per-camera feature extraction settings.
@@ -66,6 +68,9 @@ pub struct PipelineConfig {
     pub importance: ImportanceConfig,
     /// Summary selection settings.
     pub summary: SummaryConfig,
+    /// Streaming-session settings (channel capacity, backpressure,
+    /// reorder window).
+    pub streaming: StreamingConfig,
 }
 
 impl Default for PipelineConfig {
@@ -85,15 +90,130 @@ impl Default for PipelineConfig {
             highlights: HighlightConfig::default(),
             importance: ImportanceConfig::default(),
             summary: SummaryConfig::default(),
+            streaming: StreamingConfig::default(),
         }
     }
 }
 
-/// One camera thread's per-frame output.
-struct CameraFrameOutput {
-    observations: Vec<CameraObservation>,
-    /// `(person, probabilities, confidence, apparent_radius)`
-    emotions: Vec<(usize, Vec<f64>, f64, f64)>,
+impl PipelineConfig {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// Checks the configuration's internal consistency.
+    ///
+    /// Called by [`PipelineConfigBuilder::build`] and when a session is
+    /// opened, so struct-literal configurations are validated too.
+    pub fn validate(&self) -> Result<(), DiEventError> {
+        if self.streaming.channel_capacity == 0 {
+            return Err(DiEventError::InvalidConfig(
+                "streaming.channel_capacity must be >= 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.emotion_smoothing) {
+            return Err(DiEventError::InvalidConfig(format!(
+                "emotion_smoothing must be within [0, 1], got {}",
+                self.emotion_smoothing
+            )));
+        }
+        if self.matrix_smoothing == 0 {
+            return Err(DiEventError::InvalidConfig(
+                "matrix_smoothing window must be >= 1 frame".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`PipelineConfig`].
+///
+/// ```
+/// use dievent_core::PipelineConfig;
+///
+/// let config = PipelineConfig::builder()
+///     .classify_emotions(false)
+///     .channel_capacity(16)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(config.streaming.channel_capacity, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.config.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl PipelineConfigBuilder {
+    builder_setters! {
+        /// Per-camera feature extraction settings.
+        extractor: ExtractorConfig,
+        /// Eye-contact geometry.
+        lookat: LookAtConfig,
+        /// Multi-camera fusion settings.
+        fusion: FusionConfig,
+        /// Temporal majority-vote window over look-at matrices (frames).
+        matrix_smoothing: usize,
+        /// EMA smoothing of the overall-emotion series.
+        emotion_smoothing: f64,
+        /// Video-parsing settings.
+        parser: VideoParserConfig,
+        /// Emotion-classifier training-set settings.
+        training: TrainingSetConfig,
+        /// Seed for classifier training.
+        training_seed: u64,
+        /// Run emotion classification.
+        classify_emotions: bool,
+        /// Run video composition analysis.
+        parse_video: bool,
+        /// Process cameras on parallel threads.
+        parallel_cameras: bool,
+        /// Highlight detection settings.
+        highlights: HighlightConfig,
+        /// Importance scoring settings.
+        importance: ImportanceConfig,
+        /// Summary selection settings.
+        summary: SummaryConfig,
+        /// Streaming-session settings, wholesale.
+        streaming: StreamingConfig,
+    }
+
+    /// Bounded per-camera input queue length, in frames (≥ 1).
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.config.streaming.channel_capacity = capacity;
+        self
+    }
+
+    /// Policy when a camera's bounded queue is full.
+    pub fn backpressure(mut self, mode: crate::session::BackpressureMode) -> Self {
+        self.config.streaming.backpressure = mode;
+        self
+    }
+
+    /// Maximum inter-camera skew (frames) the sequencer waits out.
+    pub fn reorder_window(mut self, frames: usize) -> Self {
+        self.config.streaming.reorder_window = frames;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<PipelineConfig, DiEventError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// The assembled DiEvent pipeline.
@@ -141,440 +261,73 @@ impl DiEventPipeline {
         &self.telemetry
     }
 
-    /// Enrolls participants into a camera's gallery from its first
-    /// frame, associating detections to seats by projected position.
-    fn enroll(
-        &self,
-        extractor: &mut FeatureExtractor,
-        scenario: &Scenario,
-        first_frame: &GrayFrame,
-    ) {
-        let camera = *extractor.camera();
-        // Tentative pass purely to get detections + patches.
-        let mut probe =
-            FeatureExtractor::new(self.config.extractor, camera, FaceGallery::default());
-        let obs = probe.process(first_frame);
-        for o in obs {
-            // Match to the nearest seat by projection (external seating
-            // plan).
-            let mut best: Option<(usize, f64)> = None;
-            for p in &scenario.participants {
-                if let Some(proj) = camera.project(p.seat_head) {
-                    let d = (proj.pixel.x - o.detection.cx).hypot(proj.pixel.y - o.detection.cy);
-                    if best.is_none_or(|(_, bd)| d < bd) {
-                        best = Some((p.index, d));
-                    }
-                }
-            }
-            if let (Some((person, d)), Some(patch)) = (best, o.patch.as_ref()) {
-                // Only trust unambiguous associations.
-                if d < o.detection.radius * 2.0 {
-                    extractor
-                        .gallery_mut()
-                        .enroll(PersonId(person), &o.detection, patch);
-                }
-            }
-        }
+    /// The trained emotion classifier, when classification is enabled.
+    pub(crate) fn classifier(&self) -> Option<&EmotionClassifier> {
+        self.classifier.as_ref()
     }
 
-    /// Processes one camera over the whole recording.
+    /// Runs the full pipeline on a recording by driving a streaming
+    /// session to completion.
     ///
-    /// `parent` is the extraction stage's span id — camera workers run
-    /// on their own threads, where implicit span nesting can't see it.
-    fn run_camera(
-        &self,
-        recording: &Recording,
-        camera_index: usize,
-        monitor: bool,
-        parent: Option<u64>,
-    ) -> (Vec<CameraFrameOutput>, Vec<GrayFrame>) {
-        let mut span = self.telemetry.span_under("camera.extract", parent);
-        span.set("camera", camera_index);
-        let camera_label = camera_index.to_string();
-        let labels = &[("camera", camera_label.as_str())][..];
-        let dropped = self.telemetry.counter_with("detections_dropped", labels);
-        let classified = self
-            .telemetry
-            .counter_with("emotion_classifications", labels);
-
-        let scenario = &recording.scenario;
-        let camera = scenario.rig.cameras[camera_index];
-        let mut extractor =
-            FeatureExtractor::new(self.config.extractor, camera, FaceGallery::default());
-        extractor.attach_telemetry(&self.telemetry, &camera_label);
-        let first = recording.frame(camera_index, 0);
-        self.enroll(&mut extractor, scenario, &first);
-
+    /// With `parallel_cameras` set (and more than one camera), one
+    /// pusher thread per camera renders and feeds frames concurrently —
+    /// acquisition pipelines with extraction exactly as the live
+    /// deployment would. Otherwise frames are pushed inline,
+    /// deterministically, on the calling thread.
+    pub fn run(&self, recording: &Recording) -> Result<EventAnalysis, DiEventError> {
+        let mut session = self.session(&recording.scenario)?;
         let frames = recording.frames();
-        let mut outputs = Vec::with_capacity(frames);
-        let mut monitor_frames = Vec::new();
-        for f in 0..frames {
-            let frame = if f == 0 {
-                first.clone()
-            } else {
-                recording.frame(camera_index, f)
-            };
-            if monitor {
-                // Quarter-resolution monitor stream for video parsing.
-                monitor_frames.push(frame.downsample2().downsample2());
-            }
-            let obs = extractor.process(&frame);
-            let mut observations = Vec::new();
-            let mut emotions = Vec::new();
-            for o in &obs {
-                let Some((person, _dist)) = o.identity else {
-                    // An unattributed detection carries no usable gaze.
-                    dropped.incr();
-                    continue;
-                };
-                if let Some(pose) = &o.pose {
-                    observations.push(CameraObservation {
-                        person: person.0,
-                        head_cam: pose.head_cam,
-                        gaze_cam: Some(pose.gaze_cam),
-                        weight: 1.0,
-                    });
-                } else {
-                    // Position-only sighting (face turned away):
-                    // reconstruct camera-frame position from the
-                    // detection via the depth-from-radius model.
-                    let k = &extractor.camera().intrinsics;
-                    let z = k.fx * self.config.extractor.pose.head_radius_m / o.detection.radius;
-                    observations.push(CameraObservation {
-                        person: person.0,
-                        head_cam: dievent_geometry::Vec3::new(
-                            (o.detection.cx - k.cx) / k.fx * z,
-                            (o.detection.cy - k.cy) / k.fy * z,
-                            z,
-                        ),
-                        gaze_cam: None,
-                        weight: 0.5,
-                    });
-                }
-                if let (Some(clf), Some(patch)) = (&self.classifier, o.patch.as_ref()) {
-                    let pred = clf.classify(patch);
-                    classified.incr();
-                    emotions.push((
-                        person.0,
-                        pred.probabilities,
-                        pred.confidence,
-                        o.detection.radius,
-                    ));
-                }
-            }
-            outputs.push(CameraFrameOutput {
-                observations,
-                emotions,
-            });
-        }
-        span.set("frames", frames);
-        (outputs, monitor_frames)
-    }
+        let cameras = recording.cameras();
 
-    /// Runs the full pipeline on a recording.
-    pub fn run(&self, recording: &Recording) -> EventAnalysis {
-        let n_cameras = recording.cameras();
-        let n_participants = recording.scenario.participants.len();
-        let frames = recording.frames();
-
-        let mut run_span = self.telemetry.span("pipeline.run");
-        run_span.set("cameras", n_cameras);
-        run_span.set("participants", n_participants);
-        run_span.set("frames", frames);
-        self.telemetry
-            .gauge("participants")
-            .set(n_participants as f64);
-        self.telemetry.gauge("cameras").set(n_cameras as f64);
-        self.telemetry.gauge("recording_frames").set(frames as f64);
-
-        // --- Stage 3: per-camera feature extraction (parallel). ---
-        let mut per_camera: Vec<(Vec<CameraFrameOutput>, Vec<GrayFrame>)> =
-            Vec::with_capacity(n_cameras);
-        {
-            let stage = self.telemetry.span("stage.extraction");
-            let stage_id = stage.id();
-            if self.config.parallel_cameras && n_cameras > 1 {
-                let results: Vec<_> = crossbeam::thread::scope(|s| {
-                    let handles: Vec<_> = (0..n_cameras)
-                        .map(|c| {
-                            let monitor = c == 0 && self.config.parse_video;
-                            s.spawn(move |_| self.run_camera(recording, c, monitor, stage_id))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("camera thread"))
-                        .collect()
-                })
-                .expect("camera scope");
-                per_camera.extend(results);
-            } else {
-                for c in 0..n_cameras {
-                    let monitor = c == 0 && self.config.parse_video;
-                    per_camera.push(self.run_camera(recording, c, monitor, stage_id));
-                }
-            }
-        }
-
-        // --- Stage 2: video composition analysis on the monitor stream. ---
-        let structure = {
-            let _stage = self.telemetry.span("stage.parse");
-            if self.config.parse_video {
-                let monitor = &per_camera[0].1;
-                let mut spec = recording.scenario.spec;
-                spec.width = monitor.first().map_or(spec.width / 4, |f| f.width());
-                spec.height = monitor.first().map_or(spec.height / 4, |f| f.height());
-                Some(
-                    VideoParser::new(self.config.parser)
-                        .with_telemetry(self.telemetry.clone())
-                        .parse_frames(spec, monitor),
-                )
-            } else {
-                None
-            }
-        };
-
-        // --- Stage 4: fusion + multilayer analysis. ---
-        let analysis_stage = self.telemetry.span("stage.analysis");
-        let fusion_seconds = self.telemetry.histogram("fusion_seconds");
-        let lookat_tests = self.telemetry.counter("lookat_tests");
-        let camera_poses: Vec<_> = recording
-            .scenario
-            .rig
-            .cameras
-            .iter()
-            .map(|c| c.pose)
-            .collect();
-
-        let mut raw_matrices = Vec::with_capacity(frames);
-        let mut emotion_frames: Vec<Vec<EmotionEstimate>> = Vec::with_capacity(frames);
-        for f in 0..frames {
-            let mut frame_obs = FrameObservations::default();
-            for (c, (outputs, _)) in per_camera.iter().enumerate() {
-                frame_obs
-                    .cameras
-                    .push((camera_poses[c], outputs[f].observations.clone()));
-            }
-            let matrix = fusion_seconds.time(|| {
-                let poses = fuse_frame(&frame_obs, &self.config.fusion);
-                LookAtMatrix::from_poses(n_participants, &poses, &self.config.lookat)
-            });
-            // Every ordered pair is geometrically tested per frame.
-            lookat_tests.add((n_participants * n_participants.saturating_sub(1)) as u64);
-            raw_matrices.push(matrix);
-
-            // Per person, keep the emotion estimate from the camera with
-            // the largest apparent face (closest, best-resolved view).
-            let mut best: Vec<Option<(Vec<f64>, f64, f64)>> = vec![None; n_participants];
-            for (outputs, _) in &per_camera {
-                for (person, probs, conf, radius) in &outputs[f].emotions {
-                    if *person >= n_participants {
-                        continue;
-                    }
-                    if best[*person].as_ref().is_none_or(|(_, _, r)| radius > r) {
-                        best[*person] = Some((probs.clone(), *conf, *radius));
-                    }
-                }
-            }
-            emotion_frames.push(
-                best.into_iter()
-                    .enumerate()
-                    .filter_map(|(person, b)| {
-                        b.map(|(probabilities, confidence, _)| EmotionEstimate {
-                            person,
-                            probabilities,
-                            confidence,
+        if self.config.parallel_cameras && cameras > 1 {
+            let feeds = session.take_feeds()?;
+            let pushed: Result<Vec<()>, DiEventError> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = feeds
+                    .into_iter()
+                    .map(|mut feed| {
+                        s.spawn(move |_| -> Result<(), DiEventError> {
+                            let camera = feed.camera();
+                            for f in 0..frames {
+                                feed.push(recording.frame(camera, f))?;
+                            }
+                            Ok(())
                         })
                     })
-                    .collect(),
-            );
-        }
-
-        let matrices = smooth_matrices(&raw_matrices, self.config.matrix_smoothing);
-
-        let mut summary = LookAtSummary::new(n_participants);
-        for m in &matrices {
-            summary.add(m);
-        }
-        let dominance = dominance_ranking(&summary);
-
-        let overall = fuse_sequence(
-            &emotion_frames,
-            &OverallEmotionConfig {
-                participants: n_participants,
-                smoothing: self.config.emotion_smoothing,
-            },
-        );
-
-        let episodes = ec_episodes(&matrices, 3);
-        let pair_stats = pair_statistics(&matrices, 3);
-        let highlights = detect_highlights(&matrices, &overall, &self.config.highlights);
-        let importance = importance_series(&matrices, &overall, &self.config.importance);
-        let video_summary = structure.as_ref().map(|s| {
-            select_summary(
-                &s.shots,
-                &importance,
-                &self.config.summary,
-                &self.config.importance,
-            )
-        });
-
-        // Validation against ground truth at the same attention radius.
-        let truth: Vec<LookAtMatrix> = recording
-            .ground_truth
-            .snapshots
-            .iter()
-            .map(|snap| {
-                let rows = snap.lookat_matrix(self.config.lookat.attention_radius);
-                let mut m = LookAtMatrix::zero(n_participants);
-                for (g, row) in rows.iter().enumerate() {
-                    for (t, &v) in row.iter().enumerate() {
-                        if g != t && v == 1 {
-                            m.set(g, t, 1);
-                        }
-                    }
-                }
-                m
+                    .collect();
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(camera, handle)| {
+                        handle
+                            .join()
+                            .map_err(|_| DiEventError::CameraThreadPanicked {
+                                camera: Some(camera),
+                            })?
+                    })
+                    .collect()
             })
-            .collect();
-        let validation = validate_sequence(&matrices, &truth);
+            .map_err(|_| DiEventError::CameraThreadPanicked { camera: None })?;
+            pushed?;
+        } else {
+            for f in 0..frames {
+                for c in 0..cameras {
+                    session.push_frame(c, recording.frame(c, f))?;
+                }
+            }
+        }
 
-        self.telemetry
-            .counter("ec_episodes")
-            .add(episodes.len() as u64);
-        drop(analysis_stage);
-
-        // --- Stage 5: metadata repository. ---
-        let repository = {
-            let _stage = self.telemetry.span("stage.metadata");
-            let mut repository = MetadataRepository::in_memory();
-            repository.attach_telemetry(&self.telemetry);
-            self.populate_repository(
-                &repository,
-                recording,
-                &matrices,
-                &overall,
-                &structure,
-                &highlights,
-            );
-            repository
-        };
-
-        // Close the run span, then derive the stage timings and the
-        // carried report from what the telemetry domain accumulated.
-        drop(run_span);
-        let telemetry = self.telemetry.report();
-        let timings = StageTimings::from_report(&telemetry);
-
-        EventAnalysis {
-            participants: n_participants,
-            fps: recording.scenario.spec.fps,
-            raw_matrices,
-            matrices,
-            summary,
-            dominance,
-            overall,
-            episodes,
-            pair_stats,
-            highlights,
-            importance,
-            structure,
-            video_summary,
-            validation,
-            repository,
-            timings,
-            telemetry,
+        session.finish_with(FinishOptions {
+            ground_truth: recording.lookat_truth(&self.config.lookat),
             context: recording.context.clone(),
-        }
-    }
-
-    fn populate_repository(
-        &self,
-        repo: &MetadataRepository,
-        recording: &Recording,
-        matrices: &[LookAtMatrix],
-        overall: &[dievent_analysis::overall_emotion::OverallEmotion],
-        structure: &Option<dievent_video::VideoStructure>,
-        highlights: &[dievent_summarize::Highlight],
-    ) {
-        let fps = recording.scenario.spec.fps;
-        let duration = recording.frames() as f64 / fps;
-        let mut event = MetaRecord::new(RecordKind::Event)
-            .with_span(0.0, duration)
-            .with_attr("name", recording.scenario.name.as_str())
-            .with_attr("participants", recording.scenario.participants.len())
-            .with_attr("cameras", recording.cameras())
-            .with_attr("frames", recording.frames());
-        if let Some(ctx) = &recording.context {
-            event = event
-                .with_attr("location", ctx.location.as_str())
-                .with_attr("date", ctx.date.as_str())
-                .with_attr("occasion", ctx.occasion.as_str());
-            if let Some(t) = ctx.temperature_c {
-                event = event.with_attr("temperature_c", t);
-            }
-            if let Ok(payload) = serde_json::to_value(ctx) {
-                event = event.with_payload(payload);
-            }
-        }
-        repo.insert(event).expect("in-memory insert");
-
-        if let Some(s) = structure {
-            for (i, scene) in s.scenes.iter().enumerate() {
-                let (f0, f1) = scene.frame_span(&s.shots);
-                repo.insert(
-                    MetaRecord::new(RecordKind::Scene)
-                        .with_span(f0 as f64 / fps, f1 as f64 / fps)
-                        .with_attr("scene", i),
-                )
-                .expect("in-memory insert");
-            }
-            for (i, shot) in s.shots.iter().enumerate() {
-                repo.insert(
-                    MetaRecord::new(RecordKind::Shot)
-                        .with_span(shot.start as f64 / fps, shot.end as f64 / fps)
-                        .with_attr("shot", i)
-                        .with_attr("keyframes", s.keyframes[i].len()),
-                )
-                .expect("in-memory insert");
-            }
-        }
-
-        for (f, (m, o)) in matrices.iter().zip(overall).enumerate() {
-            let t = f as f64 / fps;
-            repo.insert(
-                MetaRecord::new(RecordKind::FrameAnalysis)
-                    .with_span(t, t + 1.0 / fps)
-                    .with_attr("frame", f)
-                    .with_attr("looks", m.count_ones())
-                    .with_attr("eye_contacts", m.eye_contacts().len())
-                    .with_attr("oh", o.overall_happiness)
-                    .with_attr("valence", o.valence),
-            )
-            .expect("in-memory insert");
-        }
-
-        for h in highlights {
-            let t = h.frame as f64 / fps;
-            let kind = match &h.kind {
-                dievent_summarize::HighlightKind::EyeContactStart { .. } => "ec",
-                dievent_summarize::HighlightKind::EmotionShift { .. } => "emotion",
-            };
-            repo.insert(
-                MetaRecord::new(RecordKind::Highlight)
-                    .with_span(t, t)
-                    .with_attr("frame", h.frame)
-                    .with_attr("kind", kind),
-            )
-            .expect("in-memory insert");
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dievent_metadata::Query;
+    use dievent_metadata::{Query, RecordKind};
+    use dievent_scene::Scenario;
 
     /// A short two-camera recording that keeps tests fast.
     fn short_recording() -> Recording {
@@ -593,7 +346,7 @@ mod tests {
     fn pipeline_runs_end_to_end() {
         let recording = short_recording();
         let pipeline = DiEventPipeline::new(quick_config());
-        let analysis = pipeline.run(&recording);
+        let analysis = pipeline.run(&recording).expect("pipeline run");
         assert_eq!(analysis.matrices.len(), 40);
         assert_eq!(analysis.overall.len(), 40);
         assert_eq!(analysis.participants, 2);
@@ -607,7 +360,7 @@ mod tests {
         // detected matrices must recover EC with decent fidelity.
         let recording = short_recording();
         let pipeline = DiEventPipeline::new(quick_config());
-        let analysis = pipeline.run(&recording);
+        let analysis = pipeline.run(&recording).expect("pipeline run");
         assert!(
             analysis.validation.f1 > 0.7,
             "look-at F1 too low: {:?}",
@@ -618,12 +371,15 @@ mod tests {
     #[test]
     fn sequential_equals_parallel() {
         let recording = short_recording();
-        let par = DiEventPipeline::new(quick_config()).run(&recording);
+        let par = DiEventPipeline::new(quick_config())
+            .run(&recording)
+            .expect("parallel run");
         let seq = DiEventPipeline::new(PipelineConfig {
             parallel_cameras: false,
             ..quick_config()
         })
-        .run(&recording);
+        .run(&recording)
+        .expect("sequential run");
         assert_eq!(
             par.matrices, seq.matrices,
             "camera parallelism must not change results"
@@ -634,7 +390,9 @@ mod tests {
     #[test]
     fn repository_answers_queries() {
         let recording = short_recording();
-        let analysis = DiEventPipeline::new(quick_config()).run(&recording);
+        let analysis = DiEventPipeline::new(quick_config())
+            .run(&recording)
+            .expect("pipeline run");
         let events = analysis
             .repository
             .query(&Query::new().kind(RecordKind::Event));
@@ -662,9 +420,45 @@ mod tests {
             parse_video: false,
             ..PipelineConfig::default()
         });
-        let analysis = pipeline.run(&recording);
+        let analysis = pipeline.run(&recording).expect("pipeline run");
         // Some frames must carry observed emotions for ≥1 participant.
         let observed: usize = analysis.overall.iter().map(|o| o.observed).sum();
         assert!(observed > 0, "no emotions observed at all");
+    }
+
+    #[test]
+    fn builder_validates_settings() {
+        assert!(PipelineConfig::builder().build().is_ok());
+        assert!(matches!(
+            PipelineConfig::builder().channel_capacity(0).build(),
+            Err(DiEventError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            PipelineConfig::builder().emotion_smoothing(1.5).build(),
+            Err(DiEventError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            PipelineConfig::builder().matrix_smoothing(0).build(),
+            Err(DiEventError::InvalidConfig(_))
+        ));
+        let config = PipelineConfig::builder()
+            .reorder_window(4)
+            .channel_capacity(2)
+            .build()
+            .expect("valid");
+        assert_eq!(config.streaming.reorder_window, 4);
+        assert_eq!(config.streaming.channel_capacity, 2);
+    }
+
+    #[test]
+    fn zero_camera_recording_is_rejected_not_a_panic() {
+        let mut scenario = Scenario::two_camera_dinner(4, 1);
+        scenario.rig.cameras.clear();
+        let recording = Recording::capture(scenario);
+        let pipeline = DiEventPipeline::new(quick_config());
+        assert!(matches!(
+            pipeline.run(&recording),
+            Err(DiEventError::InvalidConfig(_))
+        ));
     }
 }

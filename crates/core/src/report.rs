@@ -335,6 +335,7 @@ mod tests {
             ..PipelineConfig::default()
         })
         .run(&recording)
+        .expect("pipeline run")
     }
 
     #[test]

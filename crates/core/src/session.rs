@@ -1,0 +1,1195 @@
+//! The streaming execution engine: incremental, backpressured frame
+//! analysis.
+//!
+//! A [`PipelineSession`] is the live-feed counterpart of
+//! [`DiEventPipeline::run`](crate::pipeline::DiEventPipeline::run):
+//! instead of consuming a whole [`Recording`](crate::Recording) at
+//! once, callers push per-camera frames as they arrive
+//! ([`PipelineSession::push_frame`] or a detached [`CameraFeed`] per
+//! producer thread), and stage-3 feature extraction runs on one worker
+//! thread per camera, fed through **bounded channels with
+//! backpressure** ([`BackpressureMode::Block`] never sheds load;
+//! [`BackpressureMode::DropOldest`] sheds the stalest queued frame and
+//! counts the drop in telemetry). A sequencer fuses per-camera outputs
+//! into per-frame [`FrameAnalysis`] results, tolerating out-of-order
+//! camera arrival within a configurable reorder window, and
+//! [`PipelineSession::finish`] runs the remaining batch stages
+//! (smoothing, summary, parsing, metadata) to produce the same
+//! [`EventAnalysis`] the batch entry point returns. The batch path is
+//! a thin driver over this engine, so both share one code path.
+
+use crate::error::DiEventError;
+use crate::pipeline::{DiEventPipeline, PipelineConfig};
+use crate::report::{EventAnalysis, StageTimings};
+use dievent_analysis::layers::TimeInvariantContext;
+use dievent_analysis::overall_emotion::{fuse_sequence, EmotionEstimate, OverallEmotionConfig};
+use dievent_analysis::{
+    dominance_ranking, ec_episodes, fuse_frame, pair_statistics, smooth_matrices,
+    validate_sequence, CameraObservation, FrameObservations, LookAtMatrix, LookAtSummary,
+};
+use dievent_emotion::EmotionClassifier;
+use dievent_geometry::{Iso3, PinholeCamera, Vec3};
+use dievent_metadata::{MetaRecord, MetadataRepository, RecordKind};
+use dievent_scene::Scenario;
+use dievent_summarize::{
+    detect_highlights, importance_series, select_summary, Highlight, HighlightKind,
+};
+use dievent_telemetry::{Counter, Gauge, Histogram, SpanGuard, Telemetry};
+use dievent_video::{GrayFrame, VideoParser, VideoSpec, VideoStructure};
+use dievent_vision::{ExtractorConfig, FaceGallery, FeatureExtractor, PersonId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+/// How a camera feed behaves when its bounded input queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackpressureMode {
+    /// Block the producer until the worker frees a slot. Nothing is
+    /// ever lost; ingest rate degrades to extraction rate.
+    Block,
+    /// Evict the oldest queued frame to make room (load shedding for
+    /// live feeds that must stay current). Every eviction increments
+    /// the `session.frames_dropped{camera=..}` counter.
+    DropOldest,
+}
+
+/// Streaming-engine settings, embedded in
+/// [`PipelineConfig`](crate::PipelineConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamingConfig {
+    /// Bounded per-camera input queue length (frames). Must be ≥ 1.
+    pub channel_capacity: usize,
+    /// Full-queue policy.
+    pub backpressure: BackpressureMode,
+    /// Maximum inter-camera skew, in frames, the sequencer waits out
+    /// before fusing a frame without its slowest cameras.
+    pub reorder_window: usize,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            channel_capacity: 8,
+            backpressure: BackpressureMode::Block,
+            reorder_window: 32,
+        }
+    }
+}
+
+/// One camera worker's per-frame output (observations for fusion plus
+/// per-person emotion evidence).
+pub(crate) struct CameraFrameOutput {
+    pub(crate) observations: Vec<CameraObservation>,
+    /// `(person, probabilities, confidence, apparent_radius)`
+    pub(crate) emotions: Vec<(usize, Vec<f64>, f64, f64)>,
+}
+
+/// One incremental result emitted by the sequencer: the fused (but not
+/// yet temporally smoothed) analysis of a single frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameAnalysis {
+    /// The per-camera frame index this result belongs to.
+    pub frame: usize,
+    /// The fused look-at matrix before temporal smoothing.
+    pub raw_matrix: LookAtMatrix,
+    /// Per-person emotion estimates observed this frame.
+    pub emotions: Vec<EmotionEstimate>,
+    /// How many cameras contributed (less than the rig size when the
+    /// reorder window evicted the frame or input frames were dropped).
+    pub cameras_reporting: usize,
+}
+
+/// Final inputs a caller can attach when closing a session: ground
+/// truth for validation and the externally collected event context.
+#[derive(Debug, Clone, Default)]
+pub struct FinishOptions {
+    /// Per-frame ground-truth look-at matrices (empty = no validation;
+    /// the reported [`MatrixValidation`] is then all zeros).
+    pub ground_truth: Vec<LookAtMatrix>,
+    /// Time-invariant context carried into the metadata repository.
+    pub context: Option<TimeInvariantContext>,
+}
+
+/// Work travelling down a camera's input channel. Both kinds share the
+/// channel so per-camera FIFO ordering is preserved.
+enum WorkItem {
+    /// A raw frame for stage-3 feature extraction.
+    Frame(usize, GrayFrame),
+    /// Pre-extracted pose observations (an external tracker already ran
+    /// stage 3); passed through to the sequencer untouched.
+    Observations(usize, Vec<CameraObservation>),
+}
+
+struct WorkerOutput {
+    camera: usize,
+    index: usize,
+    output: CameraFrameOutput,
+    monitor: Option<GrayFrame>,
+}
+
+/// The sending half of one camera's bounded input queue.
+///
+/// Obtained with [`PipelineSession::take_feeds`]; each feed can move to
+/// its own producer thread (one per physical camera, matching the
+/// paper's synchronized acquisition platform). Frames pushed through a
+/// feed are indexed in push order. Dropping the feed signals
+/// end-of-stream for that camera.
+pub struct CameraFeed {
+    camera: usize,
+    next_index: usize,
+    mode: BackpressureMode,
+    tx: Sender<WorkItem>,
+    /// Eviction handle for drop-oldest mode.
+    rx: Receiver<WorkItem>,
+    queue_depth: Gauge,
+    dropped: Counter,
+}
+
+impl CameraFeed {
+    /// Pushes the camera's next frame. In [`BackpressureMode::Block`]
+    /// this blocks while the queue is full; in
+    /// [`BackpressureMode::DropOldest`] it evicts the stalest queued
+    /// item instead.
+    pub fn push(&mut self, frame: GrayFrame) -> Result<(), DiEventError> {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.enqueue(WorkItem::Frame(index, frame))
+    }
+
+    /// Pushes pre-extracted pose observations for the camera's next
+    /// frame, bypassing feature extraction (for deployments where an
+    /// external tracker supplies head/gaze directly).
+    pub fn push_pose_observations(
+        &mut self,
+        observations: Vec<CameraObservation>,
+    ) -> Result<(), DiEventError> {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.enqueue(WorkItem::Observations(index, observations))
+    }
+
+    /// The camera this feed belongs to.
+    pub fn camera(&self) -> usize {
+        self.camera
+    }
+
+    /// Frames pushed so far.
+    pub fn frames_pushed(&self) -> usize {
+        self.next_index
+    }
+
+    fn enqueue(&mut self, item: WorkItem) -> Result<(), DiEventError> {
+        let camera = self.camera;
+        match self.mode {
+            BackpressureMode::Block => {
+                self.tx
+                    .send(item)
+                    .map_err(|_| DiEventError::CameraThreadPanicked {
+                        camera: Some(camera),
+                    })?
+            }
+            BackpressureMode::DropOldest => {
+                let mut item = item;
+                loop {
+                    match self.tx.try_send(item) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(back)) => {
+                            item = back;
+                            // The worker may have raced us to the slot;
+                            // only count an actual eviction.
+                            if self.rx.try_recv().is_ok() {
+                                self.dropped.incr();
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            return Err(DiEventError::CameraThreadPanicked {
+                                camera: Some(camera),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.queue_depth.set(self.tx.len() as f64);
+        Ok(())
+    }
+}
+
+/// The reorder-and-fuse stage: collects per-camera frame outputs,
+/// fuses each frame once complete (or once the reorder window expires),
+/// and accumulates the per-frame series the final analysis needs.
+struct Sequencer {
+    cameras: usize,
+    participants: usize,
+    reorder_window: usize,
+    camera_poses: Vec<Iso3>,
+    config: PipelineConfig,
+    /// Frame index → per-camera slots awaiting fusion.
+    pending: BTreeMap<usize, Vec<Option<CameraFrameOutput>>>,
+    /// Highest frame index seen from any camera.
+    high_water: usize,
+    /// Lowest frame index not yet fused. Arrivals below it raced past
+    /// the reorder window and are discarded (fusing them again would
+    /// emit a frame twice, out of order).
+    frontier: usize,
+    /// Accumulated per-fused-frame series, ascending frame order.
+    frame_numbers: Vec<usize>,
+    cameras_reporting: Vec<usize>,
+    raw_matrices: Vec<LookAtMatrix>,
+    emotion_frames: Vec<Vec<EmotionEstimate>>,
+    /// Camera-0 monitor frames for video composition analysis.
+    monitor: BTreeMap<usize, GrayFrame>,
+    occupancy: Gauge,
+    evictions: Counter,
+    late: Counter,
+    fused: Counter,
+    fusion_seconds: Histogram,
+    lookat_tests: Counter,
+}
+
+impl Sequencer {
+    fn new(
+        cameras: usize,
+        participants: usize,
+        camera_poses: Vec<Iso3>,
+        config: PipelineConfig,
+        telemetry: &Telemetry,
+    ) -> Self {
+        Sequencer {
+            cameras,
+            participants,
+            reorder_window: config.streaming.reorder_window,
+            camera_poses,
+            config,
+            pending: BTreeMap::new(),
+            high_water: 0,
+            frontier: 0,
+            frame_numbers: Vec::new(),
+            cameras_reporting: Vec::new(),
+            raw_matrices: Vec::new(),
+            emotion_frames: Vec::new(),
+            monitor: BTreeMap::new(),
+            occupancy: telemetry.gauge("session.reorder_occupancy"),
+            evictions: telemetry.counter("session.reorder_evictions"),
+            late: telemetry.counter("session.late_arrivals"),
+            fused: telemetry.counter("session.frames_fused"),
+            fusion_seconds: telemetry.histogram("fusion_seconds"),
+            lookat_tests: telemetry.counter("lookat_tests"),
+        }
+    }
+
+    fn insert(&mut self, out: WorkerOutput) {
+        if let Some(frame) = out.monitor {
+            self.monitor.insert(out.index, frame);
+        }
+        if out.index < self.frontier {
+            // The frame was already fused without this camera.
+            self.late.incr();
+            return;
+        }
+        self.high_water = self.high_water.max(out.index);
+        let slots = self
+            .pending
+            .entry(out.index)
+            .or_insert_with(|| (0..self.cameras).map(|_| None).collect());
+        slots[out.camera] = Some(out.output);
+        self.occupancy.set(self.pending.len() as f64);
+    }
+
+    /// Fuses every frame that is complete — or, when `force` is set or
+    /// the leader camera has raced more than `reorder_window` frames
+    /// ahead, fuses the oldest pending frame with whichever cameras
+    /// reported. Fusion always proceeds in ascending frame order.
+    fn fuse_ready(&mut self, force: bool) {
+        while let Some(entry) = self.pending.first_entry() {
+            let frame = *entry.key();
+            let arrived = entry.get().iter().filter(|s| s.is_some()).count();
+            let complete = arrived == self.cameras;
+            let overdue = self.high_water.saturating_sub(frame) > self.reorder_window;
+            if !(complete || overdue || force) {
+                break;
+            }
+            let slots = entry.remove();
+            self.frontier = frame + 1;
+            if !complete {
+                self.evictions.incr();
+            }
+            self.fuse(frame, slots, arrived);
+        }
+        self.occupancy.set(self.pending.len() as f64);
+    }
+
+    /// Identical math to the batch stage-4 inner loop: fuse the
+    /// per-camera observations, derive the look-at matrix, and keep the
+    /// best-resolved emotion estimate per participant.
+    fn fuse(&mut self, frame: usize, slots: Vec<Option<CameraFrameOutput>>, arrived: usize) {
+        let n = self.participants;
+        let mut frame_obs = FrameObservations::default();
+        let outputs: Vec<Option<CameraFrameOutput>> = slots;
+        for (c, slot) in outputs.iter().enumerate() {
+            frame_obs.cameras.push((
+                self.camera_poses[c],
+                slot.as_ref()
+                    .map_or_else(Vec::new, |o| o.observations.clone()),
+            ));
+        }
+        let matrix = self.fusion_seconds.time(|| {
+            let poses = fuse_frame(&frame_obs, &self.config.fusion);
+            LookAtMatrix::from_poses(n, &poses, &self.config.lookat)
+        });
+        // Every ordered pair is geometrically tested per frame.
+        self.lookat_tests.add((n * n.saturating_sub(1)) as u64);
+
+        // Per person, keep the emotion estimate from the camera with
+        // the largest apparent face (closest, best-resolved view).
+        let mut best: Vec<Option<(Vec<f64>, f64, f64)>> = vec![None; n];
+        for slot in &outputs {
+            let Some(output) = slot else { continue };
+            for (person, probs, conf, radius) in &output.emotions {
+                if *person >= n {
+                    continue;
+                }
+                if best[*person].as_ref().is_none_or(|(_, _, r)| radius > r) {
+                    best[*person] = Some((probs.clone(), *conf, *radius));
+                }
+            }
+        }
+        let emotions: Vec<EmotionEstimate> = best
+            .into_iter()
+            .enumerate()
+            .filter_map(|(person, b)| {
+                b.map(|(probabilities, confidence, _)| EmotionEstimate {
+                    person,
+                    probabilities,
+                    confidence,
+                })
+            })
+            .collect();
+
+        self.frame_numbers.push(frame);
+        self.cameras_reporting.push(arrived);
+        self.raw_matrices.push(matrix);
+        self.emotion_frames.push(emotions);
+        self.fused.incr();
+    }
+}
+
+/// Per-camera state shared between the threaded worker and the inline
+/// (single-threaded) execution mode.
+struct CameraStage {
+    camera_index: usize,
+    camera: PinholeCamera,
+    config: ExtractorConfig,
+    seats: Arc<Vec<(usize, Vec3)>>,
+    classifier: Arc<Option<EmotionClassifier>>,
+    telemetry: Telemetry,
+    monitor: bool,
+    extractor: Option<FeatureExtractor>,
+    dropped: Counter,
+    classified: Counter,
+    frames: usize,
+}
+
+impl CameraStage {
+    fn new(
+        camera_index: usize,
+        camera: PinholeCamera,
+        config: ExtractorConfig,
+        seats: Arc<Vec<(usize, Vec3)>>,
+        classifier: Arc<Option<EmotionClassifier>>,
+        telemetry: Telemetry,
+        monitor: bool,
+    ) -> Self {
+        let label = camera_index.to_string();
+        let labels = &[("camera", label.as_str())][..];
+        CameraStage {
+            dropped: telemetry.counter_with("detections_dropped", labels),
+            classified: telemetry.counter_with("emotion_classifications", labels),
+            camera_index,
+            camera,
+            config,
+            seats,
+            classifier,
+            telemetry,
+            monitor,
+            extractor: None,
+            frames: 0,
+        }
+    }
+
+    /// Enrolls participants from the camera's first frame, associating
+    /// detections to seats by projected position (the paper's §II-D-1
+    /// external seating plan), then returns the ready extractor.
+    fn extractor_for(&mut self, first_frame: &GrayFrame) -> &mut FeatureExtractor {
+        if self.extractor.is_none() {
+            let mut extractor =
+                FeatureExtractor::new(self.config, self.camera, FaceGallery::default());
+            extractor.attach_telemetry(&self.telemetry, &self.camera_index.to_string());
+            let mut probe = FeatureExtractor::new(self.config, self.camera, FaceGallery::default());
+            let obs = probe.process(first_frame);
+            for o in obs {
+                let mut best: Option<(usize, f64)> = None;
+                for &(person, seat_head) in self.seats.iter() {
+                    if let Some(proj) = self.camera.project(seat_head) {
+                        let d =
+                            (proj.pixel.x - o.detection.cx).hypot(proj.pixel.y - o.detection.cy);
+                        if best.is_none_or(|(_, bd)| d < bd) {
+                            best = Some((person, d));
+                        }
+                    }
+                }
+                if let (Some((person, d)), Some(patch)) = (best, o.patch.as_ref()) {
+                    // Only trust unambiguous associations.
+                    if d < o.detection.radius * 2.0 {
+                        extractor
+                            .gallery_mut()
+                            .enroll(PersonId(person), &o.detection, patch);
+                    }
+                }
+            }
+            self.extractor = Some(extractor);
+        }
+        self.extractor.as_mut().expect("just initialized")
+    }
+
+    /// Runs stage-3 extraction on one frame (or passes observations
+    /// through), producing the sequencer's input.
+    fn process(&mut self, item: WorkItem) -> WorkerOutput {
+        match item {
+            WorkItem::Observations(index, observations) => WorkerOutput {
+                camera: self.camera_index,
+                index,
+                output: CameraFrameOutput {
+                    observations,
+                    emotions: Vec::new(),
+                },
+                monitor: None,
+            },
+            WorkItem::Frame(index, frame) => {
+                let monitor = self
+                    .monitor
+                    // Quarter-resolution monitor stream for parsing.
+                    .then(|| frame.downsample2().downsample2());
+                let head_radius_m = self.config.pose.head_radius_m;
+                let classifier = Arc::clone(&self.classifier);
+                let (obs, camera) = {
+                    let extractor = self.extractor_for(&frame);
+                    let obs = extractor.process(&frame);
+                    (obs, *extractor.camera())
+                };
+                let mut observations = Vec::new();
+                let mut emotions = Vec::new();
+                for o in &obs {
+                    let Some((person, _dist)) = o.identity else {
+                        // An unattributed detection carries no usable
+                        // gaze.
+                        self.dropped.incr();
+                        continue;
+                    };
+                    if let Some(pose) = &o.pose {
+                        observations.push(CameraObservation {
+                            person: person.0,
+                            head_cam: pose.head_cam,
+                            gaze_cam: Some(pose.gaze_cam),
+                            weight: 1.0,
+                        });
+                    } else {
+                        // Position-only sighting (face turned away):
+                        // reconstruct camera-frame position from the
+                        // detection via the depth-from-radius model.
+                        let k = &camera.intrinsics;
+                        let z = k.fx * head_radius_m / o.detection.radius;
+                        observations.push(CameraObservation {
+                            person: person.0,
+                            head_cam: Vec3::new(
+                                (o.detection.cx - k.cx) / k.fx * z,
+                                (o.detection.cy - k.cy) / k.fy * z,
+                                z,
+                            ),
+                            gaze_cam: None,
+                            weight: 0.5,
+                        });
+                    }
+                    if let (Some(clf), Some(patch)) = (classifier.as_ref(), o.patch.as_ref()) {
+                        let pred = clf.classify(patch);
+                        self.classified.incr();
+                        emotions.push((
+                            person.0,
+                            pred.probabilities,
+                            pred.confidence,
+                            o.detection.radius,
+                        ));
+                    }
+                }
+                self.frames += 1;
+                WorkerOutput {
+                    camera: self.camera_index,
+                    index,
+                    output: CameraFrameOutput {
+                        observations,
+                        emotions,
+                    },
+                    monitor,
+                }
+            }
+        }
+    }
+}
+
+/// Worker poll interval: how often a blocked worker re-checks the
+/// shutdown flag.
+const WORKER_POLL: Duration = Duration::from_millis(50);
+
+fn camera_worker(
+    mut stage: CameraStage,
+    stage_span: Option<u64>,
+    rx: Receiver<WorkItem>,
+    out: Sender<WorkerOutput>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let telemetry = stage.telemetry.clone();
+    let mut span = telemetry.span_under("camera.extract", stage_span);
+    span.set("camera", stage.camera_index);
+    loop {
+        match rx.recv_timeout(WORKER_POLL) {
+            Ok(item) => {
+                let output = stage.process(item);
+                // A send failure means the session is gone; processing
+                // further frames would be pointless.
+                if out.send(output).is_err() {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    // Finish was requested while a producer still holds
+                    // a feed: drain what is queued, then exit.
+                    while let Ok(item) = rx.try_recv() {
+                        let output = stage.process(item);
+                        if out.send(output).is_err() {
+                            return;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    span.set("frames", stage.frames);
+}
+
+enum ExecutionMode {
+    /// One worker thread per camera, fed by bounded channels.
+    Threaded {
+        workers: Vec<std::thread::JoinHandle<()>>,
+        out_rx: Receiver<WorkerOutput>,
+    },
+    /// Everything on the caller's thread (`parallel_cameras: false` or
+    /// a single camera): deterministic and thread-free.
+    Inline {
+        stages: Vec<CameraStage>,
+        spans: Vec<SpanGuard>,
+    },
+}
+
+/// A live streaming analysis session. See the [module](self) docs.
+pub struct PipelineSession {
+    config: PipelineConfig,
+    telemetry: Telemetry,
+    scenario_name: String,
+    spec: VideoSpec,
+    participants: usize,
+    cameras: usize,
+    fps: f64,
+    mode: ExecutionMode,
+    /// Internal feeds for [`push_frame`](Self::push_frame); `None` once
+    /// taken or closed. Empty in inline mode.
+    feeds: Vec<Option<CameraFeed>>,
+    /// Per-camera next frame index for the inline path.
+    inline_next: Vec<usize>,
+    sequencer: Sequencer,
+    /// Cursor into the sequencer's accumulators for [`poll`](Self::poll).
+    emitted: usize,
+    shutdown: Arc<AtomicBool>,
+    run_span: SpanGuard,
+    extraction_span: Option<SpanGuard>,
+}
+
+impl DiEventPipeline {
+    /// Opens a streaming session over the given scenario's rig.
+    ///
+    /// Validates the configuration (including the streaming settings)
+    /// and the scenario shape: at least one camera, a positive frame
+    /// rate. With `parallel_cameras` set and more than one camera, one
+    /// extraction worker thread is spawned per camera; otherwise the
+    /// session runs inline on the calling thread.
+    pub fn session(&self, scenario: &Scenario) -> Result<PipelineSession, DiEventError> {
+        PipelineSession::open(self, scenario)
+    }
+}
+
+impl PipelineSession {
+    fn open(pipeline: &DiEventPipeline, scenario: &Scenario) -> Result<Self, DiEventError> {
+        let config = *pipeline.config();
+        config.validate()?;
+        let cameras = scenario.rig.len();
+        if cameras == 0 {
+            return Err(DiEventError::InvalidConfig(
+                "scenario has no cameras".into(),
+            ));
+        }
+        let fps = scenario.spec.fps;
+        if fps.is_nan() || fps <= 0.0 {
+            return Err(DiEventError::InvalidConfig(format!(
+                "frame rate must be > 0, got {fps}"
+            )));
+        }
+        let participants = scenario.participants.len();
+        let telemetry = pipeline.telemetry().clone();
+        telemetry.gauge("participants").set(participants as f64);
+        telemetry.gauge("cameras").set(cameras as f64);
+
+        let mut run_span = telemetry.span("pipeline.run");
+        run_span.set("cameras", cameras);
+        run_span.set("participants", participants);
+        let extraction_span = telemetry.span("stage.extraction");
+        let stage_id = extraction_span.id();
+
+        let seats: Arc<Vec<(usize, Vec3)>> = Arc::new(
+            scenario
+                .participants
+                .iter()
+                .map(|p| (p.index, p.seat_head))
+                .collect(),
+        );
+        let classifier = Arc::new(pipeline.classifier().cloned());
+        let camera_poses: Vec<Iso3> = scenario.rig.cameras.iter().map(|c| c.pose).collect();
+        let sequencer = Sequencer::new(cameras, participants, camera_poses, config, &telemetry);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let stage_for = |c: usize| {
+            CameraStage::new(
+                c,
+                scenario.rig.cameras[c],
+                config.extractor,
+                Arc::clone(&seats),
+                Arc::clone(&classifier),
+                telemetry.clone(),
+                c == 0 && config.parse_video,
+            )
+        };
+
+        let threaded = config.parallel_cameras && cameras > 1;
+        let (mode, feeds) = if threaded {
+            let (out_tx, out_rx) = channel::unbounded();
+            let mut workers = Vec::with_capacity(cameras);
+            let mut feeds = Vec::with_capacity(cameras);
+            for c in 0..cameras {
+                let (tx, rx) = channel::bounded(config.streaming.channel_capacity);
+                let label = c.to_string();
+                let labels = &[("camera", label.as_str())][..];
+                feeds.push(Some(CameraFeed {
+                    camera: c,
+                    next_index: 0,
+                    mode: config.streaming.backpressure,
+                    tx,
+                    rx: rx.clone(),
+                    queue_depth: telemetry.gauge_with("session.queue_depth", labels),
+                    dropped: telemetry.counter_with("session.frames_dropped", labels),
+                }));
+                let stage = stage_for(c);
+                let out = out_tx.clone();
+                let flag = Arc::clone(&shutdown);
+                workers.push(std::thread::spawn(move || {
+                    camera_worker(stage, stage_id, rx, out, flag)
+                }));
+            }
+            // Only workers hold output senders: once they all exit the
+            // channel disconnects and drains cleanly.
+            drop(out_tx);
+            (ExecutionMode::Threaded { workers, out_rx }, feeds)
+        } else {
+            let stages: Vec<CameraStage> = (0..cameras).map(stage_for).collect();
+            let spans = (0..cameras)
+                .map(|c| {
+                    let mut span = telemetry.span_under("camera.extract", stage_id);
+                    span.set("camera", c);
+                    span
+                })
+                .collect();
+            (ExecutionMode::Inline { stages, spans }, Vec::new())
+        };
+
+        Ok(PipelineSession {
+            config,
+            telemetry,
+            scenario_name: scenario.name.clone(),
+            spec: scenario.spec,
+            participants,
+            cameras,
+            fps,
+            mode,
+            feeds,
+            inline_next: vec![0; cameras],
+            sequencer,
+            emitted: 0,
+            shutdown,
+            run_span,
+            extraction_span: Some(extraction_span),
+        })
+    }
+
+    /// Number of cameras the session was built for.
+    pub fn cameras(&self) -> usize {
+        self.cameras
+    }
+
+    /// Detaches one feed per camera so independent producer threads can
+    /// push concurrently. Errors in inline mode
+    /// (`parallel_cameras: false`), where there are no queues to feed.
+    /// After detaching, [`push_frame`](Self::push_frame) on this
+    /// session returns [`DiEventError::SessionClosed`]; drop the feeds
+    /// (or call [`finish`](Self::finish)) to end the streams.
+    pub fn take_feeds(&mut self) -> Result<Vec<CameraFeed>, DiEventError> {
+        if matches!(self.mode, ExecutionMode::Inline { .. }) {
+            return Err(DiEventError::InvalidConfig(
+                "camera feeds require parallel_cameras (threaded mode)".into(),
+            ));
+        }
+        let feeds: Vec<CameraFeed> = self.feeds.iter_mut().filter_map(Option::take).collect();
+        if feeds.len() != self.cameras {
+            return Err(DiEventError::SessionClosed);
+        }
+        Ok(feeds)
+    }
+
+    /// Pushes the next frame for `camera`. Applies the configured
+    /// backpressure policy in threaded mode; runs extraction
+    /// synchronously in inline mode.
+    pub fn push_frame(&mut self, camera: usize, frame: GrayFrame) -> Result<(), DiEventError> {
+        self.push_item(camera, |index| WorkItem::Frame(index, frame))
+    }
+
+    /// Pushes pre-extracted pose observations as `camera`'s next frame,
+    /// bypassing stage-3 extraction (for external trackers).
+    pub fn push_pose_observations(
+        &mut self,
+        camera: usize,
+        observations: Vec<CameraObservation>,
+    ) -> Result<(), DiEventError> {
+        self.push_item(camera, |index| WorkItem::Observations(index, observations))
+    }
+
+    fn push_item(
+        &mut self,
+        camera: usize,
+        make: impl FnOnce(usize) -> WorkItem,
+    ) -> Result<(), DiEventError> {
+        if camera >= self.cameras {
+            return Err(DiEventError::UnknownCamera {
+                camera,
+                cameras: self.cameras,
+            });
+        }
+        match &mut self.mode {
+            ExecutionMode::Threaded { .. } => {
+                let feed = self
+                    .feeds
+                    .get_mut(camera)
+                    .and_then(Option::as_mut)
+                    .ok_or(DiEventError::SessionClosed)?;
+                let index = feed.next_index;
+                feed.next_index += 1;
+                feed.enqueue(make(index))?;
+                self.drain_outputs();
+                self.sequencer.fuse_ready(false);
+                Ok(())
+            }
+            ExecutionMode::Inline { stages, .. } => {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    return Err(DiEventError::SessionClosed);
+                }
+                let index = self.inline_next[camera];
+                self.inline_next[camera] += 1;
+                let output = stages[camera].process(make(index));
+                self.sequencer.insert(output);
+                self.sequencer.fuse_ready(false);
+                Ok(())
+            }
+        }
+    }
+
+    /// Closes the session to new input via [`push_frame`](Self::push_frame)
+    /// (detached [`CameraFeed`]s end their streams by dropping).
+    /// Workers keep draining already-queued frames; call
+    /// [`finish`](Self::finish) to collect the analysis.
+    pub fn close(&mut self) {
+        for feed in &mut self.feeds {
+            feed.take();
+        }
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Drains the incremental results fused since the last poll.
+    pub fn poll(&mut self) -> Vec<FrameAnalysis> {
+        self.drain_outputs();
+        self.sequencer.fuse_ready(false);
+        let out: Vec<FrameAnalysis> = (self.emitted..self.sequencer.frame_numbers.len())
+            .map(|i| FrameAnalysis {
+                frame: self.sequencer.frame_numbers[i],
+                raw_matrix: self.sequencer.raw_matrices[i].clone(),
+                emotions: self.sequencer.emotion_frames[i].clone(),
+                cameras_reporting: self.sequencer.cameras_reporting[i],
+            })
+            .collect();
+        self.emitted = self.sequencer.frame_numbers.len();
+        out
+    }
+
+    fn drain_outputs(&mut self) {
+        if let ExecutionMode::Threaded { out_rx, .. } = &self.mode {
+            let mut received = Vec::new();
+            while let Ok(output) = out_rx.try_recv() {
+                received.push(output);
+            }
+            for output in received {
+                self.sequencer.insert(output);
+            }
+        }
+    }
+
+    /// Ends the session: joins the workers, fuses everything still
+    /// pending, and runs the remaining pipeline stages (video parsing,
+    /// smoothing + multilayer analysis, metadata population). The
+    /// returned [`EventAnalysis`] matches the batch entry point's
+    /// output when every frame was delivered.
+    pub fn finish(self) -> Result<EventAnalysis, DiEventError> {
+        self.finish_with(FinishOptions::default())
+    }
+
+    /// [`finish`](Self::finish), attaching ground truth for validation
+    /// and/or the event's time-invariant context.
+    pub fn finish_with(mut self, options: FinishOptions) -> Result<EventAnalysis, DiEventError> {
+        // --- End of ingest: stop workers and collect their outputs. ---
+        self.close();
+        match &mut self.mode {
+            ExecutionMode::Threaded { workers, .. } => {
+                let handles = std::mem::take(workers);
+                for (camera, handle) in handles.into_iter().enumerate() {
+                    handle
+                        .join()
+                        .map_err(|_| DiEventError::CameraThreadPanicked {
+                            camera: Some(camera),
+                        })?;
+                }
+            }
+            ExecutionMode::Inline { spans, .. } => {
+                // Close the per-camera spans before the later stages so
+                // they don't nest under `camera.extract`.
+                spans.clear();
+            }
+        }
+        self.drain_outputs();
+        drop(self.extraction_span.take());
+
+        let PipelineSession {
+            config,
+            telemetry,
+            scenario_name,
+            spec,
+            participants: n_participants,
+            mut run_span,
+            mut sequencer,
+            fps,
+            ..
+        } = self;
+
+        // --- Stage 2: video composition analysis (monitor stream). ---
+        let structure = {
+            let _stage = telemetry.span("stage.parse");
+            if config.parse_video {
+                let monitor: Vec<GrayFrame> = std::mem::take(&mut sequencer.monitor)
+                    .into_values()
+                    .collect();
+                let mut spec = spec;
+                spec.width = monitor.first().map_or(spec.width / 4, |f| f.width());
+                spec.height = monitor.first().map_or(spec.height / 4, |f| f.height());
+                Some(
+                    VideoParser::new(config.parser)
+                        .with_telemetry(telemetry.clone())
+                        .parse_frames(spec, &monitor),
+                )
+            } else {
+                None
+            }
+        };
+
+        // --- Stage 4: fusion of stragglers + multilayer analysis. ---
+        let analysis_stage = telemetry.span("stage.analysis");
+        sequencer.fuse_ready(true);
+        let frames = sequencer.frame_numbers.len();
+        run_span.set("frames", frames);
+        telemetry.gauge("recording_frames").set(frames as f64);
+
+        let raw_matrices = std::mem::take(&mut sequencer.raw_matrices);
+        let emotion_frames = std::mem::take(&mut sequencer.emotion_frames);
+        let matrices = smooth_matrices(&raw_matrices, config.matrix_smoothing);
+
+        let mut summary = LookAtSummary::new(n_participants);
+        for m in &matrices {
+            summary.add(m);
+        }
+        let dominance = dominance_ranking(&summary);
+
+        let overall = fuse_sequence(
+            &emotion_frames,
+            &OverallEmotionConfig {
+                participants: n_participants,
+                smoothing: config.emotion_smoothing,
+            },
+        );
+
+        let episodes = ec_episodes(&matrices, 3);
+        let pair_stats = pair_statistics(&matrices, 3);
+        let highlights = detect_highlights(&matrices, &overall, &config.highlights);
+        let importance = importance_series(&matrices, &overall, &config.importance);
+        let video_summary = structure
+            .as_ref()
+            .map(|s| select_summary(&s.shots, &importance, &config.summary, &config.importance));
+
+        // `validate_sequence` compares over the common prefix, so an
+        // empty ground truth degrades to a zero-frame validation.
+        let validation = validate_sequence(&matrices, &options.ground_truth);
+
+        telemetry.counter("ec_episodes").add(episodes.len() as u64);
+        drop(analysis_stage);
+
+        // --- Stage 5: metadata repository. ---
+        let repository = {
+            let _stage = telemetry.span("stage.metadata");
+            let mut repository = MetadataRepository::in_memory();
+            repository.attach_telemetry(&telemetry);
+            populate_repository(
+                &repository,
+                &scenario_name,
+                n_participants,
+                sequencer.cameras,
+                frames,
+                fps,
+                options.context.as_ref(),
+                &matrices,
+                &overall,
+                &structure,
+                &highlights,
+            )?;
+            repository
+        };
+
+        // Close the run span, then derive the stage timings and the
+        // carried report from what the telemetry domain accumulated.
+        drop(run_span);
+        let telemetry_report = telemetry.report();
+        let timings = StageTimings::from_report(&telemetry_report);
+
+        Ok(EventAnalysis {
+            participants: n_participants,
+            fps,
+            raw_matrices,
+            matrices,
+            summary,
+            dominance,
+            overall,
+            episodes,
+            pair_stats,
+            highlights,
+            importance,
+            structure,
+            video_summary,
+            validation,
+            repository,
+            timings,
+            telemetry: telemetry_report,
+            context: options.context,
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn populate_repository(
+    repo: &MetadataRepository,
+    scenario_name: &str,
+    participants: usize,
+    cameras: usize,
+    frames: usize,
+    fps: f64,
+    context: Option<&TimeInvariantContext>,
+    matrices: &[LookAtMatrix],
+    overall: &[dievent_analysis::overall_emotion::OverallEmotion],
+    structure: &Option<VideoStructure>,
+    highlights: &[Highlight],
+) -> Result<(), DiEventError> {
+    let duration = frames as f64 / fps;
+    let mut event = MetaRecord::new(RecordKind::Event)
+        .with_span(0.0, duration)
+        .with_attr("name", scenario_name)
+        .with_attr("participants", participants)
+        .with_attr("cameras", cameras)
+        .with_attr("frames", frames);
+    if let Some(ctx) = context {
+        event = event
+            .with_attr("location", ctx.location.as_str())
+            .with_attr("date", ctx.date.as_str())
+            .with_attr("occasion", ctx.occasion.as_str());
+        if let Some(t) = ctx.temperature_c {
+            event = event.with_attr("temperature_c", t);
+        }
+        if let Ok(payload) = serde_json::to_value(ctx) {
+            event = event.with_payload(payload);
+        }
+    }
+    repo.insert(event)?;
+
+    if let Some(s) = structure {
+        for (i, scene) in s.scenes.iter().enumerate() {
+            let (f0, f1) = scene.frame_span(&s.shots);
+            repo.insert(
+                MetaRecord::new(RecordKind::Scene)
+                    .with_span(f0 as f64 / fps, f1 as f64 / fps)
+                    .with_attr("scene", i),
+            )?;
+        }
+        for (i, shot) in s.shots.iter().enumerate() {
+            repo.insert(
+                MetaRecord::new(RecordKind::Shot)
+                    .with_span(shot.start as f64 / fps, shot.end as f64 / fps)
+                    .with_attr("shot", i)
+                    .with_attr("keyframes", s.keyframes[i].len()),
+            )?;
+        }
+    }
+
+    for (f, (m, o)) in matrices.iter().zip(overall).enumerate() {
+        let t = f as f64 / fps;
+        repo.insert(
+            MetaRecord::new(RecordKind::FrameAnalysis)
+                .with_span(t, t + 1.0 / fps)
+                .with_attr("frame", f)
+                .with_attr("looks", m.count_ones())
+                .with_attr("eye_contacts", m.eye_contacts().len())
+                .with_attr("oh", o.overall_happiness)
+                .with_attr("valence", o.valence),
+        )?;
+    }
+
+    for h in highlights {
+        let t = h.frame as f64 / fps;
+        let kind = match &h.kind {
+            HighlightKind::EyeContactStart { .. } => "ec",
+            HighlightKind::EmotionShift { .. } => "emotion",
+        };
+        repo.insert(
+            MetaRecord::new(RecordKind::Highlight)
+                .with_span(t, t)
+                .with_attr("frame", h.frame)
+                .with_attr("kind", kind),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquisition::Recording;
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            classify_emotions: false,
+            parse_video: false,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn session_rejects_unknown_camera_and_closed_input() {
+        let recording = Recording::capture(Scenario::two_camera_dinner(4, 1));
+        let pipeline = DiEventPipeline::new(quick_config());
+        let mut session = pipeline.session(&recording.scenario).expect("session");
+        let frame = recording.frame(0, 0);
+        assert_eq!(
+            session.push_frame(9, frame.clone()),
+            Err(DiEventError::UnknownCamera {
+                camera: 9,
+                cameras: 2
+            })
+        );
+        session.close();
+        assert_eq!(
+            session.push_frame(0, frame),
+            Err(DiEventError::SessionClosed)
+        );
+    }
+
+    #[test]
+    fn incremental_poll_emits_each_frame_once_in_order() {
+        let recording = Recording::capture(Scenario::two_camera_dinner(6, 2));
+        // Inline mode: extraction runs on this thread, so a poll() after
+        // a complete frame deterministically observes that frame.
+        let pipeline = DiEventPipeline::new(PipelineConfig {
+            parallel_cameras: false,
+            ..quick_config()
+        });
+        let mut session = pipeline.session(&recording.scenario).expect("session");
+        let mut seen = Vec::new();
+        for f in 0..6 {
+            for c in 0..2 {
+                session.push_frame(c, recording.frame(c, f)).expect("push");
+            }
+            seen.extend(session.poll());
+        }
+        seen.extend(session.poll());
+        let frames: Vec<usize> = seen.iter().map(|a| a.frame).collect();
+        assert_eq!(frames, (0..6).collect::<Vec<_>>());
+        assert!(seen.iter().all(|a| a.cameras_reporting == 2));
+        let analysis = session.finish().expect("finish");
+        assert_eq!(analysis.matrices.len(), 6);
+        for (emitted, fused) in seen.iter().zip(&analysis.raw_matrices) {
+            assert_eq!(&emitted.raw_matrix, fused);
+        }
+    }
+
+    #[test]
+    fn pose_observation_ingest_bypasses_extraction() {
+        let scenario = Scenario::two_camera_dinner(5, 3);
+        let gt = scenario.simulate();
+        let pipeline = DiEventPipeline::new(quick_config());
+        let mut session = pipeline.session(&scenario).expect("session");
+        for snap in &gt.snapshots {
+            for (c, cam) in scenario.rig.cameras.iter().enumerate() {
+                let to_cam = cam.extrinsics();
+                let obs: Vec<CameraObservation> = snap
+                    .states
+                    .iter()
+                    .enumerate()
+                    .map(|(i, st)| CameraObservation {
+                        person: i,
+                        head_cam: to_cam.transform_point(st.head),
+                        gaze_cam: Some(to_cam.transform_dir(st.gaze)),
+                        weight: 1.0,
+                    })
+                    .collect();
+                session.push_pose_observations(c, obs).expect("push obs");
+            }
+        }
+        let analysis = session.finish().expect("finish");
+        assert_eq!(analysis.matrices.len(), gt.snapshots.len());
+        // Ground-truth poses must recover the scripted gaze exactly.
+        let looks: usize = analysis.raw_matrices.iter().map(|m| m.count_ones()).sum();
+        assert!(looks > 0, "scripted gaze must surface as looks");
+    }
+}

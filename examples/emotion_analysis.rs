@@ -50,7 +50,7 @@ fn main() {
     };
     let recording = Recording::capture(scenario);
     let pipeline = DiEventPipeline::new(PipelineConfig::default());
-    let analysis = pipeline.run(&recording);
+    let analysis = pipeline.run(&recording).expect("pipeline run");
 
     println!("\noverall happiness (OH) over time (Fig. 5 series):");
     let step = analysis.overall.len() / 20;

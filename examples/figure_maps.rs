@@ -17,13 +17,14 @@ fn main() -> std::io::Result<()> {
 
     let scenario = Scenario::prototype();
     let recording = Recording::capture(scenario.clone());
-    let pipeline = DiEventPipeline::new(PipelineConfig {
-        classify_emotions: false,
-        parse_video: false,
-        ..PipelineConfig::default()
-    });
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        .build()
+        .expect("valid config");
+    let pipeline = DiEventPipeline::new(config);
     println!("running the prototype pipeline…");
-    let analysis = pipeline.run(&recording);
+    let analysis = pipeline.run(&recording).expect("pipeline run");
 
     let renderer = Renderer::default();
     for (fig, t) in [("fig7", 10.0), ("fig8", 15.0)] {

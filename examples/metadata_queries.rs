@@ -9,7 +9,9 @@ use dievent_scene::Scenario;
 
 fn main() {
     let recording = Recording::capture(Scenario::two_camera_dinner(300, 21));
-    let analysis = DiEventPipeline::new(PipelineConfig::default()).run(&recording);
+    let analysis = DiEventPipeline::new(PipelineConfig::default())
+        .run(&recording)
+        .expect("pipeline run");
     let repo = &analysis.repository;
     println!("repository holds {} records\n", repo.len());
 

@@ -36,7 +36,7 @@ fn main() {
     let pipeline = DiEventPipeline::new(PipelineConfig::default());
 
     let t0 = std::time::Instant::now();
-    let analysis = pipeline.run(&recording);
+    let analysis = pipeline.run(&recording).expect("pipeline run");
     let elapsed = t0.elapsed();
     println!(
         "pipeline: {} frames × {} cameras in {:.1}s ({:.1} fps aggregate)\n",

@@ -14,8 +14,9 @@ fn main() {
     // 2. Run the full DiEvent pipeline (detection → landmarks → pose →
     //    gaze → tracking → recognition → emotion → fusion → look-at
     //    matrices → metadata repository).
-    let pipeline = DiEventPipeline::new(PipelineConfig::default());
-    let analysis = pipeline.run(&recording);
+    let config = PipelineConfig::builder().build().expect("valid config");
+    let pipeline = DiEventPipeline::new(config);
+    let analysis = pipeline.run(&recording).expect("pipeline run");
 
     // 3. Inspect the results.
     println!("{}", analysis.brief());

@@ -63,12 +63,14 @@ fn main() {
 
     let recording = Recording::capture(scenario).with_context(context);
     println!("analyzing the dinner ({guests} guests, {frames} frames, 4 cameras)…");
-    let analysis = DiEventPipeline::new(PipelineConfig {
-        classify_emotions: false,
-        parse_video: false,
-        ..PipelineConfig::default()
-    })
-    .run(&recording);
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        .build()
+        .expect("valid config");
+    let analysis = DiEventPipeline::new(config)
+        .run(&recording)
+        .expect("pipeline run");
 
     println!("\neye-contact profile by declared relationship:");
     println!(

@@ -1,0 +1,76 @@
+//! Streaming sessions: feed cameras incrementally, consume incremental
+//! results.
+//!
+//! The batch entry point (`DiEventPipeline::run`) needs the whole
+//! recording up front. A `PipelineSession` instead accepts per-camera
+//! frames as they arrive — each camera gets a bounded, backpressured
+//! queue and its own extraction worker — and emits a fused
+//! `FrameAnalysis` for every frame as soon as all cameras (or the
+//! reorder window) allow. `finish()` then completes the remaining
+//! stages and returns the same `EventAnalysis` the batch path would.
+//!
+//! Run with: `cargo run --release --example streaming`
+
+use dievent_core::{BackpressureMode, DiEventPipeline, PipelineConfig, Recording};
+use dievent_scene::Scenario;
+
+fn main() {
+    // A two-camera dinner stands in for two live 25 fps feeds.
+    let scenario = Scenario::two_camera_dinner(250, 7);
+    let recording = Recording::capture(scenario);
+
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        .channel_capacity(8)
+        .backpressure(BackpressureMode::Block) // live feeds: DropOldest
+        .reorder_window(32)
+        .build()
+        .expect("valid config");
+    let pipeline = DiEventPipeline::new(config);
+
+    let mut session = pipeline.session(&recording.scenario).expect("session");
+    let feeds = session.take_feeds().expect("feeds");
+    let frames = recording.frames();
+
+    // One producer thread per camera, as if each were a capture card.
+    std::thread::scope(|s| {
+        for mut feed in feeds {
+            let recording = &recording;
+            s.spawn(move || {
+                let camera = feed.camera();
+                for f in 0..frames {
+                    feed.push(recording.frame(camera, f)).expect("push frame");
+                }
+                // Dropping the feed ends this camera's stream.
+            });
+        }
+
+        // Meanwhile, consume incremental per-frame results.
+        let mut fused = 0usize;
+        let mut looks = 0usize;
+        while fused < frames {
+            for frame in session.poll() {
+                fused += 1;
+                looks += frame.raw_matrix.count_ones();
+                if frame.frame % 50 == 0 {
+                    println!(
+                        "frame {:3}: {} look(s), {} camera(s) reporting",
+                        frame.frame,
+                        frame.raw_matrix.count_ones(),
+                        frame.cameras_reporting
+                    );
+                }
+            }
+            std::thread::yield_now();
+        }
+        println!("streamed {fused} frames, {looks} raw looks total");
+    });
+
+    let analysis = session.finish().expect("finish");
+    println!("\nfinal analysis (identical to the batch pipeline's):");
+    println!("look-at summary matrix:\n{}", analysis.summary_table());
+    if let Some(p) = analysis.dominance.dominant {
+        println!("dominant participant: P{}", p + 1);
+    }
+}

@@ -15,7 +15,9 @@ fn small_full_analysis() -> dievent_core::EventAnalysis {
         other_weight: 0.5,
     };
     let recording = Recording::capture(scenario);
-    DiEventPipeline::new(PipelineConfig::default()).run(&recording)
+    DiEventPipeline::new(PipelineConfig::default())
+        .run(&recording)
+        .expect("pipeline run")
 }
 
 #[test]
@@ -123,7 +125,8 @@ fn restaurant_dinner_six_guests() {
         parse_video: false,
         ..PipelineConfig::default()
     })
-    .run(&recording);
+    .run(&recording)
+    .expect("pipeline run");
 
     assert_eq!(analysis.participants, 6);
     assert_eq!(analysis.matrices.len(), 120);
@@ -196,7 +199,8 @@ fn social_profiles_recover_declared_engagement() {
         parse_video: false,
         ..PipelineConfig::default()
     })
-    .run(&recording);
+    .run(&recording)
+    .expect("pipeline run");
 
     let profiles = analysis.social_profiles();
     assert!(!profiles.is_empty());

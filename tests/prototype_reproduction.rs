@@ -18,7 +18,7 @@ fn run_prototype() -> (Scenario, dievent_core::EventAnalysis) {
         parse_video: false,
         ..PipelineConfig::default()
     });
-    let analysis = pipeline.run(&recording);
+    let analysis = pipeline.run(&recording).expect("pipeline run");
     (scenario, analysis)
 }
 

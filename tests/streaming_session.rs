@@ -1,0 +1,282 @@
+//! The streaming engine's contract: a `PipelineSession` fed
+//! incrementally must reproduce the batch pipeline exactly, and its
+//! bounded channels must behave per the configured backpressure policy
+//! (blocking loses nothing; drop-oldest sheds load and accounts for
+//! every shed frame in telemetry).
+
+use dievent_core::{BackpressureMode, DiEventPipeline, FinishOptions, PipelineConfig, Recording};
+use dievent_scene::Scenario;
+
+/// Streaming run of the paper's §III prototype — four cameras pushed
+/// from four independent producer threads — must match the batch
+/// entry point bit for bit: same matrices, same Fig. 7/8 look-at sets,
+/// same summary/dominance/validation.
+#[test]
+fn streaming_prototype_equals_batch() {
+    let scenario = Scenario::prototype();
+    let recording = Recording::capture(scenario.clone());
+    let frames = recording.frames();
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        // A window wider than the recording: producers may skew freely
+        // without the sequencer ever fusing an incomplete frame.
+        .reorder_window(frames)
+        .build()
+        .expect("valid config");
+
+    let pipeline = DiEventPipeline::new(config);
+    let batch = pipeline.run(&recording).expect("batch run");
+
+    let mut session = pipeline.session(&recording.scenario).expect("session");
+    let feeds = session.take_feeds().expect("feeds");
+    std::thread::scope(|s| {
+        for mut feed in feeds {
+            let recording = &recording;
+            s.spawn(move || {
+                let camera = feed.camera();
+                for f in 0..frames {
+                    feed.push(recording.frame(camera, f)).expect("push");
+                }
+            });
+        }
+    });
+    let streamed = session
+        .finish_with(FinishOptions {
+            ground_truth: recording.lookat_truth(&config.lookat),
+            context: None,
+        })
+        .expect("streaming finish");
+
+    assert_eq!(streamed.raw_matrices, batch.raw_matrices);
+    assert_eq!(streamed.matrices, batch.matrices);
+    assert_eq!(streamed.summary.rows(), batch.summary.rows());
+    assert_eq!(streamed.dominance, batch.dominance);
+    assert_eq!(streamed.episodes, batch.episodes);
+    assert_eq!(streamed.pair_stats, batch.pair_stats);
+    assert_eq!(streamed.importance, batch.importance);
+    // Fig. 7 (t = 10 s) and Fig. 8 (t = 15 s) look-at sets.
+    for t in [10.0, 15.0] {
+        assert_eq!(
+            streamed.matrix_at(t).expect("frame"),
+            batch.matrix_at(t).expect("frame"),
+            "look-at matrix at t = {t} s"
+        );
+    }
+    assert_eq!(streamed.validation, batch.validation);
+    assert!(streamed.validation.f1 > 0.85, "{:?}", streamed.validation);
+}
+
+/// Blocking backpressure on a capacity-1 channel: producers outrun the
+/// extractors by orders of magnitude, yet nothing may be lost.
+#[test]
+fn blocking_backpressure_loses_nothing() {
+    const PUSHES: usize = 60;
+    let recording = Recording::capture(Scenario::two_camera_dinner(PUSHES, 11));
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        .channel_capacity(1)
+        .backpressure(BackpressureMode::Block)
+        .build()
+        .expect("valid config");
+    let pipeline = DiEventPipeline::new(config);
+    let mut session = pipeline.session(&recording.scenario).expect("session");
+    for f in 0..PUSHES {
+        for c in 0..recording.cameras() {
+            session.push_frame(c, recording.frame(c, f)).expect("push");
+        }
+    }
+    let analysis = session.finish().expect("finish");
+    assert_eq!(analysis.matrices.len(), PUSHES, "no frame may be lost");
+    let report = &analysis.telemetry;
+    assert_eq!(report.counter_total("session.frames_dropped"), 0);
+    for c in 0..recording.cameras() {
+        assert_eq!(
+            report.counter(&format!("frames_processed{{camera=\"{c}\"}}")),
+            Some(PUSHES as u64),
+            "camera {c} must process every push"
+        );
+    }
+}
+
+/// Drop-oldest backpressure on a capacity-1 channel: a producer pushing
+/// far faster than extraction must shed load, every shed frame must be
+/// counted, and the conservation law `processed + dropped == pushed`
+/// must hold exactly per camera.
+#[test]
+fn drop_oldest_sheds_load_and_accounts_for_every_frame() {
+    const PUSHES: usize = 200;
+    let recording = Recording::capture(Scenario::two_camera_dinner(4, 11));
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        .channel_capacity(1)
+        .backpressure(BackpressureMode::DropOldest)
+        .build()
+        .expect("valid config");
+    let pipeline = DiEventPipeline::new(config);
+    let mut session = pipeline.session(&recording.scenario).expect("session");
+    let frames: Vec<_> = (0..recording.cameras())
+        .map(|c| recording.frame(c, 0))
+        .collect();
+    for _ in 0..PUSHES {
+        for (c, frame) in frames.iter().enumerate() {
+            session.push_frame(c, frame.clone()).expect("push");
+        }
+    }
+    let analysis = session.finish().expect("finish");
+    let report = &analysis.telemetry;
+
+    let dropped_total = report.counter_total("session.frames_dropped");
+    assert!(
+        dropped_total > 0,
+        "a capacity-1 queue under instant pushes must shed load"
+    );
+    for c in 0..recording.cameras() {
+        let processed = report
+            .counter(&format!("frames_processed{{camera=\"{c}\"}}"))
+            .unwrap_or(0);
+        let dropped = report
+            .counter(&format!("session.frames_dropped{{camera=\"{c}\"}}"))
+            .unwrap_or(0);
+        assert_eq!(
+            processed + dropped,
+            PUSHES as u64,
+            "camera {c}: processed {processed} + dropped {dropped} != pushed {PUSHES}"
+        );
+    }
+    // The streaming gauges are populated.
+    for c in 0..recording.cameras() {
+        assert!(
+            report
+                .gauge(&format!("session.queue_depth{{camera=\"{c}\"}}"))
+                .is_some(),
+            "queue-depth gauge for camera {c}"
+        );
+    }
+    assert!(
+        report.gauge("session.reorder_occupancy").is_some(),
+        "reorder-window occupancy gauge"
+    );
+}
+
+/// Camera arrival order inside the reorder window must not affect the
+/// output: feeding camera 1's whole stream before camera 0's produces
+/// the same matrices as strict interleaving.
+#[test]
+fn camera_skew_within_reorder_window_is_invisible() {
+    const FRAMES: usize = 20;
+    let recording = Recording::capture(Scenario::two_camera_dinner(FRAMES, 3));
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        .parallel_cameras(false) // inline: deterministic ordering
+        .reorder_window(FRAMES)
+        .build()
+        .expect("valid config");
+    let pipeline = DiEventPipeline::new(config);
+
+    let mut interleaved = pipeline.session(&recording.scenario).expect("session");
+    for f in 0..FRAMES {
+        for c in 0..2 {
+            interleaved
+                .push_frame(c, recording.frame(c, f))
+                .expect("push");
+        }
+    }
+    let a = interleaved.finish().expect("finish");
+
+    let mut skewed = pipeline.session(&recording.scenario).expect("session");
+    for c in [1, 0] {
+        for f in 0..FRAMES {
+            skewed.push_frame(c, recording.frame(c, f)).expect("push");
+        }
+    }
+    let b = skewed.finish().expect("finish");
+
+    assert_eq!(a.raw_matrices, b.raw_matrices);
+    assert_eq!(a.matrices, b.matrices);
+    assert_eq!(a.summary.rows(), b.summary.rows());
+}
+
+/// Skew beyond the reorder window forces evictions: frames fuse without
+/// the laggard camera, the eviction counter records it, and late
+/// arrivals never resurrect an already-fused frame (each index is
+/// emitted exactly once, in order).
+#[test]
+fn skew_beyond_reorder_window_evicts_without_duplicates() {
+    const FRAMES: usize = 20;
+    const WINDOW: usize = 2;
+    let recording = Recording::capture(Scenario::two_camera_dinner(FRAMES, 3));
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        .parallel_cameras(false) // inline: deterministic ordering
+        .reorder_window(WINDOW)
+        .build()
+        .expect("valid config");
+    let pipeline = DiEventPipeline::new(config);
+    let mut session = pipeline.session(&recording.scenario).expect("session");
+
+    let mut emitted = Vec::new();
+    // Camera 1 races a full recording ahead of camera 0.
+    for c in [1, 0] {
+        for f in 0..FRAMES {
+            session.push_frame(c, recording.frame(c, f)).expect("push");
+            emitted.extend(session.poll());
+        }
+    }
+    let analysis = session.finish().expect("finish");
+    assert_eq!(analysis.matrices.len(), FRAMES);
+
+    let frames: Vec<usize> = emitted.iter().map(|e| e.frame).collect();
+    let mut sorted = frames.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(frames, sorted, "frames must be unique and ascending");
+    assert!(
+        emitted.iter().any(|e| e.cameras_reporting == 1),
+        "evicted frames fuse with one camera"
+    );
+    let report = &analysis.telemetry;
+    assert!(report.counter("session.reorder_evictions").unwrap_or(0) > 0);
+    assert!(report.counter("session.late_arrivals").unwrap_or(0) > 0);
+}
+
+/// Pre-extracted pose observations (an external tracker) drive the
+/// session end to end without touching the pixel path.
+#[test]
+fn pose_observation_stream_produces_full_analysis() {
+    use dievent_analysis::CameraObservation;
+    let scenario = Scenario::two_camera_dinner(30, 5);
+    let truth = scenario.simulate();
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        .build()
+        .expect("valid config");
+    let pipeline = DiEventPipeline::new(config);
+    let mut session = pipeline.session(&scenario).expect("session");
+    for snap in &truth.snapshots {
+        for (c, cam) in scenario.rig.cameras.iter().enumerate() {
+            let to_cam = cam.extrinsics();
+            let obs: Vec<CameraObservation> = snap
+                .states
+                .iter()
+                .enumerate()
+                .map(|(person, st)| CameraObservation {
+                    person,
+                    head_cam: to_cam.transform_point(st.head),
+                    gaze_cam: Some(to_cam.transform_dir(st.gaze)),
+                    weight: 1.0,
+                })
+                .collect();
+            session.push_pose_observations(c, obs).expect("push");
+        }
+    }
+    let analysis = session.finish().expect("finish");
+    assert_eq!(analysis.matrices.len(), truth.snapshots.len());
+    let looks: usize = analysis.matrices.iter().map(|m| m.count_ones()).sum();
+    assert!(looks > 0, "ground-truth poses must register looks");
+}

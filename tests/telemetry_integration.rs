@@ -25,7 +25,7 @@ fn every_recorded_frame_is_processed_per_camera() {
     let recording = recording();
     let cameras = recording.cameras();
     let pipeline = DiEventPipeline::new(config());
-    let analysis = pipeline.run(&recording);
+    let analysis = pipeline.run(&recording).expect("pipeline run");
     let report = &analysis.telemetry;
 
     // Per camera and in total, the extractors consumed exactly the
@@ -50,7 +50,7 @@ fn every_recorded_frame_is_processed_per_camera() {
 fn stage_spans_cover_the_run_and_feed_stage_timings() {
     let recording = recording();
     let pipeline = DiEventPipeline::new(config());
-    let analysis = pipeline.run(&recording);
+    let analysis = pipeline.run(&recording).expect("pipeline run");
     let report = &analysis.telemetry;
 
     assert_eq!(report.span("pipeline.run").unwrap().count, 1);
@@ -96,7 +96,7 @@ fn stage_spans_cover_the_run_and_feed_stage_timings() {
 fn disabled_telemetry_runs_clean_with_empty_report() {
     let recording = recording();
     let pipeline = DiEventPipeline::new_with_telemetry(config(), Telemetry::disabled());
-    let analysis = pipeline.run(&recording);
+    let analysis = pipeline.run(&recording).expect("pipeline run");
     assert_eq!(analysis.matrices.len(), FRAMES);
     assert!(analysis.telemetry.counters.is_empty());
     assert!(analysis.telemetry.spans.is_empty());
@@ -107,7 +107,7 @@ fn disabled_telemetry_runs_clean_with_empty_report() {
 fn trace_jsonl_is_parseable_and_tree_render_is_informative() {
     let recording = recording();
     let pipeline = DiEventPipeline::new(config());
-    let _ = pipeline.run(&recording);
+    let _ = pipeline.run(&recording).expect("pipeline run");
 
     let trace = pipeline.telemetry().trace_jsonl();
     assert!(!trace.is_empty());
@@ -138,7 +138,7 @@ fn trace_jsonl_is_parseable_and_tree_render_is_informative() {
 fn telemetry_report_survives_digest_serialization() {
     let recording = recording();
     let pipeline = DiEventPipeline::new(config());
-    let analysis = pipeline.run(&recording);
+    let analysis = pipeline.run(&recording).expect("pipeline run");
     // The digest carries the stage timings for --json consumers.
     let digest = analysis.digest();
     let json = serde_json::to_string(&digest).unwrap();

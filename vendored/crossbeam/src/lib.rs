@@ -1,10 +1,411 @@
 //! Offline stand-in for `crossbeam`.
 //!
 //! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
-//! (stabilized long after crossbeam introduced the pattern). Only the
-//! scoped-thread API the workspace uses is implemented.
+//! (stabilized long after crossbeam introduced the pattern) and
+//! `crossbeam::channel` bounded/unbounded MPMC channels on top of
+//! `std` mutex + condvar. Only the API subset the workspace uses is
+//! implemented.
 
 #![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+    //!
+    //! [`bounded`] channels block senders at capacity (the
+    //! backpressure primitive the streaming pipeline builds on);
+    //! [`unbounded`] channels never block senders. Receivers observe
+    //! items in send order; once every `Sender` is dropped, `recv`
+    //! drains the remaining items and then reports disconnection.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent item back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the item is returned.
+        Full(T),
+        /// All receivers are gone; the item is returned.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`]: the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No item arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        capacity: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            // The queue holds plain data and every critical section is
+            // panic-free, so a poisoned lock is recoverable.
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// The sending half of a channel. Clone freely; the channel
+    /// disconnects for receivers when the last clone drops.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Clone freely; the channel
+    /// disconnects for senders when the last clone drops.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a bounded FIFO channel: `send` blocks once `capacity`
+    /// items are queued.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero (rendezvous channels are not
+    /// implemented).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity >= 1, "bounded channel capacity must be >= 1");
+        channel(Some(capacity))
+    }
+
+    /// Creates an unbounded FIFO channel: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `item`, blocking while the channel is full. Fails only
+        /// when every receiver is gone.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(item));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self
+                            .shared
+                            .not_full
+                            .wait(state)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(item);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Sends without blocking; a full channel returns the item.
+        pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(item));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(item));
+                }
+            }
+            state.queue.push_back(item);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel's capacity (`None` for unbounded).
+        pub fn capacity(&self) -> Option<usize> {
+            self.shared.capacity
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut state = self.shared.lock();
+                state.senders -= 1;
+                state.senders
+            };
+            if remaining == 0 {
+                // Wake receivers so they can observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next item, blocking while the channel is empty.
+        /// Fails once the channel is empty *and* every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(item) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.lock();
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives, waiting at most `timeout` for an item to arrive.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(item) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = guard;
+                if result.timed_out() && state.queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut state = self.shared.lock();
+                state.receivers -= 1;
+                state.receivers
+            };
+            if remaining == 0 {
+                // Wake blocked senders so they can observe the
+                // disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn fifo_order_and_disconnect() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).expect("send");
+            }
+            drop(tx);
+            let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).expect("first");
+            tx.try_send(2).expect("second");
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).expect("space freed");
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_consumer_drains() {
+            let (tx, rx) = bounded(1);
+            let producer = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).expect("send");
+                }
+            });
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                // Slow consumer: the producer must block, not drop.
+                std::thread::sleep(Duration::from_micros(50));
+                got.push(v);
+            }
+            producer.join().expect("producer");
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_fails() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+            assert_eq!(tx.try_send(8), Err(TrySendError::Disconnected(8)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_succeeds() {
+            let (tx, rx) = bounded(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(42u32).expect("send");
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(42));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn drop_oldest_pattern_preserves_capacity() {
+            // The load-shedding idiom the streaming session uses: on a
+            // full queue, evict the oldest item and retry.
+            let (tx, rx) = bounded(3);
+            let mut dropped = 0;
+            for i in 0..10 {
+                let mut item = i;
+                loop {
+                    match tx.try_send(item) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(back)) => {
+                            item = back;
+                            if rx.try_recv().is_ok() {
+                                dropped += 1;
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => panic!("receiver alive"),
+                    }
+                }
+            }
+            assert_eq!(dropped, 7);
+            let got: Vec<i32> = std::iter::from_fn(|| rx.try_recv().ok()).collect();
+            assert_eq!(got, vec![7, 8, 9], "newest items survive");
+        }
+    }
+}
 
 pub mod thread {
     //! Scoped threads.
