@@ -110,7 +110,7 @@ pub fn fuse_frame(obs: &FrameObservations, config: &FusionConfig) -> Vec<Partici
 /// Component-wise median of a non-empty sample set.
 fn component_median(points: &[Vec3]) -> Vec3 {
     let med = |mut v: Vec<f64>| -> f64 {
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_by(f64::total_cmp);
         let n = v.len();
         if n % 2 == 1 {
             v[n / 2]

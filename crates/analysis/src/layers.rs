@@ -126,12 +126,9 @@ impl MultilayerRecord {
     /// The time-variant layer nearest to time `t` seconds (`None` for an
     /// empty record).
     pub fn at_time(&self, t: f64) -> Option<&TimeVariantLayers> {
-        self.frames.iter().min_by(|a, b| {
-            (a.time - t)
-                .abs()
-                .partial_cmp(&(b.time - t).abs())
-                .expect("finite times")
-        })
+        self.frames
+            .iter()
+            .min_by(|a, b| (a.time - t).abs().total_cmp(&(b.time - t).abs()))
     }
 
     /// Frames whose overall happiness is at least `threshold` percent —

@@ -50,13 +50,14 @@ pub fn relation_profiles(
             None if default_strangers => SocialRelation::Strangers,
             None => continue,
         };
-        let acc = match by_relation.iter_mut().find(|(r, _)| *r == relation) {
-            Some((_, acc)) => acc,
+        let idx = match by_relation.iter().position(|(r, _)| *r == relation) {
+            Some(idx) => idx,
             None => {
                 by_relation.push((relation, Acc::default()));
-                &mut by_relation.last_mut().expect("just pushed").1
+                by_relation.len() - 1
             }
         };
+        let acc = &mut by_relation[idx].1;
         acc.pairs += 1;
         acc.ratio_sum += s.contact_ratio;
         acc.episode_sum += s.episodes as f64;
@@ -71,11 +72,7 @@ pub fn relation_profiles(
             mean_episodes: acc.episode_sum / acc.pairs as f64,
         })
         .collect();
-    out.sort_by(|a, b| {
-        b.mean_contact_ratio
-            .partial_cmp(&a.mean_contact_ratio)
-            .expect("finite ratios")
-    });
+    out.sort_by(|a, b| b.mean_contact_ratio.total_cmp(&a.mean_contact_ratio));
     out
 }
 

@@ -70,7 +70,7 @@ pub fn validate_sequence(detected: &[LookAtMatrix], truth: &[LookAtMatrix]) -> M
     } else {
         tp as f64 / (tp + fn_) as f64
     };
-    let f1 = if precision + recall == 0.0 {
+    let f1 = if precision + recall <= f64::EPSILON {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)

@@ -48,6 +48,7 @@ impl Recording {
     /// # Panics
     /// Panics when the context's participant count disagrees with the
     /// scenario.
+    #[must_use = "`with_context` consumes and returns the source"]
     pub fn with_context(mut self, context: TimeInvariantContext) -> Self {
         assert_eq!(
             context.participants,

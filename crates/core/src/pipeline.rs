@@ -97,6 +97,7 @@ impl Default for PipelineConfig {
 
 impl PipelineConfig {
     /// Starts a validating builder seeded with the defaults.
+    #[must_use = "the builder does nothing until `.build()` is called"]
     pub fn builder() -> PipelineConfigBuilder {
         PipelineConfigBuilder {
             config: PipelineConfig::default(),
@@ -107,6 +108,7 @@ impl PipelineConfig {
     ///
     /// Called by [`PipelineConfigBuilder::build`] and when a session is
     /// opened, so struct-literal configurations are validated too.
+    #[must_use = "ignoring the Err means running with an invalid configuration"]
     pub fn validate(&self) -> Result<(), DiEventError> {
         if self.streaming.channel_capacity == 0 {
             return Err(DiEventError::InvalidConfig(
@@ -149,6 +151,7 @@ macro_rules! builder_setters {
     ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
         $(
             $(#[$doc])*
+            #[must_use = "the setter consumes and returns the builder"]
             pub fn $name(mut self, value: $ty) -> Self {
                 self.config.$name = value;
                 self
@@ -192,24 +195,28 @@ impl PipelineConfigBuilder {
     }
 
     /// Bounded per-camera input queue length, in frames (≥ 1).
+    #[must_use = "the setter consumes and returns the builder"]
     pub fn channel_capacity(mut self, capacity: usize) -> Self {
         self.config.streaming.channel_capacity = capacity;
         self
     }
 
     /// Policy when a camera's bounded queue is full.
+    #[must_use = "the setter consumes and returns the builder"]
     pub fn backpressure(mut self, mode: crate::session::BackpressureMode) -> Self {
         self.config.streaming.backpressure = mode;
         self
     }
 
     /// Maximum inter-camera skew (frames) the sequencer waits out.
+    #[must_use = "the setter consumes and returns the builder"]
     pub fn reorder_window(mut self, frames: usize) -> Self {
         self.config.streaming.reorder_window = frames;
         self
     }
 
     /// Validates and returns the configuration.
+    #[must_use = "dropping the result discards both the config and any validation error"]
     pub fn build(self) -> Result<PipelineConfig, DiEventError> {
         self.config.validate()?;
         Ok(self.config)
@@ -274,6 +281,7 @@ impl DiEventPipeline {
     /// acquisition pipelines with extraction exactly as the live
     /// deployment would. Otherwise frames are pushed inline,
     /// deterministically, on the calling thread.
+    #[must_use = "dropping the result discards the whole analysis or its error"]
     pub fn run(&self, recording: &Recording) -> Result<EventAnalysis, DiEventError> {
         let mut session = self.session(&recording.scenario)?;
         let frames = recording.frames();

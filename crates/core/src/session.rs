@@ -154,6 +154,7 @@ impl CameraFeed {
     /// this blocks while the queue is full; in
     /// [`BackpressureMode::DropOldest`] it evicts the stalest queued
     /// item instead.
+    #[must_use = "an ignored Err means the frame was never enqueued"]
     pub fn push(&mut self, frame: GrayFrame) -> Result<(), DiEventError> {
         let index = self.next_index;
         self.next_index += 1;
@@ -163,6 +164,7 @@ impl CameraFeed {
     /// Pushes pre-extracted pose observations for the camera's next
     /// frame, bypassing feature extraction (for deployments where an
     /// external tracker supplies head/gaze directly).
+    #[must_use = "an ignored Err means the observations were never enqueued"]
     pub fn push_pose_observations(
         &mut self,
         observations: Vec<CameraObservation>,
@@ -425,7 +427,9 @@ impl CameraStage {
     /// detections to seats by projected position (the paper's §II-D-1
     /// external seating plan), then returns the ready extractor.
     fn extractor_for(&mut self, first_frame: &GrayFrame) -> &mut FeatureExtractor {
-        if self.extractor.is_none() {
+        let extractor = if let Some(extractor) = self.extractor.take() {
+            extractor
+        } else {
             let mut extractor =
                 FeatureExtractor::new(self.config, self.camera, FaceGallery::default());
             extractor.attach_telemetry(&self.telemetry, &self.camera_index.to_string());
@@ -451,9 +455,9 @@ impl CameraStage {
                     }
                 }
             }
-            self.extractor = Some(extractor);
-        }
-        self.extractor.as_mut().expect("just initialized")
+            extractor
+        };
+        self.extractor.insert(extractor)
     }
 
     /// Runs stage-3 extraction on one frame (or passes observations
@@ -628,6 +632,7 @@ impl DiEventPipeline {
     /// rate. With `parallel_cameras` set and more than one camera, one
     /// extraction worker thread is spawned per camera; otherwise the
     /// session runs inline on the calling thread.
+    #[must_use = "dropping the result discards the opened session or its error"]
     pub fn session(&self, scenario: &Scenario) -> Result<PipelineSession, DiEventError> {
         PipelineSession::open(self, scenario)
     }
@@ -755,6 +760,7 @@ impl PipelineSession {
     /// After detaching, [`push_frame`](Self::push_frame) on this
     /// session returns [`DiEventError::SessionClosed`]; drop the feeds
     /// (or call [`finish`](Self::finish)) to end the streams.
+    #[must_use = "dropping the detached feeds immediately ends every camera stream"]
     pub fn take_feeds(&mut self) -> Result<Vec<CameraFeed>, DiEventError> {
         if matches!(self.mode, ExecutionMode::Inline { .. }) {
             return Err(DiEventError::InvalidConfig(
@@ -771,12 +777,14 @@ impl PipelineSession {
     /// Pushes the next frame for `camera`. Applies the configured
     /// backpressure policy in threaded mode; runs extraction
     /// synchronously in inline mode.
+    #[must_use = "an ignored Err means the frame was never processed"]
     pub fn push_frame(&mut self, camera: usize, frame: GrayFrame) -> Result<(), DiEventError> {
         self.push_item(camera, |index| WorkItem::Frame(index, frame))
     }
 
     /// Pushes pre-extracted pose observations as `camera`'s next frame,
     /// bypassing stage-3 extraction (for external trackers).
+    #[must_use = "an ignored Err means the observations were never processed"]
     pub fn push_pose_observations(
         &mut self,
         camera: usize,
@@ -868,12 +876,14 @@ impl PipelineSession {
     /// smoothing + multilayer analysis, metadata population). The
     /// returned [`EventAnalysis`] matches the batch entry point's
     /// output when every frame was delivered.
+    #[must_use = "dropping the result discards the whole analysis or its error"]
     pub fn finish(self) -> Result<EventAnalysis, DiEventError> {
         self.finish_with(FinishOptions::default())
     }
 
     /// [`finish`](Self::finish), attaching ground truth for validation
     /// and/or the event's time-invariant context.
+    #[must_use = "dropping the result discards the whole analysis or its error"]
     pub fn finish_with(mut self, options: FinishOptions) -> Result<EventAnalysis, DiEventError> {
         // --- End of ingest: stop workers and collect their outputs. ---
         self.close();

@@ -129,13 +129,13 @@ impl EmotionClassifier {
         let raw = lbp_feature_vector(patch, &LbpConfig::from(self.lbp));
         let x = self.normalizer.apply(&raw);
         let probabilities = self.mlp.predict_proba(&x);
-        let (best, &confidence) = probabilities
+        let (best, confidence) = probabilities
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .expect("non-empty distribution");
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or((0, 0.0), |(i, &p)| (i, p));
         EmotionPrediction {
-            emotion: Emotion::from_index(best).expect("valid index"),
+            emotion: Emotion::from_index(best).unwrap_or(Emotion::Neutral),
             confidence,
             probabilities,
         }

@@ -43,10 +43,15 @@ impl Emotion {
 
     /// Stable index of this emotion in `[0, COUNT)`.
     pub fn index(self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|&e| e == self)
-            .expect("ALL is exhaustive")
+        match self {
+            Emotion::Neutral => 0,
+            Emotion::Happy => 1,
+            Emotion::Sad => 2,
+            Emotion::Angry => 3,
+            Emotion::Disgust => 4,
+            Emotion::Fear => 5,
+            Emotion::Surprise => 6,
+        }
     }
 
     /// Emotion from a stable index, or `None` when out of range.

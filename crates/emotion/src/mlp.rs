@@ -164,7 +164,7 @@ impl Mlp {
         activations.push(x.to_vec());
         let mut buf = Vec::new();
         for (i, layer) in self.layers.iter().enumerate() {
-            layer.forward(activations.last().expect("non-empty"), &mut buf);
+            layer.forward(&activations[i], &mut buf);
             let is_last = i + 1 == self.layers.len();
             if !is_last {
                 for v in &mut buf {
@@ -175,7 +175,7 @@ impl Mlp {
             }
             activations.push(std::mem::take(&mut buf));
         }
-        let logits = activations.last().expect("non-empty");
+        let logits = &activations[self.layers.len()];
         let probs = softmax(logits);
         (probs, activations)
     }
@@ -324,9 +324,8 @@ fn softmax(logits: &[f64]) -> Vec<f64> {
 fn argmax(v: &[f64]) -> usize {
     v.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i)
 }
 
 #[cfg(test)]

@@ -111,6 +111,7 @@ impl FrameGraph {
     /// a duplicate is a programming error.
     pub fn add_root(&mut self, name: &str) -> FrameId {
         self.try_add(name, None, Iso3::IDENTITY)
+            // lint:allow(no_panic): documented `# Panics` contract; `try_add` is the fallible form
             .unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -116,6 +116,7 @@ impl Vec3 {
     #[inline]
     pub fn normalized(self) -> Vec3 {
         self.try_normalized()
+            // lint:allow(no_panic): documented `# Panics` contract; `try_normalized` is the fallible form
             .expect("cannot normalize a zero-length Vec3")
     }
 
@@ -265,6 +266,7 @@ impl Index<usize> for Vec3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // lint:allow(no_panic): `Index` is contractually panicking on out-of-range, mirroring slices
             _ => panic!("Vec3 index out of range: {i}"),
         }
     }

@@ -1,0 +1,312 @@
+//! `lint.toml` — configuration for the rule set.
+//!
+//! The linter is dependency-free, so this module carries a minimal
+//! TOML-subset reader: `[section]` headers, `key = value` pairs with
+//! string / bool / integer / string-array values (arrays may span
+//! lines), `#` comments, and nothing else. That subset is the whole
+//! configuration language on purpose — rules read flat lists of crate
+//! names, qualified function names, and identifiers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or validation problem in `lint.toml`.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// One parsed value.
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    List(Vec<String>),
+}
+
+/// Flat section → key → value document.
+#[derive(Debug, Default)]
+struct Doc {
+    sections: BTreeMap<String, BTreeMap<String, Value>>,
+}
+
+fn parse_doc(source: &str) -> Result<Doc, ConfigError> {
+    let mut doc = Doc::default();
+    let mut section = String::new();
+    let mut lines = source.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            doc.sections.entry(section.clone()).or_default();
+            continue;
+        }
+        let (key, mut value_src) = match line.split_once('=') {
+            Some((k, v)) => (k.trim().to_string(), v.trim().to_string()),
+            None => {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                })
+            }
+        };
+        // Multi-line arrays: keep consuming lines until brackets balance.
+        while value_src.starts_with('[') && !brackets_balanced(&value_src) {
+            match lines.next() {
+                Some((_, cont)) => {
+                    value_src.push(' ');
+                    value_src.push_str(strip_comment(cont).trim());
+                }
+                None => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unterminated array for key `{key}`"),
+                    })
+                }
+            }
+        }
+        let value = parse_value(&value_src).map_err(|message| ConfigError {
+            line: lineno,
+            message,
+        })?;
+        doc.sections
+            .entry(section.clone())
+            .or_default()
+            .insert(key, value);
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn brackets_balanced(src: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in src.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_value(src: &str) -> Result<Value, String> {
+    let src = src.trim();
+    if src == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if src == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = src.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for item in split_top_level(body) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match parse_value(item)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err(format!("arrays may only contain strings: `{item}`")),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(body) = src.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string: `{src}`"))?;
+        return Ok(Value::Str(unescape(body)));
+    }
+    if let Ok(n) = src.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(format!("unsupported value: `{src}`"))
+}
+
+/// Splits an array body on commas outside strings.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Scope + knobs for one rule, as read from its `lint.toml` section.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Crate directory names the rule applies to; `"*"` = every crate.
+    pub crates: Vec<String>,
+    /// Rule-specific string lists (`stages`, `float_methods`, …).
+    pub lists: BTreeMap<String, Vec<String>>,
+    /// Rule-specific scalars (`error_type`, …).
+    pub strings: BTreeMap<String, String>,
+}
+
+impl RuleConfig {
+    /// Does this rule apply to the given crate?
+    pub fn covers_crate(&self, crate_name: &str) -> bool {
+        self.crates.iter().any(|c| c == "*" || c == crate_name)
+    }
+
+    /// A named string-list knob ([] when absent).
+    pub fn list(&self, key: &str) -> &[String] {
+        self.lists.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// A named string knob.
+    pub fn string(&self, key: &str) -> Option<&str> {
+        self.strings.get(key).map(|s| s.as_str())
+    }
+}
+
+/// The whole parsed configuration: one [`RuleConfig`] per section.
+#[derive(Debug, Default)]
+pub struct LintConfig {
+    rules: BTreeMap<String, RuleConfig>,
+}
+
+impl LintConfig {
+    /// Parses `lint.toml` content.
+    pub fn parse(source: &str) -> Result<LintConfig, ConfigError> {
+        let doc = parse_doc(source)?;
+        let mut rules = BTreeMap::new();
+        for (section, entries) in doc.sections {
+            let mut rule = RuleConfig::default();
+            for (key, value) in entries {
+                match (key.as_str(), value) {
+                    ("crates", Value::List(v)) => rule.crates = v,
+                    (_, Value::List(v)) => {
+                        rule.lists.insert(key, v);
+                    }
+                    (_, Value::Str(s)) => {
+                        rule.strings.insert(key, s);
+                    }
+                    (_, Value::Bool(b)) => {
+                        rule.strings.insert(key, b.to_string());
+                    }
+                    (_, Value::Int(n)) => {
+                        rule.strings.insert(key, n.to_string());
+                    }
+                }
+            }
+            rules.insert(section, rule);
+        }
+        Ok(LintConfig { rules })
+    }
+
+    /// Configuration for a rule id; a missing section disables the rule.
+    pub fn rule(&self, id: &str) -> Option<&RuleConfig> {
+        self.rules.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[no_panic]
+crates = ["analysis", "core"]
+
+[telemetry_coverage]
+crates = ["*"]
+stages = [
+    "session.rs::camera_worker",  # trailing comment
+    "parse.rs::parse_frames",
+]
+span_apis = ["span", "span_under"]
+
+[error_discipline]
+crates = ["core"]
+error_type = "DiEventError"
+"#;
+
+    #[test]
+    fn parses_sections_lists_and_strings() {
+        let cfg = LintConfig::parse(SAMPLE).expect("parses");
+        let np = cfg.rule("no_panic").expect("section");
+        assert!(np.covers_crate("core"));
+        assert!(!np.covers_crate("geometry"));
+        let tc = cfg.rule("telemetry_coverage").expect("section");
+        assert!(tc.covers_crate("anything"));
+        assert_eq!(tc.list("stages").len(), 2);
+        assert_eq!(tc.list("stages")[1], "parse.rs::parse_frames");
+        let ed = cfg.rule("error_discipline").expect("section");
+        assert_eq!(ed.string("error_type"), Some("DiEventError"));
+        assert!(cfg.rule("unknown").is_none());
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(LintConfig::parse("[s]\nkey value").is_err());
+        assert!(LintConfig::parse("[s]\nkey = \"open").is_err());
+        assert!(LintConfig::parse("[s]\nkey = [\"a\"").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = LintConfig::parse("[s]\nname = \"a#b\"").expect("parses");
+        assert_eq!(cfg.rule("s").and_then(|r| r.string("name")), Some("a#b"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Per-file lint context: token streams, test-region detection, and
+//! `lint:allow` escape hatches.
+//!
+//! Rules never re-lex or re-scan raw source; they see a [`FileContext`]
+//! with a comment-free token stream (`code`), a map of lines that
+//! belong to test code, and the set of allow directives. Test regions
+//! are found purely from tokens: a `#[cfg(test)]` or `#[test]`
+//! attribute marks the item it is attached to (its full brace-matched
+//! extent), so rule implementations can stay one-pass and oblivious.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::HashMap;
+
+/// Where a file sits in a crate — decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/` — the full rule set applies.
+    Lib,
+    /// Integration tests, benches, fixtures — panic freedom not required.
+    Test,
+    /// Examples.
+    Example,
+    /// Binary targets (`src/main.rs`, `src/bin/…`).
+    Bin,
+}
+
+impl FileKind {
+    /// Classifies a repo-relative path by its components.
+    pub fn classify(path: &str) -> FileKind {
+        let parts: Vec<&str> = path.split('/').collect();
+        if parts
+            .iter()
+            .any(|p| *p == "tests" || *p == "benches" || *p == "fixtures")
+        {
+            FileKind::Test
+        } else if parts.contains(&"examples") {
+            FileKind::Example
+        } else if parts.contains(&"bin") || parts.last() == Some(&"main.rs") {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        }
+    }
+}
+
+/// Everything a rule may ask about one source file.
+pub struct FileContext {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Crate directory name (`analysis`, `core`, …).
+    pub crate_name: String,
+    pub kind: FileKind,
+    /// Comment-free token stream.
+    pub code: Vec<Token>,
+    /// Lines (1-based) covered by `#[cfg(test)]` / `#[test]` items.
+    test_lines: Vec<bool>,
+    /// `lint:allow(rule)` directives: line → rule ids ("*" = all).
+    allows: HashMap<u32, Vec<String>>,
+}
+
+impl FileContext {
+    /// Lexes `source` and computes regions/directives.
+    pub fn new(path: &str, crate_name: &str, source: &str) -> FileContext {
+        let kind = FileKind::classify(path);
+        let tokens = lex(source);
+        let line_count = source.lines().count() as u32;
+        let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
+        for t in tokens.iter().filter(|t| t.is_comment()) {
+            for rule in parse_allow(&t.text) {
+                allows.entry(t.line).or_default().push(rule.clone());
+                allows.entry(t.line + 1).or_default().push(rule);
+            }
+        }
+        let code: Vec<Token> = tokens.into_iter().filter(|t| !t.is_comment()).collect();
+        let test_lines = test_regions(&code, line_count);
+        FileContext {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            code,
+            test_lines,
+            allows,
+        }
+    }
+
+    /// Is this 1-based line inside a test item?
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// Does a `lint:allow` directive cover `rule` on `line`?
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule || r == "*"))
+    }
+}
+
+/// Extracts rule ids from `lint:allow(rule_a, rule_b)` inside a comment.
+fn parse_allow(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint:allow(") {
+        rest = &rest[at + "lint:allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            for id in rest[..end].split(',') {
+                let id = id.trim();
+                if !id.is_empty() {
+                    out.push(id.to_string());
+                }
+            }
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Marks every line covered by a test-gated item.
+///
+/// Walks the comment-free token stream; on `#[test]`, `#[cfg(test)]`
+/// (or any `cfg`/`cfg_attr` attribute mentioning `test`), skips
+/// trailing sibling attributes, then brace-matches the attached item
+/// and marks its line span. An inner `#![cfg(test)]` marks the whole
+/// file.
+fn test_regions(code: &[Token], line_count: u32) -> Vec<bool> {
+    let mut test = vec![false; line_count as usize + 2];
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_punct("#") {
+            i += 1;
+            continue;
+        }
+        let inner = code.get(i + 1).is_some_and(|t| t.is_punct("!"));
+        let open = i + 1 + usize::from(inner);
+        if !code.get(open).is_some_and(|t| t.is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let close = match bracket_end(code, open) {
+            Some(c) => c,
+            None => break,
+        };
+        if !attr_is_test(&code[open + 1..close]) {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            test.iter_mut().for_each(|l| *l = true);
+            return test;
+        }
+        // Skip further attributes stacked on the same item.
+        let mut k = close + 1;
+        while code.get(k).is_some_and(|t| t.is_punct("#"))
+            && code.get(k + 1).is_some_and(|t| t.is_punct("["))
+        {
+            match bracket_end(code, k + 1) {
+                Some(c) => k = c + 1,
+                None => return test,
+            }
+        }
+        let start_line = code[i].line;
+        let end = item_end(code, k).unwrap_or(code.len() - 1);
+        let end_line = code[end].line;
+        for l in start_line..=end_line {
+            if let Some(slot) = test.get_mut(l as usize) {
+                *slot = true;
+            }
+        }
+        i = end + 1;
+    }
+    test
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn bracket_end(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Is this attribute body (`test`, `cfg(test)`, `cfg_attr(…, test)`) a
+/// test gate? `cfg(any(test, …))` counts too — over-marking only makes
+/// the linter more permissive, never noisier.
+fn attr_is_test(body: &[Token]) -> bool {
+    match body.first() {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("cfg") || t.is_ident("cfg_attr") => {
+            body.iter().any(|t| t.is_ident("test"))
+        }
+        _ => false,
+    }
+}
+
+/// Index of the token ending the item starting at `start`: the `}`
+/// closing its body, or a top-level `;` for bodiless items.
+fn item_end(code: &[Token], start: usize) -> Option<usize> {
+    let mut braces = 0usize;
+    let mut parens = 0usize;
+    for (j, t) in code.iter().enumerate().skip(start) {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" => parens += 1,
+            ")" | "]" => parens = parens.saturating_sub(1),
+            "{" => braces += 1,
+            "}" => {
+                braces = braces.saturating_sub(1);
+                if braces == 0 {
+                    return Some(j);
+                }
+            }
+            ";" if braces == 0 && parens == 0 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src =
+            "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", "x", src);
+        assert!(!ctx.is_test_line(1));
+        assert!(ctx.is_test_line(2));
+        assert!(ctx.is_test_line(4));
+        assert!(ctx.is_test_line(5));
+        assert!(!ctx.is_test_line(6));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs() {
+        let src = "fn a() {}\n#[test]\n#[ignore]\nfn t() {\n    x.unwrap();\n}\nfn b() {}\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", "x", src);
+        assert!(ctx.is_test_line(5));
+        assert!(!ctx.is_test_line(7));
+    }
+
+    #[test]
+    fn bodiless_cfg_items_end_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn live() {}\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", "x", src);
+        assert!(ctx.is_test_line(2));
+        assert!(!ctx.is_test_line(3));
+    }
+
+    #[test]
+    fn allow_covers_own_and_next_line() {
+        let src = "// lint:allow(no_panic): invariant holds\nfoo.unwrap();\nbar.unwrap();\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", "x", src);
+        assert!(ctx.allowed("no_panic", 1));
+        assert!(ctx.allowed("no_panic", 2));
+        assert!(!ctx.allowed("no_panic", 3));
+        assert!(!ctx.allowed("float_eq", 2));
+    }
+
+    #[test]
+    fn file_kinds_by_path() {
+        assert_eq!(FileKind::classify("crates/x/src/lib.rs"), FileKind::Lib);
+        assert_eq!(FileKind::classify("crates/x/tests/t.rs"), FileKind::Test);
+        assert_eq!(FileKind::classify("crates/x/src/bin/cli.rs"), FileKind::Bin);
+        assert_eq!(
+            FileKind::classify("examples/quickstart.rs"),
+            FileKind::Example
+        );
+        assert_eq!(FileKind::classify("crates/x/benches/b.rs"), FileKind::Test);
+    }
+
+    #[test]
+    fn cfg_attrs_unrelated_to_test_do_not_mark() {
+        let src = "#[cfg(feature = \"x\")]\nfn gated() { y.unwrap(); }\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", "x", src);
+        assert!(!ctx.is_test_line(2));
+    }
+}

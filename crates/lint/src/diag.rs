@@ -1,0 +1,153 @@
+//! Diagnostics: findings, ordering, and the two output formats.
+
+use std::fmt::Write as _;
+
+/// How bad a finding is. Every shipped rule currently reports errors;
+/// the distinction exists so downstream rules can ship advisory checks
+/// without breaking CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One diagnostic: `file:line:col` plus rule id and message.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub message: String,
+}
+
+/// Sorts findings into stable reporting order (file, line, col, rule).
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Human-readable report, one finding per line, with a summary footer.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {} [{}] {}",
+            f.file,
+            f.line,
+            f.col,
+            f.severity.as_str(),
+            f.rule,
+            f.message
+        );
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    let _ = writeln!(
+        out,
+        "dievent-lint: {} error{}, {} warning{}",
+        errors,
+        if errors == 1 { "" } else { "s" },
+        warnings,
+        if warnings == 1 { "" } else { "s" },
+    );
+    out
+}
+
+/// Machine-readable report: a single JSON object with a findings array.
+/// Hand-rolled emission (the linter is dependency-free); strings are
+/// escaped per RFC 8259.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"severity\":{},\"message\":{}}}",
+            json_string(&f.file),
+            f.line,
+            f.col,
+            json_string(f.rule),
+            json_string(f.severity.as_str()),
+            json_string(&f.message),
+        );
+    }
+    let _ = write!(out, "],\"count\":{}}}", findings.len());
+    out.push('\n');
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            col: 1,
+            rule: "no_panic",
+            severity: Severity::Error,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn human_output_has_locations_and_summary() {
+        let out = render_human(&[finding("a.rs", 3, "boom")]);
+        assert!(out.contains("a.rs:3:1: error [no_panic] boom"));
+        assert!(out.contains("1 error, 0 warnings"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let out = render_json(&[finding("a.rs", 1, "say \"no\"\nplease")]);
+        assert!(out.contains(r#"\"no\""#));
+        assert!(out.contains(r#"\n"#));
+        assert!(out.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn sort_is_by_file_then_line() {
+        let mut v = vec![finding("b.rs", 1, "x"), finding("a.rs", 9, "y")];
+        sort(&mut v);
+        assert_eq!(v[0].file, "a.rs");
+    }
+}

@@ -1,0 +1,517 @@
+//! A hand-rolled Rust token lexer.
+//!
+//! The linter needs exactly enough lexical structure to reason about
+//! source *safely*: method names, macro bangs, operators, and — the
+//! part naive `grep`-style linting gets wrong — which bytes are inside
+//! strings, raw strings, char literals, and comments. The lexer is a
+//! single forward pass producing a flat token list with 1-based
+//! line/column positions; it does not parse, and it never fails — an
+//! unterminated literal simply swallows the rest of the file, which is
+//! the least-surprising recovery for a diagnostics tool.
+//!
+//! Token classes are deliberately coarse (one `Str` kind covers plain,
+//! raw, and byte strings) because every rule in `rules/` only asks
+//! "is this an identifier / a float literal / this exact operator?".
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `pub`, …).
+    Ident,
+    /// Raw identifier (`r#match`); text keeps the `r#` prefix.
+    RawIdent,
+    /// Lifetime (`'a`), text keeps the quote.
+    Lifetime,
+    /// Integer literal, any base, including suffixed (`42u8`).
+    Int,
+    /// Floating-point literal (`1.0`, `2.`, `1e-9`, `3f64`).
+    Float,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` comment (doc or not); text includes the slashes.
+    LineComment,
+    /// `/* … */` comment, nesting-aware; text includes delimiters.
+    BlockComment,
+    /// Operator or delimiter; multi-char operators (`==`, `->`, `::`)
+    /// are single tokens.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// Is this a comment of either flavour?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `source` into tokens. Never fails; see module docs.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        c
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(start, line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(start, line, col);
+            } else if c == 'r' || c == 'b' {
+                self.r_or_b(start, line, col);
+            } else if is_ident_start(c) {
+                self.ident(start, line, col);
+            } else if c.is_ascii_digit() {
+                self.number(start, line, col);
+            } else if c == '\'' {
+                self.quote(start, line, col);
+            } else if c == '"' {
+                self.bump();
+                self.string_body(start, line, col);
+            } else {
+                self.punct(start, line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32, col: u32) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.emit(TokenKind::LineComment, start, line, col);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32, col: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.emit(TokenKind::BlockComment, start, line, col);
+    }
+
+    /// `r` / `b` starts: raw strings, byte strings, byte chars, raw
+    /// identifiers — or a plain identifier when none of those match.
+    fn r_or_b(&mut self, start: usize, line: u32, col: u32) {
+        let c = self.peek(0);
+        // How many prefix letters before a possible quote/hash?
+        // r"  r#"  b"  b'  br"  br#"  (also rb, though Rust spells it br)
+        let (prefix_len, second) = match (c, self.peek(1)) {
+            (Some('b'), Some('r')) | (Some('r'), Some('b')) => (2, self.peek(2)),
+            _ => (1, self.peek(1)),
+        };
+        match second {
+            Some('"') => {
+                for _ in 0..=prefix_len {
+                    self.bump();
+                }
+                self.string_body(start, line, col);
+            }
+            Some('#') => {
+                // Count hashes; a quote after them means a raw string,
+                // an identifier char means a raw identifier (`r#match`).
+                let mut hashes = 0;
+                while self.peek(prefix_len + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(prefix_len + hashes) == Some('"') {
+                    for _ in 0..(prefix_len + hashes + 1) {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes, start, line, col);
+                } else if c == Some('r') && hashes == 1 {
+                    self.bump(); // r
+                    self.bump(); // #
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::RawIdent, start, line, col);
+                } else {
+                    self.ident(start, line, col);
+                }
+            }
+            Some('\'') if c == Some('b') && prefix_len == 1 => {
+                self.bump(); // b
+                self.bump(); // '
+                self.char_body(start, line, col);
+            }
+            _ => self.ident(start, line, col),
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: u32, col: u32) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.emit(TokenKind::Ident, start, line, col);
+    }
+
+    fn number(&mut self, start: usize, line: u32, col: u32) {
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+            // `1.5` and trailing-dot `1.` are floats; `1..2` is a range
+            // and `1.max(…)` is a method call on an integer.
+            if self.peek(0) == Some('.') {
+                let after = self.peek(1);
+                let method_or_range = after == Some('.') || after.is_some_and(is_ident_start);
+                if !method_or_range {
+                    float = true;
+                    self.bump();
+                    while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        self.bump();
+                    }
+                }
+            }
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let (a, b) = (self.peek(1), self.peek(2));
+                let exponent = a.is_some_and(|c| c.is_ascii_digit())
+                    || (matches!(a, Some('+' | '-')) && b.is_some_and(|c| c.is_ascii_digit()));
+                if exponent {
+                    float = true;
+                    self.bump();
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-' || c == '_')
+                    {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        // Type suffix (`u8`, `f64`): a float suffix makes any literal float.
+        if self.peek(0).is_some_and(is_ident_start) {
+            let suffix_start = self.pos;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            let suffix: String = self.chars[suffix_start..self.pos].iter().collect();
+            if suffix == "f32" || suffix == "f64" {
+                float = true;
+            }
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.emit(kind, start, line, col);
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote(&mut self, start: usize, line: u32, col: u32) {
+        let next = self.peek(1);
+        // Escaped → char. `'x'` (closing quote two ahead) → char.
+        // Anything else (`'a>` in generics, `'static`) → lifetime.
+        if next == Some('\\') || (next.is_some() && self.peek(2) == Some('\'')) {
+            self.bump(); // '
+            self.char_body(start, line, col);
+        } else {
+            self.bump(); // '
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            self.emit(TokenKind::Lifetime, start, line, col);
+        }
+    }
+
+    /// Char-literal body after the opening quote (handles escapes).
+    fn char_body(&mut self, start: usize, line: u32, col: u32) {
+        if self.peek(0) == Some('\\') {
+            self.bump();
+            if self.peek(0) == Some('u') {
+                while self.peek(0).is_some_and(|c| c != '}' && c != '\'') {
+                    self.bump();
+                }
+            }
+            self.bump(); // escaped char or '}'
+        } else {
+            self.bump(); // the char itself
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        self.emit(TokenKind::Char, start, line, col);
+    }
+
+    /// Plain/byte string body after the opening quote.
+    fn string_body(&mut self, start: usize, line: u32, col: u32) {
+        while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.emit(TokenKind::Str, start, line, col);
+    }
+
+    /// Raw string body after `r#…#"`: ends at `"` followed by `hashes` hashes.
+    fn raw_string_body(&mut self, hashes: usize, start: usize, line: u32, col: u32) {
+        while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == '"' {
+                let mut n = 0;
+                while n < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    n += 1;
+                }
+                if n == hashes {
+                    break;
+                }
+            }
+        }
+        self.emit(TokenKind::Str, start, line, col);
+    }
+
+    fn punct(&mut self, start: usize, line: u32, col: u32) {
+        for op in OPERATORS {
+            let matches = op
+                .chars()
+                .enumerate()
+                .all(|(i, oc)| self.peek(i) == Some(oc));
+            if matches {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                self.emit(TokenKind::Punct, start, line, col);
+                return;
+            }
+        }
+        self.bump();
+        self.emit(TokenKind::Punct, start, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_calls() {
+        let toks = lex("value.unwrap()");
+        assert!(toks[0].is_ident("value"));
+        assert!(toks[1].is_punct("."));
+        assert!(toks[2].is_ident("unwrap"));
+        assert!(toks[3].is_punct("("));
+        assert!(toks[4].is_punct(")"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "a.unwrap()"; x"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"r#"panic!("x")"# r#match"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::RawIdent, "r#match".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"b"bytes" b'\n' br"raw""#);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Char);
+        assert_eq!(toks[2].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let toks = kinds("code(); // trailing unwrap()\n/* block /* nested */ done */ more");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("nested")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "more"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("<'a, 'static> 'x' '\\n' '_'");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a".to_string()));
+        assert_eq!(toks[3], (TokenKind::Lifetime, "'static".to_string()));
+        assert_eq!(toks[5].0, TokenKind::Char);
+        assert_eq!(toks[6].0, TokenKind::Char);
+        assert_eq!(toks[7].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let toks = kinds("1 1.0 2. 1e-9 3f64 0xFF 1.max(2) 0..10 7u32");
+        let got: Vec<TokenKind> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Int | TokenKind::Float))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::Int,   // 1
+                TokenKind::Float, // 1.0
+                TokenKind::Float, // 2.
+                TokenKind::Float, // 1e-9
+                TokenKind::Float, // 3f64
+                TokenKind::Int,   // 0xFF
+                TokenKind::Int,   // 1 (method call)
+                TokenKind::Int,   // 2
+                TokenKind::Int,   // 0
+                TokenKind::Int,   // 10
+                TokenKind::Int,   // 7u32
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("a == b != c -> d :: e ..= f");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "->", "::", "..="]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_loop() {
+        // Recovery: swallow to EOF, never panic or hang.
+        assert!(!lex("let s = \"open").is_empty());
+        assert!(!lex("r#\"open").is_empty());
+        assert!(!lex("/* open").is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! `dievent-lint` — self-hosted static analysis for the DiEvent
+//! workspace.
+//!
+//! Clippy sees Rust; it cannot see *this project's* invariants: that
+//! library code stays panic-free after the PR 2 `Result` migration,
+//! that pipeline stages stay telemetry-instrumented, that the public
+//! API speaks `DiEventError`, that the Eq. 3–5 geometry never compares
+//! floats exactly, and that builders and fallible APIs are
+//! `#[must_use]`. This crate is a dependency-free lint pass encoding
+//! those rules: a hand-rolled lexer ([`lexer`]), per-file context with
+//! test-region detection and `lint:allow` escapes ([`context`]), a
+//! `lint.toml` config ([`config`]), a rule registry ([`rules`]), and a
+//! diagnostics engine ([`diag`]) with human and `--json` output.
+//!
+//! Run it as `cargo run -p dievent-lint -- --workspace`; CI gates on a
+//! clean pass.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use config::LintConfig;
+use context::{FileContext, FileKind};
+use diag::Finding;
+use rules::Rule;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A configured lint pass over any number of files.
+pub struct Linter {
+    config: LintConfig,
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Linter {
+    /// Builds a linter with every registered rule.
+    pub fn new(config: LintConfig) -> Linter {
+        Linter {
+            config,
+            rules: rules::all_rules(),
+        }
+    }
+
+    /// `(id, description)` for every registered rule.
+    pub fn rule_descriptions() -> Vec<(&'static str, &'static str)> {
+        rules::all_rules()
+            .iter()
+            .map(|r| (r.id(), r.describe()))
+            .collect()
+    }
+
+    /// Checks one prepared file context.
+    pub fn check_file(&mut self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        for rule in &mut self.rules {
+            rule.check(ctx, &self.config, out);
+        }
+    }
+
+    /// Emits cross-file findings; call once after the last file.
+    pub fn finish(&mut self, out: &mut Vec<Finding>) {
+        for rule in &mut self.rules {
+            rule.finish(&self.config, out);
+        }
+    }
+
+    /// Lints a set of files under `root`, returning sorted findings.
+    ///
+    /// `assume_lib` forces every file to be treated as library code of
+    /// a wildcard-matched crate — the fixture-testing escape hatch for
+    /// files that live outside the workspace layout.
+    pub fn run(
+        &mut self,
+        root: &Path,
+        files: &[PathBuf],
+        assume_lib: bool,
+    ) -> io::Result<Vec<Finding>> {
+        let mut findings = Vec::new();
+        for file in files {
+            let source = fs::read_to_string(file)?;
+            let rel = relative_display(root, file);
+            let mut ctx = FileContext::new(&rel, &crate_name_of(&rel), &source);
+            if assume_lib {
+                ctx.kind = FileKind::Lib;
+                ctx.crate_name = "fixture".to_string();
+            }
+            self.check_file(&ctx, &mut findings);
+        }
+        self.finish(&mut findings);
+        diag::sort(&mut findings);
+        Ok(findings)
+    }
+}
+
+/// Crate directory name for a repo-relative path
+/// (`crates/analysis/src/…` → `analysis`; empty when not under `crates/`).
+pub fn crate_name_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("").to_string()
+    } else {
+        String::new()
+    }
+}
+
+/// Repo-relative display path with forward slashes.
+fn relative_display(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let mut out = String::new();
+    for comp in rel.components() {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    out
+}
+
+/// Collects every `crates/*/src/**/*.rs` file under `root`, sorted.
+///
+/// `src/` only by design: integration tests, benches, and examples are
+/// exercised code, not the library surface the rules police — and the
+/// lint's own firing fixtures live under `tests/`.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_names_from_paths() {
+        assert_eq!(crate_name_of("crates/analysis/src/layers.rs"), "analysis");
+        assert_eq!(crate_name_of("crates/core/src/bin/dievent.rs"), "core");
+        assert_eq!(crate_name_of("examples/quickstart.rs"), "");
+    }
+
+    #[test]
+    fn end_to_end_lint_of_a_source_string() {
+        let cfg = LintConfig::parse("[no_panic]\ncrates = [\"demo\"]\n").expect("config");
+        let mut linter = Linter::new(cfg);
+        let ctx = FileContext::new(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+        );
+        let mut out = Vec::new();
+        linter.check_file(&ctx, &mut out);
+        linter.finish(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "no_panic");
+    }
+}

@@ -1,0 +1,154 @@
+//! `dievent-lint` CLI.
+//!
+//! ```text
+//! dievent-lint --workspace [--json] [--config PATH]
+//! dievent-lint [--assume-lib] [--config PATH] FILE...
+//! dievent-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings reported, 2 usage/config/IO error.
+
+use dievent_lint::config::LintConfig;
+use dievent_lint::{collect_rs_files, collect_workspace_files, diag, Linter};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dievent-lint: self-hosted static analysis for the DiEvent workspace
+
+USAGE:
+    dievent-lint --workspace [OPTIONS]
+    dievent-lint [OPTIONS] FILE...
+
+OPTIONS:
+    --workspace      lint every crates/*/src/**/*.rs under the repo root
+    --json           emit findings as a single JSON object
+    --config PATH    lint.toml to use (default: <repo root>/lint.toml)
+    --assume-lib     treat explicit FILE args as library code of a
+                     wildcard crate (fixture testing)
+    --list-rules     print rule ids and descriptions, then exit 0
+    --help           print this help
+
+EXIT CODES:
+    0  no findings        1  findings reported        2  usage or config error
+";
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    assume_lib: bool,
+    list_rules: bool,
+    config: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        assume_lib: false,
+        list_rules: false,
+        config: None,
+        files: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--assume-lib" => args.assume_lib = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            "--config" => match it.next() {
+                Some(p) => args.config = Some(PathBuf::from(p)),
+                None => return Err("--config requires a path".to_string()),
+            },
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    if !args.workspace && !args.list_rules && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or file paths".to_string());
+    }
+    Ok(args)
+}
+
+/// Nearest ancestor of the current directory containing `lint.toml`.
+fn find_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    cwd.ancestors()
+        .find(|d| d.join("lint.toml").is_file())
+        .map(Path::to_path_buf)
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    if args.list_rules {
+        for (id, desc) in Linter::rule_descriptions() {
+            println!("{id:<20} {desc}");
+        }
+        return Ok(true);
+    }
+
+    let root = match args.config.as_ref().and_then(|c| c.parent()) {
+        _ if args.workspace || args.config.is_none() => find_root()
+            .ok_or_else(|| "no lint.toml found in the current directory or above".to_string())?,
+        Some(dir) if dir.as_os_str().is_empty() => PathBuf::from("."),
+        Some(dir) => dir.to_path_buf(),
+        None => PathBuf::from("."),
+    };
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let config_src = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let config = LintConfig::parse(&config_src).map_err(|e| e.to_string())?;
+
+    let files = if args.workspace {
+        collect_workspace_files(&root).map_err(|e| format!("workspace scan failed: {e}"))?
+    } else {
+        let mut files = Vec::new();
+        for f in &args.files {
+            if f.is_dir() {
+                collect_rs_files(f, &mut files)
+                    .map_err(|e| format!("cannot scan {}: {e}", f.display()))?;
+            } else {
+                files.push(f.clone());
+            }
+        }
+        files
+    };
+
+    let mut linter = Linter::new(config);
+    let findings = linter
+        .run(&root, &files, args.assume_lib)
+        .map_err(|e| format!("lint failed: {e}"))?;
+
+    if args.json {
+        print!("{}", diag::render_json(&findings));
+    } else {
+        print!("{}", diag::render_human(&findings));
+    }
+    Ok(findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            if message.is_empty() {
+                // --help
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("dievent-lint: {message}");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

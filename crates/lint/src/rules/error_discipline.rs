@@ -1,0 +1,120 @@
+//! `error_discipline`: the public API speaks one error language.
+//!
+//! PR 2 made `DiEventError` the error type of `dievent-core`'s public
+//! surface; this rule keeps it that way. Every unrestricted-`pub`
+//! function in a configured crate whose return type mentions `Result`
+//! must also mention the configured error type (default
+//! `DiEventError`). Qualified std aliases (`fmt::Result`,
+//! `io::Result`) are exempt — they are different, well-known contracts.
+
+use super::Rule;
+use crate::config::LintConfig;
+use crate::context::{FileContext, FileKind};
+use crate::diag::{Finding, Severity};
+
+pub struct ErrorDiscipline;
+
+const DEFAULT_ERROR: &str = "DiEventError";
+const DEFAULT_QUALIFIERS: [&str; 2] = ["fmt", "io"];
+
+impl Rule for ErrorDiscipline {
+    fn id(&self) -> &'static str {
+        "error_discipline"
+    }
+
+    fn describe(&self) -> &'static str {
+        "public Result-returning fns in configured crates must use the project error type"
+    }
+
+    fn check(&mut self, ctx: &FileContext, cfg: &LintConfig, out: &mut Vec<Finding>) {
+        let Some(rule) = cfg.rule(self.id()) else {
+            return;
+        };
+        if ctx.kind != FileKind::Lib || !rule.covers_crate(&ctx.crate_name) {
+            return;
+        }
+        let error_type = rule.string("error_type").unwrap_or(DEFAULT_ERROR);
+        let extra: Vec<&str> = rule
+            .list("allowed_qualifiers")
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
+        let code = &ctx.code;
+        for sig in super::scan_fns(code) {
+            if !sig.is_pub || ctx.is_test_line(sig.line) || ctx.allowed(self.id(), sig.line) {
+                continue;
+            }
+            let Some((start, end)) = sig.ret else {
+                continue;
+            };
+            let result_at = (start..end).find(|&j| code[j].is_ident("Result"));
+            let Some(j) = result_at else { continue };
+            // `fmt::Result` / `io::Result` style aliases are exempt.
+            if j >= 2 && code[j - 1].is_punct("::") {
+                let q = &code[j - 2].text;
+                if DEFAULT_QUALIFIERS.contains(&q.as_str()) || extra.contains(&q.as_str()) {
+                    continue;
+                }
+            }
+            if !super::contains_ident(code, (start, end), error_type) {
+                out.push(Finding {
+                    file: ctx.path.clone(),
+                    line: sig.line,
+                    col: sig.col,
+                    rule: self.id(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "public fn `{}` returns Result without `{error_type}` — \
+                         public APIs must surface the project error type",
+                        sig.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let cfg = LintConfig::parse(
+            "[error_discipline]\ncrates = [\"core\"]\nerror_type = \"DiEventError\"\n",
+        )
+        .expect("config");
+        let ctx = FileContext::new("crates/core/src/api.rs", "core", src);
+        let mut out = Vec::new();
+        ErrorDiscipline.check(&ctx, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn foreign_error_type_fires() {
+        let out = findings("pub fn run(&self) -> Result<A, String> { x() }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("run"));
+    }
+
+    #[test]
+    fn project_error_type_passes() {
+        let out = findings("pub fn run(&self) -> Result<A, DiEventError> { x() }");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fmt_result_and_private_fns_are_exempt() {
+        let out = findings(
+            "pub fn show(&self, f: &mut F) -> fmt::Result { ok() }\n\
+             fn private() -> Result<A, String> { x() }\n\
+             pub(crate) fn internal() -> Result<A, String> { x() }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn non_result_returns_pass() {
+        let out = findings("pub fn len(&self) -> usize { 0 }");
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! `float_eq`: no exact equality on floating-point expressions.
+//!
+//! The Eq. 3–5 ray–sphere code and everything downstream of it runs on
+//! `f64`; an exact `==` there is either a latent bug (accumulated
+//! rounding) or an undocumented invariant. Working from tokens, the
+//! rule cannot type-check — it flags the cases it can prove float-ish:
+//!
+//! * a float *literal* on either side of `==` / `!=` (`x == 0.0`);
+//! * an operand that is a call chain ending in a configured
+//!   float-returning method (`float_methods`, e.g. `a.norm() == b`).
+//!
+//! That deliberately trades recall for precision: every hit is a real
+//! float comparison, and the annotated escape hatch
+//! (`lint:allow(float_eq)`) covers intentional exact comparisons such
+//! as sentinel values.
+
+use super::{match_paren, match_paren_back, Rule};
+use crate::config::LintConfig;
+use crate::context::{FileContext, FileKind};
+use crate::diag::{Finding, Severity};
+use crate::lexer::{Token, TokenKind};
+
+pub struct FloatEq;
+
+impl Rule for FloatEq {
+    fn id(&self) -> &'static str {
+        "float_eq"
+    }
+
+    fn describe(&self) -> &'static str {
+        "forbid ==/!= with float operands (use tolerances or total_cmp)"
+    }
+
+    fn check(&mut self, ctx: &FileContext, cfg: &LintConfig, out: &mut Vec<Finding>) {
+        let Some(rule) = cfg.rule(self.id()) else {
+            return;
+        };
+        if ctx.kind != FileKind::Lib || !rule.covers_crate(&ctx.crate_name) {
+            return;
+        }
+        let float_methods: Vec<&str> = rule
+            .list("float_methods")
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
+        let code = &ctx.code;
+        for (i, t) in code.iter().enumerate() {
+            if !(t.is_punct("==") || t.is_punct("!=")) {
+                continue;
+            }
+            if ctx.is_test_line(t.line) || ctx.allowed(self.id(), t.line) {
+                continue;
+            }
+            let float_left = i > 0
+                && (code[i - 1].kind == TokenKind::Float
+                    || left_is_float_call(code, i - 1, &float_methods));
+            let float_right = code.get(i + 1).is_some_and(|r| r.kind == TokenKind::Float)
+                || right_is_float_call(code, i + 1, &float_methods);
+            if float_left || float_right {
+                out.push(Finding {
+                    file: ctx.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    rule: self.id(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{}` on a float operand: compare with a tolerance (approx_eq / abs < eps) \
+                         or use total_cmp for ordering",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Is the expression ending at `last` a call of a float-returning
+/// method — `….m(…)` with `m` configured?
+fn left_is_float_call(code: &[Token], last: usize, methods: &[&str]) -> bool {
+    if !code[last].is_punct(")") {
+        return false;
+    }
+    let Some(open) = match_paren_back(code, last) else {
+        return false;
+    };
+    open >= 2
+        && code[open - 1].kind == TokenKind::Ident
+        && methods.contains(&code[open - 1].text.as_str())
+        && code[open - 2].is_punct(".")
+}
+
+/// Does the expression starting at `first` reduce to a call chain whose
+/// final method is float-returning — `a.b.norm() == …` read forwards?
+fn right_is_float_call(code: &[Token], first: usize, methods: &[&str]) -> bool {
+    let mut j = first;
+    // Optional leading receiver: identifier path or parenthesized expr.
+    match code.get(j) {
+        Some(t) if t.kind == TokenKind::Ident => j += 1,
+        Some(t) if t.is_punct("(") => match match_paren(code, j) {
+            Some(close) => j = close + 1,
+            None => return false,
+        },
+        _ => return false,
+    }
+    let mut last_call: Option<String> = None;
+    loop {
+        match (code.get(j), code.get(j + 1)) {
+            (Some(d), Some(n))
+                if (d.is_punct(".") || d.is_punct("::")) && n.kind == TokenKind::Ident =>
+            {
+                if code.get(j + 2).is_some_and(|p| p.is_punct("(")) {
+                    let Some(close) = match_paren(code, j + 2) else {
+                        return false;
+                    };
+                    last_call = Some(n.text.clone());
+                    j = close + 1;
+                } else {
+                    // Plain field access — keep walking the chain.
+                    last_call = None;
+                    j += 2;
+                }
+            }
+            _ => break,
+        }
+    }
+    last_call.is_some_and(|m| methods.contains(&m.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let cfg = LintConfig::parse(
+            "[float_eq]\ncrates = [\"geometry\"]\nfloat_methods = [\"norm\", \"dot\", \"distance\"]\n",
+        )
+        .expect("config");
+        let ctx = FileContext::new("crates/geometry/src/sphere.rs", "geometry", src);
+        let mut out = Vec::new();
+        FloatEq.check(&ctx, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn literal_comparisons_fire_both_sides() {
+        let out = findings("fn f(w: f64) -> bool { w == 0.0 || 1.0 != w }");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn float_method_chains_fire() {
+        let out = findings("fn f(a: Vec3, b: Vec3) -> bool { a.norm() == b.norm() }");
+        assert_eq!(out.len(), 1); // one finding per comparison
+        let out = findings("fn f(a: Vec3, d: f64) -> bool { d == a.dot(a) }");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn integer_and_ordering_comparisons_pass() {
+        let out = findings("fn f(n: usize, w: f64) -> bool { n == 0 && w <= 0.0 && w > 1.0 }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn allow_and_tests_are_exempt() {
+        let out = findings(
+            "fn f(w: f64) -> bool {\n    // lint:allow(float_eq): sentinel is bit-exact\n    w == -1.0\n}\n\
+             #[cfg(test)]\nmod tests { fn t(w: f64) { assert!(w == 0.5); } }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,295 @@
+//! The lint registry and the shared token-pattern helpers rules build on.
+//!
+//! A rule sees one [`FileContext`] at a time through [`Rule::check`]
+//! and may carry state across files (e.g. which configured stages have
+//! been seen); [`Rule::finish`] runs once after the last file. Rules
+//! are registered in [`all_rules`] — adding a rule is: write the
+//! module, add it to the vector, give it a `lint.toml` section.
+
+use crate::config::LintConfig;
+use crate::context::FileContext;
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+
+mod error_discipline;
+mod float_eq;
+mod must_use;
+mod no_panic;
+mod telemetry_coverage;
+
+/// One static-analysis rule.
+pub trait Rule {
+    /// Stable id — the `lint.toml` section name and the
+    /// `lint:allow(id)` key.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    /// Examines one file.
+    fn check(&mut self, ctx: &FileContext, cfg: &LintConfig, out: &mut Vec<Finding>);
+    /// Runs after every file has been checked (cross-file conclusions).
+    fn finish(&mut self, _cfg: &LintConfig, _out: &mut Vec<Finding>) {}
+}
+
+/// Every shipped rule, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(no_panic::NoPanic),
+        Box::new(telemetry_coverage::TelemetryCoverage::default()),
+        Box::new(error_discipline::ErrorDiscipline),
+        Box::new(float_eq::FloatEq),
+        Box::new(must_use::MustUse),
+    ]
+}
+
+/// A lexical function signature found by [`scan_fns`].
+pub(crate) struct FnSig {
+    /// Index of the `fn` token.
+    pub fn_idx: usize,
+    /// Function name; macro-body placeholders keep their sigil (`$name`).
+    pub name: String,
+    /// Line/col of the name token (diagnostics anchor).
+    pub line: u32,
+    pub col: u32,
+    /// `pub` without a visibility restriction.
+    pub is_pub: bool,
+    /// Token range of the argument list, exclusive of parens.
+    pub args: (usize, usize),
+    /// Token range of the return type (after `->`, before body/`;`/`where`).
+    pub ret: Option<(usize, usize)>,
+    /// Index of the body `{`, when the fn has one.
+    pub body_open: Option<usize>,
+}
+
+/// Scans a comment-free token stream for function items.
+///
+/// Purely lexical: it finds `fn name … ( … ) [-> …] [{ | ;]` shapes,
+/// which covers ordinary items, impl methods, and `macro_rules!` bodies
+/// (`fn $name(…)`). Function *pointer types* (`fn(usize)`) have no name
+/// and are skipped.
+pub(crate) fn scan_fns(code: &[Token]) -> Vec<FnSig> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let fn_idx = i;
+        // Name: ident, raw ident, or a macro placeholder `$name`.
+        let (name, name_tok, after_name) = match code.get(i + 1) {
+            Some(t) if t.kind == TokenKind::Ident || t.kind == TokenKind::RawIdent => {
+                (t.text.clone(), t, i + 2)
+            }
+            Some(t) if t.is_punct("$") => match code.get(i + 2) {
+                Some(n) if n.kind == TokenKind::Ident => (format!("${}", n.text), n, i + 3),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            },
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let (line, col) = (name_tok.line, name_tok.col);
+        let mut j = after_name;
+        if code.get(j).is_some_and(|t| t.is_punct("<")) {
+            j = skip_generics(code, j);
+        }
+        if !code.get(j).is_some_and(|t| t.is_punct("(")) {
+            i += 1;
+            continue;
+        }
+        let args_open = j;
+        let args_close = match match_paren(code, args_open) {
+            Some(c) => c,
+            None => break,
+        };
+        let mut k = args_close + 1;
+        let ret = if code.get(k).is_some_and(|t| t.is_punct("->")) {
+            let start = k + 1;
+            let mut end = start;
+            while end < code.len()
+                && !(code[end].is_punct("{")
+                    || code[end].is_punct(";")
+                    || code[end].is_ident("where"))
+            {
+                end += 1;
+            }
+            k = end;
+            Some((start, end))
+        } else {
+            None
+        };
+        // Skip a `where` clause to the body / terminator.
+        while k < code.len() && !(code[k].is_punct("{") || code[k].is_punct(";")) {
+            k += 1;
+        }
+        let body_open = code.get(k).filter(|t| t.is_punct("{")).map(|_| k);
+        out.push(FnSig {
+            fn_idx,
+            name,
+            line,
+            col,
+            is_pub: is_unrestricted_pub(code, fn_idx),
+            args: (args_open + 1, args_close),
+            ret,
+            body_open,
+        });
+        i = args_close + 1;
+    }
+    out
+}
+
+/// Does the item whose `fn` sits at `fn_idx` have unrestricted `pub`
+/// visibility? Walks back over modifier keywords; `pub(crate)` and
+/// friends do not count as public API.
+fn is_unrestricted_pub(code: &[Token], fn_idx: usize) -> bool {
+    let mut i = fn_idx;
+    while i > 0 {
+        let p = &code[i - 1];
+        if p.is_ident("const")
+            || p.is_ident("async")
+            || p.is_ident("unsafe")
+            || p.is_ident("extern")
+        {
+            i -= 1;
+        } else if p.kind == TokenKind::Str {
+            // `extern "C"` ABI string.
+            i -= 1;
+        } else if p.is_ident("pub") {
+            return true;
+        } else if p.is_punct(")") {
+            // Possible `pub(crate)` / `pub(in …)` restriction.
+            match match_paren_back(code, i - 1) {
+                Some(open) if open > 0 && code[open - 1].is_ident("pub") => return false,
+                _ => return false,
+            }
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Index of the `)` matching the `(` at `open`.
+pub(crate) fn match_paren(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `(` matching the `)` at `close` (backwards walk).
+pub(crate) fn match_paren_back(code: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in (0..=close).rev() {
+        if code[j].is_punct(")") {
+            depth += 1;
+        } else if code[j].is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub(crate) fn match_brace(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Returns the index just past the `>` closing the `<` at `open`.
+/// Shifted operators (`<<`, `>>`) count double; arrows don't count.
+pub(crate) fn skip_generics(code: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < code.len() {
+        let t = &code[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+        }
+        j += 1;
+        if depth <= 0 {
+            return j;
+        }
+    }
+    j
+}
+
+/// Do any tokens in the range carry this identifier text?
+pub(crate) fn contains_ident(code: &[Token], range: (usize, usize), text: &str) -> bool {
+    code[range.0..range.1].iter().any(|t| t.is_ident(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn scan_finds_plain_and_macro_fns() {
+        let code = lex("pub fn run(&self, r: &R) -> Result<A, E> { body() }\nfn helper() {}\npub fn $name(mut self, v: $ty) -> Self { self }");
+        let sigs = scan_fns(&code);
+        assert_eq!(sigs.len(), 3);
+        assert_eq!(sigs[0].name, "run");
+        assert!(sigs[0].is_pub);
+        assert!(sigs[0].ret.is_some());
+        assert_eq!(sigs[1].name, "helper");
+        assert!(!sigs[1].is_pub);
+        assert_eq!(sigs[2].name, "$name");
+        assert!(sigs[2].is_pub);
+    }
+
+    #[test]
+    fn restricted_pub_is_not_public() {
+        let code = lex("pub(crate) fn internal() -> Result<(), E> {}");
+        let sigs = scan_fns(&code);
+        assert!(!sigs[0].is_pub);
+    }
+
+    #[test]
+    fn generics_are_skipped() {
+        let code = lex("pub fn gen<T: Into<Vec<u8>>>(x: T) -> Result<T, E> { x }");
+        let sigs = scan_fns(&code);
+        assert_eq!(sigs[0].name, "gen");
+        let ret = sigs[0].ret.expect("has return type");
+        assert!(contains_ident(&code, ret, "Result"));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_skipped() {
+        let code = lex("fn takes(f: fn(usize) -> usize) -> usize { f(1) }");
+        let sigs = scan_fns(&code);
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].name, "takes");
+    }
+}

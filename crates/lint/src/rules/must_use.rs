@@ -1,0 +1,232 @@
+//! `must_use`: builder chains and fallible public APIs can't be
+//! silently dropped.
+//!
+//! Two shapes must carry a `#[must_use]` attribute in configured
+//! crates:
+//!
+//! * **builder methods** — `pub fn …(self, …) -> Self` (by-value
+//!   receiver) and public fns returning a configured builder type
+//!   (`builder_types`). Dropping the return value discards the whole
+//!   configured-so-far builder;
+//! * **public `Result` APIs** — belt over the language's own braces:
+//!   the attribute survives `Result`-alias refactors and documents
+//!   intent at the definition. Use the message form
+//!   (`#[must_use = "…"]`) so clippy's `double_must_use` stays quiet.
+//!
+//! The scan understands `macro_rules!` bodies (`pub fn $name(…)`), so
+//! generated builder setters are covered too.
+
+use super::{match_paren_back, Rule};
+use crate::config::LintConfig;
+use crate::context::{FileContext, FileKind};
+use crate::diag::{Finding, Severity};
+use crate::lexer::{Token, TokenKind};
+
+pub struct MustUse;
+
+impl Rule for MustUse {
+    fn id(&self) -> &'static str {
+        "must_use"
+    }
+
+    fn describe(&self) -> &'static str {
+        "builder methods returning Self and public Result APIs must carry #[must_use]"
+    }
+
+    fn check(&mut self, ctx: &FileContext, cfg: &LintConfig, out: &mut Vec<Finding>) {
+        let Some(rule) = cfg.rule(self.id()) else {
+            return;
+        };
+        if ctx.kind != FileKind::Lib || !rule.covers_crate(&ctx.crate_name) {
+            return;
+        }
+        let builder_types: Vec<&str> = rule
+            .list("builder_types")
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
+        let code = &ctx.code;
+        for sig in super::scan_fns(code) {
+            if ctx.is_test_line(sig.line) || ctx.allowed(self.id(), sig.line) {
+                continue;
+            }
+            let Some(ret) = sig.ret else { continue };
+            let ret_toks = &code[ret.0..ret.1];
+            let returns_self_only = ret_toks.len() == 1 && ret_toks[0].is_ident("Self");
+            let chains_builder =
+                sig.is_pub && returns_self_only && takes_self_by_value(code, sig.args);
+            let returns_builder = sig.is_pub
+                && ret_toks
+                    .iter()
+                    .any(|t| builder_types.contains(&t.text.as_str()));
+            let returns_result = sig.is_pub
+                && ret_toks.iter().enumerate().any(|(k, t)| {
+                    // `fmt::Result`-style aliases are their own contract.
+                    t.is_ident("Result") && !(k > 0 && ret_toks[k - 1].is_punct("::"))
+                });
+            let reason = if chains_builder {
+                "builder method returning Self"
+            } else if returns_builder {
+                "fn returning a builder"
+            } else if returns_result {
+                "public fallible API"
+            } else {
+                continue;
+            };
+            if !has_must_use_attr(code, sig.fn_idx) {
+                out.push(Finding {
+                    file: ctx.path.clone(),
+                    line: sig.line,
+                    col: sig.col,
+                    rule: self.id(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "{reason} `{}` lacks #[must_use] — add \
+                         `#[must_use = \"…\"]` with a one-line consequence",
+                        sig.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Does the argument list start with a by-value `self` receiver
+/// (`self`, `mut self` — not `&self` / `&mut self`)?
+fn takes_self_by_value(code: &[Token], args: (usize, usize)) -> bool {
+    let toks = &code[args.0..args.1];
+    match toks.first() {
+        Some(t) if t.is_ident("self") => true,
+        Some(t) if t.is_ident("mut") => toks.get(1).is_some_and(|n| n.is_ident("self")),
+        _ => false,
+    }
+}
+
+/// Walks backwards over the attributes stacked on the item whose `fn`
+/// keyword sits at `fn_idx`, looking for `#[must_use…]`. Steps over
+/// visibility/modifier keywords and `macro_rules!` repetition tails
+/// (`$( … )*`) so generated items are handled.
+fn has_must_use_attr(code: &[Token], fn_idx: usize) -> bool {
+    let mut i = fn_idx;
+    loop {
+        if i == 0 {
+            return false;
+        }
+        let p = &code[i - 1];
+        if p.kind == TokenKind::Ident
+            && matches!(
+                p.text.as_str(),
+                "pub" | "const" | "async" | "unsafe" | "extern"
+            )
+        {
+            i -= 1;
+        } else if p.kind == TokenKind::Str {
+            i -= 1; // extern "C"
+        } else if p.is_punct("]") {
+            // An attribute — scan its body.
+            let mut depth = 0usize;
+            let mut open = None;
+            for j in (0..i).rev() {
+                if code[j].is_punct("]") {
+                    depth += 1;
+                } else if code[j].is_punct("[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(j);
+                        break;
+                    }
+                }
+            }
+            let Some(open) = open else { return false };
+            if !(open > 0 && code[open - 1].is_punct("#")) {
+                return false;
+            }
+            if code[open + 1..i - 1].iter().any(|t| t.is_ident("must_use")) {
+                return true;
+            }
+            i = open - 1;
+        } else if p.is_punct("*") || p.is_punct("+") {
+            // `$( … )*` repetition tail: step to before the `$(`.
+            if i >= 2 && code[i - 2].is_punct(")") {
+                match match_paren_back(code, i - 2) {
+                    Some(g) if g > 0 && code[g - 1].is_punct("$") => i = g - 1,
+                    _ => return false,
+                }
+            } else {
+                return false;
+            }
+        } else if p.is_punct(")") {
+            // `pub(crate)` restriction — step over it.
+            match match_paren_back(code, i - 1) {
+                Some(g) => i = g,
+                None => return false,
+            }
+        } else {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let cfg = LintConfig::parse(
+            "[must_use]\ncrates = [\"core\"]\nbuilder_types = [\"PipelineConfigBuilder\"]\n",
+        )
+        .expect("config");
+        let ctx = FileContext::new("crates/core/src/pipeline.rs", "core", src);
+        let mut out = Vec::new();
+        MustUse.check(&ctx, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn unannotated_builder_method_fires() {
+        let out = findings("impl B { pub fn cap(mut self, n: usize) -> Self { self } }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("builder method"));
+    }
+
+    #[test]
+    fn annotated_builder_method_passes() {
+        let out = findings(
+            "impl B { #[must_use = \"returns the builder\"] pub fn cap(mut self, n: usize) -> Self { self } }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn public_result_api_fires_and_annotation_passes() {
+        let fired = findings("pub fn run(&self) -> Result<A, E> { x() }");
+        assert_eq!(fired.len(), 1);
+        let ok = findings(
+            "#[must_use = \"handle the error\"] pub fn run(&self) -> Result<A, E> { x() }",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn macro_body_setters_are_covered() {
+        let src = "macro_rules! setters { ($($(#[$doc:meta])* $name:ident: $ty:ty),*) => { $( $(#[$doc])* pub fn $name(mut self, v: $ty) -> Self { self } )* }; }";
+        let fired = findings(src);
+        assert_eq!(fired.len(), 1, "{fired:?}");
+        let fixed = src.replace("pub fn $name", "#[must_use = \"x\"] pub fn $name");
+        assert!(findings(&fixed).is_empty());
+    }
+
+    #[test]
+    fn ref_self_and_private_fns_pass() {
+        let out = findings(
+            "impl B { pub fn view(&self) -> Self { self.clone() } fn go(self) -> Self { self } }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn builder_type_return_fires() {
+        let out = findings("pub fn builder() -> PipelineConfigBuilder { b() }");
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! `no_panic`: forbid panicking constructs in non-test library code.
+//!
+//! Flags `.unwrap()` / `.expect(…)` calls (also path form
+//! `Option::unwrap(x)`) and `panic!` / `todo!` / `unimplemented!`
+//! invocations. Asserts are allowed: they state invariants rather than
+//! convert recoverable conditions into aborts. Provably-unreachable
+//! sites opt out with `// lint:allow(no_panic): <invariant>`.
+
+use super::Rule;
+use crate::config::LintConfig;
+use crate::context::{FileContext, FileKind};
+use crate::diag::{Finding, Severity};
+use crate::lexer::TokenKind;
+
+pub struct NoPanic;
+
+const METHODS: &[&str] = &["unwrap", "expect"];
+const MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+impl Rule for NoPanic {
+    fn id(&self) -> &'static str {
+        "no_panic"
+    }
+
+    fn describe(&self) -> &'static str {
+        "forbid unwrap/expect/panic!/todo!/unimplemented! in non-test library code"
+    }
+
+    fn check(&mut self, ctx: &FileContext, cfg: &LintConfig, out: &mut Vec<Finding>) {
+        let Some(rule) = cfg.rule(self.id()) else {
+            return;
+        };
+        if ctx.kind != FileKind::Lib || !rule.covers_crate(&ctx.crate_name) {
+            return;
+        }
+        let code = &ctx.code;
+        for (i, t) in code.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let construct = if METHODS.contains(&t.text.as_str()) {
+                let called = i > 0
+                    && (code[i - 1].is_punct(".") || code[i - 1].is_punct("::"))
+                    && code.get(i + 1).is_some_and(|n| n.is_punct("("));
+                called.then(|| format!("`.{}()`", t.text))
+            } else if MACROS.contains(&t.text.as_str()) {
+                code.get(i + 1)
+                    .is_some_and(|n| n.is_punct("!"))
+                    .then(|| format!("`{}!`", t.text))
+            } else {
+                None
+            };
+            let Some(construct) = construct else { continue };
+            if ctx.is_test_line(t.line) || ctx.allowed(self.id(), t.line) {
+                continue;
+            }
+            out.push(Finding {
+                file: ctx.path.clone(),
+                line: t.line,
+                col: t.col,
+                rule: self.id(),
+                severity: Severity::Error,
+                message: format!(
+                    "{construct} in library code: plumb a Result or restructure; \
+                     if provably unreachable, annotate `// lint:allow(no_panic): <invariant>`"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let cfg = LintConfig::parse("[no_panic]\ncrates = [\"x\"]\n").expect("config");
+        let ctx = FileContext::new("crates/x/src/lib.rs", "x", src);
+        let mut out = Vec::new();
+        NoPanic.check(&ctx, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let out = findings("fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); todo!(); }");
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].rule, "no_panic");
+    }
+
+    #[test]
+    fn ignores_tests_strings_comments_and_lookalikes() {
+        let out = findings(
+            "fn f() { a.unwrap_or(0); let s = \"x.unwrap()\"; /* panic!() */ }\n\
+             #[cfg(test)]\nmod tests { fn t() { z.unwrap(); } }",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let out = findings(
+            "fn f() {\n    // lint:allow(no_panic): index checked above\n    a.unwrap();\n    b.unwrap();\n}",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn path_form_unwrap_is_flagged() {
+        let out = findings("fn f(o: Option<u8>) -> u8 { Option::unwrap(o) }");
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! `telemetry_coverage`: pipeline stages must stay instrumented.
+//!
+//! PR 1 instrumented every stage with spans; nothing stopped a later
+//! refactor from dropping one. `lint.toml` names the stage functions
+//! (`stages = ["session.rs::camera_worker", …]`); each must contain a
+//! call to one of the span-opening APIs (`span_apis`, default
+//! `span`/`span_under`). A stage whose file or function no longer
+//! exists is itself a finding — renames must update the config, so the
+//! guard can't silently rot.
+
+use super::{match_brace, Rule};
+use crate::config::LintConfig;
+use crate::context::FileContext;
+use crate::diag::{Finding, Severity};
+use std::collections::HashSet;
+
+#[derive(Default)]
+pub struct TelemetryCoverage {
+    /// Stage specs whose file has been visited.
+    seen: HashSet<String>,
+}
+
+const DEFAULT_APIS: [&str; 2] = ["span", "span_under"];
+
+impl Rule for TelemetryCoverage {
+    fn id(&self) -> &'static str {
+        "telemetry_coverage"
+    }
+
+    fn describe(&self) -> &'static str {
+        "stage functions named in lint.toml must open a telemetry span"
+    }
+
+    fn check(&mut self, ctx: &FileContext, cfg: &LintConfig, out: &mut Vec<Finding>) {
+        let Some(rule) = cfg.rule(self.id()) else {
+            return;
+        };
+        let apis: Vec<&str> = if rule.list("span_apis").is_empty() {
+            DEFAULT_APIS.to_vec()
+        } else {
+            rule.list("span_apis").iter().map(|s| s.as_str()).collect()
+        };
+        let sigs = super::scan_fns(&ctx.code);
+        for spec in rule.list("stages") {
+            let Some((file, fn_name)) = spec.rsplit_once("::") else {
+                continue;
+            };
+            if !ctx.path.ends_with(file) {
+                continue;
+            }
+            self.seen.insert(spec.clone());
+            let mut found = false;
+            for sig in sigs.iter().filter(|s| s.name == fn_name) {
+                found = true;
+                let instrumented = sig.body_open.is_some_and(|open| {
+                    let close = match_brace(&ctx.code, open).unwrap_or(ctx.code.len());
+                    ctx.code[open..close].iter().enumerate().any(|(k, t)| {
+                        apis.iter().any(|api| t.is_ident(api))
+                            && k > 0
+                            && ctx.code[open + k - 1].is_punct(".")
+                    })
+                });
+                if !instrumented && !ctx.allowed(self.id(), sig.line) {
+                    out.push(Finding {
+                        file: ctx.path.clone(),
+                        line: sig.line,
+                        col: sig.col,
+                        rule: self.id(),
+                        severity: Severity::Error,
+                        message: format!(
+                            "stage function `{fn_name}` opens no telemetry span \
+                             (expected a call to one of: {})",
+                            apis.join(", ")
+                        ),
+                    });
+                }
+            }
+            if !found {
+                out.push(Finding {
+                    file: ctx.path.clone(),
+                    line: 1,
+                    col: 1,
+                    rule: self.id(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "stage `{spec}` configured in lint.toml has no function \
+                         `{fn_name}` in this file — update lint.toml after renames"
+                    ),
+                });
+            }
+        }
+    }
+
+    fn finish(&mut self, cfg: &LintConfig, out: &mut Vec<Finding>) {
+        let Some(rule) = cfg.rule(self.id()) else {
+            return;
+        };
+        for spec in rule.list("stages") {
+            if !self.seen.contains(spec) {
+                out.push(Finding {
+                    file: "lint.toml".to_string(),
+                    line: 1,
+                    col: 1,
+                    rule: self.id(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "stage `{spec}` configured in lint.toml matched no scanned file \
+                         — the stage moved or the path suffix is wrong"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: &str = "[telemetry_coverage]\ncrates = [\"*\"]\nstages = [\"worker.rs::run_stage\"]\nspan_apis = [\"span\", \"span_under\"]\n";
+
+    fn check_src(src: &str) -> Vec<Finding> {
+        let cfg = LintConfig::parse(CFG).expect("config");
+        let ctx = FileContext::new("crates/x/src/worker.rs", "x", src);
+        let mut rule = TelemetryCoverage::default();
+        let mut out = Vec::new();
+        rule.check(&ctx, &cfg, &mut out);
+        rule.finish(&cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn instrumented_stage_passes() {
+        let out = check_src(
+            "fn run_stage(t: &Telemetry) {\n    let _s = t.span(\"stage.x\");\n    work();\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn uninstrumented_stage_fires() {
+        let out = check_src("fn run_stage(t: &Telemetry) {\n    work();\n}");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("opens no telemetry span"));
+    }
+
+    #[test]
+    fn missing_stage_fn_fires() {
+        let out = check_src("fn renamed_stage(t: &Telemetry) { let _s = t.span(\"x\"); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("no function"));
+    }
+
+    #[test]
+    fn unmatched_file_reports_at_finish() {
+        let cfg = LintConfig::parse(CFG).expect("config");
+        let ctx = FileContext::new("crates/x/src/other.rs", "x", "fn f() {}");
+        let mut rule = TelemetryCoverage::default();
+        let mut out = Vec::new();
+        rule.check(&ctx, &cfg, &mut out);
+        rule.finish(&cfg, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("matched no scanned file"));
+    }
+}

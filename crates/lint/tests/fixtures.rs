@@ -1,0 +1,163 @@
+//! Fixture tests: each rule has one passing and one firing fixture
+//! under `tests/fixtures/<rule>/`, exercised through both the library
+//! API and the CLI binary (exit codes, human and JSON output).
+
+use dievent_lint::config::LintConfig;
+use dievent_lint::Linter;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const RULES: [&str; 5] = [
+    "no_panic",
+    "telemetry_coverage",
+    "error_discipline",
+    "float_eq",
+    "must_use",
+];
+
+fn fixture_dir(rule: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+}
+
+/// Per-case config: `lint_<case>.toml` when present (telemetry's stage
+/// specs name the scanned file, so its cases need distinct configs),
+/// plain `lint.toml` otherwise.
+fn config_path(rule: &str, case: &str) -> PathBuf {
+    let dir = fixture_dir(rule);
+    let per_case = dir.join(format!("lint_{case}.toml"));
+    if per_case.is_file() {
+        per_case
+    } else {
+        dir.join("lint.toml")
+    }
+}
+
+fn lint_cli(rule: &str, case: &str, json: bool) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dievent-lint"));
+    cmd.arg("--assume-lib")
+        .arg("--config")
+        .arg(config_path(rule, case))
+        .arg(fixture_dir(rule).join(format!("{case}.rs")));
+    if json {
+        cmd.arg("--json");
+    }
+    cmd.output().expect("spawn dievent-lint")
+}
+
+#[test]
+fn passing_fixtures_exit_zero() {
+    for rule in RULES {
+        let out = lint_cli(rule, "ok", false);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{rule}/ok.rs should be clean:\n{stdout}"
+        );
+        assert!(stdout.contains("0 errors"), "{rule}: {stdout}");
+    }
+}
+
+#[test]
+fn firing_fixtures_exit_one_and_name_their_rule() {
+    for rule in RULES {
+        let out = lint_cli(rule, "fire", false);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{rule}/fire.rs should fire:\n{stdout}"
+        );
+        assert!(
+            stdout.contains(&format!("[{rule}]")),
+            "{rule} findings missing from:\n{stdout}"
+        );
+        // Findings carry file:line:col positions.
+        assert!(stdout.contains("fire.rs:"), "{rule}: {stdout}");
+    }
+}
+
+#[test]
+fn firing_fixtures_through_the_library_api() {
+    for rule in RULES {
+        let dir = fixture_dir(rule);
+        let config_src =
+            std::fs::read_to_string(config_path(rule, "fire")).expect("fixture config");
+        let config = LintConfig::parse(&config_src).expect("valid fixture config");
+        let mut linter = Linter::new(config);
+        let findings = linter
+            .run(&dir, &[dir.join("fire.rs")], true)
+            .expect("lint fire.rs");
+        assert!(!findings.is_empty(), "{rule} produced no findings");
+        assert!(
+            findings.iter().all(|f| f.rule == rule),
+            "{rule} config should only enable {rule}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn expected_finding_counts() {
+    let count = |rule: &str| {
+        let dir = fixture_dir(rule);
+        let config_src =
+            std::fs::read_to_string(config_path(rule, "fire")).expect("fixture config");
+        let config = LintConfig::parse(&config_src).expect("valid fixture config");
+        Linter::new(config)
+            .run(&dir, &[dir.join("fire.rs")], true)
+            .expect("lint fire.rs")
+            .len()
+    };
+    assert_eq!(count("no_panic"), 3); // unwrap, expect, panic!
+    assert_eq!(count("telemetry_coverage"), 1); // one uninstrumented stage
+    assert_eq!(count("error_discipline"), 1); // one foreign-error API
+    assert_eq!(count("float_eq"), 2); // literal ==, method-chain !=
+    assert_eq!(count("must_use"), 3); // builder fn, setter, Result API
+}
+
+#[test]
+fn json_output_is_parseable_and_complete() {
+    let out = lint_cli("no_panic", "fire", true);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["count"], serde_json::json!(3));
+    let findings = v["findings"].as_array().expect("findings array");
+    assert_eq!(findings.len(), 3);
+    for f in findings {
+        assert_eq!(f["rule"], serde_json::json!("no_panic"));
+        assert_eq!(f["severity"], serde_json::json!("error"));
+        assert!(f["file"].as_str().is_some_and(|s| s.ends_with("fire.rs")));
+        assert!(f["line"].as_u64().is_some_and(|n| n > 0));
+        assert!(f["col"].as_u64().is_some_and(|n| n > 0));
+        assert!(f["message"].as_str().is_some_and(|s| !s.is_empty()));
+    }
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dievent-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("spawn dievent-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in RULES {
+        assert!(stdout.contains(rule), "--list-rules missing {rule}");
+    }
+}
+
+#[test]
+fn bad_config_exits_two() {
+    let dir = fixture_dir("no_panic");
+    let out = Command::new(env!("CARGO_BIN_EXE_dievent-lint"))
+        .arg("--assume-lib")
+        .arg("--config")
+        .arg(dir.join("ok.rs")) // a .rs file is not a valid lint.toml
+        .arg(dir.join("ok.rs"))
+        .output()
+        .expect("spawn dievent-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,5 @@
+//! Firing fixture: a public Result API with a foreign error type.
+
+pub fn load(path: &str) -> Result<Config, String> {
+    parse(path)
+}

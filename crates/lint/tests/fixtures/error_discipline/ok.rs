@@ -1,0 +1,18 @@
+//! Passing fixture: public fallible APIs speak the project error type;
+//! std aliases and non-public fns are exempt.
+
+pub fn load(path: &str) -> Result<Config, DiEventError> {
+    parse(path)
+}
+
+pub fn show(f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    Ok(())
+}
+
+fn internal() -> Result<u32, String> {
+    Ok(1)
+}
+
+pub(crate) fn helper() -> Result<u32, String> {
+    Ok(2)
+}

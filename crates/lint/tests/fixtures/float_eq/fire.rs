@@ -1,0 +1,10 @@
+//! Firing fixture: exact equality on float literals and float-returning
+//! method chains.
+
+pub fn is_zero(w: f64) -> bool {
+    w == 0.0
+}
+
+pub fn norms_match(a: &Vec3, b: &Vec3) -> bool {
+    a.norm() != b.norm()
+}

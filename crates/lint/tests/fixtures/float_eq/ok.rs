@@ -1,0 +1,15 @@
+//! Passing fixture: tolerance comparisons, integer equality, and the
+//! annotated escape hatch.
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn empty(n: usize) -> bool {
+    n == 0
+}
+
+pub fn is_sentinel(w: f64) -> bool {
+    // lint:allow(float_eq): the sentinel is assigned, never computed
+    w == -1.0
+}

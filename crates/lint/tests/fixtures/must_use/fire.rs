@@ -1,0 +1,21 @@
+//! Firing fixture: unannotated builder setter, builder-returning fn,
+//! and public Result API.
+
+pub struct Builder {
+    cap: usize,
+}
+
+pub fn builder() -> Builder {
+    Builder { cap: 0 }
+}
+
+impl Builder {
+    pub fn cap(mut self, cap: usize) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    pub fn build(self) -> Result<Thing, Error> {
+        Ok(Thing)
+    }
+}

@@ -1,0 +1,23 @@
+//! Passing fixture: annotated builder chain and fallible API;
+//! by-reference methods need no annotation.
+
+pub struct Builder {
+    cap: usize,
+}
+
+impl Builder {
+    #[must_use = "the setter consumes and returns the builder"]
+    pub fn cap(mut self, cap: usize) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    #[must_use = "dropping the result discards the config or its error"]
+    pub fn build(self) -> Result<Thing, Error> {
+        Ok(Thing)
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}

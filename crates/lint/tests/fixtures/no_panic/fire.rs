@@ -1,0 +1,13 @@
+//! Firing fixture: three panic paths in library code.
+
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn boom() -> u32 {
+    panic!("unconditional")
+}

@@ -1,0 +1,19 @@
+//! Passing fixture: panic-free library code, including the annotated
+//! escape hatch and test-region exemption.
+
+pub fn first_or_default(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or(0)
+}
+
+pub fn colon_position(msg: &str) -> usize {
+    // lint:allow(no_panic): fixture invariant — callers pass "k: v" strings
+    msg.find(':').expect("fixture invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

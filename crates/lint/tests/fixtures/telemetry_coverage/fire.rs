@@ -1,0 +1,5 @@
+//! Firing fixture: the configured stage never opens a span.
+
+pub fn run_stage(_telemetry: &Telemetry) -> u32 {
+    42
+}

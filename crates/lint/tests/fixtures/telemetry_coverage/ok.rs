@@ -1,0 +1,6 @@
+//! Passing fixture: the configured stage opens a telemetry span.
+
+pub fn run_stage(telemetry: &Telemetry) -> u32 {
+    let _guard = telemetry.span("stage.run");
+    42
+}

@@ -1,0 +1,50 @@
+//! Self-lint gate: the workspace at HEAD must be clean under its own
+//! linter — the same invariant CI enforces.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = repo_root();
+    assert!(
+        root.join("lint.toml").is_file(),
+        "repo root must carry lint.toml"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_dievent-lint"))
+        .arg("--workspace")
+        .current_dir(&root)
+        .output()
+        .expect("spawn dievent-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "dievent-lint --workspace found violations:\n{stdout}{stderr}"
+    );
+    assert!(stdout.contains("0 errors, 0 warnings"), "{stdout}");
+}
+
+#[test]
+fn workspace_json_smoke() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dievent-lint"))
+        .arg("--workspace")
+        .arg("--json")
+        .current_dir(repo_root())
+        .output()
+        .expect("spawn dievent-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["count"], serde_json::json!(0));
+    assert_eq!(v["findings"].as_array().map(Vec::len), Some(0));
+}

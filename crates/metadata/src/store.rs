@@ -101,8 +101,7 @@ impl Inner {
 
     fn sorted_spans(&mut self) -> &[(f64, f64, RecordId)] {
         if self.spans_dirty {
-            self.spans
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite spans"));
+            self.spans.sort_by(|a, b| a.0.total_cmp(&b.0));
             self.spans_dirty = false;
         }
         &self.spans

@@ -126,7 +126,7 @@ impl Canvas {
                     xs.push(x1 + (fy - y1) / (y2 - y1) * (x2 - x1));
                 }
             }
-            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            xs.sort_by(f64::total_cmp);
             for pair in xs.chunks_exact(2) {
                 let x0 = pair[0].ceil().max(0.0) as i64;
                 let x1 = pair[1].floor().min(self.width as f64 - 1.0) as i64;

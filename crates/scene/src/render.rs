@@ -83,7 +83,7 @@ impl Renderer {
         order.sort_by(|&a, &b| {
             let da = snap.states[a].head.distance_sq(camera.position());
             let db = snap.states[b].head.distance_sq(camera.position());
-            db.partial_cmp(&da).expect("finite distances")
+            db.total_cmp(&da)
         });
 
         for &i in &order {

@@ -36,6 +36,10 @@ impl CameraRig {
     /// The aim point is chosen so the optical axis pitches down by 15°:
     /// the cameras look at a point `separation/2` away and
     /// `tan(15°)·separation/2` below their own height.
+    ///
+    /// # Panics
+    /// Panics when `separation` is zero or non-finite (the eye and aim
+    /// point coincide and no view direction exists).
     pub fn paper_two_camera(
         separation: f64,
         height: f64,
@@ -48,12 +52,14 @@ impl CameraRig {
             Vec3::new(0.0, 0.0, height),
             Vec3::new(separation / 2.0, 0.0, target_z),
         )
+        // lint:allow(no_panic): eye≠aim whenever separation≠0 — documented `# Panics` precondition
         .expect("valid two-camera geometry");
         let c2 = PinholeCamera::look_at(
             intrinsics,
             Vec3::new(separation, 0.0, height),
             Vec3::new(separation / 2.0, 0.0, target_z),
         )
+        // lint:allow(no_panic): same invariant as c1 — separation≠0 keeps eye and aim distinct
         .expect("valid two-camera geometry");
         CameraRig {
             cameras: vec![c1, c2],
@@ -66,6 +72,11 @@ impl CameraRig {
     /// The §III prototype rig: four cameras on the corners of a
     /// `room_x × room_y` room at `height` (paper: 2.5 m), all aimed at
     /// `aim` (typically just above the table centre).
+    ///
+    /// # Panics
+    /// Panics when `aim` coincides with a corner camera position (no
+    /// view direction exists); corners sit at the room ceiling inset by
+    /// 0.35 m, so any table-height aim point is valid.
     pub fn four_corner_prototype(
         room_x: f64,
         room_y: f64,
@@ -83,6 +94,7 @@ impl CameraRig {
         let cameras = corners
             .iter()
             .map(|&eye| {
+                // lint:allow(no_panic): aim≠corner — documented `# Panics` precondition
                 PinholeCamera::look_at(intrinsics, eye, aim).expect("valid corner geometry")
             })
             .collect();

@@ -99,12 +99,7 @@ pub fn select_summary(
 
     // Greedy by mean importance (density), stable tie-break on earlier
     // position for determinism.
-    candidates.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("finite scores")
-            .then(a.start.cmp(&b.start))
-    });
+    candidates.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.start.cmp(&b.start)));
 
     let mut selected = Vec::new();
     let mut used = 0usize;

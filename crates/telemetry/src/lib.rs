@@ -260,8 +260,10 @@ impl Telemetry {
 
     fn render_with<S: Sink + AsBytes>(&self, mut sink: S) -> String {
         let snapshot = self.snapshot();
-        sink.export(&snapshot).expect("in-memory sink");
-        String::from_utf8(sink.into_bytes()).expect("sinks emit UTF-8")
+        // Vec<u8>-backed sinks cannot fail; an error would only truncate
+        // the rendered output, never corrupt registry state.
+        let _ = sink.export(&snapshot);
+        String::from_utf8_lossy(&sink.into_bytes()).into_owned()
     }
 }
 

@@ -253,8 +253,8 @@ pub fn locate_landmarks(
         .max_by_key(|c| c.area)
         .map(|c| Vec2::new(c.cx, c.cy));
 
-    let (lpx, lpy) = le.pupil.expect("filtered on pupil presence");
-    let (rpx, rpy) = re.pupil.expect("filtered on pupil presence");
+    let (lpx, lpy) = le.pupil?;
+    let (rpx, rpy) = re.pupil?;
 
     Some(FaceLandmarks {
         left_eye: Vec2::new(le.cx, le.cy),

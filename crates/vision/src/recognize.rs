@@ -148,7 +148,7 @@ impl FaceGallery {
             .entries
             .iter()
             .map(|(p, e)| (*p, e.distance(&probe)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"))?;
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
         (distance <= self.config.max_distance).then_some(Recognition { person, distance })
     }
 }
