@@ -43,7 +43,7 @@ pub use dominance::{dominance_ranking, DominanceReport};
 pub use ec_stats::{ec_episodes, pair_statistics, EcEpisode, PairStats};
 pub use fusion::{fuse_frame, FusionConfig};
 pub use layers::{MultilayerRecord, TimeInvariantContext, TimeVariantLayers};
-pub use lookat::{GazeCriterion, LookAtConfig, LookAtMatrix, LookAtSummary};
+pub use lookat::{GazeCriterion, LookAtConfig, LookAtMatrix, LookAtScratch, LookAtSummary};
 pub use observation::{CameraObservation, FrameObservations, ParticipantPose};
 pub use overall_emotion::{EmotionEstimate, OverallEmotion, OverallEmotionConfig};
 pub use smoothing::smooth_matrices;

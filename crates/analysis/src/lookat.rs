@@ -113,7 +113,28 @@ impl LookAtMatrix {
     /// contributes an all-zero row; a missing person also cannot be
     /// looked at (their head position is unknown).
     pub fn from_poses(n: usize, poses: &[ParticipantPose], config: &LookAtConfig) -> Self {
+        Self::from_poses_with(n, poses, config, &mut LookAtScratch::new())
+    }
+
+    /// [`from_poses`](Self::from_poses) with a reusable scratch: the
+    /// filtered target list is built once per frame (instead of once
+    /// per gazer) in a buffer that survives across frames. Bit-identical
+    /// to the allocating entry point.
+    pub fn from_poses_with(
+        n: usize,
+        poses: &[ParticipantPose],
+        config: &LookAtConfig,
+        scratch: &mut LookAtScratch,
+    ) -> Self {
         let mut m = LookAtMatrix::zero(n);
+        scratch.targets.clear();
+        scratch.targets.extend(
+            poses
+                .iter()
+                .filter(|p| p.person < n)
+                .map(|p| (p.person, p.head)),
+        );
+        let r2 = config.attention_radius * config.attention_radius;
         for gazer in poses.iter().filter(|p| p.person < n) {
             let Some(ray) = gazer.gaze_ray() else {
                 continue;
@@ -121,27 +142,40 @@ impl LookAtMatrix {
             // `best` ranks hits: ray distance for SphereHit (nearest
             // head wins), angular deviation for Cone (best-aimed wins).
             let mut best: Option<(usize, f64)> = None;
-            for target in poses.iter().filter(|p| p.person < n) {
-                if target.person == gazer.person {
+            for &(person, head) in &scratch.targets {
+                if person == gazer.person {
                     continue;
                 }
                 let score = match config.criterion {
                     GazeCriterion::SphereHit => {
-                        let sphere = Sphere::new(target.head, config.attention_radius);
+                        // Early reject on the squared distance before the
+                        // full discriminant: with `delta = origin − head`
+                        // and `b = dir·delta`, a hit needs
+                        // `w = b² − |dir|²(|delta|² − r²) > 0` and
+                        // `d_far = (−b + √w)/|dir|² > 0`. When
+                        // `|delta|² ≥ r²`, `w ≤ b²`, so `b ≥ 0` forces
+                        // `√w ≤ b` and `d_far ≤ 0` — provably no hit,
+                        // skipping the sphere test entirely for the
+                        // common "looking away" case.
+                        let delta = ray.origin - head;
+                        if ray.dir.dot(delta) >= 0.0 && delta.norm_sq() >= r2 {
+                            continue;
+                        }
+                        let sphere = Sphere::new(head, config.attention_radius);
                         sphere.intersect_ray(&ray).map(|hit| hit.d_near.max(0.0))
                     }
                     GazeCriterion::Cone { half_angle } => {
-                        let dev = ray.angular_deviation_to(target.head);
+                        let dev = ray.angular_deviation_to(head);
                         (dev <= half_angle).then_some(dev)
                     }
                 };
                 let Some(score) = score else { continue };
                 if config.nearest_hit_only {
                     if best.is_none_or(|(_, b)| score < b) {
-                        best = Some((target.person, score));
+                        best = Some((person, score));
                     }
                 } else {
-                    m.set(gazer.person, target.person, 1);
+                    m.set(gazer.person, person, 1);
                 }
             }
             if config.nearest_hit_only {
@@ -170,6 +204,21 @@ impl LookAtMatrix {
     /// Number of 1-cells (total directed looks this frame).
     pub fn count_ones(&self) -> usize {
         self.cells.iter().filter(|&&c| c == 1).count()
+    }
+}
+
+/// Reusable per-frame buffers for [`LookAtMatrix::from_poses_with`].
+/// One per worker/chunk; the target list is rebuilt each frame but its
+/// allocation is kept.
+#[derive(Debug, Default, Clone)]
+pub struct LookAtScratch {
+    targets: Vec<(usize, dievent_geometry::Vec3)>,
+}
+
+impl LookAtScratch {
+    /// An empty scratch; the buffer grows on first use.
+    pub fn new() -> Self {
+        LookAtScratch::default()
     }
 }
 
@@ -472,6 +521,92 @@ mod tests {
         let m = LookAtMatrix::from_poses(3, &[gazer, p1, p2], &cfg);
         assert_eq!(m.get(0, 2), 1, "best-aimed target wins under the cone");
         assert_eq!(m.get(0, 1), 0);
+    }
+
+    /// The pre-optimization formulation: full intersection on every
+    /// pair, no early reject, no target-list reuse.
+    fn reference_from_poses(
+        n: usize,
+        poses: &[ParticipantPose],
+        config: &LookAtConfig,
+    ) -> LookAtMatrix {
+        let mut m = LookAtMatrix::zero(n);
+        for gazer in poses.iter().filter(|p| p.person < n) {
+            let Some(ray) = gazer.gaze_ray() else {
+                continue;
+            };
+            let mut best: Option<(usize, f64)> = None;
+            for target in poses.iter().filter(|p| p.person < n) {
+                if target.person == gazer.person {
+                    continue;
+                }
+                let score = match config.criterion {
+                    GazeCriterion::SphereHit => {
+                        let sphere = Sphere::new(target.head, config.attention_radius);
+                        sphere.intersect_ray(&ray).map(|hit| hit.d_near.max(0.0))
+                    }
+                    GazeCriterion::Cone { half_angle } => {
+                        let dev = ray.angular_deviation_to(target.head);
+                        (dev <= half_angle).then_some(dev)
+                    }
+                };
+                let Some(score) = score else { continue };
+                if config.nearest_hit_only {
+                    if best.is_none_or(|(_, b)| score < b) {
+                        best = Some((target.person, score));
+                    }
+                } else {
+                    m.set(gazer.person, target.person, 1);
+                }
+            }
+            if config.nearest_hit_only {
+                if let Some((t, _)) = best {
+                    m.set(gazer.person, t, 1);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn early_reject_path_matches_reference_on_random_scenes() {
+        // Deterministic pseudo-random scenes, including rays that point
+        // away, graze the sphere boundary, and originate inside it.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 2.0 - 1.0
+        };
+        let mut scratch = LookAtScratch::new();
+        for _ in 0..50 {
+            let n = 6;
+            let poses: Vec<ParticipantPose> = (0..n)
+                .map(|i| ParticipantPose {
+                    person: i,
+                    head: Vec3::new(next() * 2.0, next() * 2.0, 1.2 + next() * 0.2),
+                    gaze: (i % 5 != 4)
+                        .then(|| Vec3::new(next(), next(), next() * 0.3).normalized()),
+                    support: 1,
+                })
+                .collect();
+            for config in [
+                LookAtConfig::default(),
+                LookAtConfig {
+                    attention_radius: 1.5, // large: rays may start inside
+                    ..LookAtConfig::default()
+                },
+                LookAtConfig {
+                    nearest_hit_only: false,
+                    ..LookAtConfig::default()
+                },
+            ] {
+                let fast = LookAtMatrix::from_poses_with(n, &poses, &config, &mut scratch);
+                let reference = reference_from_poses(n, &poses, &config);
+                assert_eq!(fast, reference, "config {config:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! One-shot performance runner: measures the paths PR 4 optimized and
+//! writes the numbers to `BENCH_4.json` (path overridable as the first
+//! positional argument).
+//!
+//! Four measurements:
+//!
+//! 1. **End-to-end** — the §III prototype (4 cameras × 610 frames)
+//!    through the full default pipeline, `frame_parallel` off vs on,
+//!    reported as aggregate camera-frames/second plus the speedup.
+//! 2. **LBP** — nanoseconds per 48×48 descriptor (the stage-3 emotion
+//!    kernel: const uniform table + interior fast path).
+//! 3. **Look-at** — nanoseconds per frame of ray–sphere eye-contact
+//!    matrix construction at n ∈ {4, 8, 16} participants (squared-
+//!    distance early reject + scratch reuse).
+//! 4. **Pool scaling** — a fixed LBP workload fanned across 1..=N
+//!    worker threads of a private pool, speedup relative to 1 thread.
+//!
+//! `--quick` shrinks every measurement for CI smoke use (the JSON is
+//! still written, flagged with `"quick": true`).
+//!
+//! Run with: `cargo run --release -p dievent-bench --bin perf`
+
+use dievent_analysis::{LookAtConfig, LookAtMatrix, LookAtScratch, ParticipantPose};
+use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
+use dievent_emotion::{lbp_feature_vector_into, Emotion, LbpConfig};
+use dievent_geometry::Vec3;
+use dievent_pool::ThreadPool;
+use dievent_scene::{render_face_patch, Scenario};
+use dievent_video::GrayFrame;
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("perf: host has {threads} hardware thread(s); quick = {quick}");
+
+    // --- 1. End-to-end pipeline, sequential vs frame-parallel. ---
+    let scenario = if quick {
+        Scenario::two_camera_dinner(40, 11)
+    } else {
+        Scenario::prototype()
+    };
+    let recording = Recording::capture(scenario);
+    let frames = recording.frames();
+    let cameras = recording.cameras();
+    let run_fps = |frame_parallel: bool| {
+        let pipeline = DiEventPipeline::new(PipelineConfig {
+            frame_parallel,
+            ..PipelineConfig::default()
+        });
+        let started = Instant::now();
+        let analysis = pipeline.run(&recording).expect("pipeline run");
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(analysis.matrices.len(), frames);
+        ((frames * cameras) as f64 / elapsed, elapsed)
+    };
+    eprintln!("perf: end-to-end sequential ({cameras} cam x {frames} frames)...");
+    let (seq_fps, seq_s) = run_fps(false);
+    eprintln!("perf:   {seq_fps:.1} camera-frames/s ({seq_s:.2}s)");
+    eprintln!("perf: end-to-end frame-parallel...");
+    let (par_fps, par_s) = run_fps(true);
+    eprintln!("perf:   {par_fps:.1} camera-frames/s ({par_s:.2}s)");
+
+    // --- 2. LBP ns/descriptor. ---
+    let patch = render_face_patch(Emotion::Happy, 225, 1, 7, 48);
+    let lbp_iters = if quick { 200 } else { 2000 };
+    let lbp_ns = time_per_iter(lbp_iters, || {
+        let config = LbpConfig::default();
+        let mut feature = Vec::new();
+        move || {
+            lbp_feature_vector_into(black_box(&patch), &config, &mut feature);
+            black_box(feature.len());
+        }
+    });
+    eprintln!("perf: lbp 48x48 descriptor: {lbp_ns:.0} ns");
+
+    // --- 3. Look-at matrix ns/frame at n in {4, 8, 16}. ---
+    let lookat_iters = if quick { 2_000 } else { 50_000 };
+    let mut lookat_ns = [0.0_f64; 3];
+    for (slot, n) in [4usize, 8, 16].into_iter().enumerate() {
+        let poses = ring_poses(n);
+        let config = LookAtConfig::default();
+        let ns = time_per_iter(lookat_iters, || {
+            let poses = poses.clone();
+            let mut scratch = LookAtScratch::new();
+            move || {
+                let m = LookAtMatrix::from_poses_with(n, black_box(&poses), &config, &mut scratch);
+                black_box(m.count_ones());
+            }
+        });
+        eprintln!("perf: look-at n={n}: {ns:.0} ns/frame");
+        lookat_ns[slot] = ns;
+    }
+
+    // --- 4. Pool scaling on a fixed LBP workload. ---
+    let patches: Vec<GrayFrame> = (0..if quick { 32 } else { 256 })
+        .map(|i| render_face_patch(Emotion::Neutral, 200, i % 8, i as u32, 48))
+        .collect();
+    let mut scaling = Vec::new();
+    let mut base_ms = 0.0_f64;
+    for k in pool_sizes(threads) {
+        let pool = ThreadPool::new(k);
+        let config = LbpConfig::default();
+        // Warm the workers up before timing.
+        let _ = pool.parallel_map(&patches, |p| lbp_feature_vector_into_len(p, &config));
+        let started = Instant::now();
+        let reps = if quick { 2 } else { 10 };
+        for _ in 0..reps {
+            let lens = pool
+                .parallel_map(&patches, |p| lbp_feature_vector_into_len(p, &config))
+                .expect("pool map");
+            black_box(lens);
+        }
+        let ms = started.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        if base_ms == 0.0 {
+            base_ms = ms;
+        }
+        let speedup = base_ms / ms;
+        eprintln!("perf: pool x{k}: {ms:.2} ms/batch (speedup {speedup:.2})");
+        scaling.push(json!({ "threads": k, "ms_per_batch": ms, "speedup": speedup }));
+    }
+
+    let report = json!({
+        "bench": "BENCH_4",
+        "quick": quick,
+        "host_threads": threads,
+        "end_to_end": {
+            "frames": frames,
+            "cameras": cameras,
+            "sequential_camera_fps": seq_fps,
+            "sequential_seconds": seq_s,
+            "frame_parallel_camera_fps": par_fps,
+            "frame_parallel_seconds": par_s,
+            "speedup": par_fps / seq_fps,
+        },
+        "lbp_ns_per_descriptor_48x48": lbp_ns,
+        "lookat_ns_per_frame": {
+            "4": lookat_ns[0],
+            "8": lookat_ns[1],
+            "16": lookat_ns[2],
+        },
+        "pool_scaling": scaling,
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("render json");
+    std::fs::write(&out_path, rendered + "\n").expect("write report");
+    eprintln!("perf: wrote {out_path}");
+}
+
+/// Average nanoseconds per iteration of the closure `setup` builds.
+fn time_per_iter<F: FnMut()>(iters: usize, setup: impl FnOnce() -> F) -> f64 {
+    let mut f = setup();
+    // Warm-up.
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    started.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn lbp_feature_vector_into_len(patch: &GrayFrame, config: &LbpConfig) -> usize {
+    let mut feature = Vec::new();
+    lbp_feature_vector_into(patch, config, &mut feature);
+    feature.len()
+}
+
+/// Participants on a circle, each gazing at the participant opposite —
+/// a dense workload where most rays pass near several heads.
+fn ring_poses(n: usize) -> Vec<ParticipantPose> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64 / n as f64 * std::f64::consts::TAU;
+            let head = Vec3::new(a.cos() * 1.2, a.sin() * 1.2, 1.1);
+            let target_a = (i + n / 2) as f64 / n as f64 * std::f64::consts::TAU;
+            let target = Vec3::new(target_a.cos() * 1.2, target_a.sin() * 1.2, 1.1);
+            ParticipantPose {
+                person: i,
+                head,
+                gaze: Some((target - head).normalized()),
+                support: 1,
+            }
+        })
+        .collect()
+}
+
+/// 1, 2, 4, ... up to (and always including) the host thread count.
+fn pool_sizes(max: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut k = 1;
+    while k < max {
+        sizes.push(k);
+        k *= 2;
+    }
+    sizes.push(max);
+    sizes
+}

@@ -31,6 +31,10 @@ pub enum DiEventError {
         /// The camera whose thread died, when attributable.
         camera: Option<usize>,
     },
+    /// A task submitted to the shared work-stealing pool panicked
+    /// (frame-chunk extraction or per-frame fusion). The session's
+    /// results are discarded rather than returned partially.
+    PoolWorkerPanicked,
     /// The metadata repository rejected an insert.
     Store(String),
 }
@@ -48,6 +52,9 @@ impl fmt::Display for DiEventError {
             }
             DiEventError::CameraThreadPanicked { camera: None } => {
                 write!(f, "a camera worker thread panicked")
+            }
+            DiEventError::PoolWorkerPanicked => {
+                write!(f, "a work-stealing pool task panicked")
             }
             DiEventError::Store(msg) => write!(f, "metadata store error: {msg}"),
         }

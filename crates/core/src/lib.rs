@@ -36,6 +36,7 @@ pub mod session;
 pub mod training;
 
 pub use acquisition::{CameraStream, Recording};
+pub use dievent_pool::{PoolStats, ThreadPool};
 pub use dievent_telemetry::Telemetry;
 pub use error::DiEventError;
 pub use pipeline::{DiEventPipeline, PipelineConfig, PipelineConfigBuilder};

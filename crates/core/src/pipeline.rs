@@ -62,6 +62,18 @@ pub struct PipelineConfig {
     pub parse_video: bool,
     /// Process cameras on parallel threads.
     pub parallel_cameras: bool,
+    /// Fan frame chunks *within* each camera across the shared
+    /// work-stealing pool (stage 3), and parallelize the per-frame
+    /// look-at/fusion loop (stage 4). Bit-identical to the sequential
+    /// path; disable only to bisect or benchmark.
+    pub frame_parallel: bool,
+    /// Worker threads for the work-stealing pool. `0` (the default)
+    /// shares the lazily-created global pool sized from
+    /// `available_parallelism` — the recommended setting, since one
+    /// shared pool avoids oversubscription no matter how many sessions
+    /// or cameras run at once. A non-zero value gives this session a
+    /// private pool of exactly that many workers.
+    pub pool_threads: usize,
     /// Highlight detection settings.
     pub highlights: HighlightConfig,
     /// Importance scoring settings.
@@ -87,6 +99,8 @@ impl Default for PipelineConfig {
             classify_emotions: true,
             parse_video: true,
             parallel_cameras: true,
+            frame_parallel: true,
+            pool_threads: 0,
             highlights: HighlightConfig::default(),
             importance: ImportanceConfig::default(),
             summary: SummaryConfig::default(),
@@ -184,6 +198,10 @@ impl PipelineConfigBuilder {
         parse_video: bool,
         /// Process cameras on parallel threads.
         parallel_cameras: bool,
+        /// Fan frame chunks within each camera across the shared pool.
+        frame_parallel: bool,
+        /// Worker threads for the pool (`0` = shared global pool).
+        pool_threads: usize,
         /// Highlight detection settings.
         highlights: HighlightConfig,
         /// Importance scoring settings.

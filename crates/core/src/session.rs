@@ -25,18 +25,22 @@ use dievent_analysis::layers::TimeInvariantContext;
 use dievent_analysis::overall_emotion::{fuse_sequence, EmotionEstimate, OverallEmotionConfig};
 use dievent_analysis::{
     dominance_ranking, ec_episodes, fuse_frame, pair_statistics, smooth_matrices,
-    validate_sequence, CameraObservation, FrameObservations, LookAtMatrix, LookAtSummary,
+    validate_sequence, CameraObservation, FrameObservations, LookAtMatrix, LookAtScratch,
+    LookAtSummary,
 };
-use dievent_emotion::EmotionClassifier;
+use dievent_emotion::{ClassifierScratch, EmotionClassifier};
 use dievent_geometry::{Iso3, PinholeCamera, Vec3};
 use dievent_metadata::{MetaRecord, MetadataRepository, RecordKind};
+use dievent_pool::{PoolStats, ThreadPool};
 use dievent_scene::Scenario;
 use dievent_summarize::{
     detect_highlights, importance_series, select_summary, Highlight, HighlightKind,
 };
 use dievent_telemetry::{Counter, Gauge, Histogram, SpanGuard, Telemetry};
 use dievent_video::{GrayFrame, VideoParser, VideoSpec, VideoStructure};
-use dievent_vision::{ExtractorConfig, FaceGallery, FeatureExtractor, PersonId};
+use dievent_vision::{
+    ExtractorConfig, FaceGallery, FaceObservation, FeatureExtractor, FrameRaw, PersonId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -245,6 +249,11 @@ struct Sequencer {
     emotion_frames: Vec<Vec<EmotionEstimate>>,
     /// Camera-0 monitor frames for video composition analysis.
     monitor: BTreeMap<usize, GrayFrame>,
+    /// Stage-4 fan-out pool (`None` when `frame_parallel` is off).
+    pool: Option<ThreadPool>,
+    /// Set when a pool task died mid-fusion; surfaced as
+    /// [`DiEventError::PoolWorkerPanicked`] at finish.
+    pool_panicked: bool,
     occupancy: Gauge,
     evictions: Counter,
     late: Counter,
@@ -253,15 +262,24 @@ struct Sequencer {
     lookat_tests: Counter,
 }
 
+/// Minimum backlog of ready frames before stage-4 fusion fans out
+/// across the pool: below this, the join overhead outweighs the work
+/// (streaming sessions typically fuse one frame at a time; the batch
+/// path funnels the whole recording through one `fuse_ready(true)`).
+const PARALLEL_FUSE_MIN: usize = 8;
+
 impl Sequencer {
     fn new(
         cameras: usize,
         participants: usize,
         camera_poses: Vec<Iso3>,
         config: PipelineConfig,
+        pool: Option<ThreadPool>,
         telemetry: &Telemetry,
     ) -> Self {
         Sequencer {
+            pool,
+            pool_panicked: false,
             cameras,
             participants,
             reorder_window: config.streaming.reorder_window,
@@ -305,8 +323,16 @@ impl Sequencer {
     /// Fuses every frame that is complete — or, when `force` is set or
     /// the leader camera has raced more than `reorder_window` frames
     /// ahead, fuses the oldest pending frame with whichever cameras
-    /// reported. Fusion always proceeds in ascending frame order.
+    /// reported. Results always accumulate in ascending frame order.
+    ///
+    /// The per-frame math ([`fuse_one`](Self::fuse_one)) carries no
+    /// cross-frame state, so when enough frames are ready at once (the
+    /// batch path fuses the entire recording in one call at finish)
+    /// they fan out across the pool; results are collected into
+    /// positional slots, which makes the parallel and sequential
+    /// orders bit-identical.
     fn fuse_ready(&mut self, force: bool) {
+        let mut ready: Vec<(usize, Vec<Option<CameraFrameOutput>>, usize)> = Vec::new();
         while let Some(entry) = self.pending.first_entry() {
             let frame = *entry.key();
             let arrived = entry.get().iter().filter(|s| s.is_some()).count();
@@ -320,19 +346,67 @@ impl Sequencer {
             if !complete {
                 self.evictions.incr();
             }
-            self.fuse(frame, slots, arrived);
+            ready.push((frame, slots, arrived));
         }
         self.occupancy.set(self.pending.len() as f64);
+        if ready.is_empty() {
+            return;
+        }
+
+        let fused: Vec<(LookAtMatrix, Vec<EmotionEstimate>)> = match &self.pool {
+            Some(pool) if ready.len() >= PARALLEL_FUSE_MIN => {
+                let chunk = ready.len().div_ceil(pool.threads().max(1) * 4).max(1);
+                let result = pool.parallel_chunk_map(&ready, chunk, |_, chunk_items| {
+                    // One look-at scratch per chunk, reused across its
+                    // frames.
+                    let mut scratch = LookAtScratch::new();
+                    chunk_items
+                        .iter()
+                        .map(|(_, slots, _)| self.fuse_one(slots, &mut scratch))
+                        .collect()
+                });
+                match result {
+                    Ok(fused) => fused,
+                    Err(_) => {
+                        self.pool_panicked = true;
+                        return;
+                    }
+                }
+            }
+            _ => {
+                let mut scratch = LookAtScratch::new();
+                ready
+                    .iter()
+                    .map(|(_, slots, _)| self.fuse_one(slots, &mut scratch))
+                    .collect()
+            }
+        };
+
+        let n = self.participants;
+        for ((frame, _, arrived), (matrix, emotions)) in ready.into_iter().zip(fused) {
+            // Every ordered pair is geometrically tested per frame.
+            self.lookat_tests.add((n * n.saturating_sub(1)) as u64);
+            self.frame_numbers.push(frame);
+            self.cameras_reporting.push(arrived);
+            self.raw_matrices.push(matrix);
+            self.emotion_frames.push(emotions);
+            self.fused.incr();
+        }
     }
 
     /// Identical math to the batch stage-4 inner loop: fuse the
     /// per-camera observations, derive the look-at matrix, and keep the
-    /// best-resolved emotion estimate per participant.
-    fn fuse(&mut self, frame: usize, slots: Vec<Option<CameraFrameOutput>>, arrived: usize) {
+    /// best-resolved emotion estimate per participant. Pure with
+    /// respect to the sequencer (takes `&self`), so frames may fuse
+    /// concurrently.
+    fn fuse_one(
+        &self,
+        slots: &[Option<CameraFrameOutput>],
+        scratch: &mut LookAtScratch,
+    ) -> (LookAtMatrix, Vec<EmotionEstimate>) {
         let n = self.participants;
         let mut frame_obs = FrameObservations::default();
-        let outputs: Vec<Option<CameraFrameOutput>> = slots;
-        for (c, slot) in outputs.iter().enumerate() {
+        for (c, slot) in slots.iter().enumerate() {
             frame_obs.cameras.push((
                 self.camera_poses[c],
                 slot.as_ref()
@@ -341,15 +415,13 @@ impl Sequencer {
         }
         let matrix = self.fusion_seconds.time(|| {
             let poses = fuse_frame(&frame_obs, &self.config.fusion);
-            LookAtMatrix::from_poses(n, &poses, &self.config.lookat)
+            LookAtMatrix::from_poses_with(n, &poses, &self.config.lookat, scratch)
         });
-        // Every ordered pair is geometrically tested per frame.
-        self.lookat_tests.add((n * n.saturating_sub(1)) as u64);
 
         // Per person, keep the emotion estimate from the camera with
         // the largest apparent face (closest, best-resolved view).
         let mut best: Vec<Option<(Vec<f64>, f64, f64)>> = vec![None; n];
-        for slot in &outputs {
+        for slot in slots {
             let Some(output) = slot else { continue };
             for (person, probs, conf, radius) in &output.emotions {
                 if *person >= n {
@@ -371,12 +443,7 @@ impl Sequencer {
                 })
             })
             .collect();
-
-        self.frame_numbers.push(frame);
-        self.cameras_reporting.push(arrived);
-        self.raw_matrices.push(matrix);
-        self.emotion_frames.push(emotions);
-        self.fused.incr();
+        (matrix, emotions)
     }
 }
 
@@ -478,46 +545,18 @@ impl CameraStage {
                     .monitor
                     // Quarter-resolution monitor stream for parsing.
                     .then(|| frame.downsample2().downsample2());
-                let head_radius_m = self.config.pose.head_radius_m;
                 let classifier = Arc::clone(&self.classifier);
                 let (obs, camera) = {
                     let extractor = self.extractor_for(&frame);
                     let obs = extractor.process(&frame);
                     (obs, *extractor.camera())
                 };
-                let mut observations = Vec::new();
+                let observations = self.assemble(&camera, &obs);
                 let mut emotions = Vec::new();
                 for o in &obs {
                     let Some((person, _dist)) = o.identity else {
-                        // An unattributed detection carries no usable
-                        // gaze.
-                        self.dropped.incr();
                         continue;
                     };
-                    if let Some(pose) = &o.pose {
-                        observations.push(CameraObservation {
-                            person: person.0,
-                            head_cam: pose.head_cam,
-                            gaze_cam: Some(pose.gaze_cam),
-                            weight: 1.0,
-                        });
-                    } else {
-                        // Position-only sighting (face turned away):
-                        // reconstruct camera-frame position from the
-                        // detection via the depth-from-radius model.
-                        let k = &camera.intrinsics;
-                        let z = k.fx * head_radius_m / o.detection.radius;
-                        observations.push(CameraObservation {
-                            person: person.0,
-                            head_cam: Vec3::new(
-                                (o.detection.cx - k.cx) / k.fx * z,
-                                (o.detection.cy - k.cy) / k.fy * z,
-                                z,
-                            ),
-                            gaze_cam: None,
-                            weight: 0.5,
-                        });
-                    }
                     if let (Some(clf), Some(patch)) = (classifier.as_ref(), o.patch.as_ref()) {
                         let pred = clf.classify(patch);
                         self.classified.incr();
@@ -542,6 +581,179 @@ impl CameraStage {
             }
         }
     }
+
+    /// Batch counterpart of [`process`](Self::process): the pure
+    /// per-frame phase (detection, landmarks, pose, recognition,
+    /// emotion classification) fans frame chunks across the pool, then
+    /// the stateful phase (tracker, pose carry-forward) integrates the
+    /// results sequentially in item order. Bit-identical to calling
+    /// `process` once per item, because the pure phase carries no
+    /// cross-frame state and the stateful phase runs in the exact same
+    /// order either way.
+    fn process_batch(
+        &mut self,
+        pool: &ThreadPool,
+        items: Vec<WorkItem>,
+        parent_span: Option<u64>,
+    ) -> Result<Vec<WorkerOutput>, DiEventError> {
+        // Phase 0 (sequential): the batch's first raw frame runs the
+        // enrollment probe and builds the extractor, exactly as the
+        // one-frame path would on its first frame.
+        if self.extractor.is_none() {
+            if let Some(WorkItem::Frame(_, frame)) =
+                items.iter().find(|i| matches!(i, WorkItem::Frame(..)))
+            {
+                self.extractor_for(frame);
+            }
+        }
+
+        // Phase A (parallel, pure): analyze + classify, one task per
+        // contiguous frame chunk so scratch buffers are reused across
+        // a chunk's frames instead of reallocated per frame.
+        let chunk = items.len().div_ceil(pool.threads().max(1) * 2).max(1);
+        let extractor = self.extractor.as_ref();
+        let classifier = Arc::clone(&self.classifier);
+        let telemetry = self.telemetry.clone();
+        let camera_index = self.camera_index;
+        let monitor_on = self.monitor;
+        let analyzed: Vec<Option<Analyzed>> = pool
+            .parallel_chunk_map(&items, chunk, |offset, chunk_items| {
+                let mut span = telemetry.span_under("camera.extract_chunk", parent_span);
+                span.set("camera", camera_index);
+                span.set("offset", offset);
+                span.set("frames", chunk_items.len());
+                let mut scratch = ClassifierScratch::new();
+                chunk_items
+                    .iter()
+                    .map(|item| {
+                        let WorkItem::Frame(_, frame) = item else {
+                            return None;
+                        };
+                        let extractor = extractor?;
+                        let monitor = monitor_on.then(|| frame.downsample2().downsample2());
+                        let raw = extractor.analyze(frame);
+                        let mut emotions = Vec::new();
+                        if let Some(clf) = classifier.as_ref() {
+                            for (det, identity, patch) in raw.faces() {
+                                if let Some((person, _dist)) = identity {
+                                    let pred = clf.classify_with(patch, &mut scratch);
+                                    emotions.push((
+                                        person.0,
+                                        pred.probabilities,
+                                        pred.confidence,
+                                        det.radius,
+                                    ));
+                                }
+                            }
+                        }
+                        Some(Analyzed {
+                            raw,
+                            monitor,
+                            emotions,
+                        })
+                    })
+                    .collect()
+            })
+            .map_err(|_| DiEventError::PoolWorkerPanicked)?;
+
+        // Phase B (sequential, in item order): the tracker and the
+        // pose-carry cache advance exactly as the one-frame path would.
+        let mut outputs = Vec::with_capacity(items.len());
+        for (item, analyzed) in items.into_iter().zip(analyzed) {
+            match (item, analyzed) {
+                (WorkItem::Observations(index, observations), _) => outputs.push(WorkerOutput {
+                    camera: self.camera_index,
+                    index,
+                    output: CameraFrameOutput {
+                        observations,
+                        emotions: Vec::new(),
+                    },
+                    monitor: None,
+                }),
+                (WorkItem::Frame(index, _), Some(done)) => {
+                    outputs.push(self.integrate_analyzed(index, done));
+                }
+                // Unreachable (phase 0 guarantees an extractor whenever
+                // the batch holds a frame); degrade to the slow path.
+                (item @ WorkItem::Frame(..), None) => outputs.push(self.process(item)),
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Stateful phase for one [`Analyzed`] frame: integrates the pure
+    /// results through the tracker and assembles the sequencer's input.
+    fn integrate_analyzed(&mut self, index: usize, done: Analyzed) -> WorkerOutput {
+        let (obs, camera) = match self.extractor.as_mut() {
+            Some(extractor) => (extractor.integrate(done.raw), *extractor.camera()),
+            // Unreachable: phase A only analyzes once the extractor
+            // exists.
+            None => (Vec::new(), self.camera),
+        };
+        let observations = self.assemble(&camera, &obs);
+        self.classified.add(done.emotions.len() as u64);
+        self.frames += 1;
+        WorkerOutput {
+            camera: self.camera_index,
+            index,
+            output: CameraFrameOutput {
+                observations,
+                emotions: done.emotions,
+            },
+            monitor: done.monitor,
+        }
+    }
+
+    /// Turns one frame's integrated face observations into fusion
+    /// inputs: a full pose when available, otherwise a position-only
+    /// sighting reconstructed from the detection's apparent radius.
+    fn assemble(&self, camera: &PinholeCamera, obs: &[FaceObservation]) -> Vec<CameraObservation> {
+        let head_radius_m = self.config.pose.head_radius_m;
+        let mut observations = Vec::new();
+        for o in obs {
+            let Some((person, _dist)) = o.identity else {
+                // An unattributed detection carries no usable gaze.
+                self.dropped.incr();
+                continue;
+            };
+            if let Some(pose) = &o.pose {
+                observations.push(CameraObservation {
+                    person: person.0,
+                    head_cam: pose.head_cam,
+                    gaze_cam: Some(pose.gaze_cam),
+                    weight: 1.0,
+                });
+            } else {
+                // Position-only sighting (face turned away):
+                // reconstruct camera-frame position from the detection
+                // via the depth-from-radius model.
+                let k = &camera.intrinsics;
+                let z = k.fx * head_radius_m / o.detection.radius;
+                observations.push(CameraObservation {
+                    person: person.0,
+                    head_cam: Vec3::new(
+                        (o.detection.cx - k.cx) / k.fx * z,
+                        (o.detection.cy - k.cy) / k.fy * z,
+                        z,
+                    ),
+                    gaze_cam: None,
+                    weight: 0.5,
+                });
+            }
+        }
+        observations
+    }
+}
+
+/// One frame's pure-phase result inside
+/// [`CameraStage::process_batch`]: everything computed off-thread,
+/// ready for sequential integration.
+struct Analyzed {
+    raw: FrameRaw,
+    monitor: Option<GrayFrame>,
+    /// `(person, probabilities, confidence, apparent_radius)`, in face
+    /// order — identical to what the one-frame path classifies.
+    emotions: Vec<(usize, Vec<f64>, f64, f64)>,
 }
 
 /// Worker poll interval: how often a blocked worker re-checks the
@@ -551,20 +763,36 @@ const WORKER_POLL: Duration = Duration::from_millis(50);
 fn camera_worker(
     mut stage: CameraStage,
     stage_span: Option<u64>,
+    pool: Option<ThreadPool>,
     rx: Receiver<WorkItem>,
     out: Sender<WorkerOutput>,
     shutdown: Arc<AtomicBool>,
+    pool_panic: Arc<AtomicBool>,
 ) {
     let telemetry = stage.telemetry.clone();
     let mut span = telemetry.span_under("camera.extract", stage_span);
     span.set("camera", stage.camera_index);
+    let chunk_parent = span.id();
     loop {
         match rx.recv_timeout(WORKER_POLL) {
             Ok(item) => {
-                let output = stage.process(item);
-                // A send failure means the session is gone; processing
-                // further frames would be pointless.
-                if out.send(output).is_err() {
+                // Opportunistically batch whatever else is already
+                // queued: with the pool available, a backlog fans out
+                // as frame chunks instead of draining one by one.
+                let mut batch = vec![item];
+                if pool.is_some() {
+                    while let Ok(next) = rx.try_recv() {
+                        batch.push(next);
+                    }
+                }
+                if !run_batch(
+                    &mut stage,
+                    pool.as_ref(),
+                    batch,
+                    chunk_parent,
+                    &out,
+                    &pool_panic,
+                ) {
                     break;
                 }
             }
@@ -573,11 +801,19 @@ fn camera_worker(
                 if shutdown.load(Ordering::Relaxed) {
                     // Finish was requested while a producer still holds
                     // a feed: drain what is queued, then exit.
+                    let mut batch = Vec::new();
                     while let Ok(item) = rx.try_recv() {
-                        let output = stage.process(item);
-                        if out.send(output).is_err() {
-                            return;
-                        }
+                        batch.push(item);
+                    }
+                    if !batch.is_empty() {
+                        run_batch(
+                            &mut stage,
+                            pool.as_ref(),
+                            batch,
+                            chunk_parent,
+                            &out,
+                            &pool_panic,
+                        );
                     }
                     break;
                 }
@@ -585,6 +821,38 @@ fn camera_worker(
         }
     }
     span.set("frames", stage.frames);
+}
+
+/// Processes one batch — through the pool when it is available and the
+/// batch holds more than one item, per-item otherwise — and forwards
+/// the outputs. Returns `false` when the session hung up or a pool
+/// task panicked (recorded in `pool_panic` for finish to surface).
+fn run_batch(
+    stage: &mut CameraStage,
+    pool: Option<&ThreadPool>,
+    batch: Vec<WorkItem>,
+    chunk_parent: Option<u64>,
+    out: &Sender<WorkerOutput>,
+    pool_panic: &AtomicBool,
+) -> bool {
+    let outputs = match pool {
+        Some(pool) if batch.len() > 1 => match stage.process_batch(pool, batch, chunk_parent) {
+            Ok(outputs) => outputs,
+            Err(_) => {
+                pool_panic.store(true, Ordering::SeqCst);
+                return false;
+            }
+        },
+        _ => batch.into_iter().map(|item| stage.process(item)).collect(),
+    };
+    for output in outputs {
+        // A send failure means the session is gone; processing further
+        // frames would be pointless.
+        if out.send(output).is_err() {
+            return false;
+        }
+    }
+    true
 }
 
 enum ExecutionMode {
@@ -620,6 +888,14 @@ pub struct PipelineSession {
     /// Cursor into the sequencer's accumulators for [`poll`](Self::poll).
     emitted: usize,
     shutdown: Arc<AtomicBool>,
+    /// The frame-parallel fan-out pool: the shared global pool by
+    /// default (`pool_threads: 0`), a private one otherwise, `None`
+    /// when `frame_parallel` is off.
+    pool: Option<ThreadPool>,
+    /// Pool counters at open, so finish publishes this session's delta.
+    pool_stats_at_open: PoolStats,
+    /// Set by a camera worker whose pool batch panicked.
+    pool_panic: Arc<AtomicBool>,
     run_span: SpanGuard,
     extraction_span: Option<SpanGuard>,
 }
@@ -674,7 +950,26 @@ impl PipelineSession {
         );
         let classifier = Arc::new(pipeline.classifier().cloned());
         let camera_poses: Vec<Iso3> = scenario.rig.cameras.iter().map(|c| c.pose).collect();
-        let sequencer = Sequencer::new(cameras, participants, camera_poses, config, &telemetry);
+        // One pool shared by every camera worker (and stage-4 fusion):
+        // N cameras fanning frame chunks produce tasks for a single
+        // set of workers, never `cameras × threads` threads.
+        let pool = config.frame_parallel.then(|| {
+            if config.pool_threads == 0 {
+                ThreadPool::global().clone()
+            } else {
+                ThreadPool::new(config.pool_threads)
+            }
+        });
+        let pool_stats_at_open = pool.as_ref().map(ThreadPool::stats).unwrap_or_default();
+        let pool_panic = Arc::new(AtomicBool::new(false));
+        let sequencer = Sequencer::new(
+            cameras,
+            participants,
+            camera_poses,
+            config,
+            pool.clone(),
+            &telemetry,
+        );
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let stage_for = |c: usize| {
@@ -710,8 +1005,10 @@ impl PipelineSession {
                 let stage = stage_for(c);
                 let out = out_tx.clone();
                 let flag = Arc::clone(&shutdown);
+                let worker_pool = pool.clone();
+                let panic_flag = Arc::clone(&pool_panic);
                 workers.push(std::thread::spawn(move || {
-                    camera_worker(stage, stage_id, rx, out, flag)
+                    camera_worker(stage, stage_id, worker_pool, rx, out, flag, panic_flag)
                 }));
             }
             // Only workers hold output senders: once they all exit the
@@ -744,6 +1041,9 @@ impl PipelineSession {
             sequencer,
             emitted: 0,
             shutdown,
+            pool,
+            pool_stats_at_open,
+            pool_panic,
             run_span,
             extraction_span: Some(extraction_span),
         })
@@ -906,6 +1206,9 @@ impl PipelineSession {
         }
         self.drain_outputs();
         drop(self.extraction_span.take());
+        if self.pool_panic.load(Ordering::SeqCst) {
+            return Err(DiEventError::PoolWorkerPanicked);
+        }
 
         let PipelineSession {
             config,
@@ -916,6 +1219,8 @@ impl PipelineSession {
             mut run_span,
             mut sequencer,
             fps,
+            pool,
+            pool_stats_at_open,
             ..
         } = self;
 
@@ -942,6 +1247,25 @@ impl PipelineSession {
         // --- Stage 4: fusion of stragglers + multilayer analysis. ---
         let analysis_stage = telemetry.span("stage.analysis");
         sequencer.fuse_ready(true);
+        if sequencer.pool_panicked {
+            return Err(DiEventError::PoolWorkerPanicked);
+        }
+        // Publish the pool activity this session caused. The counters
+        // are process-monotonic, so the delta from open is reported
+        // (shared-global-pool sessions running concurrently overlap).
+        if let Some(pool) = &pool {
+            let now = pool.stats();
+            telemetry
+                .counter("pool.tasks")
+                .add(now.tasks.saturating_sub(pool_stats_at_open.tasks));
+            telemetry
+                .counter("pool.steals")
+                .add(now.steals.saturating_sub(pool_stats_at_open.steals));
+            telemetry.gauge("pool.threads").set(pool.threads() as f64);
+            telemetry
+                .gauge("pool.queue_depth")
+                .set(pool.queue_depth() as f64);
+        }
         let frames = sequencer.frame_numbers.len();
         run_span.set("frames", frames);
         telemetry.gauge("recording_frames").set(frames as f64);

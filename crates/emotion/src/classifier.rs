@@ -6,8 +6,8 @@
 
 use crate::dataset::{ConfusionMatrix, Dataset, Normalizer};
 use crate::label::Emotion;
-use crate::lbp::{lbp_feature_vector, LbpConfig};
-use crate::mlp::{Mlp, MlpConfig, TrainingConfig};
+use crate::lbp::{lbp_feature_vector, lbp_feature_vector_into, LbpConfig};
+use crate::mlp::{Mlp, MlpConfig, MlpScratch, TrainingConfig};
 use dievent_video::GrayFrame;
 use serde::{Deserialize, Serialize};
 
@@ -125,10 +125,24 @@ impl EmotionClassifier {
     }
 
     /// Classifies one face patch.
+    ///
+    /// Allocating wrapper around [`classify_with`](Self::classify_with);
+    /// per-frame callers should hold a [`ClassifierScratch`].
     pub fn classify(&self, patch: &GrayFrame) -> EmotionPrediction {
-        let raw = lbp_feature_vector(patch, &LbpConfig::from(self.lbp));
-        let x = self.normalizer.apply(&raw);
-        let probabilities = self.mlp.predict_proba(&x);
+        self.classify_with(patch, &mut ClassifierScratch::new())
+    }
+
+    /// Classifies one face patch using reusable buffers for the LBP
+    /// descriptor, the normalized feature vector, and the MLP forward
+    /// pass. Bit-identical to [`classify`](Self::classify).
+    pub fn classify_with(
+        &self,
+        patch: &GrayFrame,
+        scratch: &mut ClassifierScratch,
+    ) -> EmotionPrediction {
+        lbp_feature_vector_into(patch, &LbpConfig::from(self.lbp), &mut scratch.raw);
+        self.normalizer.apply_into(&scratch.raw, &mut scratch.x);
+        let probabilities = self.mlp.predict_proba_with(&scratch.x, &mut scratch.mlp);
         let (best, confidence) = probabilities
             .iter()
             .enumerate()
@@ -137,8 +151,24 @@ impl EmotionClassifier {
         EmotionPrediction {
             emotion: Emotion::from_index(best).unwrap_or(Emotion::Neutral),
             confidence,
-            probabilities,
+            probabilities: probabilities.to_vec(),
         }
+    }
+}
+
+/// Reusable buffers for [`EmotionClassifier::classify_with`]: one per
+/// worker/chunk, reused across every face of every frame it processes.
+#[derive(Debug, Default, Clone)]
+pub struct ClassifierScratch {
+    raw: Vec<f64>,
+    x: Vec<f64>,
+    mlp: MlpScratch,
+}
+
+impl ClassifierScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ClassifierScratch::default()
     }
 }
 
@@ -250,6 +280,25 @@ mod tests {
             (pred.probabilities[pred.emotion.index()] - pred.confidence).abs() < 1e-12,
             "confidence must match the argmax probability"
         );
+    }
+
+    #[test]
+    fn classify_with_matches_classify() {
+        let patches = training_set(10);
+        let tc = TrainingConfig {
+            epochs: 10,
+            ..TrainingConfig::default()
+        };
+        let (clf, _) = EmotionClassifier::train(&patches, LbpConfig::default(), &[16], 1, &tc);
+        let mut scratch = ClassifierScratch::new();
+        for e in Emotion::ALL {
+            for v in [40u32, 41, 42] {
+                let patch = sketch(e, v);
+                let fresh = clf.classify(&patch);
+                let reused = clf.classify_with(&patch, &mut scratch);
+                assert_eq!(fresh, reused, "scratch reuse must not change any bit");
+            }
+        }
     }
 
     #[test]

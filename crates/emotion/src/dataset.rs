@@ -141,6 +141,19 @@ impl Normalizer {
             .collect()
     }
 
+    /// Applies the transform into a reusable buffer (bit-identical to
+    /// [`apply`](Self::apply), without the per-call allocation).
+    pub fn apply_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        out.clear();
+        out.extend(
+            x.iter()
+                .zip(&self.mean)
+                .zip(&self.inv_std)
+                .map(|((&xi, &m), &s)| (xi - m) * s),
+        );
+    }
+
     /// Applies the transform to every sample of a dataset.
     pub fn apply_dataset(&self, data: &Dataset) -> Dataset {
         Dataset {

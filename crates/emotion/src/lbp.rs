@@ -43,24 +43,36 @@ impl LbpConfig {
 }
 
 /// Number of 0↔1 transitions in the circular 8-bit pattern.
-fn transitions(code: u8) -> u32 {
+const fn transitions(code: u8) -> u32 {
     let rotated = code.rotate_left(1);
     (code ^ rotated).count_ones()
 }
 
 /// Builds the uniform-pattern lookup table: uniform codes map to bins
 /// `0..58` in ascending code order, everything else to bin 58.
-fn uniform_table() -> [u8; 256] {
+///
+/// `const`-evaluated once at compile time; the old implementation
+/// rebuilt this 256-entry table on every descriptor call, which
+/// dominated small-patch histogram cost.
+const fn build_uniform_table() -> [u8; 256] {
     let mut table = [58u8; 256];
     let mut bin = 0u8;
-    for code in 0..=255u8 {
-        if transitions(code) <= 2 {
-            table[code as usize] = bin;
+    let mut code = 0usize;
+    while code < 256 {
+        if transitions(code as u8) <= 2 {
+            table[code] = bin;
             bin += 1;
         }
+        code += 1;
     }
-    debug_assert_eq!(bin, 58);
     table
+}
+
+static UNIFORM_TABLE: [u8; 256] = build_uniform_table();
+
+/// The uniform-pattern lookup table (compile-time constant).
+fn uniform_table() -> &'static [u8; 256] {
+    &UNIFORM_TABLE
 }
 
 /// Raw LBP code of the pixel at `(x, y)` (clamp-to-edge at borders),
@@ -102,14 +114,92 @@ pub fn uniform_lbp_image(frame: &GrayFrame, t: u8) -> Vec<u8> {
     out
 }
 
+/// Accumulates uniform-LBP bin counts for the pixel rectangle
+/// `[x0, x1) × [y0, y1)` into `hist` (59 bins).
+///
+/// Interior pixels (`1 ≤ x ≤ w-2`, `1 ≤ y ≤ h-2`) take a fast path
+/// that indexes three row slices directly — no clamping, no per-pixel
+/// bounds arithmetic. Only the 1-pixel border falls back to the
+/// clamped [`lbp_code`], so the fast and slow paths produce identical
+/// codes by construction (same neighbour order, same `u16` threshold
+/// comparison).
+fn accumulate_rect(
+    frame: &GrayFrame,
+    t: u8,
+    x0: usize,
+    x1: usize,
+    y0: usize,
+    y1: usize,
+    hist: &mut [f64],
+) {
+    let table = uniform_table();
+    let w = frame.width() as usize;
+    let h = frame.height() as usize;
+    let data = frame.data();
+    let tc = t as u16;
+    for y in y0..y1 {
+        // Interior columns within this row's [x0, x1) span.
+        let lo = x0.max(1);
+        let hi = x1.min(w.saturating_sub(1));
+        if y >= 1 && y + 1 < h && lo < hi {
+            for x in x0..lo {
+                let code = lbp_code(frame, x as i64, y as i64, t);
+                hist[table[code as usize] as usize] += 1.0;
+            }
+            let up = &data[(y - 1) * w..y * w];
+            let mid = &data[y * w..(y + 1) * w];
+            let down = &data[(y + 1) * w..(y + 2) * w];
+            for x in lo..hi {
+                // Neighbour order matches `lbp_code`'s OFFSETS:
+                // clockwise from the top-left.
+                let center = mid[x] as u16 + tc;
+                let mut code = 0u8;
+                if up[x - 1] as u16 >= center {
+                    code |= 1;
+                }
+                if up[x] as u16 >= center {
+                    code |= 1 << 1;
+                }
+                if up[x + 1] as u16 >= center {
+                    code |= 1 << 2;
+                }
+                if mid[x + 1] as u16 >= center {
+                    code |= 1 << 3;
+                }
+                if down[x + 1] as u16 >= center {
+                    code |= 1 << 4;
+                }
+                if down[x] as u16 >= center {
+                    code |= 1 << 5;
+                }
+                if down[x - 1] as u16 >= center {
+                    code |= 1 << 6;
+                }
+                if mid[x - 1] as u16 >= center {
+                    code |= 1 << 7;
+                }
+                hist[table[code as usize] as usize] += 1.0;
+            }
+            for x in hi..x1 {
+                let code = lbp_code(frame, x as i64, y as i64, t);
+                hist[table[code as usize] as usize] += 1.0;
+            }
+        } else {
+            for x in x0..x1 {
+                let code = lbp_code(frame, x as i64, y as i64, t);
+                hist[table[code as usize] as usize] += 1.0;
+            }
+        }
+    }
+}
+
 /// Normalized 59-bin uniform-LBP histogram of a whole patch.
 pub fn lbp_histogram(frame: &GrayFrame) -> Vec<f64> {
-    let img = uniform_lbp_image(frame, LbpConfig::default().threshold);
+    let w = frame.width() as usize;
+    let h = frame.height() as usize;
     let mut hist = vec![0.0f64; UNIFORM_BINS];
-    for &b in &img {
-        hist[b as usize] += 1.0;
-    }
-    let n = img.len().max(1) as f64;
+    accumulate_rect(frame, LbpConfig::default().threshold, 0, w, 0, h, &mut hist);
+    let n = (w * h).max(1) as f64;
     for v in &mut hist {
         *v /= n;
     }
@@ -122,11 +212,19 @@ pub fn lbp_histogram(frame: &GrayFrame) -> Vec<f64> {
 /// Cells partition the patch as evenly as possible; a patch smaller than
 /// the grid still works (degenerate cells produce near-empty histograms).
 pub fn lbp_feature_vector(frame: &GrayFrame, config: &LbpConfig) -> Vec<f64> {
-    let table = uniform_table();
+    let mut feature = Vec::new();
+    lbp_feature_vector_into(frame, config, &mut feature);
+    feature
+}
+
+/// Allocation-free variant of [`lbp_feature_vector`]: clears and fills
+/// `feature` in place, so per-frame callers can reuse one buffer.
+pub fn lbp_feature_vector_into(frame: &GrayFrame, config: &LbpConfig, feature: &mut Vec<f64>) {
     let g = config.grid.max(1);
     let w = frame.width() as usize;
     let h = frame.height() as usize;
-    let mut feature = vec![0.0f64; g * g * UNIFORM_BINS];
+    feature.clear();
+    feature.resize(g * g * UNIFORM_BINS, 0.0);
 
     // Cell boundaries (inclusive-exclusive) along each axis.
     let bound = |n: usize, i: usize| i * n / g;
@@ -138,23 +236,17 @@ pub fn lbp_feature_vector(frame: &GrayFrame, config: &LbpConfig) -> Vec<f64> {
             let x0 = bound(w, cx);
             let x1 = bound(w, cx + 1);
             let base = (cy * g + cx) * UNIFORM_BINS;
-            let mut count = 0usize;
-            for y in y0..y1 {
-                for x in x0..x1 {
-                    let code = lbp_code(frame, x as i64, y as i64, config.threshold);
-                    feature[base + table[code as usize] as usize] += 1.0;
-                    count += 1;
-                }
-            }
+            let cell = &mut feature[base..base + UNIFORM_BINS];
+            accumulate_rect(frame, config.threshold, x0, x1, y0, y1, cell);
+            let count = (x1 - x0) * (y1 - y0);
             if count > 0 {
                 let n = count as f64;
-                for v in &mut feature[base..base + UNIFORM_BINS] {
+                for v in cell {
                     *v /= n;
                 }
             }
         }
     }
-    feature
 }
 
 #[cfg(test)]
@@ -167,6 +259,79 @@ mod tests {
         assert_eq!(transitions(0b1111_1111), 0);
         assert_eq!(transitions(0b0000_1111), 2);
         assert_eq!(transitions(0b0101_0101), 8);
+    }
+
+    /// The pre-const-table implementation, kept as the reference the
+    /// compile-time table must match.
+    fn dynamic_uniform_table() -> [u8; 256] {
+        let mut table = [58u8; 256];
+        let mut bin = 0u8;
+        for code in 0..=255u8 {
+            if transitions(code) <= 2 {
+                table[code as usize] = bin;
+                bin += 1;
+            }
+        }
+        assert_eq!(bin, 58);
+        table
+    }
+
+    #[test]
+    fn const_table_matches_dynamic_builder() {
+        assert_eq!(uniform_table(), &dynamic_uniform_table());
+    }
+
+    #[test]
+    fn interior_fast_path_matches_clamped_path() {
+        // Pseudo-random frame: every pixel of the fast-path descriptor
+        // must match a reference built exclusively from the clamped
+        // per-pixel `lbp_code`.
+        let mut f = GrayFrame::new(37, 29, 0);
+        f.mutate(|d| {
+            for (i, px) in d.iter_mut().enumerate() {
+                *px = ((i as u32).wrapping_mul(2654435761) >> 24) as u8;
+            }
+        });
+        let cfg = LbpConfig {
+            grid: 4,
+            threshold: 8,
+        };
+        let fast = lbp_feature_vector(&f, &cfg);
+        // Reference path: clamped codes only.
+        let table = uniform_table();
+        let g = cfg.grid;
+        let (w, h) = (f.width() as usize, f.height() as usize);
+        let mut reference = vec![0.0f64; cfg.feature_len()];
+        let bound = |n: usize, i: usize| i * n / g;
+        for cy in 0..g {
+            for cx in 0..g {
+                let (y0, y1) = (bound(h, cy), bound(h, cy + 1));
+                let (x0, x1) = (bound(w, cx), bound(w, cx + 1));
+                let base = (cy * g + cx) * UNIFORM_BINS;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        let code = lbp_code(&f, x as i64, y as i64, cfg.threshold);
+                        reference[base + table[code as usize] as usize] += 1.0;
+                    }
+                }
+                let n = ((x1 - x0) * (y1 - y0)).max(1) as f64;
+                for v in &mut reference[base..base + UNIFORM_BINS] {
+                    *v /= n;
+                }
+            }
+        }
+        assert_eq!(fast, reference, "fast path must be bit-identical");
+    }
+
+    #[test]
+    fn feature_vector_into_reuses_buffer() {
+        let mut f = GrayFrame::new(24, 24, 0);
+        f.fill_disk(12.0, 12.0, 7.0, 200);
+        let cfg = LbpConfig::default();
+        let fresh = lbp_feature_vector(&f, &cfg);
+        let mut buf = vec![123.0; 7]; // wrong size, stale contents
+        lbp_feature_vector_into(&f, &cfg, &mut buf);
+        assert_eq!(buf, fresh);
     }
 
     #[test]

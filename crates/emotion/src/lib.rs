@@ -29,8 +29,10 @@ pub mod label;
 pub mod lbp;
 pub mod mlp;
 
-pub use classifier::{EmotionClassifier, EmotionPrediction, TrainReport};
+pub use classifier::{ClassifierScratch, EmotionClassifier, EmotionPrediction, TrainReport};
 pub use dataset::{ConfusionMatrix, Dataset, Normalizer};
 pub use label::Emotion;
-pub use lbp::{lbp_feature_vector, lbp_histogram, uniform_lbp_image, LbpConfig};
-pub use mlp::{Mlp, MlpConfig, TrainingConfig};
+pub use lbp::{
+    lbp_feature_vector, lbp_feature_vector_into, lbp_histogram, uniform_lbp_image, LbpConfig,
+};
+pub use mlp::{Mlp, MlpConfig, MlpScratch, TrainingConfig};

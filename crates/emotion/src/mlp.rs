@@ -103,6 +103,37 @@ struct Grads {
     gb: Vec<Vec<f64>>,
 }
 
+/// Reusable forward/backward buffers.
+///
+/// The original hot loop allocated one `Vec<f64>` per layer per frame
+/// (plus the input copy and the softmax output); at 610 frames × 4
+/// cameras × per-face classification that dominated `predict_proba`
+/// cost. A scratch is cheap to create empty — buffers grow to the
+/// network's widths on first use and are reused afterwards.
+///
+/// All scratch-threaded entry points produce bit-identical results to
+/// their allocating counterparts: the arithmetic and its order are
+/// unchanged, only the buffer reuse differs.
+#[derive(Debug, Default, Clone)]
+pub struct MlpScratch {
+    /// `activations[0]` = input copy; `activations[i]` = output of
+    /// layer `i-1` after ReLU (raw logits for the last layer).
+    activations: Vec<Vec<f64>>,
+    /// Softmax output of the last forward pass.
+    probs: Vec<f64>,
+    /// Backprop: current layer's delta.
+    delta: Vec<f64>,
+    /// Backprop: next (earlier) layer's delta under construction.
+    prev: Vec<f64>,
+}
+
+impl MlpScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        MlpScratch::default()
+    }
+}
+
 /// A feed-forward network with ReLU hidden layers and softmax output.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mlp {
@@ -142,12 +173,36 @@ impl Mlp {
 
     /// Forward pass returning softmax class probabilities.
     ///
+    /// Allocating convenience wrapper around
+    /// [`predict_proba_with`](Self::predict_proba_with); per-frame
+    /// callers should hold an [`MlpScratch`] instead.
+    ///
     /// # Panics
     /// Panics when `x.len() != config.input`.
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut scratch = MlpScratch::new();
+        self.predict_proba_with(x, &mut scratch).to_vec()
+    }
+
+    /// Forward pass into reusable buffers; returns the class
+    /// probabilities (borrowed from `scratch`, valid until the next
+    /// pass). Bit-identical to [`predict_proba`](Self::predict_proba).
+    ///
+    /// # Panics
+    /// Panics when `x.len() != config.input`.
+    pub fn predict_proba_with<'s>(&self, x: &[f64], scratch: &'s mut MlpScratch) -> &'s [f64] {
         assert_eq!(x.len(), self.config.input, "input dimension mismatch");
-        let (probs, _) = self.forward_full(x);
-        probs
+        self.forward_full(x, scratch);
+        &scratch.probs
+    }
+
+    /// Forward passes over a whole batch with one shared scratch,
+    /// returning per-sample probability vectors in input order.
+    pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut scratch = MlpScratch::new();
+        xs.iter()
+            .map(|x| self.predict_proba_with(x, &mut scratch).to_vec())
+            .collect()
     }
 
     /// Index of the most probable class.
@@ -155,29 +210,38 @@ impl Mlp {
         argmax(&self.predict_proba(x))
     }
 
+    /// Scratch-buffer variant of [`predict`](Self::predict).
+    pub fn predict_with(&self, x: &[f64], scratch: &mut MlpScratch) -> usize {
+        argmax(self.predict_proba_with(x, scratch))
+    }
+
     /// Forward pass keeping every layer's post-activation output
-    /// (needed for backprop). Returns `(softmax_probs, activations)`
-    /// where `activations[0] = x` and `activations[i]` is the output of
-    /// layer `i-1` after ReLU (pre-softmax for the last layer).
-    fn forward_full(&self, x: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>) {
-        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
-        activations.push(x.to_vec());
-        let mut buf = Vec::new();
+    /// (needed for backprop) in `scratch.activations`, where
+    /// `activations[0] = x` and `activations[i]` is the output of
+    /// layer `i-1` after ReLU (raw logits for the last layer).
+    /// Softmax probabilities land in `scratch.probs`.
+    fn forward_full(&self, x: &[f64], scratch: &mut MlpScratch) {
+        scratch
+            .activations
+            .resize_with(self.layers.len() + 1, Vec::new);
+        scratch.activations[0].clear();
+        scratch.activations[0].extend_from_slice(x);
         for (i, layer) in self.layers.iter().enumerate() {
-            layer.forward(&activations[i], &mut buf);
+            // Split so the input (index i) and output (index i+1)
+            // buffers can be borrowed simultaneously.
+            let (head, tail) = scratch.activations.split_at_mut(i + 1);
+            let out = &mut tail[0];
+            layer.forward(&head[i], out);
             let is_last = i + 1 == self.layers.len();
             if !is_last {
-                for v in &mut buf {
+                for v in out.iter_mut() {
                     if *v < 0.0 {
                         *v = 0.0;
                     }
                 }
             }
-            activations.push(std::mem::take(&mut buf));
         }
-        let logits = &activations[self.layers.len()];
-        let probs = softmax(logits);
-        (probs, activations)
+        softmax_into(&scratch.activations[self.layers.len()], &mut scratch.probs);
     }
 
     /// Trains on `(features, labels)` for the configured number of
@@ -210,6 +274,7 @@ impl Mlp {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut order: Vec<usize> = (0..features.len()).collect();
         let mut epoch_losses = Vec::with_capacity(tc.epochs);
+        let mut scratch = MlpScratch::new();
 
         for _ in 0..tc.epochs {
             // Fisher–Yates shuffle.
@@ -219,7 +284,7 @@ impl Mlp {
             }
             let mut total_loss = 0.0;
             for chunk in order.chunks(tc.batch_size.max(1)) {
-                total_loss += self.train_batch(features, labels, chunk, tc);
+                total_loss += self.train_batch(features, labels, chunk, tc, &mut scratch);
             }
             epoch_losses.push(total_loss / features.len() as f64);
         }
@@ -233,6 +298,7 @@ impl Mlp {
         labels: &[usize],
         batch: &[usize],
         tc: &TrainingConfig,
+        scratch: &mut MlpScratch,
     ) -> f64 {
         let mut grads = Grads {
             gw: self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
@@ -242,41 +308,43 @@ impl Mlp {
         for &idx in batch {
             let x = &features[idx];
             let y = labels[idx];
-            let (probs, activations) = self.forward_full(x);
-            loss += -(probs[y].max(1e-12)).ln();
+            self.forward_full(x, scratch);
+            loss += -(scratch.probs[y].max(1e-12)).ln();
 
             // Output delta: softmax + cross-entropy ⇒ p − onehot(y).
-            let mut delta: Vec<f64> = probs;
-            delta[y] -= 1.0;
+            scratch.delta.clear();
+            scratch.delta.extend_from_slice(&scratch.probs);
+            scratch.delta[y] -= 1.0;
 
             for li in (0..self.layers.len()).rev() {
-                let input = &activations[li];
+                let input = &scratch.activations[li];
                 let layer = &self.layers[li];
                 // Accumulate gradients for this layer.
                 for r in 0..layer.rows {
-                    grads.gb[li][r] += delta[r];
+                    grads.gb[li][r] += scratch.delta[r];
                     let base = r * layer.cols;
                     for (c, xi) in input.iter().enumerate() {
-                        grads.gw[li][base + c] += delta[r] * xi;
+                        grads.gw[li][base + c] += scratch.delta[r] * xi;
                     }
                 }
                 if li > 0 {
                     // Propagate delta through W and the ReLU derivative of
                     // the previous layer's output.
-                    let mut prev = vec![0.0f64; layer.cols];
+                    scratch.prev.clear();
+                    scratch.prev.resize(layer.cols, 0.0);
                     for r in 0..layer.rows {
                         let base = r * layer.cols;
-                        let d = delta[r];
-                        for (c, p) in prev.iter_mut().enumerate() {
+                        let d = scratch.delta[r];
+                        for (c, p) in scratch.prev.iter_mut().enumerate() {
                             *p += layer.w[base + c] * d;
                         }
                     }
-                    for (p, &a) in prev.iter_mut().zip(input.iter()) {
+                    for (p, &a) in scratch.prev.iter_mut().zip(input.iter()) {
                         if a <= 0.0 {
                             *p = 0.0;
                         }
                     }
-                    delta = prev;
+                    std::mem::swap(&mut scratch.delta, &mut scratch.prev);
                 }
             }
         }
@@ -312,12 +380,17 @@ impl Mlp {
     }
 }
 
-/// Numerically-stable softmax.
-fn softmax(logits: &[f64]) -> Vec<f64> {
+/// Numerically-stable softmax into a reusable buffer (max-shift, exp,
+/// sum, divide — in that order, so every caller gets bit-identical
+/// results regardless of buffer reuse).
+fn softmax_into(logits: &[f64], out: &mut Vec<f64>) {
     let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum).collect()
+    out.clear();
+    out.extend(logits.iter().map(|&l| (l - max).exp()));
+    let sum: f64 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
 }
 
 /// Index of the maximum element (first on ties).
@@ -345,7 +418,8 @@ mod tests {
 
     #[test]
     fn softmax_sums_to_one_and_is_stable() {
-        let p = softmax(&[1000.0, 1001.0, 999.0]);
+        let mut p = Vec::new();
+        softmax_into(&[1000.0, 1001.0, 999.0], &mut p);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(p.iter().all(|&x| x.is_finite() && x > 0.0));
         assert!(p[1] > p[0] && p[0] > p[2]);
@@ -476,6 +550,39 @@ mod tests {
             seed: 0,
         });
         let _ = mlp.train(&[vec![1.0]], &[5], &TrainingConfig::default());
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_allocating_path() {
+        let (features, labels) = xor_data();
+        let mut mlp = Mlp::new(MlpConfig {
+            input: 2,
+            hidden: vec![8, 6],
+            output: 2,
+            seed: 21,
+        });
+        mlp.train(
+            &features,
+            &labels,
+            &TrainingConfig {
+                epochs: 30,
+                ..TrainingConfig::default()
+            },
+        );
+        let mut scratch = MlpScratch::new();
+        let inputs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i as f64) * 0.05, 1.0 - (i as f64) * 0.03])
+            .collect();
+        for x in &inputs {
+            let fresh = mlp.predict_proba(x);
+            let reused = mlp.predict_proba_with(x, &mut scratch).to_vec();
+            assert_eq!(fresh, reused, "scratch reuse must not change any bit");
+            assert_eq!(mlp.predict(x), mlp.predict_with(x, &mut scratch));
+        }
+        let batch = mlp.predict_proba_batch(&inputs);
+        for (x, b) in inputs.iter().zip(&batch) {
+            assert_eq!(&mlp.predict_proba(x), b, "batch path must match");
+        }
     }
 
     #[test]

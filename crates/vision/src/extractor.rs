@@ -145,9 +145,61 @@ impl FeatureExtractor {
 
     /// Processes the next frame of the stream and returns one
     /// observation per detected face.
+    ///
+    /// Equivalent to [`analyze`](Self::analyze) followed by
+    /// [`integrate`](Self::integrate) — the pipeline's frame-parallel
+    /// path runs `analyze` for many frames concurrently on the shared
+    /// pool, then `integrate`s the results in frame order, which makes
+    /// the two paths bit-identical by construction.
     pub fn process(&mut self, frame: &GrayFrame) -> Vec<FaceObservation> {
+        let raw = self.analyze(frame);
+        self.integrate(raw)
+    }
+
+    /// The **pure** phase of frame processing: face detection,
+    /// landmarks, per-detection pose estimation, patch cropping, and
+    /// gallery recognition. Takes `&self`, touches no cross-frame state
+    /// (tracker, pose-carry cache, frame counter), and therefore may
+    /// run for many frames concurrently.
+    pub fn analyze(&self, frame: &GrayFrame) -> FrameRaw {
         let started = std::time::Instant::now();
         let detections = detect_faces(frame, &self.config.detector);
+        let mut faces = Vec::with_capacity(detections.len());
+        for det in detections {
+            let landmarks = locate_landmarks(frame, &det, &self.config.landmarks);
+            let pose = landmarks
+                .as_ref()
+                .and_then(|lm| estimate_pose(&det, lm, &self.camera, &self.config.pose));
+            let patch = self.crop_patch(frame, &det);
+            let identity = self
+                .gallery
+                .recognize(&det, &patch)
+                .map(|r| (r.person, r.distance));
+            if identity.is_none() {
+                self.instruments.identity_misses.incr();
+            }
+            faces.push(RawFace {
+                detection: det,
+                landmarks,
+                pose,
+                patch,
+                identity,
+            });
+        }
+        FrameRaw {
+            faces,
+            analyze_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The **stateful** phase: advances the tracker, ages the
+    /// pose-carry cache, applies carry-forward to landmark dropouts,
+    /// and stamps the frame index. Must be called exactly once per
+    /// [`analyze`](Self::analyze) result, in frame order.
+    pub fn integrate(&mut self, raw: FrameRaw) -> Vec<FaceObservation> {
+        let started = std::time::Instant::now();
+        let detections: Vec<crate::detect::FaceDetection> =
+            raw.faces.iter().map(|f| f.detection).collect();
         let track_ids = self.tracker.step(&detections);
         // Age the pose cache and retire entries past the carry horizon.
         let carry = self.config.pose_carry_frames;
@@ -156,12 +208,10 @@ impl FeatureExtractor {
         }
         self.pose_cache
             .retain(|_, (_, age)| *age <= carry.max(1) * 4);
-        let mut out = Vec::with_capacity(detections.len());
-        for (det, track) in detections.iter().zip(track_ids) {
-            let landmarks = locate_landmarks(frame, det, &self.config.landmarks);
-            let mut pose = landmarks
-                .as_ref()
-                .and_then(|lm| estimate_pose(det, lm, &self.camera, &self.config.pose));
+        let mut out = Vec::with_capacity(raw.faces.len());
+        for (face, track) in raw.faces.into_iter().zip(track_ids) {
+            let det = face.detection;
+            let mut pose = face.pose;
             match pose {
                 Some(p) => {
                     self.pose_cache.insert(track, (p, 0));
@@ -188,22 +238,14 @@ impl FeatureExtractor {
                 }
                 None => {}
             }
-            let patch = self.crop_patch(frame, det);
-            let identity = self
-                .gallery
-                .recognize(det, &patch)
-                .map(|r| (r.person, r.distance));
-            if identity.is_none() {
-                self.instruments.identity_misses.incr();
-            }
             out.push(FaceObservation {
                 frame: self.frame_index,
-                detection: *det,
-                landmarks,
+                detection: det,
+                landmarks: face.landmarks,
                 pose,
                 track: Some(track),
-                identity,
-                patch: Some(patch),
+                identity: face.identity,
+                patch: Some(face.patch),
             });
         }
         self.frame_index += 1;
@@ -211,8 +253,58 @@ impl FeatureExtractor {
         self.instruments.faces.add(out.len() as u64);
         self.instruments
             .frame_seconds
-            .observe(started.elapsed().as_secs_f64());
+            .observe(raw.analyze_seconds + started.elapsed().as_secs_f64());
         out
+    }
+}
+
+/// One detection's pure analysis result (phase A of frame processing).
+#[derive(Debug, Clone)]
+struct RawFace {
+    detection: crate::detect::FaceDetection,
+    landmarks: Option<crate::landmarks::FaceLandmarks>,
+    /// Pose from this frame's landmarks only — carry-forward is applied
+    /// during [`FeatureExtractor::integrate`].
+    pose: Option<crate::pose::HeadPoseEstimate>,
+    patch: GrayFrame,
+    identity: Option<(crate::types::PersonId, f64)>,
+}
+
+/// The pure per-frame analysis result of [`FeatureExtractor::analyze`],
+/// consumed by [`FeatureExtractor::integrate`].
+#[derive(Debug, Clone)]
+pub struct FrameRaw {
+    faces: Vec<RawFace>,
+    /// Wall time spent in `analyze`, folded into the per-frame
+    /// extraction-seconds histogram at integrate time.
+    analyze_seconds: f64,
+}
+
+impl FrameRaw {
+    /// Number of faces detected in this frame.
+    pub fn face_count(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Iterates the pure-phase per-face results: the detection, the
+    /// recognized identity (if any), and the cropped face patch.
+    ///
+    /// This exposes exactly the inputs downstream per-face work (e.g.
+    /// emotion classification) needs, so callers can run it in the
+    /// parallel phase alongside [`FeatureExtractor::analyze`] instead
+    /// of serializing it behind [`FeatureExtractor::integrate`].
+    pub fn faces(
+        &self,
+    ) -> impl Iterator<
+        Item = (
+            &crate::detect::FaceDetection,
+            Option<(crate::types::PersonId, f64)>,
+            &GrayFrame,
+        ),
+    > {
+        self.faces
+            .iter()
+            .map(|f| (&f.detection, f.identity, &f.patch))
     }
 }
 

@@ -42,7 +42,7 @@ pub mod track;
 pub mod types;
 
 pub use detect::{detect_faces, DetectorConfig, FaceDetection};
-pub use extractor::{ExtractorConfig, FeatureExtractor};
+pub use extractor::{ExtractorConfig, FeatureExtractor, FrameRaw};
 pub use hungarian::hungarian_min_assignment;
 pub use landmarks::{locate_landmarks, FaceLandmarks, LandmarkConfig};
 pub use pose::{estimate_pose, HeadPoseEstimate, PoseConfig};

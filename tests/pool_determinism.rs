@@ -1,0 +1,156 @@
+//! Determinism of frame-parallel execution: the work-stealing pool may
+//! reorder *when* per-frame work runs, but never *what* it computes.
+//!
+//! The contract under test is the one the whole perf story rests on:
+//! stage-3 extraction is split into a pure phase (fanned across the
+//! pool as frame chunks) and a stateful phase (integrated in frame
+//! order), and stage-4 fusion computes frames into positional slots —
+//! so a fully parallel run must be **bit-identical** to the fully
+//! sequential one, on every output surface of [`EventAnalysis`].
+
+use dievent_core::{DiEventPipeline, EventAnalysis, PipelineConfig, Recording};
+use dievent_scene::Scenario;
+
+fn run(recording: &Recording, config: PipelineConfig) -> EventAnalysis {
+    DiEventPipeline::new(config)
+        .run(recording)
+        .expect("pipeline run")
+}
+
+/// Asserts every comparable output surface of two analyses matches.
+fn assert_identical(a: &EventAnalysis, b: &EventAnalysis) {
+    assert_eq!(a.raw_matrices, b.raw_matrices, "raw look-at matrices");
+    assert_eq!(a.matrices, b.matrices, "smoothed look-at matrices");
+    assert_eq!(a.summary.rows(), b.summary.rows(), "summary matrix");
+    assert_eq!(a.overall, b.overall, "overall-emotion series");
+    assert_eq!(a.episodes, b.episodes, "eye-contact episodes");
+    assert_eq!(a.pair_stats, b.pair_stats, "pair statistics");
+    assert_eq!(a.highlights, b.highlights, "highlights");
+    assert_eq!(a.importance, b.importance, "importance series");
+    assert_eq!(a.validation, b.validation, "validation");
+    assert_eq!(a.dominance, b.dominance, "dominance ranking");
+}
+
+/// The paper's §III prototype (4 participants, 4 cameras, 610 frames)
+/// through the full pixel pipeline: parallel cameras + a multi-worker
+/// frame pool versus the single-threaded inline path. `pool_threads: 3`
+/// forces real fan-out even on a single-core runner.
+#[test]
+fn prototype_pool_parallel_is_bit_identical_to_sequential() {
+    let recording = Recording::capture(Scenario::prototype());
+    let base = PipelineConfig {
+        classify_emotions: false,
+        parse_video: false,
+        ..PipelineConfig::default()
+    };
+    let parallel = run(
+        &recording,
+        PipelineConfig {
+            parallel_cameras: true,
+            frame_parallel: true,
+            pool_threads: 3,
+            ..base
+        },
+    );
+    let sequential = run(
+        &recording,
+        PipelineConfig {
+            parallel_cameras: false,
+            frame_parallel: false,
+            ..base
+        },
+    );
+    assert_eq!(parallel.matrices.len(), 610, "the paper's frame count");
+    assert_identical(&parallel, &sequential);
+}
+
+/// Emotion classification runs in the pool's pure phase with per-chunk
+/// scratch buffers; its probabilities must survive parallelism bit for
+/// bit too (the prototype test above disables it to stay affordable).
+#[test]
+fn classification_under_frame_parallelism_is_bit_identical() {
+    let recording = Recording::capture(Scenario::two_camera_dinner(48, 7));
+    let base = PipelineConfig {
+        classify_emotions: true,
+        parse_video: true,
+        ..PipelineConfig::default()
+    };
+    let parallel = run(
+        &recording,
+        PipelineConfig {
+            parallel_cameras: true,
+            frame_parallel: true,
+            pool_threads: 2,
+            ..base
+        },
+    );
+    let sequential = run(
+        &recording,
+        PipelineConfig {
+            parallel_cameras: false,
+            frame_parallel: false,
+            ..base
+        },
+    );
+    assert_identical(&parallel, &sequential);
+}
+
+/// A private pool and the shared global pool are interchangeable:
+/// sizing the pool changes scheduling, never results.
+#[test]
+fn private_pool_equals_global_pool() {
+    let recording = Recording::capture(Scenario::two_camera_dinner(32, 5));
+    let base = PipelineConfig {
+        classify_emotions: false,
+        parse_video: false,
+        frame_parallel: true,
+        ..PipelineConfig::default()
+    };
+    let global = run(
+        &recording,
+        PipelineConfig {
+            pool_threads: 0,
+            ..base
+        },
+    );
+    let private = run(
+        &recording,
+        PipelineConfig {
+            pool_threads: 4,
+            ..base
+        },
+    );
+    assert_identical(&global, &private);
+}
+
+/// A frame-parallel run publishes its pool activity into the
+/// telemetry report (`pool.tasks`, `pool.steals`, `pool.threads`,
+/// `pool.queue_depth`), and a `frame_parallel: false` run does not.
+#[test]
+fn pool_telemetry_is_published_only_when_parallel() {
+    let recording = Recording::capture(Scenario::two_camera_dinner(16, 3));
+    let base = PipelineConfig {
+        classify_emotions: false,
+        parse_video: false,
+        ..PipelineConfig::default()
+    };
+    let on = run(
+        &recording,
+        PipelineConfig {
+            frame_parallel: true,
+            pool_threads: 2,
+            ..base
+        },
+    );
+    let has = |a: &EventAnalysis, name: &str| a.telemetry.counters.iter().any(|c| c.name == name);
+    assert!(has(&on, "pool.tasks"), "pool.tasks counter registered");
+    assert!(has(&on, "pool.steals"), "pool.steals counter registered");
+    let off = run(
+        &recording,
+        PipelineConfig {
+            frame_parallel: false,
+            ..base
+        },
+    );
+    assert!(!has(&off, "pool.tasks"), "no pool metrics when disabled");
+}
