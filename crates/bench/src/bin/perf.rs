@@ -14,6 +14,14 @@
 //!    distance early reject + scratch reuse).
 //! 4. **Pool scaling** — a fixed LBP workload fanned across 1..=N
 //!    worker threads of a private pool, speedup relative to 1 thread.
+//! 5. **Observability overhead** — the frame-parallel end-to-end run
+//!    repeated with the live observability plane enabled (embedded
+//!    metrics endpoint + rate sampler), reported as overhead vs. the
+//!    unobserved run. This keeps the "the plane is ~free" claim honest.
+//!
+//! Every number in the JSON is host-relative: compare runs only against
+//! the recorded `host_threads` (and treat `"quick": true` as smoke, not
+//! benchmark, data).
 //!
 //! `--quick` shrinks every measurement for CI smoke use (the JSON is
 //! still written, flagged with `"quick": true`).
@@ -52,23 +60,46 @@ fn main() {
     let recording = Recording::capture(scenario);
     let frames = recording.frames();
     let cameras = recording.cameras();
-    let run_fps = |frame_parallel: bool| {
-        let pipeline = DiEventPipeline::new(PipelineConfig {
-            frame_parallel,
-            ..PipelineConfig::default()
-        });
-        let started = Instant::now();
-        let analysis = pipeline.run(&recording).expect("pipeline run");
-        let elapsed = started.elapsed().as_secs_f64();
-        assert_eq!(analysis.matrices.len(), frames);
-        ((frames * cameras) as f64 / elapsed, elapsed)
+    // Best-of-N wall clock: single end-to-end runs jitter by ~10% on a
+    // busy 1-core host, which would drown the numbers the JSON exists
+    // to compare (parallel speedup, observability overhead).
+    let e2e_reps = if quick { 1 } else { 3 };
+    let run_fps = |config: PipelineConfig| {
+        let pipeline = DiEventPipeline::new(config);
+        let mut best = f64::INFINITY;
+        for _ in 0..e2e_reps {
+            let started = Instant::now();
+            let analysis = pipeline.run(&recording).expect("pipeline run");
+            let elapsed = started.elapsed().as_secs_f64();
+            assert_eq!(analysis.matrices.len(), frames);
+            best = best.min(elapsed);
+        }
+        ((frames * cameras) as f64 / best, best)
     };
     eprintln!("perf: end-to-end sequential ({cameras} cam x {frames} frames)...");
-    let (seq_fps, seq_s) = run_fps(false);
+    let (seq_fps, seq_s) = run_fps(PipelineConfig {
+        frame_parallel: false,
+        ..PipelineConfig::default()
+    });
     eprintln!("perf:   {seq_fps:.1} camera-frames/s ({seq_s:.2}s)");
     eprintln!("perf: end-to-end frame-parallel...");
-    let (par_fps, par_s) = run_fps(true);
+    let (par_fps, par_s) = run_fps(PipelineConfig::default());
     eprintln!("perf:   {par_fps:.1} camera-frames/s ({par_s:.2}s)");
+    // Same run, observed: embedded HTTP endpoint bound to a free port
+    // plus the 250 ms rate sampler — the configuration a deployment
+    // scraping `/metrics` would use.
+    eprintln!("perf: end-to-end frame-parallel + live observability plane...");
+    let (obs_fps, obs_s) = run_fps(
+        PipelineConfig::builder()
+            .serve_metrics("127.0.0.1:0".parse().expect("loopback addr"))
+            .build()
+            .expect("valid config"),
+    );
+    let obs_overhead = obs_s / par_s - 1.0;
+    eprintln!(
+        "perf:   {obs_fps:.1} camera-frames/s ({obs_s:.2}s, {:+.1}% vs unobserved)",
+        obs_overhead * 100.0
+    );
 
     // --- 2. LBP ns/descriptor. ---
     let patch = render_face_patch(Emotion::Happy, 225, 1, 7, 48);
@@ -141,6 +172,11 @@ fn main() {
             "frame_parallel_camera_fps": par_fps,
             "frame_parallel_seconds": par_s,
             "speedup": par_fps / seq_fps,
+        },
+        "observability_plane": {
+            "observed_camera_fps": obs_fps,
+            "observed_seconds": obs_s,
+            "overhead_vs_frame_parallel": obs_overhead,
         },
         "lbp_ns_per_descriptor_48x48": lbp_ns,
         "lookat_ns_per_frame": {

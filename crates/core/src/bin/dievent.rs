@@ -12,10 +12,15 @@
 //!   --map T         print the look-at top view at T seconds (repeatable)
 //!   --metrics       print the telemetry summary (spans + registry) to stderr
 //!   --trace FILE    write the span/event trace as JSON lines to FILE
+//!   --serve-metrics ADDR  serve /metrics, /healthz, /readyz, /snapshot,
+//!                   and /profile on ADDR while the analysis runs
+//!   --profile FILE  write the collapsed-stack span profile
+//!                   (flamegraph-compatible) to FILE at exit
 //! ```
 
-use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
+use dievent_core::{collapsed_stacks, DiEventPipeline, PipelineConfig, Recording};
 use dievent_scene::Scenario;
+use std::net::SocketAddr;
 use std::process::ExitCode;
 
 struct Options {
@@ -25,6 +30,8 @@ struct Options {
     parse: bool,
     metrics: bool,
     trace: Option<String>,
+    serve_metrics: Option<SocketAddr>,
+    profile: Option<String>,
     maps: Vec<f64>,
     positional: Vec<String>,
 }
@@ -37,6 +44,8 @@ fn parse_args() -> Result<Options, String> {
         parse: true,
         metrics: false,
         trace: None,
+        serve_metrics: None,
+        profile: None,
         maps: Vec::new(),
         positional: Vec::new(),
     };
@@ -52,6 +61,21 @@ fn parse_args() -> Result<Options, String> {
                     .next()
                     .ok_or_else(|| "--trace requires an output file".to_owned())?;
                 opts.trace = Some(file);
+            }
+            "--serve-metrics" => {
+                let addr = args
+                    .next()
+                    .ok_or_else(|| "--serve-metrics requires an address (host:port)".to_owned())?;
+                opts.serve_metrics = Some(
+                    addr.parse::<SocketAddr>()
+                        .map_err(|e| format!("--serve-metrics {addr}: {e}"))?,
+                );
+            }
+            "--profile" => {
+                let file = args
+                    .next()
+                    .ok_or_else(|| "--profile requires an output file".to_owned())?;
+                opts.profile = Some(file);
             }
             "--map" => {
                 let t = args
@@ -74,7 +98,8 @@ fn parse_args() -> Result<Options, String> {
 
 const USAGE: &str =
     "usage: dievent <prototype | dinner [FRAMES] [SEED] | restaurant N [FRAMES] [SEED]> \
-[--json] [--no-emotions] [--no-parse] [--map T]... [--metrics] [--trace FILE]";
+[--json] [--no-emotions] [--no-parse] [--map T]... [--metrics] [--trace FILE] \
+[--serve-metrics ADDR] [--profile FILE]";
 
 fn scenario_from(positional: &[String]) -> Result<Scenario, String> {
     let kind = positional
@@ -136,11 +161,14 @@ fn main() -> ExitCode {
     );
 
     let recording = Recording::capture(scenario);
-    let config = match PipelineConfig::builder()
+    let mut builder = PipelineConfig::builder()
         .classify_emotions(opts.emotions)
-        .parse_video(opts.parse)
-        .build()
-    {
+        .parse_video(opts.parse);
+    if let Some(addr) = opts.serve_metrics {
+        builder = builder.serve_metrics(addr);
+        eprintln!("serving metrics on http://{addr} for the duration of the run");
+    }
+    let config = match builder.build() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("invalid configuration: {e}");
@@ -180,6 +208,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("trace written to {path}");
+    }
+    if let Some(path) = &opts.profile {
+        if let Err(e) = std::fs::write(path, collapsed_stacks(pipeline.telemetry())) {
+            eprintln!("writing profile to {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("collapsed-stack profile written to {path} (flamegraph-compatible)");
     }
     ExitCode::SUCCESS
 }

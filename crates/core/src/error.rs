@@ -37,6 +37,9 @@ pub enum DiEventError {
     PoolWorkerPanicked,
     /// The metadata repository rejected an insert.
     Store(String),
+    /// The live observability plane could not be started (typically the
+    /// configured metrics address failed to bind).
+    Observe(String),
 }
 
 impl fmt::Display for DiEventError {
@@ -57,6 +60,7 @@ impl fmt::Display for DiEventError {
                 write!(f, "a work-stealing pool task panicked")
             }
             DiEventError::Store(msg) => write!(f, "metadata store error: {msg}"),
+            DiEventError::Observe(msg) => write!(f, "observability plane error: {msg}"),
         }
     }
 }

@@ -30,6 +30,7 @@
 
 pub mod acquisition;
 pub mod error;
+pub mod observe;
 pub mod pipeline;
 pub mod report;
 pub mod session;
@@ -37,8 +38,12 @@ pub mod training;
 
 pub use acquisition::{CameraStream, Recording};
 pub use dievent_pool::{PoolStats, ThreadPool};
-pub use dievent_telemetry::Telemetry;
+pub use dievent_telemetry::{
+    collapsed_stacks, span_profile, validate_exposition, LiveOptions, LivePlane, PlaneProbe,
+    RateWindow, Telemetry,
+};
 pub use error::DiEventError;
+pub use observe::ObserveConfig;
 pub use pipeline::{DiEventPipeline, PipelineConfig, PipelineConfigBuilder};
 pub use report::{AnalysisDigest, EventAnalysis, StageTimings};
 pub use session::{

@@ -22,6 +22,7 @@
 
 use crate::acquisition::Recording;
 use crate::error::DiEventError;
+use crate::observe::ObserveConfig;
 use crate::report::EventAnalysis;
 use crate::session::{FinishOptions, StreamingConfig};
 use crate::training::{train_emotion_classifier, TrainingSetConfig};
@@ -83,6 +84,10 @@ pub struct PipelineConfig {
     /// Streaming-session settings (channel capacity, backpressure,
     /// reorder window).
     pub streaming: StreamingConfig,
+    /// Live-observability settings (embedded metrics endpoint, rate
+    /// sampler, span profiler). Fully off by default — a session then
+    /// starts no extra threads.
+    pub observe: ObserveConfig,
 }
 
 impl Default for PipelineConfig {
@@ -105,6 +110,7 @@ impl Default for PipelineConfig {
             importance: ImportanceConfig::default(),
             summary: SummaryConfig::default(),
             streaming: StreamingConfig::default(),
+            observe: ObserveConfig::default(),
         }
     }
 }
@@ -140,6 +146,7 @@ impl PipelineConfig {
                 "matrix_smoothing window must be >= 1 frame".into(),
             ));
         }
+        self.observe.validate()?;
         Ok(())
     }
 }
@@ -210,6 +217,8 @@ impl PipelineConfigBuilder {
         summary: SummaryConfig,
         /// Streaming-session settings, wholesale.
         streaming: StreamingConfig,
+        /// Live-observability settings, wholesale.
+        observe: ObserveConfig,
     }
 
     /// Bounded per-camera input queue length, in frames (≥ 1).
@@ -230,6 +239,32 @@ impl PipelineConfigBuilder {
     #[must_use = "the setter consumes and returns the builder"]
     pub fn reorder_window(mut self, frames: usize) -> Self {
         self.config.streaming.reorder_window = frames;
+        self
+    }
+
+    /// Serves `/metrics`, `/healthz`, `/readyz`, `/snapshot`, and
+    /// `/profile` on `addr` while a session is open. Port 0 binds a
+    /// free port; read the resolved address back through
+    /// [`PipelineSession::observer`](crate::PipelineSession::observer).
+    #[must_use = "the setter consumes and returns the builder"]
+    pub fn serve_metrics(mut self, addr: std::net::SocketAddr) -> Self {
+        self.config.observe.http_addr = Some(addr);
+        self
+    }
+
+    /// Interval between observability sampler ticks (heartbeat gauges +
+    /// one rate window per tick).
+    #[must_use = "the setter consumes and returns the builder"]
+    pub fn sample_interval(mut self, interval: std::time::Duration) -> Self {
+        self.config.observe.sample_interval = interval;
+        self
+    }
+
+    /// Runs the rate sampler (attaching windowed rates to the final
+    /// report) even without an HTTP endpoint.
+    #[must_use = "the setter consumes and returns the builder"]
+    pub fn sample_rates(mut self, enabled: bool) -> Self {
+        self.config.observe.sample_rates = enabled;
         self
     }
 

@@ -123,6 +123,10 @@ pub struct EventAnalysis {
     /// The aggregated telemetry of the run: counters, gauges, latency
     /// histograms, and span summaries.
     pub telemetry: TelemetryReport,
+    /// Windowed rate trajectories (frames/s per camera, drops/s,
+    /// latency quantiles per window) sampled by the live plane —
+    /// empty unless `config.observe` was active.
+    pub rate_windows: Vec<dievent_telemetry::RateWindow>,
     /// The time-invariant context the recording carried, if any.
     pub context: Option<TimeInvariantContext>,
 }

@@ -19,6 +19,7 @@
 //! a thin driver over this engine, so both share one code path.
 
 use crate::error::DiEventError;
+use crate::observe::{CameraAliveGuard, PoolCursor, SessionVitals};
 use crate::pipeline::{DiEventPipeline, PipelineConfig};
 use crate::report::{EventAnalysis, StageTimings};
 use dievent_analysis::layers::TimeInvariantContext;
@@ -31,12 +32,14 @@ use dievent_analysis::{
 use dievent_emotion::{ClassifierScratch, EmotionClassifier};
 use dievent_geometry::{Iso3, PinholeCamera, Vec3};
 use dievent_metadata::{MetaRecord, MetadataRepository, RecordKind};
-use dievent_pool::{PoolStats, ThreadPool};
+use dievent_pool::ThreadPool;
 use dievent_scene::Scenario;
 use dievent_summarize::{
     detect_highlights, importance_series, select_summary, Highlight, HighlightKind,
 };
-use dievent_telemetry::{Counter, Gauge, Histogram, SpanGuard, Telemetry};
+use dievent_telemetry::{
+    Counter, Gauge, Histogram, LiveOptions, LivePlane, RateWindow, SpanGuard, Telemetry,
+};
 use dievent_video::{GrayFrame, VideoParser, VideoSpec, VideoStructure};
 use dievent_vision::{
     ExtractorConfig, FaceGallery, FaceObservation, FeatureExtractor, FrameRaw, PersonId,
@@ -254,6 +257,9 @@ struct Sequencer {
     /// Set when a pool task died mid-fusion; surfaced as
     /// [`DiEventError::PoolWorkerPanicked`] at finish.
     pool_panicked: bool,
+    /// Mirror of `frontier` the observability heartbeat reads as the
+    /// `session.watermark_frame` gauge.
+    vitals: Arc<SessionVitals>,
     occupancy: Gauge,
     evictions: Counter,
     late: Counter,
@@ -275,11 +281,13 @@ impl Sequencer {
         camera_poses: Vec<Iso3>,
         config: PipelineConfig,
         pool: Option<ThreadPool>,
+        vitals: Arc<SessionVitals>,
         telemetry: &Telemetry,
     ) -> Self {
         Sequencer {
             pool,
             pool_panicked: false,
+            vitals,
             cameras,
             participants,
             reorder_window: config.streaming.reorder_window,
@@ -348,6 +356,9 @@ impl Sequencer {
             }
             ready.push((frame, slots, arrived));
         }
+        self.vitals
+            .watermark
+            .store(self.frontier as u64, Ordering::Release);
         self.occupancy.set(self.pending.len() as f64);
         if ready.is_empty() {
             return;
@@ -892,10 +903,20 @@ pub struct PipelineSession {
     /// default (`pool_threads: 0`), a private one otherwise, `None`
     /// when `frame_parallel` is off.
     pool: Option<ThreadPool>,
-    /// Pool counters at open, so finish publishes this session's delta.
-    pool_stats_at_open: PoolStats,
+    /// Cursor over the pool's monotonic counters: the heartbeat
+    /// publishes incremental deltas mid-run, finish publishes the
+    /// remainder — each increment counted exactly once.
+    pool_cursor: Arc<PoolCursor>,
     /// Set by a camera worker whose pool batch panicked.
     pool_panic: Arc<AtomicBool>,
+    /// Uptime / watermark / per-camera liveness, published as gauges by
+    /// the plane's heartbeat (and once at finish).
+    vitals: Arc<SessionVitals>,
+    /// The live observability plane (`None` when `config.observe` is
+    /// inactive). Taken before `finish_with` destructures the session;
+    /// its own `Drop` joins the plane threads if the session is simply
+    /// dropped.
+    plane: Option<LivePlane>,
     run_span: SpanGuard,
     extraction_span: Option<SpanGuard>,
 }
@@ -960,14 +981,18 @@ impl PipelineSession {
                 ThreadPool::new(config.pool_threads)
             }
         });
-        let pool_stats_at_open = pool.as_ref().map(ThreadPool::stats).unwrap_or_default();
+        let pool_cursor = Arc::new(PoolCursor::new(
+            pool.as_ref().map(ThreadPool::stats).unwrap_or_default(),
+        ));
         let pool_panic = Arc::new(AtomicBool::new(false));
+        let vitals = Arc::new(SessionVitals::new(cameras));
         let sequencer = Sequencer::new(
             cameras,
             participants,
             camera_poses,
             config,
             pool.clone(),
+            Arc::clone(&vitals),
             &telemetry,
         );
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -1007,7 +1032,14 @@ impl PipelineSession {
                 let flag = Arc::clone(&shutdown);
                 let worker_pool = pool.clone();
                 let panic_flag = Arc::clone(&pool_panic);
+                let alive = CameraAliveGuard {
+                    flag: Arc::clone(&vitals),
+                    camera: c,
+                };
                 workers.push(std::thread::spawn(move || {
+                    // The guard clears this camera's liveness flag on
+                    // any exit path, including an unwind.
+                    let _alive = alive;
                     camera_worker(stage, stage_id, worker_pool, rx, out, flag, panic_flag)
                 }));
             }
@@ -1027,6 +1059,50 @@ impl PipelineSession {
             (ExecutionMode::Inline { stages, spans }, Vec::new())
         };
 
+        // Start the observability plane last, once the workers it
+        // reports on exist. The heartbeat runs on the sampler thread
+        // before every rate window: vitals gauges, incremental pool
+        // deltas, and a readiness downgrade if a camera worker died or
+        // a pool task panicked.
+        let plane = if config.observe.is_active() {
+            let plane = LivePlane::start(
+                &telemetry,
+                LiveOptions {
+                    http_addr: config.observe.http_addr,
+                    sample_interval: config.observe.sample_interval,
+                    ring_len: config.observe.ring_len,
+                },
+            )
+            .map_err(|e| {
+                DiEventError::Observe(format!(
+                    "failed to start live plane on {:?}: {e}",
+                    config.observe.http_addr
+                ))
+            })?;
+            let hb_telemetry = telemetry.clone();
+            let hb_vitals = Arc::clone(&vitals);
+            let hb_pool = pool.clone();
+            let hb_cursor = Arc::clone(&pool_cursor);
+            let hb_panic = Arc::clone(&pool_panic);
+            let hb_probe = plane.probe();
+            let hb_threaded = threaded;
+            plane.set_heartbeat(move || {
+                hb_vitals.publish(&hb_telemetry);
+                if let Some(pool) = &hb_pool {
+                    hb_cursor.publish(&hb_telemetry, pool);
+                }
+                let healthy = (!hb_threaded || hb_vitals.all_cameras_alive())
+                    && !hb_panic.load(Ordering::SeqCst);
+                if !healthy {
+                    hb_probe.set_ready(false);
+                }
+            });
+            plane.set_ready(true);
+            Some(plane)
+        } else {
+            None
+        };
+
         Ok(PipelineSession {
             config,
             telemetry,
@@ -1042,11 +1118,20 @@ impl PipelineSession {
             emitted: 0,
             shutdown,
             pool,
-            pool_stats_at_open,
+            pool_cursor,
             pool_panic,
+            vitals,
+            plane,
             run_span,
             extraction_span: Some(extraction_span),
         })
+    }
+
+    /// The live observability plane, when `config.observe` is active —
+    /// e.g. to resolve the actual bound endpoint after a port-0 bind,
+    /// or to read the rate windows sampled so far.
+    pub fn observer(&self) -> Option<&LivePlane> {
+        self.plane.as_ref()
     }
 
     /// Number of cameras the session was built for.
@@ -1137,6 +1222,11 @@ impl PipelineSession {
     /// Workers keep draining already-queued frames; call
     /// [`finish`](Self::finish) to collect the analysis.
     pub fn close(&mut self) {
+        // A closing session stops being ready before anything else:
+        // load balancers must drain it while `/metrics` still answers.
+        if let Some(plane) = &self.plane {
+            plane.set_ready(false);
+        }
         for feed in &mut self.feeds {
             feed.take();
         }
@@ -1185,7 +1275,13 @@ impl PipelineSession {
     /// and/or the event's time-invariant context.
     #[must_use = "dropping the result discards the whole analysis or its error"]
     pub fn finish_with(mut self, options: FinishOptions) -> Result<EventAnalysis, DiEventError> {
+        // Take the plane out before the session is destructured below
+        // (the `..` rest pattern would drop — and join — it blindly).
+        let plane = self.plane.take();
         // --- End of ingest: stop workers and collect their outputs. ---
+        if let Some(plane) = &plane {
+            plane.set_ready(false);
+        }
         self.close();
         match &mut self.mode {
             ExecutionMode::Threaded { workers, .. } => {
@@ -1220,7 +1316,8 @@ impl PipelineSession {
             mut sequencer,
             fps,
             pool,
-            pool_stats_at_open,
+            pool_cursor,
+            vitals,
             ..
         } = self;
 
@@ -1252,20 +1349,13 @@ impl PipelineSession {
         }
         // Publish the pool activity this session caused. The counters
         // are process-monotonic, so the delta from open is reported
-        // (shared-global-pool sessions running concurrently overlap).
+        // (shared-global-pool sessions running concurrently overlap);
+        // the cursor ensures activity the heartbeat already published
+        // mid-run is not counted twice.
         if let Some(pool) = &pool {
-            let now = pool.stats();
-            telemetry
-                .counter("pool.tasks")
-                .add(now.tasks.saturating_sub(pool_stats_at_open.tasks));
-            telemetry
-                .counter("pool.steals")
-                .add(now.steals.saturating_sub(pool_stats_at_open.steals));
-            telemetry.gauge("pool.threads").set(pool.threads() as f64);
-            telemetry
-                .gauge("pool.queue_depth")
-                .set(pool.queue_depth() as f64);
+            pool_cursor.publish(&telemetry, pool);
         }
+        vitals.publish(&telemetry);
         let frames = sequencer.frame_numbers.len();
         run_span.set("frames", frames);
         telemetry.gauge("recording_frames").set(frames as f64);
@@ -1324,9 +1414,20 @@ impl PipelineSession {
             repository
         };
 
-        // Close the run span, then derive the stage timings and the
-        // carried report from what the telemetry domain accumulated.
+        // Close the run span, then retire the observability plane: one
+        // last sample so the final window covers the tail of the run,
+        // a bounded join of its threads, and the windowed-rate
+        // trajectory for the report. This happens before the telemetry
+        // snapshot so the plane's own counters land in it.
         drop(run_span);
+        let rate_windows: Vec<RateWindow> = match plane {
+            Some(mut plane) => {
+                plane.sample_now();
+                plane.shutdown_join(Duration::from_secs(2));
+                plane.windows(None)
+            }
+            None => Vec::new(),
+        };
         let telemetry_report = telemetry.report();
         let timings = StageTimings::from_report(&telemetry_report);
 
@@ -1348,6 +1449,7 @@ impl PipelineSession {
             repository,
             timings,
             telemetry: telemetry_report,
+            rate_windows,
             context: options.context,
         })
     }

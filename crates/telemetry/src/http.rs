@@ -1,0 +1,502 @@
+//! The embedded, dependency-free HTTP exporter behind
+//! [`LivePlane`](crate::LivePlane).
+//!
+//! One background thread, blocking-per-request, serving:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the registry;
+//! * `GET /healthz` — liveness (200 whenever the server runs);
+//! * `GET /readyz` — readiness (503 until the session opens, and
+//!   again the moment it starts closing — *before* the socket dies);
+//! * `GET /snapshot?window=N` — JSON: the aggregated report plus the
+//!   last N rate windows;
+//! * `GET /profile` — collapsed-stack span profile (flamegraph
+//!   input).
+//!
+//! The accept loop polls a nonblocking listener so shutdown is
+//! bounded: no request can hold the thread past ~2 s of socket
+//! timeout, and an idle listener notices shutdown within 5 ms.
+
+use crate::live::{collapsed_stacks, PlaneShared};
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// How long one request may spend reading or writing.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
+/// Poll cadence of the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Upper bound on the request head we will buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// The server loop: accept until shutdown, then record the readiness
+/// verdict *before* the listener drops (and the socket closes), so
+/// tests can assert the flip-then-close ordering.
+pub(crate) fn serve(listener: TcpListener, shared: &PlaneShared) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_request(stream, shared),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    *shared.ready_when_closed.lock() = Some(shared.ready.load(Ordering::Acquire));
+    drop(listener);
+}
+
+/// Parses one request and routes it. Any socket error just drops the
+/// connection — the plane must never take the pipeline down.
+fn handle_request(mut stream: TcpStream, shared: &PlaneShared) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let Some(request_line) = read_request_line(&mut stream) else {
+        return;
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+
+    shared.telemetry.counter("observe.requests").incr();
+    let mut span = shared.telemetry.span("observe.request");
+    span.set("path", path);
+    span.set("method", method);
+
+    if method != "GET" {
+        let _ = respond(&mut stream, 405, "Method Not Allowed", TEXT, b"GET only\n");
+        return;
+    }
+    let _ = match path {
+        "/metrics" => {
+            let body = shared.telemetry.render_prometheus();
+            respond(&mut stream, 200, "OK", PROMETHEUS, body.as_bytes())
+        }
+        "/healthz" => respond(&mut stream, 200, "OK", TEXT, b"ok\n"),
+        "/readyz" => {
+            if shared.is_ready() {
+                respond(&mut stream, 200, "OK", TEXT, b"ready\n")
+            } else {
+                respond(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    TEXT,
+                    b"not ready\n",
+                )
+            }
+        }
+        "/snapshot" => match snapshot_body(shared, query) {
+            Ok(body) => respond(&mut stream, 200, "OK", JSON, body.as_bytes()),
+            Err(e) => respond(
+                &mut stream,
+                500,
+                "Internal Server Error",
+                TEXT,
+                e.as_bytes(),
+            ),
+        },
+        "/profile" => {
+            let body = collapsed_stacks(&shared.telemetry);
+            respond(&mut stream, 200, "OK", TEXT, body.as_bytes())
+        }
+        _ => respond(&mut stream, 404, "Not Found", TEXT, b"not found\n"),
+    };
+}
+
+const TEXT: &str = "text/plain; charset=utf-8";
+const JSON: &str = "application/json";
+const PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// The `/snapshot` JSON: uptime + readiness + the aggregated report +
+/// the retained (or last `?window=N`) rate windows.
+fn snapshot_body(shared: &PlaneShared, query: Option<&str>) -> Result<String, String> {
+    let limit = query
+        .into_iter()
+        .flat_map(|q| q.split('&'))
+        .find_map(|kv| kv.strip_prefix("window="))
+        .and_then(|n| n.parse::<usize>().ok());
+    let report = shared.telemetry.report();
+    let windows = {
+        let aggregator = shared.aggregator.lock();
+        aggregator.windows(limit)
+    };
+    let body = json!({
+        "uptime_s": shared.started.elapsed().as_secs_f64(),
+        "ready": shared.is_ready(),
+        "report": serde_json::to_value(&report).map_err(|e| e.to_string())?,
+        "windows": serde_json::to_value(&windows).map_err(|e| e.to_string())?,
+    });
+    serde_json::to_string(&body).map_err(|e| e.to_string())
+}
+
+/// Reads the whole request head (through the blank line ending the
+/// headers — leaving it unread would make the close an RST instead of
+/// a FIN) and returns the request line. Bounded at
+/// [`MAX_REQUEST_BYTES`]; `None` on timeout/EOF/garbage.
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while head.len() < MAX_REQUEST_BYTES {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8(head).ok()?;
+    let line = head.lines().next()?.trim();
+    if line.is_empty() {
+        return None;
+    }
+    Some(line.to_owned())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Summary returned by [`validate_exposition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// Sample lines seen.
+    pub samples: usize,
+    /// Distinct `# TYPE`d families.
+    pub families: usize,
+}
+
+/// A small Prometheus text-exposition checker: every sample line must
+/// parse (name, escaped labels, finite-or-`Inf`/`NaN` value) and
+/// belong to a `# TYPE`d family; `TYPE` kinds must be legal and
+/// unique. Used by the CI scrape smoke test and the examples — it is
+/// a format check, not a full client.
+pub fn validate_exposition(text: &str) -> Result<ExpositionStats, String> {
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(body) = comment.strip_prefix("TYPE ") {
+                let mut it = body.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                let kind = it.next().unwrap_or("").trim();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: bad metric name in TYPE: {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ) {
+                    return Err(format!("line {lineno}: unknown TYPE kind {kind:?}"));
+                }
+                if typed.insert(name.to_owned(), kind.to_owned()).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+            } else if let Some(body) = comment.strip_prefix("HELP ") {
+                let name = body.split_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: bad metric name in HELP: {name:?}"));
+                }
+            }
+            continue;
+        }
+        validate_sample_line(line, lineno, &typed)?;
+        samples += 1;
+    }
+    Ok(ExpositionStats {
+        samples,
+        families: typed.len(),
+    })
+}
+
+fn validate_sample_line(
+    line: &str,
+    lineno: usize,
+    typed: &BTreeMap<String, String>,
+) -> Result<(), String> {
+    let name_end = line
+        .char_indices()
+        .find(|&(i, c)| !is_name_char(c, i == 0))
+        .map(|(i, _)| i)
+        .unwrap_or(line.len());
+    let name = &line[..name_end];
+    if name.is_empty() {
+        return Err(format!(
+            "line {lineno}: sample has no metric name: {line:?}"
+        ));
+    }
+    let mut rest = &line[name_end..];
+    if rest.starts_with('{') {
+        let consumed = validate_labels(rest, lineno)?;
+        rest = &rest[consumed..];
+    }
+    let mut fields = rest.split_whitespace();
+    let Some(value) = fields.next() else {
+        return Err(format!("line {lineno}: sample {name} has no value"));
+    };
+    if value.parse::<f64>().is_err() {
+        return Err(format!("line {lineno}: unparseable value {value:?}"));
+    }
+    if let Some(timestamp) = fields.next() {
+        if timestamp.parse::<i64>().is_err() {
+            return Err(format!(
+                "line {lineno}: unparseable timestamp {timestamp:?}"
+            ));
+        }
+    }
+    if fields.next().is_some() {
+        return Err(format!("line {lineno}: trailing garbage on sample {name}"));
+    }
+    // Samples must belong to a declared family. Summary/histogram
+    // child series drop their suffix to find it; counters carry
+    // `_total` in the family name itself.
+    let family_known = typed.contains_key(name)
+        || ["_sum", "_count", "_bucket"]
+            .iter()
+            .filter_map(|suffix| name.strip_suffix(suffix))
+            .any(|base| typed.contains_key(base));
+    if !family_known {
+        return Err(format!("line {lineno}: sample {name} has no # TYPE line"));
+    }
+    Ok(())
+}
+
+/// Validates `{k="v",...}` with exposition escaping; returns the byte
+/// length consumed including both braces.
+fn validate_labels(s: &str, lineno: usize) -> Result<usize, String> {
+    let bytes = s.as_bytes();
+    let mut i = 1; // past '{'
+    loop {
+        if i >= bytes.len() {
+            return Err(format!("line {lineno}: unterminated label set"));
+        }
+        if bytes[i] == b'}' {
+            return Ok(i + 1);
+        }
+        // Label name.
+        let start = i;
+        while i < bytes.len() && is_label_char(bytes[i] as char, i == start) {
+            i += 1;
+        }
+        if i == start {
+            return Err(format!("line {lineno}: empty label name"));
+        }
+        if bytes.get(i) != Some(&b'=') || bytes.get(i + 1) != Some(&b'"') {
+            return Err(format!("line {lineno}: label missing =\"...\""));
+        }
+        i += 2;
+        // Escaped value: \\, \", \n are the legal escapes.
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("line {lineno}: unterminated label value")),
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'\\') => match bytes.get(i + 1) {
+                    Some(b'\\') | Some(b'"') | Some(b'n') => i += 2,
+                    _ => return Err(format!("line {lineno}: bad escape in label value")),
+                },
+                Some(_) => i += 1,
+            }
+        }
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(i + 1),
+            _ => return Err(format!("line {lineno}: expected , or }} after label")),
+        }
+    }
+}
+
+fn is_name_char(c: char, first: bool) -> bool {
+    if first {
+        c.is_ascii_alphabetic() || c == '_' || c == ':'
+    } else {
+        c.is_ascii_alphanumeric() || c == '_' || c == ':'
+    }
+}
+
+fn is_label_char(c: char, first: bool) -> bool {
+    if first {
+        c.is_ascii_alphabetic() || c == '_'
+    } else {
+        c.is_ascii_alphanumeric() || c == '_'
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty() && name.char_indices().all(|(i, c)| is_name_char(c, i == 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LiveOptions, LivePlane, Telemetry};
+    use std::io::{Read, Write};
+    use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let status = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn plane_on_localhost(t: &Telemetry) -> LivePlane {
+        LivePlane::start(
+            t,
+            LiveOptions {
+                http_addr: Some(SocketAddr::from((Ipv4Addr::LOCALHOST, 0))),
+                sample_interval: std::time::Duration::from_millis(10),
+                ring_len: 32,
+            },
+        )
+        .expect("bind localhost:0")
+    }
+
+    #[test]
+    fn endpoints_serve_metrics_health_snapshot_profile() {
+        let t = Telemetry::enabled();
+        t.counter_with("frames_processed", &[("camera", "0")])
+            .add(12);
+        {
+            let _run = t.span("run");
+            let _stage = t.span("stage.extraction");
+        }
+        let plane = plane_on_localhost(&t);
+        let addr = plane.local_addr().expect("bound");
+        plane.set_ready(true);
+        plane.sample_now();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let stats = validate_exposition(&body).expect("valid exposition");
+        assert!(stats.samples > 0 && stats.families > 0);
+        assert!(body.contains("dievent_frames_processed_total{camera=\"0\"} 12"));
+
+        assert_eq!(get(addr, "/healthz").0, 200);
+        assert_eq!(get(addr, "/readyz").0, 200);
+
+        let (status, body) = get(addr, "/snapshot");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).expect("json");
+        assert_eq!(v["ready"], serde_json::json!(true));
+        assert!(v["uptime_s"].as_f64().unwrap_or(-1.0) >= 0.0);
+
+        let (status, body) = get(addr, "/profile");
+        assert_eq!(status, 200);
+        assert!(body.contains("run;stage.extraction"), "{body}");
+
+        assert_eq!(get(addr, "/nope").0, 404);
+    }
+
+    #[test]
+    fn readyz_is_503_until_ready_and_after_close() {
+        let t = Telemetry::enabled();
+        let mut plane = plane_on_localhost(&t);
+        let addr = plane.local_addr().expect("bound");
+        assert_eq!(get(addr, "/readyz").0, 503, "not ready before open");
+        plane.set_ready(true);
+        assert_eq!(get(addr, "/readyz").0, 200);
+        let probe = plane.probe();
+        assert!(plane.shutdown_join(std::time::Duration::from_secs(2)));
+        assert_eq!(
+            probe.ready_when_closed(),
+            Some(false),
+            "readiness must drop before the socket closes"
+        );
+        assert_eq!(probe.threads_alive(), 0);
+    }
+
+    #[test]
+    fn snapshot_window_query_limits_the_ring() {
+        let t = Telemetry::enabled();
+        let plane = plane_on_localhost(&t);
+        let addr = plane.local_addr().expect("bound");
+        for i in 0..5u64 {
+            t.counter("ticks").add(i + 1);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            plane.sample_now();
+        }
+        let all: serde_json::Value = serde_json::from_str(&get(addr, "/snapshot").1).expect("json");
+        let two: serde_json::Value =
+            serde_json::from_str(&get(addr, "/snapshot?window=2").1).expect("json");
+        let all_n = all["windows"].as_array().map(|a| a.len()).unwrap_or(0);
+        let two_n = two["windows"].as_array().map(|a| a.len()).unwrap_or(0);
+        assert!(all_n >= 5, "{all_n}");
+        assert_eq!(two_n, 2);
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let t = Telemetry::enabled();
+        let plane = plane_on_localhost(&t);
+        let addr = plane.local_addr().expect("bound");
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    #[test]
+    fn validator_accepts_own_output_and_rejects_garbage() {
+        let t = Telemetry::enabled();
+        t.counter_with("frames_processed", &[("camera", "0")])
+            .add(3);
+        t.gauge("participants").set(4.0);
+        t.histogram("fusion_seconds").observe(0.01);
+        let stats = validate_exposition(&t.render_prometheus()).expect("own output valid");
+        assert!(stats.samples >= 5, "{stats:?}");
+
+        assert!(validate_exposition("no_type_line 1").is_err());
+        assert!(validate_exposition("# TYPE m bogus\nm 1").is_err());
+        assert!(validate_exposition("# TYPE m counter\nm{unclosed 1").is_err());
+        assert!(validate_exposition("# TYPE m counter\nm not_a_number").is_err());
+        assert!(
+            validate_exposition("# TYPE m counter\n# TYPE m counter\nm 1").is_err(),
+            "duplicate TYPE"
+        );
+        let escaped = "# TYPE m counter\nm{path=\"a\\\\b\\\"c\\nd\"} 1";
+        assert!(validate_exposition(escaped).is_ok(), "escapes are legal");
+    }
+}

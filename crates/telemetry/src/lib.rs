@@ -34,11 +34,18 @@
 
 #![forbid(unsafe_code)]
 
+mod http;
+pub mod live;
 mod metrics;
 mod report;
 pub mod sink;
 mod span;
 
+pub use http::{validate_exposition, ExpositionStats};
+pub use live::{
+    collapsed_stacks, span_profile, LiveOptions, LivePlane, PlaneProbe, ProfileNode, RateEntry,
+    RateWindow, WindowQuantiles,
+};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use report::{CounterEntry, GaugeEntry, HistogramSummary, SpanSummary, TelemetryReport};
 pub use sink::{JsonlSink, PrometheusSink, Sink, Snapshot, TreeSink};
@@ -60,12 +67,32 @@ pub(crate) struct Inner {
     events: Mutex<Vec<EventRecord>>,
     /// Per-thread stack of open span ids (for implicit nesting).
     stacks: Mutex<HashMap<ThreadId, Vec<u64>>>,
+    /// Spans currently open, by id — the live profiler resolves parent
+    /// chains through here while ancestors are still running.
+    open: Mutex<HashMap<u64, OpenSpan>>,
     registry: Registry,
 }
 
+/// Name/parent/start of a span that has not completed yet.
+#[derive(Debug, Clone)]
+pub(crate) struct OpenSpan {
+    pub(crate) name: String,
+    pub(crate) parent: Option<u64>,
+    pub(crate) start_s: f64,
+}
+
 impl Inner {
-    fn now_s(&self) -> f64 {
+    pub(crate) fn now_s(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Copy of the completed spans (for the live profiler).
+    pub(crate) fn completed_spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().clone()
     }
 
     fn current_span(&self) -> Option<u64> {
@@ -92,6 +119,19 @@ impl Inner {
                 stack.remove(pos);
             }
         }
+    }
+
+    fn close_span(&self, id: u64) {
+        self.open.lock().remove(&id);
+    }
+
+    /// Copy of the currently open spans (for the live profiler).
+    pub(crate) fn open_spans(&self) -> Vec<(u64, OpenSpan)> {
+        self.open
+            .lock()
+            .iter()
+            .map(|(id, s)| (*id, s.clone()))
+            .collect()
     }
 }
 
@@ -120,6 +160,7 @@ impl Telemetry {
                 spans: Mutex::new(Vec::new()),
                 events: Mutex::new(Vec::new()),
                 stacks: Mutex::new(HashMap::new()),
+                open: Mutex::new(HashMap::new()),
                 registry: Registry::default(),
             })),
         }
@@ -134,6 +175,10 @@ impl Telemetry {
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    pub(crate) fn inner_arc(&self) -> Option<Arc<Inner>> {
+        self.inner.clone()
     }
 
     /// Opens a span nested under the current thread's innermost open
@@ -153,8 +198,18 @@ impl Telemetry {
             None => SpanGuard::noop(),
             Some(inner) => {
                 let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
+                let name = name.into();
+                let start_s = inner.now_s();
                 inner.push_span(id);
-                SpanGuard::live(Arc::clone(inner), id, parent, name.into(), inner.now_s())
+                inner.open.lock().insert(
+                    id,
+                    OpenSpan {
+                        name: name.clone(),
+                        parent,
+                        start_s,
+                    },
+                );
+                SpanGuard::live(Arc::clone(inner), id, parent, name, start_s)
             }
         }
     }

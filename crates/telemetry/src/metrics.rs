@@ -30,7 +30,10 @@ impl MetricKey {
         }
     }
 
-    /// Renders `name{k="v",...}` (bare name when unlabeled).
+    /// Renders `name{k="v",...}` (bare name when unlabeled). Label
+    /// values are escaped per the Prometheus exposition format
+    /// (`\` → `\\`, `"` → `\"`, newline → `\n`), so the rendered form
+    /// is unambiguous even for hostile values.
     pub fn render(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
@@ -38,10 +41,25 @@ impl MetricKey {
         let body: Vec<String> = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
             .collect();
         format!("{}{{{}}}", self.name, body.join(","))
     }
+}
+
+/// Prometheus exposition escaping for label values: backslash, double
+/// quote, and line feed.
+pub(crate) fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 #[derive(Default)]
@@ -134,6 +152,16 @@ impl Counter {
 }
 
 /// A gauge handle (an f64 set to the latest value).
+///
+/// # Concurrency
+///
+/// All operations are atomic on the gauge's 64-bit cell, so a reader
+/// never observes a torn value — but [`set`](Gauge::set) across threads
+/// is last-writer-wins, and a snapshot taken while writers are active
+/// reflects *some* recent value of each gauge, not a single consistent
+/// cut across gauges. Use [`add`](Gauge::add)/[`sub`](Gauge::sub) for
+/// occupancy/liveness-style gauges that several threads move
+/// concurrently: increments are never lost the way racing `set`s are.
 #[derive(Clone, Default)]
 pub struct Gauge(Option<Arc<AtomicU64>>);
 
@@ -148,11 +176,24 @@ impl Gauge {
         Gauge(None)
     }
 
-    /// Sets the gauge.
+    /// Sets the gauge. Last writer wins across threads.
     pub fn set(&self, v: f64) {
         if let Some(cell) = &self.0 {
             cell.store(v.to_bits(), Ordering::Relaxed);
         }
+    }
+
+    /// Atomically adds `delta` (CAS loop; concurrent adds are never
+    /// lost, unlike racing [`set`](Gauge::set)s).
+    pub fn add(&self, delta: f64) {
+        if let Some(cell) = &self.0 {
+            atomic_f64_add(cell, delta);
+        }
+    }
+
+    /// Atomically subtracts `delta`.
+    pub fn sub(&self, delta: f64) {
+        self.add(-delta);
     }
 
     /// The current value (0 on a no-op handle).
@@ -230,8 +271,19 @@ impl HistogramCore {
 
     /// Geometric midpoint of a bucket — the representative value
     /// reported for quantiles landing in it.
-    fn bucket_value(idx: usize) -> f64 {
+    pub(crate) fn bucket_value(idx: usize) -> f64 {
         ((idx as f64 + 0.5) / BUCKETS_PER_OCTAVE - OCTAVE_OFFSET).exp2()
+    }
+
+    /// Point-in-time copy of the raw bucket counters. Two copies taken
+    /// at different times diff into a *windowed* distribution (the
+    /// counters are monotonic), which is how the live sampler computes
+    /// per-window quantiles.
+    pub(crate) fn bucket_snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     pub fn observe(&self, v: f64) {
@@ -446,5 +498,76 @@ mod tests {
         let key = MetricKey::new("frames", &[("z", "1"), ("a", "2")]);
         assert_eq!(key.render(), "frames{a=\"2\",z=\"1\"}");
         assert_eq!(MetricKey::new("frames", &[]).render(), "frames");
+    }
+
+    #[test]
+    fn metric_key_escapes_hostile_label_values() {
+        let key = MetricKey::new("m", &[("path", "a\\b"), ("msg", "say \"hi\"\nbye")]);
+        assert_eq!(
+            key.render(),
+            "m{msg=\"say \\\"hi\\\"\\nbye\",path=\"a\\\\b\"}"
+        );
+    }
+
+    #[test]
+    fn gauge_add_sub_are_atomic() {
+        let registry = Registry::default();
+        let gauge = registry.gauge("occupancy", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let gauge = gauge.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        gauge.add(1.0);
+                    }
+                    for _ in 0..9_000 {
+                        gauge.sub(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(gauge.get(), 8.0 * 1_000.0);
+    }
+
+    #[test]
+    fn concurrent_snapshots_never_observe_torn_gauges() {
+        // Writers move per-camera gauges by whole increments while a
+        // reader snapshots the registry. Atomic bit-level updates mean
+        // every observed value must be a whole number inside the
+        // writers' range, and every observed key must be one of the
+        // writers' fully rendered label sets (never a torn name).
+        let registry = Registry::default();
+        let stop = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for c in 0..4u64 {
+                let registry = &registry;
+                let stop = &stop;
+                s.spawn(move || {
+                    let label = c.to_string();
+                    let gauge = registry.gauge("depth", &[("camera", label.as_str())]);
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        gauge.add(1.0);
+                        gauge.sub(1.0);
+                        gauge.add(2.0);
+                        gauge.sub(2.0);
+                    }
+                });
+            }
+            for _ in 0..200 {
+                for (key, value) in registry.gauge_values() {
+                    assert!(
+                        (0.0..=3.0).contains(&value) && value.fract() == 0.0,
+                        "torn gauge value {value} for {}",
+                        key.render()
+                    );
+                    let rendered = key.render();
+                    assert!(
+                        rendered.starts_with("depth{camera=\"") && rendered.ends_with("\"}"),
+                        "torn label set: {rendered}"
+                    );
+                }
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
     }
 }

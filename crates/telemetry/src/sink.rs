@@ -179,6 +179,11 @@ impl<W: Write> Sink for JsonlSink<W> {
 
 /// Prometheus text exposition of the registry (spans and events are
 /// not exported — scrape formats carry metrics only).
+///
+/// Conformance notes: counters carry the conventional `_total` suffix,
+/// every family gets `# HELP` and `# TYPE` lines, histograms are
+/// exported as summaries with `quantile` labels, and label values /
+/// help text are escaped per the exposition format.
 pub struct PrometheusSink<W: Write>(pub W);
 
 /// `frames_processed{camera="0"}` → `("frames_processed", `{camera="0"}`)`.
@@ -195,34 +200,96 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Appends `_total` unless the name already carries it.
+fn counter_name(name: &str) -> String {
+    if name.ends_with("_total") {
+        name.to_owned()
+    } else {
+        format!("{name}_total")
+    }
+}
+
+/// Escaping for `# HELP` text: backslash and line feed (double quotes
+/// are legal in help text and stay as-is).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Help text for the pipeline's well-known instrument families; the
+/// sink falls back to the metric name for instruments it doesn't know.
+fn help_for(base: &str) -> Option<&'static str> {
+    Some(match base {
+        "frames_processed" => "Frames fully processed by a camera's stage-3 extractor",
+        "faces_detected" => "Face detections accepted by a camera's extractor",
+        "identity_misses" => "Detections the face recognizer could not attribute",
+        "detections_dropped" => "Detections dropped as unattributable (no usable gaze)",
+        "emotion_classifications" => "LBP+MLP emotion classifier invocations",
+        "lookat_tests" => "Ordered participant pairs geometrically tested for looks",
+        "ec_episodes" => "Eye-contact episodes detected over the recording",
+        "metadata_inserts" => "Records inserted into the metadata repository",
+        "session.frames_fused" => "Frames fused into look-at matrices by the sequencer",
+        "session.frames_dropped" => "Frames shed by DropOldest backpressure, per camera",
+        "session.reorder_evictions" => "Frames fused incomplete after the reorder window expired",
+        "session.late_arrivals" => "Camera outputs arriving after their frame was already fused",
+        "session.queue_depth" => "Bounded input queue occupancy, per camera (frames)",
+        "session.reorder_occupancy" => "Frames pending in the sequencer's reorder window",
+        "session.uptime_s" => "Seconds since the streaming session opened",
+        "session.watermark_frame" => "Lowest frame index not yet fused (sequencer frontier)",
+        "session.camera_alive" => "1 while the camera's worker thread is running, else 0",
+        "pool.tasks" => "Tasks executed by the work-stealing pool for this domain",
+        "pool.steals" => "Pool tasks taken from a sibling worker's deque",
+        "pool.threads" => "Worker threads in the active pool",
+        "pool.queue_depth" => "Tasks queued in the pool (injector + worker deques)",
+        "observe.requests" => "HTTP requests served by the live observability plane",
+        "observe.samples" => "Snapshot windows taken by the live sampler",
+        "participants" => "Participants in the analyzed scenario",
+        "cameras" => "Cameras in the acquisition rig",
+        "recording_frames" => "Frames fused over the whole recording",
+        "frame_extraction_seconds" => "Stage-3 wall-clock seconds per frame, per camera",
+        "fusion_seconds" => "Stage-4 fusion + look-at wall-clock seconds per frame",
+        "metadata_flush_seconds" => "Metadata log flush latency",
+        _ => return None,
+    })
+}
+
 impl<W: Write> Sink for PrometheusSink<W> {
     fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
         let w = &mut self.0;
         let r = &snapshot.report;
-        let mut last_type: Option<String> = None;
-        let mut type_line = |w: &mut W, name: &str, kind: &str| -> io::Result<()> {
-            if last_type.as_deref() != Some(name) {
-                writeln!(w, "# TYPE dievent_{name} {kind}")?;
-                last_type = Some(name.to_owned());
+        let mut last_family: Option<String> = None;
+        let mut family = |w: &mut W, raw: &str, exposed: &str, kind: &str| -> io::Result<()> {
+            if last_family.as_deref() != Some(exposed) {
+                let help = help_for(raw).unwrap_or(raw);
+                writeln!(w, "# HELP dievent_{exposed} {}", escape_help(help))?;
+                writeln!(w, "# TYPE dievent_{exposed} {kind}")?;
+                last_family = Some(exposed.to_owned());
             }
             Ok(())
         };
         for c in &r.counters {
-            let (name, labels) = split_labels(&c.name);
-            let name = sanitize(name);
-            type_line(w, &name, "counter")?;
+            let (raw, labels) = split_labels(&c.name);
+            let name = counter_name(&sanitize(raw));
+            family(w, raw, &name, "counter")?;
             writeln!(w, "dievent_{name}{labels} {}", c.value)?;
         }
         for g in &r.gauges {
-            let (name, labels) = split_labels(&g.name);
-            let name = sanitize(name);
-            type_line(w, &name, "gauge")?;
+            let (raw, labels) = split_labels(&g.name);
+            let name = sanitize(raw);
+            family(w, raw, &name, "gauge")?;
             writeln!(w, "dievent_{name}{labels} {}", g.value)?;
         }
         for h in &r.histograms {
-            let (name, labels) = split_labels(&h.name);
-            let name = sanitize(name);
-            type_line(w, &name, "summary")?;
+            let (raw, labels) = split_labels(&h.name);
+            let name = sanitize(raw);
+            family(w, raw, &name, "summary")?;
             let base_labels = labels.trim_start_matches('{').trim_end_matches('}');
             let quantile = |q: &str, v: f64| {
                 if base_labels.is_empty() {
@@ -237,13 +304,16 @@ impl<W: Write> Sink for PrometheusSink<W> {
             writeln!(w, "dievent_{name}_sum{labels} {}", h.sum)?;
             writeln!(w, "dievent_{name}_count{labels} {}", h.count)?;
         }
-        // Span aggregates exported as a pair of synthetic metrics.
+        // Span aggregates exported as a pair of synthetic counters:
+        // total seconds and completion count per span name.
         for s in &r.spans {
             let name = sanitize(&s.name);
-            type_line(w, &format!("span_{name}_seconds_total"), "counter")?;
-            writeln!(w, "dievent_span_{name}_seconds_total {}", s.total_s)?;
-            type_line(w, &format!("span_{name}_count"), "counter")?;
-            writeln!(w, "dievent_span_{name}_count {}", s.count)?;
+            let seconds = format!("span_{name}_seconds_total");
+            family(w, &s.name, &seconds, "counter")?;
+            writeln!(w, "dievent_{seconds} {}", s.total_s)?;
+            let count = format!("span_{name}_total");
+            family(w, &s.name, &count, "counter")?;
+            writeln!(w, "dievent_{count} {}", s.count)?;
         }
         Ok(())
     }
@@ -324,11 +394,28 @@ mod tests {
     #[test]
     fn prometheus_exposition_has_types_and_values() {
         let text = sample().render_prometheus();
-        assert!(text.contains("# TYPE dievent_frames_processed counter"));
-        assert!(text.contains("dievent_frames_processed{camera=\"0\"} 40"));
+        assert!(text.contains("# TYPE dievent_frames_processed_total counter"));
+        assert!(text.contains("dievent_frames_processed_total{camera=\"0\"} 40"));
+        assert!(text.contains("# HELP dievent_frames_processed_total "));
         assert!(text.contains("# TYPE dievent_participants gauge"));
+        assert!(text.contains("# TYPE dievent_frame_extraction_seconds summary"));
         assert!(text.contains("quantile=\"0.95\""));
         assert!(text.contains("dievent_frame_extraction_seconds_count 1"));
         assert!(text.contains("dievent_span_run_seconds_total"));
+        assert!(text.contains("dievent_span_run_total 1"));
+    }
+
+    #[test]
+    fn prometheus_exposition_escapes_label_values() {
+        let t = Telemetry::enabled();
+        t.counter_with("odd", &[("path", "a\\b\"c\nd")]).add(1);
+        let text = t.render_prometheus();
+        assert!(
+            text.contains("dievent_odd_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "{text}"
+        );
+        // The exposition stays one-sample-per-line despite the newline
+        // in the label value.
+        assert!(text.lines().all(|l| !l.is_empty()), "{text}");
     }
 }

@@ -164,6 +164,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
             inner.pop_span(self.id);
+            inner.close_span(self.id);
             let record = SpanRecord {
                 id: self.id,
                 parent: self.parent,

@@ -1,0 +1,60 @@
+//! Golden-file conformance test for the Prometheus text exposition.
+//!
+//! The registry sample below is fully deterministic (no spans — their
+//! durations are wall-clock), so the rendered exposition must be
+//! byte-identical run to run. Regenerate after an intentional format
+//! change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p dievent-telemetry --test prometheus_golden
+//! ```
+//!
+//! and review the diff — the golden file is the conformance contract
+//! (`_total` suffixes, HELP/TYPE lines, summary quantiles, escaping).
+
+use dievent_telemetry::{validate_exposition, Telemetry};
+
+fn sample() -> Telemetry {
+    let t = Telemetry::enabled();
+    t.counter_with("frames_processed", &[("camera", "0")])
+        .add(40);
+    t.counter_with("frames_processed", &[("camera", "1")])
+        .add(38);
+    t.counter("lookat_tests").add(1200);
+    // Hostile label value: backslash, quote, newline.
+    t.counter_with("odd", &[("path", "a\\b\"c\nd")]).add(1);
+    t.gauge("participants").set(4.0);
+    t.gauge_with("session.queue_depth", &[("camera", "0")])
+        .set(3.0);
+    // 1 ms .. 100 ms uniform: quantiles land on fixed bucket midpoints.
+    let h = t.histogram("fusion_seconds");
+    for i in 1..=100 {
+        h.observe(i as f64 * 1e-3);
+    }
+    t
+}
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/prometheus.txt");
+
+#[test]
+fn exposition_matches_golden_file() {
+    let got = sample().render_prometheus();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden file");
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file present (UPDATE_GOLDEN=1 regenerates it)");
+    assert_eq!(
+        got, want,
+        "exposition drifted from tests/golden/prometheus.txt; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_file_passes_the_validator() {
+    let text = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+    let stats = validate_exposition(&text).expect("golden exposition is valid");
+    assert!(stats.samples >= 9, "{stats:?}");
+    assert!(stats.families >= 5, "{stats:?}");
+}

@@ -10,26 +10,76 @@
 //! stages and returns the same `EventAnalysis` the batch path would.
 //!
 //! Run with: `cargo run --release --example streaming`
+//!
+//! With `--serve-metrics ADDR` (e.g. `127.0.0.1:0`), the session also
+//! serves its live observability endpoints, and this example probes
+//! its own `/healthz` and `/metrics` mid-run — validating the
+//! Prometheus payload — before finishing. Exits non-zero if the
+//! exposition is malformed, so CI can use it as a smoke test.
 
-use dievent_core::{BackpressureMode, DiEventPipeline, PipelineConfig, Recording};
+use dievent_core::{
+    validate_exposition, BackpressureMode, DiEventPipeline, PipelineConfig, Recording,
+};
 use dievent_scene::Scenario;
+use std::io::{Read, Write};
+use std::net::SocketAddr;
+
+/// Minimal HTTP/1.1 GET over std TcpStream: returns (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.lines().next().unwrap_or_default().to_owned();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
 
 fn main() {
+    let serve_metrics: Option<SocketAddr> = {
+        let mut args = std::env::args().skip(1);
+        match args.next().as_deref() {
+            Some("--serve-metrics") => Some(
+                args.next()
+                    .expect("--serve-metrics requires an address")
+                    .parse()
+                    .expect("valid host:port"),
+            ),
+            _ => None,
+        }
+    };
+
     // A two-camera dinner stands in for two live 25 fps feeds.
     let scenario = Scenario::two_camera_dinner(250, 7);
     let recording = Recording::capture(scenario);
 
-    let config = PipelineConfig::builder()
+    let mut builder = PipelineConfig::builder()
         .classify_emotions(false)
         .parse_video(false)
         .channel_capacity(8)
         .backpressure(BackpressureMode::Block) // live feeds: DropOldest
-        .reorder_window(32)
-        .build()
-        .expect("valid config");
+        .reorder_window(32);
+    if let Some(addr) = serve_metrics {
+        builder = builder
+            .serve_metrics(addr)
+            .sample_interval(std::time::Duration::from_millis(50));
+    }
+    let config = builder.build().expect("valid config");
     let pipeline = DiEventPipeline::new(config);
 
     let mut session = pipeline.session(&recording.scenario).expect("session");
+    // With port 0 the OS picks the port; the session knows the result.
+    let endpoint = session.observer().and_then(|plane| plane.local_addr());
+    if let Some(addr) = endpoint {
+        println!("live observability plane on http://{addr}");
+    }
     let feeds = session.take_feeds().expect("feeds");
     let frames = recording.frames();
 
@@ -49,6 +99,7 @@ fn main() {
         // Meanwhile, consume incremental per-frame results.
         let mut fused = 0usize;
         let mut looks = 0usize;
+        let mut probed = false;
         while fused < frames {
             for frame in session.poll() {
                 fused += 1;
@@ -59,6 +110,25 @@ fn main() {
                         frame.frame,
                         frame.raw_matrix.count_ones(),
                         frame.cameras_reporting
+                    );
+                }
+            }
+            // Mid-run, probe our own observability endpoints once.
+            if let Some(addr) = endpoint {
+                if !probed && fused >= frames / 2 {
+                    probed = true;
+                    let (status, _) = http_get(addr, "/healthz");
+                    assert!(status.contains("200"), "/healthz said {status}");
+                    let (status, body) = http_get(addr, "/metrics");
+                    assert!(status.contains("200"), "/metrics said {status}");
+                    let stats = validate_exposition(&body).expect("valid Prometheus exposition");
+                    assert!(
+                        body.contains("dievent_frames_processed_total{camera=\"0\"}"),
+                        "per-camera frame counters must be exposed"
+                    );
+                    println!(
+                        "mid-run /metrics: {} samples in {} families, exposition valid",
+                        stats.samples, stats.families
                     );
                 }
             }
