@@ -1065,12 +1065,38 @@ impl PipelineSession {
         // deltas, and a readiness downgrade if a camera worker died or
         // a pool task panicked.
         let plane = if config.observe.is_active() {
-            let plane = LivePlane::start(
+            let hb_telemetry = telemetry.clone();
+            let hb_vitals = Arc::clone(&vitals);
+            let hb_pool = pool.clone();
+            let hb_cursor = Arc::clone(&pool_cursor);
+            let hb_panic = Arc::clone(&pool_panic);
+            let hb_threaded = threaded;
+            // The heartbeat borrows its probe per call instead of
+            // owning one: an owned probe would cycle the plane's
+            // shared state through its own callback, keeping the pool
+            // handle below (and the pool's worker threads) alive past
+            // session drop. Wiring it at start — with readiness
+            // already true, since the workers above exist — means the
+            // first sampler tick carries the gauges and `/readyz`
+            // never reports 503 for an open session.
+            let plane = LivePlane::start_with_heartbeat(
                 &telemetry,
                 LiveOptions {
                     http_addr: config.observe.http_addr,
                     sample_interval: config.observe.sample_interval,
                     ring_len: config.observe.ring_len,
+                },
+                true,
+                move |probe| {
+                    hb_vitals.publish(&hb_telemetry);
+                    if let Some(pool) = &hb_pool {
+                        hb_cursor.publish(&hb_telemetry, pool);
+                    }
+                    let healthy = (!hb_threaded || hb_vitals.all_cameras_alive())
+                        && !hb_panic.load(Ordering::SeqCst);
+                    if !healthy {
+                        probe.set_ready(false);
+                    }
                 },
             )
             .map_err(|e| {
@@ -1079,25 +1105,6 @@ impl PipelineSession {
                     config.observe.http_addr
                 ))
             })?;
-            let hb_telemetry = telemetry.clone();
-            let hb_vitals = Arc::clone(&vitals);
-            let hb_pool = pool.clone();
-            let hb_cursor = Arc::clone(&pool_cursor);
-            let hb_panic = Arc::clone(&pool_panic);
-            let hb_probe = plane.probe();
-            let hb_threaded = threaded;
-            plane.set_heartbeat(move || {
-                hb_vitals.publish(&hb_telemetry);
-                if let Some(pool) = &hb_pool {
-                    hb_cursor.publish(&hb_telemetry, pool);
-                }
-                let healthy = (!hb_threaded || hb_vitals.all_cameras_alive())
-                    && !hb_panic.load(Ordering::SeqCst);
-                if !healthy {
-                    hb_probe.set_ready(false);
-                }
-            });
-            plane.set_ready(true);
             Some(plane)
         } else {
             None

@@ -1,7 +1,8 @@
 //! The embedded, dependency-free HTTP exporter behind
 //! [`LivePlane`](crate::LivePlane).
 //!
-//! One background thread, blocking-per-request, serving:
+//! One background accept thread plus a bounded set of short-lived
+//! per-connection handler threads, serving:
 //!
 //! * `GET /metrics` — Prometheus text exposition of the registry;
 //! * `GET /healthz` — liveness (200 whenever the server runs);
@@ -13,15 +14,22 @@
 //!   input).
 //!
 //! The accept loop polls a nonblocking listener so shutdown is
-//! bounded: no request can hold the thread past ~2 s of socket
-//! timeout, and an idle listener notices shutdown within 5 ms.
+//! bounded: an idle listener notices shutdown within 5 ms, and each
+//! connection runs on its own short-lived thread (capped at
+//! [`MAX_CONNECTIONS`], then handled inline) so one slow or stalled
+//! client cannot delay `/readyz` for the load balancer — or a
+//! Prometheus scrape — queued behind it. Handler threads are bounded
+//! by the ~2 s socket timeout on both read and write; any still
+//! serving at shutdown are left to finish on their own and outlive
+//! the listener by at most that long.
 
 use crate::live::{collapsed_stacks, PlaneShared};
 use serde_json::json;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How long one request may spend reading or writing.
@@ -30,17 +38,50 @@ const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// Upper bound on the request head we will buffer.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Ceiling on concurrent per-connection handler threads; accepts past
+/// the cap are served inline on the accept thread, which applies
+/// natural backpressure instead of spawning without bound.
+const MAX_CONNECTIONS: usize = 16;
+
+/// Decrements the live-connection count when a handler exits — even
+/// by unwind, or when its thread failed to spawn and the closure
+/// (owning this guard) was dropped unexecuted.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 /// The server loop: accept until shutdown, then record the readiness
 /// verdict *before* the listener drops (and the socket closes), so
 /// tests can assert the flip-then-close ordering.
-pub(crate) fn serve(listener: TcpListener, shared: &PlaneShared) {
+pub(crate) fn serve(listener: TcpListener, shared: Arc<PlaneShared>) {
+    let active = Arc::new(AtomicUsize::new(0));
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
         match listener.accept() {
-            Ok((stream, _)) => handle_request(stream, shared),
+            Ok((stream, _)) => {
+                if active.load(Ordering::Acquire) >= MAX_CONNECTIONS {
+                    handle_request(stream, &shared);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::AcqRel);
+                let guard = ConnGuard(Arc::clone(&active));
+                let shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("dievent-live-conn".to_owned())
+                    .spawn(move || {
+                        let _guard = guard;
+                        handle_request(stream, &shared);
+                    });
+                // On spawn failure the closure was dropped unexecuted,
+                // rolling back the count and closing the connection.
+                drop(spawned);
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
             Err(_) => std::thread::sleep(ACCEPT_POLL),
         }
@@ -476,6 +517,27 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
         assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    #[test]
+    fn slow_client_does_not_starve_other_probes() {
+        let t = Telemetry::enabled();
+        let plane = plane_on_localhost(&t);
+        let addr = plane.local_addr().expect("bound");
+        plane.set_ready(true);
+        // A client that connects and sends nothing occupies a handler
+        // for the full socket read timeout (~2 s). Requests arriving
+        // behind it must still be answered promptly.
+        let stalled = TcpStream::connect(addr).expect("connect");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let asked = std::time::Instant::now();
+        assert_eq!(get(addr, "/readyz").0, 200);
+        assert!(
+            asked.elapsed() < std::time::Duration::from_secs(1),
+            "readyz stalled behind a slow client: {:?}",
+            asked.elapsed()
+        );
+        drop(stalled);
     }
 
     #[test]

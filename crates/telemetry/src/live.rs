@@ -397,6 +397,13 @@ fn stack_of(id: u64, meta: &HashMap<u64, (String, Option<u64>, f64)>) -> String 
     names.join(";")
 }
 
+/// The per-tick heartbeat callback. It *borrows* the probe for the
+/// duration of each call instead of owning one: an owned probe would
+/// put an `Arc<PlaneShared>` inside `PlaneShared.heartbeat` — a cycle
+/// that keeps the callback's captures (a pool handle and its worker
+/// threads, session vitals, telemetry) alive forever.
+type HeartbeatFn = Box<dyn Fn(&PlaneProbe) + Send + 'static>;
+
 /// State shared between the plane handle, the sampler thread, and the
 /// HTTP server thread.
 pub(crate) struct PlaneShared {
@@ -405,7 +412,9 @@ pub(crate) struct PlaneShared {
     /// Called at the top of every tick — the session publishes its
     /// heartbeat gauges (uptime, watermark, liveness, pool deltas)
     /// from here so they are fresh in every sample and scrape.
-    heartbeat: Mutex<Option<Box<dyn Fn() + Send + 'static>>>,
+    /// Cleared at shutdown so its captures are released even while
+    /// outstanding [`PlaneProbe`]s keep this struct alive.
+    heartbeat: Mutex<Option<HeartbeatFn>>,
     pub(crate) ready: AtomicBool,
     pub(crate) shutdown: AtomicBool,
     /// Background threads currently running (sampler + server).
@@ -421,14 +430,20 @@ pub(crate) struct PlaneShared {
 }
 
 impl PlaneShared {
-    /// One sampler tick: heartbeat, then window the registry.
-    pub(crate) fn tick(&self) {
-        {
-            let heartbeat = self.heartbeat.lock();
-            if let Some(f) = heartbeat.as_ref() {
-                f();
-            }
+    /// Runs the heartbeat callback (when registered), lending it a
+    /// probe for readiness downgrades.
+    fn run_heartbeat(self: &Arc<Self>) {
+        let heartbeat = self.heartbeat.lock();
+        if let Some(f) = heartbeat.as_ref() {
+            f(&PlaneProbe {
+                shared: Arc::clone(self),
+            });
         }
+    }
+
+    /// One sampler tick: heartbeat, then window the registry.
+    pub(crate) fn tick(self: &Arc<Self>) {
+        self.run_heartbeat();
         self.aggregator.lock().sample(&self.telemetry);
         self.telemetry.counter("observe.samples").incr();
     }
@@ -511,12 +526,37 @@ impl LivePlane {
     /// the initial baseline sample, and spawns the background threads.
     /// Fails only on socket bind/spawn errors.
     pub fn start(telemetry: &Telemetry, options: LiveOptions) -> std::io::Result<LivePlane> {
+        Self::start_inner(telemetry, options, None, false)
+    }
+
+    /// Like [`start`](LivePlane::start), but wires the heartbeat
+    /// callback and the initial `/readyz` verdict *before* the sampler
+    /// and server threads spawn: the very first rate window already
+    /// carries the heartbeat gauges, and a probe connecting right
+    /// after the bind never sees a spurious 503 for an open session.
+    /// The callback is lent a [`PlaneProbe`] on every call (e.g. to
+    /// downgrade readiness) and is dropped at shutdown.
+    pub fn start_with_heartbeat(
+        telemetry: &Telemetry,
+        options: LiveOptions,
+        ready: bool,
+        heartbeat: impl Fn(&PlaneProbe) + Send + 'static,
+    ) -> std::io::Result<LivePlane> {
+        Self::start_inner(telemetry, options, Some(Box::new(heartbeat)), ready)
+    }
+
+    fn start_inner(
+        telemetry: &Telemetry,
+        options: LiveOptions,
+        heartbeat: Option<HeartbeatFn>,
+        ready: bool,
+    ) -> std::io::Result<LivePlane> {
         let interval = options.sample_interval.max(Duration::from_millis(1));
         let shared = Arc::new(PlaneShared {
             telemetry: telemetry.clone(),
             aggregator: Mutex::new(Aggregator::new(options.ring_len)),
-            heartbeat: Mutex::new(None),
-            ready: AtomicBool::new(false),
+            heartbeat: Mutex::new(heartbeat),
+            ready: AtomicBool::new(ready),
             shutdown: AtomicBool::new(false),
             threads_alive: AtomicUsize::new(0),
             ready_when_closed: Mutex::new(None),
@@ -524,7 +564,9 @@ impl LivePlane {
             wake: (StdMutex::new(false), Condvar::new()),
             sample_interval: interval,
         });
-        // Baseline so the first timed tick already yields a window.
+        // Baseline (heartbeat included) so the first timed tick
+        // already yields a window carrying the heartbeat gauges.
+        shared.run_heartbeat();
         shared.aggregator.lock().sample(telemetry);
 
         let mut local_addr = None;
@@ -535,7 +577,7 @@ impl LivePlane {
             listener.set_nonblocking(true)?;
             server = Some(Self::spawn("dievent-live-http", &shared, {
                 let shared = Arc::clone(&shared);
-                move || http::serve(listener, &shared)
+                move || http::serve(listener, shared)
             })?);
         }
         let sampler = Self::spawn("dievent-live-sampler", &shared, {
@@ -580,8 +622,12 @@ impl LivePlane {
 
     /// Registers the per-tick heartbeat callback (replacing any
     /// previous one). Runs on the sampler thread before every sample
-    /// and on [`sample_now`](LivePlane::sample_now).
-    pub fn set_heartbeat(&self, f: impl Fn() + Send + 'static) {
+    /// and on [`sample_now`](LivePlane::sample_now), lent a
+    /// [`PlaneProbe`] so it can downgrade readiness without owning a
+    /// handle back into the plane. Dropped at shutdown. Prefer
+    /// [`start_with_heartbeat`](LivePlane::start_with_heartbeat) so
+    /// the first tick already sees the callback.
+    pub fn set_heartbeat(&self, f: impl Fn(&PlaneProbe) + Send + 'static) {
         *self.shared.heartbeat.lock() = Some(Box::new(f));
     }
 
@@ -628,6 +674,11 @@ impl LivePlane {
             *stop = true;
             condvar.notify_all();
         }
+        // Drop the heartbeat callback: its captures (session vitals,
+        // telemetry, possibly a pool handle whose worker threads only
+        // exit when the last handle drops) must be released now, not
+        // when the last outstanding PlaneProbe goes away.
+        *self.shared.heartbeat.lock() = None;
         let deadline = Instant::now() + timeout;
         let mut all_joined = true;
         for handle in [self.sampler.take(), self.server.take()]
@@ -659,17 +710,24 @@ impl Drop for LivePlane {
 }
 
 /// The sampler thread: tick every `sample_interval` until shutdown.
-fn sampler_loop(shared: &PlaneShared) {
+fn sampler_loop(shared: &Arc<PlaneShared>) {
     loop {
         {
             let (lock, condvar) = &shared.wake;
-            let stop = match lock.lock() {
+            let mut stop = match lock.lock() {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            let (stop, _timeout) = match condvar.wait_timeout(stop, shared.sample_interval) {
-                Ok(woken) => woken,
-                Err(poisoned) => poisoned.into_inner(),
+            // A stop requested while the previous tick ran (or before
+            // this thread reached its first wait) notified a condvar
+            // nobody was waiting on — check the flag before sleeping,
+            // or shutdown would stall a full interval.
+            if *stop || shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            stop = match condvar.wait_timeout(stop, shared.sample_interval) {
+                Ok((guard, _timeout)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
             };
             if *stop || shared.shutdown.load(Ordering::Acquire) {
                 return;
@@ -828,7 +886,7 @@ mod tests {
         let beats = Arc::new(AtomicUsize::new(0));
         let counted = Arc::clone(&beats);
         let hb_telemetry = t.clone();
-        plane.set_heartbeat(move || {
+        plane.set_heartbeat(move |_probe| {
             counted.fetch_add(1, Ordering::Relaxed);
             hb_telemetry.gauge("session.uptime_s").set(1.0);
         });
@@ -838,6 +896,102 @@ mod tests {
         let windows = plane.windows(None);
         let last = windows.last().expect("two samples, one window min");
         assert_eq!(last.gauge("session.uptime_s"), Some(1.0));
+    }
+
+    #[test]
+    fn start_with_heartbeat_wires_before_the_first_tick() {
+        let t = Telemetry::enabled();
+        let hb_telemetry = t.clone();
+        let mut plane = LivePlane::start_with_heartbeat(
+            &t,
+            LiveOptions {
+                http_addr: None,
+                sample_interval: Duration::from_millis(5),
+                ring_len: 8,
+            },
+            true,
+            move |_probe| hb_telemetry.gauge("session.uptime_s").set(2.0),
+        )
+        .expect("no socket");
+        assert!(plane.is_ready(), "initial readiness applies before start");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let windows = plane.windows(None);
+            if let Some(first) = windows.first() {
+                // Even the *first* window must carry the heartbeat
+                // gauges — the callback was registered before the
+                // sampler thread existed.
+                assert_eq!(first.gauge("session.uptime_s"), Some(2.0));
+                break;
+            }
+            assert!(Instant::now() < deadline, "sampler produced no window");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(plane.shutdown_join(Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn heartbeat_can_downgrade_readiness_via_the_lent_probe() {
+        let t = Telemetry::enabled();
+        let plane = LivePlane::start(&t, LiveOptions::default()).expect("no socket");
+        plane.set_ready(true);
+        plane.set_heartbeat(|probe| probe.set_ready(false));
+        assert!(plane.is_ready());
+        plane.sample_now();
+        assert!(!plane.is_ready(), "heartbeat flipped readiness");
+    }
+
+    #[test]
+    fn shutdown_frees_heartbeat_captures_despite_live_probes() {
+        let t = Telemetry::enabled();
+        let mut plane = LivePlane::start(&t, LiveOptions::default()).expect("no socket");
+        let sentinel = Arc::new(());
+        let weak = Arc::downgrade(&sentinel);
+        plane.set_heartbeat(move |_probe| {
+            let _held = &sentinel;
+        });
+        plane.sample_now();
+        assert!(weak.upgrade().is_some(), "captures alive while running");
+        // The probe outlives the plane (as test probes do): the
+        // heartbeat's captures must still be dropped at shutdown —
+        // a session's pool handle held here would otherwise leak the
+        // pool's worker threads for as long as any probe exists.
+        let probe = plane.probe();
+        assert!(plane.shutdown_join(Duration::from_secs(2)));
+        assert!(
+            weak.upgrade().is_none(),
+            "shutdown must drop the heartbeat callback and its captures"
+        );
+        drop(probe);
+    }
+
+    #[test]
+    fn stop_requested_before_the_first_wait_is_seen_immediately() {
+        let t = Telemetry::enabled();
+        let mut plane = LivePlane::start(
+            &t,
+            LiveOptions {
+                http_addr: None,
+                sample_interval: Duration::from_secs(30),
+                ring_len: 4,
+            },
+        )
+        .expect("no socket");
+        let probe = plane.probe();
+        // Zero-timeout join: signals stop (racing the sampler thread
+        // to its first condvar wait) and detaches. The pre-wait stop
+        // check must make the thread exit promptly either way — with
+        // only the post-wait check it would sleep out the full 30 s
+        // interval whenever the notify won the race.
+        plane.shutdown_join(Duration::ZERO);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while probe.threads_alive() > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "sampler slept through a stop request"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Regression test: an observed session with a *private* thread pool
+//! must release the pool's worker threads when it is dropped. The
+//! session's heartbeat callback captures a pool handle; if the plane
+//! kept that callback alive past shutdown (as an owned-probe cycle
+//! once did), the last handle would never drop and the workers would
+//! park forever.
+//!
+//! Lives in its own integration-test binary: the assertions count OS
+//! threads by name via `/proc/self/task`, which only stays
+//! deterministic when no sibling test spins up pools in the same
+//! process.
+
+#![cfg(target_os = "linux")]
+
+use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
+use dievent_scene::Scenario;
+use std::time::{Duration, Instant};
+
+/// Counts this process's live threads named `dievent-pool-*` (worker
+/// names are truncated to 15 bytes in `comm`, which still covers the
+/// prefix) — real OS threads, not a counter the code under test keeps.
+fn pool_worker_threads() -> usize {
+    let Ok(entries) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            std::fs::read_to_string(e.path().join("comm"))
+                .is_ok_and(|comm| comm.trim_end().starts_with("dievent-pool"))
+        })
+        .count()
+}
+
+#[test]
+fn dropping_an_observed_session_frees_its_private_pool_workers() {
+    let recording = Recording::capture(Scenario::two_camera_dinner(30, 3));
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        .pool_threads(2)
+        .serve_metrics("127.0.0.1:0".parse().expect("loopback"))
+        .sample_interval(Duration::from_millis(20))
+        .build()
+        .expect("valid config");
+    let before = pool_worker_threads();
+    let pipeline = DiEventPipeline::new(config);
+    let mut session = pipeline.session(&recording.scenario).expect("session");
+    for c in 0..recording.cameras() {
+        session.push_frame(c, recording.frame(c, 0)).expect("push");
+    }
+    assert!(pool_worker_threads() > before, "private pool is running");
+
+    // Abandon the session without `finish()`. The plane's Drop clears
+    // the heartbeat (releasing its pool handle), the camera workers
+    // exit as their feeds disconnect (releasing theirs), and the last
+    // handle shuts the pool down. Workers exit on their next wake-up,
+    // so poll with a deadline rather than asserting instantly.
+    drop(session);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while pool_worker_threads() > before {
+        assert!(
+            Instant::now() < deadline,
+            "private pool workers leaked after session drop"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
