@@ -1,8 +1,8 @@
-//! One-shot performance runner: measures the paths PR 4 optimized and
-//! writes the numbers to `BENCH_4.json` (path overridable as the first
-//! positional argument).
+//! One-shot performance runner: measures the hot paths and writes the
+//! numbers to a JSON report (default `BENCH_6.json`; override with
+//! `--out FILE` or the first positional argument).
 //!
-//! Four measurements:
+//! Measurements:
 //!
 //! 1. **End-to-end** — the §III prototype (4 cameras × 610 frames)
 //!    through the full default pipeline, `frame_parallel` off vs on,
@@ -18,6 +18,10 @@
 //!    repeated with the live observability plane enabled (embedded
 //!    metrics endpoint + rate sampler), reported as overhead vs. the
 //!    unobserved run. This keeps the "the plane is ~free" claim honest.
+//! 6. **Frame lineage** — the frame-parallel run repeated with
+//!    per-frame lineage tracing on, reporting the tracer's overhead
+//!    plus the per-stage latency attribution (queue-wait / extract /
+//!    reorder-hold / fuse p50/p95/p99) it produced.
 //!
 //! Every number in the JSON is host-relative: compare runs only against
 //! the recorded `host_threads` (and treat `"quick": true` as smoke, not
@@ -44,9 +48,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| args.iter().find(|a| !a.starts_with("--")).cloned())
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     eprintln!("perf: host has {threads} hardware thread(s); quick = {quick}");
@@ -99,6 +104,36 @@ fn main() {
     eprintln!(
         "perf:   {obs_fps:.1} camera-frames/s ({obs_s:.2}s, {:+.1}% vs unobserved)",
         obs_overhead * 100.0
+    );
+    // Same run with per-frame lineage tracing: every frame is stamped
+    // at ingest and each stage boundary, and the final analysis carries
+    // the per-stage latency attribution this section records.
+    eprintln!("perf: end-to-end frame-parallel + lineage tracing...");
+    let lineage_pipeline = DiEventPipeline::new(
+        PipelineConfig::builder()
+            .trace_lineage(true)
+            .build()
+            .expect("valid config"),
+    );
+    let mut lin_s = f64::INFINITY;
+    let mut lineage = None;
+    for _ in 0..e2e_reps {
+        let started = Instant::now();
+        let analysis = lineage_pipeline.run(&recording).expect("pipeline run");
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(analysis.matrices.len(), frames);
+        if elapsed < lin_s {
+            lin_s = elapsed;
+            lineage = analysis.lineage;
+        }
+    }
+    let lin_fps = (frames * cameras) as f64 / lin_s;
+    let lin_overhead = lin_s / par_s - 1.0;
+    let lineage = lineage.expect("lineage report from traced run");
+    eprintln!(
+        "perf:   {lin_fps:.1} camera-frames/s ({lin_s:.2}s, {:+.1}% vs untraced; {} frames traced)",
+        lin_overhead * 100.0,
+        lineage.summary.frames_traced
     );
 
     // --- 2. LBP ns/descriptor. ---
@@ -160,8 +195,19 @@ fn main() {
         scaling.push(json!({ "threads": k, "ms_per_batch": ms, "speedup": speedup }));
     }
 
+    let stage_json = |name: &str| match lineage.summary.stage(name) {
+        Some(s) => json!({
+            "count": s.count,
+            "mean_s": s.mean_s,
+            "p50_s": s.p50_s,
+            "p95_s": s.p95_s,
+            "p99_s": s.p99_s,
+            "max_s": s.max_s,
+        }),
+        None => serde_json::Value::Null,
+    };
     let report = json!({
-        "bench": "BENCH_4",
+        "bench": "BENCH_6",
         "quick": quick,
         "host_threads": threads,
         "end_to_end": {
@@ -177,6 +223,21 @@ fn main() {
             "observed_camera_fps": obs_fps,
             "observed_seconds": obs_s,
             "overhead_vs_frame_parallel": obs_overhead,
+        },
+        "frame_lineage": {
+            "traced_camera_fps": lin_fps,
+            "traced_seconds": lin_s,
+            "overhead_vs_frame_parallel": lin_overhead,
+            "frames_traced": lineage.summary.frames_traced,
+            "frames_incomplete": lineage.summary.frames_incomplete,
+            "exemplars": lineage.exemplars.len(),
+            "stages": {
+                "queue_wait": stage_json("queue_wait"),
+                "extract": stage_json("extract"),
+                "reorder_hold": stage_json("reorder_hold"),
+                "fuse": stage_json("fuse"),
+                "total": stage_json("total"),
+            },
         },
         "lbp_ns_per_descriptor_48x48": lbp_ns,
         "lookat_ns_per_frame": {

@@ -13,9 +13,12 @@
 //!   --metrics       print the telemetry summary (spans + registry) to stderr
 //!   --trace FILE    write the span/event trace as JSON lines to FILE
 //!   --serve-metrics ADDR  serve /metrics, /healthz, /readyz, /snapshot,
-//!                   and /profile on ADDR while the analysis runs
+//!                   /lineage, and /profile on ADDR while the analysis runs
 //!   --profile FILE  write the collapsed-stack span profile
 //!                   (flamegraph-compatible) to FILE at exit
+//!   --trace-lineage FILE  trace per-frame lineage (queue-wait vs compute
+//!                   vs reorder-hold) and write the report as JSON lines
+//!                   to FILE at exit
 //! ```
 
 use dievent_core::{collapsed_stacks, DiEventPipeline, PipelineConfig, Recording};
@@ -32,6 +35,7 @@ struct Options {
     trace: Option<String>,
     serve_metrics: Option<SocketAddr>,
     profile: Option<String>,
+    trace_lineage: Option<String>,
     maps: Vec<f64>,
     positional: Vec<String>,
 }
@@ -46,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
         trace: None,
         serve_metrics: None,
         profile: None,
+        trace_lineage: None,
         maps: Vec::new(),
         positional: Vec::new(),
     };
@@ -77,6 +82,12 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| "--profile requires an output file".to_owned())?;
                 opts.profile = Some(file);
             }
+            "--trace-lineage" => {
+                let file = args
+                    .next()
+                    .ok_or_else(|| "--trace-lineage requires an output file".to_owned())?;
+                opts.trace_lineage = Some(file);
+            }
             "--map" => {
                 let t = args
                     .next()
@@ -99,7 +110,7 @@ fn parse_args() -> Result<Options, String> {
 const USAGE: &str =
     "usage: dievent <prototype | dinner [FRAMES] [SEED] | restaurant N [FRAMES] [SEED]> \
 [--json] [--no-emotions] [--no-parse] [--map T]... [--metrics] [--trace FILE] \
-[--serve-metrics ADDR] [--profile FILE]";
+[--serve-metrics ADDR] [--profile FILE] [--trace-lineage FILE]";
 
 fn scenario_from(positional: &[String]) -> Result<Scenario, String> {
     let kind = positional
@@ -168,6 +179,9 @@ fn main() -> ExitCode {
         builder = builder.serve_metrics(addr);
         eprintln!("serving metrics on http://{addr} for the duration of the run");
     }
+    if opts.trace_lineage.is_some() {
+        builder = builder.trace_lineage(true);
+    }
     let config = match builder.build() {
         Ok(c) => c,
         Err(e) => {
@@ -215,6 +229,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("collapsed-stack profile written to {path} (flamegraph-compatible)");
+    }
+    if let Some(path) = &opts.trace_lineage {
+        match &analysis.lineage {
+            Some(report) => {
+                if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+                    eprintln!("writing lineage trace to {path} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "frame-lineage trace written to {path} ({} frames, {} exemplars)",
+                    report.summary.frames_traced,
+                    report.exemplars.len()
+                );
+            }
+            None => {
+                eprintln!("no lineage report was produced");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -39,8 +39,8 @@ pub mod training;
 pub use acquisition::{CameraStream, Recording};
 pub use dievent_pool::{PoolStats, ThreadPool};
 pub use dievent_telemetry::{
-    collapsed_stacks, span_profile, validate_exposition, LiveOptions, LivePlane, PlaneProbe,
-    RateWindow, Telemetry,
+    collapsed_stacks, span_profile, validate_exposition, CameraLane, FrameWaterfall, LineageReport,
+    LineageStageSummary, LineageSummary, LiveOptions, LivePlane, PlaneProbe, RateWindow, Telemetry,
 };
 pub use error::DiEventError;
 pub use observe::ObserveConfig;

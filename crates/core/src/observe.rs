@@ -38,6 +38,17 @@ pub struct ObserveConfig {
     /// Run the sampler (and attach `rate_windows` to the final
     /// report) even without an HTTP endpoint.
     pub sample_rates: bool,
+    /// Trace per-frame lineage: stamp every frame at ingest and at
+    /// each stage boundary, attribute its end-to-end latency to
+    /// queue-wait vs compute vs reorder-hold, and attach the
+    /// stage-attribution report to the final analysis (and to
+    /// `GET /lineage` when the HTTP endpoint runs). Independent of
+    /// the plane: works with or without `http_addr`/`sample_rates`.
+    pub trace_lineage: bool,
+    /// Full [`FrameWaterfall`](dievent_telemetry::FrameWaterfall)s
+    /// retained by the lineage reservoir (the slowest-frame exemplars
+    /// are kept on top of this).
+    pub lineage_reservoir: usize,
 }
 
 impl Default for ObserveConfig {
@@ -47,6 +58,8 @@ impl Default for ObserveConfig {
             sample_interval: Duration::from_millis(250),
             ring_len: 120,
             sample_rates: false,
+            trace_lineage: false,
+            lineage_reservoir: 256,
         }
     }
 }
@@ -60,6 +73,13 @@ impl ObserveConfig {
     /// Internal-consistency check, folded into
     /// [`PipelineConfig::validate`](crate::PipelineConfig::validate).
     pub(crate) fn validate(&self) -> Result<(), DiEventError> {
+        // The lineage tracer runs with or without the plane, so its
+        // knob is checked regardless of `is_active()`.
+        if self.trace_lineage && self.lineage_reservoir == 0 {
+            return Err(DiEventError::InvalidConfig(
+                "observe.lineage_reservoir must be >= 1 waterfall".into(),
+            ));
+        }
         if !self.is_active() {
             return Ok(());
         }
@@ -92,6 +112,11 @@ impl Serialize for ObserveConfig {
         );
         map.insert("ring_len".to_owned(), self.ring_len.serialize());
         map.insert("sample_rates".to_owned(), self.sample_rates.serialize());
+        map.insert("trace_lineage".to_owned(), self.trace_lineage.serialize());
+        map.insert(
+            "lineage_reservoir".to_owned(),
+            self.lineage_reservoir.serialize(),
+        );
         Value::Object(map)
     }
 }
@@ -111,11 +136,24 @@ impl Deserialize for ObserveConfig {
                 SerdeError::custom(format!("ObserveConfig.http_addr {text:?}: {e}"))
             })?),
         };
+        // The lineage fields arrived after configs started round-tripping,
+        // so missing keys fall back to the defaults instead of erroring.
+        let defaults = ObserveConfig::default();
+        let trace_lineage = match map.get("trace_lineage") {
+            Some(value) => bool::deserialize(value)?,
+            None => defaults.trace_lineage,
+        };
+        let lineage_reservoir = match map.get("lineage_reservoir") {
+            Some(value) => usize::deserialize(value)?,
+            None => defaults.lineage_reservoir,
+        };
         Ok(ObserveConfig {
             http_addr,
             sample_interval: Duration::deserialize(field("sample_interval")?)?,
             ring_len: usize::deserialize(field("ring_len")?)?,
             sample_rates: bool::deserialize(field("sample_rates")?)?,
+            trace_lineage,
+            lineage_reservoir,
         })
     }
 }
@@ -207,6 +245,12 @@ impl PoolCursor {
         telemetry
             .counter("pool.steals")
             .add(now.steals.saturating_sub(last.steals));
+        telemetry
+            .counter("pool.task_wait_ns")
+            .add(now.queue_wait_ns.saturating_sub(last.queue_wait_ns));
+        telemetry
+            .counter("pool.task_run_ns")
+            .add(now.run_ns.saturating_sub(last.run_ns));
         *last = now;
         drop(last);
         telemetry.gauge("pool.threads").set(pool.threads() as f64);
@@ -227,6 +271,8 @@ mod tests {
             sample_interval: Duration::from_millis(125),
             ring_len: 16,
             sample_rates: true,
+            trace_lineage: true,
+            lineage_reservoir: 32,
         };
         let value = config.serialize();
         let back = ObserveConfig::deserialize(&value).expect("round trip");
@@ -236,6 +282,23 @@ mod tests {
         let back = ObserveConfig::deserialize(&off.serialize()).expect("round trip");
         assert_eq!(back, off);
         assert!(!off.is_active());
+    }
+
+    #[test]
+    fn observe_config_defaults_lineage_fields_when_missing() {
+        // Configs serialized before lineage tracing existed have no
+        // lineage keys; they must still deserialize.
+        let mut value = ObserveConfig::default().serialize();
+        if let Value::Object(map) = &mut value {
+            map.remove("trace_lineage");
+            map.remove("lineage_reservoir");
+        }
+        let back = ObserveConfig::deserialize(&value).expect("legacy config");
+        assert!(!back.trace_lineage);
+        assert_eq!(
+            back.lineage_reservoir,
+            ObserveConfig::default().lineage_reservoir
+        );
     }
 
     #[test]
@@ -263,6 +326,23 @@ mod tests {
         config.sample_interval = Duration::from_millis(10);
         assert!(config.validate().is_err(), "ring_len 0 still invalid");
         config.ring_len = 1;
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn lineage_reservoir_is_checked_even_when_plane_is_inactive() {
+        let config = ObserveConfig {
+            trace_lineage: true,
+            lineage_reservoir: 0,
+            ..ObserveConfig::default()
+        };
+        assert!(!config.is_active());
+        assert!(config.validate().is_err());
+        let config = ObserveConfig {
+            trace_lineage: true,
+            lineage_reservoir: 1,
+            ..ObserveConfig::default()
+        };
         assert!(config.validate().is_ok());
     }
 

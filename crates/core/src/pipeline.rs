@@ -268,6 +268,24 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Traces per-frame lineage: every frame's queue-wait, compute,
+    /// reorder-hold, and fuse latency is attributed per stage, attached
+    /// to [`EventAnalysis::lineage`](crate::EventAnalysis) and served
+    /// on `GET /lineage` when the HTTP endpoint runs.
+    #[must_use = "the setter consumes and returns the builder"]
+    pub fn trace_lineage(mut self, enabled: bool) -> Self {
+        self.config.observe.trace_lineage = enabled;
+        self
+    }
+
+    /// Full frame waterfalls retained by the lineage reservoir
+    /// (slowest-frame exemplars are always kept on top).
+    #[must_use = "the setter consumes and returns the builder"]
+    pub fn lineage_reservoir(mut self, waterfalls: usize) -> Self {
+        self.config.observe.lineage_reservoir = waterfalls;
+        self
+    }
+
     /// Validates and returns the configuration.
     #[must_use = "dropping the result discards both the config and any validation error"]
     pub fn build(self) -> Result<PipelineConfig, DiEventError> {
@@ -502,13 +520,24 @@ mod tests {
             PipelineConfig::builder().matrix_smoothing(0).build(),
             Err(DiEventError::InvalidConfig(_))
         ));
+        assert!(matches!(
+            PipelineConfig::builder()
+                .trace_lineage(true)
+                .lineage_reservoir(0)
+                .build(),
+            Err(DiEventError::InvalidConfig(_))
+        ));
         let config = PipelineConfig::builder()
             .reorder_window(4)
             .channel_capacity(2)
+            .trace_lineage(true)
+            .lineage_reservoir(64)
             .build()
             .expect("valid");
         assert_eq!(config.streaming.reorder_window, 4);
         assert_eq!(config.streaming.channel_capacity, 2);
+        assert!(config.observe.trace_lineage);
+        assert_eq!(config.observe.lineage_reservoir, 64);
     }
 
     #[test]

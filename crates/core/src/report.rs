@@ -127,6 +127,11 @@ pub struct EventAnalysis {
     /// latency quantiles per window) sampled by the live plane —
     /// empty unless `config.observe` was active.
     pub rate_windows: Vec<dievent_telemetry::RateWindow>,
+    /// Per-frame lineage report: stage-attribution summary
+    /// (queue-wait vs compute vs reorder-hold vs fuse), slowest-frame
+    /// exemplars, and the sampled waterfall reservoir — `None` unless
+    /// `config.observe.trace_lineage` was set.
+    pub lineage: Option<dievent_telemetry::LineageReport>,
     /// The time-invariant context the recording carried, if any.
     pub context: Option<TimeInvariantContext>,
 }

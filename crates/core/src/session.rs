@@ -38,7 +38,8 @@ use dievent_summarize::{
     detect_highlights, importance_series, select_summary, Highlight, HighlightKind,
 };
 use dievent_telemetry::{
-    Counter, Gauge, Histogram, LiveOptions, LivePlane, RateWindow, SpanGuard, Telemetry,
+    Counter, Gauge, Histogram, LineageTracer, LiveOptions, LivePlane, RateWindow, SpanGuard,
+    Telemetry,
 };
 use dievent_video::{GrayFrame, VideoParser, VideoSpec, VideoStructure};
 use dievent_vision::{
@@ -131,6 +132,15 @@ enum WorkItem {
     Observations(usize, Vec<CameraObservation>),
 }
 
+impl WorkItem {
+    /// The per-camera frame index this item carries.
+    fn index(&self) -> usize {
+        match self {
+            WorkItem::Frame(index, _) | WorkItem::Observations(index, _) => *index,
+        }
+    }
+}
+
 struct WorkerOutput {
     camera: usize,
     index: usize,
@@ -154,6 +164,7 @@ pub struct CameraFeed {
     rx: Receiver<WorkItem>,
     queue_depth: Gauge,
     dropped: Counter,
+    lineage: LineageTracer,
 }
 
 impl CameraFeed {
@@ -193,6 +204,10 @@ impl CameraFeed {
 
     fn enqueue(&mut self, item: WorkItem) -> Result<(), DiEventError> {
         let camera = self.camera;
+        // The ingest stamp marks the instant the producer offers the
+        // frame, so time spent blocked on a full queue is attributed
+        // to queue-wait.
+        self.lineage.ingest(camera, item.index() as u64);
         match self.mode {
             BackpressureMode::Block => {
                 self.tx
@@ -210,8 +225,9 @@ impl CameraFeed {
                             item = back;
                             // The worker may have raced us to the slot;
                             // only count an actual eviction.
-                            if self.rx.try_recv().is_ok() {
+                            if let Ok(evicted) = self.rx.try_recv() {
                                 self.dropped.incr();
+                                self.lineage.discard(camera, evicted.index() as u64);
                             }
                         }
                         Err(TrySendError::Disconnected(_)) => {
@@ -260,6 +276,7 @@ struct Sequencer {
     /// Mirror of `frontier` the observability heartbeat reads as the
     /// `session.watermark_frame` gauge.
     vitals: Arc<SessionVitals>,
+    lineage: LineageTracer,
     occupancy: Gauge,
     evictions: Counter,
     late: Counter,
@@ -275,6 +292,7 @@ struct Sequencer {
 const PARALLEL_FUSE_MIN: usize = 8;
 
 impl Sequencer {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         cameras: usize,
         participants: usize,
@@ -282,12 +300,14 @@ impl Sequencer {
         config: PipelineConfig,
         pool: Option<ThreadPool>,
         vitals: Arc<SessionVitals>,
+        lineage: LineageTracer,
         telemetry: &Telemetry,
     ) -> Self {
         Sequencer {
             pool,
             pool_panicked: false,
             vitals,
+            lineage,
             cameras,
             participants,
             reorder_window: config.streaming.reorder_window,
@@ -364,7 +384,11 @@ impl Sequencer {
             return;
         }
 
-        let fused: Vec<(LookAtMatrix, Vec<EmotionEstimate>)> = match &self.pool {
+        // Each frame's fusion is bracketed with lineage stamps (noops
+        // when tracing is off) so the waterfall records the fuse span
+        // even when frames fan out across the pool.
+        type Fused = (f64, (LookAtMatrix, Vec<EmotionEstimate>), f64);
+        let fused: Vec<Fused> = match &self.pool {
             Some(pool) if ready.len() >= PARALLEL_FUSE_MIN => {
                 let chunk = ready.len().div_ceil(pool.threads().max(1) * 4).max(1);
                 let result = pool.parallel_chunk_map(&ready, chunk, |_, chunk_items| {
@@ -373,7 +397,11 @@ impl Sequencer {
                     let mut scratch = LookAtScratch::new();
                     chunk_items
                         .iter()
-                        .map(|(_, slots, _)| self.fuse_one(slots, &mut scratch))
+                        .map(|(_, slots, _)| {
+                            let t0 = self.lineage.now_s();
+                            let out = self.fuse_one(slots, &mut scratch);
+                            (t0, out, self.lineage.now_s())
+                        })
                         .collect()
                 });
                 match result {
@@ -388,21 +416,32 @@ impl Sequencer {
                 let mut scratch = LookAtScratch::new();
                 ready
                     .iter()
-                    .map(|(_, slots, _)| self.fuse_one(slots, &mut scratch))
+                    .map(|(_, slots, _)| {
+                        let t0 = self.lineage.now_s();
+                        let out = self.fuse_one(slots, &mut scratch);
+                        (t0, out, self.lineage.now_s())
+                    })
                     .collect()
             }
         };
 
         let n = self.participants;
-        for ((frame, _, arrived), (matrix, emotions)) in ready.into_iter().zip(fused) {
+        for ((frame, _, arrived), (fuse_start, (matrix, emotions), fuse_end)) in
+            ready.into_iter().zip(fused)
+        {
             // Every ordered pair is geometrically tested per frame.
             self.lookat_tests.add((n * n.saturating_sub(1)) as u64);
+            self.lineage.fused(frame as u64, fuse_start, fuse_end);
             self.frame_numbers.push(frame);
             self.cameras_reporting.push(arrived);
             self.raw_matrices.push(matrix);
             self.emotion_frames.push(emotions);
             self.fused.incr();
         }
+        // Anything still in flight below the frontier can never fuse
+        // (late arrivals are discarded on insert); retire it so the
+        // tracer's in-flight map stays bounded.
+        self.lineage.retire_below(self.frontier as u64);
     }
 
     /// Identical math to the batch stage-4 inner loop: fuse the
@@ -471,10 +510,12 @@ struct CameraStage {
     extractor: Option<FeatureExtractor>,
     dropped: Counter,
     classified: Counter,
+    lineage: LineageTracer,
     frames: usize,
 }
 
 impl CameraStage {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         camera_index: usize,
         camera: PinholeCamera,
@@ -483,6 +524,7 @@ impl CameraStage {
         classifier: Arc<Option<EmotionClassifier>>,
         telemetry: Telemetry,
         monitor: bool,
+        lineage: LineageTracer,
     ) -> Self {
         let label = camera_index.to_string();
         let labels = &[("camera", label.as_str())][..];
@@ -497,6 +539,7 @@ impl CameraStage {
             telemetry,
             monitor,
             extractor: None,
+            lineage,
             frames: 0,
         }
     }
@@ -541,6 +584,14 @@ impl CameraStage {
     /// Runs stage-3 extraction on one frame (or passes observations
     /// through), producing the sequencer's input.
     fn process(&mut self, item: WorkItem) -> WorkerOutput {
+        let frame = item.index() as u64;
+        self.lineage.extract_start(self.camera_index, frame);
+        let output = self.process_inner(item);
+        self.lineage.extract_end(self.camera_index, frame);
+        output
+    }
+
+    fn process_inner(&mut self, item: WorkItem) -> WorkerOutput {
         match item {
             WorkItem::Observations(index, observations) => WorkerOutput {
                 camera: self.camera_index,
@@ -625,6 +676,7 @@ impl CameraStage {
         let extractor = self.extractor.as_ref();
         let classifier = Arc::clone(&self.classifier);
         let telemetry = self.telemetry.clone();
+        let lineage = self.lineage.clone();
         let camera_index = self.camera_index;
         let monitor_on = self.monitor;
         let analyzed: Vec<Option<Analyzed>> = pool
@@ -637,9 +689,14 @@ impl CameraStage {
                 chunk_items
                     .iter()
                     .map(|item| {
-                        let WorkItem::Frame(_, frame) = item else {
+                        let WorkItem::Frame(index, frame) = item else {
                             return None;
                         };
+                        // Compute starts here, on the pool task; the
+                        // matching end stamp lands in
+                        // `integrate_analyzed`, covering the stateful
+                        // tail of extraction too.
+                        lineage.extract_start(camera_index, *index as u64);
                         let extractor = extractor?;
                         let monitor = monitor_on.then(|| frame.downsample2().downsample2());
                         let raw = extractor.analyze(frame);
@@ -672,15 +729,20 @@ impl CameraStage {
         let mut outputs = Vec::with_capacity(items.len());
         for (item, analyzed) in items.into_iter().zip(analyzed) {
             match (item, analyzed) {
-                (WorkItem::Observations(index, observations), _) => outputs.push(WorkerOutput {
-                    camera: self.camera_index,
-                    index,
-                    output: CameraFrameOutput {
-                        observations,
-                        emotions: Vec::new(),
-                    },
-                    monitor: None,
-                }),
+                (WorkItem::Observations(index, observations), _) => {
+                    // Pass-through: extraction is a zero-width span.
+                    self.lineage.extract_start(self.camera_index, index as u64);
+                    self.lineage.extract_end(self.camera_index, index as u64);
+                    outputs.push(WorkerOutput {
+                        camera: self.camera_index,
+                        index,
+                        output: CameraFrameOutput {
+                            observations,
+                            emotions: Vec::new(),
+                        },
+                        monitor: None,
+                    })
+                }
                 (WorkItem::Frame(index, _), Some(done)) => {
                     outputs.push(self.integrate_analyzed(index, done));
                 }
@@ -704,6 +766,7 @@ impl CameraStage {
         let observations = self.assemble(&camera, &obs);
         self.classified.add(done.emotions.len() as u64);
         self.frames += 1;
+        self.lineage.extract_end(self.camera_index, index as u64);
         WorkerOutput {
             camera: self.camera_index,
             index,
@@ -912,6 +975,11 @@ pub struct PipelineSession {
     /// Uptime / watermark / per-camera liveness, published as gauges by
     /// the plane's heartbeat (and once at finish).
     vitals: Arc<SessionVitals>,
+    /// Per-frame lineage tracer (a no-op handle unless
+    /// `config.observe.trace_lineage` is set). Clones live in every
+    /// feed, camera stage, and the sequencer; this handle builds the
+    /// final report at finish.
+    lineage: LineageTracer,
     /// The live observability plane (`None` when `config.observe` is
     /// inactive). Taken before `finish_with` destructures the session;
     /// its own `Drop` joins the plane threads if the session is simply
@@ -986,6 +1054,11 @@ impl PipelineSession {
         ));
         let pool_panic = Arc::new(AtomicBool::new(false));
         let vitals = Arc::new(SessionVitals::new(cameras));
+        let lineage = if config.observe.trace_lineage {
+            LineageTracer::enabled(&telemetry, cameras, config.observe.lineage_reservoir)
+        } else {
+            LineageTracer::disabled()
+        };
         let sequencer = Sequencer::new(
             cameras,
             participants,
@@ -993,6 +1066,7 @@ impl PipelineSession {
             config,
             pool.clone(),
             Arc::clone(&vitals),
+            lineage.clone(),
             &telemetry,
         );
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -1006,6 +1080,7 @@ impl PipelineSession {
                 Arc::clone(&classifier),
                 telemetry.clone(),
                 c == 0 && config.parse_video,
+                lineage.clone(),
             )
         };
 
@@ -1026,6 +1101,7 @@ impl PipelineSession {
                     rx: rx.clone(),
                     queue_depth: telemetry.gauge_with("session.queue_depth", labels),
                     dropped: telemetry.counter_with("session.frames_dropped", labels),
+                    lineage: lineage.clone(),
                 }));
                 let stage = stage_for(c);
                 let out = out_tx.clone();
@@ -1105,6 +1181,11 @@ impl PipelineSession {
                     config.observe.http_addr
                 ))
             })?;
+            // The HTTP endpoint serves `GET /lineage` from the same
+            // tracer the stages stamp into.
+            if lineage.is_enabled() {
+                plane.attach_lineage(lineage.clone());
+            }
             Some(plane)
         } else {
             None
@@ -1128,6 +1209,7 @@ impl PipelineSession {
             pool_cursor,
             pool_panic,
             vitals,
+            lineage,
             plane,
             run_span,
             extraction_span: Some(extraction_span),
@@ -1216,6 +1298,9 @@ impl PipelineSession {
                 }
                 let index = self.inline_next[camera];
                 self.inline_next[camera] += 1;
+                // Inline mode has no queue; ingest and extraction start
+                // back to back, so queue-wait reads as ~zero.
+                self.lineage.ingest(camera, index as u64);
                 let output = stages[camera].process(make(index));
                 self.sequencer.insert(output);
                 self.sequencer.fuse_ready(false);
@@ -1325,6 +1410,7 @@ impl PipelineSession {
             pool,
             pool_cursor,
             vitals,
+            lineage,
             ..
         } = self;
 
@@ -1435,6 +1521,10 @@ impl PipelineSession {
             }
             None => Vec::new(),
         };
+        // The lineage report is built after the final fuse above, so
+        // every fused frame's waterfall is in; the disabled tracer
+        // yields `None`.
+        let lineage = lineage.report();
         let telemetry_report = telemetry.report();
         let timings = StageTimings::from_report(&telemetry_report);
 
@@ -1457,6 +1547,7 @@ impl PipelineSession {
             timings,
             telemetry: telemetry_report,
             rate_windows,
+            lineage,
             context: options.context,
         })
     }

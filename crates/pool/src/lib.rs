@@ -93,9 +93,20 @@ pub struct PoolStats {
     pub steals: u64,
     /// Tasks submitted through the external injector queue.
     pub injected: u64,
+    /// Cumulative nanoseconds tasks spent queued before any thread
+    /// picked them up (the pool-level queue-wait component of frame
+    /// lineage).
+    pub queue_wait_ns: u64,
+    /// Cumulative nanoseconds threads spent executing tasks.
+    pub run_ns: u64,
 }
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A queued unit of work, stamped at submission so the pool can
+/// attribute queue-wait separately from execution time.
+struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    queued_at: std::time::Instant,
+}
 
 /// One worker's own deque. The owner pushes and pops at the back
 /// (LIFO); thieves and helpers take from the front (FIFO), so the
@@ -129,6 +140,8 @@ struct Shared {
     tasks: AtomicU64,
     steals: AtomicU64,
     injected: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    run_ns: AtomicU64,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -210,7 +223,14 @@ impl Shared {
     }
 
     fn run_job(&self, job: Job) {
-        job();
+        let started = std::time::Instant::now();
+        // Saturates to zero when clocks race; never panics.
+        let waited = started.duration_since(job.queued_at);
+        (job.run)();
+        self.queue_wait_ns
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        self.run_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.tasks.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -353,6 +373,8 @@ impl ThreadPool {
             tasks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            queue_wait_ns: AtomicU64::new(0),
+            run_ns: AtomicU64::new(0),
         });
         for idx in 0..threads {
             let shared = Arc::clone(&shared);
@@ -398,6 +420,8 @@ impl ThreadPool {
             tasks: self.shared.tasks.load(Ordering::Relaxed),
             steals: self.shared.steals.load(Ordering::Relaxed),
             injected: self.shared.injected.load(Ordering::Relaxed),
+            queue_wait_ns: self.shared.queue_wait_ns.load(Ordering::Relaxed),
+            run_ns: self.shared.run_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -565,8 +589,15 @@ impl<'env> Scope<'env> {
         // dropped. Therefore the job never outlives `'env`, and the
         // lifetime erasure to `'static` required by the type-erased
         // queue cannot be observed. This mirrors `std::thread::scope`.
-        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
-        self.shared.push(job);
+        let run: Box<dyn FnOnce() + Send + 'static> = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        self.shared.push(Job {
+            run,
+            queued_at: std::time::Instant::now(),
+        });
     }
 }
 
@@ -796,6 +827,22 @@ mod tests {
         let after = pool.stats();
         assert!(after.tasks > before.tasks);
         assert!(after.injected > before.injected, "external submits inject");
+    }
+
+    #[test]
+    fn stats_attribute_queue_wait_and_run_time() {
+        let pool = ThreadPool::new(2);
+        let before = pool.stats();
+        pool.parallel_for(8, |_| std::thread::sleep(Duration::from_millis(2)))
+            .expect("for");
+        let after = pool.stats();
+        assert!(
+            after.run_ns >= before.run_ns + 8 * 2_000_000,
+            "sleeping tasks must accrue run time: {} -> {}",
+            before.run_ns,
+            after.run_ns
+        );
+        assert!(after.queue_wait_ns >= before.queue_wait_ns);
     }
 
     #[test]

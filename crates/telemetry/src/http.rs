@@ -9,9 +9,13 @@
 //! * `GET /readyz` — readiness (503 until the session opens, and
 //!   again the moment it starts closing — *before* the socket dies);
 //! * `GET /snapshot?window=N` — JSON: the aggregated report plus the
-//!   last N rate windows;
+//!   last N rate windows (malformed/zero `window` values are a 400,
+//!   not a silent default);
 //! * `GET /profile` — collapsed-stack span profile (flamegraph
-//!   input).
+//!   input);
+//! * `GET /lineage` — JSON: the frame-lineage stage-attribution
+//!   summary plus the slowest-frame waterfall exemplars (404 until a
+//!   tracer is attached).
 //!
 //! The accept loop polls a nonblocking listener so shutdown is
 //! bounded: an idle listener notices shutdown within 5 ms, and each
@@ -135,9 +139,33 @@ fn handle_request(mut stream: TcpStream, shared: &PlaneShared) {
                 )
             }
         }
-        "/snapshot" => match snapshot_body(shared, query) {
-            Ok(body) => respond(&mut stream, 200, "OK", JSON, body.as_bytes()),
-            Err(e) => respond(
+        "/snapshot" => match parse_window(query) {
+            Err(e) => respond(&mut stream, 400, "Bad Request", TEXT, e.as_bytes()),
+            Ok(limit) => match snapshot_body(shared, limit) {
+                Ok(body) => respond(&mut stream, 200, "OK", JSON, body.as_bytes()),
+                Err(e) => respond(
+                    &mut stream,
+                    500,
+                    "Internal Server Error",
+                    TEXT,
+                    e.as_bytes(),
+                ),
+            },
+        },
+        "/profile" => {
+            let body = collapsed_stacks(&shared.telemetry);
+            respond(&mut stream, 200, "OK", TEXT, body.as_bytes())
+        }
+        "/lineage" => match lineage_body(shared) {
+            None => respond(
+                &mut stream,
+                404,
+                "Not Found",
+                TEXT,
+                b"lineage tracing is not enabled for this session\n",
+            ),
+            Some(Ok(body)) => respond(&mut stream, 200, "OK", JSON, body.as_bytes()),
+            Some(Err(e)) => respond(
                 &mut stream,
                 500,
                 "Internal Server Error",
@@ -145,10 +173,6 @@ fn handle_request(mut stream: TcpStream, shared: &PlaneShared) {
                 e.as_bytes(),
             ),
         },
-        "/profile" => {
-            let body = collapsed_stacks(&shared.telemetry);
-            respond(&mut stream, 200, "OK", TEXT, body.as_bytes())
-        }
         _ => respond(&mut stream, 404, "Not Found", TEXT, b"not found\n"),
     };
 }
@@ -157,14 +181,27 @@ const TEXT: &str = "text/plain; charset=utf-8";
 const JSON: &str = "application/json";
 const PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
 
+/// Parses `?window=N` from a query string. Absent → `None` (all
+/// windows); present but malformed, zero, or overflowing → `Err` (the
+/// caller answers 400 — silently defaulting would hand a scraper the
+/// full ring while it believes it asked for a slice).
+fn parse_window(query: Option<&str>) -> Result<Option<usize>, String> {
+    let mut limit = None;
+    for kv in query.into_iter().flat_map(|q| q.split('&')) {
+        if let Some(raw) = kv.strip_prefix("window=") {
+            match raw.parse::<usize>() {
+                Ok(n) if n > 0 => limit = Some(n),
+                Ok(_) => return Err("window must be at least 1\n".to_owned()),
+                Err(_) => return Err(format!("unparseable window value {raw:?}\n")),
+            }
+        }
+    }
+    Ok(limit)
+}
+
 /// The `/snapshot` JSON: uptime + readiness + the aggregated report +
 /// the retained (or last `?window=N`) rate windows.
-fn snapshot_body(shared: &PlaneShared, query: Option<&str>) -> Result<String, String> {
-    let limit = query
-        .into_iter()
-        .flat_map(|q| q.split('&'))
-        .find_map(|kv| kv.strip_prefix("window="))
-        .and_then(|n| n.parse::<usize>().ok());
+fn snapshot_body(shared: &PlaneShared, limit: Option<usize>) -> Result<String, String> {
     let report = shared.telemetry.report();
     let windows = {
         let aggregator = shared.aggregator.lock();
@@ -177,6 +214,23 @@ fn snapshot_body(shared: &PlaneShared, query: Option<&str>) -> Result<String, St
         "windows": serde_json::to_value(&windows).map_err(|e| e.to_string())?,
     });
     serde_json::to_string(&body).map_err(|e| e.to_string())
+}
+
+/// The `/lineage` JSON: the per-stage attribution summary plus the
+/// slowest-frame exemplars with their full waterfalls. `None` when no
+/// tracer is attached (the caller answers 404).
+fn lineage_body(shared: &PlaneShared) -> Option<Result<String, String>> {
+    let tracer = shared.lineage.lock().clone()?;
+    let report = tracer.report()?;
+    let render = || -> Result<String, String> {
+        let body = json!({
+            "enabled": true,
+            "summary": serde_json::to_value(&report.summary).map_err(|e| e.to_string())?,
+            "exemplars": serde_json::to_value(&report.exemplars).map_err(|e| e.to_string())?,
+        });
+        serde_json::to_string(&body).map_err(|e| e.to_string())
+    };
+    Some(render())
 }
 
 /// Reads the whole request head (through the blank line ending the
@@ -505,6 +559,64 @@ mod tests {
         let two_n = two["windows"].as_array().map(|a| a.len()).unwrap_or(0);
         assert!(all_n >= 5, "{all_n}");
         assert_eq!(two_n, 2);
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_window_values_with_400() {
+        let t = Telemetry::enabled();
+        let plane = plane_on_localhost(&t);
+        let addr = plane.local_addr().expect("bound");
+        plane.sample_now();
+        for bad in [
+            "/snapshot?window=abc",
+            "/snapshot?window=0",
+            "/snapshot?window=-3",
+            "/snapshot?window=99999999999999999999999999",
+            "/snapshot?window=",
+        ] {
+            let (status, body) = get(addr, bad);
+            assert_eq!(status, 400, "{bad} answered {status}: {body}");
+        }
+        // A well-formed window (and no window at all) still works.
+        assert_eq!(get(addr, "/snapshot?window=2").0, 200);
+        assert_eq!(get(addr, "/snapshot").0, 200);
+        // Unrelated query keys are ignored, not rejected.
+        assert_eq!(get(addr, "/snapshot?other=1").0, 200);
+    }
+
+    #[test]
+    fn lineage_is_404_until_attached_then_serves_the_breakdown() {
+        let t = Telemetry::enabled();
+        let plane = plane_on_localhost(&t);
+        let addr = plane.local_addr().expect("bound");
+        assert_eq!(get(addr, "/lineage").0, 404, "no tracer attached yet");
+
+        let tracer = crate::lineage::LineageTracer::enabled(&t, 2, 16);
+        plane.attach_lineage(tracer.clone());
+        for frame in 0..3u64 {
+            for camera in 0..2 {
+                tracer.ingest(camera, frame);
+                tracer.extract_start(camera, frame);
+                tracer.extract_end(camera, frame);
+            }
+            let start = tracer.now_s();
+            tracer.fused(frame, start, tracer.now_s());
+        }
+        let (status, body) = get(addr, "/lineage");
+        assert_eq!(status, 200, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).expect("json");
+        assert_eq!(v["enabled"], serde_json::json!(true));
+        assert_eq!(v["summary"]["frames_traced"], serde_json::json!(3));
+        let stages = v["summary"]["stages"].as_array().expect("stages");
+        let names: Vec<&str> = stages.iter().filter_map(|s| s["stage"].as_str()).collect();
+        for needle in ["queue_wait", "extract", "reorder_hold", "fuse", "total"] {
+            assert!(names.contains(&needle), "missing stage {needle}: {names:?}");
+        }
+        let exemplars = v["exemplars"].as_array().expect("exemplars");
+        assert!(!exemplars.is_empty());
+        assert!(exemplars[0]["lanes"]
+            .as_array()
+            .is_some_and(|l| !l.is_empty()));
     }
 
     #[test]

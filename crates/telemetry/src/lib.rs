@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 mod http;
+pub mod lineage;
 pub mod live;
 mod metrics;
 mod report;
@@ -42,6 +43,9 @@ pub mod sink;
 mod span;
 
 pub use http::{validate_exposition, ExpositionStats};
+pub use lineage::{
+    CameraLane, FrameWaterfall, LineageReport, LineageStageSummary, LineageSummary, LineageTracer,
+};
 pub use live::{
     collapsed_stacks, span_profile, LiveOptions, LivePlane, PlaneProbe, ProfileNode, RateEntry,
     RateWindow, WindowQuantiles,

@@ -1,0 +1,704 @@
+//! Per-frame causal lineage tracing with tail-latency attribution.
+//!
+//! Aggregate metrics answer "how is the pipeline doing"; lineage
+//! answers "where did *this* frame spend its time". A
+//! [`LineageTracer`] stamps every frame at ingest and again at each
+//! stage boundary — camera-channel enqueue, extraction start/end (per
+//! camera), fusion start/end — all on one monotonic clock, so each
+//! fused frame yields a [`FrameWaterfall`] that cleanly splits its
+//! end-to-end latency into **queue-wait** (channel + pool backlog),
+//! **compute** (extraction, fusion), and **reorder-hold** (time parked
+//! in the sequencer waiting for sibling cameras or the watermark).
+//!
+//! Storage is bounded: per-stage latency histograms (registered in the
+//! owning [`Telemetry`] domain as `lineage.*_seconds`, so they ride
+//! `/metrics` and the rate windows for free), a fixed-size reservoir
+//! sample of full waterfalls (deterministically seeded, uniform over
+//! the run), and an always-kept set of slowest-frame exemplars — the
+//! p99/max tail is never sampled away. A frame that can never fuse
+//! (every lane shed by backpressure, or stranded behind the reorder
+//! frontier) is retired when the frontier passes it, so the in-flight
+//! table cannot grow without bound.
+//!
+//! Like every instrument in this crate, a disabled tracer
+//! ([`LineageTracer::disabled`]) is a `None` behind one branch per
+//! call — instrumented code pays nothing when tracing is off.
+//!
+//! ```
+//! use dievent_telemetry::{LineageTracer, Telemetry};
+//!
+//! let telemetry = Telemetry::enabled();
+//! let tracer = LineageTracer::enabled(&telemetry, 1, 64);
+//! tracer.ingest(0, 0);
+//! tracer.extract_start(0, 0);
+//! tracer.extract_end(0, 0);
+//! let t = tracer.now_s();
+//! tracer.fused(0, t, tracer.now_s());
+//! let report = tracer.report().expect("enabled tracer reports");
+//! assert_eq!(report.summary.frames_traced, 1);
+//! assert_eq!(report.waterfalls.len(), 1);
+//! ```
+
+use crate::{Histogram, Telemetry};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many slowest-frame waterfalls are always retained, independent
+/// of reservoir sampling. Covers the p99 exemplar for runs up to ~800
+/// frames and the max for any run.
+const EXEMPLARS: usize = 8;
+
+/// One camera's timeline through extraction for a single frame, in
+/// seconds on the tracer's clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CameraLane {
+    /// Camera index.
+    pub camera: usize,
+    /// When the frame entered the camera's channel (or the inline
+    /// stage) — the ingest stamp.
+    pub enqueue_s: f64,
+    /// When extraction of this frame actually began.
+    pub start_s: f64,
+    /// When the camera's output for this frame was fully produced.
+    pub end_s: f64,
+}
+
+/// The complete per-stage waterfall of one fused frame.
+///
+/// Invariant (asserted by `tests/frame_lineage.rs`): within every lane
+/// `enqueue_s <= start_s <= end_s`, every lane's `end_s <=
+/// fuse_start_s <= fuse_end_s`, and the attribution fields partition
+/// `total_s` — all stamps come from one monotonic clock and each
+/// boundary happens-before the next through a channel or join.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameWaterfall {
+    /// Frame index.
+    pub frame: u64,
+    /// Per-camera extraction timelines (only lanes that completed;
+    /// a lane shed by backpressure is absent).
+    pub lanes: Vec<CameraLane>,
+    /// When fusion of this frame began.
+    pub fuse_start_s: f64,
+    /// When fusion of this frame completed.
+    pub fuse_end_s: f64,
+    /// Earliest lane enqueue — when the frame entered the pipeline.
+    pub ingest_s: f64,
+    /// End-to-end latency: `fuse_end_s - ingest_s`.
+    pub total_s: f64,
+    /// Worst per-lane wait between enqueue and extraction start.
+    pub queue_wait_s: f64,
+    /// Worst per-lane extraction compute time.
+    pub extract_s: f64,
+    /// Time parked in the reorder window after the last lane finished.
+    pub reorder_hold_s: f64,
+    /// Fusion compute time.
+    pub fuse_s: f64,
+}
+
+/// Latency distribution of one attribution stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageStageSummary {
+    /// Stage name: `queue_wait`, `extract`, `reorder_hold`, `fuse`, or
+    /// `total`.
+    pub stage: String,
+    /// Frames observed.
+    pub count: u64,
+    /// Mean seconds.
+    pub mean_s: f64,
+    /// Median seconds (log-bucket resolution).
+    pub p50_s: f64,
+    /// 95th percentile seconds.
+    pub p95_s: f64,
+    /// 99th percentile seconds.
+    pub p99_s: f64,
+    /// Exact maximum seconds.
+    pub max_s: f64,
+}
+
+/// Aggregate stage-attribution summary of a traced run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageSummary {
+    /// Frames that fused and produced a waterfall.
+    pub frames_traced: u64,
+    /// Camera lanes shed by backpressure (`DropOldest`) before
+    /// extraction.
+    pub lanes_discarded: u64,
+    /// Frames retired without ever fusing (every lane shed or
+    /// stranded behind the frontier).
+    pub frames_incomplete: u64,
+    /// Frames still in flight at report time — 0 after a clean
+    /// `finish()`.
+    pub in_flight: usize,
+    /// Per-stage latency breakdown: queue-wait vs compute
+    /// (extract + fuse) vs reorder-hold, plus end-to-end total.
+    pub stages: Vec<LineageStageSummary>,
+}
+
+impl LineageSummary {
+    /// The named stage's distribution, if present.
+    pub fn stage(&self, name: &str) -> Option<&LineageStageSummary> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+}
+
+/// Everything a traced run exports: the stage-attribution summary, the
+/// always-kept slowest-frame exemplars, and the reservoir of full
+/// waterfalls (frame order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageReport {
+    /// Aggregate per-stage breakdown.
+    pub summary: LineageSummary,
+    /// Slowest frames by end-to-end latency, slowest first — the p99
+    /// and max tail, never sampled away.
+    pub exemplars: Vec<FrameWaterfall>,
+    /// Uniform reservoir sample of waterfalls, in frame order.
+    pub waterfalls: Vec<FrameWaterfall>,
+}
+
+impl LineageReport {
+    /// Renders the report as JSON lines: one `summary` object, then
+    /// one object per waterfall (exemplars flagged). The format the
+    /// CLI's `--trace-lineage FILE` writes.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut push = |value: serde_json::Value| {
+            if let Ok(line) = serde_json::to_string(&value) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        };
+        push(serde_json::json!({ "kind": "summary", "summary": &self.summary }));
+        for w in &self.exemplars {
+            push(serde_json::json!({ "kind": "exemplar", "waterfall": w }));
+        }
+        for w in &self.waterfalls {
+            push(serde_json::json!({ "kind": "waterfall", "waterfall": w }));
+        }
+        out
+    }
+}
+
+/// An in-flight lane: enqueue always stamped, start/end filled as the
+/// frame progresses.
+#[derive(Debug, Clone, Copy)]
+struct LaneStamp {
+    enqueue_s: f64,
+    start_s: Option<f64>,
+    end_s: Option<f64>,
+}
+
+struct LineageState {
+    /// frame → one optional stamp per camera. Entries are created by
+    /// `ingest` only and removed by `fused` or `retire_below`.
+    in_flight: HashMap<u64, Vec<Option<LaneStamp>>>,
+    frames_traced: u64,
+    lanes_discarded: u64,
+    frames_incomplete: u64,
+    /// Waterfalls offered to the reservoir so far.
+    offered: u64,
+    reservoir: Vec<FrameWaterfall>,
+    /// Sorted by `total_s` descending, capped at [`EXEMPLARS`].
+    exemplars: Vec<FrameWaterfall>,
+    /// xorshift64 state — deterministic, so the reservoir a given
+    /// frame sequence produces is reproducible.
+    rng: u64,
+}
+
+struct LineageCore {
+    telemetry: Telemetry,
+    epoch: Instant,
+    cameras: usize,
+    reservoir_len: usize,
+    queue_wait: Histogram,
+    extract: Histogram,
+    reorder_hold: Histogram,
+    fuse: Histogram,
+    total: Histogram,
+    state: Mutex<LineageState>,
+}
+
+/// Per-frame lineage tracer handle. Cheap to clone (one `Arc`); a
+/// disabled handle ([`LineageTracer::disabled`]) is `None` and every
+/// operation on it is a single branch.
+#[derive(Clone, Default)]
+pub struct LineageTracer(Option<Arc<LineageCore>>);
+
+impl std::fmt::Debug for LineageTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineageTracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl LineageTracer {
+    /// A live tracer for `cameras` lanes, retaining at most
+    /// `reservoir_len` full waterfalls (plus the slowest-frame
+    /// exemplars, which are always kept). The per-stage histograms are
+    /// registered in `telemetry`'s registry as `lineage.*_seconds`.
+    pub fn enabled(telemetry: &Telemetry, cameras: usize, reservoir_len: usize) -> Self {
+        LineageTracer(Some(Arc::new(LineageCore {
+            telemetry: telemetry.clone(),
+            epoch: Instant::now(),
+            cameras: cameras.max(1),
+            reservoir_len: reservoir_len.max(1),
+            queue_wait: telemetry.histogram("lineage.queue_wait_seconds"),
+            extract: telemetry.histogram("lineage.extract_seconds"),
+            reorder_hold: telemetry.histogram("lineage.reorder_hold_seconds"),
+            fuse: telemetry.histogram("lineage.fuse_seconds"),
+            total: telemetry.histogram("lineage.total_seconds"),
+            state: Mutex::new(LineageState {
+                in_flight: HashMap::new(),
+                frames_traced: 0,
+                lanes_discarded: 0,
+                frames_incomplete: 0,
+                offered: 0,
+                reservoir: Vec::new(),
+                exemplars: Vec::new(),
+                rng: 0x9E37_79B9_7F4A_7C15,
+            }),
+        })))
+    }
+
+    /// A no-op handle: every stamp is a single `None` branch. This is
+    /// the `Default`.
+    pub fn disabled() -> Self {
+        LineageTracer(None)
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Seconds since the tracer's epoch (0 on a disabled handle). The
+    /// clock every stamp shares.
+    pub fn now_s(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| c.epoch.elapsed().as_secs_f64())
+    }
+
+    /// Stamps camera `camera`'s lane of `frame` at channel enqueue —
+    /// the only call that creates an in-flight entry.
+    pub fn ingest(&self, camera: usize, frame: u64) {
+        let Some(core) = &self.0 else { return };
+        let now = core.epoch.elapsed().as_secs_f64();
+        let mut state = core.state.lock();
+        let cameras = core.cameras;
+        let lanes = state
+            .in_flight
+            .entry(frame)
+            .or_insert_with(|| vec![None; cameras]);
+        if let Some(slot) = lanes.get_mut(camera) {
+            *slot = Some(LaneStamp {
+                enqueue_s: now,
+                start_s: None,
+                end_s: None,
+            });
+        }
+    }
+
+    /// Stamps the start of extraction for camera `camera`'s lane.
+    /// A lane never ingested (or already discarded/retired) is left
+    /// untouched — stamps cannot resurrect a dead entry.
+    pub fn extract_start(&self, camera: usize, frame: u64) {
+        self.stamp(camera, frame, |lane, now| {
+            if lane.start_s.is_none() {
+                lane.start_s = Some(now);
+            }
+        });
+    }
+
+    /// Stamps the end of extraction (the camera's output is fully
+    /// produced) for camera `camera`'s lane.
+    pub fn extract_end(&self, camera: usize, frame: u64) {
+        self.stamp(camera, frame, |lane, now| {
+            if lane.end_s.is_none() {
+                lane.end_s = Some(now);
+            }
+        });
+    }
+
+    fn stamp(&self, camera: usize, frame: u64, apply: impl FnOnce(&mut LaneStamp, f64)) {
+        let Some(core) = &self.0 else { return };
+        let now = core.epoch.elapsed().as_secs_f64();
+        let mut state = core.state.lock();
+        if let Some(lane) = state
+            .in_flight
+            .get_mut(&frame)
+            .and_then(|lanes| lanes.get_mut(camera))
+            .and_then(Option::as_mut)
+        {
+            apply(lane, now);
+        }
+    }
+
+    /// Marks camera `camera`'s lane of `frame` as shed by backpressure
+    /// (`DropOldest` evicted it before extraction). The lane is
+    /// cleared; the frame may still fuse from its other lanes.
+    pub fn discard(&self, camera: usize, frame: u64) {
+        let Some(core) = &self.0 else { return };
+        let mut state = core.state.lock();
+        if let Some(slot) = state
+            .in_flight
+            .get_mut(&frame)
+            .and_then(|lanes| lanes.get_mut(camera))
+        {
+            if slot.take().is_some() {
+                state.lanes_discarded += 1;
+            }
+        }
+    }
+
+    /// Completes `frame`: removes its in-flight entry, builds the
+    /// waterfall from lanes that finished extraction, feeds the stage
+    /// histograms, and offers the waterfall to the reservoir and the
+    /// exemplar set. `fuse_start_s`/`fuse_end_s` bracket the fusion
+    /// compute (from [`now_s`](LineageTracer::now_s)).
+    pub fn fused(&self, frame: u64, fuse_start_s: f64, fuse_end_s: f64) {
+        let Some(core) = &self.0 else { return };
+        let mut state = core.state.lock();
+        let Some(stamps) = state.in_flight.remove(&frame) else {
+            return;
+        };
+        let lanes: Vec<CameraLane> = stamps
+            .into_iter()
+            .enumerate()
+            .filter_map(|(camera, stamp)| {
+                let stamp = stamp?;
+                match (stamp.start_s, stamp.end_s) {
+                    (Some(start_s), Some(end_s)) => Some(CameraLane {
+                        camera,
+                        enqueue_s: stamp.enqueue_s,
+                        start_s,
+                        end_s,
+                    }),
+                    _ => None,
+                }
+            })
+            .collect();
+        if lanes.is_empty() {
+            state.frames_incomplete += 1;
+            return;
+        }
+        let ingest_s = lanes
+            .iter()
+            .map(|l| l.enqueue_s)
+            .fold(f64::INFINITY, f64::min);
+        let queue_wait_s = lanes
+            .iter()
+            .map(|l| l.start_s - l.enqueue_s)
+            .fold(0.0, f64::max);
+        let extract_s = lanes
+            .iter()
+            .map(|l| l.end_s - l.start_s)
+            .fold(0.0, f64::max);
+        let last_end = lanes
+            .iter()
+            .map(|l| l.end_s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let waterfall = FrameWaterfall {
+            frame,
+            lanes,
+            fuse_start_s,
+            fuse_end_s,
+            ingest_s,
+            total_s: fuse_end_s - ingest_s,
+            queue_wait_s,
+            extract_s,
+            reorder_hold_s: fuse_start_s - last_end,
+            fuse_s: fuse_end_s - fuse_start_s,
+        };
+        core.queue_wait.observe(waterfall.queue_wait_s.max(0.0));
+        core.extract.observe(waterfall.extract_s.max(0.0));
+        core.reorder_hold.observe(waterfall.reorder_hold_s.max(0.0));
+        core.fuse.observe(waterfall.fuse_s.max(0.0));
+        core.total.observe(waterfall.total_s.max(0.0));
+        state.frames_traced += 1;
+        offer_exemplar(&mut state.exemplars, &waterfall);
+        offer_reservoir(&mut state, core.reservoir_len, waterfall);
+    }
+
+    /// Retires every in-flight frame below `frontier` — frames the
+    /// sequencer has moved past can never fuse, and without this sweep
+    /// their entries would accumulate for the life of the run.
+    pub fn retire_below(&self, frontier: u64) {
+        let Some(core) = &self.0 else { return };
+        let mut state = core.state.lock();
+        let before = state.in_flight.len();
+        state.in_flight.retain(|&frame, _| frame >= frontier);
+        state.frames_incomplete += (before - state.in_flight.len()) as u64;
+    }
+
+    /// Frames currently in flight (0 on a disabled handle). A cleanly
+    /// finished session leaves none.
+    pub fn in_flight(&self) -> usize {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.state.lock().in_flight.len())
+    }
+
+    /// Builds the stage-attribution report: summary, slowest-frame
+    /// exemplars, and the reservoir of waterfalls (frame order).
+    /// `None` on a disabled handle.
+    pub fn report(&self) -> Option<LineageReport> {
+        let core = self.0.as_ref()?;
+        let _span = core.telemetry.span("lineage.report");
+        let state = core.state.lock();
+        let stage = |name: &str, h: &Histogram| LineageStageSummary {
+            stage: name.to_owned(),
+            count: h.count(),
+            mean_s: h.mean(),
+            p50_s: h.quantile(0.50),
+            p95_s: h.quantile(0.95),
+            p99_s: h.quantile(0.99),
+            max_s: h.max(),
+        };
+        let mut waterfalls = state.reservoir.clone();
+        waterfalls.sort_by_key(|w| w.frame);
+        Some(LineageReport {
+            summary: LineageSummary {
+                frames_traced: state.frames_traced,
+                lanes_discarded: state.lanes_discarded,
+                frames_incomplete: state.frames_incomplete,
+                in_flight: state.in_flight.len(),
+                stages: vec![
+                    stage("queue_wait", &core.queue_wait),
+                    stage("extract", &core.extract),
+                    stage("reorder_hold", &core.reorder_hold),
+                    stage("fuse", &core.fuse),
+                    stage("total", &core.total),
+                ],
+            },
+            exemplars: state.exemplars.clone(),
+            waterfalls,
+        })
+    }
+}
+
+/// Keeps the slowest [`EXEMPLARS`] waterfalls, sorted slowest first.
+fn offer_exemplar(exemplars: &mut Vec<FrameWaterfall>, w: &FrameWaterfall) {
+    if exemplars.len() >= EXEMPLARS
+        && exemplars
+            .last()
+            .is_some_and(|slowest_kept| w.total_s <= slowest_kept.total_s)
+    {
+        return;
+    }
+    let at = exemplars
+        .iter()
+        .position(|e| e.total_s < w.total_s)
+        .unwrap_or(exemplars.len());
+    exemplars.insert(at, w.clone());
+    exemplars.truncate(EXEMPLARS);
+}
+
+/// Algorithm-R reservoir sampling with a deterministic xorshift64
+/// stream: uniform over all offered waterfalls, bounded at
+/// `reservoir_len`.
+fn offer_reservoir(state: &mut LineageState, reservoir_len: usize, w: FrameWaterfall) {
+    state.offered += 1;
+    if state.reservoir.len() < reservoir_len {
+        state.reservoir.push(w);
+        return;
+    }
+    let j = (xorshift64(&mut state.rng) % state.offered) as usize;
+    if j < reservoir_len {
+        state.reservoir[j] = w;
+    }
+}
+
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_one(tracer: &LineageTracer, camera: usize, frame: u64) {
+        tracer.ingest(camera, frame);
+        tracer.extract_start(camera, frame);
+        tracer.extract_end(camera, frame);
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = LineageTracer::disabled();
+        assert!(!tracer.is_enabled());
+        assert_eq!(tracer.now_s(), 0.0);
+        trace_one(&tracer, 0, 0);
+        tracer.fused(0, 0.0, 0.0);
+        tracer.retire_below(10);
+        assert_eq!(tracer.in_flight(), 0);
+        assert!(tracer.report().is_none());
+    }
+
+    #[test]
+    fn fused_frames_produce_monotonic_waterfalls() {
+        let t = Telemetry::enabled();
+        let tracer = LineageTracer::enabled(&t, 2, 16);
+        for frame in 0..5u64 {
+            trace_one(&tracer, 0, frame);
+            trace_one(&tracer, 1, frame);
+            let start = tracer.now_s();
+            tracer.fused(frame, start, tracer.now_s());
+        }
+        assert_eq!(tracer.in_flight(), 0);
+        let report = tracer.report().expect("enabled");
+        assert_eq!(report.summary.frames_traced, 5);
+        assert_eq!(report.waterfalls.len(), 5);
+        for w in &report.waterfalls {
+            assert_eq!(w.lanes.len(), 2);
+            for lane in &w.lanes {
+                assert!(lane.enqueue_s <= lane.start_s);
+                assert!(lane.start_s <= lane.end_s);
+                assert!(lane.end_s <= w.fuse_start_s);
+            }
+            assert!(w.fuse_start_s <= w.fuse_end_s);
+            assert!(w.total_s >= 0.0);
+        }
+        let summary = &report.summary;
+        for name in ["queue_wait", "extract", "reorder_hold", "fuse", "total"] {
+            let s = summary.stage(name).expect("stage present");
+            assert_eq!(s.count, 5, "{name}");
+            assert!(s.p99_s >= 0.0 && s.max_s >= s.p50_s - 1e-12, "{name}");
+        }
+    }
+
+    #[test]
+    fn stage_histograms_land_in_the_telemetry_registry() {
+        let t = Telemetry::enabled();
+        let tracer = LineageTracer::enabled(&t, 1, 8);
+        trace_one(&tracer, 0, 0);
+        let s = tracer.now_s();
+        tracer.fused(0, s, tracer.now_s());
+        let report = t.report();
+        let hist = report
+            .histograms
+            .iter()
+            .find(|h| h.name == "lineage.total_seconds")
+            .expect("lineage histogram registered");
+        assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_exemplars_keep_the_slowest() {
+        let t = Telemetry::enabled();
+        let tracer = LineageTracer::enabled(&t, 1, 4);
+        for frame in 0..100u64 {
+            trace_one(&tracer, 0, frame);
+            let start = tracer.now_s();
+            // Frame 42 gets an artificially huge fuse time: it must
+            // survive in the exemplars no matter what the reservoir
+            // keeps.
+            let end = if frame == 42 {
+                start + 1000.0
+            } else {
+                tracer.now_s()
+            };
+            tracer.fused(frame, start, end);
+        }
+        let report = tracer.report().expect("enabled");
+        assert_eq!(report.summary.frames_traced, 100);
+        assert_eq!(report.waterfalls.len(), 4, "reservoir bounded");
+        assert!(report.exemplars.len() <= EXEMPLARS);
+        assert_eq!(
+            report.exemplars.first().map(|w| w.frame),
+            Some(42),
+            "slowest frame is the first exemplar"
+        );
+        // Exemplars are sorted slowest-first.
+        for pair in report.exemplars.windows(2) {
+            assert!(pair[0].total_s >= pair[1].total_s);
+        }
+        // Reservoir is in frame order.
+        for pair in report.waterfalls.windows(2) {
+            assert!(pair[0].frame < pair[1].frame);
+        }
+    }
+
+    #[test]
+    fn discard_and_retire_keep_in_flight_bounded() {
+        let t = Telemetry::enabled();
+        let tracer = LineageTracer::enabled(&t, 2, 8);
+        // Frame 0: one lane evicted, the other fuses — still traced.
+        tracer.ingest(0, 0);
+        tracer.ingest(1, 0);
+        tracer.discard(0, 0);
+        tracer.extract_start(1, 0);
+        tracer.extract_end(1, 0);
+        let s = tracer.now_s();
+        tracer.fused(0, s, tracer.now_s());
+        // Frame 1: both lanes evicted — can never fuse.
+        tracer.ingest(0, 1);
+        tracer.ingest(1, 1);
+        tracer.discard(0, 1);
+        tracer.discard(1, 1);
+        assert_eq!(tracer.in_flight(), 1);
+        tracer.retire_below(2);
+        assert_eq!(tracer.in_flight(), 0);
+        let summary = tracer.report().expect("enabled").summary;
+        assert_eq!(summary.frames_traced, 1);
+        assert_eq!(summary.lanes_discarded, 3);
+        assert_eq!(summary.frames_incomplete, 1);
+        assert_eq!(summary.in_flight, 0);
+    }
+
+    #[test]
+    fn stamps_cannot_resurrect_a_retired_frame() {
+        let t = Telemetry::enabled();
+        let tracer = LineageTracer::enabled(&t, 1, 8);
+        tracer.ingest(0, 5);
+        tracer.retire_below(10);
+        assert_eq!(tracer.in_flight(), 0);
+        // A straggler worker stamping after retirement must not
+        // re-create the entry.
+        tracer.extract_start(0, 5);
+        tracer.extract_end(0, 5);
+        assert_eq!(tracer.in_flight(), 0);
+        tracer.fused(5, 0.0, 0.0);
+        assert_eq!(tracer.report().expect("enabled").summary.frames_traced, 0);
+    }
+
+    #[test]
+    fn dropping_every_handle_frees_the_core() {
+        let t = Telemetry::enabled();
+        let tracer = LineageTracer::enabled(&t, 1, 8);
+        let weak = Arc::downgrade(tracer.0.as_ref().expect("enabled"));
+        let clone = tracer.clone();
+        drop(tracer);
+        assert!(weak.upgrade().is_some(), "clone keeps the core alive");
+        drop(clone);
+        assert!(
+            weak.upgrade().is_none(),
+            "last handle must free the lineage buffers"
+        );
+    }
+
+    #[test]
+    fn jsonl_export_round_trips() {
+        let t = Telemetry::enabled();
+        let tracer = LineageTracer::enabled(&t, 1, 8);
+        trace_one(&tracer, 0, 3);
+        let s = tracer.now_s();
+        tracer.fused(3, s, tracer.now_s());
+        let report = tracer.report().expect("enabled");
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines.len() >= 3, "summary + exemplar + waterfall");
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(v.get("kind").is_some());
+        }
+    }
+}

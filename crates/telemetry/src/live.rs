@@ -409,6 +409,10 @@ type HeartbeatFn = Box<dyn Fn(&PlaneProbe) + Send + 'static>;
 pub(crate) struct PlaneShared {
     pub(crate) telemetry: Telemetry,
     pub(crate) aggregator: Mutex<Aggregator>,
+    /// The session's frame-lineage tracer, when lineage tracing is on —
+    /// serves `GET /lineage`. A handle, not an owner: the session owns
+    /// the tracer's lifecycle.
+    pub(crate) lineage: Mutex<Option<crate::lineage::LineageTracer>>,
     /// Called at the top of every tick — the session publishes its
     /// heartbeat gauges (uptime, watermark, liveness, pool deltas)
     /// from here so they are fresh in every sample and scrape.
@@ -494,6 +498,14 @@ impl PlaneProbe {
     pub fn set_ready(&self, ready: bool) {
         self.shared.ready.store(ready, Ordering::Release);
     }
+
+    /// Whether a lineage tracer is attached to the plane's shared
+    /// state. Must read `false` once the plane shut down: the tracer's
+    /// waterfall buffers would otherwise stay pinned for as long as
+    /// any probe lives.
+    pub fn lineage_attached(&self) -> bool {
+        self.shared.lineage.lock().is_some()
+    }
 }
 
 /// The running observability plane: a sampler thread (heartbeat +
@@ -555,6 +567,7 @@ impl LivePlane {
         let shared = Arc::new(PlaneShared {
             telemetry: telemetry.clone(),
             aggregator: Mutex::new(Aggregator::new(options.ring_len)),
+            lineage: Mutex::new(None),
             heartbeat: Mutex::new(heartbeat),
             ready: AtomicBool::new(ready),
             shutdown: AtomicBool::new(false),
@@ -631,6 +644,13 @@ impl LivePlane {
         *self.shared.heartbeat.lock() = Some(Box::new(f));
     }
 
+    /// Attaches a frame-lineage tracer: `GET /lineage` serves its
+    /// stage-attribution report from now on (404 until then). The
+    /// plane holds a cheap handle, not ownership.
+    pub fn attach_lineage(&self, tracer: crate::lineage::LineageTracer) {
+        *self.shared.lineage.lock() = Some(tracer);
+    }
+
     /// Flips the `/readyz` verdict.
     pub fn set_ready(&self, ready: bool) {
         self.shared.ready.store(ready, Ordering::Release);
@@ -679,6 +699,9 @@ impl LivePlane {
         // exit when the last handle drops) must be released now, not
         // when the last outstanding PlaneProbe goes away.
         *self.shared.heartbeat.lock() = None;
+        // Same for the lineage handle: its waterfall buffers must not
+        // stay pinned behind a long-lived test probe.
+        *self.shared.lineage.lock() = None;
         let deadline = Instant::now() + timeout;
         let mut all_joined = true;
         for handle in [self.sampler.take(), self.server.take()]

@@ -399,6 +399,29 @@ impl Histogram {
         self.0.as_ref().map_or(0, |c| c.count())
     }
 
+    /// Sum of all observations (0 on a no-op handle).
+    pub fn sum(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |c| c.sum())
+    }
+
+    /// Exact smallest observation (0 when empty or no-op).
+    pub fn min(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |c| c.min())
+    }
+
+    /// Exact largest observation (0 when empty or no-op).
+    pub fn max(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |c| c.max())
+    }
+
+    /// Mean observation (0 when empty or no-op).
+    pub fn mean(&self) -> f64 {
+        match self.count() {
+            0 => 0.0,
+            n => self.sum() / n as f64,
+        }
+    }
+
     /// The value at quantile `q` (0 on a no-op handle).
     pub fn quantile(&self, q: f64) -> f64 {
         self.0.as_ref().map_or(0.0, |c| c.quantile(q))

@@ -14,8 +14,13 @@
 //! With `--serve-metrics ADDR` (e.g. `127.0.0.1:0`), the session also
 //! serves its live observability endpoints, and this example probes
 //! its own `/healthz` and `/metrics` mid-run — validating the
-//! Prometheus payload — before finishing. Exits non-zero if the
-//! exposition is malformed, so CI can use it as a smoke test.
+//! Prometheus payload — before finishing. With `--trace-lineage` the
+//! session additionally stamps every frame with its causal lineage and
+//! the mid-run probe validates the `/lineage` JSON shape (per-stage
+//! breakdown + slowest-frame waterfalls). Exits non-zero if either
+//! payload is malformed, so CI can use it as a smoke test.
+//! `--prototype` streams the paper's 4-camera 610-frame rig instead of
+//! the default two-camera dinner.
 
 use dievent_core::{
     validate_exposition, BackpressureMode, DiEventPipeline, PipelineConfig, Recording,
@@ -43,21 +48,33 @@ fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
 }
 
 fn main() {
-    let serve_metrics: Option<SocketAddr> = {
-        let mut args = std::env::args().skip(1);
-        match args.next().as_deref() {
-            Some("--serve-metrics") => Some(
-                args.next()
-                    .expect("--serve-metrics requires an address")
-                    .parse()
-                    .expect("valid host:port"),
-            ),
-            _ => None,
+    let mut serve_metrics: Option<SocketAddr> = None;
+    let mut trace_lineage = false;
+    let mut prototype = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--serve-metrics" => {
+                serve_metrics = Some(
+                    args.next()
+                        .expect("--serve-metrics requires an address")
+                        .parse()
+                        .expect("valid host:port"),
+                );
+            }
+            "--trace-lineage" => trace_lineage = true,
+            "--prototype" => prototype = true,
+            other => panic!("unknown option {other}"),
         }
-    };
+    }
 
-    // A two-camera dinner stands in for two live 25 fps feeds.
-    let scenario = Scenario::two_camera_dinner(250, 7);
+    // A two-camera dinner stands in for two live 25 fps feeds;
+    // --prototype streams the paper's 4-camera 610-frame rig instead.
+    let scenario = if prototype {
+        Scenario::prototype()
+    } else {
+        Scenario::two_camera_dinner(250, 7)
+    };
     let recording = Recording::capture(scenario);
 
     let mut builder = PipelineConfig::builder()
@@ -70,6 +87,9 @@ fn main() {
         builder = builder
             .serve_metrics(addr)
             .sample_interval(std::time::Duration::from_millis(50));
+    }
+    if trace_lineage {
+        builder = builder.trace_lineage(true);
     }
     let config = builder.build().expect("valid config");
     let pipeline = DiEventPipeline::new(config);
@@ -130,6 +150,51 @@ fn main() {
                         "mid-run /metrics: {} samples in {} families, exposition valid",
                         stats.samples, stats.families
                     );
+                    if trace_lineage {
+                        let (status, body) = http_get(addr, "/lineage");
+                        assert!(status.contains("200"), "/lineage said {status}: {body}");
+                        let value: serde_json::Value =
+                            serde_json::from_str(&body).expect("/lineage is JSON");
+                        assert_eq!(
+                            value.get("enabled"),
+                            Some(&serde_json::Value::Bool(true)),
+                            "tracer must report itself enabled"
+                        );
+                        let summary = value.get("summary").expect("summary object");
+                        let traced = summary
+                            .get("frames_traced")
+                            .and_then(|v| v.as_u64())
+                            .expect("frames_traced");
+                        assert!(traced > 0, "mid-run frames already traced:\n{body}");
+                        let stages = summary
+                            .get("stages")
+                            .and_then(|v| v.as_array())
+                            .expect("stages array");
+                        for name in ["queue_wait", "extract", "reorder_hold", "fuse", "total"] {
+                            assert!(
+                                stages.iter().any(|s| {
+                                    s.get("stage").and_then(|v| v.as_str()) == Some(name)
+                                }),
+                                "missing stage {name} in:\n{body}"
+                            );
+                        }
+                        let exemplars = value
+                            .get("exemplars")
+                            .and_then(|v| v.as_array())
+                            .expect("exemplars array");
+                        assert!(
+                            exemplars
+                                .iter()
+                                .all(|e| e.get("lanes").and_then(|v| v.as_array()).is_some()),
+                            "every exemplar carries its full waterfall"
+                        );
+                        println!(
+                            "mid-run /lineage: {traced} frames traced, {} stage summaries, \
+                             {} slowest-frame exemplars",
+                            stages.len(),
+                            exemplars.len()
+                        );
+                    }
                 }
             }
             std::thread::yield_now();

@@ -1,0 +1,89 @@
+//! Regression test: a lineage-traced observed session that is dropped
+//! *without* `finish()` must release everything the tracer touched —
+//! the plane's lineage slot (which pins the waterfall reservoir and
+//! in-flight table), the sampler/HTTP threads, and the private pool's
+//! workers. A leak here is easy to introduce: the plane holds a tracer
+//! clone so `/lineage` can serve mid-run, and clearing that slot on
+//! shutdown is the only thing standing between "session dropped" and
+//! "reservoir pinned for as long as any probe lives".
+//!
+//! Lives in its own integration-test binary: the assertions count OS
+//! threads by name via `/proc/self/task`, which only stays
+//! deterministic when no sibling test spins up pools in the same
+//! process.
+
+#![cfg(target_os = "linux")]
+
+use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
+use dievent_scene::Scenario;
+use std::time::{Duration, Instant};
+
+/// Counts this process's live threads named `dievent-pool-*` (worker
+/// names are truncated to 15 bytes in `comm`, which still covers the
+/// prefix) — real OS threads, not a counter the code under test keeps.
+fn pool_worker_threads() -> usize {
+    let Ok(entries) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            std::fs::read_to_string(e.path().join("comm"))
+                .is_ok_and(|comm| comm.trim_end().starts_with("dievent-pool"))
+        })
+        .count()
+}
+
+#[test]
+fn dropping_a_traced_session_frees_lineage_buffers_and_threads() {
+    let recording = Recording::capture(Scenario::two_camera_dinner(40, 9));
+    let config = PipelineConfig::builder()
+        .classify_emotions(false)
+        .parse_video(false)
+        .pool_threads(2)
+        .trace_lineage(true)
+        .serve_metrics("127.0.0.1:0".parse().expect("loopback"))
+        .sample_interval(Duration::from_millis(20))
+        .build()
+        .expect("valid config");
+    let before = pool_worker_threads();
+    let pipeline = DiEventPipeline::new(config);
+    let mut session = pipeline.session(&recording.scenario).expect("session");
+    let probe = session.observer().expect("plane").probe();
+    assert!(probe.lineage_attached(), "tracer attached while running");
+
+    // Put real entries in the tracer's in-flight table and reservoir
+    // before abandoning the session.
+    for f in 0..10 {
+        for c in 0..recording.cameras() {
+            session.push_frame(c, recording.frame(c, f)).expect("push");
+        }
+    }
+    session.poll();
+    assert!(pool_worker_threads() > before, "private pool is running");
+
+    // Abandon the session without `finish()`. The plane's shutdown
+    // must clear the lineage slot — the probe outlives the session, so
+    // a slot left populated would pin the tracer's waterfall reservoir
+    // for as long as this handle exists.
+    drop(session);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !probe.is_shutdown() || probe.threads_alive() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "plane threads leaked after traced-session drop"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        !probe.lineage_attached(),
+        "lineage tracer still pinned by the plane after shutdown"
+    );
+    while pool_worker_threads() > before {
+        assert!(
+            Instant::now() < deadline,
+            "private pool workers leaked after traced-session drop"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

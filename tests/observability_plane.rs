@@ -197,6 +197,45 @@ fn dropping_a_session_without_finish_leaks_no_plane_threads() {
 }
 
 #[test]
+fn snapshot_rejects_malformed_window_parameters() {
+    let recording = Recording::capture(Scenario::two_camera_dinner(20, 3));
+    let pipeline = DiEventPipeline::new(observed_config());
+    let mut session = pipeline.session(&recording.scenario).expect("session");
+    let addr = session
+        .observer()
+        .expect("plane")
+        .local_addr()
+        .expect("bound");
+    for c in 0..recording.cameras() {
+        session.push_frame(c, recording.frame(c, 0)).expect("push");
+    }
+
+    // Malformed, zero, negative, overflowing, and empty window values
+    // must all be rejected with 400 — not silently clamped, not 500.
+    for bad in [
+        "/snapshot?window=abc",
+        "/snapshot?window=0",
+        "/snapshot?window=-3",
+        "/snapshot?window=99999999999999999999999999",
+        "/snapshot?window=",
+    ] {
+        let (status, body) = http_get(addr, bad);
+        assert_eq!(status, 400, "{bad} must be a client error, got: {body}");
+        assert!(!body.is_empty(), "{bad}: the 400 explains itself");
+    }
+
+    // Well-formed requests still succeed, including an unrelated query
+    // parameter (ignored) and no query at all.
+    for good in ["/snapshot", "/snapshot?window=5", "/snapshot?other=1"] {
+        let (status, body) = http_get(addr, good);
+        assert_eq!(status, 200, "{good}: {body}");
+        serde_json::from_str::<serde_json::Value>(&body).expect("snapshot is JSON");
+    }
+
+    session.finish().expect("finish");
+}
+
+#[test]
 fn sample_rates_without_http_still_collects_windows() {
     let recording = Recording::capture(Scenario::two_camera_dinner(60, 5));
     let config = PipelineConfig::builder()
