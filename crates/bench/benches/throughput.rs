@@ -220,7 +220,7 @@ fn streaming_throughput(c: &mut Criterion) {
                     for mut feed in feeds {
                         let frames = &frames;
                         s.spawn(move || {
-                            for frame in &frames[feed.camera()] {
+                            for frame in &frames[feed.camera().index()] {
                                 feed.push(frame.clone()).expect("push");
                             }
                         });

@@ -1,5 +1,6 @@
 //! Error type for the pipeline and streaming-session APIs.
 
+use crate::ids::CameraId;
 use std::fmt;
 
 /// Everything that can go wrong constructing or driving the DiEvent
@@ -15,8 +16,8 @@ pub enum DiEventError {
     InvalidConfig(String),
     /// A frame was pushed for a camera index outside the rig.
     UnknownCamera {
-        /// The offending camera index.
-        camera: usize,
+        /// The offending camera.
+        camera: CameraId,
         /// Number of cameras the session was built with.
         cameras: usize,
     },
@@ -83,7 +84,7 @@ mod tests {
             .to_string()
             .contains("capacity 0"));
         assert!(DiEventError::UnknownCamera {
-            camera: 5,
+            camera: CameraId::new(5),
             cameras: 2
         }
         .to_string()

@@ -1,0 +1,139 @@
+//! Typed identifiers for the public session and server APIs.
+//!
+//! A dining event and a camera are both "just an index" at the
+//! representation level, which makes it easy to hand one to an API
+//! expecting the other. [`EventId`] and [`CameraId`] are zero-cost
+//! newtypes that make that confusion a type error while staying
+//! ergonomic: both convert from the bare integer (`0.into()`,
+//! `CameraId::from(c)`), display as the plain number, and serialize
+//! as a JSON number so identifiers on the wire look exactly like the
+//! integers they replace.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::fmt;
+
+/// Identifies one dining event (a tenant) within a multi-event
+/// process. Monotonic per deployment by convention; the server treats
+/// it as an opaque key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Wraps a raw event number.
+    pub const fn new(id: u64) -> Self {
+        EventId(id)
+    }
+
+    /// The raw event number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for EventId {
+    fn from(id: u64) -> Self {
+        EventId(id)
+    }
+}
+
+impl From<EventId> for u64 {
+    fn from(id: EventId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+// Serialized as the bare number (not a one-element array) so wire
+// payloads and JSON views read naturally.
+impl Serialize for EventId {
+    fn serialize(&self) -> Value {
+        self.0.serialize()
+    }
+}
+
+impl Deserialize for EventId {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        u64::deserialize(value).map(EventId)
+    }
+}
+
+/// Identifies one camera within an event's rig, by rig position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CameraId(usize);
+
+impl CameraId {
+    /// Wraps a raw rig index.
+    pub const fn new(index: usize) -> Self {
+        CameraId(index)
+    }
+
+    /// The raw rig index (e.g. to address a
+    /// [`Recording`](crate::Recording) frame).
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for CameraId {
+    fn from(index: usize) -> Self {
+        CameraId(index)
+    }
+}
+
+impl From<CameraId> for usize {
+    fn from(id: CameraId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for CameraId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Serialize for CameraId {
+    fn serialize(&self) -> Value {
+        self.0.serialize()
+    }
+}
+
+impl Deserialize for CameraId {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        usize::deserialize(value).map(CameraId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_convert_display_and_round_trip() {
+        let event = EventId::from(42u64);
+        assert_eq!(event.raw(), 42);
+        assert_eq!(u64::from(event), 42);
+        assert_eq!(event.to_string(), "42");
+        assert_eq!(EventId::deserialize(&event.serialize()).unwrap(), event);
+
+        let camera = CameraId::from(3usize);
+        assert_eq!(camera.index(), 3);
+        assert_eq!(usize::from(camera), 3);
+        assert_eq!(camera.to_string(), "3");
+        assert_eq!(CameraId::deserialize(&camera.serialize()).unwrap(), camera);
+    }
+
+    #[test]
+    fn ids_serialize_as_bare_numbers() {
+        // The wire/JSON representation must be the plain integer, not a
+        // wrapped structure.
+        assert_eq!(EventId::new(7).serialize(), 7u64.serialize());
+        assert_eq!(CameraId::new(2).serialize(), 2usize.serialize());
+        assert!(EventId::deserialize(&Value::String("7".into())).is_err());
+    }
+}

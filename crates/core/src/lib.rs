@@ -30,6 +30,7 @@
 
 pub mod acquisition;
 pub mod error;
+pub mod ids;
 pub mod observe;
 pub mod pipeline;
 pub mod report;
@@ -43,10 +44,12 @@ pub use dievent_telemetry::{
     LineageStageSummary, LineageSummary, LiveOptions, LivePlane, PlaneProbe, RateWindow, Telemetry,
 };
 pub use error::DiEventError;
+pub use ids::{CameraId, EventId};
 pub use observe::ObserveConfig;
 pub use pipeline::{DiEventPipeline, PipelineConfig, PipelineConfigBuilder};
 pub use report::{AnalysisDigest, EventAnalysis, StageTimings};
 pub use session::{
-    BackpressureMode, CameraFeed, FinishOptions, FrameAnalysis, PipelineSession, StreamingConfig,
+    BackpressureMode, CameraFeed, FinishOptions, FrameAnalysis, PipelineSession, SessionInput,
+    StreamingConfig,
 };
 pub use training::{default_training_set, train_emotion_classifier, TrainingSetConfig};

@@ -365,7 +365,7 @@ impl DiEventPipeline {
                     .into_iter()
                     .map(|mut feed| {
                         s.spawn(move |_| -> Result<(), DiEventError> {
-                            let camera = feed.camera();
+                            let camera = feed.camera().index();
                             for f in 0..frames {
                                 feed.push(recording.frame(camera, f))?;
                             }

@@ -19,6 +19,7 @@
 //! a thin driver over this engine, so both share one code path.
 
 use crate::error::DiEventError;
+use crate::ids::CameraId;
 use crate::observe::{CameraAliveGuard, PoolCursor, SessionVitals};
 use crate::pipeline::{DiEventPipeline, PipelineConfig};
 use crate::report::{EventAnalysis, StageTimings};
@@ -122,6 +123,33 @@ pub struct FinishOptions {
     pub context: Option<TimeInvariantContext>,
 }
 
+/// One unit of per-camera input, unifying the two ingest paths behind
+/// a single type: a raw frame for stage-3 extraction, or pose
+/// observations an external tracker already extracted. The canonical
+/// ingest APIs — [`PipelineSession::push`] and
+/// [`CameraFeed::push_input`] — take this; `push_frame` /
+/// `push_pose_observations` are thin wrappers over it, and the
+/// server's framed wire protocol decodes 1:1 onto it so the wire
+/// format and the in-process API cannot drift.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionInput {
+    /// A raw frame for stage-3 feature extraction.
+    Frame(GrayFrame),
+    /// Pre-extracted pose observations (an external tracker already ran
+    /// stage 3); passed through to the sequencer untouched.
+    PoseObservations(Vec<CameraObservation>),
+}
+
+impl SessionInput {
+    /// Pairs the input with its per-camera frame index.
+    fn into_item(self, index: usize) -> WorkItem {
+        match self {
+            SessionInput::Frame(frame) => WorkItem::Frame(index, frame),
+            SessionInput::PoseObservations(obs) => WorkItem::Observations(index, obs),
+        }
+    }
+}
+
 /// Work travelling down a camera's input channel. Both kinds share the
 /// channel so per-camera FIFO ordering is preserved.
 enum WorkItem {
@@ -168,33 +196,40 @@ pub struct CameraFeed {
 }
 
 impl CameraFeed {
-    /// Pushes the camera's next frame. In [`BackpressureMode::Block`]
-    /// this blocks while the queue is full; in
-    /// [`BackpressureMode::DropOldest`] it evicts the stalest queued
+    /// Pushes the camera's next input — the canonical ingest point. In
+    /// [`BackpressureMode::Block`] this blocks while the queue is full;
+    /// in [`BackpressureMode::DropOldest`] it evicts the stalest queued
     /// item instead.
-    #[must_use = "an ignored Err means the frame was never enqueued"]
-    pub fn push(&mut self, frame: GrayFrame) -> Result<(), DiEventError> {
+    #[must_use = "an ignored Err means the input was never enqueued"]
+    pub fn push_input(&mut self, input: SessionInput) -> Result<(), DiEventError> {
         let index = self.next_index;
         self.next_index += 1;
-        self.enqueue(WorkItem::Frame(index, frame))
+        self.enqueue(input.into_item(index))
+    }
+
+    /// Pushes the camera's next frame
+    /// (= [`push_input`](Self::push_input) with [`SessionInput::Frame`]).
+    #[must_use = "an ignored Err means the frame was never enqueued"]
+    pub fn push(&mut self, frame: GrayFrame) -> Result<(), DiEventError> {
+        self.push_input(SessionInput::Frame(frame))
     }
 
     /// Pushes pre-extracted pose observations for the camera's next
     /// frame, bypassing feature extraction (for deployments where an
-    /// external tracker supplies head/gaze directly).
+    /// external tracker supplies head/gaze directly; =
+    /// [`push_input`](Self::push_input) with
+    /// [`SessionInput::PoseObservations`]).
     #[must_use = "an ignored Err means the observations were never enqueued"]
     pub fn push_pose_observations(
         &mut self,
         observations: Vec<CameraObservation>,
     ) -> Result<(), DiEventError> {
-        let index = self.next_index;
-        self.next_index += 1;
-        self.enqueue(WorkItem::Observations(index, observations))
+        self.push_input(SessionInput::PoseObservations(observations))
     }
 
     /// The camera this feed belongs to.
-    pub fn camera(&self) -> usize {
-        self.camera
+    pub fn camera(&self) -> CameraId {
+        CameraId::new(self.camera)
     }
 
     /// Frames pushed so far.
@@ -1248,36 +1283,49 @@ impl PipelineSession {
         Ok(feeds)
     }
 
-    /// Pushes the next frame for `camera`. Applies the configured
-    /// backpressure policy in threaded mode; runs extraction
-    /// synchronously in inline mode.
+    /// Pushes the next input for `camera` — the canonical, typed ingest
+    /// point the wire protocol and the wrappers below both funnel into.
+    /// Applies the configured backpressure policy in threaded mode;
+    /// runs extraction synchronously in inline mode.
+    #[must_use = "an ignored Err means the input was never processed"]
+    pub fn push(&mut self, camera: CameraId, input: SessionInput) -> Result<(), DiEventError> {
+        self.push_item(camera, |index| input.into_item(index))
+    }
+
+    /// Pushes the next frame for `camera`
+    /// (= [`push`](Self::push) with [`SessionInput::Frame`]).
     #[must_use = "an ignored Err means the frame was never processed"]
     pub fn push_frame(&mut self, camera: usize, frame: GrayFrame) -> Result<(), DiEventError> {
-        self.push_item(camera, |index| WorkItem::Frame(index, frame))
+        self.push(CameraId::new(camera), SessionInput::Frame(frame))
     }
 
     /// Pushes pre-extracted pose observations as `camera`'s next frame,
-    /// bypassing stage-3 extraction (for external trackers).
+    /// bypassing stage-3 extraction (= [`push`](Self::push) with
+    /// [`SessionInput::PoseObservations`]).
     #[must_use = "an ignored Err means the observations were never processed"]
     pub fn push_pose_observations(
         &mut self,
         camera: usize,
         observations: Vec<CameraObservation>,
     ) -> Result<(), DiEventError> {
-        self.push_item(camera, |index| WorkItem::Observations(index, observations))
+        self.push(
+            CameraId::new(camera),
+            SessionInput::PoseObservations(observations),
+        )
     }
 
     fn push_item(
         &mut self,
-        camera: usize,
+        camera: CameraId,
         make: impl FnOnce(usize) -> WorkItem,
     ) -> Result<(), DiEventError> {
-        if camera >= self.cameras {
+        if camera.index() >= self.cameras {
             return Err(DiEventError::UnknownCamera {
                 camera,
                 cameras: self.cameras,
             });
         }
+        let camera = camera.index();
         match &mut self.mode {
             ExecutionMode::Threaded { .. } => {
                 let feed = self
@@ -1658,7 +1706,7 @@ mod tests {
         assert_eq!(
             session.push_frame(9, frame.clone()),
             Err(DiEventError::UnknownCamera {
-                camera: 9,
+                camera: CameraId::new(9),
                 cameras: 2
             })
         );

@@ -1,0 +1,286 @@
+//! A small blocking client for the framed ingest protocol — the
+//! counterpart the load generator, smoke example, and integration
+//! tests all drive the server with.
+//!
+//! Ingest sends (`send_frame`, `send_pose`) are one-way: the server
+//! only answers them when it refuses one. Control calls (`open_event`,
+//! `finish_event`, `drain`) wait for their reply, stashing any ingest
+//! refusals that arrive in between into [`EventClient::rejections`] —
+//! the [`RejectOp`] on every refusal is what makes that sorting
+//! unambiguous.
+
+use crate::proto::{ClientMsg, ProtoError, RejectCode, RejectOp, ServerMsg};
+use dievent_analysis::CameraObservation;
+use dievent_core::{AnalysisDigest, CameraId, EventId, PipelineConfig};
+use dievent_scene::Scenario;
+use dievent_video::GrayFrame;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// One ingest refusal the server pushed at us.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// The event the refused request targeted, when attributable.
+    pub event: Option<EventId>,
+    /// Which request was refused.
+    pub op: RejectOp,
+    /// Typed reason.
+    pub code: RejectCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// A finished session's wire-level result.
+#[derive(Debug, Clone)]
+pub struct FinishedEvent {
+    /// The event that finished.
+    pub event: EventId,
+    /// Digest of the final analysis.
+    pub digest: AnalysisDigest,
+    /// Inputs the server accepted for this tenant.
+    pub pushed: u64,
+    /// Frames the extraction stage consumed.
+    pub processed: u64,
+    /// Inputs shed by the tenant's `DropOldest` policy.
+    pub dropped: u64,
+}
+
+/// The reply to a control request: granted, or refused with a code.
+pub type ControlReply<T> = Result<T, Rejection>;
+
+/// A blocking protocol client over one TCP connection.
+pub struct EventClient {
+    stream: TcpStream,
+    /// Ingest refusals received while waiting for control replies.
+    pub rejections: Vec<Rejection>,
+}
+
+impl EventClient {
+    /// Connects to a server's ingest address.
+    pub fn connect(addr: SocketAddr) -> io::Result<EventClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(EventClient {
+            stream,
+            rejections: Vec::new(),
+        })
+    }
+
+    /// Opens a session; waits for the server's verdict.
+    pub fn open_event(
+        &mut self,
+        event: EventId,
+        scenario: &Scenario,
+        config: PipelineConfig,
+    ) -> Result<ControlReply<()>, ProtoError> {
+        ClientMsg::OpenEvent {
+            event,
+            scenario: scenario.clone(),
+            config,
+        }
+        .write_to(&mut self.stream)?;
+        loop {
+            match self.read_reply()? {
+                ServerMsg::Opened { .. } => return Ok(Ok(())),
+                ServerMsg::Rejected {
+                    event,
+                    op,
+                    code,
+                    message,
+                } => {
+                    let rejection = Rejection {
+                        event,
+                        op,
+                        code,
+                        message,
+                    };
+                    if op == RejectOp::Open || op == RejectOp::Connection {
+                        return Ok(Err(rejection));
+                    }
+                    self.rejections.push(rejection);
+                }
+                other => {
+                    return Err(ProtoError::Malformed(format!(
+                        "unexpected reply to OpenEvent: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Sends one frame (fire-and-forget).
+    pub fn send_frame(
+        &mut self,
+        event: EventId,
+        camera: CameraId,
+        seq: u64,
+        frame: GrayFrame,
+    ) -> io::Result<()> {
+        ClientMsg::Frame {
+            event,
+            camera,
+            seq,
+            frame,
+        }
+        .write_to(&mut self.stream)
+    }
+
+    /// Sends one batch of pose observations (fire-and-forget).
+    pub fn send_pose(
+        &mut self,
+        event: EventId,
+        camera: CameraId,
+        seq: u64,
+        observations: Vec<CameraObservation>,
+    ) -> io::Result<()> {
+        ClientMsg::PoseObs {
+            event,
+            camera,
+            seq,
+            observations,
+        }
+        .write_to(&mut self.stream)
+    }
+
+    /// Finishes a session; waits for its `Finished` (or refusal),
+    /// stashing interleaved ingest refusals.
+    pub fn finish_event(
+        &mut self,
+        event: EventId,
+    ) -> Result<ControlReply<FinishedEvent>, ProtoError> {
+        ClientMsg::FinishEvent { event }.write_to(&mut self.stream)?;
+        loop {
+            match self.read_reply()? {
+                ServerMsg::Finished {
+                    event,
+                    digest,
+                    pushed,
+                    processed,
+                    dropped,
+                } => {
+                    return Ok(Ok(FinishedEvent {
+                        event,
+                        digest,
+                        pushed,
+                        processed,
+                        dropped,
+                    }))
+                }
+                ServerMsg::Rejected {
+                    event,
+                    op,
+                    code,
+                    message,
+                } => {
+                    let rejection = Rejection {
+                        event,
+                        op,
+                        code,
+                        message,
+                    };
+                    if op == RejectOp::Finish {
+                        return Ok(Err(rejection));
+                    }
+                    self.rejections.push(rejection);
+                }
+                other => {
+                    return Err(ProtoError::Malformed(format!(
+                        "unexpected reply to FinishEvent: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Asks the server to drain: every open session finishes (each
+    /// reported back), then new events are refused. Returns the
+    /// per-session results in the order the server finished them.
+    pub fn drain(&mut self) -> Result<Vec<FinishedEvent>, ProtoError> {
+        ClientMsg::Drain.write_to(&mut self.stream)?;
+        let mut finished = Vec::new();
+        loop {
+            match self.read_reply()? {
+                ServerMsg::Finished {
+                    event,
+                    digest,
+                    pushed,
+                    processed,
+                    dropped,
+                } => finished.push(FinishedEvent {
+                    event,
+                    digest,
+                    pushed,
+                    processed,
+                    dropped,
+                }),
+                ServerMsg::Drained { finished: n } => {
+                    if n as usize != finished.len() {
+                        return Err(ProtoError::Malformed(format!(
+                            "Drained claims {n} sessions but {} Finished arrived",
+                            finished.len()
+                        )));
+                    }
+                    return Ok(finished);
+                }
+                ServerMsg::Rejected {
+                    event,
+                    op,
+                    code,
+                    message,
+                } => self.rejections.push(Rejection {
+                    event,
+                    op,
+                    code,
+                    message,
+                }),
+                other => {
+                    return Err(ProtoError::Malformed(format!(
+                        "unexpected reply to Drain: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Drains any ingest refusals the server has already sent without
+    /// blocking for more (uses a short read timeout probe).
+    pub fn poll_rejections(&mut self) -> Result<&[Rejection], ProtoError> {
+        self.stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+            .map_err(ProtoError::Io)?;
+        loop {
+            match ServerMsg::read_from(&mut self.stream, &|| true) {
+                Ok(Some(ServerMsg::Rejected {
+                    event,
+                    op,
+                    code,
+                    message,
+                })) => self.rejections.push(Rejection {
+                    event,
+                    op,
+                    code,
+                    message,
+                }),
+                Ok(Some(other)) => {
+                    return Err(ProtoError::Malformed(format!(
+                        "unsolicited non-rejection message: {other:?}"
+                    )))
+                }
+                Ok(None) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        self.stream.set_read_timeout(None).map_err(ProtoError::Io)?;
+        Ok(&self.rejections)
+    }
+
+    fn read_reply(&mut self) -> Result<ServerMsg, ProtoError> {
+        match ServerMsg::read_from(&mut self.stream, &|| false)? {
+            Some(msg) => Ok(msg),
+            None => Err(ProtoError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection while a reply was pending",
+            ))),
+        }
+    }
+}

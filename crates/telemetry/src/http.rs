@@ -15,7 +15,10 @@
 //!   input);
 //! * `GET /lineage` — JSON: the frame-lineage stage-attribution
 //!   summary plus the slowest-frame waterfall exemplars (404 until a
-//!   tracer is attached).
+//!   tracer is attached);
+//! * `GET /tenants` — JSON: the multi-tenant server's per-tenant
+//!   state snapshot (404 until a server attaches a provider with
+//!   [`LivePlane::attach_tenants`](crate::LivePlane::attach_tenants)).
 //!
 //! The accept loop polls a nonblocking listener so shutdown is
 //! bounded: an idle listener notices shutdown within 5 ms, and each
@@ -173,6 +176,24 @@ fn handle_request(mut stream: TcpStream, shared: &PlaneShared) {
                 e.as_bytes(),
             ),
         },
+        "/tenants" => {
+            // Clone the provider out so the lock is not held while
+            // the (arbitrary) snapshot closure runs.
+            let provider = shared.tenants.lock().clone();
+            match provider {
+                None => respond(
+                    &mut stream,
+                    404,
+                    "Not Found",
+                    TEXT,
+                    b"no multi-tenant server is attached to this plane\n",
+                ),
+                Some(provider) => {
+                    let body = provider();
+                    respond(&mut stream, 200, "OK", JSON, body.as_bytes())
+                }
+            }
+        }
         _ => respond(&mut stream, 404, "Not Found", TEXT, b"not found\n"),
     };
 }

@@ -141,9 +141,17 @@ impl Inner {
 
 /// A handle to one telemetry domain. Clone freely; all clones share
 /// the same spans, events, and registry.
+///
+/// A handle may carry *base labels* (see [`Telemetry::with_labels`]):
+/// every metric it creates gets those labels merged in ahead of the
+/// call-site labels, while still landing in the shared registry. This
+/// is how a multi-tenant server stamps each session's gauges with a
+/// `tenant` label without giving each tenant its own registry.
 #[derive(Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Inner>>,
+    /// Labels prepended to every instrument this handle creates.
+    base: Option<Arc<Vec<(String, String)>>>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -167,13 +175,41 @@ impl Telemetry {
                 open: Mutex::new(HashMap::new()),
                 registry: Registry::default(),
             })),
+            base: None,
         }
     }
 
     /// A no-op handle: spans, events, and every instrument it hands
     /// out do nothing. This is the `Default`.
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry {
+            inner: None,
+            base: None,
+        }
+    }
+
+    /// A handle sharing this one's registry whose metrics all carry
+    /// `labels` in addition to any labels given at the call site (and
+    /// any base labels this handle already carries — labels accumulate
+    /// across chained calls). Callers must not repeat a key already in
+    /// the base set: label keys are not deduplicated.
+    ///
+    /// Spans and events are unaffected; only counters, gauges, and
+    /// histograms pick up the base labels.
+    pub fn with_labels(&self, labels: &[(&str, &str)]) -> Telemetry {
+        if self.inner.is_none() || labels.is_empty() {
+            return self.clone();
+        }
+        let mut base: Vec<(String, String)> = self.base.as_deref().cloned().unwrap_or_default();
+        base.extend(
+            labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned())),
+        );
+        Telemetry {
+            inner: self.inner.clone(),
+            base: Some(Arc::new(base)),
+        }
     }
 
     /// Whether this handle records anything.
@@ -242,7 +278,10 @@ impl Telemetry {
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         match &self.inner {
             None => Counter::noop(),
-            Some(inner) => inner.registry.counter(name, labels),
+            Some(inner) => match self.merged_labels(labels) {
+                None => inner.registry.counter(name, labels),
+                Some(merged) => inner.registry.counter(name, &as_label_refs(&merged)),
+            },
         }
     }
 
@@ -255,7 +294,10 @@ impl Telemetry {
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         match &self.inner {
             None => Gauge::noop(),
-            Some(inner) => inner.registry.gauge(name, labels),
+            Some(inner) => match self.merged_labels(labels) {
+                None => inner.registry.gauge(name, labels),
+                Some(merged) => inner.registry.gauge(name, &as_label_refs(&merged)),
+            },
         }
     }
 
@@ -268,8 +310,24 @@ impl Telemetry {
     pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         match &self.inner {
             None => Histogram::noop(),
-            Some(inner) => inner.registry.histogram(name, labels),
+            Some(inner) => match self.merged_labels(labels) {
+                None => inner.registry.histogram(name, labels),
+                Some(merged) => inner.registry.histogram(name, &as_label_refs(&merged)),
+            },
         }
+    }
+
+    /// Base labels + call-site labels, owned; `None` when this handle
+    /// carries no base labels (the common case — avoids allocating).
+    fn merged_labels(&self, labels: &[(&str, &str)]) -> Option<Vec<(String, String)>> {
+        let base = self.base.as_deref()?;
+        let mut merged = base.clone();
+        merged.extend(
+            labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned())),
+        );
+        Some(merged)
     }
 
     /// A point-in-time copy of everything recorded so far: completed
@@ -326,6 +384,14 @@ impl Telemetry {
     }
 }
 
+/// Borrowed view of owned label pairs, as the registry expects them.
+fn as_label_refs(labels: &[(String, String)]) -> Vec<(&str, &str)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect()
+}
+
 /// Internal: sinks over `Vec<u8>` that can give their buffer back.
 trait AsBytes {
     fn into_bytes(self) -> Vec<u8>;
@@ -377,6 +443,39 @@ mod tests {
         t.counter("shared").add(3);
         u.counter("shared").add(4);
         assert_eq!(t.report().counter("shared"), Some(7));
+    }
+
+    #[test]
+    fn base_labels_merge_into_shared_registry() {
+        let t = Telemetry::enabled();
+        let tenant = t.with_labels(&[("tenant", "7")]);
+        // Same name + same final label set → same underlying counter.
+        tenant.counter_with("frames", &[("camera", "0")]).add(2);
+        t.counter_with("frames", &[("camera", "0"), ("tenant", "7")])
+            .add(3);
+        assert_eq!(
+            t.counter_with("frames", &[("tenant", "7"), ("camera", "0")])
+                .get(),
+            5,
+            "base labels and call-site labels land on one instrument"
+        );
+        // Chained with_labels accumulates.
+        let deep = tenant.with_labels(&[("camera", "1")]);
+        deep.counter("frames").incr();
+        assert_eq!(
+            t.counter_with("frames", &[("tenant", "7"), ("camera", "1")])
+                .get(),
+            1
+        );
+        // The exposition carries the merged labels.
+        let text = t.render_prometheus();
+        assert!(
+            text.contains("tenant=\"7\""),
+            "rendered exposition must carry base labels:\n{text}"
+        );
+        // Disabled handles stay inert through with_labels.
+        let d = Telemetry::disabled().with_labels(&[("tenant", "1")]);
+        assert!(!d.is_enabled());
     }
 
     #[test]

@@ -404,6 +404,12 @@ fn stack_of(id: u64, meta: &HashMap<u64, (String, Option<u64>, f64)>) -> String 
 /// threads, session vitals, telemetry) alive forever.
 type HeartbeatFn = Box<dyn Fn(&PlaneProbe) + Send + 'static>;
 
+/// Provider for the `GET /tenants` JSON body: a multi-tenant server
+/// attaches one (see [`LivePlane::attach_tenants`]) that snapshots its
+/// tenant registry on demand. Shared with the HTTP thread, hence
+/// `Sync` on top of the heartbeat's bounds.
+type TenantsFn = Arc<dyn Fn() -> String + Send + Sync + 'static>;
+
 /// State shared between the plane handle, the sampler thread, and the
 /// HTTP server thread.
 pub(crate) struct PlaneShared {
@@ -413,6 +419,11 @@ pub(crate) struct PlaneShared {
     /// serves `GET /lineage`. A handle, not an owner: the session owns
     /// the tracer's lifecycle.
     pub(crate) lineage: Mutex<Option<crate::lineage::LineageTracer>>,
+    /// Snapshot provider for the multi-tenant `GET /tenants` view —
+    /// `None` (404) until a server attaches one. Cleared at shutdown
+    /// so the provider's captures (a tenant registry) are released
+    /// even while outstanding probes keep this struct alive.
+    pub(crate) tenants: Mutex<Option<TenantsFn>>,
     /// Called at the top of every tick — the session publishes its
     /// heartbeat gauges (uptime, watermark, liveness, pool deltas)
     /// from here so they are fresh in every sample and scrape.
@@ -506,6 +517,13 @@ impl PlaneProbe {
     pub fn lineage_attached(&self) -> bool {
         self.shared.lineage.lock().is_some()
     }
+
+    /// Whether a `/tenants` provider is attached. Must read `false`
+    /// once the plane shut down, for the same pinning reason as
+    /// [`lineage_attached`](PlaneProbe::lineage_attached).
+    pub fn tenants_attached(&self) -> bool {
+        self.shared.tenants.lock().is_some()
+    }
 }
 
 /// The running observability plane: a sampler thread (heartbeat +
@@ -568,6 +586,7 @@ impl LivePlane {
             telemetry: telemetry.clone(),
             aggregator: Mutex::new(Aggregator::new(options.ring_len)),
             lineage: Mutex::new(None),
+            tenants: Mutex::new(None),
             heartbeat: Mutex::new(heartbeat),
             ready: AtomicBool::new(ready),
             shutdown: AtomicBool::new(false),
@@ -651,6 +670,14 @@ impl LivePlane {
         *self.shared.lineage.lock() = Some(tracer);
     }
 
+    /// Attaches the `GET /tenants` snapshot provider: the endpoint
+    /// serves whatever JSON the closure returns from now on (404 until
+    /// then). A multi-tenant server hands in a closure over its tenant
+    /// registry. Detached (and its captures released) at shutdown.
+    pub fn attach_tenants(&self, provider: impl Fn() -> String + Send + Sync + 'static) {
+        *self.shared.tenants.lock() = Some(Arc::new(provider));
+    }
+
     /// Flips the `/readyz` verdict.
     pub fn set_ready(&self, ready: bool) {
         self.shared.ready.store(ready, Ordering::Release);
@@ -702,6 +729,9 @@ impl LivePlane {
         // Same for the lineage handle: its waterfall buffers must not
         // stay pinned behind a long-lived test probe.
         *self.shared.lineage.lock() = None;
+        // And for the tenants provider, whose closure captures the
+        // server's tenant registry.
+        *self.shared.tenants.lock() = None;
         let deadline = Instant::now() + timeout;
         let mut all_joined = true;
         for handle in [self.sampler.take(), self.server.take()]

@@ -1,0 +1,127 @@
+//! Multi-tenant event server smoke run: bind on an ephemeral port,
+//! open three concurrent dining events over the framed TCP protocol,
+//! stream each a short two-camera recording from its own client
+//! thread, probe the live `GET /tenants` snapshot mid-run, then drain
+//! and check every tenant's conservation ledger.
+//!
+//! Run with: `cargo run --release --example server`
+//!
+//! Exits non-zero if any assertion fails, so CI can use it as a smoke
+//! test for the whole server stack (admission, ingest decode, fair
+//! shared-pool scheduling, per-tenant telemetry labels, drain).
+
+use dievent_core::{EventId, PipelineConfig, Recording};
+use dievent_scene::Scenario;
+use dievent_server::{EventClient, EventServer, ServerConfig};
+use std::io::{Read, Write};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const TENANTS: u64 = 3;
+const FRAMES: usize = 24;
+
+/// Minimal HTTP/1.1 GET over std TcpStream: returns (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to observe endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.lines().next().unwrap_or_default().to_owned();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn main() {
+    let server = EventServer::bind(
+        "127.0.0.1:0".parse().expect("loopback"),
+        ServerConfig {
+            observe_addr: Some("127.0.0.1:0".parse().expect("loopback")),
+            sample_interval: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind event server");
+    let ingest = server.local_addr();
+    let observe = server.observe_addr().expect("observability plane bound");
+    println!("event server: ingest on {ingest}, observe on http://{observe}");
+
+    // Each venue gets a distinct scenario seed and its own connection,
+    // like three restaurants streaming into one shared deployment.
+    let config = PipelineConfig {
+        classify_emotions: false,
+        parse_video: false,
+        ..PipelineConfig::default()
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..=TENANTS)
+            .map(|id| {
+                s.spawn(move || {
+                    let event = EventId::new(id);
+                    let scenario = Scenario::two_camera_dinner(FRAMES, id);
+                    let recording = Recording::capture(scenario.clone());
+                    let mut client = EventClient::connect(ingest).expect("connect");
+                    client
+                        .open_event(event, &scenario, config)
+                        .expect("open io")
+                        .expect("open admitted");
+                    for f in 0..FRAMES {
+                        for c in 0..recording.cameras() {
+                            client
+                                .send_frame(event, c.into(), f as u64, recording.frame(c, f))
+                                .expect("send frame");
+                        }
+                    }
+                    client
+                        .finish_event(event)
+                        .expect("finish io")
+                        .expect("finish accepted")
+                })
+            })
+            .collect();
+
+        // Mid-run: the live snapshot must see the venues while their
+        // sessions are open. (They may already be finishing; what
+        // matters is the endpoint answers with well-formed state.)
+        std::thread::sleep(Duration::from_millis(30));
+        let (status, body) = http_get(observe, "/tenants");
+        assert!(status.contains("200"), "GET /tenants: {status}");
+        assert!(
+            body.contains("\"draining\": false"),
+            "mid-run snapshot: {body}"
+        );
+        println!("mid-run GET /tenants ->\n{body}");
+
+        for handle in handles {
+            let done = handle.join().expect("tenant thread");
+            assert_eq!(done.pushed, (FRAMES * 2) as u64, "event {}", done.event);
+            assert_eq!(
+                done.processed + done.dropped,
+                done.pushed,
+                "event {}: conservation",
+                done.event
+            );
+            assert_eq!(done.digest.frames, FRAMES, "event {}", done.event);
+            println!(
+                "event {}: pushed {} processed {} dropped {} dominant {:?}",
+                done.event, done.pushed, done.processed, done.dropped, done.digest.dominant
+            );
+        }
+    });
+
+    // All sessions finished client-side; the registry must agree.
+    let (status, body) = http_get(observe, "/tenants");
+    assert!(status.contains("200"), "GET /tenants: {status}");
+    assert!(body.contains("\"open\": 0"), "post-run snapshot: {body}");
+    assert!(
+        body.contains(&format!("\"finished\": {TENANTS}")),
+        "post-run snapshot: {body}"
+    );
+    println!("all {TENANTS} venues finished; server state consistent");
+}

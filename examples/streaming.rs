@@ -108,7 +108,7 @@ fn main() {
         for mut feed in feeds {
             let recording = &recording;
             s.spawn(move || {
-                let camera = feed.camera();
+                let camera = feed.camera().index();
                 for f in 0..frames {
                     feed.push(recording.frame(camera, f)).expect("push frame");
                 }

@@ -1,0 +1,102 @@
+//! Determinism rail for the TCP ingest path: the paper's §III
+//! prototype (4 participants, 4 cameras, 610 frames) streamed through
+//! the event server — frames serialized, length-prefix framed, decoded
+//! and re-sequenced server-side — must produce an `EventAnalysis`
+//! bit-identical to feeding the same `PipelineSession` directly. The
+//! wire format ships timestamps as `f64` bit patterns precisely so
+//! this holds.
+
+use dievent_core::{DiEventPipeline, EventAnalysis, EventId, PipelineConfig, Recording};
+use dievent_scene::Scenario;
+use dievent_server::{EventClient, EventServer, ServerConfig};
+
+fn quick_config() -> PipelineConfig {
+    PipelineConfig {
+        classify_emotions: false,
+        parse_video: false,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Asserts every comparable output surface of two analyses matches.
+fn assert_identical(a: &EventAnalysis, b: &EventAnalysis) {
+    assert_eq!(a.raw_matrices, b.raw_matrices, "raw look-at matrices");
+    assert_eq!(a.matrices, b.matrices, "smoothed look-at matrices");
+    assert_eq!(a.summary.rows(), b.summary.rows(), "summary matrix");
+    assert_eq!(a.overall, b.overall, "overall-emotion series");
+    assert_eq!(a.episodes, b.episodes, "eye-contact episodes");
+    assert_eq!(a.pair_stats, b.pair_stats, "pair statistics");
+    assert_eq!(a.highlights, b.highlights, "highlights");
+    assert_eq!(a.importance, b.importance, "importance series");
+    assert_eq!(a.validation, b.validation, "validation");
+    assert_eq!(a.dominance, b.dominance, "dominance ranking");
+}
+
+#[test]
+fn tcp_ingest_is_bit_identical_to_direct_session() {
+    let scenario = Scenario::prototype();
+    let recording = Recording::capture(scenario.clone());
+    let frames = recording.frames();
+    let cameras = recording.cameras();
+
+    // Direct path, under the exact config the server would derive for
+    // this tenant: shared global pool, threaded cameras, the server's
+    // default per-tenant queue budget. (Determinism does not depend on
+    // any of these — see pool_determinism — but matching them keeps
+    // this a pure transport comparison.)
+    let server_config = ServerConfig::default();
+    let mut direct_config = quick_config();
+    direct_config.streaming.channel_capacity = (server_config.max_inflight_frames / cameras).max(1);
+    let mut session = DiEventPipeline::new(direct_config)
+        .session(&scenario)
+        .expect("direct session");
+    for f in 0..frames {
+        for c in 0..cameras {
+            session.push_frame(c, recording.frame(c, f)).expect("push");
+        }
+    }
+    let direct = session.finish().expect("direct finish");
+    assert_eq!(direct.matrices.len(), 610, "the paper's frame count");
+
+    // Wire path: same frames, same interleaved order, over TCP.
+    let server = EventServer::bind(
+        "127.0.0.1:0".parse().expect("loopback"),
+        ServerConfig {
+            retain_analyses: true,
+            ..server_config
+        },
+    )
+    .expect("bind");
+    let event = EventId::new(42);
+    let mut client = EventClient::connect(server.local_addr()).expect("connect");
+    client
+        .open_event(event, &scenario, quick_config())
+        .expect("io")
+        .expect("open admitted");
+    for f in 0..frames {
+        for c in 0..cameras {
+            client
+                .send_frame(event, c.into(), f as u64, recording.frame(c, f))
+                .expect("send");
+        }
+    }
+    let finished = client.finish_event(event).expect("io").expect("finish");
+    assert!(
+        client.rejections.is_empty(),
+        "no ingest refused: {:?}",
+        client.rejections
+    );
+    assert_eq!(finished.pushed, (frames * cameras) as u64);
+    assert_eq!(finished.dropped, 0, "Block backpressure loses nothing");
+    assert_eq!(finished.processed, finished.pushed);
+
+    let streamed = server.take_analysis(event).expect("retained analysis");
+    assert_identical(&streamed, &direct);
+    // The wire digest is the digest of the analysis both paths agree
+    // on — except `timings`, which is wall-clock and run-dependent.
+    let mut wire_digest = finished.digest.clone();
+    let mut direct_digest = direct.digest();
+    wire_digest.timings = Default::default();
+    direct_digest.timings = Default::default();
+    assert_eq!(wire_digest, direct_digest);
+}

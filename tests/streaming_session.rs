@@ -34,7 +34,7 @@ fn streaming_prototype_equals_batch() {
         for mut feed in feeds {
             let recording = &recording;
             s.spawn(move || {
-                let camera = feed.camera();
+                let camera = feed.camera().index();
                 for f in 0..frames {
                     feed.push(recording.frame(camera, f)).expect("push");
                 }
