@@ -1,5 +1,5 @@
 //! One-shot performance runner: measures the hot paths and writes the
-//! numbers to a JSON report (default `BENCH_6.json`; override with
+//! numbers to a JSON report (default `BENCH_9.json`; override with
 //! `--out FILE` or the first positional argument).
 //!
 //! Measurements:
@@ -7,13 +7,18 @@
 //! 1. **End-to-end** — the §III prototype (4 cameras × 610 frames)
 //!    through the full default pipeline, `frame_parallel` off vs on,
 //!    reported as aggregate camera-frames/second plus the speedup.
-//! 2. **LBP** — nanoseconds per 48×48 descriptor (the stage-3 emotion
-//!    kernel: const uniform table + interior fast path).
+//! 2. **Emotion kernels** — nanoseconds per 48×48 LBP descriptor for
+//!    the vectorized row-sliced kernel *and* the clamped per-pixel
+//!    reference oracle, plus nanoseconds per face for the MLP forward
+//!    pass scalar vs batched (4 faces per batch, the per-frame shape).
 //! 3. **Look-at** — nanoseconds per frame of ray–sphere eye-contact
 //!    matrix construction at n ∈ {4, 8, 16} participants (squared-
 //!    distance early reject + scratch reuse).
-//! 4. **Pool scaling** — a fixed LBP workload fanned across 1..=N
-//!    worker threads of a private pool, speedup relative to 1 thread.
+//! 4. **Pool scaling** — a fixed LBP workload fanned across worker
+//!    counts 1/2/4/8 (clipped to the host), speedup relative to 1
+//!    thread. Thread counts beyond the host's hardware threads are
+//!    recorded as explicit *refusal* entries: this runner does not
+//!    claim speedups it could not measure.
 //! 5. **Observability overhead** — the frame-parallel end-to-end run
 //!    repeated with the live observability plane enabled (embedded
 //!    metrics endpoint + rate sampler), reported as overhead vs. the
@@ -30,11 +35,20 @@
 //! `--quick` shrinks every measurement for CI smoke use (the JSON is
 //! still written, flagged with `"quick": true`).
 //!
+//! `--baseline FILE` compares this run's kernel numbers against a
+//! previous report and exits nonzero (printing a delta table) when any
+//! kernel regressed more than `--threshold FRAC` (default 0.15) on the
+//! same `host_threads`. A baseline from a different host class is
+//! skipped with a note, not compared — cross-host deltas are noise.
+//!
 //! Run with: `cargo run --release -p dievent-bench --bin perf`
 
 use dievent_analysis::{LookAtConfig, LookAtMatrix, LookAtScratch, ParticipantPose};
 use dievent_core::{DiEventPipeline, PipelineConfig, Recording};
-use dievent_emotion::{lbp_feature_vector_into, Emotion, LbpConfig};
+use dievent_emotion::{
+    lbp_feature_vector_into, lbp_feature_vector_reference, lbp_feature_vector_with, Emotion,
+    LbpConfig, LbpScratch, Mlp, MlpBatchScratch, MlpConfig, MlpScratch,
+};
 use dievent_geometry::Vec3;
 use dievent_pool::ThreadPool;
 use dievent_scene::{render_face_patch, Scenario};
@@ -46,12 +60,29 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    // Indices holding flag *values*, so the positional-output fallback
+    // doesn't mistake `--baseline FILE` for an output path.
+    let consumed: Vec<usize> = ["--out", "--baseline", "--threshold"]
         .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .or_else(|| args.iter().find(|a| !a.starts_with("--")).cloned())
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .filter_map(|n| args.iter().position(|a| a == *n).map(|i| i + 1))
+        .collect();
+    let out_path = flag_value("--out")
+        .or_else(|| {
+            args.iter()
+                .enumerate()
+                .find(|(i, a)| !a.starts_with("--") && !consumed.contains(i))
+                .map(|(_, a)| a.clone())
+        })
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
+    let baseline = flag_value("--baseline");
+    let threshold = flag_value("--threshold")
+        .and_then(|t| t.parse::<f64>().ok())
+        .unwrap_or(0.15);
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     eprintln!("perf: host has {threads} hardware thread(s); quick = {quick}");
@@ -136,18 +167,77 @@ fn main() {
         lineage.summary.frames_traced
     );
 
-    // --- 2. LBP ns/descriptor. ---
+    // --- 2. Emotion kernels: LBP vectorized vs reference, MLP scalar
+    // vs batched. ---
     let patch = render_face_patch(Emotion::Happy, 225, 1, 7, 48);
     let lbp_iters = if quick { 200 } else { 2000 };
     let lbp_ns = time_per_iter(lbp_iters, || {
         let config = LbpConfig::default();
         let mut feature = Vec::new();
+        let mut scratch = LbpScratch::new();
+        let patch = &patch;
         move || {
-            lbp_feature_vector_into(black_box(&patch), &config, &mut feature);
+            lbp_feature_vector_with(black_box(patch), &config, &mut feature, &mut scratch);
             black_box(feature.len());
         }
     });
-    eprintln!("perf: lbp 48x48 descriptor: {lbp_ns:.0} ns");
+    eprintln!("perf: lbp 48x48 descriptor (vectorized): {lbp_ns:.0} ns");
+    // The clamped per-pixel oracle, same patch — the "before"-style
+    // absolute number the vectorized kernel is judged against.
+    let lbp_ref_iters = if quick { 50 } else { 500 };
+    let lbp_ref_ns = time_per_iter(lbp_ref_iters, || {
+        let config = LbpConfig::default();
+        let patch = &patch;
+        move || {
+            black_box(lbp_feature_vector_reference(black_box(patch), &config).len());
+        }
+    });
+    eprintln!(
+        "perf: lbp 48x48 descriptor (reference oracle): {lbp_ref_ns:.0} ns ({:.2}x)",
+        lbp_ref_ns / lbp_ns
+    );
+
+    // MLP forward at the production shape: 944-dim LBP feature, one
+    // hidden layer, 7 emotion classes, 4 faces per frame.
+    let mlp_faces = 4usize;
+    let mlp_dim = LbpConfig::default().feature_len();
+    let mlp = Mlp::new(MlpConfig {
+        input: mlp_dim,
+        hidden: vec![32],
+        output: Emotion::COUNT,
+        seed: 9,
+    });
+    let mlp_inputs: Vec<f64> = (0..mlp_faces * mlp_dim)
+        .map(|i| (i as f64 * 0.37).sin())
+        .collect();
+    let mlp_iters = if quick { 200 } else { 5000 };
+    let mlp_scalar_ns = time_per_iter(mlp_iters, || {
+        let mut scratch = MlpScratch::new();
+        let (mlp, inputs) = (&mlp, &mlp_inputs);
+        move || {
+            for s in 0..mlp_faces {
+                let p = mlp.predict_proba_with(
+                    black_box(&inputs[s * mlp_dim..(s + 1) * mlp_dim]),
+                    &mut scratch,
+                );
+                black_box(p[0]);
+            }
+        }
+    }) / mlp_faces as f64;
+    let mlp_batched_ns = time_per_iter(mlp_iters, || {
+        let mut scratch = MlpBatchScratch::new();
+        let (mlp, inputs) = (&mlp, &mlp_inputs);
+        move || {
+            let p = mlp.predict_proba_batch_with(mlp_faces, black_box(&inputs[..]), &mut scratch);
+            black_box(p[0]);
+        }
+    }) / mlp_faces as f64;
+    eprintln!(
+        "perf: mlp forward ({mlp_dim}->32->{}, {mlp_faces} faces): scalar {mlp_scalar_ns:.0} ns/face, \
+         batched {mlp_batched_ns:.0} ns/face ({:.2}x)",
+        Emotion::COUNT,
+        mlp_scalar_ns / mlp_batched_ns
+    );
 
     // --- 3. Look-at matrix ns/frame at n in {4, 8, 16}. ---
     let lookat_iters = if quick { 2_000 } else { 50_000 };
@@ -173,7 +263,8 @@ fn main() {
         .collect();
     let mut scaling = Vec::new();
     let mut base_ms = 0.0_f64;
-    for k in pool_sizes(threads) {
+    let (measured_sizes, refused_sizes) = pool_sizes(threads);
+    for k in measured_sizes {
         let pool = ThreadPool::new(k);
         let config = LbpConfig::default();
         // Warm the workers up before timing.
@@ -194,6 +285,21 @@ fn main() {
         eprintln!("perf: pool x{k}: {ms:.2} ms/batch (speedup {speedup:.2})");
         scaling.push(json!({ "threads": k, "ms_per_batch": ms, "speedup": speedup }));
     }
+    // Honesty records: worker counts beyond the host's hardware threads
+    // would only measure oversubscription, not parallel speedup.
+    for k in refused_sizes {
+        eprintln!(
+            "perf: pool x{k}: refused — host has {threads} hardware thread(s); \
+             an unmeasured speedup is not a speedup"
+        );
+        scaling.push(json!({
+            "threads": k,
+            "refused": true,
+            "reason": format!(
+                "host has {threads} hardware thread(s); refusing to claim an unmeasured speedup"
+            ),
+        }));
+    }
 
     let stage_json = |name: &str| match lineage.summary.stage(name) {
         Some(s) => json!({
@@ -207,9 +313,19 @@ fn main() {
         None => serde_json::Value::Null,
     };
     let report = json!({
-        "bench": "BENCH_6",
+        "bench": "BENCH_9",
         "quick": quick,
         "host_threads": threads,
+        "kernels": {
+            "lbp_vectorized_ns_per_descriptor_48x48": lbp_ns,
+            "lbp_reference_ns_per_descriptor_48x48": lbp_ref_ns,
+            "lbp_speedup_vs_reference": lbp_ref_ns / lbp_ns,
+            "mlp_scalar_ns_per_face": mlp_scalar_ns,
+            "mlp_batched_ns_per_face": mlp_batched_ns,
+            "mlp_batch_speedup": mlp_scalar_ns / mlp_batched_ns,
+            "mlp_faces_per_batch": mlp_faces,
+            "mlp_shape": format!("{mlp_dim}->32->{}", Emotion::COUNT),
+        },
         "end_to_end": {
             "frames": frames,
             "cameras": cameras,
@@ -250,6 +366,97 @@ fn main() {
     let rendered = serde_json::to_string_pretty(&report).expect("render json");
     std::fs::write(&out_path, rendered + "\n").expect("write report");
     eprintln!("perf: wrote {out_path}");
+
+    if let Some(baseline_path) = baseline {
+        if !check_baseline(&report, &baseline_path, threshold) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The kernel numbers the `--baseline` guard watches. Paths resolve in
+/// both old (BENCH_4/6-era) and current reports; keys absent from the
+/// baseline are skipped, so old baselines still guard what they have.
+const GUARDED_KERNELS: &[(&str, &[&str])] = &[
+    ("lbp ns/descriptor", &["lbp_ns_per_descriptor_48x48"]),
+    ("lookat n=4 ns/frame", &["lookat_ns_per_frame", "4"]),
+    ("lookat n=8 ns/frame", &["lookat_ns_per_frame", "8"]),
+    ("lookat n=16 ns/frame", &["lookat_ns_per_frame", "16"]),
+    ("mlp scalar ns/face", &["kernels", "mlp_scalar_ns_per_face"]),
+    (
+        "mlp batched ns/face",
+        &["kernels", "mlp_batched_ns_per_face"],
+    ),
+];
+
+/// Walks a dotted path into a JSON value.
+fn json_f64(v: &serde_json::Value, path: &[&str]) -> Option<f64> {
+    let mut cur = v;
+    for p in path {
+        cur = cur.get(p)?;
+    }
+    cur.as_f64()
+}
+
+/// Compares this run's kernels against `baseline_path`, printing a
+/// delta table. Returns `false` (caller exits nonzero) when any kernel
+/// regressed by more than `threshold` (fractional, e.g. 0.15 = +15%
+/// slower). Mismatched `host_threads` or an unreadable baseline skip
+/// the comparison with a note — those deltas would be noise, and the
+/// guard refuses to fail (or pass) on numbers it can't compare.
+fn check_baseline(report: &serde_json::Value, baseline_path: &str, threshold: f64) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf: baseline {baseline_path} unreadable ({e}); skipping comparison");
+            return true;
+        }
+    };
+    let base: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("perf: baseline {baseline_path} is not JSON ({e}); skipping comparison");
+            return true;
+        }
+    };
+    let base_threads = json_f64(&base, &["host_threads"]);
+    let cur_threads = json_f64(report, &["host_threads"]);
+    if base_threads != cur_threads {
+        eprintln!(
+            "perf: baseline host_threads {base_threads:?} != current {cur_threads:?}; \
+             skipping comparison (cross-host deltas are noise)"
+        );
+        return true;
+    }
+    eprintln!(
+        "perf: kernel deltas vs {baseline_path} (threshold +{:.0}%):",
+        threshold * 100.0
+    );
+    eprintln!(
+        "perf:   {:<22} {:>12} {:>12} {:>9}",
+        "kernel", "baseline", "current", "delta"
+    );
+    let mut ok = true;
+    for (label, path) in GUARDED_KERNELS {
+        let (Some(was), Some(now)) = (json_f64(&base, path), json_f64(report, path)) else {
+            continue;
+        };
+        let delta = now / was - 1.0;
+        let regressed = delta > threshold;
+        eprintln!(
+            "perf:   {label:<22} {was:>10.0}ns {now:>10.0}ns {:>+8.1}%{}",
+            delta * 100.0,
+            if regressed { "  REGRESSED" } else { "" }
+        );
+        ok &= !regressed;
+    }
+    if !ok {
+        eprintln!(
+            "perf: kernel regression beyond +{:.0}% — failing",
+            threshold * 100.0
+        );
+    }
+    ok
 }
 
 /// Average nanoseconds per iteration of the closure `setup` builds.
@@ -291,14 +498,17 @@ fn ring_poses(n: usize) -> Vec<ParticipantPose> {
         .collect()
 }
 
-/// 1, 2, 4, ... up to (and always including) the host thread count.
-fn pool_sizes(max: usize) -> Vec<usize> {
-    let mut sizes = Vec::new();
-    let mut k = 1;
-    while k < max {
-        sizes.push(k);
-        k *= 2;
+/// The scaling ladder 1/2/4/8 (plus the host's own thread count),
+/// split into (measurable, refused): counts beyond the host's hardware
+/// threads are never measured — they'd record oversubscription and get
+/// labelled a "speedup".
+fn pool_sizes(max: usize) -> (Vec<usize>, Vec<usize>) {
+    let ladder = [1usize, 2, 4, 8];
+    let mut measured: Vec<usize> = ladder.iter().copied().filter(|&k| k <= max).collect();
+    if !measured.contains(&max) {
+        measured.push(max);
+        measured.sort_unstable();
     }
-    sizes.push(max);
-    sizes
+    let refused = ladder.iter().copied().filter(|&k| k > max).collect();
+    (measured, refused)
 }

@@ -6,8 +6,8 @@
 
 use crate::dataset::{ConfusionMatrix, Dataset, Normalizer};
 use crate::label::Emotion;
-use crate::lbp::{lbp_feature_vector, lbp_feature_vector_into, LbpConfig};
-use crate::mlp::{Mlp, MlpConfig, MlpScratch, TrainingConfig};
+use crate::lbp::{lbp_feature_vector, lbp_feature_vector_with, LbpConfig, LbpScratch};
+use crate::mlp::{Mlp, MlpBatchScratch, MlpConfig, MlpScratch, TrainingConfig};
 use dievent_video::GrayFrame;
 use serde::{Deserialize, Serialize};
 
@@ -140,7 +140,12 @@ impl EmotionClassifier {
         patch: &GrayFrame,
         scratch: &mut ClassifierScratch,
     ) -> EmotionPrediction {
-        lbp_feature_vector_into(patch, &LbpConfig::from(self.lbp), &mut scratch.raw);
+        lbp_feature_vector_with(
+            patch,
+            &LbpConfig::from(self.lbp),
+            &mut scratch.raw,
+            &mut scratch.lbp,
+        );
         self.normalizer.apply_into(&scratch.raw, &mut scratch.x);
         let probabilities = self.mlp.predict_proba_with(&scratch.x, &mut scratch.mlp);
         let (best, confidence) = probabilities
@@ -154,6 +159,139 @@ impl EmotionClassifier {
             probabilities: probabilities.to_vec(),
         }
     }
+
+    /// Classifies every face patch of one frame in a single batched
+    /// pass over the MLP weights.
+    ///
+    /// Allocating wrapper around
+    /// [`classify_batch_with`](Self::classify_batch_with); hot-path
+    /// callers should hold a per-worker [`ExtractArena`].
+    pub fn classify_batch(&self, patches: &[&GrayFrame]) -> Vec<EmotionPrediction> {
+        let mut arena = ExtractArena::new();
+        let preds = self.classify_batch_with(patches, &mut arena);
+        (0..preds.len()).map(|i| preds.prediction(i)).collect()
+    }
+
+    /// Batched classification into a reusable [`ExtractArena`]: every
+    /// patch's LBP descriptor is extracted with the arena's shared bin
+    /// image, normalized features are packed flat, and one
+    /// [`Mlp::predict_proba_batch_with`] call runs the layer matmuls
+    /// across all faces at once.
+    ///
+    /// Per face, bit-identical to [`classify_with`](Self::classify_with)
+    /// (asserted by `tests/property_kernels.rs`): the descriptor,
+    /// normalization, dot-product, softmax, and argmax all keep the
+    /// scalar path's operation order. In steady state (arena buffers
+    /// grown to the largest frame seen) this path performs zero heap
+    /// allocation (asserted by `tests/alloc_steady_state.rs`).
+    pub fn classify_batch_with<'s>(
+        &self,
+        patches: &[&GrayFrame],
+        arena: &'s mut ExtractArena,
+    ) -> BatchPredictions<'s> {
+        let lbp = LbpConfig::from(self.lbp);
+        arena.features.clear();
+        for patch in patches {
+            lbp_feature_vector_with(patch, &lbp, &mut arena.raw, &mut arena.lbp);
+            self.normalizer
+                .apply_extend(&arena.raw, &mut arena.features);
+        }
+        let probs =
+            self.mlp
+                .predict_proba_batch_with(patches.len(), &arena.features, &mut arena.mlp);
+        BatchPredictions {
+            probs,
+            classes: Emotion::COUNT,
+        }
+    }
+}
+
+/// Per-worker arena for the batched extract path: LBP bin image, raw
+/// descriptor, packed normalized features, and the batched MLP's
+/// ping-pong activation planes — all reused across every frame the
+/// worker processes. Buffers grow to the largest frame seen and are
+/// never shrunk, so the steady-state extract path allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct ExtractArena {
+    /// Raw (pre-normalization) LBP descriptor of the current face.
+    raw: Vec<f64>,
+    /// Packed normalized features, sample-major `faces × feature_len`.
+    features: Vec<f64>,
+    /// Shared LBP bin-image scratch.
+    lbp: LbpScratch,
+    /// Batched MLP forward buffers.
+    mlp: MlpBatchScratch,
+}
+
+impl ExtractArena {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        ExtractArena::default()
+    }
+}
+
+/// The result of one [`EmotionClassifier::classify_batch_with`] call:
+/// a flat view of `faces × Emotion::COUNT` probabilities borrowed from
+/// the arena, valid until its next use. Accessors replicate the scalar
+/// path's argmax exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPredictions<'a> {
+    probs: &'a [f64],
+    classes: usize,
+}
+
+impl<'a> BatchPredictions<'a> {
+    /// Number of faces classified.
+    pub fn len(&self) -> usize {
+        self.probs.len() / self.classes.max(1)
+    }
+
+    /// Returns `true` when no faces were classified.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability distribution of face `i`, indexed by
+    /// [`Emotion::index`].
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn probabilities(&self, i: usize) -> &'a [f64] {
+        &self.probs[i * self.classes..(i + 1) * self.classes]
+    }
+
+    /// Most probable emotion and its probability for face `i` — the
+    /// same `(argmax, confidence)` pair [`EmotionClassifier::classify_with`]
+    /// reports.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn top(&self, i: usize) -> (Emotion, f64) {
+        let (best, confidence) = self
+            .probabilities(i)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or((0, 0.0), |(j, &p)| (j, p));
+        (
+            Emotion::from_index(best).unwrap_or(Emotion::Neutral),
+            confidence,
+        )
+    }
+
+    /// Materializes face `i` as an owned [`EmotionPrediction`]
+    /// (allocates the probability vector).
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn prediction(&self, i: usize) -> EmotionPrediction {
+        let (emotion, confidence) = self.top(i);
+        EmotionPrediction {
+            emotion,
+            confidence,
+            probabilities: self.probabilities(i).to_vec(),
+        }
+    }
 }
 
 /// Reusable buffers for [`EmotionClassifier::classify_with`]: one per
@@ -162,6 +300,7 @@ impl EmotionClassifier {
 pub struct ClassifierScratch {
     raw: Vec<f64>,
     x: Vec<f64>,
+    lbp: LbpScratch,
     mlp: MlpScratch,
 }
 
@@ -299,6 +438,39 @@ mod tests {
                 assert_eq!(fresh, reused, "scratch reuse must not change any bit");
             }
         }
+    }
+
+    #[test]
+    fn classify_batch_matches_classify_with() {
+        let patches = training_set(10);
+        let tc = TrainingConfig {
+            epochs: 10,
+            ..TrainingConfig::default()
+        };
+        let (clf, _) = EmotionClassifier::train(&patches, LbpConfig::default(), &[16], 1, &tc);
+        let frames: Vec<GrayFrame> = Emotion::ALL.iter().map(|&e| sketch(e, 77)).collect();
+        let refs: Vec<&GrayFrame> = frames.iter().collect();
+        let mut arena = ExtractArena::new();
+        let mut scratch = ClassifierScratch::new();
+        // Twice through the same arena: reuse must not change any bit.
+        for _ in 0..2 {
+            let batch = clf.classify_batch_with(&refs, &mut arena);
+            assert_eq!(batch.len(), frames.len());
+            for (i, frame) in frames.iter().enumerate() {
+                let scalar = clf.classify_with(frame, &mut scratch);
+                assert_eq!(batch.prediction(i), scalar, "face {i} must match");
+                let (emotion, confidence) = batch.top(i);
+                assert_eq!((emotion, confidence), (scalar.emotion, scalar.confidence));
+            }
+        }
+        let owned = clf.classify_batch(&refs);
+        for (i, frame) in frames.iter().enumerate() {
+            assert_eq!(owned[i], clf.classify_with(frame, &mut scratch));
+        }
+        // Empty frames are a no-op, not a panic.
+        let empty = clf.classify_batch_with(&[], &mut arena);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
     }
 
     #[test]

@@ -154,6 +154,23 @@ impl Normalizer {
         );
     }
 
+    /// Appends the transformed sample to `out` **without clearing it** —
+    /// the batched classifier packs every face's normalized feature
+    /// vector into one flat sample-major buffer this way. Per sample,
+    /// bit-identical to [`apply_into`](Self::apply_into).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn apply_extend(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        out.extend(
+            x.iter()
+                .zip(&self.mean)
+                .zip(&self.inv_std)
+                .map(|((&xi, &m), &s)| (xi - m) * s),
+        );
+    }
+
     /// Applies the transform to every sample of a dataset.
     pub fn apply_dataset(&self, data: &Dataset) -> Dataset {
         Dataset {

@@ -75,6 +75,31 @@ fn uniform_table() -> &'static [u8; 256] {
     &UNIFORM_TABLE
 }
 
+/// Reusable buffers for the vectorized LBP kernel: the per-patch
+/// uniform-bin image and one row of centre+threshold values.
+///
+/// One scratch per worker, reused across every patch it processes —
+/// buffers grow to the largest patch seen and are never shrunk, so the
+/// steady-state descriptor path performs zero heap allocation (asserted
+/// by `tests/alloc_steady_state.rs`).
+#[derive(Debug, Default, Clone)]
+pub struct LbpScratch {
+    /// Per-pixel uniform-LBP bin (`0..59`) of the current patch,
+    /// row-major `w × h`.
+    bins: Vec<u8>,
+    /// One row of `centre + threshold` comparison values (`i16` lanes:
+    /// `255 + 255 = 510` must not wrap, and the compare kernel needs a
+    /// signed subtraction).
+    centers: Vec<i16>,
+}
+
+impl LbpScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        LbpScratch::default()
+    }
+}
+
 /// Raw LBP code of the pixel at `(x, y)` (clamp-to-edge at borders),
 /// with comparison threshold `t` (see [`LbpConfig::threshold`]).
 ///
@@ -103,107 +128,103 @@ pub fn lbp_code(frame: &GrayFrame, x: i64, y: i64, t: u8) -> u8 {
 /// Maps every pixel of `frame` to its uniform-LBP bin (`0..59`) using
 /// comparison threshold `t`.
 pub fn uniform_lbp_image(frame: &GrayFrame, t: u8) -> Vec<u8> {
-    let table = uniform_table();
-    let (w, h) = (frame.width() as i64, frame.height() as i64);
-    let mut out = Vec::with_capacity((w * h) as usize);
-    for y in 0..h {
-        for x in 0..w {
-            out.push(table[lbp_code(frame, x, y, t) as usize]);
-        }
-    }
-    out
+    let mut scratch = LbpScratch::new();
+    fill_bin_image(frame, t, &mut scratch);
+    scratch.bins
 }
 
-/// Accumulates uniform-LBP bin counts for the pixel rectangle
-/// `[x0, x1) × [y0, y1)` into `hist` (59 bins).
+/// One branchless comparison pass: for every interior column, compare
+/// the neighbour row (pre-shifted so index `i` is the neighbour of
+/// centre `i`) against the centre row and OR the result into bit
+/// `bit` of the code. The comparison is pure `i16` arithmetic — the
+/// sign bit of `n - center` is the (negated) comparison result, so the
+/// loop body is lane-wise subtract/shift/mask/or over three
+/// equal-length slices, exactly the shape the autovectorizer turns
+/// into `i16`-lane SIMD. Exact because both operands fit `i16`:
+/// `n ≤ 255` and `center = centre_px + threshold ≤ 510`, so
+/// `n ≥ center` ⟺ `n - center ≥ 0` ⟺ the sign bit is clear.
+#[inline]
+fn compare_pass(codes: &mut [u8], neighbours: &[u8], centers: &[i16], bit: u8) {
+    for ((code, &n), &center) in codes.iter_mut().zip(neighbours).zip(centers) {
+        let diff = (n as i16).wrapping_sub(center);
+        *code |= (!(diff >> 15) as u8 & 1) << bit;
+    }
+}
+
+/// Fills `scratch.bins` with the uniform-LBP bin of every pixel.
 ///
-/// Interior pixels (`1 ≤ x ≤ w-2`, `1 ≤ y ≤ h-2`) take a fast path
-/// that indexes three row slices directly — no clamping, no per-pixel
-/// bounds arithmetic. Only the 1-pixel border falls back to the
-/// clamped [`lbp_code`], so the fast and slow paths produce identical
-/// codes by construction (same neighbour order, same `u16` threshold
-/// comparison).
-fn accumulate_rect(
-    frame: &GrayFrame,
-    t: u8,
-    x0: usize,
-    x1: usize,
-    y0: usize,
-    y1: usize,
-    hist: &mut [f64],
-) {
+/// Interior pixels (`1 ≤ x ≤ w-2`, `1 ≤ y ≤ h-2`) are produced by
+/// eight whole-row [`compare_pass`]es — one per neighbour, each a
+/// branchless slice operation over pre-shifted neighbour rows — then a
+/// single in-place remap through the const uniform table. The 1-pixel
+/// border (and any patch thinner than 3 px) falls back to the clamped
+/// [`lbp_code`], so both paths produce identical codes by construction
+/// (same neighbour order, same `u16` threshold comparison).
+fn fill_bin_image(frame: &GrayFrame, t: u8, scratch: &mut LbpScratch) {
     let table = uniform_table();
     let w = frame.width() as usize;
     let h = frame.height() as usize;
     let data = frame.data();
-    let tc = t as u16;
-    for y in y0..y1 {
-        // Interior columns within this row's [x0, x1) span.
-        let lo = x0.max(1);
-        let hi = x1.min(w.saturating_sub(1));
-        if y >= 1 && y + 1 < h && lo < hi {
-            for x in x0..lo {
-                let code = lbp_code(frame, x as i64, y as i64, t);
-                hist[table[code as usize] as usize] += 1.0;
+    let tc = t as i16;
+    scratch.bins.clear();
+    scratch.bins.resize(w * h, 0);
+    if w < 3 || h < 3 {
+        // Degenerate shapes (1×1, 1×N, N×1, 2-px strips) have no
+        // interior: every pixel needs clamping.
+        for y in 0..h {
+            for x in 0..w {
+                scratch.bins[y * w + x] = table[lbp_code(frame, x as i64, y as i64, t) as usize];
             }
-            let up = &data[(y - 1) * w..y * w];
-            let mid = &data[y * w..(y + 1) * w];
-            let down = &data[(y + 1) * w..(y + 2) * w];
-            for x in lo..hi {
-                // Neighbour order matches `lbp_code`'s OFFSETS:
-                // clockwise from the top-left.
-                let center = mid[x] as u16 + tc;
-                let mut code = 0u8;
-                if up[x - 1] as u16 >= center {
-                    code |= 1;
-                }
-                if up[x] as u16 >= center {
-                    code |= 1 << 1;
-                }
-                if up[x + 1] as u16 >= center {
-                    code |= 1 << 2;
-                }
-                if mid[x + 1] as u16 >= center {
-                    code |= 1 << 3;
-                }
-                if down[x + 1] as u16 >= center {
-                    code |= 1 << 4;
-                }
-                if down[x] as u16 >= center {
-                    code |= 1 << 5;
-                }
-                if down[x - 1] as u16 >= center {
-                    code |= 1 << 6;
-                }
-                if mid[x - 1] as u16 >= center {
-                    code |= 1 << 7;
-                }
-                hist[table[code as usize] as usize] += 1.0;
-            }
-            for x in hi..x1 {
-                let code = lbp_code(frame, x as i64, y as i64, t);
-                hist[table[code as usize] as usize] += 1.0;
-            }
-        } else {
-            for x in x0..x1 {
-                let code = lbp_code(frame, x as i64, y as i64, t);
-                hist[table[code as usize] as usize] += 1.0;
-            }
+        }
+        return;
+    }
+    scratch.centers.clear();
+    scratch.centers.resize(w, 0);
+    for x in 0..w {
+        scratch.bins[x] = table[lbp_code(frame, x as i64, 0, t) as usize];
+        scratch.bins[(h - 1) * w + x] =
+            table[lbp_code(frame, x as i64, (h - 1) as i64, t) as usize];
+    }
+    for y in 1..h - 1 {
+        let up = &data[(y - 1) * w..y * w];
+        let mid = &data[y * w..(y + 1) * w];
+        let down = &data[(y + 1) * w..(y + 2) * w];
+        for (center, &m) in scratch.centers.iter_mut().zip(mid) {
+            *center = m as i16 + tc;
+        }
+        let row = &mut scratch.bins[y * w..(y + 1) * w];
+        row[0] = table[lbp_code(frame, 0, y as i64, t) as usize];
+        row[w - 1] = table[lbp_code(frame, (w - 1) as i64, y as i64, t) as usize];
+        let codes = &mut row[1..w - 1];
+        let centers = &scratch.centers[1..w - 1];
+        // Neighbour order matches `lbp_code`'s OFFSETS: clockwise from
+        // the top-left. Each pass reads the neighbour row shifted by
+        // the neighbour's dx, so lane `i` always compares against
+        // centre `i`.
+        compare_pass(codes, &up[..w - 2], centers, 0);
+        compare_pass(codes, &up[1..w - 1], centers, 1);
+        compare_pass(codes, &up[2..], centers, 2);
+        compare_pass(codes, &mid[2..], centers, 3);
+        compare_pass(codes, &down[2..], centers, 4);
+        compare_pass(codes, &down[1..w - 1], centers, 5);
+        compare_pass(codes, &down[..w - 2], centers, 6);
+        compare_pass(codes, &mid[..w - 2], centers, 7);
+        for code in codes.iter_mut() {
+            *code = table[*code as usize];
         }
     }
 }
 
 /// Normalized 59-bin uniform-LBP histogram of a whole patch.
 pub fn lbp_histogram(frame: &GrayFrame) -> Vec<f64> {
-    let w = frame.width() as usize;
-    let h = frame.height() as usize;
-    let mut hist = vec![0.0f64; UNIFORM_BINS];
-    accumulate_rect(frame, LbpConfig::default().threshold, 0, w, 0, h, &mut hist);
-    let n = (w * h).max(1) as f64;
-    for v in &mut hist {
-        *v /= n;
+    let mut scratch = LbpScratch::new();
+    fill_bin_image(frame, LbpConfig::default().threshold, &mut scratch);
+    let mut counts = [0u32; UNIFORM_BINS];
+    for &bin in &scratch.bins {
+        counts[bin as usize] += 1;
     }
-    hist
+    let n = scratch.bins.len().max(1) as f64;
+    counts.iter().map(|&c| c as f64 / n).collect()
 }
 
 /// The full spatial-grid LBP descriptor: per-cell normalized histograms
@@ -219,12 +240,35 @@ pub fn lbp_feature_vector(frame: &GrayFrame, config: &LbpConfig) -> Vec<f64> {
 
 /// Allocation-free variant of [`lbp_feature_vector`]: clears and fills
 /// `feature` in place, so per-frame callers can reuse one buffer.
+///
+/// Allocates a transient [`LbpScratch`] per call; hot-path callers
+/// should hold a scratch and use [`lbp_feature_vector_with`] instead.
 pub fn lbp_feature_vector_into(frame: &GrayFrame, config: &LbpConfig, feature: &mut Vec<f64>) {
+    let mut scratch = LbpScratch::new();
+    lbp_feature_vector_with(frame, config, feature, &mut scratch);
+}
+
+/// Fully allocation-free descriptor: the bin image is computed once
+/// into `scratch` by the vectorized [`fill_bin_image`] kernel, then
+/// each grid cell accumulates integer bin counts over its rectangle
+/// and normalizes.
+///
+/// Bit-identical to the per-pixel reference
+/// ([`lbp_feature_vector_reference`]): integer counts converted once
+/// via `count as f64 / n` equal the reference's repeated `+= 1.0`
+/// accumulation exactly, because every count is far below 2⁵³.
+pub fn lbp_feature_vector_with(
+    frame: &GrayFrame,
+    config: &LbpConfig,
+    feature: &mut Vec<f64>,
+    scratch: &mut LbpScratch,
+) {
     let g = config.grid.max(1);
     let w = frame.width() as usize;
     let h = frame.height() as usize;
     feature.clear();
     feature.resize(g * g * UNIFORM_BINS, 0.0);
+    fill_bin_image(frame, config.threshold, scratch);
 
     // Cell boundaries (inclusive-exclusive) along each axis.
     let bound = |n: usize, i: usize| i * n / g;
@@ -235,18 +279,59 @@ pub fn lbp_feature_vector_into(frame: &GrayFrame, config: &LbpConfig, feature: &
         for cx in 0..g {
             let x0 = bound(w, cx);
             let x1 = bound(w, cx + 1);
+            let mut counts = [0u32; UNIFORM_BINS];
+            for y in y0..y1 {
+                for &bin in &scratch.bins[y * w + x0..y * w + x1] {
+                    counts[bin as usize] += 1;
+                }
+            }
             let base = (cy * g + cx) * UNIFORM_BINS;
             let cell = &mut feature[base..base + UNIFORM_BINS];
-            accumulate_rect(frame, config.threshold, x0, x1, y0, y1, cell);
             let count = (x1 - x0) * (y1 - y0);
             if count > 0 {
                 let n = count as f64;
-                for v in cell {
+                for (v, &c) in cell.iter_mut().zip(counts.iter()) {
+                    *v = c as f64 / n;
+                }
+            }
+        }
+    }
+}
+
+/// Reference descriptor built exclusively from the clamped per-pixel
+/// [`lbp_code`] with f64 accumulation — the bit-identical oracle the
+/// vectorized kernel is tested against (see
+/// `tests/property_kernels.rs`). Never used on the hot path.
+pub fn lbp_feature_vector_reference(frame: &GrayFrame, config: &LbpConfig) -> Vec<f64> {
+    let table = uniform_table();
+    let g = config.grid.max(1);
+    let w = frame.width() as usize;
+    let h = frame.height() as usize;
+    let mut feature = vec![0.0f64; g * g * UNIFORM_BINS];
+    let bound = |n: usize, i: usize| i * n / g;
+    for cy in 0..g {
+        let y0 = bound(h, cy);
+        let y1 = bound(h, cy + 1);
+        for cx in 0..g {
+            let x0 = bound(w, cx);
+            let x1 = bound(w, cx + 1);
+            let base = (cy * g + cx) * UNIFORM_BINS;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let code = lbp_code(frame, x as i64, y as i64, config.threshold);
+                    feature[base + table[code as usize] as usize] += 1.0;
+                }
+            }
+            let count = (x1 - x0) * (y1 - y0);
+            if count > 0 {
+                let n = count as f64;
+                for v in &mut feature[base..base + UNIFORM_BINS] {
                     *v /= n;
                 }
             }
         }
     }
+    feature
 }
 
 #[cfg(test)]

@@ -29,10 +29,14 @@ pub mod label;
 pub mod lbp;
 pub mod mlp;
 
-pub use classifier::{ClassifierScratch, EmotionClassifier, EmotionPrediction, TrainReport};
+pub use classifier::{
+    BatchPredictions, ClassifierScratch, EmotionClassifier, EmotionPrediction, ExtractArena,
+    TrainReport,
+};
 pub use dataset::{ConfusionMatrix, Dataset, Normalizer};
 pub use label::Emotion;
 pub use lbp::{
-    lbp_feature_vector, lbp_feature_vector_into, lbp_histogram, uniform_lbp_image, LbpConfig,
+    lbp_feature_vector, lbp_feature_vector_into, lbp_feature_vector_reference,
+    lbp_feature_vector_with, lbp_histogram, uniform_lbp_image, LbpConfig, LbpScratch,
 };
-pub use mlp::{Mlp, MlpConfig, MlpScratch, TrainingConfig};
+pub use mlp::{Mlp, MlpBatchScratch, MlpConfig, MlpScratch, TrainingConfig};

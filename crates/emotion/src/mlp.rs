@@ -134,6 +134,30 @@ impl MlpScratch {
     }
 }
 
+/// Reusable buffers for the batched forward pass
+/// ([`Mlp::predict_proba_batch_with`]).
+///
+/// Holds two flat ping-pong activation planes (`samples × width`,
+/// sample-major) plus the flat probability output. Buffers grow to the
+/// largest batch seen and are reused afterwards, so steady-state
+/// batched inference performs zero heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct MlpBatchScratch {
+    /// Current layer's input plane, sample-major `samples × cols`.
+    a: Vec<f64>,
+    /// Current layer's output plane, sample-major `samples × rows`.
+    b: Vec<f64>,
+    /// Softmax output, sample-major `samples × output`.
+    probs: Vec<f64>,
+}
+
+impl MlpBatchScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        MlpBatchScratch::default()
+    }
+}
+
 /// A feed-forward network with ReLU hidden layers and softmax output.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mlp {
@@ -198,11 +222,84 @@ impl Mlp {
 
     /// Forward passes over a whole batch with one shared scratch,
     /// returning per-sample probability vectors in input order.
+    #[deprecated(note = "allocates one Vec per sample per call; pack inputs flat and \
+                         use `predict_proba_batch_with` with a reusable `MlpBatchScratch`")]
     pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        let mut scratch = MlpScratch::new();
-        xs.iter()
-            .map(|x| self.predict_proba_with(x, &mut scratch).to_vec())
+        let mut scratch = MlpBatchScratch::new();
+        let mut flat = Vec::with_capacity(xs.len() * self.config.input);
+        for x in xs {
+            flat.extend_from_slice(x);
+        }
+        self.predict_proba_batch_with(xs.len(), &flat, &mut scratch)
+            .chunks(self.config.output.max(1))
+            .map(|p| p.to_vec())
             .collect()
+    }
+
+    /// Batched forward pass: `samples` inputs packed flat (sample-major
+    /// `samples × input`) produce `samples × output` probabilities,
+    /// borrowed from `scratch` and valid until the next pass.
+    ///
+    /// Each layer's matmul runs with the weight row as the *outer* loop
+    /// and the sample as the inner loop, so one traversal of the weight
+    /// matrix serves the whole batch (the row stays in L1 across
+    /// samples). The per-sample dot product itself — `acc = bias`, then
+    /// `acc += w[c] * x[c]` ascending `c` — and the per-sample softmax
+    /// keep the exact operation order of [`Layer::forward`] /
+    /// [`predict_proba_with`](Self::predict_proba_with), so every
+    /// output is bit-identical to the scalar path (asserted by
+    /// `tests/property_kernels.rs`).
+    ///
+    /// # Panics
+    /// Panics when `inputs.len() != samples * config.input`.
+    pub fn predict_proba_batch_with<'s>(
+        &self,
+        samples: usize,
+        inputs: &[f64],
+        scratch: &'s mut MlpBatchScratch,
+    ) -> &'s [f64] {
+        assert_eq!(
+            inputs.len(),
+            samples * self.config.input,
+            "input dimension mismatch"
+        );
+        scratch.a.clear();
+        scratch.a.extend_from_slice(inputs);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (rows, cols) = (layer.rows, layer.cols);
+            scratch.b.clear();
+            scratch.b.resize(samples * rows, 0.0);
+            for r in 0..rows {
+                let wrow = &layer.w[r * cols..(r + 1) * cols];
+                let bias = layer.b[r];
+                for s in 0..samples {
+                    let x = &scratch.a[s * cols..(s + 1) * cols];
+                    let mut acc = bias;
+                    for (wi, xi) in wrow.iter().zip(x) {
+                        acc += wi * xi;
+                    }
+                    scratch.b[s * rows + r] = acc;
+                }
+            }
+            if i + 1 != self.layers.len() {
+                for v in scratch.b.iter_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+        let out = self.config.output;
+        scratch.probs.clear();
+        scratch.probs.resize(samples * out, 0.0);
+        for s in 0..samples {
+            softmax_slice(
+                &scratch.a[s * out..(s + 1) * out],
+                &mut scratch.probs[s * out..(s + 1) * out],
+            );
+        }
+        &scratch.probs
     }
 
     /// Index of the most probable class.
@@ -384,9 +481,19 @@ impl Mlp {
 /// sum, divide — in that order, so every caller gets bit-identical
 /// results regardless of buffer reuse).
 fn softmax_into(logits: &[f64], out: &mut Vec<f64>) {
-    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     out.clear();
-    out.extend(logits.iter().map(|&l| (l - max).exp()));
+    out.resize(logits.len(), 0.0);
+    softmax_slice(logits, out);
+}
+
+/// The softmax kernel shared by the scalar and batched paths: same
+/// max-shift/exp/sum/divide sequence over a pre-sized slice, so both
+/// paths produce bit-identical probabilities.
+fn softmax_slice(logits: &[f64], out: &mut [f64]) {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for (e, &l) in out.iter_mut().zip(logits) {
+        *e = (l - max).exp();
+    }
     let sum: f64 = out.iter().sum();
     for e in out.iter_mut() {
         *e /= sum;
@@ -553,6 +660,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn scratch_path_is_bit_identical_to_allocating_path() {
         let (features, labels) = xor_data();
         let mut mlp = Mlp::new(MlpConfig {
@@ -583,6 +691,34 @@ mod tests {
         for (x, b) in inputs.iter().zip(&batch) {
             assert_eq!(&mlp.predict_proba(x), b, "batch path must match");
         }
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_scalar() {
+        let mlp = Mlp::new(MlpConfig {
+            input: 5,
+            hidden: vec![7, 4],
+            output: 3,
+            seed: 17,
+        });
+        let inputs: Vec<Vec<f64>> = (0..9)
+            .map(|i| (0..5).map(|c| ((i * 5 + c) as f64).sin()).collect())
+            .collect();
+        let flat: Vec<f64> = inputs.iter().flatten().copied().collect();
+        let mut batch = MlpBatchScratch::new();
+        let probs = mlp.predict_proba_batch_with(inputs.len(), &flat, &mut batch);
+        assert_eq!(probs.len(), inputs.len() * 3);
+        let mut scalar = MlpScratch::new();
+        for (s, x) in inputs.iter().enumerate() {
+            assert_eq!(
+                &probs[s * 3..(s + 1) * 3],
+                mlp.predict_proba_with(x, &mut scalar),
+                "sample {s} must match the scalar path bit-for-bit"
+            );
+        }
+        // Empty batch is a no-op, not a panic.
+        let empty = mlp.predict_proba_batch_with(0, &[], &mut batch);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Asserts the tentpole zero-allocation claim: once an [`ExtractArena`]
+//! has warmed up on a frame shape, `classify_batch_with` performs zero
+//! heap allocation — the LBP bin image, packed features, and MLP
+//! activation planes are all reused.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; only
+//! allocations made by *this* thread are counted (the test harness may
+//! allocate concurrently), via a thread-local counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use dievent_emotion::{Emotion, EmotionClassifier, ExtractArena, LbpConfig, TrainingConfig};
+use dievent_video::GrayFrame;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to the system allocator; the only addition is
+// a thread-local counter bump, which itself never allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with` so allocations during TLS teardown don't abort.
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+/// Minimal deterministic training set (the classifier constructor is
+/// the only way to build one; training itself may allocate freely).
+fn tiny_classifier() -> EmotionClassifier {
+    let mut patches = Vec::new();
+    for v in 0..3u32 {
+        for (i, &e) in Emotion::ALL.iter().enumerate() {
+            let mut f = GrayFrame::new(24, 24, 100);
+            f.fill_rect(2 + i as i64 * 3, 4 + v as i64 * 2, 6, 5, 30 + i as u8 * 20);
+            f.fill_disk(12.0, 16.0, 2.0 + i as f64, 220);
+            patches.push((f, e));
+        }
+    }
+    let tc = TrainingConfig {
+        epochs: 2,
+        ..TrainingConfig::default()
+    };
+    let (clf, _) = EmotionClassifier::train(&patches, LbpConfig::default(), &[8], 3, &tc);
+    clf
+}
+
+#[test]
+fn classify_batch_steady_state_allocates_nothing() {
+    let clf = tiny_classifier();
+    let frames: Vec<GrayFrame> = (0..4)
+        .map(|i| {
+            let mut f = GrayFrame::new(48, 48, 90);
+            f.fill_disk(24.0, 20.0 + i as f64, 8.0, 40);
+            f
+        })
+        .collect();
+    let patches: Vec<&GrayFrame> = frames.iter().collect();
+
+    let mut arena = ExtractArena::new();
+    // Warm-up: buffers grow to this frame shape (and allocate).
+    for _ in 0..2 {
+        let preds = clf.classify_batch_with(&patches, &mut arena);
+        assert_eq!(preds.len(), patches.len());
+    }
+
+    let before = allocs_on_this_thread();
+    let mut checksum = 0.0;
+    for _ in 0..10 {
+        let preds = clf.classify_batch_with(&patches, &mut arena);
+        // Touch the results so the whole path stays live.
+        for i in 0..preds.len() {
+            checksum += preds.top(i).1;
+        }
+    }
+    let after = allocs_on_this_thread();
+    assert!(checksum > 0.0);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state classify_batch_with must not allocate \
+         ({} allocations over 10 frames)",
+        after - before
+    );
+}

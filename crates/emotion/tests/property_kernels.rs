@@ -1,0 +1,107 @@
+//! Oracle tests for the vectorized hot kernels: the row-sliced LBP
+//! descriptor against the clamped per-pixel reference, and the batched
+//! MLP forward pass against the scalar scratch path. Every comparison
+//! is exact (`==` on `f64`) — the kernels are required to be
+//! bit-identical, not merely close.
+
+use dievent_emotion::{
+    lbp_feature_vector_reference, lbp_feature_vector_with, LbpConfig, LbpScratch, Mlp,
+    MlpBatchScratch, MlpConfig, MlpScratch,
+};
+use dievent_video::GrayFrame;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random fill so every pixel pattern is exercised
+/// without a strategy allocating whole pixel vectors.
+fn noisy_frame(w: u32, h: u32, salt: u32) -> GrayFrame {
+    let mut f = GrayFrame::new(w, h, 0);
+    f.mutate(|d| {
+        for (i, px) in d.iter_mut().enumerate() {
+            *px = ((i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(salt.wrapping_mul(0x85eb_ca6b))
+                >> 24) as u8;
+        }
+    });
+    f
+}
+
+fn vectorized(f: &GrayFrame, cfg: &LbpConfig) -> Vec<f64> {
+    let mut feature = Vec::new();
+    let mut scratch = LbpScratch::new();
+    // Twice through the same scratch: reuse must not change any bit.
+    lbp_feature_vector_with(f, cfg, &mut feature, &mut scratch);
+    let first = feature.clone();
+    lbp_feature_vector_with(f, cfg, &mut feature, &mut scratch);
+    assert_eq!(first, feature, "scratch reuse changed the descriptor");
+    feature
+}
+
+/// The degenerate and non-divisible shapes the row-sliced kernel
+/// special-cases: no interior at all, one interior row/column, and
+/// grids that don't divide the patch evenly.
+#[test]
+fn edge_shapes_match_reference() {
+    for &(w, h) in &[
+        (1u32, 1u32),
+        (1, 7),
+        (7, 1),
+        (2, 2),
+        (2, 5),
+        (3, 3),
+        (4, 3),
+        (33, 17),
+        (48, 48),
+    ] {
+        for grid in [1usize, 3, 4, 5] {
+            for threshold in [0u8, 8, 255] {
+                let f = noisy_frame(w, h, w * 31 + h);
+                let cfg = LbpConfig { grid, threshold };
+                assert_eq!(
+                    vectorized(&f, &cfg),
+                    lbp_feature_vector_reference(&f, &cfg),
+                    "{w}x{h} grid={grid} t={threshold}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random frame shapes and contents: the vectorized descriptor is
+    /// bin-for-bin identical to the clamped per-pixel reference.
+    #[test]
+    fn lbp_kernel_matches_reference(
+        w in 1u32..40,
+        h in 1u32..40,
+        salt in 0u32..1000,
+        grid in 1usize..6,
+        threshold in prop_oneof![Just(0u8), 1u8..32, Just(255u8)],
+    ) {
+        let f = noisy_frame(w, h, salt);
+        let cfg = LbpConfig { grid, threshold };
+        prop_assert_eq!(vectorized(&f, &cfg), lbp_feature_vector_reference(&f, &cfg));
+    }
+
+    /// The batched forward pass is bit-identical to running the scalar
+    /// scratch path once per sample — including linear (no hidden
+    /// layer) networks and batches of one.
+    #[test]
+    fn batched_mlp_matches_scalar(
+        seed in 0u64..500,
+        samples in 1usize..9,
+        deep in proptest::bool::ANY,
+        xs in proptest::collection::vec(-8.0..8.0f64, 6 * 8),
+    ) {
+        let hidden = if deep { vec![7, 5] } else { vec![] };
+        let mlp = Mlp::new(MlpConfig { input: 6, hidden, output: 4, seed });
+        let flat = &xs[..samples * 6];
+        let mut batch = MlpBatchScratch::new();
+        let probs = mlp.predict_proba_batch_with(samples, flat, &mut batch).to_vec();
+        let mut scalar = MlpScratch::new();
+        for s in 0..samples {
+            let expect = mlp.predict_proba_with(&flat[s * 6..(s + 1) * 6], &mut scalar);
+            prop_assert_eq!(&probs[s * 4..(s + 1) * 4], expect, "sample {}", s);
+        }
+    }
+}

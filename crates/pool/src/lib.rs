@@ -608,6 +608,42 @@ fn default_chunk(len: usize, threads: usize) -> usize {
     len.div_ceil(target_chunks).max(1)
 }
 
+/// Per-worker-thread storage: each thread that calls [`with`]
+/// (`WorkerLocal::with`) gets its own lazily-created `T`, reused across
+/// calls from that thread. Built for arena-style scratch buffers in
+/// pool-fanned closures — each pool worker warms its own arena once and
+/// then reuses it for every chunk it steals, with no cross-thread
+/// contention during the closure body.
+///
+/// The value is *removed* from the map while the closure runs and
+/// reinserted afterwards, so the (brief) map lock is never held during
+/// user code. A re-entrant `with` on the same thread therefore sees a
+/// fresh `T` — fine for scratch buffers, where correctness never
+/// depends on which instance you get.
+#[derive(Debug, Default)]
+pub struct WorkerLocal<T> {
+    slots: Mutex<std::collections::HashMap<std::thread::ThreadId, T>>,
+}
+
+impl<T: Default> WorkerLocal<T> {
+    /// Creates an empty store; per-thread values are created on first
+    /// use via `T::default()`.
+    pub fn new() -> Self {
+        WorkerLocal {
+            slots: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Runs `f` with this thread's instance, creating it on first use.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let id = std::thread::current().id();
+        let mut value = lock(&self.slots).remove(&id).unwrap_or_default();
+        let out = f(&mut value);
+        lock(&self.slots).insert(id, value);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -871,5 +907,47 @@ mod tests {
             let out = pool.parallel_map(&items, |&x| x * 3 + 1).expect("map");
             assert_eq!(out, reference, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn worker_local_reuses_per_thread_value() {
+        let local: WorkerLocal<Vec<u32>> = WorkerLocal::new();
+        local.with(|v| v.push(1));
+        local.with(|v| v.push(2));
+        let seen = local.with(|v| v.clone());
+        assert_eq!(seen, vec![1, 2], "same thread must see the same instance");
+    }
+
+    #[test]
+    fn worker_local_isolates_threads() {
+        let local = Arc::new(WorkerLocal::<Vec<u64>>::new());
+        let pool = ThreadPool::new(3);
+        let items: Vec<u64> = (0..64).collect();
+        let out = pool
+            .parallel_map(&items, {
+                let local = Arc::clone(&local);
+                move |&x| {
+                    local.with(|v| {
+                        v.push(x);
+                        v.len()
+                    })
+                }
+            })
+            .expect("map");
+        // Every call appended exactly one element to *some* thread's
+        // vec, so per-call lengths within a thread are strictly
+        // increasing and the total across threads is the item count.
+        assert_eq!(out.len(), items.len());
+        let total: usize = local.with(|mine| mine.len()) + {
+            // Drain the other threads' slots through the map.
+            let slots = lock(&local.slots);
+            let me = std::thread::current().id();
+            slots
+                .iter()
+                .filter(|(id, _)| **id != me)
+                .map(|(_, v)| v.len())
+                .sum::<usize>()
+        };
+        assert_eq!(total, items.len());
     }
 }

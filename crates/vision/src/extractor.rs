@@ -306,6 +306,19 @@ impl FrameRaw {
             .iter()
             .map(|f| (&f.detection, f.identity, &f.patch))
     }
+
+    /// Iterates only the faces whose identity was recognized, yielding
+    /// `(person, detection radius, patch)` — the exact tuple the
+    /// session's batched emotion classification consumes. Order matches
+    /// [`faces`](Self::faces) (and therefore the face order
+    /// [`FeatureExtractor::integrate`] preserves).
+    pub fn identified_faces(
+        &self,
+    ) -> impl Iterator<Item = (crate::types::PersonId, f64, &GrayFrame)> {
+        self.faces
+            .iter()
+            .filter_map(|f| f.identity.map(|(p, _)| (p, f.detection.radius, &f.patch)))
+    }
 }
 
 #[cfg(test)]
